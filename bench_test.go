@@ -1,0 +1,64 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// benchmark per artifact, per DESIGN.md's experiment index) plus the
+// ablation benches for the design choices DESIGN.md calls out.
+//
+// Each iteration regenerates the artifact end to end — dataset synthesis,
+// training, metasurface schedule solving, and over-the-air evaluation — so
+// ns/op measures the full reproduction cost. Run a single pass with:
+//
+//	go test -bench=. -benchtime=1x -benchmem
+package metaai_test
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+// benchExperiment runs one experiment per iteration at Quick scale with a
+// reduced evaluation cap so the full suite stays tractable.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewCtx(dataset.Quick, 1)
+		ctx.EvalCap = 120
+		res, err := experiments.Run(id, ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig6WeightDistribution(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig7AtomsSweep(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkTable1Overall(b *testing.B)          { benchExperiment(b, "table1") }
+func BenchmarkFig12SyncErrorCDF(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkFig13CDFA(b *testing.B)              { benchExperiment(b, "fig13") }
+func BenchmarkFig16SyncScheme(b *testing.B)        { benchExperiment(b, "fig16") }
+func BenchmarkFig17Multipath(b *testing.B)         { benchExperiment(b, "fig17") }
+func BenchmarkFig18Parallelism(b *testing.B)       { benchExperiment(b, "fig18") }
+func BenchmarkFig19Noise(b *testing.B)             { benchExperiment(b, "fig19") }
+func BenchmarkFig20MultiSensor(b *testing.B)       { benchExperiment(b, "fig20") }
+func BenchmarkFig21NLoS(b *testing.B)              { benchExperiment(b, "fig21") }
+func BenchmarkFig22Bands(b *testing.B)             { benchExperiment(b, "fig22") }
+func BenchmarkFig23Modulation(b *testing.B)        { benchExperiment(b, "fig23") }
+func BenchmarkFig24TxDistance(b *testing.B)        { benchExperiment(b, "fig24") }
+func BenchmarkFig25TxAngle(b *testing.B)           { benchExperiment(b, "fig25") }
+func BenchmarkFig26Interference(b *testing.B)      { benchExperiment(b, "fig26") }
+func BenchmarkFig27CrossRoom(b *testing.B)         { benchExperiment(b, "fig27") }
+func BenchmarkFig28FaceCase(b *testing.B)          { benchExperiment(b, "fig28") }
+func BenchmarkFig29PNNLayers(b *testing.B)         { benchExperiment(b, "fig29") }
+func BenchmarkFig30WDD(b *testing.B)               { benchExperiment(b, "fig30") }
+func BenchmarkFig31ParallelSweep(b *testing.B)     { benchExperiment(b, "fig31") }
+func BenchmarkTable2EnergyMNIST(b *testing.B)      { benchExperiment(b, "table2") }
+func BenchmarkTable3EnergyAFHQ(b *testing.B)       { benchExperiment(b, "table3") }
+
+// Ablation benches (DESIGN.md "design choices called out for ablation").
+func BenchmarkAblationQuantizeStrategy(b *testing.B)     { benchExperiment(b, "abl-quantize") }
+func BenchmarkAblationSolverRefinement(b *testing.B)     { benchExperiment(b, "abl-solver") }
+func BenchmarkAblationSubSamples(b *testing.B)           { benchExperiment(b, "abl-subsamples") }
+func BenchmarkAblationInjectorDistribution(b *testing.B) { benchExperiment(b, "abl-injector") }

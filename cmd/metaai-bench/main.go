@@ -1,0 +1,92 @@
+// Command metaai-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	metaai-bench -list
+//	metaai-bench -exp table1
+//	metaai-bench -exp all -scale full -seed 7
+//
+// Each experiment prints rows mirroring the corresponding paper artifact;
+// DESIGN.md maps experiment ids to modules and EXPERIMENTS.md records
+// paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run, or \"all\"")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.String("scale", "quick", "dataset scale: quick or full")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		evalCap = flag.Int("evalcap", 200, "max test samples per accuracy evaluation (0 = all)")
+		verbose = flag.Bool("v", false, "log progress")
+		md      = flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
+		seeds   = flag.Int("seeds", 1, "run each experiment under this many consecutive seeds (variance check)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			r, _ := experiments.Lookup(id)
+			fmt.Printf("%-15s %s\n", id, r.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "metaai-bench: pass -exp <id> or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc := dataset.Quick
+	switch *scale {
+	case "quick":
+	case "full":
+		sc = dataset.Full
+	default:
+		fmt.Fprintf(os.Stderr, "metaai-bench: unknown scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for s := 0; s < *seeds; s++ {
+		ctx := experiments.NewCtx(sc, *seed+uint64(s))
+		ctx.EvalCap = *evalCap
+		if *verbose {
+			ctx.Log = os.Stderr
+		}
+		for _, id := range ids {
+			start := time.Now()
+			res, err := experiments.Run(id, ctx)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metaai-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			if *seeds > 1 {
+				res.Title += fmt.Sprintf(" [seed %d]", *seed+uint64(s))
+			}
+			if *md {
+				if err := res.Markdown(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "metaai-bench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				res.Fprint(os.Stdout)
+				fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+			}
+		}
+	}
+}

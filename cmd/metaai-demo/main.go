@@ -1,0 +1,81 @@
+// Command metaai-demo walks through one over-the-air inference step by
+// step, printing what happens at each stage of the paper's pipeline
+// (Fig 4): encoding, modulation, the per-symbol metasurface schedule, the
+// channel, and the receiver's accumulation.
+//
+//	metaai-demo -dataset afhq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/cmplx"
+	"os"
+	"strings"
+
+	metaai "repro"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		ds   = flag.String("dataset", "mnist", "dataset: "+strings.Join(metaai.Datasets(), ", "))
+		seed = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := metaai.DefaultConfig(*ds)
+	cfg.Seed = *seed
+	fmt.Printf("[1/5] training the complex LNN on %q (lr 8e-3, momentum 0.95, batch 64)...\n", *ds)
+	pipe, err := metaai.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metaai-demo: %v\n", err)
+		os.Exit(1)
+	}
+	data := dataset.MustLoad(*ds, cfg.Scale, cfg.Seed)
+	sample := data.Test[0]
+
+	fmt.Printf("[2/5] encoding one sample: %d features -> %d bytes -> %d %s symbols\n",
+		len(sample.X), len(sample.X), pipe.Train.U, cfg.Scheme)
+	enc := pipe.Enc.Encode(sample.X)
+	fmt.Printf("      first symbols: ")
+	for i := 0; i < 4 && i < len(enc); i++ {
+		fmt.Printf("(%.2f%+.2fi) ", real(enc[i]), imag(enc[i]))
+	}
+	fmt.Println("...")
+
+	fmt.Printf("[3/5] metasurface schedule: %d outputs x %d symbols, %d-atom 2-bit configs\n",
+		pipe.Train.Classes, pipe.Train.U, len(pipe.System.Schedule[0][0]))
+	cfg0 := pipe.System.Schedule[0][0]
+	fmt.Printf("      config(output 0, symbol 0): %v... (phase states x pi/2)\n", cfg0[:16])
+	fmt.Printf("      realized weight H(0,0) = %.1f∠%.0f°, desired scale gamma = %.1f\n",
+		cmplx.Abs(pipe.System.Realized.At(0, 0)),
+		cmplx.Phase(pipe.System.Realized.At(0, 0))*180/3.14159265,
+		pipe.System.Gamma)
+
+	fmt.Printf("[4/5] transmission through the office channel (multipath cancelled by\n")
+	fmt.Printf("      zero-mean chips + in-symbol MTS flips; coarse-detection sync)\n")
+	acc := pipe.System.Accumulate(enc)
+	fmt.Printf("      receiver accumulators |y_r|:\n")
+	logits := make([]float64, len(acc))
+	for r, a := range acc {
+		logits[r] = cmplx.Abs(a)
+	}
+	var maxL float64
+	for _, l := range logits {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	for r, l := range logits {
+		bar := strings.Repeat("#", int(28*l/maxL))
+		fmt.Printf("      y_%d %8.1f %s\n", r, l, bar)
+	}
+
+	class, _ := pipe.Infer(sample.X)
+	fmt.Printf("[5/5] prediction: class %d (true class %d) — the server never saw the raw data\n",
+		class, sample.Label)
+	fmt.Printf("\npipeline accuracy: simulation %.2f%%, over the air %.2f%%\n",
+		100*pipe.SimAccuracy(), 100*pipe.AirAccuracy())
+}

@@ -1,0 +1,170 @@
+// Command metaai-serve runs the MetaAI "air" as a long-lived UDP service:
+// it trains and deploys a pipeline once, then answers symbol frames with
+// accumulator frames (package airproto), emulating the
+// metasurface-augmented channel for any number of sensor clients. A -probe
+// mode acts as a one-shot client for smoke testing a running server.
+//
+//	metaai-serve -dataset mnist -addr 127.0.0.1:9530
+//	metaai-serve -probe 127.0.0.1:9530 -dataset mnist
+//
+// The server computes during "propagation"; whoever receives the response
+// holds only per-class accumulators, never the sensor's raw data.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	metaai "repro"
+
+	"repro/internal/airproto"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+func main() {
+	var (
+		ds    = flag.String("dataset", "mnist", "dataset: "+strings.Join(metaai.Datasets(), ", "))
+		addr  = flag.String("addr", "127.0.0.1:9530", "UDP listen address")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		probe = flag.String("probe", "", "act as a client: send one test sample to this address and exit")
+	)
+	flag.Parse()
+
+	if *probe != "" {
+		if err := runProbe(*probe, *ds, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runServer(*addr, *ds, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runServer(addr, ds string, seed uint64) error {
+	log.Printf("training %s pipeline and solving MTS schedules...", ds)
+	cfg := metaai.DefaultConfig(ds)
+	cfg.Seed = seed
+	pipe, err := metaai.Run(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("deployed: %d classes, U=%d symbols, sim %.1f%%, air %.1f%%",
+		pipe.Train.Classes, pipe.Train.U, 100*pipe.SimAccuracy(), 100*pipe.AirAccuracy())
+
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	log.Printf("air service listening on %s (ctrl-c to stop)", conn.LocalAddr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		conn.Close() // unblock the read loop
+	}()
+
+	// The deployed System mutates its rng on every call: serialize access.
+	var mu sync.Mutex
+	served := 0
+	buf := make([]byte, 65535)
+	for {
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				log.Printf("shutting down after %d transmissions", served)
+				return nil
+			}
+			return err
+		}
+		frame, err := airproto.Unmarshal(buf[:n])
+		if err != nil {
+			log.Printf("bad frame from %s: %v", from, err)
+			continue
+		}
+		if len(frame.Data) != pipe.Train.U {
+			log.Printf("frame %d from %s: %d symbols, deployed for U=%d", frame.ID, from, len(frame.Data), pipe.Train.U)
+			continue
+		}
+		mu.Lock()
+		acc := pipe.System.Accumulate(frame.Data)
+		mu.Unlock()
+		resp := &airproto.Frame{ID: frame.ID, Label: frame.Label, Data: acc}
+		out, err := resp.Marshal()
+		if err != nil {
+			log.Printf("frame %d: %v", frame.ID, err)
+			continue
+		}
+		if _, err := conn.WriteToUDP(out, from); err != nil {
+			log.Printf("reply to %s: %v", from, err)
+			continue
+		}
+		served++
+		if served%50 == 0 {
+			log.Printf("served %d transmissions", served)
+		}
+	}
+}
+
+func runProbe(addr, ds string, seed uint64) error {
+	cfg := metaai.DefaultConfig(ds)
+	cfg.Seed = seed
+	data := dataset.MustLoad(ds, cfg.Scale, cfg.Seed)
+	sample := data.Test[0]
+	// Encode with the same pipeline encoder the server deployed.
+	enc := nn.Encoder{Scheme: cfg.Scheme}
+	symbols := enc.Encode(sample.X)
+
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	req := &airproto.Frame{ID: 1, Label: int32(sample.Label), Data: symbols}
+	out, err := req.Marshal()
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(out); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return fmt.Errorf("no response from %s: %w", addr, err)
+	}
+	resp, err := airproto.Unmarshal(buf[:n])
+	if err != nil {
+		return err
+	}
+	best, arg := -1.0, 0
+	for r, v := range resp.Data {
+		m := real(v)*real(v) + imag(v)*imag(v)
+		if m > best {
+			best, arg = m, r
+		}
+	}
+	fmt.Printf("probe: sample label %d classified as %d over the air\n", sample.Label, arg)
+	return nil
+}

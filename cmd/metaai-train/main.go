@@ -1,0 +1,78 @@
+// Command metaai-train trains a MetaAI pipeline for one dataset, solves the
+// metasurface schedules, and writes the deployment artifacts (trained
+// complex weights, realized responses, and per-symbol 2-bit configurations)
+// as JSON — the file an MTS controller would stream to its shift registers.
+//
+// Usage:
+//
+//	metaai-train -dataset mnist -out deploy.json
+//	metaai-train -dataset widar3 -scheme qpsk -epochs 60 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	metaai "repro"
+
+	"repro/internal/modem"
+)
+
+func main() {
+	var (
+		ds     = flag.String("dataset", "mnist", "dataset: "+strings.Join(metaai.Datasets(), ", "))
+		scheme = flag.String("scheme", "qam256", "modulation: bpsk, qpsk, qam16, qam64, qam256")
+		epochs = flag.Int("epochs", 0, "training epochs (0 = paper default)")
+		scale  = flag.String("scale", "quick", "dataset scale: quick or full")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output JSON path (default: stdout summary only)")
+	)
+	flag.Parse()
+
+	schemes := map[string]modem.Scheme{
+		"bpsk": modem.BPSK, "qpsk": modem.QPSK,
+		"qam16": modem.QAM16, "qam64": modem.QAM64, "qam256": modem.QAM256,
+	}
+	sch, ok := schemes[strings.ToLower(*scheme)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "metaai-train: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	cfg := metaai.DefaultConfig(*ds)
+	cfg.Scheme = sch
+	cfg.Seed = *seed
+	cfg.Train.Epochs = *epochs
+	if *scale == "full" {
+		cfg.Scale = metaai.FullScale
+	}
+
+	fmt.Fprintf(os.Stderr, "training %s (%s) and solving schedules...\n", *ds, sch)
+	pipe, err := metaai.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metaai-train: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset=%s scheme=%s classes=%d U=%d\n", *ds, sch, pipe.Train.Classes, pipe.Train.U)
+	fmt.Printf("simulation accuracy: %.2f%%\n", 100*pipe.SimAccuracy())
+	fmt.Printf("prototype accuracy:  %.2f%%\n", 100*pipe.AirAccuracy())
+	fmt.Printf("estimated Rx angle:  %.1f deg, schedule: %d configs of %d atoms\n",
+		pipe.System.EstRxAngleDeg, pipe.Train.Classes*pipe.Train.U, len(pipe.System.Schedule[0][0]))
+
+	if *out == "" {
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metaai-train: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	art := pipe.BuildArtifact()
+	if err := art.WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "metaai-train: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote deployment artifact to %s\n", *out)
+}

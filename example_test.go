@@ -1,0 +1,67 @@
+package metaai_test
+
+import (
+	"fmt"
+
+	metaai "repro"
+)
+
+// ExampleRun shows the minimal end-to-end pipeline: train the complex LNN
+// on a Table 1 task, solve the metasurface schedules, and compare the
+// digital "simulation" accuracy with the deployed "prototype" accuracy.
+func ExampleRun() {
+	cfg := metaai.DefaultConfig("afhq")
+	cfg.Train.Epochs = 15
+	pipe, err := metaai.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("simulation above 70%:", pipe.SimAccuracy() > 0.70)
+	fmt.Println("prototype within 8 points:", pipe.SimAccuracy()-pipe.AirAccuracy() < 0.08)
+	fmt.Println("transmissions per inference:", pipe.System.TransmissionsPerInference())
+	// Output:
+	// simulation above 70%: true
+	// prototype within 8 points: true
+	// transmissions per inference: 3
+}
+
+// ExampleExperiments lists the first reproducible paper artifacts.
+func ExampleExperiments() {
+	ids := metaai.Experiments()
+	fmt.Println(ids[0], ids[1], ids[2])
+	// Output: fig6 fig7 table1
+}
+
+// ExampleRunExperiment regenerates the Appendix A.4 energy table and shows
+// that MetaAI holds the lowest total energy row.
+func ExampleRunExperiment() {
+	res, err := metaai.RunExperiment("table2", metaai.QuickScale, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	last := res.Rows[len(res.Rows)-1]
+	fmt.Println(last[0], last[1])
+	// Output: Meta-AI LNN
+}
+
+// ExampleDeployParallel computes all classes in one transmission via the
+// antenna scheme (Eqn 10 of the paper).
+func ExampleDeployParallel() {
+	cfg := metaai.DefaultConfig("afhq")
+	cfg.Train.Epochs = 15
+	cfg.Sync = metaai.SyncPerfect
+	pipe, err := metaai.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sys, err := metaai.DeployParallel(pipe, metaai.Antenna, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("transmissions:", sys.Transmissions())
+	// Output: transmissions: 1
+}

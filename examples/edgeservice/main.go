@@ -1,0 +1,143 @@
+// Edge service: MetaAI deployed as three network components talking real
+// UDP on localhost, mirroring the paper's deployment story (Fig 1(c)):
+//
+//	sensor ──symbols──▶ air (metasurface + channel) ──accumulators──▶ edge server
+//
+// The sensor is a dumb commodity transmitter: it only modulates and sends.
+// The "air" process simulates the programmable metasurface computing during
+// propagation. The edge server receives only the per-class accumulators —
+// never the raw data — takes the magnitude and argmax of Eqn 3, and logs
+// the decision. This is the paper's structural-privacy claim as running
+// code: compromise the server and you still hold no raw sensor data.
+//
+//	go run ./examples/edgeservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	metaai "repro"
+
+	"repro/internal/airproto"
+	"repro/internal/dataset"
+)
+
+func writeFrame(conn *net.UDPConn, to *net.UDPAddr, f *airproto.Frame) error {
+	buf, err := f.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = conn.WriteToUDP(buf, to)
+	return err
+}
+
+func readFrame(conn *net.UDPConn) (*airproto.Frame, error) {
+	buf := make([]byte, 65535)
+	n, _, err := conn.ReadFromUDP(buf)
+	if err != nil {
+		return nil, err
+	}
+	return airproto.Unmarshal(buf[:n])
+}
+
+func main() {
+	const samples = 40
+
+	fmt.Println("training and deploying the MetaAI pipeline (mnist, office, CDFA)...")
+	cfg := metaai.DefaultConfig("mnist")
+	pipe, err := metaai.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := dataset.MustLoad("mnist", cfg.Scale, cfg.Seed)
+
+	// --- edge server: receives accumulators, never raw data. ---
+	edgeConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer edgeConn.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		correct, total := 0, 0
+		for total < samples {
+			edgeConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			f, err := readFrame(edgeConn)
+			if err != nil {
+				log.Printf("edge: %v", err)
+				return
+			}
+			// Eqn 3 readout: magnitude, then argmax.
+			best, arg := -1.0, 0
+			for r, v := range f.Data {
+				m := real(v)*real(v) + imag(v)*imag(v)
+				if m > best {
+					best, arg = m, r
+				}
+			}
+			total++
+			status := "MISS"
+			if arg == int(f.Label) {
+				correct++
+				status = "ok"
+			}
+			if total <= 8 || total == samples {
+				fmt.Printf("edge: sample %2d -> class %d (true %d) %s\n", f.ID, arg, f.Label, status)
+			} else if total == 9 {
+				fmt.Println("edge: ...")
+			}
+		}
+		fmt.Printf("\nedge server accuracy over %d over-the-air inferences: %.1f%%\n",
+			total, 100*float64(correct)/float64(total))
+		fmt.Println("(the server only ever received per-class accumulators, not sensor data)")
+	}()
+
+	// --- air: the metasurface-augmented channel. ---
+	airConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer airConn.Close()
+	edgeAddr := edgeConn.LocalAddr().(*net.UDPAddr)
+	go func() {
+		for {
+			airConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			f, err := readFrame(airConn)
+			if err != nil {
+				return
+			}
+			// The propagation itself computes: schedule × symbols.
+			acc := pipe.System.Accumulate(f.Data)
+			resp := &airproto.Frame{ID: f.ID, Label: f.Label, Data: acc}
+			if err := writeFrame(airConn, edgeAddr, resp); err != nil {
+				log.Printf("air: %v", err)
+				return
+			}
+		}
+	}()
+
+	// --- sensor: modulate and transmit, nothing else. ---
+	sensorConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sensorConn.Close()
+	airAddr := airConn.LocalAddr().(*net.UDPAddr)
+	go func() {
+		for i := 0; i < samples; i++ {
+			s := ds.Test[i]
+			f := &airproto.Frame{ID: uint32(i), Label: int32(s.Label), Data: pipe.Enc.Encode(s.X)}
+			if err := writeFrame(sensorConn, airAddr, f); err != nil {
+				log.Printf("sensor: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond) // pace the loopback link
+		}
+	}()
+
+	<-done
+}

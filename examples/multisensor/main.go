@@ -1,0 +1,40 @@
+// Multi-sensor fusion (Fig 20 of the paper): several sensors share one
+// metasurface by time division; their per-sensor accumulators add before
+// the magnitude readout, so independent sensor noise averages out. The
+// USC-HAD scenario fuses two modalities (accelerometer + gyroscope) and
+// Multi-PIE fuses three camera views.
+//
+//	go run ./examples/multisensor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	metaai "repro"
+)
+
+func main() {
+	for _, name := range metaai.MultiSensorDatasets() {
+		fmt.Printf("== %s ==\n", name)
+		var first float64
+		for sensors := 1; ; sensors++ {
+			pipe, err := metaai.RunFused(name, sensors, metaai.QuickScale, 1)
+			if err != nil {
+				if sensors == 1 {
+					log.Fatal(err)
+				}
+				break // ran out of views
+			}
+			air := pipe.AirAccuracy()
+			if sensors == 1 {
+				first = air
+			}
+			fmt.Printf("  %d sensor(s): %.2f%% over the air (gain %+.2f vs single)\n",
+				sensors, 100*air, 100*(air-first))
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper reference: Multi-PIE 64.58% -> 89.58% with 3 views;")
+	fmt.Println("USC-HAD cross-modality fusion gains up to +27.06%.")
+}

@@ -1,0 +1,98 @@
+package metaai
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fusion"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// RunFused trains and deploys a multi-sensor pipeline over the first
+// `sensors` views of one of the Fig 20 datasets (MultiSensorDatasets()).
+// The sensors share the single metasurface by time division (§3.4): the
+// deployed schedule spans the concatenated symbol streams, and the receiver
+// accumulates across sensors before the magnitude (Eqns 11–12).
+func RunFused(datasetName string, sensors int, scale Scale, seed uint64) (*Pipeline, error) {
+	md, err := dataset.LoadMulti(datasetName, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(datasetName)
+	cfg.Scale = scale
+	cfg.Seed = seed
+	enc := nn.Encoder{Scheme: cfg.Scheme}
+	train, test, err := fusion.EncodeViews(md, sensors, enc)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewFromSets(train, test, cfg)
+}
+
+// FaceCase is the Fig 28 case-study data: ten identities, five deployment
+// backgrounds, CelebA-style supplementary images, and a 20-appearance test
+// phase per volunteer.
+type FaceCase = dataset.FaceCase
+
+// LoadFaceCase generates the case-study data deterministically from seed.
+func LoadFaceCase(seed uint64) *FaceCase { return dataset.LoadFaceCase(seed) }
+
+// RunFaceCase trains and deploys the Fig 28 face-recognition pipeline.
+func RunFaceCase(seed uint64) (*Pipeline, *FaceCase, error) {
+	fc := dataset.LoadFaceCase(seed)
+	cfg := core.DefaultConfig("facecase")
+	cfg.Seed = seed
+	enc := nn.Encoder{Scheme: cfg.Scheme}
+	train := nn.EncodeSet(fc.Train, fc.Classes, enc)
+	test := nn.EncodeSet(fc.Test, fc.Classes, enc)
+	p, err := core.NewFromSets(train, test, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, fc, nil
+}
+
+// ParallelKind selects one of the §3.3 parallelism schemes.
+type ParallelKind string
+
+// The two schemes of Fig 9.
+const (
+	Subcarrier ParallelKind = "subcarrier"
+	Antenna    ParallelKind = "antenna"
+)
+
+// ParallelSystem is a deployed parallel classifier; see Transmissions and
+// AirTime for the latency side of the trade-off.
+type ParallelSystem = parallel.System
+
+// DeployParallel redeploys a trained pipeline's weights under one of the
+// parallelism schemes with the given channel count (Eqns 9–10): channels
+// output classes are computed per transmission instead of one.
+func DeployParallel(p *Pipeline, kind ParallelKind, channels int) (*ParallelSystem, error) {
+	src := rng.New(p.Cfg.Seed ^ 0x9a7a11e1)
+	opts := parallel.NewOptions(src.Split())
+	var plan *parallel.Plan
+	var err error
+	switch kind {
+	case Subcarrier:
+		plan, err = parallel.NewSubcarrierPlan(opts.Surface, mts.DefaultGeometry(), channels, 40e3, src.Split())
+	case Antenna:
+		plan, err = parallel.NewAntennaPlan(opts.Surface, mts.DefaultGeometry(), channels, 0)
+	default:
+		return nil, fmt.Errorf("metaai: unknown parallelism kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Deploy(p.Model.Weights(), plan, opts, src)
+}
+
+// EvaluateParallel returns the parallel system's accuracy on the pipeline's
+// test set.
+func EvaluateParallel(p *Pipeline, sys *ParallelSystem) float64 {
+	return nn.Evaluate(sys, p.Test)
+}

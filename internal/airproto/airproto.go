@@ -1,0 +1,73 @@
+// Package airproto is the little UDP wire protocol the deployment demos
+// speak: fixed little-endian frames carrying complex vectors — modulated
+// symbols on the uplink (sensor → air), per-class accumulators on the
+// downlink (air → edge). One datagram per transmission keeps the protocol
+// as dumb as the commodity IoT transmitters the paper targets.
+//
+// Frame layout (little endian):
+//
+//	uint32  id       sample/transmission identifier
+//	int32   label    ground-truth label for accounting (-1 if unknown)
+//	uint16  n        vector length
+//	n × (float32 re, float32 im)
+package airproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// HeaderLen is the byte length of the fixed frame header.
+const HeaderLen = 10
+
+// MaxVector is the largest vector a single frame can carry (bounded by the
+// uint16 length field and a 64 KiB datagram).
+const MaxVector = (65535 - HeaderLen) / 8
+
+// Frame is one protocol message.
+type Frame struct {
+	ID    uint32
+	Label int32
+	Data  []complex128
+}
+
+// Marshal serializes the frame.
+func (f *Frame) Marshal() ([]byte, error) {
+	if len(f.Data) > MaxVector {
+		return nil, fmt.Errorf("airproto: vector length %d exceeds %d", len(f.Data), MaxVector)
+	}
+	buf := make([]byte, 0, HeaderLen+8*len(f.Data))
+	buf = binary.LittleEndian.AppendUint32(buf, f.ID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Label))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Data)))
+	for _, v := range f.Data {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(real(v))))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(imag(v))))
+	}
+	return buf, nil
+}
+
+// Unmarshal parses one datagram into a frame.
+func Unmarshal(b []byte) (*Frame, error) {
+	if len(b) < HeaderLen {
+		return nil, fmt.Errorf("airproto: short frame (%d bytes)", len(b))
+	}
+	f := &Frame{
+		ID:    binary.LittleEndian.Uint32(b[0:4]),
+		Label: int32(binary.LittleEndian.Uint32(b[4:8])),
+	}
+	n := int(binary.LittleEndian.Uint16(b[8:10]))
+	if len(b) < HeaderLen+8*n {
+		return nil, fmt.Errorf("airproto: truncated frame: %d bytes for n=%d", len(b), n)
+	}
+	f.Data = make([]complex128, n)
+	off := HeaderLen
+	for i := range f.Data {
+		re := math.Float32frombits(binary.LittleEndian.Uint32(b[off : off+4]))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(b[off+4 : off+8]))
+		f.Data[i] = complex(float64(re), float64(im))
+		off += 8
+	}
+	return f, nil
+}

@@ -1,0 +1,111 @@
+package airproto
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	f := &Frame{ID: 42, Label: -1, Data: make([]complex128, 64)}
+	for i := range f.Data {
+		f.Data[i] = src.ComplexNormal(1)
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.Label != -1 || len(got.Data) != 64 {
+		t.Fatalf("header lost: %+v", got)
+	}
+	for i := range f.Data {
+		// float32 wire precision.
+		if cmplx.Abs(got.Data[i]-f.Data[i]) > 1e-6*(1+cmplx.Abs(f.Data[i])) {
+			t.Fatalf("element %d corrupted: %v vs %v", i, got.Data[i], f.Data[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(id uint32, label int32, raw []float64) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		data := make([]complex128, len(raw)/2)
+		for i := range data {
+			re, im := raw[2*i], raw[2*i+1]
+			if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+				return true // skip non-finite inputs
+			}
+			data[i] = complex(float64(float32(re)), float64(float32(im)))
+		}
+		f := &Frame{ID: id, Label: label, Data: data}
+		b, err := f.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil || got.ID != id || got.Label != label || len(got.Data) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got.Data[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("expected error for empty datagram")
+	}
+	if _, err := Unmarshal(make([]byte, 5)); err == nil {
+		t.Error("expected error for short frame")
+	}
+	// Header claims 100 elements but carries none.
+	f := &Frame{ID: 1, Data: make([]complex128, 100)}
+	b, _ := f.Marshal()
+	if _, err := Unmarshal(b[:HeaderLen]); err == nil {
+		t.Error("expected error for truncated payload")
+	}
+}
+
+func TestMarshalRejectsOversize(t *testing.T) {
+	f := &Frame{Data: make([]complex128, MaxVector+1)}
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("expected error for oversized vector")
+	}
+}
+
+func FuzzUnmarshal(f *testing.F) {
+	seed, _ := (&Frame{ID: 7, Label: 3, Data: []complex128{1 + 2i}}).Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		// Accepted frames must re-marshal to a parseable frame.
+		b2, err := fr.Marshal()
+		if err != nil {
+			t.Fatalf("accepted frame failed to marshal: %v", err)
+		}
+		if _, err := Unmarshal(b2); err != nil {
+			t.Fatalf("re-marshaled frame failed to parse: %v", err)
+		}
+	})
+}

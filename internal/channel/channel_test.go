@@ -1,0 +1,228 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := Default()
+	if p.Env != Office || p.FreqGHz != 5.25 || p.TxMTSDist != 1 || p.MTSRxDist != 3 {
+		t.Fatalf("Default() = %+v does not match the paper's §4 setup", p)
+	}
+	if math.Abs(p.SNRdB()-30.0) > 1e-9 {
+		t.Fatalf("default SNR = %v, want reference 30 dB", p.SNRdB())
+	}
+}
+
+func TestSNRDecreasesWithDistance(t *testing.T) {
+	prev := math.Inf(1)
+	for d := 1.0; d <= 22; d += 3 {
+		p := Default()
+		p.MTSRxDist = d
+		snr := p.SNRdB()
+		if snr >= prev {
+			t.Fatalf("SNR not monotone decreasing with distance: %v at %v m", snr, d)
+		}
+		prev = snr
+	}
+}
+
+func TestSNRScalesWithTxPower(t *testing.T) {
+	p := Default()
+	p.TxPowerDB = 30
+	if got := p.SNRdB() - Default().SNRdB(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("10 dB more Tx power changed SNR by %v dB", got)
+	}
+}
+
+func TestWallLoss(t *testing.T) {
+	p := Default()
+	p.Walls = 2
+	if got := Default().SNRdB() - p.SNRdB(); math.Abs(got-2*wallLossDB) > 1e-9 {
+		t.Fatalf("2 walls cost %v dB, want %v", got, 2*wallLossDB)
+	}
+}
+
+func TestNoiseSigma2MatchesSNR(t *testing.T) {
+	p := Default()
+	want := math.Pow(10, -p.SNRdB()/10)
+	if got := p.NoiseSigma2(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("NoiseSigma2 = %v, want %v", got, want)
+	}
+}
+
+func TestFSPLAmplitude(t *testing.T) {
+	p := Default()
+	lambda := SpeedOfLight / 5.25e9
+	want := lambda / (4 * math.Pi * 3)
+	if got := p.FSPLAmplitude(3); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FSPL(3m) = %v, want %v", got, want)
+	}
+	// Clamped near field.
+	if got := p.FSPLAmplitude(0); got != p.FSPLAmplitude(0.1) {
+		t.Fatal("near-field distances must clamp")
+	}
+}
+
+func TestEnvironmentMultipathOrdering(t *testing.T) {
+	// Fig 17: corridor < office < laboratory multipath.
+	if !(Corridor.multipathRel() < Office.multipathRel() && Office.multipathRel() < Laboratory.multipathRel()) {
+		t.Fatal("environment multipath strengths not ordered corridor < office < laboratory")
+	}
+}
+
+func TestAntennaSelectivity(t *testing.T) {
+	if Directional.multipathFactor() >= Omni.multipathFactor() {
+		t.Fatal("directional antenna must suppress multipath relative to omni")
+	}
+	if Directional.String() != "Dire" || Omni.String() != "Omni" {
+		t.Fatal("antenna names must match Fig 17 labels")
+	}
+}
+
+func TestRealizationEnvStaticWithinSymbol(t *testing.T) {
+	m := New(Default())
+	r := m.NewRealization(rng.New(1))
+	a := r.EnvAt(5)
+	for i := 0; i < 10; i++ {
+		if r.EnvAt(5) != a {
+			t.Fatal("EnvAt must be constant within one symbol")
+		}
+	}
+}
+
+func TestRealizationDeterministic(t *testing.T) {
+	m := New(Default())
+	r1 := m.NewRealization(rng.New(9))
+	r2 := m.NewRealization(rng.New(9))
+	for i := 0; i < 20; i++ {
+		if r1.EnvAt(i) != r2.EnvAt(i) {
+			t.Fatalf("realizations diverge at symbol %d", i)
+		}
+	}
+}
+
+func TestInterfererDriftsEnvAcrossSymbols(t *testing.T) {
+	p := Default()
+	p.Interf = RegionR2
+	m := New(p)
+	r := m.NewRealization(rng.New(2))
+	// With an interferer, consecutive-symbol env responses must differ more
+	// on average than the static case.
+	static := New(Default()).NewRealization(rng.New(2))
+	var dDyn, dStat float64
+	prevD, prevS := r.EnvAt(0), static.EnvAt(0)
+	for i := 1; i < 300; i++ {
+		cd, cs := r.EnvAt(i), static.EnvAt(i)
+		dDyn += cmplx.Abs(cd - prevD)
+		dStat += cmplx.Abs(cs - prevS)
+		prevD, prevS = cd, cs
+	}
+	if dDyn <= dStat {
+		t.Fatalf("interferer drift %v not larger than static variation %v", dDyn, dStat)
+	}
+}
+
+func TestRegionR4BlocksMTSPath(t *testing.T) {
+	p := Default()
+	p.Interf = RegionR4
+	m := New(p)
+	r := m.NewRealization(rng.New(3))
+	blocked := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		base := cmplx.Abs(r.mtsScale)
+		if cmplx.Abs(r.MTSScaleAt(i)) < base-1e-12 {
+			blocked++
+		}
+	}
+	frac := float64(blocked) / n
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("R4 blockage fraction = %v, want ≈ 0.30", frac)
+	}
+	// Off-path regions never attenuate the MTS path.
+	p.Interf = RegionR2
+	r2 := New(p).NewRealization(rng.New(4))
+	for i := 0; i < 500; i++ {
+		if math.Abs(cmplx.Abs(r2.MTSScaleAt(i))-1) > 1e-12 {
+			t.Fatal("R2 interferer must not attenuate the MTS path")
+		}
+	}
+}
+
+func TestNLoSHasNoStaticDirectTerm(t *testing.T) {
+	// In the NLoS corner the quasi-static direct component should be much
+	// weaker on average than in LoS environments.
+	var losMag, nlosMag float64
+	const n = 200
+	for i := 0; i < n; i++ {
+		pl := Default()
+		losMag += cmplx.Abs(New(pl).NewRealization(rng.New(uint64(i))).envBase)
+		pn := Default()
+		pn.Env = NLoSCorner
+		nlosMag += cmplx.Abs(New(pn).NewRealization(rng.New(uint64(i))).envBase)
+	}
+	if nlosMag >= losMag*0.7 {
+		t.Fatalf("NLoS static env %v not much weaker than LoS %v", nlosMag/n, losMag/n)
+	}
+}
+
+func TestNoiseMatchesConfiguredVariance(t *testing.T) {
+	p := Default()
+	p.TxPowerDB = 5 // strong noise so the estimate converges fast
+	m := New(p)
+	r := m.NewRealization(rng.New(5))
+	var pw float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		z := r.Noise()
+		pw += real(z)*real(z) + imag(z)*imag(z)
+	}
+	want := p.NoiseSigma2()
+	if math.Abs(pw/n-want) > 0.05*want {
+		t.Fatalf("noise power %v, want %v", pw/n, want)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Corridor.String() != "corridor" || NLoSCorner.String() != "nlos-corner" {
+		t.Error("environment names wrong")
+	}
+	if RegionR4.String() != "R4" || NoInterferer.String() != "none" {
+		t.Error("region names wrong")
+	}
+	if Environment(99).String() == "" || InterferenceRegion(99).String() == "" {
+		t.Error("unknown values must still print")
+	}
+}
+
+func TestDopplerRotatesAcrossSymbols(t *testing.T) {
+	p := Default()
+	p.DopplerHz = 1000 // 1 kHz at 1 Msym/s: 0.36°/symbol
+	m := New(p)
+	r := m.NewRealization(rng.New(20))
+	s0 := r.MTSScaleAt(0)
+	s100 := r.MTSScaleAt(100)
+	// After 100 symbols the phase advanced 2π·1000·100/1e6 = 0.628 rad.
+	rot := s100 / s0
+	want := cmplx.Exp(complex(0, 2*math.Pi*1000*100/1e6))
+	if cmplx.Abs(rot-want) > 1e-9 {
+		t.Fatalf("Doppler rotation after 100 symbols = %v, want %v", rot, want)
+	}
+	// Magnitude is untouched.
+	if math.Abs(cmplx.Abs(s100)-1) > 1e-12 {
+		t.Fatalf("Doppler changed the path magnitude: %v", cmplx.Abs(s100))
+	}
+}
+
+func TestNoDopplerMeansConstantPhase(t *testing.T) {
+	m := New(Default())
+	r := m.NewRealization(rng.New(21))
+	if r.MTSScaleAt(0) != r.MTSScaleAt(500) {
+		t.Fatal("static receiver must see a constant MTS phase")
+	}
+}

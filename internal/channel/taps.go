@@ -1,0 +1,100 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Tap is one discrete multipath component: a complex gain arriving with a
+// given delay in chip-rate samples.
+type Tap struct {
+	DelayChips int
+	Gain       complex128
+}
+
+// TappedDelayLine is a sample-level multipath channel: the received sample
+// at time t is Σ_k gain_k · x[t − delay_k]. It is the waveform-level
+// counterpart of the per-symbol Realization model and exists so the §3.2
+// multipath-cancellation claim can be verified against an actual delay
+// spread rather than a flat environmental coefficient (see package
+// waveform).
+type TappedDelayLine struct {
+	Taps []Tap
+}
+
+// NewTappedDelayLine draws an exponentially-decaying power-delay profile
+// with nTaps components, RMS total magnitude `rms`, and a maximum delay of
+// maxDelayChips samples. Tap 0 always sits at delay 0 (the quasi-LoS
+// environmental component).
+func NewTappedDelayLine(nTaps, maxDelayChips int, rms float64, src *rng.Source) (*TappedDelayLine, error) {
+	if nTaps < 1 {
+		return nil, fmt.Errorf("channel: need at least one tap, got %d", nTaps)
+	}
+	if maxDelayChips < 0 {
+		return nil, fmt.Errorf("channel: negative max delay %d", maxDelayChips)
+	}
+	if nTaps > 1 && maxDelayChips == 0 {
+		return nil, fmt.Errorf("channel: %d taps need a positive delay spread", nTaps)
+	}
+	t := &TappedDelayLine{Taps: make([]Tap, nTaps)}
+	var power float64
+	for k := range t.Taps {
+		delay := 0
+		if nTaps > 1 {
+			delay = k * maxDelayChips / (nTaps - 1)
+		}
+		// Exponential power decay over delay, random phase.
+		amp := 1.0
+		if maxDelayChips > 0 {
+			amp = 1.0 / (1.0 + 2.0*float64(delay)/float64(maxDelayChips+1))
+		}
+		g := src.ComplexNormal(amp * amp)
+		t.Taps[k] = Tap{DelayChips: delay, Gain: g}
+		power += real(g)*real(g) + imag(g)*imag(g)
+	}
+	if power > 0 {
+		scale := complex(rms/math.Sqrt(power), 0)
+		for k := range t.Taps {
+			t.Taps[k].Gain *= scale
+		}
+	}
+	return t, nil
+}
+
+// MaxDelay returns the largest tap delay in chips.
+func (t *TappedDelayLine) MaxDelay() int {
+	max := 0
+	for _, tap := range t.Taps {
+		if tap.DelayChips > max {
+			max = tap.DelayChips
+		}
+	}
+	return max
+}
+
+// Apply convolves the transmitted sample stream with the tap profile,
+// returning a stream of the same length (causal; pre-stream history is
+// zero).
+func (t *TappedDelayLine) Apply(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for _, tap := range t.Taps {
+		if tap.Gain == 0 {
+			continue
+		}
+		for i := tap.DelayChips; i < len(x); i++ {
+			out[i] += tap.Gain * x[i-tap.DelayChips]
+		}
+	}
+	return out
+}
+
+// TotalPower returns Σ|gain|².
+func (t *TappedDelayLine) TotalPower() float64 {
+	var p float64
+	for _, tap := range t.Taps {
+		p += real(tap.Gain)*real(tap.Gain) + imag(tap.Gain)*imag(tap.Gain)
+	}
+	return p
+}

@@ -1,0 +1,90 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewTappedDelayLineValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := NewTappedDelayLine(0, 2, 1, src); err == nil {
+		t.Error("expected error for zero taps")
+	}
+	if _, err := NewTappedDelayLine(2, -1, 1, src); err == nil {
+		t.Error("expected error for negative delay")
+	}
+	if _, err := NewTappedDelayLine(3, 0, 1, src); err == nil {
+		t.Error("expected error for multi-tap zero spread")
+	}
+}
+
+func TestTappedDelayLineNormalization(t *testing.T) {
+	src := rng.New(2)
+	tdl, err := NewTappedDelayLine(4, 6, 2.5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Sqrt(tdl.TotalPower()); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("RMS magnitude %v, want 2.5", got)
+	}
+	if tdl.MaxDelay() != 6 {
+		t.Fatalf("max delay %d, want 6", tdl.MaxDelay())
+	}
+	if tdl.Taps[0].DelayChips != 0 {
+		t.Fatal("first tap must sit at delay 0")
+	}
+}
+
+func TestApplyImpulseResponse(t *testing.T) {
+	tdl := &TappedDelayLine{Taps: []Tap{
+		{DelayChips: 0, Gain: 1},
+		{DelayChips: 2, Gain: 0.5i},
+	}}
+	x := make([]complex128, 6)
+	x[0] = 1
+	y := tdl.Apply(x)
+	want := []complex128{1, 0, 0.5i, 0, 0, 0}
+	for i := range want {
+		if cmplx.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("impulse response = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestApplyLinearity(t *testing.T) {
+	src := rng.New(3)
+	tdl, _ := NewTappedDelayLine(3, 4, 1, src)
+	a := make([]complex128, 20)
+	b := make([]complex128, 20)
+	for i := range a {
+		a[i] = src.ComplexNormal(1)
+		b[i] = src.ComplexNormal(1)
+	}
+	sum := make([]complex128, 20)
+	for i := range sum {
+		sum[i] = a[i] + 2i*b[i]
+	}
+	ya, yb, ys := tdl.Apply(a), tdl.Apply(b), tdl.Apply(sum)
+	for i := range ys {
+		if cmplx.Abs(ys[i]-(ya[i]+2i*yb[i])) > 1e-9 {
+			t.Fatal("tapped delay line is not linear")
+		}
+	}
+}
+
+func TestApplyCausal(t *testing.T) {
+	tdl := &TappedDelayLine{Taps: []Tap{{DelayChips: 3, Gain: 1}}}
+	x := []complex128{1, 2, 3, 4, 5}
+	y := tdl.Apply(x)
+	for i := 0; i < 3; i++ {
+		if y[i] != 0 {
+			t.Fatalf("non-causal output at %d: %v", i, y)
+		}
+	}
+	if y[3] != 1 || y[4] != 2 {
+		t.Fatalf("delayed output wrong: %v", y)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cplx"
+	"repro/internal/mts"
+	"repro/internal/nn"
+)
+
+// Artifact is the serializable deployment record: everything an MTS
+// controller and an edge server need to operate a trained pipeline — the
+// desired complex weights, the solved per-symbol 2-bit configurations, and
+// the calibration metadata. It round-trips through JSON.
+type Artifact struct {
+	Dataset       string  `json:"dataset"`
+	Scheme        string  `json:"scheme"`
+	Classes       int     `json:"classes"`
+	InputSymbols  int     `json:"input_symbols"`
+	SimAccuracy   float64 `json:"sim_accuracy"`
+	AirAccuracy   float64 `json:"air_accuracy"`
+	EstRxAngleDeg float64 `json:"est_rx_angle_deg"`
+	Gamma         float64 `json:"weight_scale_gamma"`
+	// WeightsReIm holds the trained H_des row-major as [re, im] pairs.
+	WeightsReIm [][2]float64 `json:"weights_re_im"`
+	// Schedule[r][i] is the per-output per-symbol configuration, each atom's
+	// 2-bit state as a digit '0'-'3'.
+	Schedule [][]string `json:"schedule"`
+}
+
+// BuildArtifact captures a pipeline's deployment.
+func (p *Pipeline) BuildArtifact() *Artifact {
+	a := &Artifact{
+		Dataset:       p.Cfg.Dataset,
+		Scheme:        p.Cfg.Scheme.String(),
+		Classes:       p.Train.Classes,
+		InputSymbols:  p.Train.U,
+		SimAccuracy:   p.SimAccuracy(),
+		AirAccuracy:   p.AirAccuracy(),
+		EstRxAngleDeg: p.System.EstRxAngleDeg,
+		Gamma:         p.System.Gamma,
+	}
+	for _, v := range p.Model.Weights().Data {
+		a.WeightsReIm = append(a.WeightsReIm, [2]float64{real(v), imag(v)})
+	}
+	for _, row := range p.System.Schedule {
+		cfgs := make([]string, len(row))
+		for i, cfg := range row {
+			b := make([]byte, len(cfg))
+			for j, st := range cfg {
+				b[j] = '0' + st
+			}
+			cfgs[i] = string(b)
+		}
+		a.Schedule = append(a.Schedule, cfgs)
+	}
+	return a
+}
+
+// WriteJSON serializes the artifact.
+func (a *Artifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(a)
+}
+
+// ReadArtifact deserializes an artifact and validates its shape.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("core: decoding artifact: %w", err)
+	}
+	if a.Classes <= 0 || a.InputSymbols <= 0 {
+		return nil, fmt.Errorf("core: artifact has invalid dimensions %d×%d", a.Classes, a.InputSymbols)
+	}
+	if len(a.WeightsReIm) != a.Classes*a.InputSymbols {
+		return nil, fmt.Errorf("core: artifact carries %d weights for a %d×%d network",
+			len(a.WeightsReIm), a.Classes, a.InputSymbols)
+	}
+	if len(a.Schedule) != a.Classes {
+		return nil, fmt.Errorf("core: artifact schedule has %d outputs, want %d", len(a.Schedule), a.Classes)
+	}
+	for r, row := range a.Schedule {
+		if len(row) != a.InputSymbols {
+			return nil, fmt.Errorf("core: schedule row %d has %d configs, want %d", r, len(row), a.InputSymbols)
+		}
+	}
+	return &a, nil
+}
+
+// Weights reconstructs the desired weight matrix.
+func (a *Artifact) Weights() *cplx.Mat {
+	m := cplx.NewMat(a.Classes, a.InputSymbols)
+	for i, p := range a.WeightsReIm {
+		m.Data[i] = complex(p[0], p[1])
+	}
+	return m
+}
+
+// Configs reconstructs the MTS configurations.
+func (a *Artifact) Configs() ([][]mts.Config, error) {
+	out := make([][]mts.Config, len(a.Schedule))
+	for r, row := range a.Schedule {
+		out[r] = make([]mts.Config, len(row))
+		for i, s := range row {
+			cfg := make(mts.Config, len(s))
+			for j := 0; j < len(s); j++ {
+				st := s[j] - '0'
+				if st > 3 {
+					return nil, fmt.Errorf("core: schedule (%d,%d) has invalid state %q", r, i, s[j])
+				}
+				cfg[j] = st
+			}
+			out[r][i] = cfg
+		}
+	}
+	return out, nil
+}
+
+// DigitalTwin builds an LNN carrying the artifact's weights — the server's
+// reference model for monitoring a deployed system.
+func (a *Artifact) DigitalTwin() *nn.ComplexLNN {
+	m := nn.NewComplexLNN(a.Classes, a.InputSymbols)
+	copy(m.W.Val, a.Weights().Data)
+	return m
+}

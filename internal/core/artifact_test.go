@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func builtPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	cfg := DefaultConfig("afhq")
+	cfg.Train.Epochs = 15
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	p := builtPipeline(t)
+	a := p.BuildArtifact()
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dataset != "afhq" || back.Classes != 3 || back.InputSymbols != p.Train.U {
+		t.Fatalf("round trip lost metadata: %+v", back)
+	}
+	// Weights survive bit-for-bit at JSON float precision.
+	w := back.Weights()
+	orig := p.Model.Weights()
+	for i := range w.Data {
+		if w.Data[i] != orig.Data[i] {
+			t.Fatal("weights changed through serialization")
+		}
+	}
+	// Schedule decodes to the deployed configurations.
+	cfgs, err := back.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range cfgs {
+		for i := range cfgs[r] {
+			for j := range cfgs[r][i] {
+				if cfgs[r][i][j] != p.System.Schedule[r][i][j] {
+					t.Fatal("schedule changed through serialization")
+				}
+			}
+		}
+	}
+}
+
+func TestArtifactDigitalTwinAgrees(t *testing.T) {
+	p := builtPipeline(t)
+	a := p.BuildArtifact()
+	twin := a.DigitalTwin()
+	for _, x := range p.Test.X[:40] {
+		if twin.Predict(x) != p.Model.Predict(x) {
+			t.Fatal("digital twin disagrees with the trained model")
+		}
+	}
+}
+
+func TestReadArtifactValidation(t *testing.T) {
+	if _, err := ReadArtifact(strings.NewReader("{not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := ReadArtifact(strings.NewReader(`{"classes":0,"input_symbols":4}`)); err == nil {
+		t.Error("expected dimension error")
+	}
+	if _, err := ReadArtifact(strings.NewReader(`{"classes":2,"input_symbols":1,"weights_re_im":[[0,0]],"schedule":[]}`)); err == nil {
+		t.Error("expected weight-count error")
+	}
+	// Invalid state digit.
+	bad := `{"classes":1,"input_symbols":1,"weights_re_im":[[1,0]],"schedule":[["9"]]}`
+	a, err := ReadArtifact(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Configs(); err == nil {
+		t.Error("expected invalid-state error")
+	}
+}

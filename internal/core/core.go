@@ -1,0 +1,247 @@
+// Package core assembles the full MetaAI pipeline of the paper: encode a
+// sensor sample into modulated symbols (§2.2), train the complex-valued
+// single-layer network digitally (§3.1) — optionally with CDFA's
+// synchronization-error injector (§3.5.1) and the system-noise alleviation
+// scheme (§3.5.2) — solve the metasurface weight schedules (§3.2), and run
+// inference over the simulated wireless channel (Eqn 3).
+//
+// The package distinguishes the paper's two measurement modes: the
+// "simulation" accuracy of the digital model, and the "prototype" accuracy
+// of the deployed over-the-air system with every hardware impairment
+// enabled (Table 1 reports both).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/autodiff"
+	"repro/internal/clocksync"
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/nn"
+	"repro/internal/noisetrain"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+// SyncMode selects the clock-synchronization configuration (§3.5.1).
+type SyncMode int
+
+const (
+	// SyncPerfect assumes a shared clock (the idealized upper bound).
+	SyncPerfect SyncMode = iota
+	// SyncNone plays the schedule from a random position — Fig 16's
+	// "without sync scheme" baseline.
+	SyncNone
+	// SyncCoarse uses only the envelope detector: Gamma-distributed
+	// residual offsets, plainly trained weights.
+	SyncCoarse
+	// SyncCDFA uses the detector plus the fine-grained-adjustment training
+	// injector — the full scheme.
+	SyncCDFA
+)
+
+// String names the mode as in Fig 16.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncPerfect:
+		return "perfect"
+	case SyncNone:
+		return "none"
+	case SyncCoarse:
+		return "CD"
+	case SyncCDFA:
+		return "CDFA"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// Config assembles one end-to-end MetaAI run.
+type Config struct {
+	// Dataset names one of the Table 1 tasks (dataset.Names()). Ignored by
+	// NewFromSets.
+	Dataset string
+	// Scale selects Quick or Full data sizes.
+	Scale dataset.Scale
+	// Scheme is the modulation (§4 default: 256-QAM).
+	Scheme modem.Scheme
+	// Train carries the §4 recipe; zero values use the paper's defaults.
+	Train nn.TrainConfig
+	// Air configures the physical deployment. A zero Surface means
+	// ota.NewOptions defaults.
+	Air ota.Options
+	// Sync selects the synchronization configuration.
+	Sync SyncMode
+	// Detector parameterizes coarse detection; zero value means the Fig 12
+	// defaults.
+	Detector clocksync.CoarseDetector
+	// NoiseAware, when non-nil, trains with the §3.5.2 alleviation scheme.
+	NoiseAware *noisetrain.Config
+	// Seed drives every stochastic component.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's default setup for a dataset: 256-QAM,
+// office environment, CDFA sync, prototype surface.
+func DefaultConfig(datasetName string) Config {
+	return Config{
+		Dataset: datasetName,
+		Scale:   dataset.Quick,
+		Scheme:  modem.QAM256,
+		Sync:    SyncCDFA,
+		Seed:    1,
+	}
+}
+
+// Pipeline is a fully assembled MetaAI system.
+type Pipeline struct {
+	Cfg   Config
+	Enc   nn.Encoder
+	Train *nn.EncodedSet
+	Test  *nn.EncodedSet
+	// Model is the digitally trained network (the "simulation model").
+	Model *nn.ComplexLNN
+	// System is the deployed over-the-air classifier (the "prototype
+	// model").
+	System *ota.System
+}
+
+// New loads the configured dataset, trains, and deploys.
+func New(cfg Config) (*Pipeline, error) {
+	ds, err := dataset.Load(cfg.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	enc := nn.Encoder{Scheme: cfg.Scheme}
+	train := nn.EncodeSet(ds.Train, ds.Classes, enc)
+	test := nn.EncodeSet(ds.Test, ds.Classes, enc)
+	return NewFromSets(train, test, cfg)
+}
+
+// NewFromSets builds the pipeline from pre-encoded train/test sets (used by
+// the multi-sensor fusion and face-case experiments).
+func NewFromSets(train, test *nn.EncodedSet, cfg Config) (*Pipeline, error) {
+	if len(train.X) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	p := &Pipeline{Cfg: cfg, Enc: nn.Encoder{Scheme: cfg.Scheme}, Train: train, Test: test}
+	det := cfg.Detector
+	if det.Shape == 0 {
+		// Default detector severity is scaled to the stream length so the
+		// CDFA injector costs the same relative capacity as in the paper's
+		// 784-symbol streams (see clocksync.ScaledDetector).
+		det = clocksync.ScaledDetector(train.U)
+	}
+
+	// Training-side configuration.
+	tc := cfg.Train
+	if tc.Seed == 0 {
+		tc.Seed = cfg.Seed
+	}
+	symRate := cfg.Air.SymbolRateHz
+	if symRate == 0 {
+		symRate = 1e6
+	}
+	if cfg.Sync == SyncCDFA {
+		tc.InputAug = chainAug(tc.InputAug, clocksync.Injector(det, symRate))
+	}
+	if cfg.NoiseAware != nil {
+		p.Model = noisetrain.Train(train, tc, *cfg.NoiseAware)
+	} else {
+		p.Model = nn.TrainLNN(train, tc)
+	}
+
+	// Deployment-side configuration.
+	src := rng.New(cfg.Seed ^ 0xa17)
+	air := fillAir(cfg.Air, ota.NewOptions(src.Split()))
+	switch cfg.Sync {
+	case SyncNone:
+		air.SyncSampler = clocksync.NoSyncSampler(train.U)
+	case SyncCoarse, SyncCDFA:
+		air.SyncSampler = clocksync.CoarseSampler(det, air.SymbolRateHz)
+	case SyncPerfect:
+		air.SyncSampler = nil
+	}
+	sys, err := ota.Deploy(p.Model.Weights(), air, src)
+	if err != nil {
+		return nil, err
+	}
+	p.System = sys
+	return p, nil
+}
+
+// fillAir overlays defaults onto a partially specified Options: any field
+// left at its zero value takes the default.
+func fillAir(air, def ota.Options) ota.Options {
+	if air.Surface == nil {
+		air.Surface = def.Surface
+	}
+	if air.Geometry == (ota.Options{}).Geometry {
+		air.Geometry = def.Geometry
+	}
+	if air.Controller == (ota.Options{}).Controller {
+		air.Controller = def.Controller
+	}
+	if air.Channel == (ota.Options{}).Channel {
+		air.Channel = def.Channel
+	}
+	switch {
+	case air.SubSamples == 0:
+		air.SubSamples = def.SubSamples
+	case air.SubSamples < 0:
+		// Explicitly disabled multipath cancellation.
+		air.SubSamples = 0
+	}
+	if air.TargetScale == 0 {
+		air.TargetScale = def.TargetScale
+	}
+	if air.BeamScanStepDeg == 0 {
+		air.BeamScanStepDeg = def.BeamScanStepDeg
+	}
+	if air.JitterStd == 0 {
+		air.JitterStd = def.JitterStd
+	}
+	if air.SymbolRateHz == 0 {
+		air.SymbolRateHz = def.SymbolRateHz
+	}
+	return air
+}
+
+func chainAug(a, b nn.InputAugmenter) nn.InputAugmenter {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(x []complex128, src *rng.Source) []complex128 {
+		return b(a(x, src), src)
+	}
+}
+
+// SimAccuracy returns the digital model's test accuracy — the paper's
+// "Simulation" column.
+func (p *Pipeline) SimAccuracy() float64 {
+	return nn.Evaluate(p.Model, p.Test)
+}
+
+// AirAccuracy returns the deployed system's over-the-air test accuracy —
+// the paper's "Prototype" column.
+func (p *Pipeline) AirAccuracy() float64 {
+	return nn.Evaluate(p.System, p.Test)
+}
+
+// Infer classifies one raw sample end to end over the air, returning the
+// predicted class and the per-class probabilities.
+func (p *Pipeline) Infer(x []float64) (int, []float64) {
+	enc := p.Enc.Encode(x)
+	logits := p.System.Logits(enc)
+	probs := autodiff.Softmax(logits)
+	best, arg := -1.0, 0
+	for i, v := range probs {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return arg, probs
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/nn"
+	"repro/internal/noisetrain"
+)
+
+func TestDefaultConfigRunsEndToEnd(t *testing.T) {
+	cfg := DefaultConfig("mnist")
+	cfg.Train.Epochs = 30
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := p.SimAccuracy()
+	air := p.AirAccuracy()
+	if sim < 0.8 {
+		t.Fatalf("simulation accuracy %.3f below band", sim)
+	}
+	if air < sim-0.10 {
+		t.Fatalf("prototype accuracy %.3f too far below simulation %.3f", air, sim)
+	}
+}
+
+func TestUnknownDatasetErrors(t *testing.T) {
+	if _, err := New(DefaultConfig("nope")); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestEmptySetsError(t *testing.T) {
+	cfg := DefaultConfig("mnist")
+	empty := &nn.EncodedSet{Classes: 2}
+	if _, err := NewFromSets(empty, empty, cfg); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+}
+
+func TestSyncModeStrings(t *testing.T) {
+	want := map[SyncMode]string{SyncPerfect: "perfect", SyncNone: "none", SyncCoarse: "CD", SyncCDFA: "CDFA"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+	if SyncMode(42).String() == "" {
+		t.Error("unknown mode must still print")
+	}
+}
+
+func TestInferReturnsDistribution(t *testing.T) {
+	cfg := DefaultConfig("afhq")
+	cfg.Train.Epochs = 15
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.MustLoad("afhq", dataset.Quick, cfg.Seed)
+	class, probs := p.Infer(ds.Test[0].X)
+	if class < 0 || class >= 3 || len(probs) != 3 {
+		t.Fatalf("Infer = %d, %v", class, probs)
+	}
+	var sum float64
+	for _, v := range probs {
+		if v < 0 {
+			t.Fatalf("negative probability %v", v)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestSyncModesOrdering(t *testing.T) {
+	// Fig 16 end to end through the core package: none < CD < CDFA.
+	accs := map[SyncMode]float64{}
+	for _, mode := range []SyncMode{SyncNone, SyncCoarse, SyncCDFA} {
+		cfg := DefaultConfig("mnist")
+		cfg.Train.Epochs = 30
+		cfg.Sync = mode
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[mode] = p.AirAccuracy()
+	}
+	if !(accs[SyncNone] < accs[SyncCoarse] && accs[SyncCoarse] < accs[SyncCDFA]) {
+		t.Fatalf("sync ordering broken: %v", accs)
+	}
+}
+
+func TestNoiseAwareConfigWorks(t *testing.T) {
+	cfg := DefaultConfig("afhq")
+	cfg.Train.Epochs = 15
+	nc := noisetrain.DefaultConfig()
+	cfg.NoiseAware = &nc
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SimAccuracy() < 0.6 {
+		t.Fatalf("noise-aware pipeline accuracy %.3f", p.SimAccuracy())
+	}
+}
+
+func TestAirOverrides(t *testing.T) {
+	cfg := DefaultConfig("afhq")
+	cfg.Train.Epochs = 15
+	cfg.Air.Channel = channel.Default()
+	cfg.Air.Channel.Env = channel.Corridor
+	cfg.Air.SubSamples = -1 // explicitly disable cancellation
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corridor without cancellation still works reasonably (low multipath).
+	if p.AirAccuracy() < 0.5 {
+		t.Fatalf("corridor no-cancellation accuracy %.3f", p.AirAccuracy())
+	}
+}
+
+func TestModulationSchemesAllRun(t *testing.T) {
+	// Fig 23's sweep must be expressible through the config.
+	for _, s := range []modem.Scheme{modem.BPSK, modem.QAM16} {
+		cfg := DefaultConfig("afhq")
+		cfg.Scheme = s
+		cfg.Train.Epochs = 10
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if p.Train.U != nnInputLen(s) {
+			t.Fatalf("%v: U = %d", s, p.Train.U)
+		}
+	}
+}
+
+func nnInputLen(s modem.Scheme) int {
+	switch s {
+	case modem.BPSK:
+		return 512
+	case modem.QAM16:
+		return 128
+	}
+	return 64
+}

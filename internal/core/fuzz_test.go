@@ -1,0 +1,41 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadArtifact hardens the deployment-artifact parser against arbitrary
+// input: it must either error cleanly or return a structurally valid
+// artifact — never panic, never accept inconsistent dimensions.
+func FuzzReadArtifact(f *testing.F) {
+	f.Add(`{"classes":1,"input_symbols":1,"weights_re_im":[[1,0]],"schedule":[["0123"]]}`)
+	f.Add(`{"classes":2,"input_symbols":1}`)
+	f.Add(`not json at all`)
+	f.Add(`{"classes":-3,"input_symbols":9}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ReadArtifact(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Accepted artifacts must satisfy the documented invariants.
+		if a.Classes <= 0 || a.InputSymbols <= 0 {
+			t.Fatalf("accepted artifact with dims %d×%d", a.Classes, a.InputSymbols)
+		}
+		if len(a.WeightsReIm) != a.Classes*a.InputSymbols {
+			t.Fatal("accepted artifact with inconsistent weight count")
+		}
+		if len(a.Schedule) != a.Classes {
+			t.Fatal("accepted artifact with inconsistent schedule")
+		}
+		// And they must round-trip.
+		var buf bytes.Buffer
+		if err := a.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadArtifact(&buf); err != nil {
+			t.Fatalf("accepted artifact failed to round trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Package cplx is the complex linear-algebra substrate shared by the neural
+// network, metasurface, and over-the-air computing packages. RF baseband
+// signals and metasurface channel responses are inherently complex-valued
+// (amplitude + phase), so every weight, symbol, and channel coefficient in
+// the system is a complex128.
+//
+// The package provides dense row-major matrices, vectors, and the handful of
+// operations the pipeline is built from: matrix-vector products (the LNN
+// forward pass, Eqn 1 of the paper), inner products (the receiver's
+// accumulation, Eqn 3), and phase/magnitude utilities used by the
+// metasurface configuration solver.
+package cplx
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Vec is a dense complex vector.
+type Vec []complex128
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add accumulates w into v element-wise. It panics if lengths differ.
+func (v Vec) Add(w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("cplx: Add length mismatch %d != %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Scale multiplies every element of v by c.
+func (v Vec) Scale(c complex128) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// Dot returns the unconjugated dot product Σ v[i]·w[i]. This is the receiver
+// accumulation of Eqn 3 (channel response times transmitted symbol), not a
+// Hermitian inner product.
+func (v Vec) Dot(w Vec) complex128 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("cplx: Dot length mismatch %d != %d", len(v), len(w)))
+	}
+	var sum complex128
+	for i := range v {
+		sum += v[i] * w[i]
+	}
+	return sum
+}
+
+// HermDot returns the Hermitian inner product Σ conj(v[i])·w[i].
+func (v Vec) HermDot(w Vec) complex128 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("cplx: HermDot length mismatch %d != %d", len(v), len(w)))
+	}
+	var sum complex128
+	for i := range v {
+		sum += cmplx.Conj(v[i]) * w[i]
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm sqrt(Σ |v[i]|²).
+func (v Vec) Norm() float64 {
+	var s float64
+	for _, c := range v {
+		s += real(c)*real(c) + imag(c)*imag(c)
+	}
+	return math.Sqrt(s)
+}
+
+// Abs returns the element-wise magnitudes |v[i]| as a real slice.
+func (v Vec) Abs() []float64 {
+	out := make([]float64, len(v))
+	for i, c := range v {
+		out[i] = cmplx.Abs(c)
+	}
+	return out
+}
+
+// MaxAbs returns the largest element magnitude, or 0 for an empty vector.
+func (v Vec) MaxAbs() float64 {
+	var m float64
+	for _, c := range v {
+		if a := cmplx.Abs(c); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Mat is a dense row-major complex matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMat returns a zero Rows×Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("cplx: negative matrix dimension")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns the element at row r, column c.
+func (m *Mat) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Mat) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a Vec sharing the matrix's storage.
+func (m *Mat) Row(r int) Vec { return Vec(m.Data[r*m.Cols : (r+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes m·x, the LNN forward pass Y = WX of Eqn 1.
+func (m *Mat) MulVec(x Vec) Vec {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("cplx: MulVec dimension mismatch cols=%d len(x)=%d", m.Cols, len(x)))
+	}
+	out := make(Vec, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var sum complex128
+		for c, w := range row {
+			sum += w * x[c]
+		}
+		out[r] = sum
+	}
+	return out
+}
+
+// MulVecTo computes m·x into dst (len dst == Rows), avoiding allocation on
+// hot paths such as per-batch training.
+func (m *Mat) MulVecTo(dst, x Vec) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("cplx: MulVecTo dimension mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var sum complex128
+		for c, w := range row {
+			sum += w * x[c]
+		}
+		dst[r] = sum
+	}
+}
+
+// Mul returns the matrix product m·n.
+func (m *Mat) Mul(n *Mat) *Mat {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("cplx: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := NewMat(m.Rows, n.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[r*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			nrow := n.Data[k*n.Cols : (k+1)*n.Cols]
+			orow := out.Data[r*n.Cols : (r+1)*n.Cols]
+			for c, b := range nrow {
+				orow[c] += a * b
+			}
+		}
+	}
+	return out
+}
+
+// MaxAbs returns the largest element magnitude in the matrix.
+func (m *Mat) MaxAbs() float64 { return Vec(m.Data).MaxAbs() }
+
+// FrobeniusNorm returns the Frobenius norm of the matrix.
+func (m *Mat) FrobeniusNorm() float64 { return Vec(m.Data).Norm() }
+
+// Expi returns e^{jθ}.
+func Expi(theta float64) complex128 {
+	s, c := math.Sincos(theta)
+	return complex(c, s)
+}
+
+// WrapPhase reduces θ to the interval [0, 2π).
+func WrapPhase(theta float64) float64 {
+	t := math.Mod(theta, 2*math.Pi)
+	if t < 0 {
+		t += 2 * math.Pi
+	}
+	return t
+}
+
+// PhaseDistance returns the absolute angular distance between two phases in
+// [0, π]. The metasurface config solver uses it to pick the discrete state
+// closest to a target phase.
+func PhaseDistance(a, b float64) float64 {
+	d := math.Abs(WrapPhase(a) - WrapPhase(b))
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}
+
+// Argmax returns the index of the largest value in xs (first on ties), or -1
+// for an empty slice. Classification decisions (Eqn 3's "largest |y_r| wins")
+// use it throughout.
+func Argmax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best, arg := xs[0], 0
+	for i, x := range xs[1:] {
+		if x > best {
+			best, arg = x, i+1
+		}
+	}
+	return arg
+}

@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file lets the repository run on the real datasets when they are
+// available: MNIST and Fashion-MNIST ship in the IDX format (the
+// train-images-idx3-ubyte / train-labels-idx1-ubyte files from
+// yann.lecun.com / the fashion-mnist release). Images are box-downsampled
+// to the pipeline's working resolution. Offline environments fall back to
+// the synthetic generators; nothing else in the repository changes.
+
+// idx magic: 0x00 0x00 <type> <ndims>; type 0x08 = unsigned byte.
+const idxUByte = 0x08
+
+// readIDX parses an IDX stream (optionally gzipped by the caller) into its
+// dimensions and flat payload.
+func readIDX(r io.Reader) ([]int, []byte, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading IDX magic: %w", err)
+	}
+	if magic[0] != 0 || magic[1] != 0 {
+		return nil, nil, fmt.Errorf("dataset: bad IDX magic % x", magic)
+	}
+	if magic[2] != idxUByte {
+		return nil, nil, fmt.Errorf("dataset: unsupported IDX element type 0x%02x", magic[2])
+	}
+	ndims := int(magic[3])
+	if ndims < 1 || ndims > 3 {
+		return nil, nil, fmt.Errorf("dataset: unsupported IDX rank %d", ndims)
+	}
+	dims := make([]int, ndims)
+	total := 1
+	for i := range dims {
+		var d uint32
+		if err := binary.Read(br, binary.BigEndian, &d); err != nil {
+			return nil, nil, fmt.Errorf("dataset: reading IDX dims: %w", err)
+		}
+		dims[i] = int(d)
+		if dims[i] <= 0 || total > math.MaxInt32/dims[i] {
+			return nil, nil, fmt.Errorf("dataset: implausible IDX dimension %d", dims[i])
+		}
+		total *= dims[i]
+	}
+	data := make([]byte, total)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading IDX payload: %w", err)
+	}
+	return dims, data, nil
+}
+
+// openMaybeGzip opens a file, transparently ungzipping .gz paths.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &gzipCloser{gz: gz, f: f}, nil
+	}
+	return f, nil
+}
+
+type gzipCloser struct {
+	gz *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipCloser) Read(p []byte) (int, error) { return g.gz.Read(p) }
+func (g *gzipCloser) Close() error {
+	g.gz.Close()
+	return g.f.Close()
+}
+
+// boxDownsample shrinks a rows×cols uint8 image to side×side by box
+// averaging, returning [0,1] features.
+func boxDownsample(img []byte, rows, cols, side int) []float64 {
+	out := make([]float64, side*side)
+	for oy := 0; oy < side; oy++ {
+		y0, y1 := oy*rows/side, (oy+1)*rows/side
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		for ox := 0; ox < side; ox++ {
+			x0, x1 := ox*cols/side, (ox+1)*cols/side
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			var sum, n float64
+			for y := y0; y < y1 && y < rows; y++ {
+				for x := x0; x < x1 && x < cols; x++ {
+					sum += float64(img[y*cols+x])
+					n++
+				}
+			}
+			out[oy*side+ox] = sum / (n * 255)
+		}
+	}
+	return out
+}
+
+// LoadIDXPair reads an images/labels IDX file pair (optionally .gz) into
+// samples at the given working resolution.
+func LoadIDXPair(imagesPath, labelsPath string, side int) ([]Sample, error) {
+	ir, err := openMaybeGzip(imagesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ir.Close()
+	idims, imgs, err := readIDX(ir)
+	if err != nil {
+		return nil, err
+	}
+	if len(idims) != 3 {
+		return nil, fmt.Errorf("dataset: %s is rank %d, want rank-3 images", imagesPath, len(idims))
+	}
+	lr, err := openMaybeGzip(labelsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lr.Close()
+	ldims, labels, err := readIDX(lr)
+	if err != nil {
+		return nil, err
+	}
+	if len(ldims) != 1 {
+		return nil, fmt.Errorf("dataset: %s is rank %d, want rank-1 labels", labelsPath, len(ldims))
+	}
+	n, rows, cols := idims[0], idims[1], idims[2]
+	if ldims[0] != n {
+		return nil, fmt.Errorf("dataset: %d images but %d labels", n, ldims[0])
+	}
+	if side <= 0 {
+		side = 8
+	}
+	out := make([]Sample, n)
+	for i := 0; i < n; i++ {
+		img := imgs[i*rows*cols : (i+1)*rows*cols]
+		out[i] = Sample{X: boxDownsample(img, rows, cols, side), Label: int(labels[i])}
+	}
+	return out, nil
+}
+
+// idxFileNames are the conventional MNIST/Fashion-MNIST file names searched
+// under a directory (plain or gzipped).
+var idxFileNames = [4]string{
+	"train-images-idx3-ubyte",
+	"train-labels-idx1-ubyte",
+	"t10k-images-idx3-ubyte",
+	"t10k-labels-idx1-ubyte",
+}
+
+// LoadIDXDir loads a full dataset from a directory holding the four
+// conventional MNIST-layout files (optionally gzipped), downsampled to the
+// pipeline's 8×8 working resolution. The returned dataset slots directly
+// into the rest of the pipeline in place of a synthetic one.
+func LoadIDXDir(dir, name string, classes int) (*Dataset, error) {
+	find := func(base string) (string, error) {
+		for _, cand := range []string{base, base + ".gz"} {
+			p := filepath.Join(dir, cand)
+			if _, err := os.Stat(p); err == nil {
+				return p, nil
+			}
+		}
+		return "", fmt.Errorf("dataset: %s(.gz) not found under %s", base, dir)
+	}
+	paths := make([]string, 4)
+	for i, base := range idxFileNames {
+		p, err := find(base)
+		if err != nil {
+			return nil, err
+		}
+		paths[i] = p
+	}
+	const side = 8
+	train, err := LoadIDXPair(paths[0], paths[1], side)
+	if err != nil {
+		return nil, err
+	}
+	test, err := LoadIDXPair(paths[2], paths[3], side)
+	if err != nil {
+		return nil, err
+	}
+	if classes <= 0 {
+		classes = 10
+	}
+	return &Dataset{
+		Name:    name,
+		Classes: classes,
+		Dim:     side * side,
+		Side:    side,
+		Train:   train,
+		Test:    test,
+	}, nil
+}

@@ -1,0 +1,188 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeIDXImages serializes n rows×cols images in IDX3 format.
+func writeIDXImages(n, rows, cols int, pix func(i, y, x int) byte) []byte {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, idxUByte, 3})
+	binary.Write(&buf, binary.BigEndian, uint32(n))
+	binary.Write(&buf, binary.BigEndian, uint32(rows))
+	binary.Write(&buf, binary.BigEndian, uint32(cols))
+	for i := 0; i < n; i++ {
+		for y := 0; y < rows; y++ {
+			for x := 0; x < cols; x++ {
+				buf.WriteByte(pix(i, y, x))
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+func writeIDXLabels(labels []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, idxUByte, 1})
+	binary.Write(&buf, binary.BigEndian, uint32(len(labels)))
+	buf.Write(labels)
+	return buf.Bytes()
+}
+
+func TestReadIDXRoundTrip(t *testing.T) {
+	raw := writeIDXImages(2, 4, 4, func(i, y, x int) byte { return byte(i*16 + y*4 + x) })
+	dims, data, err := readIDX(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0] != 2 || dims[1] != 4 || dims[2] != 4 {
+		t.Fatalf("dims = %v", dims)
+	}
+	if data[0] != 0 || data[31] != 31 {
+		t.Fatalf("payload corrupted: %v", data[:8])
+	}
+}
+
+func TestReadIDXRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                      // empty
+		{1, 2, 3, 4},            // bad magic
+		{0, 0, 0x0d, 1},         // wrong element type
+		{0, 0, idxUByte, 5},     // absurd rank
+		{0, 0, idxUByte, 1, 0},  // truncated dims
+		writeIDXLabels(nil)[:6], // truncated payload header
+	}
+	for i, c := range cases {
+		if _, _, err := readIDX(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Truncated payload.
+	raw := writeIDXImages(2, 4, 4, func(i, y, x int) byte { return 0 })
+	if _, _, err := readIDX(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Error("expected error for truncated payload")
+	}
+}
+
+func TestBoxDownsample(t *testing.T) {
+	// A 4×4 image with the top half 255 and bottom half 0 downsampled to
+	// 2×2 must yield [1 1; 0 0].
+	img := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		img[i] = 255
+	}
+	got := boxDownsample(img, 4, 4, 2)
+	want := []float64{1, 1, 0, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("downsample = %v", got)
+		}
+	}
+}
+
+func writeTempIDXDir(t *testing.T, gz bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	// 40 train / 12 test samples of 28×28 "digits": class c paints rows
+	// proportional to c so classes are separable after downsampling.
+	mk := func(n int) ([]byte, []byte) {
+		labels := make([]byte, n)
+		for i := range labels {
+			labels[i] = byte(i % 10)
+		}
+		imgs := writeIDXImages(n, 28, 28, func(i, y, x int) byte {
+			if y < 2+2*(i%10) {
+				return 250
+			}
+			return 5
+		})
+		return imgs, writeIDXLabels(labels)
+	}
+	write := func(base string, data []byte) {
+		path := filepath.Join(dir, base)
+		if gz {
+			var buf bytes.Buffer
+			zw := gzip.NewWriter(&buf)
+			zw.Write(data)
+			zw.Close()
+			data = buf.Bytes()
+			path += ".gz"
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ti, tl := mk(40)
+	ei, el := mk(12)
+	write("train-images-idx3-ubyte", ti)
+	write("train-labels-idx1-ubyte", tl)
+	write("t10k-images-idx3-ubyte", ei)
+	write("t10k-labels-idx1-ubyte", el)
+	return dir
+}
+
+func TestLoadIDXDir(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		dir := writeTempIDXDir(t, gz)
+		ds, err := LoadIDXDir(dir, "mnist-real", 10)
+		if err != nil {
+			t.Fatalf("gz=%v: %v", gz, err)
+		}
+		if len(ds.Train) != 40 || len(ds.Test) != 12 || ds.Dim != 64 || ds.Side != 8 {
+			t.Fatalf("gz=%v: loaded shape %d/%d dim %d", gz, len(ds.Train), len(ds.Test), ds.Dim)
+		}
+		for _, s := range ds.Train {
+			if s.Label < 0 || s.Label > 9 || len(s.X) != 64 {
+				t.Fatalf("bad sample %+v", s.Label)
+			}
+			for _, v := range s.X {
+				if v < 0 || v > 1 {
+					t.Fatalf("feature %v out of range", v)
+				}
+			}
+		}
+		// The painted-rows structure must survive downsampling: class 9
+		// images are brighter than class 0 images.
+		var b0, b9 float64
+		for _, s := range ds.Train {
+			var sum float64
+			for _, v := range s.X {
+				sum += v
+			}
+			if s.Label == 0 {
+				b0 = sum
+			}
+			if s.Label == 9 {
+				b9 = sum
+			}
+		}
+		if b9 <= b0 {
+			t.Fatal("class structure lost in downsampling")
+		}
+	}
+}
+
+func TestLoadIDXDirMissingFiles(t *testing.T) {
+	if _, err := LoadIDXDir(t.TempDir(), "x", 10); err == nil {
+		t.Fatal("expected error for empty directory")
+	}
+}
+
+func TestLoadIDXPairMismatchedCounts(t *testing.T) {
+	dir := t.TempDir()
+	imgs := writeIDXImages(3, 4, 4, func(i, y, x int) byte { return 0 })
+	labels := writeIDXLabels([]byte{1, 2})
+	ip := filepath.Join(dir, "imgs")
+	lp := filepath.Join(dir, "labels")
+	os.WriteFile(ip, imgs, 0o644)
+	os.WriteFile(lp, labels, 0o644)
+	if _, err := LoadIDXPair(ip, lp, 8); err == nil {
+		t.Fatal("expected error for image/label count mismatch")
+	}
+}

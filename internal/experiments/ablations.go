@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/channel"
+	"repro/internal/clocksync"
+	"repro/internal/modem"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+func init() {
+	register(Runner{ID: "abl-quantize", Title: "Ablation: train-then-quantize vs discrete-from-scratch", Run: runAblQuantize})
+	register(Runner{ID: "abl-solver", Title: "Ablation: greedy-only vs coordinate-descent config solver", Run: runAblSolver})
+	register(Runner{ID: "abl-subsamples", Title: "Ablation: within-symbol sample count for multipath cancellation", Run: runAblSubSamples})
+	register(Runner{ID: "abl-injector", Title: "Ablation: Gamma-matched vs uniform sync-error injection", Run: runAblInjector})
+}
+
+func runAblQuantize(c *Ctx) (*Result, error) {
+	res := &Result{
+		ID: "abl-quantize", Title: "Continuous-then-approximate vs discrete-from-scratch (over the air)",
+		Headers: []string{"dataset", "train-then-quantize", "discrete-from-scratch"},
+		Notes:   []string{"the design choice behind Table 1's DiscreteNN comparison"},
+	}
+	for _, name := range []string{"mnist", "fashion"} {
+		train, test, err := c.Sets(name, modem.QAM256)
+		if err != nil {
+			return nil, err
+		}
+		cont := c.Model(name+"/plain", func() *nn.ComplexLNN {
+			return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+		})
+		disc := nn.TrainDiscrete(train, 4, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+		contAir, err := deployEval(c, cont.Weights(), test, "ablq-c-"+name)
+		if err != nil {
+			return nil, err
+		}
+		discAir, err := deployEval(c, disc.QuantizedWeights(), test, "ablq-d-"+name)
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(name, pct(contAir), pct(discAir))
+	}
+	return res, nil
+}
+
+func runAblSolver(c *Ctx) (*Result, error) {
+	// Compare approximation error and resulting accuracy between the greedy
+	// initialization alone and the refined coordinate-descent solver.
+	m, test, err := mnistModel(c)
+	if err != nil {
+		return nil, err
+	}
+	surface := mts.Prototype(rng.New(c.Seed ^ 0xab1))
+	pp := surface.PathPhases(mts.DefaultGeometry())
+	maxR := surface.MaxResponse(pp)
+	gamma := 0.6 * maxR / m.Weights().MaxAbs()
+	var errGreedy, errCD float64
+	w := m.Weights()
+	for i, wv := range w.Data {
+		target := wv * complex(gamma, 0)
+		_, got := surface.SolveTargetGreedy(target, pp)
+		errGreedy += cmplx.Abs(got - target)
+		_, got = surface.SolveTarget(target, pp)
+		errCD += cmplx.Abs(got - target)
+		_ = i
+	}
+	n := float64(len(w.Data))
+	res := &Result{
+		ID: "abl-solver", Title: "Config solver refinement",
+		Headers: []string{"solver", "mean_abs_error/maxR", "air_accuracy"},
+		Notes:   []string{"greedy matches phase only; coordinate descent also matches magnitude"},
+	}
+	// Accuracy with each solver: rebuild systems. The System always uses the
+	// refined solver, so emulate greedy-only by deploying a weight matrix of
+	// greedy-realized responses via a digital twin... instead, evaluate the
+	// realized responses directly through a digital LNN carrying them.
+	evalRealized := func(solve func(complex128, []float64) (mts.Config, complex128)) float64 {
+		twin := nn.NewComplexLNN(w.Rows, w.Cols)
+		for i, wv := range w.Data {
+			_, got := solve(wv*complex(gamma, 0), pp)
+			twin.W.Val[i] = got
+		}
+		return c.Eval(twin, test)
+	}
+	accG := evalRealized(surface.SolveTargetGreedy)
+	accC := evalRealized(surface.SolveTarget)
+	res.AddRow("greedy-only", f3(errGreedy/n/maxR), pct(accG))
+	res.AddRow("greedy+coordinate-descent", f3(errCD/n/maxR), pct(accC))
+	return res, nil
+}
+
+func runAblSubSamples(c *Ctx) (*Result, error) {
+	m, test, err := mnistModel(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID: "abl-subsamples", Title: "Within-symbol sampling for multipath cancellation (laboratory, omni)",
+		Headers: []string{"sub_samples", "accuracy"},
+		Notes:   []string{"0 disables the scheme; 2 is the most the 2.56 MHz controller sustains at 1 Msym/s"},
+	}
+	for _, sub := range []int{0, 2} {
+		src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("ablss-%d", sub)))
+		opts := ota.NewOptions(src.Split())
+		opts.Channel.Env = channel.Laboratory
+		opts.Channel.Antenna = channel.Omni
+		opts.SubSamples = sub
+		sys, err := ota.Deploy(m.Weights(), opts, src)
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(fmt.Sprintf("%d", sub), pct(c.Eval(sys, test)))
+	}
+	return res, nil
+}
+
+func runAblInjector(c *Ctx) (*Result, error) {
+	train, test, err := c.Sets("mnist", modem.QAM256)
+	if err != nil {
+		return nil, err
+	}
+	d := clocksync.DefaultDetector()
+	gamma := c.Model("mnist/cdfa-paper", func() *nn.ComplexLNN {
+		return nn.TrainLNN(train, nn.TrainConfig{
+			Seed: c.Seed, Epochs: c.Epochs(),
+			InputAug: clocksync.Injector(d, 1e6),
+		})
+	})
+	uniform := c.Model("mnist/cdfa-uniform", func() *nn.ComplexLNN {
+		return nn.TrainLNN(train, nn.TrainConfig{
+			Seed: c.Seed, Epochs: c.Epochs(),
+			InputAug: clocksync.UniformInjector(12, 1e6),
+		})
+	})
+	res := &Result{
+		ID: "abl-injector", Title: "CDFA injector distribution under coarse-detection offsets",
+		Headers: []string{"injector", "accuracy"},
+		Notes:   []string{"the paper argues for Gamma-matched injection (Fig 12's observed distribution)"},
+	}
+	ag, err := syncEval(c, gamma, clocksync.CoarseSampler(d, 1e6), "abli-g", test)
+	if err != nil {
+		return nil, err
+	}
+	au, err := syncEval(c, uniform, clocksync.CoarseSampler(d, 1e6), "abli-u", test)
+	if err != nil {
+		return nil, err
+	}
+	res.AddRow("Gamma-matched", pct(ag))
+	res.AddRow("uniform[0,12us]", pct(au))
+	return res, nil
+}
+
+func init() {
+	register(Runner{ID: "abl-jitter", Title: "Ablation: exact per-atom jitter vs closed-form approximation", Run: runAblJitter})
+	register(Runner{ID: "ext-perclass", Title: "Extension: per-class precision/recall/F1, simulation vs prototype", Run: runExtPerClass})
+}
+
+// runAblJitter validates the engine's hardware-jitter model: per-atom phase
+// errors ε~N(0,σ²) are approximated in closed form (mean attenuation
+// e^{−σ²/2} plus CLT scatter of variance M·(1−e^{−σ²})); the exact
+// atom-by-atom evaluation must land at the same accuracy.
+func runAblJitter(c *Ctx) (*Result, error) {
+	m, test, err := mnistModel(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID: "abl-jitter", Title: "Jitter model fidelity",
+		Headers: []string{"jitter_std_rad", "approximate", "exact"},
+		Notes:   []string{"the closed form (used by default for O(1) per-symbol cost) must track the exact path"},
+	}
+	for _, std := range []float64{0.05, 0.15, 0.3} {
+		var accs [2]float64
+		for j, exact := range []bool{false, true} {
+			src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("ablj-%v-%v", std, exact)))
+			opts := ota.NewOptions(src.Split())
+			opts.JitterStd = std
+			opts.ExactJitter = exact
+			sys, err := ota.Deploy(m.Weights(), opts, src)
+			if err != nil {
+				return nil, err
+			}
+			accs[j] = c.Eval(sys, test)
+		}
+		res.AddRow(fmt.Sprintf("%.2f", std), pct(accs[0]), pct(accs[1]))
+	}
+	return res, nil
+}
+
+// runExtPerClass reports the per-class health of a deployment: macro F1 and
+// the weakest class, digital vs over the air — the monitoring view an
+// operator of a deployed MetaAI system would watch.
+func runExtPerClass(c *Ctx) (*Result, error) {
+	m, test, err := mnistModel(c)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(c.Seed ^ hashSalt("extpc"))
+	sys, err := ota.Deploy(m.Weights(), ota.NewOptions(src.Split()), src)
+	if err != nil {
+		return nil, err
+	}
+	capped := c.Cap(test)
+	res := &Result{
+		ID: "ext-perclass", Title: "Per-class metrics (MNIST), simulation vs prototype",
+		Headers: []string{"model", "accuracy", "macro_F1", "min_class_F1", "top3_accuracy"},
+	}
+	report := func(name string, p interface {
+		nn.Predictor
+		nn.LogitsPredictor
+	}) {
+		cm := nn.Confusion(p, capped)
+		met := nn.MetricsFromConfusion(cm)
+		minF1 := 1.0
+		for _, f := range met.F1 {
+			if f < minF1 {
+				minF1 = f
+			}
+		}
+		res.AddRow(name, pct(nn.Evaluate(p, capped)), f3(met.MacroF1), f3(minF1), pct(nn.TopKAccuracy(p, capped, 3)))
+	}
+	report("simulation", m)
+	report("prototype", sys)
+	return res, nil
+}

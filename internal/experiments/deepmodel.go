@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"repro/internal/modem"
+	"repro/internal/nn"
+)
+
+func init() {
+	register(Runner{
+		ID:    "ext-deepmodel",
+		Title: "Extension: digital LNN vs deeper complex MLP (paper §7, model scalability)",
+		Run:   runExtDeepModel,
+	})
+}
+
+// runExtDeepModel quantifies — digitally — the future-work direction of §7:
+// what a deeper complex network with modReLU activations adds over the
+// single linear layer the metasurface can realize today. On the near-linear
+// Table 1 tasks the gap is small (the LNN suffices, the paper's own
+// observation); the residual-CNN column shows the remaining headroom a full
+// non-linear physical network would chase.
+func runExtDeepModel(c *Ctx) (*Result, error) {
+	res := &Result{
+		ID: "ext-deepmodel", Title: "Linear vs deeper complex models (digital)",
+		Headers: []string{"dataset", "LNN", "complex-MLP(1x64)", "complex-MLP(2x64)"},
+		Notes: []string{
+			"all digital: the MTS can only realize the LNN column today (§7)",
+			"near-linear tasks show small gaps; the MLP's value appears on non-linear tasks (see nn's ring test)",
+		},
+	}
+	for _, name := range []string{"mnist", "fashion"} {
+		train, test, err := c.Sets(name, modem.QAM256)
+		if err != nil {
+			return nil, err
+		}
+		lnn := c.Model(name+"/plain", func() *nn.ComplexLNN {
+			return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+		})
+		mlp1 := nn.TrainMLP(train, []int{64}, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs(), LR: 0.02})
+		mlp2 := nn.TrainMLP(train, []int{64, 64}, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs(), LR: 0.02})
+		res.AddRow(name, pct(c.Eval(lnn, test)), pct(c.Eval(mlp1, test)), pct(c.Eval(mlp2, test)))
+	}
+	return res, nil
+}

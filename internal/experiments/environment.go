@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/modem"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+func init() {
+	register(Runner{ID: "fig21", Title: "NLoS corner: accuracy vs Rx-MTS distance", Run: runFig21})
+	register(Runner{ID: "fig22", Title: "Frequency bands 2.4 / 3.5 / 5 GHz", Run: runFig22})
+	register(Runner{ID: "fig23", Title: "Modulation schemes BPSK..256-QAM", Run: runFig23})
+	register(Runner{ID: "fig24", Title: "Tx-MTS distance sweep", Run: runFig24})
+	register(Runner{ID: "fig25", Title: "Tx-MTS incidence angle sweep (FoV limit)", Run: runFig25})
+	register(Runner{ID: "fig27", Title: "Cross-room deployment over three offices", Run: runFig27})
+}
+
+// mnistModel returns the shared plainly-trained MNIST model.
+func mnistModel(c *Ctx) (*nn.ComplexLNN, *nn.EncodedSet, error) {
+	train, test, err := c.Sets("mnist", modem.QAM256)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := c.Model("mnist/plain", func() *nn.ComplexLNN {
+		return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+	})
+	return m, test, nil
+}
+
+// deployWith deploys the model with a caller-mutated option set.
+func deployWith(c *Ctx, m *nn.ComplexLNN, salt string, mutate func(*ota.Options)) (*ota.System, error) {
+	src := rng.New(c.Seed ^ hashSalt(salt))
+	opts := ota.NewOptions(src.Split())
+	mutate(&opts)
+	return ota.Deploy(m.Weights(), opts, src)
+}
+
+func runFig21(c *Ctx) (*Result, error) {
+	m, test, err := mnistModel(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID: "fig21", Title: "NLoS corridor corner",
+		Headers: []string{"rx_mts_dist_m", "accuracy"},
+		Notes:   []string{"paper: average above 76.60% across locations"},
+	}
+	for d := 1.0; d <= 22; d += 3 {
+		sys, err := deployWith(c, m, fmt.Sprintf("f21-%v", d), func(o *ota.Options) {
+			o.Channel.Env = channel.NLoSCorner
+			o.Channel.MTSRxDist = d
+			o.Geometry.RxDistM = d
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(fmt.Sprintf("%.0f", d), pct(c.Eval(sys, test)))
+	}
+	return res, nil
+}
+
+func runFig22(c *Ctx) (*Result, error) {
+	m, test, err := mnistModel(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID: "fig22", Title: "Accuracy per frequency band",
+		Headers: []string{"band_GHz", "accuracy(mean over locations)"},
+		Notes:   []string{"paper: 88.69 / 88.39 / 89.67 for 2.4 / 3.5 / 5 GHz"},
+	}
+	for _, f := range []float64{2.4, 3.5, 5.0} {
+		var mean float64
+		const locations = 5
+		for loc := 0; loc < locations; loc++ {
+			sys, err := deployWith(c, m, fmt.Sprintf("f22-%v-%d", f, loc), func(o *ota.Options) {
+				src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("f22s-%v-%d", f, loc)))
+				surface, serr := mts.NewSurface(16, 16, 2, f, src)
+				if serr != nil {
+					panic(serr)
+				}
+				o.Surface = surface
+				o.Channel.FreqGHz = f
+				// Random Rx placement per location.
+				o.Geometry.RxAngleDeg = -50 + 100*src.Float64()
+				o.Geometry.RxDistM = 1 + 4*src.Float64()
+			})
+			if err != nil {
+				return nil, err
+			}
+			mean += c.Eval(sys, test)
+		}
+		res.AddRow(fmt.Sprintf("%.1f", f), pct(mean/locations))
+	}
+	return res, nil
+}
+
+func runFig23(c *Ctx) (*Result, error) {
+	res := &Result{
+		ID: "fig23", Title: "Accuracy per modulation scheme",
+		Headers: []string{"scheme", "U(symbols)", "sim", "prototype"},
+		Notes:   []string{"paper: consistently above 88.71% across schemes"},
+	}
+	for _, scheme := range modem.Schemes() {
+		train, test, err := c.Sets("mnist", scheme)
+		if err != nil {
+			return nil, err
+		}
+		m := c.Model("mnist/plain-"+scheme.String(), func() *nn.ComplexLNN {
+			return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+		})
+		src := rng.New(c.Seed ^ hashSalt("f23-"+scheme.String()))
+		opts := ota.NewOptions(src.Split())
+		sys, err := ota.Deploy(m.Weights(), opts, src)
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(scheme.String(), fmt.Sprintf("%d", train.U), pct(c.Eval(m, test)), pct(c.Eval(sys, test)))
+	}
+	return res, nil
+}
+
+func runFig24(c *Ctx) (*Result, error) {
+	m, test, err := mnistModel(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID: "fig24", Title: "Tx-MTS distance sweep (30 degree incidence)",
+		Headers: []string{"tx_mts_dist_m", "accuracy"},
+		Notes:   []string{"paper: consistently above 78.94%"},
+	}
+	for d := 1.0; d <= 22; d += 3 {
+		sys, err := deployWith(c, m, fmt.Sprintf("f24-%v", d), func(o *ota.Options) {
+			o.Channel.TxMTSDist = d
+			o.Geometry.TxDistM = d
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(fmt.Sprintf("%.0f", d), pct(c.Eval(sys, test)))
+	}
+	return res, nil
+}
+
+func runFig25(c *Ctx) (*Result, error) {
+	m, test, err := mnistModel(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID: "fig25", Title: "Tx-MTS incidence angle sweep (1 m radius)",
+		Headers: []string{"angle_deg", "accuracy"},
+		Notes:   []string{"paper: above 84.85% within the [-60,60] FoV, declining beyond (75.01% at 80 deg)"},
+	}
+	for a := 0.0; a <= 80; a += 10 {
+		sys, err := deployWith(c, m, fmt.Sprintf("f25-%v", a), func(o *ota.Options) {
+			o.Geometry.TxAngleDeg = a
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(fmt.Sprintf("%.0f", a), pct(c.Eval(sys, test)))
+	}
+	return res, nil
+}
+
+func runFig27(c *Ctx) (*Result, error) {
+	m, test, err := mnistModel(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID: "fig27", Title: "Cross-room deployment (3 offices, 6 positions each)",
+		Headers: []string{"room", "walls", "dist_range_m", "min_acc", "mean_acc"},
+		Notes:   []string{"paper: room1 >82.64%, room2 >76.55%, room3 >71.53%"},
+	}
+	for room := 0; room < 3; room++ {
+		walls := room
+		var minAcc, meanAcc float64 = 1, 0
+		const positions = 6
+		baseDist := 2.0 + 5.0*float64(room)
+		for pos := 0; pos < positions; pos++ {
+			d := baseDist + float64(pos)
+			sys, err := deployWith(c, m, fmt.Sprintf("f27-%d-%d", room, pos), func(o *ota.Options) {
+				o.Channel.Env = channel.CrossRoom
+				o.Channel.Walls = walls
+				o.Channel.MTSRxDist = d
+				o.Geometry.RxDistM = d
+			})
+			if err != nil {
+				return nil, err
+			}
+			a := c.Eval(sys, test)
+			if a < minAcc {
+				minAcc = a
+			}
+			meanAcc += a
+		}
+		res.AddRow(
+			fmt.Sprintf("room%d(P%d-P%d)", room+1, room*positions+1, (room+1)*positions),
+			fmt.Sprintf("%d", walls),
+			fmt.Sprintf("%.0f-%.0f", baseDist, baseDist+positions-1),
+			pct(minAcc), pct(meanAcc/positions),
+		)
+	}
+	return res, nil
+}

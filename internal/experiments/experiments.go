@@ -1,0 +1,238 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 and the appendices). Each experiment is a registered
+// Runner that builds its workload, sweeps its parameter, runs the relevant
+// baselines, and returns a formatted Result whose rows mirror the paper's
+// table/series. DESIGN.md carries the experiment ↔ module index;
+// EXPERIMENTS.md records paper-vs-measured values.
+//
+// Experiments share a Ctx that memoizes encoded datasets and trained
+// models, so running the full suite trains each (dataset, scheme, variant)
+// combination once.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/nn"
+)
+
+// Ctx carries shared state across experiment runs.
+type Ctx struct {
+	// Scale selects Quick (default) or Full dataset sizes.
+	Scale dataset.Scale
+	// Seed drives all randomness.
+	Seed uint64
+	// EvalCap bounds the test samples per accuracy evaluation (0 = all).
+	EvalCap int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+
+	sets   map[string][2]*nn.EncodedSet
+	models map[string]*nn.ComplexLNN
+}
+
+// NewCtx returns a context at the given scale.
+func NewCtx(scale dataset.Scale, seed uint64) *Ctx {
+	return &Ctx{
+		Scale:   scale,
+		Seed:    seed,
+		EvalCap: 200,
+		sets:    make(map[string][2]*nn.EncodedSet),
+		models:  make(map[string]*nn.ComplexLNN),
+	}
+}
+
+func (c *Ctx) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Sets returns the encoded train/test sets for a dataset and scheme,
+// memoized.
+func (c *Ctx) Sets(name string, scheme modem.Scheme) (*nn.EncodedSet, *nn.EncodedSet, error) {
+	key := name + "/" + scheme.String()
+	if s, ok := c.sets[key]; ok {
+		return s[0], s[1], nil
+	}
+	ds, err := dataset.Load(name, c.Scale, c.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc := nn.Encoder{Scheme: scheme}
+	train := nn.EncodeSet(ds.Train, ds.Classes, enc)
+	test := nn.EncodeSet(ds.Test, ds.Classes, enc)
+	c.sets[key] = [2]*nn.EncodedSet{train, test}
+	return train, test, nil
+}
+
+// Model memoizes a trained model under (dataset, scheme, variant).
+func (c *Ctx) Model(key string, train func() *nn.ComplexLNN) *nn.ComplexLNN {
+	if m, ok := c.models[key]; ok {
+		return m
+	}
+	c.logf("training %s", key)
+	m := train()
+	c.models[key] = m
+	return m
+}
+
+// Epochs returns the training epochs for the context's scale: the paper's
+// 60 at Full, 40 at Quick.
+func (c *Ctx) Epochs() int {
+	if c.Scale == dataset.Full {
+		return 60
+	}
+	return 40
+}
+
+// Cap returns a view of the set limited to EvalCap samples.
+func (c *Ctx) Cap(set *nn.EncodedSet) *nn.EncodedSet {
+	if c.EvalCap <= 0 || len(set.X) <= c.EvalCap {
+		return set
+	}
+	return &nn.EncodedSet{
+		X:       set.X[:c.EvalCap],
+		Labels:  set.Labels[:c.EvalCap],
+		Classes: set.Classes,
+		U:       set.U,
+	}
+}
+
+// Eval evaluates a predictor on the capped test set.
+func (c *Ctx) Eval(p nn.Predictor, set *nn.EncodedSet) float64 {
+	return nn.Evaluate(p, c.Cap(set))
+}
+
+// Result is one regenerated table or figure series.
+type Result struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Fprint renders the result as an aligned text table.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(r.Headers)
+	sep := make([]string, len(r.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Runner regenerates one paper artifact.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(c *Ctx) (*Result, error)
+}
+
+var registry []Runner
+
+func register(r Runner) {
+	registry = append(registry, r)
+}
+
+// paperOrder fixes the listing/run order: main-body figures and tables
+// first (Fig 6 through Fig 28), then the appendix artifacts, then the
+// repository's own ablations.
+var paperOrder = []string{
+	"fig6", "fig7", "table1",
+	"fig12", "fig13", "fig16", "fig17", "fig18", "fig19", "fig20",
+	"fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28",
+	"fig29", "fig30", "fig31", "table2", "table3",
+	"ext-compensation", "ext-mobility", "ext-deepmodel", "ext-feedback",
+	"abl-quantize", "abl-solver", "abl-subsamples", "abl-injector", "abl-jitter", "ext-perclass",
+}
+
+// IDs lists the registered experiment ids in paper order; any runner not in
+// the canonical list is appended at the end.
+func IDs() []string {
+	have := make(map[string]bool, len(registry))
+	for _, r := range registry {
+		have[r.ID] = true
+	}
+	out := make([]string, 0, len(registry))
+	seen := make(map[string]bool, len(registry))
+	for _, id := range paperOrder {
+		if have[id] {
+			out = append(out, id)
+			seen[id] = true
+		}
+	}
+	for _, r := range registry {
+		if !seen[r.ID] {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
+// Lookup returns the runner for an id.
+func Lookup(id string) (Runner, error) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
+}
+
+// Run executes one experiment by id.
+func Run(id string, c *Ctx) (*Result, error) {
+	r, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(c)
+}
+
+// pct formats a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.2f", 100*x) }
+
+// f3 formats a float with 3 decimals.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/nn"
+)
+
+// quickCtx returns a context with a small evaluation cap so the smoke tests
+// stay fast.
+func quickCtx() *Ctx {
+	c := NewCtx(dataset.Quick, 1)
+	c.EvalCap = 100
+	return c
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(paperOrder) {
+		t.Fatalf("registered %d experiments, canonical order lists %d", len(ids), len(paperOrder))
+	}
+	for i, id := range paperOrder {
+		if ids[i] != id {
+			t.Fatalf("IDs()[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Headers: []string{"a", "bb"}, Notes: []string{"n"}}
+	r.AddRow("1", "2")
+	var sb strings.Builder
+	r.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "1", "2", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted result missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCtxMemoization(t *testing.T) {
+	c := quickCtx()
+	calls := 0
+	build := func() *nn.ComplexLNN {
+		calls++
+		return nn.NewComplexLNN(2, 3)
+	}
+	a := c.Model("k", build)
+	b := c.Model("k", build)
+	if calls != 1 || a != b {
+		t.Fatalf("model memoization broken: calls=%d same=%v", calls, a == b)
+	}
+	t1, _, err := c.Sets("afhq", modem.QAM256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := c.Sets("afhq", modem.QAM256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("set memoization broken")
+	}
+	if _, _, err := c.Sets("nope", modem.QAM256); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestCapLimitsEvaluation(t *testing.T) {
+	c := quickCtx()
+	set, _, err := c.Sets("mnist", modem.BPSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := c.Cap(set)
+	if len(capped.X) != 100 {
+		t.Fatalf("capped to %d, want 100", len(capped.X))
+	}
+	c.EvalCap = 0
+	if got := c.Cap(set); len(got.X) != len(set.X) {
+		t.Fatal("EvalCap 0 must not cap")
+	}
+}
+
+// cell parses a formatted percentage.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig30Shape(t *testing.T) {
+	res, err := Run("fig30", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []float64
+	for _, row := range res.Rows {
+		vals = append(vals, cell(t, row[1]))
+	}
+	// Monotone non-decreasing with saturation at the end.
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1]-1e-9 {
+			t.Fatalf("WDD not monotone: %v", vals)
+		}
+	}
+	last, prev := vals[len(vals)-1], vals[len(vals)-2]
+	if last > prev*1.2+1e-9 {
+		t.Fatalf("WDD should saturate: %v", vals)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Run("table2", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("table2 has %d rows", len(res.Rows))
+	}
+	// MetaAI (last row) must have the lowest total energy and latency.
+	metaMs := cell(t, res.Rows[4][5])
+	metaMJ := cell(t, res.Rows[4][9])
+	for i := 0; i < 4; i++ {
+		if metaMs >= cell(t, res.Rows[i][5]) {
+			t.Fatalf("MetaAI latency %v not lowest (row %d: %v)", metaMs, i, cell(t, res.Rows[i][5]))
+		}
+		if metaMJ >= cell(t, res.Rows[i][9]) {
+			t.Fatalf("MetaAI energy %v not lowest (row %d: %v)", metaMJ, i, cell(t, res.Rows[i][9]))
+		}
+	}
+}
+
+func TestFig16Ordering(t *testing.T) {
+	res, err := Run("fig16", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := cell(t, res.Rows[0][1])
+	cd := cell(t, res.Rows[1][1])
+	cdfa := cell(t, res.Rows[2][1])
+	if !(none < cd && cd < cdfa) {
+		t.Fatalf("fig16 ordering broken: none=%v cd=%v cdfa=%v", none, cd, cdfa)
+	}
+}
+
+func TestFig17CancellationHelpsWorstCase(t *testing.T) {
+	res, err := Run("fig17", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Laboratory+Omni is the last row; "with" must clearly beat "without".
+	last := res.Rows[len(res.Rows)-1]
+	if cell(t, last[3]) < cell(t, last[2])+5 {
+		t.Fatalf("lab/omni row shows no cancellation gain: %v", last)
+	}
+	// Every "with" cell stays in the paper's >~80% band.
+	for _, row := range res.Rows {
+		if cell(t, row[3]) < 80 {
+			t.Fatalf("with-cancellation accuracy %v below band: %v", row[3], row)
+		}
+	}
+}
+
+func TestAblSolverShape(t *testing.T) {
+	res, err := Run("abl-solver", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyErr := cell(t, res.Rows[0][1])
+	cdErr := cell(t, res.Rows[1][1])
+	if cdErr >= greedyErr {
+		t.Fatalf("coordinate descent (%v) should beat greedy (%v)", cdErr, greedyErr)
+	}
+	if cell(t, res.Rows[1][2]) < cell(t, res.Rows[0][2]) {
+		t.Fatalf("refined solver should not reduce accuracy: %v", res.Rows)
+	}
+}
+
+func TestFig12CDF(t *testing.T) {
+	res, err := Run("fig12", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, row := range res.Rows {
+		v := cell(t, row[1])
+		if v < prev {
+			t.Fatalf("CDF not monotone: %v", res.Rows)
+		}
+		prev = v
+	}
+	// ~half the mass above 3 µs (row index 3).
+	at3 := cell(t, res.Rows[3][1])
+	if at3 < 0.40 || at3 > 0.62 {
+		t.Fatalf("CDF(3us) = %v, want near 0.48-0.52", at3)
+	}
+}
+
+func TestFig13CDFAOutlastsPlain(t *testing.T) {
+	res, err := Run("fig13", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beyond one symbol of delay, CDFA must beat plain at every point, and
+	// plain must collapse somewhere past 2 symbols.
+	var plainCollapsed bool
+	for _, row := range res.Rows {
+		delay := cell(t, row[0])
+		plain, cdfa := cell(t, row[1]), cell(t, row[2])
+		if delay >= 1 && cdfa <= plain {
+			t.Fatalf("CDFA (%v) not above plain (%v) at delay %v", cdfa, plain, delay)
+		}
+		if delay >= 2 && plain < 40 {
+			plainCollapsed = true
+		}
+	}
+	if !plainCollapsed {
+		t.Fatal("plain model never collapsed under delay")
+	}
+}
+
+func TestFig25FoVCliff(t *testing.T) {
+	res, err := Run("fig25", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the FoV accuracy is flat; 80° must sit clearly below 60°.
+	var at60, at80 float64
+	for _, row := range res.Rows {
+		switch row[0] {
+		case "60":
+			at60 = cell(t, row[1])
+		case "80":
+			at80 = cell(t, row[1])
+		}
+	}
+	if at80 >= at60-4 {
+		t.Fatalf("no FoV cliff: 60° = %v, 80° = %v", at60, at80)
+	}
+}
+
+func TestExtCompensationStory(t *testing.T) {
+	res, err := Run("ext-compensation", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		none, comp, cancel := cell(t, row[1]), cell(t, row[2]), cell(t, row[3])
+		if comp <= none {
+			t.Fatalf("%s: compensation (%v) should beat no scheme (%v)", row[0], comp, none)
+		}
+		if cancel <= none {
+			t.Fatalf("%s: cancellation (%v) should beat no scheme (%v)", row[0], cancel, none)
+		}
+	}
+	// Under drift, cancellation must hold a clear edge over compensation.
+	dyn := res.Rows[1]
+	if cell(t, dyn[3]) < cell(t, dyn[2])+5 {
+		t.Fatalf("dynamic row: cancellation (%v) should clearly beat stale compensation (%v)", dyn[3], dyn[2])
+	}
+}
+
+func TestFig31LatencyFalls(t *testing.T) {
+	res, err := Run("fig31", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cell(t, res.Rows[0][3])
+	last := cell(t, res.Rows[len(res.Rows)-1][3])
+	if !(first == 10 && last == 1) {
+		t.Fatalf("transmissions should fall 10 -> 1 across the sweep: %v -> %v", first, last)
+	}
+	// Accuracy at full parallelism must remain far above chance.
+	if cell(t, res.Rows[len(res.Rows)-1][2]) < 50 {
+		t.Fatalf("full antenna parallelism collapsed: %v", res.Rows)
+	}
+}
+
+func TestTable1Orderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 trains six deep baselines")
+	}
+	res, err := Run("table1", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		deep := cell(t, row[2])
+		discSim := cell(t, row[3])
+		sim := cell(t, row[5])
+		proto := cell(t, row[6])
+		if deep < sim-2 {
+			t.Errorf("%s: deep baseline (%v) below MetaAI sim (%v)", row[0], deep, sim)
+		}
+		if sim <= discSim {
+			t.Errorf("%s: MetaAI sim (%v) not above DiscreteNN (%v)", row[0], sim, discSim)
+		}
+		if sim-proto > 8 {
+			t.Errorf("%s: prototype gap %v exceeds the paper's band", row[0], sim-proto)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Markdown renders the result as a GitHub-flavored markdown section — the
+// format EXPERIMENTS.md records measured values in (metaai-bench -md).
+func (r *Result) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	cells := make([]string, len(r.Headers))
+	for i, h := range r.Headers {
+		cells[i] = esc(h)
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(r.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		out := make([]string, len(row))
+		for i, c := range row {
+			out[i] = esc(c)
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(out, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", esc(n)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

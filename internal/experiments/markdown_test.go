@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownRendering(t *testing.T) {
+	r := &Result{
+		ID: "figX", Title: "A|Title",
+		Headers: []string{"col|a", "b"},
+		Notes:   []string{"note with | pipe"},
+	}
+	r.AddRow("1|2", "3")
+	var sb strings.Builder
+	if err := r.Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, w := range []string{
+		"### figX — A|Title",
+		"| col\\|a | b |",
+		"| --- | --- |",
+		"| 1\\|2 | 3 |",
+		"> note with \\| pipe",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("markdown missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestMarkdownEmptyResult(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Headers: []string{"a"}}
+	var sb strings.Builder
+	if err := r.Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| a |") {
+		t.Fatalf("empty result malformed:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/clocksync"
+	"repro/internal/cplx"
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+func init() {
+	register(Runner{
+		ID:    "fig6",
+		Title: "Distribution of resultant weights vs meta-atom count (complex-plane coverage)",
+		Run:   runFig6,
+	})
+	register(Runner{
+		ID:    "fig7",
+		Title: "Recognition accuracy vs number of meta-atoms (saturates at 256)",
+		Run:   runFig7,
+	})
+	register(Runner{
+		ID:    "table1",
+		Title: "Overall accuracy: ResNet-stand-in / DiscreteNN / MetaAI, simulation and prototype",
+		Run:   runTable1,
+	})
+	register(Runner{
+		ID:    "fig30",
+		Title: "Weight distribution density (WDD) vs meta-atom count (Appendix A.2)",
+		Run:   runFig30,
+	})
+}
+
+func runFig6(c *Ctx) (*Result, error) {
+	res := &Result{
+		ID: "fig6", Title: "Resultant-weight coverage of the complex plane",
+		Headers: []string{"atoms", "coverage@eps=0.02", "coverage@eps=0.005"},
+		Notes: []string{
+			"coverage = fraction of the normalized weight disk reachable within eps (denser with more atoms, Fig 6)",
+		},
+	}
+	for _, grid := range []int{4, 8, 16, 32} {
+		s, err := mts.NewSurface(grid, grid, 2, 5.25, nil)
+		if err != nil {
+			return nil, err
+		}
+		coarse := s.WDD(mts.WDDOptions{Epsilon: 0.02}, nil)
+		fine := s.WDD(mts.WDDOptions{Epsilon: 0.005}, nil)
+		res.AddRow(fmt.Sprintf("%d", grid*grid), f3(coarse), f3(fine))
+	}
+	return res, nil
+}
+
+func runFig7(c *Ctx) (*Result, error) {
+	grids := []int{6, 8, 11, 16, 23}
+	res := &Result{
+		ID: "fig7", Title: "Accuracy vs meta-atoms, six datasets",
+		Headers: []string{"dataset"},
+		Notes:   []string{"accuracy saturates around 256 atoms (16x16), the prototype's size"},
+	}
+	for _, g := range grids {
+		res.Headers = append(res.Headers, fmt.Sprintf("M=%d", g*g))
+	}
+	for _, name := range dataset.Names() {
+		train, test, err := c.Sets(name, modem.QAM256)
+		if err != nil {
+			return nil, err
+		}
+		model := c.Model(name+"/plain", func() *nn.ComplexLNN {
+			return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+		})
+		row := []string{name}
+		for _, g := range grids {
+			src := rng.New(c.Seed ^ uint64(g))
+			surface, err := mts.NewSurface(g, g, 2, 5.25, src.Split())
+			if err != nil {
+				return nil, err
+			}
+			opts := ota.NewOptions(src.Split())
+			opts.Surface = surface
+			opts.Controller = mts.ControllerFor(surface.Atoms())
+			sys, err := ota.Deploy(model.Weights(), opts, src)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(c.Eval(sys, test)))
+		}
+		res.AddRow(row...)
+	}
+	return res, nil
+}
+
+func runTable1(c *Ctx) (*Result, error) {
+	res := &Result{
+		ID: "table1", Title: "Performance under different datasets",
+		Headers: []string{"dataset", "classes", "Deep(sim)", "DiscNN(sim)", "DiscNN(proto)", "MetaAI(sim)", "MetaAI(proto)"},
+		Notes: []string{
+			"Deep = small residual CNN standing in for ResNet-18 (DESIGN.md substitution)",
+			"expected ordering per dataset: Deep > MetaAI(sim) > MetaAI(proto) > DiscNN(sim) > DiscNN(proto)",
+		},
+	}
+	for _, name := range dataset.Names() {
+		ds, err := dataset.Load(name, c.Scale, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		train, test, err := c.Sets(name, modem.QAM256)
+		if err != nil {
+			return nil, err
+		}
+		c.logf("table1: %s", name)
+		// Deep baseline on raw features.
+		deep := nn.TrainDeep(ds.Train, ds.Classes, nn.DeepTrainConfig{Seed: c.Seed, Epochs: 14})
+		deepAcc := nn.EvaluateDeep(deep, ds.Test)
+		// DiscreteNN: discrete-from-scratch baseline.
+		disc := nn.TrainDiscrete(train, 4, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+		discSim := c.Eval(disc, test)
+		discAir, err := deployEval(c, disc.QuantizedWeights(), test, name+"-disc")
+		if err != nil {
+			return nil, err
+		}
+		// MetaAI: the simulation column is the plainly trained continuous
+		// model; the prototype column deploys the CDFA-trained weights under
+		// coarse-detection sync plus every hardware impairment.
+		model := c.Model(name+"/plain", func() *nn.ComplexLNN {
+			return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+		})
+		sim := c.Eval(model, test)
+		cdfa := c.Model(name+"/cdfa", func() *nn.ComplexLNN {
+			det := clocksync.ScaledDetector(train.U)
+			return nn.TrainLNN(train, nn.TrainConfig{
+				Seed: c.Seed, Epochs: c.Epochs(),
+				InputAug: clocksync.Injector(det, 1e6),
+			})
+		})
+		air, err := deployEval(c, cdfa.Weights(), test, name+"-metaai")
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(name, fmt.Sprintf("%d", ds.Classes), pct(deepAcc), pct(discSim), pct(discAir), pct(sim), pct(air))
+	}
+	return res, nil
+}
+
+// deployEval deploys a weight matrix under the paper's full prototype
+// conditions — default geometry and channel, hardware jitter, beam-scanned
+// angle, and coarse-detection residual sync error — and returns its
+// over-the-air accuracy.
+func deployEval(c *Ctx, w *cplx.Mat, test *nn.EncodedSet, salt string) (float64, error) {
+	src := rng.New(c.Seed ^ hashSalt(salt))
+	opts := ota.NewOptions(src.Split())
+	opts.SyncSampler = clocksync.CoarseSampler(clocksync.ScaledDetector(w.Cols), opts.SymbolRateHz)
+	sys, err := ota.Deploy(w, opts, src)
+	if err != nil {
+		return 0, err
+	}
+	return c.Eval(sys, test), nil
+}
+
+func runFig30(c *Ctx) (*Result, error) {
+	res := &Result{
+		ID: "fig30", Title: "WDD vs meta-atoms (eps = 0.002)",
+		Headers: []string{"atoms", "WDD"},
+		Notes:   []string{"sharp rise then saturation at 256 atoms — the paper's design point"},
+	}
+	for _, grid := range []int{4, 8, 12, 16, 23, 32} {
+		s, err := mts.NewSurface(grid, grid, 2, 5.25, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(fmt.Sprintf("%d", grid*grid), f3(s.WDD(mts.DefaultWDDOptions(), nil)))
+	}
+	return res, nil
+}
+
+// hashSalt derives a sub-seed from a string.
+func hashSalt(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/modem"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/ota"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+func init() {
+	register(Runner{ID: "fig18", Title: "Parallelism schemes: sequential vs subcarrier vs antenna", Run: runFig18})
+	register(Runner{ID: "fig31", Title: "Accuracy/latency vs number of subcarriers and antennas", Run: runFig31})
+}
+
+func runFig18(c *Ctx) (*Result, error) {
+	res := &Result{
+		ID: "fig18", Title: "Parallelism schemes on three datasets",
+		Headers: []string{"dataset", "sequential", "subcarrier", "antenna", "tx(seq)", "tx(par)"},
+		Notes:   []string{"paper: both schemes show only slight degradation versus the baseline"},
+	}
+	for _, name := range []string{"mnist", "fruits360", "widar3"} {
+		train, test, err := c.Sets(name, modem.QAM256)
+		if err != nil {
+			return nil, err
+		}
+		m := c.Model(name+"/plain", func() *nn.ComplexLNN {
+			return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+		})
+		r := train.Classes
+		// Sequential baseline.
+		src := rng.New(c.Seed ^ hashSalt("f18s-"+name))
+		seqSys, err := ota.Deploy(m.Weights(), ota.NewOptions(src.Split()), src)
+		if err != nil {
+			return nil, err
+		}
+		seqAcc := c.Eval(seqSys, test)
+		// Subcarrier scheme: K = R subcarriers at 40 kHz spacing (§5.2).
+		subAcc, _, err := parallelEval(c, m, "sub", name, r, test)
+		if err != nil {
+			return nil, err
+		}
+		// Antenna scheme: L = R antennas.
+		antAcc, antTx, err := parallelEval(c, m, "ant", name, r, test)
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(name,
+			pct(seqAcc), pct(subAcc), pct(antAcc),
+			fmt.Sprintf("%d", seqSys.TransmissionsPerInference()),
+			fmt.Sprintf("%d", antTx),
+		)
+	}
+	return res, nil
+}
+
+// parallelEval deploys one parallel scheme with n channels and returns its
+// accuracy and transmission count.
+func parallelEval(c *Ctx, m *nn.ComplexLNN, kind, name string, n int, test *nn.EncodedSet) (float64, int, error) {
+	src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("f18-%s-%s-%d", kind, name, n)))
+	opts := parallel.NewOptions(src.Split())
+	var plan *parallel.Plan
+	var err error
+	if len(kind) >= 3 && kind[:3] == "sub" {
+		plan, err = parallel.NewSubcarrierPlan(opts.Surface, mts.DefaultGeometry(), n, 40e3, src.Split())
+	} else {
+		plan, err = parallel.NewAntennaPlan(opts.Surface, mts.DefaultGeometry(), n, 0)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	sys, err := parallel.Deploy(m.Weights(), plan, opts, src)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.Eval(sys, test), sys.Transmissions(), nil
+}
+
+func runFig31(c *Ctx) (*Result, error) {
+	train, test, err := c.Sets("mnist", modem.QAM256)
+	if err != nil {
+		return nil, err
+	}
+	m := c.Model("mnist/plain", func() *nn.ComplexLNN {
+		return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+	})
+	res := &Result{
+		ID: "fig31", Title: "Parallelism degree sweep (MNIST)",
+		Headers: []string{"channels", "subcarrier_acc", "antenna_acc", "transmissions"},
+		Notes:   []string{"paper: accuracy declines gradually as channels grow; latency falls proportionally"},
+	}
+	for _, n := range []int{1, 2, 4, 6, 8, 10} {
+		subAcc, _, err := parallelEval(c, m, "sub31", "mnist", n, test)
+		if err != nil {
+			return nil, err
+		}
+		antAcc, tx, err := parallelEval(c, m, "ant31", "mnist", n, test)
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(fmt.Sprintf("%d", n), pct(subAcc), pct(antAcc), fmt.Sprintf("%d", tx))
+	}
+	return res, nil
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/channel"
+	"repro/internal/clocksync"
+	"repro/internal/modem"
+	"repro/internal/nn"
+	"repro/internal/noisetrain"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+func init() {
+	register(Runner{ID: "fig12", Title: "CDF of coarse-detection synchronization error", Run: runFig12})
+	register(Runner{ID: "fig13", Title: "Accuracy vs sync delay, plain vs CDFA", Run: runFig13})
+	register(Runner{ID: "fig16", Title: "Sync scheme ablation: none / CD / CDFA", Run: runFig16})
+	register(Runner{ID: "fig17", Title: "Multipath cancellation across environments and antennas", Run: runFig17})
+	register(Runner{ID: "fig19", Title: "Noise alleviation vs transmit power", Run: runFig19})
+	register(Runner{ID: "fig26", Title: "Dynamic interference regions R1-R4", Run: runFig26})
+}
+
+func runFig12(c *Ctx) (*Result, error) {
+	d := clocksync.DefaultDetector()
+	th := []float64{0.5, 1, 2, 3, 4, 5, 6, 8, 10}
+	cdf := d.CDF(th, 100000, rng.New(c.Seed^0xf12))
+	res := &Result{
+		ID: "fig12", Title: "Coarse detection sync-error CDF (Gamma residual)",
+		Headers: []string{"error<=us", "CDF"},
+		Notes:   []string{fmt.Sprintf("P(error > 3 us) = %.3f; paper reports 0.517", 1-cdf[3])},
+	}
+	for i, t := range th {
+		res.AddRow(fmt.Sprintf("%.1f", t), f3(cdf[i]))
+	}
+	return res, nil
+}
+
+// syncModels trains the plain and CDFA-injected MNIST models once.
+func syncModels(c *Ctx) (plain, cdfa *nn.ComplexLNN, test *nn.EncodedSet, err error) {
+	train, test, err := c.Sets("mnist", modem.QAM256)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plain = c.Model("mnist/plain", func() *nn.ComplexLNN {
+		return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+	})
+	// The Fig 13/16 experiments use the paper's µs-scale detector directly:
+	// the CDFA model is trained to survive multi-symbol offsets.
+	cdfa = c.Model("mnist/cdfa-paper", func() *nn.ComplexLNN {
+		return nn.TrainLNN(train, nn.TrainConfig{
+			Seed: c.Seed, Epochs: c.Epochs(),
+			InputAug: clocksync.Injector(clocksync.DefaultDetector(), 1e6),
+		})
+	})
+	return plain, cdfa, test, nil
+}
+
+func syncEval(c *Ctx, m *nn.ComplexLNN, sampler func(*rng.Source) float64, salt string, test *nn.EncodedSet) (float64, error) {
+	src := rng.New(c.Seed ^ hashSalt(salt))
+	opts := ota.NewOptions(src.Split())
+	opts.SyncSampler = sampler
+	sys, err := ota.Deploy(m.Weights(), opts, src)
+	if err != nil {
+		return 0, err
+	}
+	return c.Eval(sys, test), nil
+}
+
+func runFig13(c *Ctx) (*Result, error) {
+	plain, cdfa, test, err := syncModels(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID: "fig13", Title: "Accuracy vs fixed sync delay (1 us = 1 symbol)",
+		Headers: []string{"delay_us", "plain", "CDFA"},
+		Notes:   []string{"paper: plain collapses rapidly; CDFA holds until ~4 us"},
+	}
+	for _, delay := range []float64{0, 0.5, 1, 2, 3, 4, 5, 6} {
+		ap, err := syncEval(c, plain, clocksync.FixedSampler(delay), fmt.Sprintf("f13p%v", delay), test)
+		if err != nil {
+			return nil, err
+		}
+		ac, err := syncEval(c, cdfa, clocksync.FixedSampler(delay), fmt.Sprintf("f13c%v", delay), test)
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(fmt.Sprintf("%.1f", delay), pct(ap), pct(ac))
+	}
+	return res, nil
+}
+
+func runFig16(c *Ctx) (*Result, error) {
+	plain, cdfa, test, err := syncModels(c)
+	if err != nil {
+		return nil, err
+	}
+	d := clocksync.DefaultDetector()
+	res := &Result{
+		ID: "fig16", Title: "Sync scheme ablation",
+		Headers: []string{"scheme", "accuracy"},
+		Notes:   []string{"paper: none 19.23, CD 55.71, CDFA 89.28"},
+	}
+	none, err := syncEval(c, plain, clocksync.NoSyncSampler(test.U), "f16n", test)
+	if err != nil {
+		return nil, err
+	}
+	cd, err := syncEval(c, plain, clocksync.CoarseSampler(d, 1e6), "f16c", test)
+	if err != nil {
+		return nil, err
+	}
+	full, err := syncEval(c, cdfa, clocksync.CoarseSampler(d, 1e6), "f16f", test)
+	if err != nil {
+		return nil, err
+	}
+	res.AddRow("none", pct(none))
+	res.AddRow("CD", pct(cd))
+	res.AddRow("CDFA", pct(full))
+	return res, nil
+}
+
+func runFig17(c *Ctx) (*Result, error) {
+	train, test, err := c.Sets("mnist", modem.QAM256)
+	if err != nil {
+		return nil, err
+	}
+	model := c.Model("mnist/plain", func() *nn.ComplexLNN {
+		return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+	})
+	res := &Result{
+		ID: "fig17", Title: "Multipath cancellation by environment and antenna",
+		Headers: []string{"environment", "antenna", "without", "with"},
+		Notes:   []string{"paper: with the scheme, all cases exceed ~82.65%; omni/lab suffers most without it"},
+	}
+	for _, env := range []channel.Environment{channel.Corridor, channel.Office, channel.Laboratory} {
+		for _, ant := range []channel.Antenna{channel.Directional, channel.Omni} {
+			var accs [2]float64
+			for i, sub := range []int{0, 2} {
+				src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("f17-%v-%v-%d", env, ant, sub)))
+				opts := ota.NewOptions(src.Split())
+				opts.Channel.Env = env
+				opts.Channel.Antenna = ant
+				opts.SubSamples = sub
+				sys, err := ota.Deploy(model.Weights(), opts, src)
+				if err != nil {
+					return nil, err
+				}
+				accs[i] = c.Eval(sys, test)
+			}
+			res.AddRow(env.String(), ant.String(), pct(accs[0]), pct(accs[1]))
+		}
+	}
+	return res, nil
+}
+
+func runFig19(c *Ctx) (*Result, error) {
+	train, test, err := c.Sets("mnist", modem.QAM256)
+	if err != nil {
+		return nil, err
+	}
+	plain := c.Model("mnist/plain", func() *nn.ComplexLNN {
+		return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+	})
+	robust := c.Model("mnist/noise-aware", func() *nn.ComplexLNN {
+		return noisetrain.Train(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()}, noisetrain.DefaultConfig())
+	})
+	res := &Result{
+		ID: "fig19", Title: "Accuracy vs transmit power, with/without noise alleviation",
+		Headers: []string{"tx_power_dB", "plain(mean)", "plain(p20)", "aware(mean)", "aware(p20)"},
+		Notes:   []string{"paper: the scheme lifts the 80th-percentile accuracy from 80.48 to 87.92"},
+	}
+	const locations = 8
+	for _, p := range []float64{5, 10, 15, 20, 25, 30} {
+		row := []string{fmt.Sprintf("%.0f", p)}
+		for mi, m := range []*nn.ComplexLNN{plain, robust} {
+			var accs []float64
+			for loc := 0; loc < locations; loc++ {
+				src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("f19-%v-%d-%d", p, mi, loc)))
+				opts := ota.NewOptions(src.Split())
+				// Offset so the sweep's low end is genuinely noise
+				// limited (the absolute dB scale of the paper's "transmit
+				// power" knob is testbed specific).
+				opts.Channel.TxPowerDB = p - 12
+				sys, err := ota.Deploy(m.Weights(), opts, src)
+				if err != nil {
+					return nil, err
+				}
+				accs = append(accs, c.Eval(sys, test))
+			}
+			sort.Float64s(accs)
+			var mean float64
+			for _, a := range accs {
+				mean += a
+			}
+			mean /= float64(len(accs))
+			p20 := accs[len(accs)/5]
+			row = append(row, pct(mean), pct(p20))
+		}
+		res.AddRow(row...)
+	}
+	return res, nil
+}
+
+func runFig26(c *Ctx) (*Result, error) {
+	train, test, err := c.Sets("mnist", modem.QAM256)
+	if err != nil {
+		return nil, err
+	}
+	model := c.Model("mnist/plain", func() *nn.ComplexLNN {
+		return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
+	})
+	res := &Result{
+		ID: "fig26", Title: "Dynamic walking interferer by region",
+		Headers: []string{"region", "accuracy"},
+		Notes: []string{
+			"R1-R3: off-path drift only (cancellation absorbs it); R4 blocks the MTS-Rx path",
+			"paper: R4 stays above 85.38%",
+		},
+	}
+	for _, region := range []channel.InterferenceRegion{
+		channel.NoInterferer, channel.RegionR1, channel.RegionR2, channel.RegionR3, channel.RegionR4,
+	} {
+		src := rng.New(c.Seed ^ hashSalt("f26-"+region.String()))
+		opts := ota.NewOptions(src.Split())
+		opts.Channel.Interf = region
+		opts.Channel.MTSRxDist = 3
+		sys, err := ota.Deploy(model.Weights(), opts, src)
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(region.String(), pct(c.Eval(sys, test)))
+	}
+	return res, nil
+}

@@ -1,0 +1,85 @@
+// Package fusion implements MetaAI's multi-sensor late-stage fusion (§3.4):
+// because the weights associated with different sensor inputs are
+// independent in a linear network (Fig 10(b)), a single metasurface serves
+// N sensors by time division — each sensor transmits in turn against its own
+// weight schedule, and the receiver sums the per-sensor complex
+// accumulators before taking the magnitude:
+//
+//	y_r^multi = | Σ_s Σ_i H_r^s(t_i^s) · x_i^s |       (Eqns 11–12)
+//
+// Digitally this is exactly a single LNN over the concatenation of the
+// sensor inputs, which is how the fused network is trained; over the air it
+// is one deployment whose schedule spans Σ_s U^s symbols.
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// EncodeViews encodes the first k views of a multi-sensor dataset and
+// concatenates them sample-wise (train and test), producing the encoded
+// sets of the fused network. k = 1 reproduces single-sensor operation.
+func EncodeViews(md *dataset.MultiDataset, k int, enc nn.Encoder) (train, test *nn.EncodedSet, err error) {
+	if k < 1 || k > len(md.Views) {
+		return nil, nil, fmt.Errorf("fusion: k=%d out of [1, %d] for %s", k, len(md.Views), md.Name)
+	}
+	build := func(pick func(v dataset.View) []dataset.Sample) *nn.EncodedSet {
+		n := len(pick(md.Views[0]))
+		es := &nn.EncodedSet{
+			X:       make([][]complex128, n),
+			Labels:  make([]int, n),
+			Classes: md.Classes,
+		}
+		for i := 0; i < n; i++ {
+			var cat []complex128
+			for v := 0; v < k; v++ {
+				s := pick(md.Views[v])[i]
+				cat = append(cat, enc.Encode(s.X)...)
+			}
+			es.X[i] = cat
+			es.Labels[i] = pick(md.Views[0])[i].Label
+		}
+		if n > 0 {
+			es.U = len(es.X[0])
+		}
+		return es
+	}
+	for v := 1; v < k; v++ {
+		if len(md.Views[v].Train) != len(md.Views[0].Train) || len(md.Views[v].Test) != len(md.Views[0].Test) {
+			return nil, nil, fmt.Errorf("fusion: views of %s are not aligned", md.Name)
+		}
+	}
+	train = build(func(v dataset.View) []dataset.Sample { return v.Train })
+	test = build(func(v dataset.View) []dataset.Sample { return v.Test })
+	return train, test, nil
+}
+
+// SensorSpans returns the symbol-range [start, end) each of the first k
+// views occupies within the fused input — the time-division schedule
+// boundaries a deployment uses.
+func SensorSpans(md *dataset.MultiDataset, k int, enc nn.Encoder) ([][2]int, error) {
+	if k < 1 || k > len(md.Views) {
+		return nil, fmt.Errorf("fusion: k=%d out of [1, %d]", k, len(md.Views))
+	}
+	spans := make([][2]int, k)
+	pos := 0
+	for v := 0; v < k; v++ {
+		u := enc.InputLen(md.Views[v].Dim)
+		spans[v] = [2]int{pos, pos + u}
+		pos += u
+	}
+	return spans, nil
+}
+
+// TrainFused trains the fused LNN over the first k views.
+func TrainFused(md *dataset.MultiDataset, k int, enc nn.Encoder, cfg nn.TrainConfig) (*nn.ComplexLNN, *nn.EncodedSet, *nn.EncodedSet, error) {
+	train, test, err := EncodeViews(md, k, enc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m := nn.TrainLNN(train, cfg)
+	return m, train, test, nil
+}

@@ -1,0 +1,96 @@
+package fusion
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/nn"
+)
+
+func enc() nn.Encoder { return nn.Encoder{Scheme: modem.QAM256} }
+
+func TestEncodeViewsValidation(t *testing.T) {
+	md := dataset.MustLoadMulti("multipie", dataset.Quick, 1)
+	if _, _, err := EncodeViews(md, 0, enc()); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, _, err := EncodeViews(md, 4, enc()); err == nil {
+		t.Error("expected error for k beyond view count")
+	}
+}
+
+func TestEncodeViewsConcatenation(t *testing.T) {
+	md := dataset.MustLoadMulti("multipie", dataset.Quick, 2)
+	train1, _, err := EncodeViews(md, 1, enc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train3, test3, err := EncodeViews(md, 3, enc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train3.U != 3*train1.U {
+		t.Fatalf("3-view U = %d, want 3×%d", train3.U, train1.U)
+	}
+	if len(train3.X) != len(train1.X) {
+		t.Fatal("sample counts must not change with views")
+	}
+	for i := range train3.Labels {
+		if train3.Labels[i] != train1.Labels[i] {
+			t.Fatal("labels must align across view counts")
+		}
+	}
+	if len(test3.X) == 0 {
+		t.Fatal("empty test set")
+	}
+	// The first view's symbols must prefix the fused input.
+	for i := range train1.X[0] {
+		if train3.X[0][i] != train1.X[0][i] {
+			t.Fatal("view 0 symbols must prefix the fused vector")
+		}
+	}
+}
+
+func TestSensorSpans(t *testing.T) {
+	md := dataset.MustLoadMulti("uschad", dataset.Quick, 3)
+	spans, err := SensorSpans(md, 2, enc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := enc().InputLen(md.Views[0].Dim)
+	if spans[0] != [2]int{0, u} || spans[1] != [2]int{u, 2 * u} {
+		t.Fatalf("spans = %v", spans)
+	}
+	if _, err := SensorSpans(md, 0, enc()); err == nil {
+		t.Error("expected error for k=0")
+	}
+}
+
+// TestFusionImprovesAccuracy reproduces Fig 20's monotone gains for all
+// three multi-sensor datasets, including the cross-modality USC-HAD case.
+func TestFusionImprovesAccuracy(t *testing.T) {
+	for _, name := range dataset.MultiNames() {
+		md := dataset.MustLoadMulti(name, dataset.Quick, 1)
+		var accs []float64
+		for k := 1; k <= len(md.Views); k++ {
+			m, _, test, err := TrainFused(md, k, enc(), nn.TrainConfig{Seed: 1, Epochs: 40})
+			if err != nil {
+				t.Fatal(err)
+			}
+			accs = append(accs, nn.Evaluate(m, test))
+		}
+		last := accs[len(accs)-1]
+		if last <= accs[0] {
+			t.Errorf("%s: fusion gave no gain: %v", name, accs)
+		}
+		if last-accs[0] < 0.08 {
+			t.Errorf("%s: fusion gain %.3f too small (paper: up to +27%%): %v", name, last-accs[0], accs)
+		}
+		for i := 1; i < len(accs); i++ {
+			if accs[i] < accs[i-1]-0.05 {
+				t.Errorf("%s: accuracy should not drop when adding sensors: %v", name, accs)
+			}
+		}
+	}
+}

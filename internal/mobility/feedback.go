@@ -1,0 +1,161 @@
+package mobility
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cplx"
+	"repro/internal/nn"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+// Feedback implements the receiver-feedback protocol the paper adopts from
+// RF-Bouncer (§4: "when the receiver moves to new locations, MetaAI employs
+// a feedback protocol to reconfigure the MTS"): instead of recalibrating on
+// a fixed period, the receiver monitors the quality of its own
+// accumulators — the normalized margin between the best and second-best
+// |y_r| — and requests reconfiguration only when the margin collapses.
+// Margins degrade before accuracy does (stale schedules first shrink the
+// winner's lead, then flip decisions), which makes the margin a usable
+// online signal that needs no ground-truth labels.
+type Feedback struct {
+	// Threshold is the margin below which the receiver requests
+	// recalibration; Calibrate derives it from the fresh deployment.
+	Threshold float64
+	// Window is how many inferences the margin is averaged over before a
+	// decision.
+	Window int
+}
+
+// DefaultFeedback uses an 8-inference window; call Calibrate to set the
+// threshold.
+func DefaultFeedback() Feedback {
+	return Feedback{Window: 8}
+}
+
+// Margin returns the relative decision margin of one readout:
+// (best − second) / best over the magnitudes. Zero for degenerate outputs.
+func Margin(logits []float64) float64 {
+	if len(logits) < 2 {
+		return 0
+	}
+	best, second := math.Inf(-1), math.Inf(-1)
+	for _, v := range logits {
+		if v > best {
+			second = best
+			best = v
+		} else if v > second {
+			second = v
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	return (best - second) / best
+}
+
+// MeanMargin measures the average margin a predictor produces over probe
+// inputs.
+func MeanMargin(p nn.LogitsPredictor, probes [][]complex128) float64 {
+	if len(probes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range probes {
+		sum += Margin(p.Logits(x))
+	}
+	return sum / float64(len(probes))
+}
+
+// Calibrate sets the threshold to the q-quantile of the fresh deployment's
+// per-probe margins (q = 0.25 by default: recalibration triggers when the
+// link's margins look like the bottom quartile of a healthy deployment).
+func (f *Feedback) Calibrate(p nn.LogitsPredictor, probes [][]complex128, q float64) {
+	if q <= 0 || q >= 1 {
+		q = 0.25
+	}
+	ms := make([]float64, 0, len(probes))
+	for _, x := range probes {
+		ms = append(ms, Margin(p.Logits(x)))
+	}
+	if len(ms) == 0 {
+		f.Threshold = 0
+		return
+	}
+	sort.Float64s(ms)
+	f.Threshold = ms[int(q*float64(len(ms)))]
+}
+
+// CalibrateMeanFraction sets the threshold to a fraction of the fresh
+// deployment's MEAN margin — the natural scale to compare a windowed mean
+// against (per-sample quantiles sit far below the mean because individual
+// margins are wildly dispersed).
+func (f *Feedback) CalibrateMeanFraction(p nn.LogitsPredictor, probes [][]complex128, frac float64) {
+	if frac <= 0 || frac >= 1 {
+		frac = 0.75
+	}
+	f.Threshold = frac * MeanMargin(p, probes)
+}
+
+// FeedbackTracker recalibrates a deployment when the receiver's observed
+// decision margins collapse, rather than on a fixed period.
+type FeedbackTracker struct {
+	*Tracker
+	FB Feedback
+	// Recalibrations counts feedback-triggered reconfigurations.
+	Recalibrations int
+
+	recent []float64
+}
+
+// NewFeedbackTracker deploys at opts.Geometry and calibrates the margin
+// threshold against the probe inputs. maxPeriod bounds how stale the
+// schedule may get even with healthy margins.
+func NewFeedbackTracker(w *cplx.Mat, opts ota.Options, costs Costs, maxPeriod float64, probes [][]complex128, src *rng.Source) (*FeedbackTracker, error) {
+	tr, err := NewTracker(w, opts, costs, maxPeriod, src)
+	if err != nil {
+		return nil, err
+	}
+	ft := &FeedbackTracker{Tracker: tr, FB: DefaultFeedback()}
+	ft.FB.Calibrate(tr.System(), probes, 0.25)
+	return ft, nil
+}
+
+// Observe processes one inference's feedback: record the readout's margin;
+// once the trailing window fills and its mean falls below the threshold,
+// recalibrate at the receiver's current position (drifted by
+// omega·sinceRecal seconds of motion) and reset the window. It reports
+// whether a recalibration fired.
+func (ft *FeedbackTracker) Observe(logits []float64, omegaDegPerSec, sinceRecal float64, src *rng.Source) (bool, error) {
+	ft.recent = append(ft.recent, Margin(logits))
+	if len(ft.recent) > ft.FB.Window {
+		ft.recent = ft.recent[len(ft.recent)-ft.FB.Window:]
+	}
+	if len(ft.recent) < ft.FB.Window {
+		return false, nil
+	}
+	var mean float64
+	for _, m := range ft.recent {
+		mean += m
+	}
+	mean /= float64(len(ft.recent))
+	if mean >= ft.FB.Threshold {
+		return false, nil
+	}
+	// Margin collapsed: recalibrate at the current position.
+	cur := ft.deployed
+	cur.RxAngleDeg += omegaDegPerSec * sinceRecal
+	ft.deployed = cur
+	ft.travelled = 0
+	opts := ft.Opts
+	opts.Geometry = cur
+	sys, err := ota.Deploy(ft.Weights, opts, src)
+	if err != nil {
+		return false, err
+	}
+	ft.sys = sys
+	ft.recent = ft.recent[:0]
+	ft.Recalibrations++
+	return true, nil
+}

@@ -1,0 +1,122 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+func TestMargin(t *testing.T) {
+	if got := Margin([]float64{10, 5, 2}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Margin = %v, want 0.5", got)
+	}
+	if Margin([]float64{7}) != 0 {
+		t.Fatal("single logit must yield margin 0")
+	}
+	if Margin([]float64{0, 0}) != 0 {
+		t.Fatal("zero logits must yield margin 0")
+	}
+	if got := Margin([]float64{4, 4}); got != 0 {
+		t.Fatalf("tied logits margin = %v, want 0", got)
+	}
+}
+
+func TestCalibrateQuantile(t *testing.T) {
+	var f Feedback
+	p := &fixedLogits{vals: [][]float64{
+		{10, 1}, {10, 3}, {10, 5}, {10, 7},
+	}}
+	probes := make([][]complex128, 4)
+	f.Calibrate(p, probes, 0.25)
+	// Margins: 0.9, 0.7, 0.5, 0.3 → sorted {0.3,0.5,0.7,0.9}; 25% quantile
+	// index 1 → 0.5.
+	if math.Abs(f.Threshold-0.5) > 1e-12 {
+		t.Fatalf("threshold = %v, want 0.5", f.Threshold)
+	}
+	f.Calibrate(p, nil, 0.25)
+	if f.Threshold != 0 {
+		t.Fatal("empty probes must zero the threshold")
+	}
+}
+
+// fixedLogits replays canned logits regardless of input.
+type fixedLogits struct {
+	vals [][]float64
+	i    int
+}
+
+func (f *fixedLogits) Logits(x []complex128) []float64 {
+	v := f.vals[f.i%len(f.vals)]
+	f.i++
+	return v
+}
+
+func TestMarginDegradesBeforeAccuracy(t *testing.T) {
+	// The premise of the protocol: a modest receiver drift shrinks margins
+	// measurably even while most predictions still hold.
+	m, test := trained(t)
+	src := rng.New(10)
+	opts := ota.NewOptions(src.Split())
+	opts.BeamScanStepDeg = 0
+	sys, err := ota.Deploy(m.Weights(), opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := test.X[:60]
+	fresh := MeanMargin(sys, probes)
+	moved := opts.Geometry
+	moved.RxAngleDeg += 10
+	sys.Recompute(moved)
+	stale := MeanMargin(sys, probes)
+	if stale >= fresh*0.85 {
+		t.Fatalf("10 degrees of drift should shrink margins: fresh %.3f, stale %.3f", fresh, stale)
+	}
+}
+
+func TestFeedbackTriggersOnDriftOnly(t *testing.T) {
+	m, test := trained(t)
+	src := rng.New(11)
+	opts := ota.NewOptions(src.Split())
+	probes := test.X[:50]
+	ft, err := NewFeedbackTracker(m.Weights(), opts, DefaultCosts(2), 10, probes, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static receiver: feed fresh readouts; no recalibration should fire.
+	for _, x := range test.X[:30] {
+		fired, err := ft.Observe(ft.System().Logits(x), 0, 0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fired {
+			t.Fatal("static receiver triggered a recalibration")
+		}
+	}
+	// Now the receiver jumps 10°: stale margins collapse, the protocol
+	// recalibrates, and margins recover.
+	moved := opts.Geometry
+	moved.RxAngleDeg += 10
+	ft.System().Recompute(moved)
+	var fired bool
+	for _, x := range test.X[:40] {
+		f, err := ft.Observe(ft.System().Logits(x), 10.0/3.0, 3.0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("margin collapse did not trigger recalibration")
+	}
+	if ft.Recalibrations != 1 {
+		t.Fatalf("recalibrations = %d, want 1", ft.Recalibrations)
+	}
+	if got := MeanMargin(ft.System(), probes); got < ft.FB.Threshold {
+		t.Fatalf("post-recalibration margin %.3f still below threshold %.3f", got, ft.FB.Threshold)
+	}
+}

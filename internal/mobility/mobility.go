@@ -1,0 +1,165 @@
+// Package mobility implements the receiver-mobility management the paper
+// sketches in §7: when the receiver moves, the physical propagation paths
+// change, invalidating the pre-calculated mapping between MTS
+// configurations and logical weights. The system must re-estimate the
+// channel (beam scan) and re-solve the schedules (Eqn 7), and its ability
+// to support mobility "is a race between the target's speed and this
+// recalibration latency".
+//
+// The package models that race explicitly: a Tracker periodically
+// recalibrates a deployment (paying a modeled scan + solve + upload
+// latency), while the receiver sweeps through angles at a configurable
+// angular speed. Between recalibrations the deployment serves inference
+// with a stale schedule whose realized weights have drifted.
+package mobility
+
+import (
+	"fmt"
+
+	"repro/internal/cplx"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+// Costs models the recalibration latency components.
+type Costs struct {
+	// ScanDwell is the per-candidate dwell time of the beam scan (the MTS
+	// must settle and the receiver report power), seconds.
+	ScanDwell float64
+	// ScanRangeDeg and ScanStepDeg size the scan grid.
+	ScanRangeDeg, ScanStepDeg float64
+	// SolvePerWeight is the controller-side compute time per scheduled
+	// weight, seconds.
+	SolvePerWeight float64
+	// UploadPerConfig is the time to stream one configuration to the
+	// registers (from the mts.Controller model).
+	UploadPerConfig float64
+}
+
+// DefaultCosts sizes the components for the prototype: a ±80° scan at the
+// given step with 100 µs dwell (a feedback-protocol round trip), 20 µs of
+// solver time per weight, and the 2.56 MHz controller upload rate.
+func DefaultCosts(stepDeg float64) Costs {
+	if stepDeg <= 0 {
+		stepDeg = 2
+	}
+	return Costs{
+		ScanDwell:       100e-6,
+		ScanRangeDeg:    160,
+		ScanStepDeg:     stepDeg,
+		SolvePerWeight:  20e-6,
+		UploadPerConfig: mts.PrototypeController().ReconfigTime(256),
+	}
+}
+
+// RecalibrationLatency returns the time to re-acquire the receiver and
+// rebuild the schedule for a classes×u deployment.
+func (c Costs) RecalibrationLatency(classes, u int) float64 {
+	candidates := c.ScanRangeDeg/c.ScanStepDeg + 1
+	scan := candidates * c.ScanDwell
+	solve := float64(classes*u) * c.SolvePerWeight
+	upload := float64(classes*u) * c.UploadPerConfig
+	return scan + solve + upload
+}
+
+// Tracker serves inference for a moving receiver, recalibrating at a fixed
+// period.
+type Tracker struct {
+	// Weights is the trained desired-weight matrix.
+	Weights *cplx.Mat
+	// Opts is the deployment template; its Geometry holds the deployment
+	// anchor and its BeamScanStepDeg feeds the scan cost.
+	Opts ota.Options
+	// Costs models recalibration latency.
+	Costs Costs
+	// RecalPeriod is the time between recalibrations, seconds. It cannot be
+	// shorter than the recalibration latency itself.
+	RecalPeriod float64
+
+	sys       *ota.System
+	deployed  mts.Geometry
+	travelled float64 // seconds since last recalibration
+}
+
+// NewTracker deploys the initial schedule at opts.Geometry.
+func NewTracker(w *cplx.Mat, opts ota.Options, costs Costs, recalPeriod float64, src *rng.Source) (*Tracker, error) {
+	lat := costs.RecalibrationLatency(w.Rows, w.Cols)
+	if recalPeriod < lat {
+		return nil, fmt.Errorf("mobility: recalibration period %.3gs below the recalibration latency %.3gs", recalPeriod, lat)
+	}
+	sys, err := ota.Deploy(w, opts, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		Weights:     w,
+		Opts:        opts,
+		Costs:       costs,
+		RecalPeriod: recalPeriod,
+		sys:         sys,
+		deployed:    opts.Geometry,
+	}, nil
+}
+
+// Advance moves time forward by dt seconds while the receiver sweeps at
+// omegaDegPerSec: the true geometry drifts, the stale schedule's realized
+// responses are recomputed against it, and a recalibration fires whenever
+// the period elapses (re-anchoring the schedule at the receiver's current
+// angle).
+func (t *Tracker) Advance(dt, omegaDegPerSec float64, src *rng.Source) error {
+	t.travelled += dt
+	cur := t.deployed
+	cur.RxAngleDeg += omegaDegPerSec * t.travelled
+	if t.travelled >= t.RecalPeriod {
+		// Recalibrate at the receiver's current position.
+		t.travelled = 0
+		t.deployed = cur
+		opts := t.Opts
+		opts.Geometry = cur
+		sys, err := ota.Deploy(t.Weights, opts, src)
+		if err != nil {
+			return err
+		}
+		t.sys = sys
+		return nil
+	}
+	t.sys.Recompute(cur)
+	return nil
+}
+
+// Deployed returns the geometry the current schedule was solved for.
+func (t *Tracker) Deployed() mts.Geometry { return t.deployed }
+
+// StaleAngleDeg returns how far the receiver has drifted from the deployed
+// anchor.
+func (t *Tracker) StaleAngleDeg(omegaDegPerSec float64) float64 {
+	return omegaDegPerSec * t.travelled
+}
+
+// System returns the currently serving deployment.
+func (t *Tracker) System() *ota.System { return t.sys }
+
+// Evaluate measures the tracker's current accuracy on a test set.
+func (t *Tracker) Evaluate(test *nn.EncodedSet) float64 {
+	return nn.Evaluate(t.sys, test)
+}
+
+// SteadyStateAccuracy simulates one full recalibration period at the given
+// angular speed, sampling accuracy at `samples` evenly spaced instants, and
+// returns the time-averaged accuracy — the figure of merit of the §7 race.
+func (t *Tracker) SteadyStateAccuracy(omegaDegPerSec float64, samples int, test *nn.EncodedSet, src *rng.Source) (float64, error) {
+	if samples < 1 {
+		samples = 4
+	}
+	dt := t.RecalPeriod / float64(samples)
+	var total float64
+	for i := 0; i < samples; i++ {
+		if err := t.Advance(dt, omegaDegPerSec, src); err != nil {
+			return 0, err
+		}
+		total += t.Evaluate(test)
+	}
+	return total / float64(samples), nil
+}

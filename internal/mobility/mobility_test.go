@@ -1,0 +1,120 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/nn"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+func trained(t *testing.T) (*nn.ComplexLNN, *nn.EncodedSet) {
+	t.Helper()
+	ds := dataset.MustLoad("afhq", dataset.Quick, 1)
+	enc := nn.Encoder{Scheme: modem.QAM256}
+	train := nn.EncodeSet(ds.Train, ds.Classes, enc)
+	test := nn.EncodeSet(ds.Test, ds.Classes, enc)
+	return nn.TrainLNN(train, nn.TrainConfig{Seed: 1, Epochs: 20}), test
+}
+
+func TestRecalibrationLatencyComposition(t *testing.T) {
+	c := DefaultCosts(2)
+	lat := c.RecalibrationLatency(10, 64)
+	// 81 scan candidates × 100 µs = 8.1 ms; 640 weights × 20 µs = 12.8 ms;
+	// 640 uploads × ~0.39 µs = 0.25 ms.
+	want := 81*100e-6 + 640*20e-6 + 640*c.UploadPerConfig
+	if math.Abs(lat-want) > 1e-9 {
+		t.Fatalf("latency %v, want %v", lat, want)
+	}
+	if lat < 15e-3 || lat > 40e-3 {
+		t.Fatalf("prototype recalibration latency %v s outside the plausible tens-of-ms band", lat)
+	}
+}
+
+func TestNewTrackerRejectsImpossiblePeriod(t *testing.T) {
+	m, _ := trained(t)
+	src := rng.New(1)
+	opts := ota.NewOptions(src.Split())
+	costs := DefaultCosts(2)
+	if _, err := NewTracker(m.Weights(), opts, costs, 1e-6, src); err == nil {
+		t.Fatal("expected error for a period below the recalibration latency")
+	}
+}
+
+func TestStaticReceiverKeepsAccuracy(t *testing.T) {
+	m, test := trained(t)
+	src := rng.New(2)
+	opts := ota.NewOptions(src.Split())
+	costs := DefaultCosts(2)
+	tr, err := NewTracker(m.Weights(), opts, costs, 0.2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tr.Evaluate(test)
+	acc, err := tr.SteadyStateAccuracy(0, 4, test, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base-acc > 0.05 {
+		t.Fatalf("static receiver lost accuracy: %.3f -> %.3f", base, acc)
+	}
+}
+
+func TestMobilityRace(t *testing.T) {
+	// The §7 race: slow targets are fine, fast targets outrun the
+	// recalibration period and lose accuracy.
+	m, test := trained(t)
+	run := func(omega float64) float64 {
+		src := rng.New(3)
+		opts := ota.NewOptions(src.Split())
+		tr, err := NewTracker(m.Weights(), opts, DefaultCosts(2), 0.5, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := tr.SteadyStateAccuracy(omega, 5, test, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	slow := run(2)   // 1° of drift per period
+	fast := run(140) // up to 70° of drift per period
+	if slow-fast < 0.1 {
+		t.Fatalf("fast target (%.3f) should lose clearly against slow (%.3f)", fast, slow)
+	}
+	if slow < 0.75 {
+		t.Fatalf("slow target accuracy %.3f too low", slow)
+	}
+}
+
+func TestRecalibrationRestoresAfterDrift(t *testing.T) {
+	m, test := trained(t)
+	src := rng.New(4)
+	opts := ota.NewOptions(src.Split())
+	tr, err := NewTracker(m.Weights(), opts, DefaultCosts(2), 0.1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift almost a full period at high speed: stale.
+	if err := tr.Advance(0.099, 100, src); err != nil {
+		t.Fatal(err)
+	}
+	stale := tr.Evaluate(test)
+	if off := tr.StaleAngleDeg(100); math.Abs(off-9.9) > 1e-9 {
+		t.Fatalf("stale angle %v, want 9.9", off)
+	}
+	// Crossing the period triggers recalibration at the new position.
+	if err := tr.Advance(0.002, 100, src); err != nil {
+		t.Fatal(err)
+	}
+	fresh := tr.Evaluate(test)
+	if fresh < stale {
+		t.Fatalf("recalibration should restore accuracy: stale %.3f, fresh %.3f", stale, fresh)
+	}
+	if fresh < 0.75 {
+		t.Fatalf("post-recalibration accuracy %.3f too low", fresh)
+	}
+}

@@ -1,0 +1,61 @@
+package modem
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func benchPayload(n int) []byte {
+	src := rng.New(1)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(src.IntN(256))
+	}
+	return out
+}
+
+func BenchmarkModulate256QAM(b *testing.B) {
+	data := benchPayload(64) // one 8×8 sample
+	b.ReportAllocs()
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ModulateBytes(data, QAM256)
+	}
+}
+
+func BenchmarkDemodulate256QAM(b *testing.B) {
+	syms := ModulateBytes(benchPayload(64), QAM256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DemodulateBytes(syms, QAM256)
+	}
+}
+
+func BenchmarkFFT256(b *testing.B) {
+	src := rng.New(2)
+	x := make([]complex128, 256)
+	for i := range x {
+		x[i] = src.ComplexNormal(1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkOFDMRoundTrip64(b *testing.B) {
+	o, _ := NewOFDM(64, 16)
+	src := rng.New(3)
+	freq := make([]complex128, 64)
+	for i := range freq {
+		freq[i] = src.ComplexNormal(1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Demodulate(o.Modulate(freq))
+	}
+}

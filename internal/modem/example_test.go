@@ -1,0 +1,34 @@
+package modem_test
+
+import (
+	"fmt"
+
+	"repro/internal/modem"
+)
+
+// ExampleModulateBytes shows the sensor-side encoding of Fig 4: sample
+// bytes become Gray-coded constellation symbols; the modulation order fixes
+// the over-the-air network's input length U.
+func ExampleModulateBytes() {
+	sample := make([]byte, 64) // one 8×8 image, one byte per pixel
+	for _, s := range []modem.Scheme{modem.BPSK, modem.QAM16, modem.QAM256} {
+		fmt.Printf("%s: U = %d symbols\n", s, len(modem.ModulateBytes(sample, s)))
+	}
+	// Output:
+	// BPSK: U = 512 symbols
+	// 16-QAM: U = 128 symbols
+	// 256-QAM: U = 64 symbols
+}
+
+// ExampleZeroMeanChips demonstrates the waveform property the §3.2
+// multipath cancellation rests on: symbol chips sum to zero, so any static
+// channel integrates to nothing.
+func ExampleZeroMeanChips() {
+	chips := modem.ZeroMeanChips(1-2i, 4)
+	var sum complex128
+	for _, c := range chips {
+		sum += c
+	}
+	fmt.Println("chips:", len(chips), "sum:", sum)
+	// Output: chips: 4 sum: (0+0i)
+}

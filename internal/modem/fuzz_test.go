@@ -1,0 +1,41 @@
+package modem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzModulateRoundTrip asserts that, for every scheme, modulating any byte
+// payload and demodulating the clean symbols returns the payload exactly —
+// the invariant the whole encoding pipeline rests on.
+func FuzzModulateRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x00, 0xa5})
+	f.Add([]byte("the quick brown fox"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		for _, s := range Schemes() {
+			syms := ModulateBytes(data, s)
+			back := DemodulateBytes(syms, s)
+			if len(back) < len(data) {
+				t.Fatalf("%v: demodulated %d bytes of %d", s, len(back), len(data))
+			}
+			if !bytes.Equal(back[:len(data)], data) {
+				t.Fatalf("%v: round trip corrupted payload", s)
+			}
+		}
+	})
+}
+
+// FuzzBitsRoundTrip covers the bit packing helpers.
+func FuzzBitsRoundTrip(f *testing.F) {
+	f.Add([]byte{0x3c})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if got := BitsToBytes(BytesToBits(data)); !bytes.Equal(got, data) {
+			t.Fatal("bit round trip corrupted payload")
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package mts
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The Eqn 7 solver runs once per (output, symbol) pair at deployment time —
+// R·U = 640 times for the default MNIST pipeline — so its cost dominates
+// deployment latency and the §7 recalibration budget.
+func BenchmarkSolveTarget(b *testing.B) {
+	s := Prototype(rng.New(1))
+	pp := s.PathPhases(DefaultGeometry())
+	maxR := s.MaxResponse(pp)
+	target := complex(0.4*maxR, -0.3*maxR)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SolveTarget(target, pp)
+	}
+}
+
+func BenchmarkSolveMultiTarget10(b *testing.B) {
+	s := Prototype(rng.New(2))
+	g := DefaultGeometry()
+	paths := make([][]float64, 10)
+	for ch := range paths {
+		gg := g
+		gg.RxAngleDeg = -45 + 10*float64(ch)
+		paths[ch] = s.PathPhases(gg)
+	}
+	maxR := s.MaxResponse(paths[0])
+	targets := make([]complex128, 10)
+	for i := range targets {
+		targets[i] = complex(0.1*maxR, 0.05*maxR*float64(i-5))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SolveMultiTarget(targets, paths)
+	}
+}
+
+func BenchmarkResponse(b *testing.B) {
+	s := Prototype(rng.New(3))
+	pp := s.PathPhases(DefaultGeometry())
+	cfg := make(Config, s.Atoms())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Response(cfg, pp)
+	}
+}
+
+func BenchmarkBeamScan(b *testing.B) {
+	s := Prototype(rng.New(4))
+	g := DefaultGeometry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BeamScan(g, 1)
+	}
+}
+
+func BenchmarkWDD256(b *testing.B) {
+	s, _ := NewSurface(16, 16, 2, 5.25, nil)
+	opt := DefaultWDDOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.WDD(opt, nil)
+	}
+}

@@ -1,0 +1,90 @@
+package mts
+
+import (
+	"fmt"
+	"math"
+)
+
+// Controller models the prototype's control plane (§4): an STM32 MCU drives
+// the 256 meta-atoms through 16 groups of 4 daisy-chained SN74LV595 shift
+// registers, groups loaded in parallel. It bounds how fast configurations
+// can be streamed — the prototype sustains 2.56 M coding patterns/sec
+// against a 1 M symbol/sec transmitter, i.e. at most two in-symbol switches,
+// which is exactly what the zero-mean multipath cancellation needs.
+type Controller struct {
+	// Groups is the number of shift-register chains loaded in parallel.
+	Groups int
+	// BitsPerAtom is the per-atom state width (2 for the prototype).
+	BitsPerAtom int
+	// ClockHz is the shift-register serial clock.
+	ClockHz float64
+	// SwitchEnergyJ is the energy to latch one full surface configuration
+	// (PIN-diode bias flips plus register clocking); feeds the Appendix A.4
+	// energy model.
+	SwitchEnergyJ float64
+}
+
+// PrototypeController returns the paper's control-plane parameters. The
+// clock is set so a 16×16 2-bit surface reconfigures at 2.56 MHz.
+func PrototypeController() Controller {
+	return Controller{
+		Groups:      16,
+		BitsPerAtom: 2,
+		// Each group streams 256/16 = 16 atoms × 2 bits = 32 bits per
+		// pattern; 32 bits × 2.56 MHz = 81.92 MHz serial clock.
+		ClockHz:       81.92e6,
+		SwitchEnergyJ: 0.92e-9,
+	}
+}
+
+// ControllerFor scales the prototype control plane to a surface of the
+// given atom count, keeping the 2.56 MHz pattern rate: a larger surface
+// needs a proportionally faster serial clock (or more register groups) to
+// sustain the same schedule. The atoms-vs-accuracy sweep of Fig 7 assumes
+// the control plane grows with the array.
+func ControllerFor(atoms int) Controller {
+	c := PrototypeController()
+	bitsPerGroup := (atoms + c.Groups - 1) / c.Groups * c.BitsPerAtom
+	c.ClockHz = 2.56e6 * float64(bitsPerGroup)
+	return c
+}
+
+// ReconfigTime returns the time to stream one full configuration to a
+// surface with the given atom count.
+func (c Controller) ReconfigTime(atoms int) float64 {
+	if c.Groups <= 0 || c.ClockHz <= 0 {
+		return math.Inf(1)
+	}
+	bitsPerGroup := int(math.Ceil(float64(atoms)/float64(c.Groups))) * c.BitsPerAtom
+	return float64(bitsPerGroup) / c.ClockHz
+}
+
+// MaxSwitchRate returns the sustainable configurations/sec for the given
+// atom count.
+func (c Controller) MaxSwitchRate(atoms int) float64 {
+	t := c.ReconfigTime(atoms)
+	if t <= 0 || math.IsInf(t, 1) {
+		return 0
+	}
+	return 1 / t
+}
+
+// ValidateSchedule checks that a per-symbol schedule with the given symbol
+// rate and in-symbol switch count is within the controller's capability.
+func (c Controller) ValidateSchedule(atoms int, symbolRate float64, switchesPerSymbol int) error {
+	if switchesPerSymbol < 1 {
+		return fmt.Errorf("mts: schedule needs at least one switch per symbol, got %d", switchesPerSymbol)
+	}
+	need := symbolRate * float64(switchesPerSymbol)
+	if got := c.MaxSwitchRate(atoms); got < need {
+		return fmt.Errorf("mts: controller sustains %.3g switches/s, schedule needs %.3g (%.0f sym/s × %d)",
+			got, need, symbolRate, switchesPerSymbol)
+	}
+	return nil
+}
+
+// ControlEnergy returns the control-plane energy to play a schedule of n
+// configurations.
+func (c Controller) ControlEnergy(n int) float64 {
+	return float64(n) * c.SwitchEnergyJ
+}

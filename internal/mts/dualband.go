@@ -1,0 +1,78 @@
+package mts
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// DualBand models the paper's first prototype: a single physical panel
+// whose meta-atoms respond at both 2.4 GHz and 5 GHz (§4, "one MTS operates
+// at dual-band"). The two bands share the PIN-diode configuration bits but
+// present band-specific phase responses — the same panel serves Wi-Fi links
+// in either band after re-solving the schedule for that band's path phases,
+// while a schedule solved for one band is meaningless in the other.
+type DualBand struct {
+	// LowGHz and HighGHz identify the two operating bands.
+	LowGHz, HighGHz float64
+	low, high       *Surface
+}
+
+// NewDualBand builds the dual-band prototype panel: 16×16 2-bit atoms with
+// per-band fabrication spreads drawn from src (nil for ideal).
+func NewDualBand(lowGHz, highGHz float64, src *rng.Source) (*DualBand, error) {
+	if lowGHz <= 0 || highGHz <= 0 || lowGHz >= highGHz {
+		return nil, fmt.Errorf("mts: invalid dual-band pair %v/%v GHz", lowGHz, highGHz)
+	}
+	var lowSrc, highSrc *rng.Source
+	if src != nil {
+		lowSrc, highSrc = src.Split(), src.Split()
+	}
+	low, err := NewSurface(16, 16, 2, lowGHz, lowSrc)
+	if err != nil {
+		return nil, err
+	}
+	high, err := NewSurface(16, 16, 2, highGHz, highSrc)
+	if err != nil {
+		return nil, err
+	}
+	// One physical panel: both personalities share the low band's λ/2 pitch
+	// (the fabricated geometry cannot change with frequency).
+	pitch := low.Wavelength() / 2
+	low.SpacingM = pitch
+	high.SpacingM = pitch
+	return &DualBand{LowGHz: lowGHz, HighGHz: highGHz, low: low, high: high}, nil
+}
+
+// PrototypeDualBand returns the paper's MTS 1: 2.4 / 5 GHz.
+func PrototypeDualBand(src *rng.Source) *DualBand {
+	d, err := NewDualBand(2.4, 5.0, src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Bands lists the panel's operating frequencies.
+func (d *DualBand) Bands() []float64 { return []float64{d.LowGHz, d.HighGHz} }
+
+// Band returns the panel's personality at the given frequency.
+func (d *DualBand) Band(ghz float64) (*Surface, error) {
+	switch ghz {
+	case d.LowGHz:
+		return d.low, nil
+	case d.HighGHz:
+		return d.high, nil
+	}
+	return nil, fmt.Errorf("mts: panel operates at %v or %v GHz, not %v", d.LowGHz, d.HighGHz, ghz)
+}
+
+// CrossBandResponse evaluates a configuration solved for one band against
+// the other band's path phases — quantifying how meaningless a schedule
+// becomes when the link hops bands without re-solving (the reason the
+// deployment pipeline re-runs Eqn 7 per band).
+func (d *DualBand) CrossBandResponse(cfg Config, g Geometry) (same, cross complex128) {
+	same = d.high.Response(cfg, d.high.PathPhases(g))
+	cross = d.low.Response(cfg, d.low.PathPhases(g))
+	return same, cross
+}

@@ -1,0 +1,80 @@
+package mts
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewDualBandValidation(t *testing.T) {
+	if _, err := NewDualBand(5, 2.4, nil); err == nil {
+		t.Error("expected error for inverted band order")
+	}
+	if _, err := NewDualBand(0, 5, nil); err == nil {
+		t.Error("expected error for zero band")
+	}
+}
+
+func TestDualBandPersonalities(t *testing.T) {
+	d := PrototypeDualBand(rng.New(1))
+	if got := d.Bands(); got[0] != 2.4 || got[1] != 5.0 {
+		t.Fatalf("bands = %v", got)
+	}
+	low, err := d.Band(2.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := d.Band(5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.FreqGHz != 2.4 || high.FreqGHz != 5.0 {
+		t.Fatal("band personalities mislabelled")
+	}
+	// One physical panel: same pitch in both personalities.
+	if low.Spacing() != high.Spacing() {
+		t.Fatalf("pitch differs across bands: %v vs %v", low.Spacing(), high.Spacing())
+	}
+	if _, err := d.Band(3.5); err == nil {
+		t.Error("expected error for an unsupported band")
+	}
+}
+
+func TestCrossBandScheduleIsUseless(t *testing.T) {
+	// A configuration solved for the 5 GHz path phases must realize its
+	// target in-band and miss it badly cross-band.
+	d := PrototypeDualBand(rng.New(2))
+	high, _ := d.Band(5.0)
+	g := DefaultGeometry()
+	pp := high.PathPhases(g)
+	maxR := high.MaxResponse(pp)
+	target := complex(0.4*maxR, 0.2*maxR)
+	cfg, _ := high.SolveTarget(target, pp)
+	same, cross := d.CrossBandResponse(cfg, g)
+	if cmplx.Abs(same-target) > 0.05*maxR {
+		t.Fatalf("in-band response %v misses target %v", same, target)
+	}
+	if cmplx.Abs(cross-target) < 0.2*maxR {
+		t.Fatalf("cross-band response %v should miss the target %v badly", cross, target)
+	}
+}
+
+func TestDualBandBothBandsDeployable(t *testing.T) {
+	// Re-solving per band restores approximation quality in either band.
+	d := PrototypeDualBand(rng.New(3))
+	g := DefaultGeometry()
+	for _, ghz := range d.Bands() {
+		s, err := d.Band(ghz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp := s.PathPhases(g)
+		maxR := s.MaxResponse(pp)
+		target := complex(-0.3*maxR, 0.4*maxR)
+		_, got := s.SolveTarget(target, pp)
+		if cmplx.Abs(got-target) > 0.02*maxR {
+			t.Fatalf("%v GHz: solve error %v of range", ghz, cmplx.Abs(got-target)/maxR)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package mts_test
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/mts"
+)
+
+// ExampleSurface_SolveTarget shows the heart of deployment (Eqn 7 of the
+// paper): given the propagation phases of a link geometry, find the 2-bit
+// configuration whose array factor realizes a desired complex weight.
+func ExampleSurface_SolveTarget() {
+	surface, err := mts.NewSurface(16, 16, 2, 5.25, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	paths := surface.PathPhases(mts.DefaultGeometry())
+	maxR := surface.MaxResponse(paths)
+
+	target := complex(0.4*maxR, -0.2*maxR)
+	cfg, got := surface.SolveTarget(target, paths)
+
+	fmt.Println("atoms configured:", len(cfg))
+	fmt.Println("relative error below 1%:", cmplx.Abs(got-target)/maxR < 0.01)
+	// Output:
+	// atoms configured: 256
+	// relative error below 1%: true
+}
+
+// ExampleSurface_WDD reproduces the Appendix A.2 design argument: the
+// weight distribution density saturates at the prototype's 256 atoms.
+func ExampleSurface_WDD() {
+	small, _ := mts.NewSurface(8, 8, 2, 5.25, nil)
+	proto, _ := mts.NewSurface(16, 16, 2, 5.25, nil)
+	big, _ := mts.NewSurface(32, 32, 2, 5.25, nil)
+	opt := mts.DefaultWDDOptions()
+	w64 := small.WDD(opt, nil)
+	w256 := proto.WDD(opt, nil)
+	w1024 := big.WDD(opt, nil)
+	fmt.Println("64 -> 256 atoms grows WDD sharply:", w256 > 5*w64)
+	fmt.Println("256 -> 1024 atoms saturates:", w1024 < 1.3*w256)
+	// Output:
+	// 64 -> 256 atoms grows WDD sharply: true
+	// 256 -> 1024 atoms saturates: true
+}

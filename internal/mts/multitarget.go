@@ -1,0 +1,86 @@
+package mts
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/cplx"
+)
+
+// SolveMultiTarget finds a single configuration whose array factor
+// simultaneously approximates K different targets under K different
+// path-phase sets — the core of both parallelism schemes of §3.3. In the
+// subcarrier scheme the K sets come from the atoms' frequency-selective
+// response at each subcarrier (Eqn 9); in the antenna scheme from the K
+// receiver directions (Eqn 10). It minimizes Σ_k |H_k(Φ) − targets[k]|² by
+// coordinate descent with incremental per-channel sums, after initializing
+// toward the first target.
+//
+// With M atoms and K ≪ M constraints the joint problem is well satisfiable
+// when the path sets are sufficiently diverse; the growing residual as K
+// approaches the atom budget is exactly the accuracy/latency trade-off of
+// Fig 31.
+func (s *Surface) SolveMultiTarget(targets []complex128, paths [][]float64) (Config, []complex128) {
+	k := len(targets)
+	if k == 0 || len(paths) != k {
+		panic(fmt.Sprintf("mts: SolveMultiTarget wants matching targets/paths, got %d/%d", k, len(paths)))
+	}
+	m := s.Atoms()
+	for i, p := range paths {
+		if len(p) != m {
+			panic(fmt.Sprintf("mts: path set %d has %d phases, surface has %d atoms", i, len(p), m))
+		}
+	}
+	cfg := s.alignConfig(cmplx.Phase(targets[0]), paths[0])
+	// Per-channel per-atom phasors and running sums.
+	ph := make([][]complex128, k) // ph[ch][atom]
+	sums := make([]complex128, k)
+	for ch := 0; ch < k; ch++ {
+		ph[ch] = make([]complex128, m)
+		for a := 0; a < m; a++ {
+			ph[ch][a] = cplx.Expi(paths[ch][a] + s.states[cfg[a]])
+			sums[ch] += ph[ch][a]
+		}
+	}
+	totalErr := func() float64 {
+		var e float64
+		for ch := 0; ch < k; ch++ {
+			d := sums[ch] - targets[ch]
+			e += real(d)*real(d) + imag(d)*imag(d)
+		}
+		return e
+	}
+	const passes = 4
+	cand := make([]complex128, k)
+	for p := 0; p < passes; p++ {
+		improved := false
+		for a := 0; a < m; a++ {
+			bestErr := totalErr()
+			for st := range s.states {
+				if uint8(st) == cfg[a] {
+					continue
+				}
+				var e float64
+				for ch := 0; ch < k; ch++ {
+					c := cplx.Expi(paths[ch][a] + s.states[st])
+					cand[ch] = c
+					d := sums[ch] - ph[ch][a] + c - targets[ch]
+					e += real(d)*real(d) + imag(d)*imag(d)
+				}
+				if e < bestErr {
+					bestErr = e
+					for ch := 0; ch < k; ch++ {
+						sums[ch] += cand[ch] - ph[ch][a]
+						ph[ch][a] = cand[ch]
+					}
+					cfg[a] = uint8(st)
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cfg, sums
+}

@@ -1,0 +1,150 @@
+package mts
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// WDDOptions parameterizes the weight-distribution-density estimate.
+type WDDOptions struct {
+	// Epsilon is the mapping error tolerance ε of Eqn 19; the paper uses
+	// 0.002.
+	Epsilon float64
+	// Samples is the Monte-Carlo budget used for surfaces whose achievable
+	// set cannot be enumerated exactly (bit depth ≠ 2).
+	Samples int
+}
+
+// DefaultWDDOptions mirrors Appendix A.2 (ε = 0.002).
+func DefaultWDDOptions() WDDOptions {
+	return WDDOptions{Epsilon: 0.002, Samples: 120000}
+}
+
+// WDD computes the weight distribution density of Appendix A.2 (Eqn 19):
+// every achievable MTS weight serves the digital weights within mapping
+// tolerance ε of it, so WDD is the fraction of the normalized weight disk
+// (radius √2/2) covered by the union of ε-disks centred on achievable
+// weights — Size(S_c)·πε² / (π(√2/2)²), with overlap accounted for.
+//
+// After propagation-phase compensation every atom contributes one of the
+// discrete state phasors, so for the 2-bit prototype the achievable set is
+// exactly the integer lattice {(n₀−n₂) + j(n₁−n₃) : Σnₖ = M} — the diamond
+// |a|+|b| ≤ M with parity a+b ≡ M (mod 2) — which this function enumerates
+// exactly. The ε-disks begin to tile the domain when M²·πε² reaches the
+// diamond area, i.e. at M ≈ 1/(√π·ε) ≈ 282 for ε = 0.002: the saturation
+// knee of Fig 30 and the reason the paper selects 256 atoms. For other bit
+// depths the achievable set is Monte-Carlo sampled using src.
+func (s *Surface) WDD(opt WDDOptions, src *rng.Source) float64 {
+	if opt.Epsilon <= 0 {
+		opt.Epsilon = 0.002
+	}
+	m := s.Atoms()
+	radius := math.Sqrt2 / 2
+	g := newCoverageGrid(radius, opt.Epsilon)
+	if len(s.states) == 4 {
+		// Exact lattice enumeration. Normalized coordinates: w = (a+jb)·scale
+		// with scale = radius/M so the fully-aligned response lands on the
+		// disk rim.
+		scale := radius / float64(m)
+		for a := -m; a <= m; a++ {
+			bMax := m - abs(a)
+			for b := -bMax; b <= bMax; b++ {
+				if (a+b-m)%2 != 0 {
+					continue
+				}
+				g.markDisk(float64(a)*scale, float64(b)*scale)
+			}
+		}
+		return g.coverage()
+	}
+	// Monte-Carlo fallback for exotic bit depths: sample state-count
+	// compositions uniformly over the simplex (stars and bars) so the whole
+	// achievable region is explored, and bin the resulting sums.
+	if opt.Samples <= 0 {
+		opt.Samples = 120000
+	}
+	if src == nil {
+		src = rng.New(1)
+	}
+	scale := radius / float64(m)
+	k := len(s.states)
+	cuts := make([]int, k+1)
+	for i := 0; i < opt.Samples; i++ {
+		cuts[0], cuts[k] = 0, m
+		for j := 1; j < k; j++ {
+			cuts[j] = src.IntN(m + 1)
+		}
+		sort.Ints(cuts[:k]) // cuts[0]==0 stays first after sorting
+		var re, im float64
+		for j := 0; j < k; j++ {
+			n := cuts[j+1] - cuts[j]
+			sin, cos := math.Sincos(s.states[j])
+			re += float64(n) * cos
+			im += float64(n) * sin
+		}
+		g.markDisk(re*scale, im*scale)
+	}
+	return g.coverage()
+}
+
+// coverageGrid rasterizes the union of ε-disks inside the radius-R disk at
+// cell pitch ε.
+type coverageGrid struct {
+	radius, eps float64
+	cells       int
+	covered     map[int64]struct{}
+	inDisk      int // total cells whose center lies in the disk (cached)
+}
+
+func newCoverageGrid(radius, eps float64) *coverageGrid {
+	g := &coverageGrid{
+		radius:  radius,
+		eps:     eps,
+		cells:   int(math.Ceil(2*radius/eps)) + 2,
+		covered: make(map[int64]struct{}),
+	}
+	return g
+}
+
+// markDisk covers every cell whose center lies within ε of (x, y) and within
+// the representation disk.
+func (g *coverageGrid) markDisk(x, y float64) {
+	cx := int(math.Floor((x + g.radius) / g.eps))
+	cy := int(math.Floor((y + g.radius) / g.eps))
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			ix, iy := cx+dx, cy+dy
+			if ix < 0 || iy < 0 || ix >= g.cells || iy >= g.cells {
+				continue
+			}
+			px := (float64(ix)+0.5)*g.eps - g.radius
+			py := (float64(iy)+0.5)*g.eps - g.radius
+			if (px-x)*(px-x)+(py-y)*(py-y) > g.eps*g.eps {
+				continue
+			}
+			if px*px+py*py > g.radius*g.radius {
+				continue
+			}
+			g.covered[int64(ix)*int64(g.cells)+int64(iy)] = struct{}{}
+		}
+	}
+}
+
+// coverage returns covered-cell area over disk area, in [0, 1].
+func (g *coverageGrid) coverage() float64 {
+	diskArea := math.Pi * g.radius * g.radius
+	frac := float64(len(g.covered)) * g.eps * g.eps / diskArea
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

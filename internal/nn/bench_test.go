@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/modem"
+)
+
+func benchSets(b *testing.B) (*EncodedSet, *EncodedSet) {
+	b.Helper()
+	ds := dataset.MustLoad("mnist", dataset.Quick, 1)
+	enc := Encoder{Scheme: modem.QAM256}
+	return EncodeSet(ds.Train, ds.Classes, enc), EncodeSet(ds.Test, ds.Classes, enc)
+}
+
+// One full LNN training run at the paper's recipe — the digital half of
+// every deployment.
+func BenchmarkTrainLNN(b *testing.B) {
+	train, _ := benchSets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainLNN(train, TrainConfig{Seed: 1, Epochs: 40})
+	}
+}
+
+func BenchmarkTrainDiscrete(b *testing.B) {
+	train, _ := benchSets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainDiscrete(train, 4, TrainConfig{Seed: 1, Epochs: 40})
+	}
+}
+
+func BenchmarkTrainDeep(b *testing.B) {
+	ds := dataset.MustLoad("mnist", dataset.Quick, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainDeep(ds.Train, ds.Classes, DeepTrainConfig{Seed: 1, Epochs: 5})
+	}
+}
+
+func BenchmarkLNNPredict(b *testing.B) {
+	train, test := benchSets(b)
+	m := TrainLNN(train, TrainConfig{Seed: 1, Epochs: 10})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(test.X[i%len(test.X)])
+	}
+}
+
+func BenchmarkEncodeSample(b *testing.B) {
+	ds := dataset.MustLoad("mnist", dataset.Quick, 1)
+	enc := Encoder{Scheme: modem.QAM256}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(ds.Train[i%len(ds.Train)].X)
+	}
+}

@@ -1,0 +1,389 @@
+package nn
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/autodiff"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// DeepNN is the repository's stand-in for the paper's ResNet-18 baseline
+// (Table 1): a small real-valued residual CNN trained server-side on raw
+// features. It exists to reproduce the paper's accuracy ordering — a deep
+// non-linear model beats every linear model, at orders-of-magnitude higher
+// server energy (Appendix A.4) — not to match ResNet-18 parameter counts.
+//
+// Architecture: 3×3 conv (1→C) + ReLU, one residual block (two 3×3 convs
+// with identity skip), flatten, fully connected to class logits.
+type DeepNN struct {
+	Side     int // input reshaped to Side×Side (zero-padded if needed)
+	Channels int
+	Classes  int
+
+	w1, b1         []float64 // conv1: C×1×3×3, C
+	wa, ba, wb, bb []float64 // residual block convs: C×C×3×3, C
+	wf, bf         []float64 // fc: classes×(C·Side²), classes
+}
+
+// NewDeepNN allocates a network for inputs of the given feature dimension.
+func NewDeepNN(dim, classes, channels int, src *rng.Source) *DeepNN {
+	side := int(math.Ceil(math.Sqrt(float64(dim))))
+	m := &DeepNN{Side: side, Channels: channels, Classes: classes}
+	c := channels
+	m.w1 = randSlice(c*1*9, 1.0/3, src) // fan-in 9
+	m.b1 = make([]float64, c)
+	m.wa = randSlice(c*c*9, 1/math.Sqrt(float64(9*c)), src)
+	m.ba = make([]float64, c)
+	m.wb = randSlice(c*c*9, 1/math.Sqrt(float64(9*c)), src)
+	m.bb = make([]float64, c)
+	m.wf = randSlice(classes*c*side*side, 1/math.Sqrt(float64(c*side*side)), src)
+	m.bf = make([]float64, classes)
+	return m
+}
+
+func randSlice(n int, std float64, src *rng.Source) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = src.Normal(0, std)
+	}
+	return out
+}
+
+// reshape pads/copies a feature vector into a Side×Side plane.
+func (m *DeepNN) reshape(x []float64) []float64 {
+	plane := make([]float64, m.Side*m.Side)
+	copy(plane, x)
+	return plane
+}
+
+// conv3x3 computes out[co] = b[co] + Σ_ci W[co][ci]⊛in[ci] with padding 1.
+func conv3x3(in []float64, cin int, w, b []float64, cout, side int, out []float64) {
+	area := side * side
+	for co := 0; co < cout; co++ {
+		base := co * area
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				sum := b[co]
+				for ci := 0; ci < cin; ci++ {
+					wbase := (co*cin + ci) * 9
+					ibase := ci * area
+					for ky := -1; ky <= 1; ky++ {
+						yy := y + ky
+						if yy < 0 || yy >= side {
+							continue
+						}
+						for kx := -1; kx <= 1; kx++ {
+							xx := x + kx
+							if xx < 0 || xx >= side {
+								continue
+							}
+							sum += w[wbase+(ky+1)*3+(kx+1)] * in[ibase+yy*side+xx]
+						}
+					}
+				}
+				out[base+y*side+x] = sum
+			}
+		}
+	}
+}
+
+// conv3x3Back accumulates input and weight gradients for conv3x3.
+func conv3x3Back(in []float64, cin int, w []float64, cout, side int,
+	gout []float64, gin, gw, gb []float64) {
+	area := side * side
+	for co := 0; co < cout; co++ {
+		base := co * area
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				g := gout[base+y*side+x]
+				if g == 0 {
+					continue
+				}
+				gb[co] += g
+				for ci := 0; ci < cin; ci++ {
+					wbase := (co*cin + ci) * 9
+					ibase := ci * area
+					for ky := -1; ky <= 1; ky++ {
+						yy := y + ky
+						if yy < 0 || yy >= side {
+							continue
+						}
+						for kx := -1; kx <= 1; kx++ {
+							xx := x + kx
+							if xx < 0 || xx >= side {
+								continue
+							}
+							gw[wbase+(ky+1)*3+(kx+1)] += g * in[ibase+yy*side+xx]
+							if gin != nil {
+								gin[ibase+yy*side+xx] += g * w[wbase+(ky+1)*3+(kx+1)]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func relu(x []float64) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+func reluBack(act, g []float64) {
+	for i := range g {
+		if act[i] <= 0 {
+			g[i] = 0
+		}
+	}
+}
+
+// deepActs holds one sample's forward activations for backprop.
+type deepActs struct {
+	in, h1, ra, rb, sum []float64
+	logits              []float64
+}
+
+// forward runs the network, returning activations.
+func (m *DeepNN) forward(x []float64) *deepActs {
+	s, c := m.Side, m.Channels
+	area := s * s
+	a := &deepActs{
+		in:     m.reshape(x),
+		h1:     make([]float64, c*area),
+		ra:     make([]float64, c*area),
+		rb:     make([]float64, c*area),
+		sum:    make([]float64, c*area),
+		logits: make([]float64, m.Classes),
+	}
+	conv3x3(a.in, 1, m.w1, m.b1, c, s, a.h1)
+	relu(a.h1)
+	conv3x3(a.h1, c, m.wa, m.ba, c, s, a.ra)
+	relu(a.ra)
+	conv3x3(a.ra, c, m.wb, m.bb, c, s, a.rb)
+	for i := range a.sum {
+		a.sum[i] = a.rb[i] + a.h1[i] // residual skip
+		if a.sum[i] < 0 {
+			a.sum[i] = 0
+		}
+	}
+	for k := 0; k < m.Classes; k++ {
+		sum := m.bf[k]
+		row := m.wf[k*c*area : (k+1)*c*area]
+		for i, v := range a.sum {
+			sum += row[i] * v
+		}
+		a.logits[k] = sum
+	}
+	return a
+}
+
+// PredictRaw classifies a raw feature vector.
+func (m *DeepNN) PredictRaw(x []float64) int {
+	a := m.forward(x)
+	best, arg := math.Inf(-1), 0
+	for i, v := range a.logits {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return arg
+}
+
+// deepGrads mirrors the parameter tensors.
+type deepGrads struct {
+	w1, b1, wa, ba, wb, bb, wf, bf []float64
+}
+
+func (m *DeepNN) newGrads() *deepGrads {
+	return &deepGrads{
+		w1: make([]float64, len(m.w1)), b1: make([]float64, len(m.b1)),
+		wa: make([]float64, len(m.wa)), ba: make([]float64, len(m.ba)),
+		wb: make([]float64, len(m.wb)), bb: make([]float64, len(m.bb)),
+		wf: make([]float64, len(m.wf)), bf: make([]float64, len(m.bf)),
+	}
+}
+
+// backward accumulates gradients for one sample; returns the loss.
+func (m *DeepNN) backward(a *deepActs, label int, g *deepGrads) float64 {
+	s, c := m.Side, m.Channels
+	area := s * s
+	probs := autodiff.Softmax(a.logits)
+	loss := -math.Log(math.Max(probs[label], 1e-12))
+	gsum := make([]float64, c*area)
+	for k := 0; k < m.Classes; k++ {
+		d := probs[k]
+		if k == label {
+			d -= 1
+		}
+		g.bf[k] += d
+		row := m.wf[k*c*area : (k+1)*c*area]
+		grow := g.wf[k*c*area : (k+1)*c*area]
+		for i, v := range a.sum {
+			grow[i] += d * v
+			gsum[i] += d * row[i]
+		}
+	}
+	reluBack(a.sum, gsum) // through the post-skip ReLU
+	// gsum splits into the rb branch and the h1 skip.
+	grb := gsum
+	gh1 := make([]float64, c*area)
+	copy(gh1, gsum)
+	gra := make([]float64, c*area)
+	conv3x3Back(a.ra, c, m.wb, c, s, grb, gra, g.wb, g.bb)
+	reluBack(a.ra, gra)
+	gh1b := make([]float64, c*area)
+	conv3x3Back(a.h1, c, m.wa, c, s, gra, gh1b, g.wa, g.ba)
+	for i := range gh1 {
+		gh1[i] += gh1b[i]
+	}
+	reluBack(a.h1, gh1)
+	conv3x3Back(a.in, 1, m.w1, c, s, gh1, nil, g.w1, g.b1)
+	return loss
+}
+
+// DeepTrainConfig controls DeepNN training.
+type DeepTrainConfig struct {
+	LR       float64 // default 0.02
+	Momentum float64 // default 0.9
+	Batch    int     // default 32
+	Epochs   int     // default 25
+	Channels int     // default 8
+	Seed     uint64
+}
+
+func (c DeepTrainConfig) withDefaults() DeepTrainConfig {
+	if c.LR == 0 {
+		c.LR = 0.02
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 25
+	}
+	if c.Channels == 0 {
+		c.Channels = 8
+	}
+	return c
+}
+
+// TrainDeep trains the residual CNN baseline on raw samples.
+func TrainDeep(train []dataset.Sample, classes int, cfg DeepTrainConfig) *DeepNN {
+	cfg = cfg.withDefaults()
+	if len(train) == 0 {
+		panic("nn: empty training set")
+	}
+	src := rng.New(cfg.Seed ^ 0xdee9)
+	m := NewDeepNN(len(train[0].X), classes, cfg.Channels, src)
+	g := m.newGrads()
+	type pv struct{ p, v, g []float64 }
+	params := []pv{
+		{m.w1, make([]float64, len(m.w1)), g.w1},
+		{m.b1, make([]float64, len(m.b1)), g.b1},
+		{m.wa, make([]float64, len(m.wa)), g.wa},
+		{m.ba, make([]float64, len(m.ba)), g.ba},
+		{m.wb, make([]float64, len(m.wb)), g.wb},
+		{m.bb, make([]float64, len(m.bb)), g.bb},
+		{m.wf, make([]float64, len(m.wf)), g.wf},
+		{m.bf, make([]float64, len(m.bf)), g.bf},
+	}
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+	// Per-sample gradients within a batch are independent; fan them out
+	// across workers with private gradient buffers and merge. The worker
+	// count is FIXED (not GOMAXPROCS) so the floating-point summation order
+	// — and therefore the trained model — is identical on every machine.
+	const workers = 4
+	wgrads := make([]*deepGrads, workers)
+	for w := range wgrads {
+		wgrads[w] = m.newGrads()
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += cfg.Batch {
+			end := min(start+cfg.Batch, len(order))
+			batch := order[start:end]
+			var wg sync.WaitGroup
+			chunk := (len(batch) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				if lo >= len(batch) {
+					break
+				}
+				hi := min(lo+chunk, len(batch))
+				wg.Add(1)
+				go func(w int, idxs []int) {
+					defer wg.Done()
+					wg2 := wgrads[w]
+					wg2.zero()
+					for _, idx := range idxs {
+						a := m.forward(train[idx].X)
+						m.backward(a, train[idx].Label, wg2)
+					}
+				}(w, batch[lo:hi])
+			}
+			wg.Wait()
+			for _, p := range params {
+				for i := range p.g {
+					p.g[i] = 0
+				}
+			}
+			for _, wg2 := range wgrads {
+				g.add(wg2)
+			}
+			scale := cfg.LR / float64(end-start)
+			for _, p := range params {
+				for i := range p.p {
+					p.v[i] = cfg.Momentum*p.v[i] - scale*p.g[i]
+					p.p[i] += p.v[i]
+				}
+			}
+		}
+	}
+	return m
+}
+
+// zero clears every gradient buffer.
+func (g *deepGrads) zero() {
+	for _, s := range [][]float64{g.w1, g.b1, g.wa, g.ba, g.wb, g.bb, g.wf, g.bf} {
+		for i := range s {
+			s[i] = 0
+		}
+	}
+}
+
+// add accumulates other into g.
+func (g *deepGrads) add(other *deepGrads) {
+	dst := [][]float64{g.w1, g.b1, g.wa, g.ba, g.wb, g.bb, g.wf, g.bf}
+	srcs := [][]float64{other.w1, other.b1, other.wa, other.ba, other.wb, other.bb, other.wf, other.bf}
+	for k := range dst {
+		for i := range dst[k] {
+			dst[k][i] += srcs[k][i]
+		}
+	}
+}
+
+// EvaluateDeep returns the DeepNN's accuracy on raw samples.
+func EvaluateDeep(m *DeepNN, test []dataset.Sample) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range test {
+		if m.PredictRaw(s.X) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test))
+}

@@ -1,0 +1,73 @@
+package nn
+
+// ClassMetrics holds per-class precision, recall and F1 computed from a
+// confusion matrix.
+type ClassMetrics struct {
+	Precision, Recall, F1 []float64
+	MacroF1               float64
+}
+
+// MetricsFromConfusion derives per-class metrics from counts[true][pred].
+// Classes with no predictions (or no support) contribute 0 to the macro
+// average rather than NaN.
+func MetricsFromConfusion(cm [][]int) ClassMetrics {
+	n := len(cm)
+	m := ClassMetrics{
+		Precision: make([]float64, n),
+		Recall:    make([]float64, n),
+		F1:        make([]float64, n),
+	}
+	for c := 0; c < n; c++ {
+		tp := cm[c][c]
+		var predicted, actual int
+		for r := 0; r < n; r++ {
+			predicted += cm[r][c]
+			actual += cm[c][r]
+		}
+		if predicted > 0 {
+			m.Precision[c] = float64(tp) / float64(predicted)
+		}
+		if actual > 0 {
+			m.Recall[c] = float64(tp) / float64(actual)
+		}
+		if m.Precision[c]+m.Recall[c] > 0 {
+			m.F1[c] = 2 * m.Precision[c] * m.Recall[c] / (m.Precision[c] + m.Recall[c])
+		}
+		m.MacroF1 += m.F1[c]
+	}
+	if n > 0 {
+		m.MacroF1 /= float64(n)
+	}
+	return m
+}
+
+// LogitsPredictor extends Predictor with raw class scores, enabling top-k
+// evaluation. Every model in this repository implements it.
+type LogitsPredictor interface {
+	Logits(x []complex128) []float64
+}
+
+// TopKAccuracy returns the fraction of samples whose true label is among
+// the k highest-scoring classes.
+func TopKAccuracy(p LogitsPredictor, set *EncodedSet, k int) float64 {
+	if len(set.X) == 0 || k < 1 {
+		return 0
+	}
+	hits := 0
+	for i, x := range set.X {
+		logits := p.Logits(x)
+		truth := set.Labels[i]
+		// Count classes strictly above the truth's score; ties resolve in
+		// favor of lower indices, matching Predict's argmax.
+		above := 0
+		for c, v := range logits {
+			if v > logits[truth] || (v == logits[truth] && c < truth) {
+				above++
+			}
+		}
+		if above < k {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(set.X))
+}

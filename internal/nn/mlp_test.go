@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/rng"
+)
+
+// ringSet builds a task a magnitude-readout linear model cannot solve:
+// each |w·x| logit is a quadratic form in the input, so the decision
+// boundary between two LNN classes is a single conic — but the label here
+// alternates across three concentric rings of |x₁| (inner and outer ring
+// share a label against the middle ring), which needs two circular
+// boundaries. A one-hidden-layer complex MLP separates the rings.
+func ringSet(n int, seed uint64) *EncodedSet {
+	src := rng.New(seed)
+	es := &EncodedSet{Classes: 2, U: 4}
+	radii := []float64{0.5, 1.25, 2.0}
+	labels := []int{0, 1, 0}
+	for i := 0; i < n; i++ {
+		ring := src.IntN(3)
+		r := radii[ring] + src.Normal(0, 0.06)
+		th := src.Phase()
+		x := make([]complex128, 4)
+		x[0] = complex(r*math.Cos(th), r*math.Sin(th))
+		x[1] = 1 // constant reference feature
+		x[2] = src.ComplexNormal(0.02)
+		x[3] = src.ComplexNormal(0.02)
+		es.X = append(es.X, x)
+		es.Labels = append(es.Labels, labels[ring])
+	}
+	return es
+}
+
+func TestMLPSolvesRingsWhereLNNCannot(t *testing.T) {
+	train := ringSet(900, 1)
+	test := ringSet(400, 2)
+	lnn := TrainLNN(train, TrainConfig{Seed: 1, Epochs: 60})
+	mlp := TrainMLP(train, []int{16}, TrainConfig{Seed: 1, Epochs: 80, LR: 0.02})
+	accL := Evaluate(lnn, test)
+	accM := Evaluate(mlp, test)
+	if accL > 0.82 {
+		t.Fatalf("the ring task should defeat the linear model, got %.3f", accL)
+	}
+	if accM < accL+0.1 {
+		t.Fatalf("the complex MLP should clearly beat the LNN on rings: MLP %.3f, LNN %.3f", accM, accL)
+	}
+}
+
+func TestMLPMatchesLNNOnLinearTask(t *testing.T) {
+	// On the (near-linear) synthetic MNIST, the MLP should at least hold the
+	// LNN's level — the §7 claim is that depth adds capacity, not that it
+	// breaks linear tasks.
+	ds := dataset.MustLoad("afhq", dataset.Quick, 1)
+	enc := Encoder{Scheme: modem.QAM256}
+	train := EncodeSet(ds.Train, ds.Classes, enc)
+	test := EncodeSet(ds.Test, ds.Classes, enc)
+	lnn := TrainLNN(train, TrainConfig{Seed: 1, Epochs: 30})
+	mlp := TrainMLP(train, []int{32}, TrainConfig{Seed: 1, Epochs: 30, LR: 0.02})
+	accL := Evaluate(lnn, test)
+	accM := Evaluate(mlp, test)
+	if accM < accL-0.08 {
+		t.Fatalf("MLP (%.3f) fell far below LNN (%.3f) on a linear task", accM, accL)
+	}
+}
+
+func TestMLPShapesAndValidation(t *testing.T) {
+	src := rng.New(3)
+	m := NewComplexMLP([]int{4, 8, 3}, src)
+	if m.Hidden() != 1 || len(m.Weights) != 2 {
+		t.Fatalf("unexpected architecture: %d hidden, %d weight layers", m.Hidden(), len(m.Weights))
+	}
+	x := make([]complex128, 4)
+	logits := m.Logits(x)
+	if len(logits) != 3 {
+		t.Fatalf("got %d logits", len(logits))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for too-short dims")
+		}
+	}()
+	NewComplexMLP([]int{4}, src)
+}
+
+func TestMetricsFromConfusion(t *testing.T) {
+	cm := [][]int{
+		{8, 2}, // class 0: 8 right, 2 predicted as 1
+		{1, 9}, // class 1: 9 right, 1 predicted as 0
+	}
+	m := MetricsFromConfusion(cm)
+	// precision0 = 8/9, recall0 = 8/10.
+	if math.Abs(m.Precision[0]-8.0/9) > 1e-12 || math.Abs(m.Recall[0]-0.8) > 1e-12 {
+		t.Fatalf("class 0 metrics: %+v", m)
+	}
+	if math.Abs(m.Precision[1]-9.0/11) > 1e-12 || math.Abs(m.Recall[1]-0.9) > 1e-12 {
+		t.Fatalf("class 1 metrics: %+v", m)
+	}
+	f0 := 2 * (8.0 / 9) * 0.8 / (8.0/9 + 0.8)
+	f1 := 2 * (9.0 / 11) * 0.9 / (9.0/11 + 0.9)
+	if math.Abs(m.MacroF1-(f0+f1)/2) > 1e-12 {
+		t.Fatalf("macro F1 = %v", m.MacroF1)
+	}
+}
+
+func TestMetricsDegenerateClasses(t *testing.T) {
+	// A class never predicted and never present must not produce NaN.
+	cm := [][]int{{5, 0, 0}, {0, 5, 0}, {0, 0, 0}}
+	m := MetricsFromConfusion(cm)
+	for c := 0; c < 3; c++ {
+		if math.IsNaN(m.F1[c]) {
+			t.Fatalf("NaN F1 for class %d", c)
+		}
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	ds := dataset.MustLoad("mnist", dataset.Quick, 1)
+	enc := Encoder{Scheme: modem.QAM256}
+	train := EncodeSet(ds.Train, ds.Classes, enc)
+	test := EncodeSet(ds.Test, ds.Classes, enc)
+	m := TrainLNN(train, TrainConfig{Seed: 1, Epochs: 30})
+	top1 := TopKAccuracy(m, test, 1)
+	top3 := TopKAccuracy(m, test, 3)
+	acc := Evaluate(m, test)
+	if math.Abs(top1-acc) > 1e-12 {
+		t.Fatalf("top-1 (%.3f) must equal accuracy (%.3f)", top1, acc)
+	}
+	if top3 < top1 {
+		t.Fatalf("top-3 (%.3f) below top-1 (%.3f)", top3, top1)
+	}
+	if TopKAccuracy(m, &EncodedSet{Classes: 10}, 1) != 0 {
+		t.Fatal("empty set top-k should be 0")
+	}
+	if top10 := TopKAccuracy(m, test, 10); top10 != 1 {
+		t.Fatalf("top-10 of 10 classes = %v, want 1", top10)
+	}
+}

@@ -1,0 +1,36 @@
+package ota
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Deployment solves R·U discrete configurations; this is the §7
+// recalibration cost in full.
+func BenchmarkDeploy(b *testing.B) {
+	m, _, _ := trained(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.New(uint64(i))
+		if _, err := Deploy(m.Weights(), NewOptions(src.Split()), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One over-the-air inference: R sequential transmissions of U symbols with
+// every impairment enabled.
+func BenchmarkInference(b *testing.B) {
+	m, test, _ := trained(b)
+	src := rng.New(1)
+	sys, err := Deploy(m.Weights(), NewOptions(src.Split()), src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Predict(test.X[i%len(test.X)])
+	}
+}

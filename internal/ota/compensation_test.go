@@ -1,0 +1,139 @@
+package ota
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// compOptions builds options for the compensation scheme: cancellation off,
+// heavy static multipath.
+func compOptions(src *rng.Source, interf channel.InterferenceRegion) Options {
+	opts := NewOptions(src)
+	opts.SubSamples = 0
+	opts.CompensateEnv = true
+	opts.Channel.Env = channel.Laboratory
+	opts.Channel.Antenna = channel.Omni
+	opts.Channel.Interf = interf
+	return opts
+}
+
+func TestCompensationRejectsCancellation(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(20)
+	opts := NewOptions(src.Split())
+	opts.CompensateEnv = true // SubSamples still 2
+	if _, err := Deploy(m.Weights(), opts, src); err == nil {
+		t.Fatal("expected error when both schemes are enabled")
+	}
+}
+
+// TestCompensationRecoversStaticMultipath: the Eqn 8 alternative works in a
+// static environment — solving for H_des − H_e restores most of the
+// accuracy the raw environment destroys.
+func TestCompensationRecoversStaticMultipath(t *testing.T) {
+	m, test, _ := trained(t)
+	run := func(compensate bool, seed uint64) float64 {
+		src := rng.New(seed)
+		opts := compOptions(src.Split(), channel.NoInterferer)
+		opts.CompensateEnv = compensate
+		sys, err := Deploy(m.Weights(), opts, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nn.Evaluate(sys, test)
+	}
+	raw := run(false, 21)
+	comp := run(true, 21)
+	if comp-raw < 0.05 {
+		t.Fatalf("compensation gain too small: raw %.3f, compensated %.3f", raw, comp)
+	}
+	if comp < 0.75 {
+		t.Fatalf("compensated accuracy %.3f too low in a static environment", comp)
+	}
+}
+
+// TestCompensationFailsWhenEnvironmentDrifts: the paper's argument for the
+// zero-mean scheme — a stale H_e estimate cannot track a dynamic
+// environment, while the cancellation scheme does not care.
+func TestCompensationFailsWhenEnvironmentDrifts(t *testing.T) {
+	m, test, _ := trained(t)
+	src := rng.New(22)
+	opts := compOptions(src.Split(), channel.RegionR3)
+	sysComp, err := Deploy(m.Weights(), opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compDyn := nn.Evaluate(sysComp, test)
+
+	src2 := rng.New(23)
+	opts2 := NewOptions(src2.Split())
+	opts2.Channel = opts.Channel // same dynamic environment
+	opts2.SubSamples = 2         // cancellation scheme
+	sysCancel, err := Deploy(m.Weights(), opts2, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelDyn := nn.Evaluate(sysCancel, test)
+	if cancelDyn <= compDyn {
+		t.Fatalf("cancellation (%.3f) should beat stale compensation (%.3f) under drift", cancelDyn, compDyn)
+	}
+}
+
+func TestRecomputeTracksGeometry(t *testing.T) {
+	// Moving the receiver without recalibrating must hurt; recomputation at
+	// the deployed angle must reproduce the original responses.
+	m, test, _ := trained(t)
+	src := rng.New(24)
+	opts := NewOptions(src.Split())
+	opts.BeamScanStepDeg = 0
+	sys, err := Deploy(m.Weights(), opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nn.Evaluate(sys, test)
+	moved := opts.Geometry
+	moved.RxAngleDeg += 12
+	movedAcc := nn.Evaluate(sys.Recompute(moved), test)
+	if base-movedAcc < 0.15 {
+		t.Fatalf("12 degrees of receiver motion should break the stale schedule: %.3f -> %.3f", base, movedAcc)
+	}
+	backAcc := nn.Evaluate(sys.Recompute(opts.Geometry), test)
+	if base-backAcc > 0.05 {
+		t.Fatalf("recomputing at the deployed angle should restore accuracy: %.3f vs %.3f", backAcc, base)
+	}
+	_ = mts.DefaultGeometry()
+}
+
+// TestDopplerErodesAccumulation: a phase ramp across the symbol stream is
+// the one "global phase" that is NOT harmless — once it winds a large
+// fraction of a turn over U symbols, the accumulator loses coherence. This
+// is the §7 mobility regime seen from the waveform side.
+func TestDopplerErodesAccumulation(t *testing.T) {
+	m, test, _ := trained(t)
+	run := func(dopplerHz float64, seed uint64) float64 {
+		src := rng.New(seed)
+		opts := NewOptions(src.Split())
+		opts.Channel.DopplerHz = dopplerHz
+		sys, err := Deploy(m.Weights(), opts, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nn.Evaluate(sys, test)
+	}
+	static := run(0, 30)
+	// 5 kHz over 64 symbols winds 2π·5e3·64/1e6 ≈ 2.0 rad: strong erosion.
+	fast := run(5000, 31)
+	if static-fast < 0.1 {
+		t.Fatalf("5 kHz Doppler should erode accuracy: static %.3f, moving %.3f", static, fast)
+	}
+	// Pedestrian Doppler (35 Hz ≈ 2 m/s at 5.25 GHz) is negligible over a
+	// 64 µs stream.
+	slow := run(35, 32)
+	if static-slow > 0.04 {
+		t.Fatalf("pedestrian Doppler should be negligible: static %.3f, slow %.3f", static, slow)
+	}
+}

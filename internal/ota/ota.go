@@ -1,0 +1,420 @@
+// Package ota is MetaAI's over-the-air computing engine: it deploys a
+// digitally trained complex LNN onto a programmable metasurface and then
+// simulates inference as physical transmission, per Eqn 3 of the paper:
+//
+//	y_r = | Σ_i H_r(t_i) · x_i |
+//
+// Deployment (§3.2) maps every desired weight H_des[r][i] to a discrete
+// metasurface configuration via the Eqn 7 solver; transmission plays the
+// per-symbol schedule against the sequentially transmitted symbols while
+// the environment contributes multipath, noise, hardware phase jitter, and
+// clock misalignment. The within-symbol multi-sampling scheme of §3.2
+// (zero-mean chips + synchronized MTS sign flips) cancels environmental
+// multipath without channel estimation.
+package ota
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/channel"
+	"repro/internal/cplx"
+	"repro/internal/mts"
+	"repro/internal/rng"
+)
+
+// Options configures a deployment. NewOptions supplies the paper's §4
+// defaults.
+type Options struct {
+	// Surface is the programmable metasurface realizing the weights.
+	Surface *mts.Surface
+	// Geometry fixes Tx/MTS/Rx placement.
+	Geometry mts.Geometry
+	// Controller models the MTS control plane and validates the schedule's
+	// switching rate.
+	Controller mts.Controller
+	// Channel describes the propagation environment.
+	Channel channel.Params
+	// SubSamples is the within-symbol multi-sampling count for multipath
+	// cancellation (even, ≥2); 0 disables the scheme (single sample per
+	// symbol, environment leaks into the accumulation).
+	SubSamples int
+	// TargetScale positions the largest desired weight at this fraction of
+	// the maximum achievable array factor; interior targets quantize better
+	// (Fig 6).
+	TargetScale float64
+	// BeamScanStepDeg, when positive, makes deployment estimate the receiver
+	// angle by beam scanning at this resolution instead of assuming perfect
+	// knowledge; the residual error degrades the prototype (§3.2).
+	BeamScanStepDeg float64
+	// JitterStd is the per-reconfiguration per-atom phase noise (radians) —
+	// the dynamic part of the hardware noise N_d of Eqn 13.
+	JitterStd float64
+	// SymbolRateHz is the transmitter's symbol rate (§4: 1 Msym/s).
+	SymbolRateHz float64
+	// SyncSampler draws the clock offset, in symbols, between the data
+	// stream and the weight schedule for one transmission (§3.5.1). Nil
+	// means perfect synchronization.
+	SyncSampler func(src *rng.Source) float64
+	// ExactJitter evaluates per-atom phase jitter atom by atom at every
+	// reconfiguration instead of using the engine's closed-form
+	// approximation (mean attenuation e^{−σ²/2} plus complex scatter of
+	// variance M·(1−e^{−σ²})). Exact evaluation costs M trig calls per
+	// symbol per output; the abl-jitter experiment confirms the two agree.
+	ExactJitter bool
+	// CompensateEnv selects the Eqn 8 alternative to zero-mean cancellation:
+	// deployment estimates the static environmental response H_e (a
+	// calibration pass with the metasurface disabled) and solves the
+	// schedule for H_des − H_e, so the total channel realizes H_des. It
+	// requires SubSamples == 0 (the two schemes are alternatives) and — as
+	// the paper warns — only works while the environment stays static.
+	CompensateEnv bool
+}
+
+// NewOptions returns the paper's default setup: 16×16 2-bit prototype
+// surface at 5.25 GHz, Tx 1 m / 30°, Rx 3 m / 40°, office channel,
+// 1 Msym/s, two in-symbol samples (the most the 2.56 MHz controller
+// supports), mild hardware jitter, and 1°-resolution beam scanning.
+func NewOptions(src *rng.Source) Options {
+	return Options{
+		Surface:         mts.Prototype(src),
+		Geometry:        mts.DefaultGeometry(),
+		Controller:      mts.PrototypeController(),
+		Channel:         channel.Default(),
+		SubSamples:      2,
+		TargetScale:     0.6,
+		BeamScanStepDeg: 1,
+		JitterStd:       0.08,
+		SymbolRateHz:    1e6,
+	}
+}
+
+// IdealOptions returns options with every hardware impairment disabled:
+// perfect geometry knowledge, no jitter, no sync error, and a clean
+// channel. The deployment still quantizes weights to the discrete surface,
+// so it isolates pure quantization loss.
+func IdealOptions(surface *mts.Surface) Options {
+	ch := channel.Default()
+	ch.TxPowerDB = 60 // effectively noiseless
+	ch.Env = channel.Corridor
+	return Options{
+		Surface:      surface,
+		Geometry:     mts.DefaultGeometry(),
+		Controller:   mts.PrototypeController(),
+		Channel:      ch,
+		SubSamples:   2,
+		TargetScale:  0.6,
+		SymbolRateHz: 1e6,
+	}
+}
+
+// System is a deployed over-the-air classifier. It implements the Predict
+// interface used by nn.Evaluate, drawing fresh channel and noise
+// realizations from its rng source on every call.
+type System struct {
+	opts Options
+	// Schedule holds the per-output, per-symbol configurations.
+	Schedule [][]mts.Config
+	// Realized holds the physically realized ideal responses
+	// H_mts(r, i) — the solver output evaluated against the TRUE path
+	// phases (including fabrication offsets and angle-estimation error the
+	// solver didn't know about).
+	Realized *cplx.Mat
+	// Gamma is the desired-weight → array-factor scale factor.
+	Gamma float64
+	// EstRxAngleDeg is the angle deployment assumed (beam-scanned or exact).
+	EstRxAngleDeg float64
+
+	classes, u int
+	sigRMS     float64 // RMS |H| over the schedule, the SNR reference
+	gainFactor float64 // element-pattern gain relative to nominal geometry
+	ch         *channel.Model
+	src        *rng.Source
+	jitterAtt  float64 // e^{-σ²/2}
+	jitterVar  float64 // per-response complex variance M·(1-e^{-σ²})
+
+	compensate  bool
+	envBase     complex128 // calibrated quasi-static environment (Eqn 8)
+	calMTSPhase complex128 // calibrated MTS-path phase (coherent reference)
+	envScale    float64    // physical scale of the environment term
+	truePP      []float64  // true path phases, kept for exact-jitter replay
+}
+
+// Deploy solves the MTS schedule realizing the trained weight matrix w
+// (classes×U) and returns a ready System. src drives all runtime
+// randomness.
+func Deploy(w *cplx.Mat, opts Options, src *rng.Source) (*System, error) {
+	if opts.Surface == nil {
+		return nil, fmt.Errorf("ota: Deploy requires a surface")
+	}
+	if opts.TargetScale <= 0 || opts.TargetScale > 1 {
+		return nil, fmt.Errorf("ota: TargetScale %v out of (0, 1]", opts.TargetScale)
+	}
+	if opts.SubSamples < 0 || opts.SubSamples%2 == 1 {
+		return nil, fmt.Errorf("ota: SubSamples %d must be 0 or a positive even count", opts.SubSamples)
+	}
+	if opts.SymbolRateHz <= 0 {
+		opts.SymbolRateHz = 1e6
+	}
+	switches := 1
+	if opts.SubSamples > 0 {
+		switches = opts.SubSamples
+	}
+	if err := opts.Controller.ValidateSchedule(opts.Surface.Atoms(), opts.SymbolRateHz, switches); err != nil {
+		return nil, err
+	}
+	if opts.CompensateEnv && opts.SubSamples > 0 {
+		return nil, fmt.Errorf("ota: CompensateEnv (Eqn 8) and multipath cancellation (SubSamples > 0) are alternative schemes; enable one")
+	}
+
+	// Deployment-side geometry knowledge: the Tx-MTS placement is fixed and
+	// known; the Rx angle is beam-scanned when a scan step is configured.
+	// The solver also has no access to per-atom fabrication offsets.
+	estGeom := opts.Geometry
+	if opts.BeamScanStepDeg > 0 {
+		ideal, err := mts.NewSurface(opts.Surface.Rows, opts.Surface.Cols, opts.Surface.Bits, opts.Surface.FreqGHz, nil)
+		if err != nil {
+			return nil, err
+		}
+		estGeom.RxAngleDeg = ideal.BeamScan(opts.Geometry, opts.BeamScanStepDeg)
+	}
+	idealSurface, err := mts.NewSurface(opts.Surface.Rows, opts.Surface.Cols, opts.Surface.Bits, opts.Surface.FreqGHz, nil)
+	if err != nil {
+		return nil, err
+	}
+	estPP := idealSurface.PathPhases(estGeom)
+	truePP := opts.Surface.PathPhases(opts.Geometry)
+
+	maxR := idealSurface.MaxResponse(estPP)
+	maxW := w.MaxAbs()
+	if maxW == 0 {
+		return nil, fmt.Errorf("ota: weight matrix is all zeros")
+	}
+	gamma := opts.TargetScale * maxR / maxW
+
+	s := &System{
+		opts:          opts,
+		Schedule:      make([][]mts.Config, w.Rows),
+		Realized:      cplx.NewMat(w.Rows, w.Cols),
+		Gamma:         gamma,
+		EstRxAngleDeg: estGeom.RxAngleDeg,
+		classes:       w.Rows,
+		u:             w.Cols,
+		ch:            channel.New(opts.Channel),
+		src:           src,
+	}
+	// Eqn 8 calibration: estimate the quasi-static environment once (the
+	// paper's "disable the metasurface to estimate H_e" pass) and shift
+	// every solver target by it. The environment's physical scale is
+	// predicted from the weight scaling, since the realized responses do
+	// not exist yet.
+	// The solver target for weight W is (γW − H_e)/e^{jφ_mts}: the realized
+	// response rides the MTS path's calibrated phase, so the correction is
+	// applied in the MTS path's own frame.
+	compCorrect := func(target complex128) complex128 { return target }
+	if opts.CompensateEnv {
+		var rms float64
+		for _, v := range w.Data {
+			rms += real(v)*real(v) + imag(v)*imag(v)
+		}
+		rms = math.Sqrt(rms / float64(len(w.Data)))
+		s.envScale = gamma * rms
+		cal := s.ch.NewRealization(src.Split())
+		s.envBase = cal.Base()
+		s.calMTSPhase = cal.MTSPhase()
+		s.compensate = true
+		envPhys := s.envBase * complex(s.envScale, 0)
+		inv := cmplx.Conj(s.calMTSPhase) // unit modulus: conj == inverse
+		compCorrect = func(target complex128) complex128 {
+			return (target - envPhys) * inv
+		}
+	}
+	var sumSq float64
+	for r := 0; r < w.Rows; r++ {
+		s.Schedule[r] = make([]mts.Config, w.Cols)
+		for c := 0; c < w.Cols; c++ {
+			target := compCorrect(w.At(r, c) * complex(gamma, 0))
+			cfg, _ := idealSurface.SolveTarget(target, estPP)
+			s.Schedule[r][c] = cfg
+			// The physically realized response uses the true phases.
+			h := opts.Surface.Response(cfg, truePP)
+			s.Realized.Set(r, c, h)
+			sumSq += real(h)*real(h) + imag(h)*imag(h)
+		}
+	}
+	s.sigRMS = math.Sqrt(sumSq / float64(len(s.Realized.Data)))
+	s.truePP = truePP
+	if !s.compensate {
+		s.envScale = s.sigRMS
+	}
+	// Element-pattern gain at the actual Tx/Rx angles, relative to the
+	// nominal default geometry (the SNR reference point).
+	nom := mts.DefaultGeometry()
+	nomGain := mts.ElementGain(nom.TxAngleDeg) * mts.ElementGain(nom.RxAngleDeg)
+	g := mts.ElementGain(opts.Geometry.TxAngleDeg) * mts.ElementGain(opts.Geometry.RxAngleDeg)
+	s.gainFactor = g / nomGain
+	// Jitter statistics: a per-atom phase error ε~N(0,σ²) attenuates the
+	// mean response by e^{-σ²/2} and adds a complex scatter of variance
+	// M·(1−e^{-σ²}) (independent atoms).
+	sigma2 := opts.JitterStd * opts.JitterStd
+	s.jitterAtt = math.Exp(-sigma2 / 2)
+	s.jitterVar = float64(opts.Surface.Atoms()) * (1 - math.Exp(-sigma2))
+	return s, nil
+}
+
+// Classes returns the number of output categories.
+func (s *System) Classes() int { return s.classes }
+
+// InputLen returns the expected symbol-vector length U.
+func (s *System) InputLen() int { return s.u }
+
+// QuantizationError returns the mean relative error between the realized
+// responses and the scaled desired weights — the pure hardware
+// approximation quality (Fig 6).
+func (s *System) QuantizationError(w *cplx.Mat) float64 {
+	var sum float64
+	for i, h := range s.Realized.Data {
+		sum += cmplx.Abs(h - w.Data[i]*complex(s.Gamma, 0))
+	}
+	return sum / (float64(len(s.Realized.Data)) * s.Gamma * w.MaxAbs())
+}
+
+// Accumulate runs one full over-the-air inference: every output class r is
+// computed by replaying the symbol stream against its weight schedule, with
+// multipath, noise, jitter, and clock offset applied. It returns the
+// complex accumulator per class (before the magnitude of Eqn 3).
+func (s *System) Accumulate(x []complex128) cplx.Vec {
+	if len(x) != s.u {
+		panic(fmt.Sprintf("ota: input length %d, deployed for U=%d", len(x), s.u))
+	}
+	acc := make(cplx.Vec, s.classes)
+	// The channel's SNR is anchored at the 256-atom prototype aperture;
+	// a smaller array collects quadratically less energy (array gain ∝ M²),
+	// which is why recognition accuracy grows with the atom count until the
+	// quantization floor takes over (Fig 7).
+	aperture := 256.0 / float64(s.opts.Surface.Atoms())
+	noise2 := s.sigRMS * s.sigRMS * s.ch.Params().NoiseSigma2() * aperture * aperture
+	// Element-pattern gain scales the MTS-path signal but not the receiver
+	// noise floor: express it as an SNR change by dividing noise instead of
+	// multiplying every signal term (classification is scale invariant).
+	if s.gainFactor > 0 {
+		noise2 /= s.gainFactor * s.gainFactor
+	} else {
+		noise2 = math.Inf(1)
+	}
+	for r := 0; r < s.classes; r++ {
+		var rz *channel.Realization
+		if s.compensate {
+			// The calibrated quasi-static components persist; only scatter
+			// and blockage vary. If the environment has drifted since
+			// calibration (a dynamic interferer), the stale estimate leaks.
+			rz = s.ch.NewRealizationFrom(s.envBase, s.calMTSPhase, s.src.Split())
+		} else {
+			rz = s.ch.NewRealization(s.src.Split())
+		}
+		var offset float64
+		if s.opts.SyncSampler != nil {
+			offset = s.opts.SyncSampler(s.src)
+		}
+		var sum complex128
+		for i := range x {
+			h := s.effectiveResponse(r, i, offset) * rz.MTSScaleAt(i)
+			if s.opts.SubSamples > 0 {
+				// Zero-mean chips + synchronized MTS sign flips: the static
+				// within-symbol environment integrates to zero, the MTS path
+				// adds coherently, and the combined noise keeps the
+				// single-sample variance (chip noise is wider-band).
+				sum += h*x[i] + s.src.ComplexNormal(noise2)
+			} else {
+				env := rz.EnvAt(i) * complex(s.envScale, 0)
+				sum += (h+env)*x[i] + s.src.ComplexNormal(noise2)
+			}
+		}
+		acc[r] = sum
+	}
+	return acc
+}
+
+// effectiveResponse returns the MTS response seen by data symbol i of output
+// r under a schedule/data clock offset (in symbols): an offset with
+// fractional part f mixes the two adjacent schedule entries in proportion to
+// their time overlap, and jitter perturbs the response per reconfiguration.
+func (s *System) effectiveResponse(r, i int, offset float64) complex128 {
+	base := math.Floor(offset)
+	frac := offset - base
+	idx := func(k int) int {
+		n := s.u
+		return ((k % n) + n) % n
+	}
+	i0 := idx(i - int(base))
+	if s.opts.ExactJitter && s.opts.JitterStd > 0 {
+		// Atom-by-atom jitter on the actual scheduled configuration(s).
+		h := s.opts.Surface.RealizedResponse(s.Schedule[r][i0], s.truePP, s.opts.JitterStd, s.src)
+		if frac >= 1e-9 {
+			i1 := idx(i - int(base) - 1)
+			h1 := s.opts.Surface.RealizedResponse(s.Schedule[r][i1], s.truePP, s.opts.JitterStd, s.src)
+			h = h*complex(1-frac, 0) + h1*complex(frac, 0)
+		}
+		return h
+	}
+	h0 := s.Realized.At(r, i0)
+	var h complex128
+	if frac < 1e-9 {
+		h = h0
+	} else {
+		h1 := s.Realized.At(r, idx(i-int(base)-1))
+		h = h0*complex(1-frac, 0) + h1*complex(frac, 0)
+	}
+	if s.opts.JitterStd > 0 {
+		h = h*complex(s.jitterAtt, 0) + s.src.ComplexNormal(s.jitterVar)
+	}
+	return h
+}
+
+// Recompute re-evaluates the physically realized responses of the existing
+// schedule under a new true geometry — what happens when the receiver moves
+// after deployment (§7, Device Mobility): the schedule still encodes the
+// old propagation phases, so the realized weights drift from the desired
+// ones until the system recalibrates. It returns the updated System (self).
+func (s *System) Recompute(geom mts.Geometry) *System {
+	truePP := s.opts.Surface.PathPhases(geom)
+	var sumSq float64
+	for r := 0; r < s.classes; r++ {
+		for c := 0; c < s.u; c++ {
+			h := s.opts.Surface.Response(s.Schedule[r][c], truePP)
+			s.Realized.Set(r, c, h)
+			sumSq += real(h)*real(h) + imag(h)*imag(h)
+		}
+	}
+	s.sigRMS = math.Sqrt(sumSq / float64(len(s.Realized.Data)))
+	if !s.compensate {
+		s.envScale = s.sigRMS
+	}
+	nom := mts.DefaultGeometry()
+	nomGain := mts.ElementGain(nom.TxAngleDeg) * mts.ElementGain(nom.RxAngleDeg)
+	g := mts.ElementGain(geom.TxAngleDeg) * mts.ElementGain(geom.RxAngleDeg)
+	s.gainFactor = g / nomGain
+	s.opts.Geometry = geom
+	return s
+}
+
+// Logits returns |accumulator| per class — the y_r of Eqn 3.
+func (s *System) Logits(x []complex128) []float64 {
+	return s.Accumulate(x).Abs()
+}
+
+// Predict classifies one encoded input over the air.
+func (s *System) Predict(x []complex128) int {
+	return cplx.Argmax(s.Logits(x))
+}
+
+// TransmissionsPerInference returns how many sequential replays one
+// inference costs without parallelism (§3.3: R transmissions).
+func (s *System) TransmissionsPerInference() int { return s.classes }
+
+// AirTime returns the on-air time for one full inference at the configured
+// symbol rate (sequential scheme).
+func (s *System) AirTime() float64 {
+	return float64(s.classes) * float64(s.u) / s.opts.SymbolRateHz
+}

@@ -1,0 +1,245 @@
+package ota
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// trainMNIST trains one LNN on the synthetic MNIST stand-in; shared across
+// tests via sync-free memoization at test scope.
+var memo struct {
+	model *nn.ComplexLNN
+	test  *nn.EncodedSet
+	acc   float64
+}
+
+func trained(t testing.TB) (*nn.ComplexLNN, *nn.EncodedSet, float64) {
+	t.Helper()
+	if memo.model == nil {
+		ds := dataset.MustLoad("mnist", dataset.Quick, 1)
+		enc := nn.Encoder{Scheme: modem.QAM256}
+		train := nn.EncodeSet(ds.Train, ds.Classes, enc)
+		memo.test = nn.EncodeSet(ds.Test, ds.Classes, enc)
+		memo.model = nn.TrainLNN(train, nn.TrainConfig{Seed: 1, Epochs: 40})
+		memo.acc = nn.Evaluate(memo.model, memo.test)
+	}
+	return memo.model, memo.test, memo.acc
+}
+
+func TestDeployValidation(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(1)
+	opts := NewOptions(src)
+	opts.Surface = nil
+	if _, err := Deploy(m.Weights(), opts, src); err == nil {
+		t.Error("expected error for nil surface")
+	}
+	opts = NewOptions(src)
+	opts.TargetScale = 1.5
+	if _, err := Deploy(m.Weights(), opts, src); err == nil {
+		t.Error("expected error for TargetScale > 1")
+	}
+	opts = NewOptions(src)
+	opts.SubSamples = 3
+	if _, err := Deploy(m.Weights(), opts, src); err == nil {
+		t.Error("expected error for odd SubSamples")
+	}
+	opts = NewOptions(src)
+	opts.SubSamples = 8 // exceeds the 2.56 MHz controller at 1 Msym/s
+	if _, err := Deploy(m.Weights(), opts, src); err == nil {
+		t.Error("expected controller schedule rejection")
+	}
+	zero := m.Weights().Clone()
+	for i := range zero.Data {
+		zero.Data[i] = 0
+	}
+	opts = NewOptions(src)
+	if _, err := Deploy(zero, opts, src); err == nil {
+		t.Error("expected error for all-zero weights")
+	}
+}
+
+func TestQuantizationErrorSmall(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(2)
+	surface, _ := mts.NewSurface(16, 16, 2, 5.25, nil)
+	sys, err := Deploy(m.Weights(), IdealOptions(surface), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe := sys.QuantizationError(m.Weights()); qe > 0.01 {
+		t.Fatalf("quantization error %v, want < 1%% of dynamic range", qe)
+	}
+}
+
+func TestIdealDeploymentMatchesDigital(t *testing.T) {
+	m, test, digital := trained(t)
+	src := rng.New(3)
+	surface, _ := mts.NewSurface(16, 16, 2, 5.25, nil)
+	sys, err := Deploy(m.Weights(), IdealOptions(surface), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	air := nn.Evaluate(sys, test)
+	if math.Abs(air-digital) > 0.02 {
+		t.Fatalf("ideal over-the-air accuracy %.3f vs digital %.3f", air, digital)
+	}
+}
+
+func TestPrototypeGapWithinPaperBound(t *testing.T) {
+	// Table 1: prototype accuracy trails simulation by no more than ~7
+	// points under the default setup.
+	m, test, digital := trained(t)
+	src := rng.New(4)
+	sys, err := Deploy(m.Weights(), NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	air := nn.Evaluate(sys, test)
+	if digital-air > 0.08 {
+		t.Fatalf("prototype gap %.3f (digital %.3f, air %.3f) exceeds the paper's ≤7%% band", digital-air, digital, air)
+	}
+	if air > digital+0.03 {
+		t.Fatalf("prototype (%.3f) should not beat simulation (%.3f)", air, digital)
+	}
+}
+
+func TestMultipathCancellation(t *testing.T) {
+	// Fig 17: without the scheme, a rich-multipath environment with omni
+	// antennas degrades badly; the scheme restores accuracy.
+	m, test, _ := trained(t)
+	run := func(sub int) float64 {
+		src := rng.New(5)
+		opts := NewOptions(src.Split())
+		opts.Channel.Env = channel.Laboratory
+		opts.Channel.Antenna = channel.Omni
+		opts.SubSamples = sub
+		sys, err := Deploy(m.Weights(), opts, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nn.Evaluate(sys, test)
+	}
+	with := run(2)
+	without := run(0)
+	if with-without < 0.05 {
+		t.Fatalf("cancellation gain too small: with %.3f, without %.3f", with, without)
+	}
+	if with < 0.75 {
+		t.Fatalf("accuracy with cancellation %.3f below the ≥82.65%%-ish band", with)
+	}
+}
+
+func TestSyncErrorCollapsesAccuracy(t *testing.T) {
+	// Fig 13(b): a ~4-symbol offset without compensation drops accuracy to
+	// near chance.
+	m, test, _ := trained(t)
+	src := rng.New(6)
+	opts := NewOptions(src.Split())
+	opts.SyncSampler = func(*rng.Source) float64 { return 4 }
+	sys, err := Deploy(m.Weights(), opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := nn.Evaluate(sys, test)
+	if acc > 0.45 {
+		t.Fatalf("4-symbol sync error left accuracy at %.3f; expected collapse", acc)
+	}
+}
+
+func TestOffsetMixingMatchesDigitalEquivalent(t *testing.T) {
+	// The engine's schedule/data misalignment must equal the digital cyclic
+	// shift used by CDFA training: Σ_i H[i−k]·x_i == Σ_j H_j·x_{j+k}.
+	m, test, _ := trained(t)
+	src := rng.New(7)
+	surface, _ := mts.NewSurface(16, 16, 2, 5.25, nil)
+	opts := IdealOptions(surface)
+	opts.SyncSampler = func(*rng.Source) float64 { return 3 }
+	sys, err := Deploy(m.Weights(), opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Digital twin: an LNN loaded with the realized responses.
+	dig := nn.NewComplexLNN(sys.Classes(), sys.InputLen())
+	copy(dig.W.Val, sys.Realized.Data)
+	for _, x := range test.X[:20] {
+		airPred := sys.Predict(x)
+		digPred := dig.Predict(nn.CyclicShift(x, -3))
+		if digPred != airPred {
+			t.Fatalf("air prediction %d != digital shifted prediction %d", airPred, digPred)
+		}
+	}
+}
+
+func TestAirTimeAndTransmissions(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(8)
+	sys, err := Deploy(m.Weights(), NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.TransmissionsPerInference(); got != 10 {
+		t.Fatalf("transmissions = %d, want R = 10", got)
+	}
+	// 10 outputs × 64 symbols at 1 Msym/s = 640 µs.
+	if got := sys.AirTime(); math.Abs(got-640e-6) > 1e-12 {
+		t.Fatalf("air time = %v, want 640 µs", got)
+	}
+}
+
+func TestAccumulateDimsChecked(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(9)
+	sys, err := Deploy(m.Weights(), NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong input length")
+		}
+	}()
+	sys.Accumulate(make([]complex128, 7))
+}
+
+func TestBeamScanDeploymentCloseToExact(t *testing.T) {
+	// Beam-scanned angle estimation should cost only a little accuracy
+	// relative to exact knowledge.
+	m, test, _ := trained(t)
+	run := func(step float64) float64 {
+		src := rng.New(10)
+		opts := NewOptions(src.Split())
+		opts.BeamScanStepDeg = step
+		sys, err := Deploy(m.Weights(), opts, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nn.Evaluate(sys, test)
+	}
+	exact := run(0)
+	scanned := run(1)
+	if exact-scanned > 0.06 {
+		t.Fatalf("beam-scan deployment lost %.3f accuracy (exact %.3f, scanned %.3f)", exact-scanned, exact, scanned)
+	}
+}
+
+func TestEstimatedAngleRecorded(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(11)
+	opts := NewOptions(src.Split())
+	opts.Geometry.RxAngleDeg = 25
+	sys, err := Deploy(m.Weights(), opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sys.EstRxAngleDeg-25) > 3 {
+		t.Fatalf("estimated Rx angle %v, true 25°", sys.EstRxAngleDeg)
+	}
+}

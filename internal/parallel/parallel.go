@@ -1,0 +1,324 @@
+// Package parallel implements MetaAI's two parallelism schemes (§3.3).
+// Sequential operation needs R transmissions per inference — one per output
+// class. Both schemes compute several outputs in a single transmission by
+// giving each output channel its own propagation-phase signature while the
+// metasurface plays one shared per-symbol configuration:
+//
+//   - Subcarrier parallelism (Eqn 9): the data rides K OFDM subcarriers;
+//     each meta-atom's phase response is frequency selective, so each
+//     subcarrier sees a different effective weight for the same
+//     configuration.
+//   - Antenna parallelism (Eqn 10): L receive antennas at distinct angles
+//     each see different per-atom path phases.
+//
+// Per symbol, deployment solves the joint problem "one configuration, K
+// target weights" (mts.SolveMultiTarget). The residual grows with the
+// channel count — the accuracy/latency trade-off of Fig 31.
+//
+// Substitution note (documented in DESIGN.md): at the paper's 40 kHz
+// subcarrier spacing, free-space path-length differences alone cannot
+// decorrelate subcarriers; the hardware's frequency selectivity comes from
+// the meta-atoms' resonant response. The simulator models this as a
+// per-atom group-delay dispersion τ_m whose scale is set so the evaluated
+// subcarrier set spans the atoms' phase dynamic range, standing in for the
+// prototype's measured dispersion.
+package parallel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/cplx"
+	"repro/internal/mts"
+	"repro/internal/rng"
+)
+
+// Plan provides per-output-channel path-phase sets for the joint solver.
+type Plan struct {
+	// Kind names the scheme ("subcarrier" or "antenna").
+	Kind string
+	// Paths[ch][atom] is the propagation phase of each atom toward channel
+	// ch.
+	Paths [][]float64
+}
+
+// Channels returns the number of parallel output channels.
+func (p *Plan) Channels() int { return len(p.Paths) }
+
+// NewSubcarrierPlan builds the per-subcarrier path phases: the base
+// geometry phases plus each atom's dispersion slope times the subcarrier
+// frequency offset. K subcarriers at the given spacing are centred on the
+// carrier (§5.2 uses 5.25 GHz base and 40 kHz spacing).
+func NewSubcarrierPlan(s *mts.Surface, g mts.Geometry, k int, spacingHz float64, src *rng.Source) (*Plan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("parallel: need at least one subcarrier, got %d", k)
+	}
+	if spacingHz <= 0 {
+		return nil, fmt.Errorf("parallel: invalid subcarrier spacing %v Hz", spacingHz)
+	}
+	base := s.PathPhases(g)
+	m := s.Atoms()
+	// Per-atom effective group delay: scaled so one subcarrier step swings a
+	// typical atom's phase by O(π/2) — adjacent subcarriers must be
+	// decorrelated for the joint solver to assign them independent weights.
+	// This stands in for the resonant atoms' measured frequency selectivity
+	// (see the package comment and DESIGN.md).
+	tauStd := 1 / (8 * spacingHz)
+	taus := make([]float64, m)
+	for i := range taus {
+		taus[i] = src.Normal(0, tauStd)
+	}
+	p := &Plan{Kind: "subcarrier", Paths: make([][]float64, k)}
+	for ch := 0; ch < k; ch++ {
+		df := (float64(ch) - float64(k-1)/2) * spacingHz
+		row := make([]float64, m)
+		for a := 0; a < m; a++ {
+			row[a] = cplx.WrapPhase(base[a] + 2*math.Pi*df*taus[a])
+		}
+		p.Paths[ch] = row
+	}
+	return p, nil
+}
+
+// NewSubcarrierPlanIntegerDelays builds a subcarrier plan whose per-atom
+// dispersion is an integer number of OFDM samples: channel k's path phase
+// for atom m is base_m − 2π·k·d_m/n. This is the exact discrete-time model
+// that package waveform verifies at sample level (a delayed tap rotates
+// subcarrier k by e^{−j2πkd/n}), so deployments built on it can be
+// cross-checked against chip-accurate OFDM transmission. n is the OFDM
+// size (power of two); delays are per-atom sample delays.
+func NewSubcarrierPlanIntegerDelays(s *mts.Surface, g mts.Geometry, n int, delays []int) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("parallel: need at least one subcarrier, got %d", n)
+	}
+	if len(delays) != s.Atoms() {
+		return nil, fmt.Errorf("parallel: %d delays for %d atoms", len(delays), s.Atoms())
+	}
+	base := s.PathPhases(g)
+	p := &Plan{Kind: "subcarrier", Paths: make([][]float64, n)}
+	for k := 0; k < n; k++ {
+		row := make([]float64, s.Atoms())
+		for m := range row {
+			row[m] = cplx.WrapPhase(base[m] - 2*math.Pi*float64(k)*float64(delays[m])/float64(n))
+		}
+		p.Paths[k] = row
+	}
+	return p, nil
+}
+
+// NewAntennaPlan builds per-antenna path phases for L receive antennas fanned
+// around the nominal receiver direction with the given angular spread (the
+// multi-antenna receiver array of §5.2's antenna-based implementation).
+func NewAntennaPlan(s *mts.Surface, g mts.Geometry, l int, spreadDeg float64) (*Plan, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("parallel: need at least one antenna, got %d", l)
+	}
+	if spreadDeg <= 0 {
+		spreadDeg = 90
+	}
+	p := &Plan{Kind: "antenna", Paths: make([][]float64, l)}
+	for ch := 0; ch < l; ch++ {
+		gg := g
+		if l > 1 {
+			gg.RxAngleDeg = g.RxAngleDeg - spreadDeg/2 + spreadDeg*float64(ch)/float64(l-1)
+		}
+		p.Paths[ch] = s.PathPhases(gg)
+	}
+	return p, nil
+}
+
+// Options configures a parallel deployment.
+type Options struct {
+	Surface      *mts.Surface
+	Controller   mts.Controller
+	Channel      channel.Params
+	SubSamples   int     // multipath cancellation, as in ota
+	TargetScale  float64 // fraction of the joint dynamic range used
+	JitterStd    float64
+	SymbolRateHz float64
+	SyncSampler  func(src *rng.Source) float64
+}
+
+// NewOptions mirrors ota.NewOptions for the parallel schemes.
+func NewOptions(src *rng.Source) Options {
+	return Options{
+		Surface:      mts.Prototype(src),
+		Controller:   mts.PrototypeController(),
+		Channel:      channel.Default(),
+		SubSamples:   2,
+		TargetScale:  0.5,
+		JitterStd:    0.08,
+		SymbolRateHz: 1e6,
+	}
+}
+
+// System is a deployed parallel classifier: outputs are partitioned into
+// groups of at most Channels() classes; each group is computed in one
+// transmission.
+type System struct {
+	plan   *Plan
+	opts   Options
+	groups [][]int // output indices per transmission
+	// Configs[g][i] is the shared configuration group g plays at symbol i.
+	Configs [][]mts.Config
+	// Realized[r][i]: physically realized response for output r at symbol i.
+	Realized *cplx.Mat
+	classes  int
+	u        int
+	sigRMS   float64
+	ch       *channel.Model
+	src      *rng.Source
+	jitAtt   float64
+	jitVar   float64
+}
+
+// Deploy solves the shared per-symbol configurations realizing w
+// (classes×U) across the plan's channels. When the plan has fewer channels
+// than classes, outputs are processed in ⌈R/C⌉ sequential groups.
+func Deploy(w *cplx.Mat, plan *Plan, opts Options, src *rng.Source) (*System, error) {
+	if opts.Surface == nil {
+		return nil, fmt.Errorf("parallel: Deploy requires a surface")
+	}
+	c := plan.Channels()
+	if c < 1 {
+		return nil, fmt.Errorf("parallel: plan has no channels")
+	}
+	if opts.TargetScale <= 0 || opts.TargetScale > 1 {
+		return nil, fmt.Errorf("parallel: TargetScale %v out of (0, 1]", opts.TargetScale)
+	}
+	if opts.SymbolRateHz <= 0 {
+		opts.SymbolRateHz = 1e6
+	}
+	switches := 1
+	if opts.SubSamples > 0 {
+		switches = opts.SubSamples
+	}
+	if err := opts.Controller.ValidateSchedule(opts.Surface.Atoms(), opts.SymbolRateHz, switches); err != nil {
+		return nil, err
+	}
+	maxW := w.MaxAbs()
+	if maxW == 0 {
+		return nil, fmt.Errorf("parallel: weight matrix is all zeros")
+	}
+	// Joint targets share the atom budget: scale by 1/√C so C simultaneous
+	// constraints stay inside the reachable set.
+	maxR := opts.Surface.MaxResponse(plan.Paths[0])
+	gamma := opts.TargetScale * maxR / (maxW * math.Sqrt(float64(c)))
+
+	s := &System{
+		plan:     plan,
+		opts:     opts,
+		Realized: cplx.NewMat(w.Rows, w.Cols),
+		classes:  w.Rows,
+		u:        w.Cols,
+		ch:       channel.New(opts.Channel),
+		src:      src,
+	}
+	for start := 0; start < w.Rows; start += c {
+		end := start + c
+		if end > w.Rows {
+			end = w.Rows
+		}
+		group := make([]int, 0, end-start)
+		for r := start; r < end; r++ {
+			group = append(group, r)
+		}
+		s.groups = append(s.groups, group)
+	}
+	var sumSq float64
+	targets := make([]complex128, 0, c)
+	paths := make([][]float64, 0, c)
+	for _, group := range s.groups {
+		groupCfgs := make([]mts.Config, w.Cols)
+		for i := 0; i < w.Cols; i++ {
+			targets = targets[:0]
+			paths = paths[:0]
+			for ci, r := range group {
+				targets = append(targets, w.At(r, i)*complex(gamma, 0))
+				paths = append(paths, plan.Paths[ci])
+			}
+			cfg, _ := opts.Surface.SolveMultiTarget(targets, paths)
+			groupCfgs[i] = cfg
+			for ci, r := range group {
+				h := opts.Surface.Response(cfg, plan.Paths[ci])
+				s.Realized.Set(r, i, h)
+				sumSq += real(h)*real(h) + imag(h)*imag(h)
+			}
+		}
+		s.Configs = append(s.Configs, groupCfgs)
+	}
+	s.sigRMS = math.Sqrt(sumSq / float64(len(s.Realized.Data)))
+	sig2 := opts.JitterStd * opts.JitterStd
+	s.jitAtt = math.Exp(-sig2 / 2)
+	s.jitVar = float64(opts.Surface.Atoms()) * (1 - math.Exp(-sig2))
+	return s, nil
+}
+
+// Transmissions returns the sequential passes one inference needs.
+func (s *System) Transmissions() int { return len(s.groups) }
+
+// AirTime returns one inference's on-air time.
+func (s *System) AirTime() float64 {
+	return float64(len(s.groups)) * float64(s.u) / s.opts.SymbolRateHz
+}
+
+// Logits runs one over-the-air inference across all groups.
+func (s *System) Logits(x []complex128) []float64 {
+	if len(x) != s.u {
+		panic(fmt.Sprintf("parallel: input length %d, deployed for U=%d", len(x), s.u))
+	}
+	out := make([]float64, s.classes)
+	// SNR anchored at the 256-atom prototype aperture, as in ota.
+	aperture := 256.0 / float64(s.opts.Surface.Atoms())
+	noise2 := s.sigRMS * s.sigRMS * s.ch.Params().NoiseSigma2() * aperture * aperture
+	for _, group := range s.groups {
+		rz := s.ch.NewRealization(s.src.Split())
+		var offset float64
+		if s.opts.SyncSampler != nil {
+			offset = s.opts.SyncSampler(s.src)
+		}
+		acc := make([]complex128, len(group))
+		for i := range x {
+			scale := rz.MTSScaleAt(i)
+			var env complex128
+			if s.opts.SubSamples == 0 {
+				env = rz.EnvAt(i) * complex(s.sigRMS, 0)
+			}
+			for ci, r := range group {
+				h := s.effectiveResponse(r, i, offset) * scale
+				acc[ci] += (h+env)*x[i] + s.src.ComplexNormal(noise2)
+			}
+		}
+		for ci, r := range group {
+			out[r] = real(acc[ci])*real(acc[ci]) + imag(acc[ci])*imag(acc[ci])
+		}
+	}
+	for r := range out {
+		out[r] = math.Sqrt(out[r])
+	}
+	return out
+}
+
+func (s *System) effectiveResponse(r, i int, offset float64) complex128 {
+	base := math.Floor(offset)
+	frac := offset - base
+	idx := func(k int) int {
+		n := s.u
+		return ((k % n) + n) % n
+	}
+	h := s.Realized.At(r, idx(i-int(base)))
+	if frac >= 1e-9 {
+		h1 := s.Realized.At(r, idx(i-int(base)-1))
+		h = h*complex(1-frac, 0) + h1*complex(frac, 0)
+	}
+	if s.opts.JitterStd > 0 {
+		h = h*complex(s.jitAtt, 0) + s.src.ComplexNormal(s.jitVar)
+	}
+	return h
+}
+
+// Predict classifies one encoded input.
+func (s *System) Predict(x []complex128) int {
+	return cplx.Argmax(s.Logits(x))
+}

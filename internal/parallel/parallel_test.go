@@ -1,0 +1,218 @@
+package parallel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+var memo struct {
+	model *nn.ComplexLNN
+	test  *nn.EncodedSet
+	acc   float64
+}
+
+func trained(t *testing.T) (*nn.ComplexLNN, *nn.EncodedSet, float64) {
+	t.Helper()
+	if memo.model == nil {
+		ds := dataset.MustLoad("mnist", dataset.Quick, 1)
+		enc := nn.Encoder{Scheme: modem.QAM256}
+		train := nn.EncodeSet(ds.Train, ds.Classes, enc)
+		memo.test = nn.EncodeSet(ds.Test, ds.Classes, enc)
+		memo.model = nn.TrainLNN(train, nn.TrainConfig{Seed: 1, Epochs: 40})
+		memo.acc = nn.Evaluate(memo.model, memo.test)
+	}
+	return memo.model, memo.test, memo.acc
+}
+
+func TestPlanValidation(t *testing.T) {
+	src := rng.New(1)
+	s := mts.Prototype(src)
+	if _, err := NewSubcarrierPlan(s, mts.DefaultGeometry(), 0, 40e3, src); err == nil {
+		t.Error("expected error for zero subcarriers")
+	}
+	if _, err := NewSubcarrierPlan(s, mts.DefaultGeometry(), 4, 0, src); err == nil {
+		t.Error("expected error for zero spacing")
+	}
+	if _, err := NewAntennaPlan(s, mts.DefaultGeometry(), 0, 30); err == nil {
+		t.Error("expected error for zero antennas")
+	}
+}
+
+func TestSubcarrierPlanChannelsDiffer(t *testing.T) {
+	src := rng.New(2)
+	s := mts.Prototype(src)
+	p, err := NewSubcarrierPlan(s, mts.DefaultGeometry(), 10, 40e3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Channels() != 10 || p.Kind != "subcarrier" {
+		t.Fatalf("plan = %s × %d", p.Kind, p.Channels())
+	}
+	// Distinct subcarriers must present meaningfully different phase sets.
+	var diff float64
+	for a := 0; a < s.Atoms(); a++ {
+		diff += math.Abs(p.Paths[0][a] - p.Paths[9][a])
+	}
+	if diff/float64(s.Atoms()) < 0.2 {
+		t.Fatalf("outermost subcarriers nearly identical (mean |Δφ| = %v); dispersion model inert", diff/float64(s.Atoms()))
+	}
+}
+
+func TestAntennaPlanAnglesFan(t *testing.T) {
+	src := rng.New(3)
+	s := mts.Prototype(src)
+	p, err := NewAntennaPlan(s, mts.DefaultGeometry(), 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Channels() != 3 || p.Kind != "antenna" {
+		t.Fatalf("plan = %s × %d", p.Kind, p.Channels())
+	}
+	for ch := 1; ch < 3; ch++ {
+		same := 0
+		for a := 0; a < s.Atoms(); a++ {
+			if p.Paths[ch][a] == p.Paths[0][a] {
+				same++
+			}
+		}
+		if same > s.Atoms()/4 {
+			t.Fatalf("antenna %d shares %d path phases with antenna 0", ch, same)
+		}
+	}
+}
+
+func TestMultiTargetSolverSatisfiesAllChannels(t *testing.T) {
+	src := rng.New(4)
+	s := mts.Prototype(src)
+	plan, err := NewAntennaPlan(s, mts.DefaultGeometry(), 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxR := s.MaxResponse(plan.Paths[0])
+	targets := make([]complex128, 5)
+	for i := range targets {
+		mag := 0.2 * maxR / math.Sqrt(5)
+		targets[i] = complex(mag*math.Cos(src.Phase()), mag*math.Sin(src.Phase()))
+	}
+	cfg, sums := s.SolveMultiTarget(targets, plan.Paths)
+	if len(cfg) != s.Atoms() {
+		t.Fatalf("config has %d atoms", len(cfg))
+	}
+	for ch := range targets {
+		rel := cmplx.Abs(sums[ch]-targets[ch]) / maxR
+		if rel > 0.05 {
+			t.Fatalf("channel %d residual %.3f of dynamic range", ch, rel)
+		}
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(5)
+	s := mts.Prototype(src)
+	plan, _ := NewAntennaPlan(s, mts.DefaultGeometry(), 3, 30)
+	opts := NewOptions(src)
+	opts.Surface = nil
+	if _, err := Deploy(m.Weights(), plan, opts, src); err == nil {
+		t.Error("expected error for nil surface")
+	}
+	opts = NewOptions(src)
+	opts.TargetScale = 2
+	if _, err := Deploy(m.Weights(), plan, opts, src); err == nil {
+		t.Error("expected error for bad TargetScale")
+	}
+}
+
+func TestAntennaParallelismAccuracy(t *testing.T) {
+	// Fig 18: full antenna parallelism (L = R) costs only a modest accuracy
+	// drop relative to the digital model while cutting transmissions to 1.
+	m, test, digital := trained(t)
+	src := rng.New(6)
+	opts := NewOptions(src.Split())
+	plan, err := NewAntennaPlan(opts.Surface, mts.DefaultGeometry(), 10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(m.Weights(), plan, opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Transmissions() != 1 {
+		t.Fatalf("L=R should need 1 transmission, got %d", sys.Transmissions())
+	}
+	acc := nn.Evaluate(sys, test)
+	if digital-acc > 0.15 {
+		t.Fatalf("antenna parallelism accuracy %.3f too far below digital %.3f", acc, digital)
+	}
+	if acc < 0.6 {
+		t.Fatalf("antenna parallelism accuracy %.3f implausibly low", acc)
+	}
+}
+
+func TestSubcarrierParallelismAccuracy(t *testing.T) {
+	m, test, digital := trained(t)
+	src := rng.New(7)
+	opts := NewOptions(src.Split())
+	plan, err := NewSubcarrierPlan(opts.Surface, mts.DefaultGeometry(), 10, 40e3, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(m.Weights(), plan, opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := nn.Evaluate(sys, test)
+	if digital-acc > 0.15 {
+		t.Fatalf("subcarrier parallelism accuracy %.3f too far below digital %.3f", acc, digital)
+	}
+}
+
+func TestAccuracyLatencyTradeoff(t *testing.T) {
+	// Fig 31: more parallel channels -> fewer transmissions but lower
+	// accuracy.
+	m, test, _ := trained(t)
+	accs := map[int]float64{}
+	trans := map[int]int{}
+	for _, l := range []int{2, 10} {
+		src := rng.New(8)
+		opts := NewOptions(src.Split())
+		plan, err := NewAntennaPlan(opts.Surface, mts.DefaultGeometry(), l, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := Deploy(m.Weights(), plan, opts, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[l] = nn.Evaluate(sys, test)
+		trans[l] = sys.Transmissions()
+	}
+	if trans[2] != 5 || trans[10] != 1 {
+		t.Fatalf("transmissions: %v", trans)
+	}
+	if accs[10] > accs[2]+0.02 {
+		t.Fatalf("accuracy should not improve with more parallel channels: %v", accs)
+	}
+}
+
+func TestAirTimeScalesWithGroups(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(9)
+	opts := NewOptions(src.Split())
+	plan, _ := NewAntennaPlan(opts.Surface, mts.DefaultGeometry(), 5, 45)
+	sys, err := Deploy(m.Weights(), plan, opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 classes / 5 antennas = 2 passes × 64 symbols @ 1 Msym/s.
+	if got := sys.AirTime(); math.Abs(got-128e-6) > 1e-12 {
+		t.Fatalf("air time = %v, want 128 µs", got)
+	}
+}

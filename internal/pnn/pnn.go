@@ -1,0 +1,219 @@
+// Package pnn implements the traditional stacked-metasurface physical
+// neural network of Appendix A.1 — the architecture MetaAI replaces. All
+// inputs enter in parallel; each layer's meta-atoms apply one programmable
+// phase to the superposition of everything arriving at them, and fixed
+// free-space Green's-function couplings β ~ G(d, s) connect consecutive
+// layers (Eqn 15). Because a single layer cannot assign independent weights
+// per input (M < R·U: overdetermined, Eqn 18), traditional PNNs stack
+// layers to add degrees of freedom; Fig 29 shows accuracy climbing with
+// depth and approaching the digital LNN near five layers.
+//
+// The implementation trains the per-layer atom phases with the same
+// complex-valued backpropagation machinery as the rest of the repository
+// (package autodiff), using continuous phases — the favourable case for
+// this baseline.
+package pnn
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/autodiff"
+	"repro/internal/cplx"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// Config describes a stacked PNN.
+type Config struct {
+	// Layers is the number of metasurface layers (1–6 in Fig 29).
+	Layers int
+	// AtomsPerLayer is M, the meta-atoms per layer (a square grid).
+	AtomsPerLayer int
+	// Classes and U are the output/input dimensions.
+	Classes, U int
+	// LayerGapM is the inter-layer spacing d; SpacingM the atom pitch s.
+	LayerGapM, SpacingM float64
+	// FreqGHz sets the wavelength of the couplings.
+	FreqGHz float64
+}
+
+// DefaultConfig sizes the baseline for the Fig 29 experiment.
+func DefaultConfig(layers, classes, u int) Config {
+	return Config{
+		Layers:        layers,
+		AtomsPerLayer: 144, // 12×12 per layer
+		Classes:       classes,
+		U:             u,
+		LayerGapM:     0.05,
+		SpacingM:      0.02,
+		FreqGHz:       5.25,
+	}
+}
+
+// Network is a stacked PNN with trainable per-layer phases.
+type Network struct {
+	Cfg    Config
+	Phases []*autodiff.RParam // one M-vector per layer
+	// couplings[0]: input plane -> layer 1 (M×U);
+	// couplings[l] for 0<l<Layers: layer l -> layer l+1 (M×M);
+	// couplings[Layers]: last layer -> detectors (R×M).
+	couplings []*cplx.Mat
+}
+
+// planePositions lays n elements on a centred square-ish grid with the given
+// pitch, returning (x, y) pairs.
+func planePositions(n int, pitch float64) [][2]float64 {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	out := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		r, c := i/side, i%side
+		out[i] = [2]float64{
+			(float64(c) - float64(side-1)/2) * pitch,
+			(float64(r) - float64(side-1)/2) * pitch,
+		}
+	}
+	return out
+}
+
+// greenCoupling builds the free-space coupling matrix between two planes a
+// distance gap apart: β = e^{jk·r}/r, normalized so a unit-power input plane
+// keeps unit-order magnitudes.
+func greenCoupling(dst, src [][2]float64, gap, lambda float64) *cplx.Mat {
+	k0 := 2 * math.Pi / lambda
+	m := cplx.NewMat(len(dst), len(src))
+	var norm float64
+	for i, d := range dst {
+		for j, s := range src {
+			dx, dy := d[0]-s[0], d[1]-s[1]
+			r := math.Sqrt(dx*dx + dy*dy + gap*gap)
+			v := cplx.Expi(k0*r) * complex(1/r, 0)
+			m.Set(i, j, v)
+			norm += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	scale := complex(math.Sqrt(float64(len(src)))/math.Sqrt(norm), 0)
+	for i := range m.Data {
+		m.Data[i] *= scale
+	}
+	return m
+}
+
+// New builds a network with the given configuration, phases initialized
+// uniformly at random from src.
+func New(cfg Config, src *rng.Source) (*Network, error) {
+	if cfg.Layers < 1 {
+		return nil, fmt.Errorf("pnn: need at least one layer, got %d", cfg.Layers)
+	}
+	if cfg.AtomsPerLayer < 1 || cfg.Classes < 1 || cfg.U < 1 {
+		return nil, fmt.Errorf("pnn: invalid dimensions %+v", cfg)
+	}
+	lambda := 299792458.0 / (cfg.FreqGHz * 1e9)
+	inPlane := planePositions(cfg.U, cfg.SpacingM)
+	atomPlane := planePositions(cfg.AtomsPerLayer, cfg.SpacingM)
+	outPlane := planePositions(cfg.Classes, cfg.SpacingM*3)
+	n := &Network{Cfg: cfg}
+	n.couplings = append(n.couplings, greenCoupling(atomPlane, inPlane, cfg.LayerGapM, lambda))
+	for l := 1; l < cfg.Layers; l++ {
+		n.couplings = append(n.couplings, greenCoupling(atomPlane, atomPlane, cfg.LayerGapM, lambda))
+	}
+	n.couplings = append(n.couplings, greenCoupling(outPlane, atomPlane, cfg.LayerGapM, lambda))
+	for l := 0; l < cfg.Layers; l++ {
+		p := autodiff.NewRParam(cfg.AtomsPerLayer)
+		for i := range p.Val {
+			p.Val[i] = src.Phase()
+		}
+		n.Phases = append(n.Phases, p)
+	}
+	return n, nil
+}
+
+// Logits runs the physical forward pass: propagate, modulate per layer,
+// detect magnitudes.
+func (n *Network) Logits(x []complex128) []float64 {
+	v := cplx.Vec(x)
+	for l := 0; l < n.Cfg.Layers; l++ {
+		v = n.couplings[l].MulVec(v)
+		for i := range v {
+			v[i] *= cplx.Expi(n.Phases[l].Val[i])
+		}
+	}
+	y := n.couplings[n.Cfg.Layers].MulVec(v)
+	out := make([]float64, len(y))
+	for i, c := range y {
+		out[i] = cmplx.Abs(c)
+	}
+	return out
+}
+
+// Predict classifies one encoded input.
+func (n *Network) Predict(x []complex128) int {
+	return cplx.Argmax(n.Logits(x))
+}
+
+// Train optimizes the layer phases with SGD+momentum over the encoded set.
+func Train(train *nn.EncodedSet, cfg Config, tc nn.TrainConfig) (*Network, error) {
+	if tc.LR == 0 {
+		tc.LR = 0.15 // phase parameters need large steps, as in nn.TrainDiscrete
+	}
+	if tc.Momentum == 0 {
+		tc.Momentum = 0.9
+	}
+	if tc.Batch == 0 {
+		tc.Batch = 64
+	}
+	if tc.Epochs == 0 {
+		tc.Epochs = 30
+	}
+	cfg.Classes = train.Classes
+	cfg.U = train.U
+	src := rng.New(tc.Seed ^ 0x9111)
+	net, err := New(cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(train.X) == 0 {
+		return nil, fmt.Errorf("pnn: empty training set")
+	}
+	vels := make([][]float64, cfg.Layers)
+	for l := range vels {
+		vels[l] = make([]float64, cfg.AtomsPerLayer)
+	}
+	order := make([]int, len(train.X))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += tc.Batch {
+			end := start + tc.Batch
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, p := range net.Phases {
+				p.ZeroGrad()
+			}
+			for _, idx := range order[start:end] {
+				tp := autodiff.NewTape()
+				v := tp.ConstC(train.X[idx])
+				for l := 0; l < cfg.Layers; l++ {
+					v = tp.MatVecConst(net.couplings[l], v)
+					v = tp.PhasorMul(v, net.Phases[l])
+				}
+				y := tp.MatVecConst(net.couplings[cfg.Layers], v)
+				mag := tp.Abs(y)
+				lnode, _ := tp.SoftmaxCE(mag, train.Labels[idx])
+				tp.Backward(lnode)
+			}
+			scale := tc.LR / float64(end-start)
+			for l, p := range net.Phases {
+				for i := range p.Val {
+					vels[l][i] = tc.Momentum*vels[l][i] - scale*p.Grad[i]
+					p.Val[i] += vels[l][i]
+				}
+			}
+		}
+	}
+	return net, nil
+}

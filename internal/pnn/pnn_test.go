@@ -1,0 +1,107 @@
+package pnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := New(Config{Layers: 0, AtomsPerLayer: 4, Classes: 2, U: 4}, src); err == nil {
+		t.Error("expected error for zero layers")
+	}
+	if _, err := New(Config{Layers: 1, AtomsPerLayer: 0, Classes: 2, U: 4}, src); err == nil {
+		t.Error("expected error for zero atoms")
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	src := rng.New(2)
+	cfg := DefaultConfig(2, 5, 16)
+	n, err := New(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, 16)
+	for i := range x {
+		x[i] = src.ComplexNormal(1)
+	}
+	logits := n.Logits(x)
+	if len(logits) != 5 {
+		t.Fatalf("got %d logits", len(logits))
+	}
+	for _, v := range logits {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("invalid logit %v", v)
+		}
+	}
+	if p := n.Predict(x); p < 0 || p >= 5 {
+		t.Fatalf("prediction %d out of range", p)
+	}
+}
+
+func TestCouplingsNormalized(t *testing.T) {
+	// Forward magnitudes must stay bounded through depth, or training
+	// degenerates.
+	src := rng.New(3)
+	cfg := DefaultConfig(6, 4, 64)
+	n, err := New(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = src.ComplexNormal(1)
+	}
+	logits := n.Logits(x)
+	for _, v := range logits {
+		if v > 1e4 || v < 1e-8 {
+			t.Fatalf("logit magnitude %v out of a trainable range", v)
+		}
+	}
+}
+
+// TestDepthImprovesAccuracy reproduces the Fig 29 trend: a 1-layer
+// traditional PNN is far from the digital LNN (overdetermined, Eqn 18),
+// and stacking layers closes most of the gap.
+func TestDepthImprovesAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PNN training sweep is slow")
+	}
+	ds := dataset.MustLoad("mnist", dataset.Quick, 1)
+	enc := nn.Encoder{Scheme: modem.QAM256}
+	// A subset keeps the sweep fast; the trend survives.
+	train := nn.EncodeSet(ds.Train[:300], ds.Classes, enc)
+	test := nn.EncodeSet(ds.Test, ds.Classes, enc)
+	digital := nn.Evaluate(nn.TrainLNN(train, nn.TrainConfig{Seed: 1, Epochs: 40}), test)
+
+	accs := map[int]float64{}
+	for _, layers := range []int{1, 5} {
+		net, err := Train(train, DefaultConfig(layers, ds.Classes, train.U), nn.TrainConfig{Seed: 1, Epochs: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[layers] = nn.Evaluate(net, test)
+	}
+	if accs[5] <= accs[1] {
+		t.Fatalf("5-layer PNN (%.3f) should beat 1-layer (%.3f)", accs[5], accs[1])
+	}
+	if digital-accs[1] < 0.10 {
+		t.Fatalf("1-layer PNN (%.3f) should trail the digital LNN (%.3f) clearly", accs[1], digital)
+	}
+	if accs[5] < accs[1]+0.1 {
+		t.Fatalf("depth gain too small: %v (digital %.3f)", accs, digital)
+	}
+}
+
+func TestTrainEmptySetErrors(t *testing.T) {
+	_, err := Train(&nn.EncodedSet{Classes: 2, U: 4}, DefaultConfig(1, 2, 4), nn.TrainConfig{})
+	if err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+}

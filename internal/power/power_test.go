@@ -1,0 +1,126 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func findRow(rows []Row, system, model string) Row {
+	for _, r := range rows {
+		if r.System == system && r.Model == model {
+			return r
+		}
+	}
+	return Row{}
+}
+
+func TestTable2ReproducesPaperRows(t *testing.T) {
+	rows := Table(MNIST())
+	if len(rows) != 5 {
+		t.Fatalf("Table 2 has %d rows, want 5", len(rows))
+	}
+	within := func(got, want, tol float64) bool {
+		return math.Abs(got-want) <= tol*want
+	}
+	cpuLNN := findRow(rows, "CPU", "LNN")
+	if !within(cpuLNN.TotalMs, 2.117, 0.02) || !within(cpuLNN.TotalMJ, 63.576, 0.02) {
+		t.Errorf("CPU LNN row = %.3f ms / %.3f mJ, paper 2.117 / 63.576", cpuLNN.TotalMs, cpuLNN.TotalMJ)
+	}
+	meta := findRow(rows, "Meta-AI", "LNN")
+	if !within(meta.TxMs, 1.568, 0.02) {
+		t.Errorf("MetaAI tx = %.3f ms, paper 1.568", meta.TxMs)
+	}
+	if !within(meta.TotalMJ, 10.92, 0.05) {
+		t.Errorf("MetaAI total energy = %.3f mJ, paper 10.92", meta.TotalMJ)
+	}
+	if !within(meta.MTSMJ, 2.353, 0.02) {
+		t.Errorf("MetaAI MTS energy = %.3f mJ, paper 2.353", meta.MTSMJ)
+	}
+	gpuRes := findRow(rows, "4080 GPU", "ResNet-18")
+	if !within(gpuRes.TotalMs, 4.457, 0.02) || !within(gpuRes.TotalMJ, 183.226, 0.02) {
+		t.Errorf("GPU ResNet row = %.3f ms / %.3f mJ, paper 4.457 / 183.226", gpuRes.TotalMs, gpuRes.TotalMJ)
+	}
+}
+
+func TestTable3ReproducesPaperRows(t *testing.T) {
+	rows := Table(AFHQ())
+	meta := findRow(rows, "Meta-AI", "LNN")
+	if math.Abs(meta.TxMs-2.704) > 0.03 {
+		t.Errorf("AFHQ MetaAI tx = %.3f ms, paper 2.704", meta.TxMs)
+	}
+	if math.Abs(meta.TotalMJ-18.82) > 0.8 {
+		t.Errorf("AFHQ MetaAI total = %.3f mJ, paper 18.82", meta.TotalMJ)
+	}
+	cpuRes := findRow(rows, "CPU", "ResNet-18")
+	if math.Abs(cpuRes.TotalMs-17.596) > 0.2 {
+		t.Errorf("AFHQ CPU ResNet = %.3f ms, paper 17.596", cpuRes.TotalMs)
+	}
+}
+
+func TestMetaAIWinsEfficiency(t *testing.T) {
+	// The headline claims of Appendix A.4: MetaAI has the lowest total
+	// energy, the lowest total latency, and negligible server compute.
+	for _, w := range []Workload{MNIST(), AFHQ()} {
+		rows := Table(w)
+		meta := findRow(rows, "Meta-AI", "LNN")
+		for _, r := range rows {
+			if r.System == "Meta-AI" {
+				continue
+			}
+			if meta.TotalMJ >= r.TotalMJ {
+				t.Errorf("%s: MetaAI energy %.2f mJ not below %s %s %.2f mJ", w.Name, meta.TotalMJ, r.System, r.Model, r.TotalMJ)
+			}
+			if meta.TotalMs >= r.TotalMs {
+				t.Errorf("%s: MetaAI latency %.3f ms not below %s %s %.3f ms", w.Name, meta.TotalMs, r.System, r.Model, r.TotalMs)
+			}
+			if meta.ServerMJ >= r.ServerMJ/100 {
+				t.Errorf("%s: MetaAI server energy %.4f mJ not orders below %s %.2f mJ", w.Name, meta.ServerMJ, r.System, r.ServerMJ)
+			}
+		}
+	}
+}
+
+func TestAccuracyOrdering(t *testing.T) {
+	// ResNet > LNN > MetaAI in raw accuracy — the other side of the
+	// trade-off.
+	for _, w := range []Workload{MNIST(), AFHQ()} {
+		if !(w.ResNetAccPct > w.LNNAccPct && w.LNNAccPct > w.MetaAIAccPct) {
+			t.Errorf("%s accuracy ordering broken", w.Name)
+		}
+	}
+}
+
+func TestParallelismReducesAirTime(t *testing.T) {
+	w := MNIST()
+	seq := Table(w)
+	w.Parallelism = 5
+	par := Table(w)
+	s := findRow(seq, "Meta-AI", "LNN")
+	p := findRow(par, "Meta-AI", "LNN")
+	if p.TxMs >= s.TxMs {
+		t.Fatalf("parallelism did not cut air time: %.3f -> %.3f ms", s.TxMs, p.TxMs)
+	}
+	if math.Abs(p.TxMs-s.TxMs/5) > 1e-9 {
+		t.Fatalf("5-way parallelism should cut air time 5×: %.3f -> %.3f", s.TxMs, p.TxMs)
+	}
+}
+
+func TestScalingInterpolates(t *testing.T) {
+	// The fitted power laws must be monotone in input size.
+	w := MNIST()
+	small := findRow(Table(w), "CPU", "ResNet-18")
+	w.InputBytes = 2000
+	mid := findRow(Table(w), "CPU", "ResNet-18")
+	if mid.ServerMs <= small.ServerMs {
+		t.Fatalf("server time must grow with input size: %.3f -> %.3f", small.ServerMs, mid.ServerMs)
+	}
+}
+
+func TestInvalidWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid workload")
+		}
+	}()
+	Table(Workload{})
+}

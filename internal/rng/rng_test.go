@@ -1,0 +1,188 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependentAndReproducible(t *testing.T) {
+	p1, p2 := New(7), New(7)
+	c1, c2 := p1.Split(), p2.Split()
+	for i := 0; i < 50; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("split children not reproducible at draw %d", i)
+		}
+	}
+	// Parent stream continues deterministically after a split.
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("parent streams diverge after split")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(3)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := s.Normal(2.0, 3.0)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Errorf("mean = %v, want ≈ 2.0", mean)
+	}
+	if math.Abs(variance-9.0) > 0.3 {
+		t.Errorf("variance = %v, want ≈ 9.0", variance)
+	}
+}
+
+func TestComplexNormalMoments(t *testing.T) {
+	s := New(4)
+	const n = 200000
+	var re, im, pw float64
+	for i := 0; i < n; i++ {
+		z := s.ComplexNormal(2.0)
+		re += real(z)
+		im += imag(z)
+		pw += real(z)*real(z) + imag(z)*imag(z)
+	}
+	if math.Abs(re/n) > 0.02 || math.Abs(im/n) > 0.02 {
+		t.Errorf("complex normal mean = (%v, %v), want ≈ 0", re/n, im/n)
+	}
+	if math.Abs(pw/n-2.0) > 0.05 {
+		t.Errorf("complex normal power = %v, want ≈ 2.0", pw/n)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	cases := []struct{ shape, scale float64 }{
+		{0.5, 1.0}, {1.0, 2.0}, {2.0, 1.5}, {4.0, 0.5}, {9.0, 3.0},
+	}
+	for _, c := range cases {
+		s := New(5)
+		const n = 200000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			x := s.Gamma(c.shape, c.scale)
+			if x < 0 {
+				t.Fatalf("Gamma(%v,%v) produced negative sample %v", c.shape, c.scale, x)
+			}
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean+0.01 {
+			t.Errorf("Gamma(%v,%v) mean = %v, want ≈ %v", c.shape, c.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar+0.02 {
+			t.Errorf("Gamma(%v,%v) variance = %v, want ≈ %v", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaDegenerateParams(t *testing.T) {
+	s := New(6)
+	if got := s.Gamma(0, 1); got != 0 {
+		t.Errorf("Gamma(0,1) = %v, want 0", got)
+	}
+	if got := s.Gamma(1, 0); got != 0 {
+		t.Errorf("Gamma(1,0) = %v, want 0", got)
+	}
+	if got := s.Gamma(-1, 1); got != 0 {
+		t.Errorf("Gamma(-1,1) = %v, want 0", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(8)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(3.0)
+	}
+	if math.Abs(sum/n-3.0) > 0.1 {
+		t.Errorf("exponential mean = %v, want ≈ 3.0", sum/n)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(9)
+	err := quick.Check(func(raw uint8) bool {
+		n := int(raw%64) + 1
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseRange(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 1000; i++ {
+		p := s.Phase()
+		if p < 0 || p >= 2*math.Pi {
+			t.Fatalf("phase %v out of [0, 2π)", p)
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	s := New(12)
+	for i := 0; i < 1000; i++ {
+		v := s.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN(7) = %d out of range", v)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package waveform
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/cplx"
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// TestParallelDeploymentMatchesOFDMWaveform is the end-to-end consistency
+// check between the three layers of the subcarrier-parallelism stack:
+//
+//  1. parallel.Deploy solves shared per-symbol configurations against an
+//     integer-delay dispersion plan (the frequency-domain model);
+//  2. the realized responses predict per-subcarrier accumulators
+//     Σ_i H_k(cfg_i)·x_i;
+//  3. chip-accurate OFDM transmission (IFFT + CP through the per-atom
+//     tapped delays, then FFT) must reproduce those accumulators exactly.
+func TestParallelDeploymentMatchesOFDMWaveform(t *testing.T) {
+	ds := dataset.MustLoad("afhq", dataset.Quick, 1)
+	enc := nn.Encoder{Scheme: modem.QAM256}
+	train := nn.EncodeSet(ds.Train, ds.Classes, enc)
+	model := nn.TrainLNN(train, nn.TrainConfig{Seed: 1, Epochs: 10})
+
+	src := rng.New(9)
+	surface, err := mts.NewSurface(16, 16, 2, 5.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nSub = 4 // power of two for the OFDM size; classes use the first 3
+	cp := 2
+	delays := make([]int, surface.Atoms())
+	for m := range delays {
+		delays[m] = src.IntN(cp + 1)
+	}
+	geom := mts.DefaultGeometry()
+	plan, err := parallel.NewSubcarrierPlanIntegerDelays(surface, geom, nSub, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := parallel.NewOptions(src.Split())
+	opts.Surface = surface
+	opts.JitterStd = 0
+	sys, err := parallel.Deploy(model.Weights(), plan, opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Transmissions() != 1 {
+		t.Fatalf("3 classes on 4 subcarriers should take 1 transmission, got %d", sys.Transmissions())
+	}
+
+	mod, err := modem.NewOFDM(nSub, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := surface.States()
+	base := plan.Paths[0] // channel k=0 carries the undelayed path phases
+	x := train.X[0]
+
+	// Frequency-domain prediction from the deployment's realized responses.
+	want := make(cplx.Vec, ds.Classes)
+	for r := 0; r < ds.Classes; r++ {
+		want[r] = sys.Realized.Row(r).Dot(cplx.Vec(x))
+	}
+
+	// Chip-accurate OFDM transmission of the same schedule.
+	gains := make([][]complex128, len(x))
+	for i := range x {
+		cfg := sys.Configs[0][i]
+		g := make([]complex128, surface.Atoms())
+		for m := range g {
+			g[m] = cplx.Expi(base[m] + states[cfg[m]])
+		}
+		gains[i] = g
+	}
+	acc, err := AccumulateOFDM(mod, gains, delays, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ds.Classes; r++ {
+		if cmplx.Abs(acc[r]-want[r]) > 1e-6*(1+cmplx.Abs(want[r])) {
+			t.Fatalf("class %d: OFDM waveform %v, frequency model %v", r, acc[r], want[r])
+		}
+	}
+	// And the classification decisions agree.
+	if cplx.Argmax(acc[:ds.Classes].Abs()) != cplx.Argmax(want.Abs()) {
+		t.Fatal("waveform and frequency-model decisions disagree")
+	}
+}
+
+// TestIntegerDelayPlanValidation covers the new constructor's error paths.
+func TestIntegerDelayPlanValidation(t *testing.T) {
+	surface, _ := mts.NewSurface(4, 4, 2, 5.25, nil)
+	if _, err := parallel.NewSubcarrierPlanIntegerDelays(surface, mts.DefaultGeometry(), 0, make([]int, 16)); err == nil {
+		t.Error("expected error for zero subcarriers")
+	}
+	if _, err := parallel.NewSubcarrierPlanIntegerDelays(surface, mts.DefaultGeometry(), 4, make([]int, 3)); err == nil {
+		t.Error("expected error for delay-count mismatch")
+	}
+}

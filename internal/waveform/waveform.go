@@ -1,0 +1,198 @@
+// Package waveform simulates MetaAI transmissions at chip granularity — the
+// time-domain ground truth beneath the analytic per-symbol engine of
+// package ota. It exists to *verify* the §3.2 multipath-cancellation
+// mechanism rather than assume it:
+//
+//   - each symbol expands into P zero-mean chips (±x, the DC-balanced
+//     waveform of Fig 8(a)) preceded by a cyclic prefix;
+//   - the metasurface flips its configuration sign in sync with the chip
+//     pattern (its 2.56 MHz switching rate supports P = 2 at 1 Msym/s);
+//   - the environment is a tapped delay line applied to the actual chip
+//     stream;
+//   - the receiver integrates (plain sum) over each symbol's chip window
+//     after dropping the CP.
+//
+// Over the integration window, any environmental tap with delay inside the
+// CP sees a cyclically shifted zero-mean chip pattern and integrates to
+// exactly zero, while the MTS path — whose sign flips track the chips —
+// accumulates coherently to P·H·x. Package tests check this identity
+// exactly, show that it breaks without the in-symbol flipping and for
+// delays beyond the CP, and confirm the chip-level accumulators match the
+// analytic ota engine.
+package waveform
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/cplx"
+	"repro/internal/modem"
+	"repro/internal/rng"
+)
+
+// Link describes one chip-level transmission configuration.
+type Link struct {
+	// ChipsPerSymbol is P, the zero-mean chips per symbol (positive, even).
+	ChipsPerSymbol int
+	// CPChips is the cyclic prefix length in chips; it must cover the
+	// environment's delay spread for exact cancellation.
+	CPChips int
+	// Env is the environmental multipath (nil for none).
+	Env *channel.TappedDelayLine
+	// NoiseSigma2 is the per-chip complex noise variance.
+	NoiseSigma2 float64
+	// FlipWithChips enables the §3.2 scheme: the MTS flips its configuration
+	// sign in sync with the chip pattern. Disabling it models a metasurface
+	// that holds one configuration per symbol — the receiver's zero-mean
+	// integration then cancels the MTS path too, which is exactly why the
+	// scheme needs the in-symbol switching.
+	FlipWithChips bool
+}
+
+// DefaultLink mirrors the prototype: P = 2 chips (the most the controller
+// sustains), CP of 2 chips, flipping enabled.
+func DefaultLink(env *channel.TappedDelayLine, noiseSigma2 float64) Link {
+	return Link{
+		ChipsPerSymbol: 2,
+		CPChips:        2,
+		Env:            env,
+		NoiseSigma2:    noiseSigma2,
+		FlipWithChips:  true,
+	}
+}
+
+func (l Link) validate() error {
+	if l.ChipsPerSymbol <= 0 || l.ChipsPerSymbol%2 != 0 {
+		return fmt.Errorf("waveform: ChipsPerSymbol %d must be positive and even", l.ChipsPerSymbol)
+	}
+	if l.CPChips < 0 {
+		return fmt.Errorf("waveform: negative CP %d", l.CPChips)
+	}
+	return nil
+}
+
+// chipStream expands the symbol vector into the transmitted chip sequence:
+// per symbol, CPChips of cyclic prefix followed by the P zero-mean chips.
+// It also returns the parallel MTS modulation stream (the per-chip complex
+// factor the metasurface path applies) for the given per-symbol responses.
+func (l Link) chipStream(weights cplx.Vec, x []complex128) (tx, mtsMod []complex128) {
+	p := l.ChipsPerSymbol
+	signs := modem.ChipSigns(p)
+	block := l.CPChips + p
+	tx = make([]complex128, len(x)*block)
+	mtsMod = make([]complex128, len(x)*block)
+	for i, sym := range x {
+		base := i * block
+		// Data chips for this symbol.
+		for c := 0; c < p; c++ {
+			tx[base+l.CPChips+c] = complex(signs[c], 0) * sym
+		}
+		// Cyclic prefix: the chip the periodic pattern would carry at time
+		// offset c−CP before the data window (valid for any CP length).
+		for c := 0; c < l.CPChips; c++ {
+			idx := ((c-l.CPChips)%p + p) % p
+			tx[base+c] = complex(signs[idx], 0) * sym
+		}
+		// The MTS applies weight[i] during the whole block, flipping sign in
+		// chip sync when the scheme is on. The flip pattern covers the CP
+		// too (the controller plays the same cyclic pattern).
+		for c := 0; c < block; c++ {
+			f := complex(1, 0)
+			if l.FlipWithChips {
+				// Flip pattern aligned with the data chips; the CP chips
+				// carry the cyclically matching flips.
+				idx := (c - l.CPChips + p*block) % p
+				f = complex(signs[idx], 0)
+			}
+			mtsMod[base+c] = weights[i] * f
+		}
+	}
+	return tx, mtsMod
+}
+
+// TransmitOne runs one output neuron's transmission: the symbol stream x
+// against the per-symbol MTS responses, through the environment, with
+// receiver noise, returning the accumulated complex output (Eqn 3's inner
+// sum before the magnitude), normalized by the chip count so it is directly
+// comparable with the analytic engine.
+func (l Link) TransmitOne(weights cplx.Vec, x []complex128, src *rng.Source) (complex128, error) {
+	if err := l.validate(); err != nil {
+		return 0, err
+	}
+	if len(weights) != len(x) {
+		return 0, fmt.Errorf("waveform: %d weights for %d symbols", len(weights), len(x))
+	}
+	tx, mtsMod := l.chipStream(weights, x)
+	// Received stream: MTS path (instantaneous) + environment (tapped).
+	rx := make([]complex128, len(tx))
+	for t := range tx {
+		rx[t] = mtsMod[t] * tx[t]
+	}
+	if l.Env != nil {
+		envRx := l.Env.Apply(tx)
+		for t := range rx {
+			rx[t] += envRx[t]
+		}
+	}
+	if l.NoiseSigma2 > 0 && src != nil {
+		for t := range rx {
+			rx[t] += src.ComplexNormal(l.NoiseSigma2)
+		}
+	}
+	// Receiver: drop each CP, integrate the P chips of each symbol with the
+	// synchronized sign pattern removed by the MTS flips themselves — the
+	// combiner is a plain sum, which is what kills any static channel.
+	p := l.ChipsPerSymbol
+	block := l.CPChips + p
+	var acc complex128
+	for i := range x {
+		base := i*block + l.CPChips
+		var sum complex128
+		for c := 0; c < p; c++ {
+			sum += rx[base+c]
+		}
+		acc += sum
+	}
+	// The MTS path accumulates P·Σ H_i·x_i·sign²; normalize by P.
+	return acc / complex(float64(p), 0), nil
+}
+
+// Accumulate runs every output's transmission (sequential scheme) against
+// the realized response matrix, mirroring ota.System.Accumulate at chip
+// level.
+func (l Link) Accumulate(realized *cplx.Mat, x []complex128, src *rng.Source) (cplx.Vec, error) {
+	if realized.Cols != len(x) {
+		return nil, fmt.Errorf("waveform: realized U=%d, input %d", realized.Cols, len(x))
+	}
+	out := make(cplx.Vec, realized.Rows)
+	for r := 0; r < realized.Rows; r++ {
+		acc, err := l.TransmitOne(realized.Row(r), x, src)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = acc
+	}
+	return out, nil
+}
+
+// Classifier wraps realized responses with chip-level transmission so it
+// can stand in anywhere an nn.Predictor is expected.
+type Classifier struct {
+	Link     Link
+	Realized *cplx.Mat
+	Src      *rng.Source
+}
+
+// Logits returns |accumulator| per class via chip-level simulation.
+func (c *Classifier) Logits(x []complex128) []float64 {
+	acc, err := c.Link.Accumulate(c.Realized, x, c.Src)
+	if err != nil {
+		panic(err)
+	}
+	return acc.Abs()
+}
+
+// Predict classifies one encoded input.
+func (c *Classifier) Predict(x []complex128) int {
+	return cplx.Argmax(c.Logits(x))
+}

@@ -1,0 +1,234 @@
+package waveform
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cplx"
+	"repro/internal/dataset"
+	"repro/internal/modem"
+	"repro/internal/mts"
+	"repro/internal/nn"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+func randSymbols(n int, src *rng.Source) []complex128 {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(src.IntN(256))
+	}
+	return modem.ModulateBytes(data, modem.QAM256)
+}
+
+func randWeights(n int, src *rng.Source) cplx.Vec {
+	w := make(cplx.Vec, n)
+	for i := range w {
+		w[i] = src.ComplexNormal(100)
+	}
+	return w
+}
+
+func TestValidation(t *testing.T) {
+	l := DefaultLink(nil, 0)
+	l.ChipsPerSymbol = 3
+	if _, err := l.TransmitOne(cplx.Vec{1}, []complex128{1}, nil); err == nil {
+		t.Error("expected error for odd chip count")
+	}
+	l = DefaultLink(nil, 0)
+	l.CPChips = -1
+	if _, err := l.TransmitOne(cplx.Vec{1}, []complex128{1}, nil); err == nil {
+		t.Error("expected error for negative CP")
+	}
+	l = DefaultLink(nil, 0)
+	if _, err := l.TransmitOne(cplx.Vec{1, 2}, []complex128{1}, nil); err == nil {
+		t.Error("expected error for weight/symbol mismatch")
+	}
+}
+
+func TestNoiselessNoEnvMatchesInnerProduct(t *testing.T) {
+	// With no environment and no noise, the chip-level accumulator must be
+	// exactly Σ H_i·x_i.
+	src := rng.New(1)
+	x := randSymbols(32, src)
+	w := randWeights(len(x), src)
+	l := DefaultLink(nil, 0)
+	got, err := l.TransmitOne(w, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.Dot(cplx.Vec(x))
+	if cmplx.Abs(got-want) > 1e-9*cmplx.Abs(want) {
+		t.Fatalf("accumulator %v, want inner product %v", got, want)
+	}
+}
+
+func TestStaticMultipathCancelsExactly(t *testing.T) {
+	// THE §3.2 claim, verified at chip level: any static delay spread inside
+	// the CP contributes exactly zero, for every delay profile.
+	src := rng.New(2)
+	x := randSymbols(24, src)
+	w := randWeights(len(x), src)
+	clean := DefaultLink(nil, 0)
+	want, err := clean.TransmitOne(w, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		nTaps := 1 + src.IntN(3)
+		maxDelay := 0
+		if nTaps > 1 {
+			maxDelay = 1 + src.IntN(2)
+		}
+		env, err := channel.NewTappedDelayLine(nTaps, maxDelay, 50, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := DefaultLink(env, 0)
+		got, err := l.TransmitOne(w, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(got-want) > 1e-6*cmplx.Abs(want) {
+			t.Fatalf("trial %d: multipath leaked %v (want %v, env power %v)",
+				trial, got-want, want, env.TotalPower())
+		}
+	}
+}
+
+func TestCancellationNeedsInSymbolFlipping(t *testing.T) {
+	// Without the MTS flipping within the symbol, the receiver's zero-mean
+	// integration kills the MTS path too — the whole accumulator collapses.
+	src := rng.New(3)
+	x := randSymbols(24, src)
+	w := randWeights(len(x), src)
+	l := DefaultLink(nil, 0)
+	l.FlipWithChips = false
+	got, err := l.TransmitOne(w, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := w.Dot(cplx.Vec(x))
+	if cmplx.Abs(got) > 1e-6*cmplx.Abs(ref) {
+		t.Fatalf("static MTS should integrate to ~0 under zero-mean chips, got %v (ref %v)", got, ref)
+	}
+}
+
+func TestDelayBeyondCPLeaks(t *testing.T) {
+	// A tap arriving after the CP window is NOT cancelled — the reason the
+	// paper uses a standard CP sized to the delay spread.
+	src := rng.New(4)
+	x := randSymbols(24, src)
+	w := randWeights(len(x), src)
+	env := &channel.TappedDelayLine{Taps: []channel.Tap{{DelayChips: 3, Gain: 30}}}
+	l := DefaultLink(env, 0) // CP = 2 < delay 3
+	got, err := l.TransmitOne(w, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := DefaultLink(nil, 0)
+	want, _ := clean.TransmitOne(w, x, nil)
+	if cmplx.Abs(got-want) < 1e-3*cmplx.Abs(want) {
+		t.Fatal("delay beyond the CP should leak into the accumulator")
+	}
+	// Growing the CP to cover the tap restores exact cancellation.
+	l.CPChips = 3
+	got, err = l.TransmitOne(w, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(got-want) > 1e-6*cmplx.Abs(want) {
+		t.Fatalf("CP=3 should cover the tap: residual %v", got-want)
+	}
+}
+
+func TestLargerChipCountsAlsoCancel(t *testing.T) {
+	src := rng.New(5)
+	x := randSymbols(16, src)
+	w := randWeights(len(x), src)
+	for _, p := range []int{2, 4, 8} {
+		env, err := channel.NewTappedDelayLine(3, p, 40, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := Link{ChipsPerSymbol: p, CPChips: p, Env: env, FlipWithChips: true}
+		got, err := l.TransmitOne(w, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean := Link{ChipsPerSymbol: p, CPChips: p, FlipWithChips: true}
+		want, _ := clean.TransmitOne(w, x, nil)
+		if cmplx.Abs(got-want) > 1e-6*cmplx.Abs(want) {
+			t.Fatalf("P=%d: residual %v", p, got-want)
+		}
+	}
+}
+
+func TestNoiseVarianceScaling(t *testing.T) {
+	// After /P normalization, the accumulator noise variance over U symbols
+	// is U·σ²/P… verify the combiner does not silently amplify noise.
+	src := rng.New(6)
+	const U = 16
+	x := make([]complex128, U)
+	w := make(cplx.Vec, U) // zero weights isolate the noise
+	l := DefaultLink(nil, 2.0)
+	var pw float64
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		acc, err := l.TransmitOne(w, x, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw += real(acc)*real(acc) + imag(acc)*imag(acc)
+	}
+	want := float64(U) * 2.0 / float64(l.ChipsPerSymbol)
+	if math.Abs(pw/trials-want) > 0.1*want {
+		t.Fatalf("accumulator noise power %v, want %v", pw/trials, want)
+	}
+}
+
+// TestChipLevelMatchesAnalyticEngine deploys a real trained model and checks
+// that the chip-level simulation and the analytic ota engine agree on the
+// noiseless accumulators and on end-to-end accuracy.
+func TestChipLevelMatchesAnalyticEngine(t *testing.T) {
+	ds := dataset.MustLoad("afhq", dataset.Quick, 1)
+	enc := nn.Encoder{Scheme: modem.QAM256}
+	train := nn.EncodeSet(ds.Train, ds.Classes, enc)
+	test := nn.EncodeSet(ds.Test, ds.Classes, enc)
+	model := nn.TrainLNN(train, nn.TrainConfig{Seed: 1, Epochs: 20})
+
+	src := rng.New(7)
+	surface, _ := mts.NewSurface(16, 16, 2, 5.25, nil)
+	sys, err := ota.Deploy(model.Weights(), ota.IdealOptions(surface), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chip-level classifier sharing the realized responses, no noise/env.
+	wf := &Classifier{Link: DefaultLink(nil, 0), Realized: sys.Realized}
+	// The analytic digital twin of the same responses.
+	twin := nn.NewComplexLNN(sys.Classes(), sys.InputLen())
+	copy(twin.W.Val, sys.Realized.Data)
+	for _, x := range test.X[:60] {
+		if wf.Predict(x) != twin.Predict(x) {
+			t.Fatal("chip-level and analytic predictions disagree on a noiseless link")
+		}
+	}
+	// With heavy static multipath, the chip-level system holds the same
+	// accuracy (cancellation) as the clean link.
+	env, err := channel.NewTappedDelayLine(3, 2, 0.5*cmplx.Abs(sys.Realized.Data[0]), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfEnv := &Classifier{Link: DefaultLink(env, 0), Realized: sys.Realized}
+	agree := 0
+	for _, x := range test.X[:60] {
+		if wfEnv.Predict(x) == twin.Predict(x) {
+			agree++
+		}
+	}
+	if agree < 60 {
+		t.Fatalf("multipath changed %d/60 chip-level predictions despite cancellation", 60-agree)
+	}
+}

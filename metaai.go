@@ -1,0 +1,122 @@
+// Package metaai is a from-scratch Go reproduction of "Enabling Over-the-Air
+// AI for Edge Computing via Metasurface-Driven Physical Neural Networks"
+// (SIGCOMM 2025): a wireless computing paradigm in which a programmable
+// metasurface shapes the channel so that transmitting a sensor's data *is*
+// running a neural network — the receiver accumulates
+//
+//	y_r = | Σ_i H_r(t_i) · x_i |
+//
+// and reads out the classification directly.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - training: complex-valued LNN with Wirtinger-calculus backprop
+//     (internal/nn, internal/autodiff)
+//   - deployment: discrete 2-bit metasurface configuration solving
+//     (internal/mts, internal/ota)
+//   - physics: channels, modulation, clock sync, noise (internal/channel,
+//     internal/modem, internal/clocksync, internal/noisetrain)
+//   - extensions: subcarrier/antenna parallelism, multi-sensor fusion
+//     (internal/parallel, internal/fusion)
+//   - evaluation: one regenerator per paper table/figure
+//     (internal/experiments)
+//
+// Quickstart:
+//
+//	pipe, err := metaai.Run(metaai.DefaultConfig("mnist"))
+//	if err != nil { ... }
+//	fmt.Println(pipe.SimAccuracy(), pipe.AirAccuracy())
+//	class, probs := pipe.Infer(sample)
+//
+// Reproduce a paper artifact:
+//
+//	res, err := metaai.RunExperiment("table1", metaai.QuickScale, 1)
+//	res.Fprint(os.Stdout)
+package metaai
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/modem"
+)
+
+// Config assembles one end-to-end MetaAI run; see core.Config for the full
+// field documentation.
+type Config = core.Config
+
+// Pipeline is a trained and deployed MetaAI system.
+type Pipeline = core.Pipeline
+
+// SyncMode selects the clock-synchronization scheme (§3.5.1 of the paper).
+type SyncMode = core.SyncMode
+
+// Synchronization modes, from idealized to the paper's full CDFA scheme.
+const (
+	SyncPerfect = core.SyncPerfect
+	SyncNone    = core.SyncNone
+	SyncCoarse  = core.SyncCoarse
+	SyncCDFA    = core.SyncCDFA
+)
+
+// Scheme is a digital modulation scheme; the choice fixes the network's
+// input length U.
+type Scheme = modem.Scheme
+
+// Supported modulation schemes (Fig 23 of the paper).
+const (
+	BPSK   = modem.BPSK
+	QPSK   = modem.QPSK
+	QAM16  = modem.QAM16
+	QAM64  = modem.QAM64
+	QAM256 = modem.QAM256
+)
+
+// Scale selects dataset sizes.
+type Scale = dataset.Scale
+
+// Dataset scales: QuickScale keeps runs laptop-fast, FullScale approaches
+// the paper's sample counts.
+const (
+	QuickScale = dataset.Quick
+	FullScale  = dataset.Full
+)
+
+// DefaultConfig returns the paper's §4 default setup for one of the Table 1
+// datasets (Datasets() lists them): 256-QAM encoding, office environment,
+// 16×16 2-bit metasurface at 5.25 GHz, CDFA synchronization.
+func DefaultConfig(datasetName string) Config {
+	return core.DefaultConfig(datasetName)
+}
+
+// Run trains the digital model, solves the metasurface schedules, and
+// returns the deployed pipeline.
+func Run(cfg Config) (*Pipeline, error) {
+	return core.New(cfg)
+}
+
+// Datasets lists the six Table 1 classification tasks.
+func Datasets() []string { return dataset.Names() }
+
+// MultiSensorDatasets lists the three Fig 20 fusion tasks.
+func MultiSensorDatasets() []string { return dataset.MultiNames() }
+
+// ExperimentResult is one regenerated paper table/figure.
+type ExperimentResult = experiments.Result
+
+// Experiments lists every reproducible paper artifact id, in paper order.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper artifact at the given scale and seed.
+func RunExperiment(id string, scale Scale, seed uint64) (*ExperimentResult, error) {
+	return experiments.Run(id, experiments.NewCtx(scale, seed))
+}
+
+// RunExperimentLogged is RunExperiment with progress lines written to log.
+func RunExperimentLogged(id string, scale Scale, seed uint64, log io.Writer) (*ExperimentResult, error) {
+	ctx := experiments.NewCtx(scale, seed)
+	ctx.Log = log
+	return experiments.Run(id, ctx)
+}

@@ -1,0 +1,130 @@
+package metaai_test
+
+import (
+	"strings"
+	"testing"
+
+	metaai "repro"
+)
+
+func TestDatasetsListed(t *testing.T) {
+	ds := metaai.Datasets()
+	if len(ds) != 6 {
+		t.Fatalf("got %d datasets, want the 6 Table 1 tasks", len(ds))
+	}
+	ms := metaai.MultiSensorDatasets()
+	if len(ms) != 3 {
+		t.Fatalf("got %d multi-sensor datasets, want 3", len(ms))
+	}
+}
+
+func TestExperimentsRegistered(t *testing.T) {
+	ids := metaai.Experiments()
+	want := []string{
+		"fig6", "fig7", "table1", "fig12", "fig13", "fig16", "fig17",
+		"fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+		"fig25", "fig26", "fig27", "fig28", "fig29", "fig30", "fig31",
+		"table2", "table3",
+		"ext-compensation", "ext-mobility", "ext-deepmodel", "ext-feedback",
+		"abl-quantize", "abl-solver", "abl-subsamples", "abl-injector", "abl-jitter", "ext-perclass",
+	}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registered %d experiments, expected %d", len(ids), len(want))
+	}
+}
+
+func TestRunEndToEndFacade(t *testing.T) {
+	cfg := metaai.DefaultConfig("afhq")
+	cfg.Train.Epochs = 15
+	pipe, err := metaai.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.SimAccuracy() < 0.6 || pipe.AirAccuracy() < 0.55 {
+		t.Fatalf("facade pipeline accuracy sim=%.3f air=%.3f", pipe.SimAccuracy(), pipe.AirAccuracy())
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	res, err := metaai.RunExperiment("table2", metaai.QuickScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"table2", "Meta-AI", "ResNet-18", "total_mJ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := metaai.RunExperiment("nope", metaai.QuickScale, 1); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}
+
+func TestFusionFacade(t *testing.T) {
+	pipe, err := metaai.RunFused("uschad", 2, metaai.QuickScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := metaai.RunFused("uschad", 1, metaai.QuickScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.SimAccuracy() <= single.SimAccuracy() {
+		t.Fatalf("fusing both USC-HAD modalities (%.3f) should beat one (%.3f)",
+			pipe.SimAccuracy(), single.SimAccuracy())
+	}
+	if _, err := metaai.RunFused("uschad", 5, metaai.QuickScale, 1); err == nil {
+		t.Fatal("expected error for too many sensors")
+	}
+}
+
+func TestParallelFacade(t *testing.T) {
+	cfg := metaai.DefaultConfig("afhq")
+	cfg.Train.Epochs = 15
+	cfg.Sync = metaai.SyncPerfect
+	pipe, err := metaai.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := metaai.DeployParallel(pipe, metaai.Antenna, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Transmissions() != 1 {
+		t.Fatalf("3 antennas for 3 classes should need 1 transmission, got %d", sys.Transmissions())
+	}
+	if acc := metaai.EvaluateParallel(pipe, sys); acc < 0.5 {
+		t.Fatalf("parallel accuracy %.3f", acc)
+	}
+	if _, err := metaai.DeployParallel(pipe, metaai.ParallelKind("bogus"), 2); err == nil {
+		t.Fatal("expected error for unknown parallel kind")
+	}
+}
+
+func TestFaceCaseFacade(t *testing.T) {
+	pipe, fc, err := metaai.RunFaceCase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Classes != 10 || len(fc.Test) != 200 {
+		t.Fatalf("face case shape: %d classes, %d test", fc.Classes, len(fc.Test))
+	}
+	if acc := pipe.AirAccuracy(); acc < 0.55 {
+		t.Fatalf("face case air accuracy %.3f; paper reports 78.54%%", acc)
+	}
+}
