@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full gate: vet, plain tests, and the race detector over the
+# concurrent evaluator, sweeps, and serve paths.
+check: vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...

@@ -10,7 +10,11 @@
 package metaai_test
 
 import (
+	"runtime"
+	"sync"
 	"testing"
+
+	metaai "repro"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -56,6 +60,51 @@ func BenchmarkFig30WDD(b *testing.B)               { benchExperiment(b, "fig30")
 func BenchmarkFig31ParallelSweep(b *testing.B)     { benchExperiment(b, "fig31") }
 func BenchmarkTable2EnergyMNIST(b *testing.B)      { benchExperiment(b, "table2") }
 func BenchmarkTable3EnergyAFHQ(b *testing.B)       { benchExperiment(b, "table3") }
+
+// benchPipe deploys one MNIST pipeline, shared across the evaluator benches
+// so serial and parallel runs measure the same deployment.
+var benchPipe = struct {
+	once sync.Once
+	pipe *metaai.Pipeline
+	err  error
+}{}
+
+func evalPipeline(b *testing.B) *metaai.Pipeline {
+	b.Helper()
+	benchPipe.once.Do(func() {
+		benchPipe.pipe, benchPipe.err = metaai.Run(metaai.DefaultConfig("mnist"))
+	})
+	if benchPipe.err != nil {
+		b.Fatal(benchPipe.err)
+	}
+	return benchPipe.pipe
+}
+
+// BenchmarkEvaluateSerial / BenchmarkEvaluateParallel measure one full
+// over-the-air evaluation of the test set through the bound session versus
+// GOMAXPROCS per-worker sessions of the same deployment. On a multi-core
+// host the parallel variant should scale near-linearly; on one core the
+// pair still documents the sharding overhead.
+func BenchmarkEvaluateSerial(b *testing.B) {
+	pipe := evalPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if acc := pipe.AirAccuracy(); acc == 0 {
+			b.Fatal("degenerate accuracy")
+		}
+	}
+}
+
+func BenchmarkEvaluateParallel(b *testing.B) {
+	pipe := evalPipeline(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if acc := pipe.AirAccuracyParallel(workers); acc == 0 {
+			b.Fatal("degenerate accuracy")
+		}
+	}
+}
 
 // Ablation benches (DESIGN.md "design choices called out for ablation").
 func BenchmarkAblationQuantizeStrategy(b *testing.B)     { benchExperiment(b, "abl-quantize") }

@@ -1,0 +1,15 @@
+#!/bin/sh
+# CI gate: static checks, the unit suite, and a race-detector pass over the
+# concurrent paths (EvaluateParallel, experiment sweeps, metaai-serve).
+set -eu
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: all checks passed"

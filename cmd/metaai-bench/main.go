@@ -31,6 +31,7 @@ func main() {
 		verbose = flag.Bool("v", false, "log progress")
 		md      = flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
 		seeds   = flag.Int("seeds", 1, "run each experiment under this many consecutive seeds (variance check)")
+		workers = flag.Int("workers", 1, "fan evaluations and sweep points across this many goroutines (1 = bit-exact serial)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 	for s := 0; s < *seeds; s++ {
 		ctx := experiments.NewCtx(sc, *seed+uint64(s))
 		ctx.EvalCap = *evalCap
+		ctx.Workers = *workers
 		if *verbose {
 			ctx.Log = os.Stderr
 		}

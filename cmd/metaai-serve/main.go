@@ -4,11 +4,17 @@
 // metasurface-augmented channel for any number of sensor clients. A -probe
 // mode acts as a one-shot client for smoke testing a running server.
 //
-//	metaai-serve -dataset mnist -addr 127.0.0.1:9530
-//	metaai-serve -probe 127.0.0.1:9530 -dataset mnist
+//	metaai-serve -dataset mnist -addr 127.0.0.1:9530 -workers 4
+//	metaai-serve -probe 127.0.0.1:9530 -dataset mnist -timeout 5s
 //
 // The server computes during "propagation"; whoever receives the response
 // holds only per-class accumulators, never the sensor's raw data.
+//
+// Requests are handled concurrently: the deployment is immutable and shared,
+// and each worker goroutine owns one ota.Session carrying its private
+// channel-noise stream, so no lock sits on the inference path. In-flight
+// work is bounded by the request queue; when it is full the read loop blocks,
+// shedding load to the kernel's UDP buffer.
 package main
 
 import (
@@ -19,8 +25,10 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -33,25 +41,36 @@ import (
 
 func main() {
 	var (
-		ds    = flag.String("dataset", "mnist", "dataset: "+strings.Join(metaai.Datasets(), ", "))
-		addr  = flag.String("addr", "127.0.0.1:9530", "UDP listen address")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		probe = flag.String("probe", "", "act as a client: send one test sample to this address and exit")
+		ds      = flag.String("dataset", "mnist", "dataset: "+strings.Join(metaai.Datasets(), ", "))
+		addr    = flag.String("addr", "127.0.0.1:9530", "UDP listen address")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		probe   = flag.String("probe", "", "act as a client: send one test sample to this address and exit")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent inference sessions (min 1)")
+		timeout = flag.Duration("timeout", 5*time.Second, "probe response timeout (one retry on expiry)")
 	)
 	flag.Parse()
 
 	if *probe != "" {
-		if err := runProbe(*probe, *ds, *seed); err != nil {
+		if err := runProbe(*probe, *ds, *seed, *timeout); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := runServer(*addr, *ds, *seed); err != nil {
+	if err := runServer(*addr, *ds, *seed, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runServer(addr, ds string, seed uint64) error {
+// request is one validated inbound frame awaiting inference.
+type request struct {
+	frame *airproto.Frame
+	from  *net.UDPAddr
+}
+
+func runServer(addr, ds string, seed uint64, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
 	log.Printf("training %s pipeline and solving MTS schedules...", ds)
 	cfg := metaai.DefaultConfig(ds)
 	cfg.Seed = seed
@@ -71,7 +90,7 @@ func runServer(addr, ds string, seed uint64) error {
 		return err
 	}
 	defer conn.Close()
-	log.Printf("air service listening on %s (ctrl-c to stop)", conn.LocalAddr())
+	log.Printf("air service listening on %s with %d workers (ctrl-c to stop)", conn.LocalAddr(), workers)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -80,20 +99,57 @@ func runServer(addr, ds string, seed uint64) error {
 		conn.Close() // unblock the read loop
 	}()
 
-	// The deployed System mutates its rng on every call: serialize access.
-	var mu sync.Mutex
-	served := 0
-	buf := make([]byte, 65535)
+	// One independent session per worker over the shared immutable
+	// deployment; each worker consumes only its own random stream, so the
+	// fleet needs no locking and stays reproducible for a fixed seed.
+	sessions := pipe.Sessions(workers)
+	var served atomic.Int64
+	reqs := make(chan request, workers*4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sess := sessions[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range reqs {
+				acc := sess.Accumulate(r.frame.Data)
+				resp := &airproto.Frame{ID: r.frame.ID, Label: r.frame.Label, Data: acc}
+				out, err := resp.Marshal()
+				if err != nil {
+					log.Printf("frame %d: %v", r.frame.ID, err)
+					continue
+				}
+				// UDPConn writes are goroutine-safe; replies interleave freely.
+				if _, err := conn.WriteToUDP(out, r.from); err != nil {
+					log.Printf("reply to %s: %v", r.from, err)
+					continue
+				}
+				if n := served.Add(1); n%50 == 0 {
+					log.Printf("served %d transmissions", n)
+				}
+			}
+		}()
+	}
+
+	// Read buffers are pooled per request: airproto.Unmarshal copies the
+	// symbol payload out, so a buffer returns to the pool as soon as the
+	// frame is parsed.
+	bufs := sync.Pool{New: func() interface{} { return make([]byte, 65535) }}
 	for {
+		buf := bufs.Get().([]byte)
 		n, from, err := conn.ReadFromUDP(buf)
 		if err != nil {
+			bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
+			close(reqs)   // drain: let in-flight requests finish
+			wg.Wait()
 			if ctx.Err() != nil {
-				log.Printf("shutting down after %d transmissions", served)
+				log.Printf("shutting down after %d transmissions", served.Load())
 				return nil
 			}
 			return err
 		}
 		frame, err := airproto.Unmarshal(buf[:n])
+		bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
 		if err != nil {
 			log.Printf("bad frame from %s: %v", from, err)
 			continue
@@ -102,27 +158,14 @@ func runServer(addr, ds string, seed uint64) error {
 			log.Printf("frame %d from %s: %d symbols, deployed for U=%d", frame.ID, from, len(frame.Data), pipe.Train.U)
 			continue
 		}
-		mu.Lock()
-		acc := pipe.System.Accumulate(frame.Data)
-		mu.Unlock()
-		resp := &airproto.Frame{ID: frame.ID, Label: frame.Label, Data: acc}
-		out, err := resp.Marshal()
-		if err != nil {
-			log.Printf("frame %d: %v", frame.ID, err)
-			continue
-		}
-		if _, err := conn.WriteToUDP(out, from); err != nil {
-			log.Printf("reply to %s: %v", from, err)
-			continue
-		}
-		served++
-		if served%50 == 0 {
-			log.Printf("served %d transmissions", served)
-		}
+		reqs <- request{frame: frame, from: from}
 	}
 }
 
-func runProbe(addr, ds string, seed uint64) error {
+func runProbe(addr, ds string, seed uint64, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
 	cfg := metaai.DefaultConfig(ds)
 	cfg.Seed = seed
 	data := dataset.MustLoad(ds, cfg.Scale, cfg.Seed)
@@ -145,18 +188,31 @@ func runProbe(addr, ds string, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	if _, err := conn.Write(out); err != nil {
-		return err
+	// UDP drops are expected; retry once after a timeout before giving up.
+	var resp *airproto.Frame
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err = conn.Write(out); err != nil {
+			return err
+		}
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		buf := make([]byte, 65535)
+		var n int
+		n, err = conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && attempt == 0 {
+				log.Printf("probe: no response within %v, retrying once", timeout)
+				continue
+			}
+			return fmt.Errorf("no response from %s: %w", addr, err)
+		}
+		resp, err = airproto.Unmarshal(buf[:n])
+		if err != nil {
+			return err
+		}
+		break
 	}
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	buf := make([]byte, 65535)
-	n, err := conn.Read(buf)
-	if err != nil {
-		return fmt.Errorf("no response from %s: %w", addr, err)
-	}
-	resp, err := airproto.Unmarshal(buf[:n])
-	if err != nil {
-		return err
+	if resp == nil {
+		return fmt.Errorf("no response from %s", addr)
 	}
 	best, arg := -1.0, 0
 	for r, v := range resp.Data {

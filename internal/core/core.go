@@ -219,23 +219,72 @@ func chainAug(a, b nn.InputAugmenter) nn.InputAugmenter {
 	}
 }
 
+// Deployment returns the immutable over-the-air deployment — the solved
+// schedules and channel statistics that any number of concurrent sessions
+// share.
+func (p *Pipeline) Deployment() *ota.Deployment {
+	return p.System.Deployment
+}
+
+// Sessions derives n independent per-worker inference sessions from the
+// pipeline's seed. The derivation is a pure function of (Cfg.Seed, n-th
+// split), so a fixed seed yields a reproducible worker fleet without
+// disturbing the default session bound inside System.
+func (p *Pipeline) Sessions(n int) []*ota.Session {
+	return p.Deployment().Sessions(n, rng.New(p.Cfg.Seed^0x5e5510))
+}
+
+// Predictors adapts Sessions(n) into the factory shape nn.EvaluateParallel
+// consumes.
+func (p *Pipeline) Predictors(n int) nn.SessionFactory {
+	ss := p.Sessions(n)
+	return func(w int) nn.Predictor { return ss[w] }
+}
+
 // SimAccuracy returns the digital model's test accuracy — the paper's
 // "Simulation" column.
 func (p *Pipeline) SimAccuracy() float64 {
 	return nn.Evaluate(p.Model, p.Test)
 }
 
+// SimAccuracyParallel is SimAccuracy fanned across workers. The digital
+// model's Predict is pure, so every worker shares the one model.
+func (p *Pipeline) SimAccuracyParallel(workers int) float64 {
+	return nn.EvaluateParallel(p.Test, workers, nn.StatelessSessions(p.Model))
+}
+
 // AirAccuracy returns the deployed system's over-the-air test accuracy —
-// the paper's "Prototype" column.
+// the paper's "Prototype" column. It runs through the system's bound
+// default session, reproducing the single-threaded numbers exactly.
 func (p *Pipeline) AirAccuracy() float64 {
 	return nn.Evaluate(p.System, p.Test)
 }
 
-// Infer classifies one raw sample end to end over the air, returning the
-// predicted class and the per-class probabilities.
+// AirAccuracyParallel is AirAccuracy fanned across `workers` independent
+// sessions of the shared deployment. workers <= 1 degrades to a serial
+// evaluation through Sessions(1)[0].
+func (p *Pipeline) AirAccuracyParallel(workers int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	return nn.EvaluateParallel(p.Test, workers, p.Predictors(workers))
+}
+
+// Infer classifies one raw sample end to end over the air through the
+// default session, returning the predicted class and the per-class
+// probabilities.
 func (p *Pipeline) Infer(x []float64) (int, []float64) {
-	enc := p.Enc.Encode(x)
-	logits := p.System.Logits(enc)
+	return p.inferLogits(p.System.Logits(p.Enc.Encode(x)))
+}
+
+// InferSession is Infer through a caller-owned session, for concurrent
+// serving: each worker holds one session from Sessions(n) and infers
+// without any cross-worker locking.
+func (p *Pipeline) InferSession(sess *ota.Session, x []float64) (int, []float64) {
+	return p.inferLogits(sess.Logits(p.Enc.Encode(x)))
+}
+
+func (p *Pipeline) inferLogits(logits []float64) (int, []float64) {
 	probs := autodiff.Softmax(logits)
 	best, arg := -1.0, 0
 	for i, v := range probs {

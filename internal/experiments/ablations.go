@@ -104,7 +104,9 @@ func runAblSubSamples(c *Ctx) (*Result, error) {
 		Headers: []string{"sub_samples", "accuracy"},
 		Notes:   []string{"0 disables the scheme; 2 is the most the 2.56 MHz controller sustains at 1 Msym/s"},
 	}
-	for _, sub := range []int{0, 2} {
+	subs := []int{0, 2}
+	rows, err := c.sweep(len(subs), func(i int) ([]string, error) {
+		sub := subs[i]
 		src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("ablss-%d", sub)))
 		opts := ota.NewOptions(src.Split())
 		opts.Channel.Env = channel.Laboratory
@@ -114,8 +116,12 @@ func runAblSubSamples(c *Ctx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.AddRow(fmt.Sprintf("%d", sub), pct(c.Eval(sys, test)))
+		return []string{fmt.Sprintf("%d", sub), pct(c.EvalSys(sys, test))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = append(res.Rows, rows...)
 	return res, nil
 }
 
@@ -174,20 +180,25 @@ func runAblJitter(c *Ctx) (*Result, error) {
 		Headers: []string{"jitter_std_rad", "approximate", "exact"},
 		Notes:   []string{"the closed form (used by default for O(1) per-symbol cost) must track the exact path"},
 	}
-	for _, std := range []float64{0.05, 0.15, 0.3} {
-		var accs [2]float64
-		for j, exact := range []bool{false, true} {
-			src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("ablj-%v-%v", std, exact)))
-			opts := ota.NewOptions(src.Split())
-			opts.JitterStd = std
-			opts.ExactJitter = exact
-			sys, err := ota.Deploy(m.Weights(), opts, src)
-			if err != nil {
-				return nil, err
-			}
-			accs[j] = c.Eval(sys, test)
+	stds := []float64{0.05, 0.15, 0.3}
+	accs := make([]float64, 2*len(stds))
+	if _, err := c.sweep(len(accs), func(i int) ([]string, error) {
+		std, exact := stds[i/2], i%2 == 1
+		src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("ablj-%v-%v", std, exact)))
+		opts := ota.NewOptions(src.Split())
+		opts.JitterStd = std
+		opts.ExactJitter = exact
+		sys, err := ota.Deploy(m.Weights(), opts, src)
+		if err != nil {
+			return nil, err
 		}
-		res.AddRow(fmt.Sprintf("%.2f", std), pct(accs[0]), pct(accs[1]))
+		accs[i] = c.EvalSys(sys, test)
+		return nil, nil
+	}); err != nil {
+		return nil, err
+	}
+	for j, std := range stds {
+		res.AddRow(fmt.Sprintf("%.2f", std), pct(accs[2*j]), pct(accs[2*j+1]))
 	}
 	return res, nil
 }
@@ -213,8 +224,7 @@ func runExtPerClass(c *Ctx) (*Result, error) {
 	report := func(name string, p interface {
 		nn.Predictor
 		nn.LogitsPredictor
-	}) {
-		cm := nn.Confusion(p, capped)
+	}, cm [][]int) {
 		met := nn.MetricsFromConfusion(cm)
 		minF1 := 1.0
 		for _, f := range met.F1 {
@@ -222,9 +232,27 @@ func runExtPerClass(c *Ctx) (*Result, error) {
 				minF1 = f
 			}
 		}
-		res.AddRow(name, pct(nn.Evaluate(p, capped)), f3(met.MacroF1), f3(minF1), pct(nn.TopKAccuracy(p, capped, 3)))
+		var acc float64
+		if c.workerCount() <= 1 {
+			// A separate serial pass, preserving the historical stream order.
+			acc = nn.Evaluate(p, capped)
+		} else {
+			// Accuracy from the confusion trace: one fanned-out pass, and the
+			// figure agrees with the matrix it sits next to.
+			var correct, totalN int
+			for r := range cm {
+				for col, v := range cm[r] {
+					totalN += v
+					if col == r {
+						correct += v
+					}
+				}
+			}
+			acc = float64(correct) / float64(totalN)
+		}
+		res.AddRow(name, pct(acc), f3(met.MacroF1), f3(minF1), pct(nn.TopKAccuracy(p, capped, 3)))
 	}
-	report("simulation", m)
-	report("prototype", sys)
+	report("simulation", m, nn.Confusion(m, capped))
+	report("prototype", sys, c.ConfusionSys(sys, test))
 	return res, nil
 }

@@ -50,7 +50,9 @@ func runFig21(c *Ctx) (*Result, error) {
 		Headers: []string{"rx_mts_dist_m", "accuracy"},
 		Notes:   []string{"paper: average above 76.60% across locations"},
 	}
-	for d := 1.0; d <= 22; d += 3 {
+	dists := sweepRange(1, 22, 3)
+	rows, err := c.sweep(len(dists), func(i int) ([]string, error) {
+		d := dists[i]
 		sys, err := deployWith(c, m, fmt.Sprintf("f21-%v", d), func(o *ota.Options) {
 			o.Channel.Env = channel.NLoSCorner
 			o.Channel.MTSRxDist = d
@@ -59,9 +61,23 @@ func runFig21(c *Ctx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.AddRow(fmt.Sprintf("%.0f", d), pct(c.Eval(sys, test)))
+		return []string{fmt.Sprintf("%.0f", d), pct(c.EvalSys(sys, test))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = append(res.Rows, rows...)
 	return res, nil
+}
+
+// sweepRange enumerates the sweep points lo, lo+step, ... up to hi
+// inclusive, so fan-out sweeps can index them.
+func sweepRange(lo, hi, step float64) []float64 {
+	var out []float64
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
 }
 
 func runFig22(c *Ctx) (*Result, error) {
@@ -74,26 +90,37 @@ func runFig22(c *Ctx) (*Result, error) {
 		Headers: []string{"band_GHz", "accuracy(mean over locations)"},
 		Notes:   []string{"paper: 88.69 / 88.39 / 89.67 for 2.4 / 3.5 / 5 GHz"},
 	}
-	for _, f := range []float64{2.4, 3.5, 5.0} {
-		var mean float64
-		const locations = 5
-		for loc := 0; loc < locations; loc++ {
-			sys, err := deployWith(c, m, fmt.Sprintf("f22-%v-%d", f, loc), func(o *ota.Options) {
-				src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("f22s-%v-%d", f, loc)))
-				surface, serr := mts.NewSurface(16, 16, 2, f, src)
-				if serr != nil {
-					panic(serr)
-				}
-				o.Surface = surface
-				o.Channel.FreqGHz = f
-				// Random Rx placement per location.
-				o.Geometry.RxAngleDeg = -50 + 100*src.Float64()
-				o.Geometry.RxDistM = 1 + 4*src.Float64()
-			})
-			if err != nil {
-				return nil, err
+	bands := []float64{2.4, 3.5, 5.0}
+	const locations = 5
+	// Each point writes its own index; the slice is read only after the
+	// sweep barrier.
+	accs := make([]float64, len(bands)*locations)
+	if _, err := c.sweep(len(accs), func(i int) ([]string, error) {
+		f, loc := bands[i/locations], i%locations
+		sys, err := deployWith(c, m, fmt.Sprintf("f22-%v-%d", f, loc), func(o *ota.Options) {
+			src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("f22s-%v-%d", f, loc)))
+			surface, serr := mts.NewSurface(16, 16, 2, f, src)
+			if serr != nil {
+				panic(serr)
 			}
-			mean += c.Eval(sys, test)
+			o.Surface = surface
+			o.Channel.FreqGHz = f
+			// Random Rx placement per location.
+			o.Geometry.RxAngleDeg = -50 + 100*src.Float64()
+			o.Geometry.RxDistM = 1 + 4*src.Float64()
+		})
+		if err != nil {
+			return nil, err
+		}
+		accs[i] = c.EvalSys(sys, test)
+		return nil, nil
+	}); err != nil {
+		return nil, err
+	}
+	for bi, f := range bands {
+		var mean float64
+		for loc := 0; loc < locations; loc++ {
+			mean += accs[bi*locations+loc]
 		}
 		res.AddRow(fmt.Sprintf("%.1f", f), pct(mean/locations))
 	}
@@ -120,7 +147,7 @@ func runFig23(c *Ctx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.AddRow(scheme.String(), fmt.Sprintf("%d", train.U), pct(c.Eval(m, test)), pct(c.Eval(sys, test)))
+		res.AddRow(scheme.String(), fmt.Sprintf("%d", train.U), pct(c.Eval(m, test)), pct(c.EvalSys(sys, test)))
 	}
 	return res, nil
 }
@@ -135,7 +162,9 @@ func runFig24(c *Ctx) (*Result, error) {
 		Headers: []string{"tx_mts_dist_m", "accuracy"},
 		Notes:   []string{"paper: consistently above 78.94%"},
 	}
-	for d := 1.0; d <= 22; d += 3 {
+	dists := sweepRange(1, 22, 3)
+	rows, err := c.sweep(len(dists), func(i int) ([]string, error) {
+		d := dists[i]
 		sys, err := deployWith(c, m, fmt.Sprintf("f24-%v", d), func(o *ota.Options) {
 			o.Channel.TxMTSDist = d
 			o.Geometry.TxDistM = d
@@ -143,8 +172,12 @@ func runFig24(c *Ctx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.AddRow(fmt.Sprintf("%.0f", d), pct(c.Eval(sys, test)))
+		return []string{fmt.Sprintf("%.0f", d), pct(c.EvalSys(sys, test))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = append(res.Rows, rows...)
 	return res, nil
 }
 
@@ -158,15 +191,21 @@ func runFig25(c *Ctx) (*Result, error) {
 		Headers: []string{"angle_deg", "accuracy"},
 		Notes:   []string{"paper: above 84.85% within the [-60,60] FoV, declining beyond (75.01% at 80 deg)"},
 	}
-	for a := 0.0; a <= 80; a += 10 {
+	angles := sweepRange(0, 80, 10)
+	rows, err := c.sweep(len(angles), func(i int) ([]string, error) {
+		a := angles[i]
 		sys, err := deployWith(c, m, fmt.Sprintf("f25-%v", a), func(o *ota.Options) {
 			o.Geometry.TxAngleDeg = a
 		})
 		if err != nil {
 			return nil, err
 		}
-		res.AddRow(fmt.Sprintf("%.0f", a), pct(c.Eval(sys, test)))
+		return []string{fmt.Sprintf("%.0f", a), pct(c.EvalSys(sys, test))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = append(res.Rows, rows...)
 	return res, nil
 }
 
@@ -180,31 +219,39 @@ func runFig27(c *Ctx) (*Result, error) {
 		Headers: []string{"room", "walls", "dist_range_m", "min_acc", "mean_acc"},
 		Notes:   []string{"paper: room1 >82.64%, room2 >76.55%, room3 >71.53%"},
 	}
-	for room := 0; room < 3; room++ {
-		walls := room
-		var minAcc, meanAcc float64 = 1, 0
-		const positions = 6
+	const rooms, positions = 3, 6
+	accs := make([]float64, rooms*positions)
+	if _, err := c.sweep(len(accs), func(i int) ([]string, error) {
+		room, pos := i/positions, i%positions
 		baseDist := 2.0 + 5.0*float64(room)
+		d := baseDist + float64(pos)
+		sys, err := deployWith(c, m, fmt.Sprintf("f27-%d-%d", room, pos), func(o *ota.Options) {
+			o.Channel.Env = channel.CrossRoom
+			o.Channel.Walls = room
+			o.Channel.MTSRxDist = d
+			o.Geometry.RxDistM = d
+		})
+		if err != nil {
+			return nil, err
+		}
+		accs[i] = c.EvalSys(sys, test)
+		return nil, nil
+	}); err != nil {
+		return nil, err
+	}
+	for room := 0; room < rooms; room++ {
+		var minAcc, meanAcc float64 = 1, 0
 		for pos := 0; pos < positions; pos++ {
-			d := baseDist + float64(pos)
-			sys, err := deployWith(c, m, fmt.Sprintf("f27-%d-%d", room, pos), func(o *ota.Options) {
-				o.Channel.Env = channel.CrossRoom
-				o.Channel.Walls = walls
-				o.Channel.MTSRxDist = d
-				o.Geometry.RxDistM = d
-			})
-			if err != nil {
-				return nil, err
-			}
-			a := c.Eval(sys, test)
+			a := accs[room*positions+pos]
 			if a < minAcc {
 				minAcc = a
 			}
 			meanAcc += a
 		}
+		baseDist := 2.0 + 5.0*float64(room)
 		res.AddRow(
 			fmt.Sprintf("room%d(P%d-P%d)", room+1, room*positions+1, (room+1)*positions),
-			fmt.Sprintf("%d", walls),
+			fmt.Sprintf("%d", room),
 			fmt.Sprintf("%.0f-%.0f", baseDist, baseDist+positions-1),
 			pct(minAcc), pct(meanAcc/positions),
 		)

@@ -15,10 +15,14 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/modem"
 	"repro/internal/nn"
+	"repro/internal/ota"
+	"repro/internal/parallel"
 )
 
 // Ctx carries shared state across experiment runs.
@@ -29,6 +33,12 @@ type Ctx struct {
 	Seed uint64
 	// EvalCap bounds the test samples per accuracy evaluation (0 = all).
 	EvalCap int
+	// Workers sets the fan-out of over-the-air evaluations and independent
+	// sweep points. 0 or 1 runs everything serially — bit-identical to the
+	// historical single-threaded suite; n > 1 evaluates across n sessions
+	// of each shared deployment and runs up to n sweep points concurrently
+	// (statistically equivalent, not bitwise identical).
+	Workers int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 
@@ -107,6 +117,104 @@ func (c *Ctx) Cap(set *nn.EncodedSet) *nn.EncodedSet {
 // Eval evaluates a predictor on the capped test set.
 func (c *Ctx) Eval(p nn.Predictor, set *nn.EncodedSet) float64 {
 	return nn.Evaluate(p, c.Cap(set))
+}
+
+// workerCount normalizes the Workers knob.
+func (c *Ctx) workerCount() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// evalSessions evaluates a deployed over-the-air system on the capped test
+// set with the context's worker count: serial through the system's own
+// default session at Workers <= 1 (bit-exact with the historical suite),
+// fanned out across per-worker sessions otherwise. The sessioned parameter
+// is the system's Sessions method (ota.System and parallel.System both
+// provide it).
+func evalSessions[S nn.Predictor](c *Ctx, serial nn.Predictor, sessioned func(n int) []S, set *nn.EncodedSet) float64 {
+	n := c.workerCount()
+	if n <= 1 {
+		return nn.Evaluate(serial, c.Cap(set))
+	}
+	ss := sessioned(n)
+	return nn.EvaluateParallel(c.Cap(set), n, func(w int) nn.Predictor { return ss[w] })
+}
+
+// EvalSys evaluates an ota deployment with the context's worker count.
+func (c *Ctx) EvalSys(sys *ota.System, set *nn.EncodedSet) float64 {
+	return evalSessions(c, sys, sys.Sessions, set)
+}
+
+// ConfusionSys returns the confusion matrix of an ota deployment on the
+// capped test set with the context's worker count: serial through the bound
+// default session at Workers <= 1, merged per-session matrices otherwise.
+func (c *Ctx) ConfusionSys(sys *ota.System, set *nn.EncodedSet) [][]int {
+	n := c.workerCount()
+	if n <= 1 {
+		return nn.Confusion(sys, c.Cap(set))
+	}
+	ss := sys.Sessions(n)
+	return nn.ConfusionParallel(c.Cap(set), n, func(w int) nn.Predictor { return ss[w] })
+}
+
+// EvalParSys evaluates a parallel-scheme deployment with the context's
+// worker count.
+func (c *Ctx) EvalParSys(sys *parallel.System, set *nn.EncodedSet) float64 {
+	return evalSessions(c, sys, sys.Sessions, set)
+}
+
+// sweep evaluates n independent sweep points, fanning them out across the
+// context's workers (serially when Workers <= 1). point(i) must be
+// self-contained: it may read memoized Ctx state (Sets/Model results
+// resolved BEFORE the sweep) but must not call Ctx.Sets or Ctx.Model, whose
+// memo maps are not concurrency-safe. Results are returned in index order;
+// the first error wins.
+func (c *Ctx) sweep(n int, point func(i int) ([]string, error)) ([][]string, error) {
+	rows := make([][]string, n)
+	workers := c.workerCount()
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			row, err := point(i)
+			if err != nil {
+				return nil, err
+			}
+			rows[i] = row
+		}
+		return rows, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || firstErr.Load() != nil {
+					return
+				}
+				row, err := point(i)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				rows[i] = row
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return nil, err.(error)
+	}
+	return rows, nil
 }
 
 // Result is one regenerated table or figure series.

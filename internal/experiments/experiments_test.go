@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/modem"
 	"repro/internal/nn"
+	"repro/internal/ota"
 )
 
 // quickCtx returns a context with a small evaluation cap so the smoke tests
@@ -87,6 +88,60 @@ func TestCapLimitsEvaluation(t *testing.T) {
 	c.EvalCap = 0
 	if got := c.Cap(set); len(got.X) != len(set.X) {
 		t.Fatal("EvalCap 0 must not cap")
+	}
+}
+
+func TestSweepPreservesOrderAndErrors(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8} {
+		c := quickCtx()
+		c.Workers = workers
+		rows, err := c.sweep(25, func(i int) ([]string, error) {
+			return []string{strconv.Itoa(i)}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range rows {
+			if row[0] != strconv.Itoa(i) {
+				t.Fatalf("workers=%d: row %d = %v, want index order", workers, i, row)
+			}
+		}
+		_, err = c.sweep(10, func(i int) ([]string, error) {
+			if i == 3 {
+				return nil, strconv.ErrRange
+			}
+			return nil, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: sweep swallowed the point error", workers)
+		}
+	}
+}
+
+func TestWorkersEvalStatisticallyEquivalent(t *testing.T) {
+	m, test, err := mnistModel(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deploy := func(c *Ctx) *Result {
+		t.Helper()
+		sys, err := deployWith(c, m, "workers-test", func(o *ota.Options) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := c.EvalSys(sys, test)
+		return &Result{Rows: [][]string{{pct(acc)}}}
+	}
+	serialCtx := quickCtx()
+	parCtx := quickCtx()
+	parCtx.Workers = 4
+	serial := cell(t, deploy(serialCtx).Rows[0][0])
+	par := cell(t, deploy(parCtx).Rows[0][0])
+	if serial == 0 || par == 0 {
+		t.Fatalf("degenerate accuracies: serial %v, parallel %v", serial, par)
+	}
+	if diff := serial - par; diff > 6 || diff < -6 {
+		t.Fatalf("Workers=4 accuracy %v deviates from serial %v by more than 6 points", par, serial)
 	}
 }
 

@@ -47,15 +47,17 @@ func runExtCompensation(c *Ctx) (*Result, error) {
 		if err != nil {
 			return 0, err
 		}
-		return c.Eval(sys, test), nil
+		return c.EvalSys(sys, test), nil
 	}
-	for _, row := range []struct {
+	cases := []struct {
 		label  string
 		interf channel.InterferenceRegion
 	}{
 		{"static", channel.NoInterferer},
 		{"dynamic", channel.RegionR3},
-	} {
+	}
+	rows, err := c.sweep(len(cases), func(i int) ([]string, error) {
+		row := cases[i]
 		none, err := run(row.interf, false, 0, "extc-n-"+row.label)
 		if err != nil {
 			return nil, err
@@ -68,8 +70,12 @@ func runExtCompensation(c *Ctx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.AddRow(row.label, pct(none), pct(comp), pct(cancel))
+		return []string{row.label, pct(none), pct(comp), pct(cancel)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = append(res.Rows, rows...)
 	return res, nil
 }
 
@@ -90,7 +96,9 @@ func runExtMobility(c *Ctx) (*Result, error) {
 		},
 	}
 	capped := c.Cap(test)
-	for _, omega := range []float64{0, 5, 15, 30, 60, 120} {
+	omegas := []float64{0, 5, 15, 30, 60, 120}
+	rows, err := c.sweep(len(omegas), func(i int) ([]string, error) {
+		omega := omegas[i]
 		src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("extm-%v", omega)))
 		opts := ota.NewOptions(src.Split())
 		tr, err := mobility.NewTracker(m.Weights(), opts, costs, period, src)
@@ -101,8 +109,12 @@ func runExtMobility(c *Ctx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.AddRow(fmt.Sprintf("%.0f", omega), fmt.Sprintf("%.1f", omega*period), pct(acc))
+		return []string{fmt.Sprintf("%.0f", omega), fmt.Sprintf("%.1f", omega*period), pct(acc)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = append(res.Rows, rows...)
 	return res, nil
 }
 
@@ -139,7 +151,9 @@ func runExtFeedback(c *Ctx) (*Result, error) {
 			"the protocol should match accuracy with fewer reconfigurations at low speed",
 		},
 	}
-	for _, omega := range []float64{0, 10, 40} {
+	fomegas := []float64{0, 10, 40}
+	frows, err := c.sweep(len(fomegas), func(fi int) ([]string, error) {
+		omega := fomegas[fi]
 		// Periodic policy.
 		srcP := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("extf-p-%v", omega)))
 		tr, err := mobility.NewTracker(m.Weights(), ota.NewOptions(srcP.Split()), costs, period, srcP)
@@ -199,9 +213,13 @@ func runExtFeedback(c *Ctx) (*Result, error) {
 			}
 		}
 		fAcc /= float64(fSamples)
-		res.AddRow(fmt.Sprintf("%.0f", omega),
+		return []string{fmt.Sprintf("%.0f", omega),
 			pct(pAcc), fmt.Sprintf("%d", periodicRecals),
-			pct(fAcc), fmt.Sprintf("%d", ft.Recalibrations))
+			pct(fAcc), fmt.Sprintf("%d", ft.Recalibrations)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = append(res.Rows, frows...)
 	return res, nil
 }

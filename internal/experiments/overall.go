@@ -74,8 +74,8 @@ func runFig7(c *Ctx) (*Result, error) {
 		model := c.Model(name+"/plain", func() *nn.ComplexLNN {
 			return nn.TrainLNN(train, nn.TrainConfig{Seed: c.Seed, Epochs: c.Epochs()})
 		})
-		row := []string{name}
-		for _, g := range grids {
+		cells, err := c.sweep(len(grids), func(i int) ([]string, error) {
+			g := grids[i]
 			src := rng.New(c.Seed ^ uint64(g))
 			surface, err := mts.NewSurface(g, g, 2, 5.25, src.Split())
 			if err != nil {
@@ -88,7 +88,14 @@ func runFig7(c *Ctx) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, pct(c.Eval(sys, test)))
+			return []string{pct(c.EvalSys(sys, test))}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name}
+		for _, cell := range cells {
+			row = append(row, cell...)
 		}
 		res.AddRow(row...)
 	}
@@ -159,7 +166,7 @@ func deployEval(c *Ctx, w *cplx.Mat, test *nn.EncodedSet, salt string) (float64,
 	if err != nil {
 		return 0, err
 	}
-	return c.Eval(sys, test), nil
+	return c.EvalSys(sys, test), nil
 }
 
 func runFig30(c *Ctx) (*Result, error) {

@@ -37,7 +37,7 @@ func runFig18(c *Ctx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		seqAcc := c.Eval(seqSys, test)
+		seqAcc := c.EvalSys(seqSys, test)
 		// Subcarrier scheme: K = R subcarriers at 40 kHz spacing (§5.2).
 		subAcc, _, err := parallelEval(c, m, "sub", name, r, test)
 		if err != nil {
@@ -76,7 +76,7 @@ func parallelEval(c *Ctx, m *nn.ComplexLNN, kind, name string, n int, test *nn.E
 	if err != nil {
 		return 0, 0, err
 	}
-	return c.Eval(sys, test), sys.Transmissions(), nil
+	return c.EvalParSys(sys, test), sys.Transmissions(), nil
 }
 
 func runFig31(c *Ctx) (*Result, error) {
@@ -92,7 +92,9 @@ func runFig31(c *Ctx) (*Result, error) {
 		Headers: []string{"channels", "subcarrier_acc", "antenna_acc", "transmissions"},
 		Notes:   []string{"paper: accuracy declines gradually as channels grow; latency falls proportionally"},
 	}
-	for _, n := range []int{1, 2, 4, 6, 8, 10} {
+	ns := []int{1, 2, 4, 6, 8, 10}
+	rows, err := c.sweep(len(ns), func(i int) ([]string, error) {
+		n := ns[i]
 		subAcc, _, err := parallelEval(c, m, "sub31", "mnist", n, test)
 		if err != nil {
 			return nil, err
@@ -101,7 +103,11 @@ func runFig31(c *Ctx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.AddRow(fmt.Sprintf("%d", n), pct(subAcc), pct(antAcc), fmt.Sprintf("%d", tx))
+		return []string{fmt.Sprintf("%d", n), pct(subAcc), pct(antAcc), fmt.Sprintf("%d", tx)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = append(res.Rows, rows...)
 	return res, nil
 }

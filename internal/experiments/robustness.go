@@ -65,7 +65,7 @@ func syncEval(c *Ctx, m *nn.ComplexLNN, sampler func(*rng.Source) float64, salt 
 	if err != nil {
 		return 0, err
 	}
-	return c.Eval(sys, test), nil
+	return c.EvalSys(sys, test), nil
 }
 
 func runFig13(c *Ctx) (*Result, error) {
@@ -78,7 +78,9 @@ func runFig13(c *Ctx) (*Result, error) {
 		Headers: []string{"delay_us", "plain", "CDFA"},
 		Notes:   []string{"paper: plain collapses rapidly; CDFA holds until ~4 us"},
 	}
-	for _, delay := range []float64{0, 0.5, 1, 2, 3, 4, 5, 6} {
+	delays := []float64{0, 0.5, 1, 2, 3, 4, 5, 6}
+	rows, err := c.sweep(len(delays), func(i int) ([]string, error) {
+		delay := delays[i]
 		ap, err := syncEval(c, plain, clocksync.FixedSampler(delay), fmt.Sprintf("f13p%v", delay), test)
 		if err != nil {
 			return nil, err
@@ -87,8 +89,12 @@ func runFig13(c *Ctx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.AddRow(fmt.Sprintf("%.1f", delay), pct(ap), pct(ac))
+		return []string{fmt.Sprintf("%.1f", delay), pct(ap), pct(ac)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = append(res.Rows, rows...)
 	return res, nil
 }
 
@@ -134,22 +140,32 @@ func runFig17(c *Ctx) (*Result, error) {
 		Headers: []string{"environment", "antenna", "without", "with"},
 		Notes:   []string{"paper: with the scheme, all cases exceed ~82.65%; omni/lab suffers most without it"},
 	}
-	for _, env := range []channel.Environment{channel.Corridor, channel.Office, channel.Laboratory} {
-		for _, ant := range []channel.Antenna{channel.Directional, channel.Omni} {
-			var accs [2]float64
-			for i, sub := range []int{0, 2} {
-				src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("f17-%v-%v-%d", env, ant, sub)))
-				opts := ota.NewOptions(src.Split())
-				opts.Channel.Env = env
-				opts.Channel.Antenna = ant
-				opts.SubSamples = sub
-				sys, err := ota.Deploy(model.Weights(), opts, src)
-				if err != nil {
-					return nil, err
-				}
-				accs[i] = c.Eval(sys, test)
-			}
-			res.AddRow(env.String(), ant.String(), pct(accs[0]), pct(accs[1]))
+	envs := []channel.Environment{channel.Corridor, channel.Office, channel.Laboratory}
+	ants := []channel.Antenna{channel.Directional, channel.Omni}
+	subs := []int{0, 2}
+	accs := make([]float64, len(envs)*len(ants)*len(subs))
+	if _, err := c.sweep(len(accs), func(i int) ([]string, error) {
+		env := envs[i/(len(ants)*len(subs))]
+		ant := ants[(i/len(subs))%len(ants)]
+		sub := subs[i%len(subs)]
+		src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("f17-%v-%v-%d", env, ant, sub)))
+		opts := ota.NewOptions(src.Split())
+		opts.Channel.Env = env
+		opts.Channel.Antenna = ant
+		opts.SubSamples = sub
+		sys, err := ota.Deploy(model.Weights(), opts, src)
+		if err != nil {
+			return nil, err
+		}
+		accs[i] = c.EvalSys(sys, test)
+		return nil, nil
+	}); err != nil {
+		return nil, err
+	}
+	for ei, env := range envs {
+		for ai, ant := range ants {
+			base := (ei*len(ants) + ai) * len(subs)
+			res.AddRow(env.String(), ant.String(), pct(accs[base]), pct(accs[base+1]))
 		}
 	}
 	return res, nil
@@ -172,23 +188,33 @@ func runFig19(c *Ctx) (*Result, error) {
 		Notes:   []string{"paper: the scheme lifts the 80th-percentile accuracy from 80.48 to 87.92"},
 	}
 	const locations = 8
-	for _, p := range []float64{5, 10, 15, 20, 25, 30} {
+	powers := []float64{5, 10, 15, 20, 25, 30}
+	models := []*nn.ComplexLNN{plain, robust}
+	all := make([]float64, len(powers)*len(models)*locations)
+	if _, err := c.sweep(len(all), func(i int) ([]string, error) {
+		p := powers[i/(len(models)*locations)]
+		mi := (i / locations) % len(models)
+		loc := i % locations
+		src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("f19-%v-%d-%d", p, mi, loc)))
+		opts := ota.NewOptions(src.Split())
+		// Offset so the sweep's low end is genuinely noise limited (the
+		// absolute dB scale of the paper's "transmit power" knob is testbed
+		// specific).
+		opts.Channel.TxPowerDB = p - 12
+		sys, err := ota.Deploy(models[mi].Weights(), opts, src)
+		if err != nil {
+			return nil, err
+		}
+		all[i] = c.EvalSys(sys, test)
+		return nil, nil
+	}); err != nil {
+		return nil, err
+	}
+	for pi, p := range powers {
 		row := []string{fmt.Sprintf("%.0f", p)}
-		for mi, m := range []*nn.ComplexLNN{plain, robust} {
-			var accs []float64
-			for loc := 0; loc < locations; loc++ {
-				src := rng.New(c.Seed ^ hashSalt(fmt.Sprintf("f19-%v-%d-%d", p, mi, loc)))
-				opts := ota.NewOptions(src.Split())
-				// Offset so the sweep's low end is genuinely noise
-				// limited (the absolute dB scale of the paper's "transmit
-				// power" knob is testbed specific).
-				opts.Channel.TxPowerDB = p - 12
-				sys, err := ota.Deploy(m.Weights(), opts, src)
-				if err != nil {
-					return nil, err
-				}
-				accs = append(accs, c.Eval(sys, test))
-			}
+		for mi := range models {
+			base := (pi*len(models) + mi) * locations
+			accs := append([]float64(nil), all[base:base+locations]...)
 			sort.Float64s(accs)
 			var mean float64
 			for _, a := range accs {
@@ -219,9 +245,11 @@ func runFig26(c *Ctx) (*Result, error) {
 			"paper: R4 stays above 85.38%",
 		},
 	}
-	for _, region := range []channel.InterferenceRegion{
+	regions := []channel.InterferenceRegion{
 		channel.NoInterferer, channel.RegionR1, channel.RegionR2, channel.RegionR3, channel.RegionR4,
-	} {
+	}
+	rows, err := c.sweep(len(regions), func(i int) ([]string, error) {
+		region := regions[i]
 		src := rng.New(c.Seed ^ hashSalt("f26-"+region.String()))
 		opts := ota.NewOptions(src.Split())
 		opts.Channel.Interf = region
@@ -230,7 +258,11 @@ func runFig26(c *Ctx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.AddRow(region.String(), pct(c.Eval(sys, test)))
+		return []string{region.String(), pct(c.EvalSys(sys, test))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = append(res.Rows, rows...)
 	return res, nil
 }

@@ -81,21 +81,39 @@ func runFig28(c *Ctx) (*Result, error) {
 		Headers: []string{"volunteer", "accuracy"},
 		Notes:   []string{"paper: 78.54% average over ten volunteers in five backgrounds"},
 	}
-	var total, count float64
-	for v := 0; v < fc.Classes; v++ {
+	// One predictor per volunteer: the shared default session serially (the
+	// historical bit-exact path), or independent per-volunteer sessions of
+	// the one deployment when the context fans out.
+	predict := make([]nn.Predictor, fc.Classes)
+	if c.workerCount() > 1 {
+		for v, s := range sys.Sessions(fc.Classes) {
+			predict[v] = s
+		}
+	} else {
+		for v := range predict {
+			predict[v] = sys
+		}
+	}
+	accs := make([]float64, fc.Classes)
+	if _, err := c.sweep(fc.Classes, func(v int) ([]string, error) {
 		correct := 0
 		for k := 0; k < fc.PerUser; k++ {
 			s := fc.Test[v*fc.PerUser+k]
-			if sys.Predict(enc.Encode(s.X)) == s.Label {
+			if predict[v].Predict(enc.Encode(s.X)) == s.Label {
 				correct++
 			}
 		}
-		acc := float64(correct) / float64(fc.PerUser)
+		accs[v] = float64(correct) / float64(fc.PerUser)
+		return nil, nil
+	}); err != nil {
+		return nil, err
+	}
+	var total float64
+	for v, acc := range accs {
 		total += acc
-		count++
 		res.AddRow(fmt.Sprintf("user%d", v+1), pct(acc))
 	}
-	res.AddRow("average", pct(total/count))
+	res.AddRow("average", pct(total/float64(fc.Classes)))
 	_ = test
 	return res, nil
 }

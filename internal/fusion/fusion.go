@@ -15,8 +15,11 @@ package fusion
 import (
 	"fmt"
 
+	"repro/internal/cplx"
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/ota"
+	"repro/internal/rng"
 )
 
 // EncodeViews encodes the first k views of a multi-sensor dataset and
@@ -72,6 +75,48 @@ func SensorSpans(md *dataset.MultiDataset, k int, enc nn.Encoder) ([][2]int, err
 		pos += u
 	}
 	return spans, nil
+}
+
+// Deployment is the immutable over-the-air deployment of a fused network:
+// the single shared-metasurface schedule spanning every sensor's symbols,
+// plus the time-division boundaries that say which schedule columns belong
+// to which sensor. Like ota.Deployment it is safe to share freely; derive a
+// Session per worker for concurrent inference.
+type Deployment struct {
+	*ota.Deployment
+	// Spans holds the [start, end) symbol range of each fused sensor within
+	// the schedule (SensorSpans order).
+	Spans [][2]int
+}
+
+// NewDeployment solves the fused weight matrix into one time-division
+// schedule and records the per-sensor spans. The spans must tile [0, cols)
+// of the weight matrix.
+func NewDeployment(w *cplx.Mat, spans [][2]int, opts ota.Options, src *rng.Source) (*Deployment, error) {
+	pos := 0
+	for s, sp := range spans {
+		if sp[0] != pos || sp[1] < sp[0] {
+			return nil, fmt.Errorf("fusion: span %d = [%d,%d) does not tile the input (want start %d)", s, sp[0], sp[1], pos)
+		}
+		pos = sp[1]
+	}
+	if pos != w.Cols {
+		return nil, fmt.Errorf("fusion: spans cover %d symbols, weights have %d", pos, w.Cols)
+	}
+	d, err := ota.NewDeployment(w, opts, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Deployment: d, Spans: append([][2]int(nil), spans...)}, nil
+}
+
+// Sensors returns the number of fused sensors.
+func (d *Deployment) Sensors() int { return len(d.Spans) }
+
+// SensorSlice returns the view of a fused input that sensor s transmits —
+// the symbols of its time-division slot.
+func (d *Deployment) SensorSlice(x []complex128, s int) []complex128 {
+	return x[d.Spans[s][0]:d.Spans[s][1]]
 }
 
 // TrainFused trains the fused LNN over the first k views.

@@ -1,0 +1,125 @@
+package nn
+
+import "sync"
+
+// SessionFactory supplies one independent Predictor per evaluation worker.
+// Worker w always receives sessions(w), so a deterministic factory (e.g.
+// seeded splits of one rng source, as ota.Deployment.Sessions provides)
+// yields reproducible parallel evaluations. The factory itself is invoked
+// serially; only the returned predictors run concurrently.
+type SessionFactory func(worker int) Predictor
+
+// EvaluateParallel returns the accuracy of a predictor family over an
+// encoded set using `workers` concurrent workers. The set is sharded into
+// contiguous blocks, one per worker, and worker w classifies its block with
+// sessions(w).
+//
+// With workers <= 1 this is exactly Evaluate(sessions(0), set): the single
+// worker visits every sample in order, so a stateful predictor (an
+// ota.System or ota.Session) consumes its random stream identically to the
+// serial path and reproduces it bit for bit. With workers > 1 the workers'
+// streams are independent, so the result is statistically equivalent but
+// not bitwise identical to the serial pass.
+func EvaluateParallel(set *EncodedSet, workers int, sessions SessionFactory) float64 {
+	n := len(set.X)
+	if n == 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return Evaluate(sessions(0), set)
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		p := sessions(w)
+		wg.Add(1)
+		go func(w int, p Predictor, lo, hi int) {
+			defer wg.Done()
+			correct := 0
+			for i := lo; i < hi; i++ {
+				if p.Predict(set.X[i]) == set.Labels[i] {
+					correct++
+				}
+			}
+			counts[w] = correct
+		}(w, p, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / float64(n)
+}
+
+// ConfusionParallel returns the confusion matrix counts[true][predicted] of
+// a predictor family over an encoded set, sharded across `workers` workers
+// exactly as EvaluateParallel. Per-worker matrices are merged after the
+// barrier, so the result is independent of scheduling order.
+func ConfusionParallel(set *EncodedSet, workers int, sessions SessionFactory) [][]int {
+	n := len(set.X)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 0 {
+		return Confusion(sessions(0), set)
+	}
+	partial := make([][][]int, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		p := sessions(w)
+		wg.Add(1)
+		go func(w int, p Predictor, lo, hi int) {
+			defer wg.Done()
+			m := make([][]int, set.Classes)
+			for i := range m {
+				m[i] = make([]int, set.Classes)
+			}
+			for i := lo; i < hi; i++ {
+				pred := p.Predict(set.X[i])
+				if pred >= 0 && pred < set.Classes {
+					m[set.Labels[i]][pred]++
+				}
+			}
+			partial[w] = m
+		}(w, p, lo, hi)
+	}
+	wg.Wait()
+	out := make([][]int, set.Classes)
+	for i := range out {
+		out[i] = make([]int, set.Classes)
+	}
+	for _, m := range partial {
+		if m == nil {
+			continue
+		}
+		for r := range m {
+			for c := range m[r] {
+				out[r][c] += m[r][c]
+			}
+		}
+	}
+	return out
+}
+
+// StatelessSessions adapts one concurrency-safe predictor (a digital model
+// whose Predict is pure, like ComplexLNN) into a SessionFactory that hands
+// every worker the same instance.
+func StatelessSessions(p Predictor) SessionFactory {
+	return func(int) Predictor { return p }
+}

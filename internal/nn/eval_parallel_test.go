@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"testing"
+)
+
+// modPredictor classifies by the real part of the first symbol, a pure
+// function so every worker count must yield identical results.
+type modPredictor struct{ classes int }
+
+func (p modPredictor) Predict(x []complex128) int {
+	return int(real(x[0])) % p.classes
+}
+
+func evalSet(n, classes int) *EncodedSet {
+	set := &EncodedSet{Classes: classes, U: 1}
+	for i := 0; i < n; i++ {
+		set.X = append(set.X, []complex128{complex(float64(i), 0)})
+		// Half the labels match the predictor's output.
+		label := i % classes
+		if i%2 == 1 {
+			label = (i + 1) % classes
+		}
+		set.Labels = append(set.Labels, label)
+	}
+	return set
+}
+
+func TestEvaluateParallelMatchesSerialForPurePredictor(t *testing.T) {
+	set := evalSet(103, 5) // odd size exercises the ragged last shard
+	p := modPredictor{classes: 5}
+	want := Evaluate(p, set)
+	for _, workers := range []int{0, 1, 2, 3, 8, 16, 200} {
+		got := EvaluateParallel(set, workers, StatelessSessions(p))
+		if got != want {
+			t.Fatalf("workers=%d: accuracy %v, serial %v", workers, got, want)
+		}
+	}
+}
+
+func TestConfusionParallelMatchesSerial(t *testing.T) {
+	set := evalSet(77, 4)
+	p := modPredictor{classes: 4}
+	want := Confusion(p, set)
+	for _, workers := range []int{1, 2, 5, 16} {
+		got := ConfusionParallel(set, workers, StatelessSessions(p))
+		for r := range want {
+			for c := range want[r] {
+				if got[r][c] != want[r][c] {
+					t.Fatalf("workers=%d: confusion[%d][%d] = %d, serial %d", workers, r, c, got[r][c], want[r][c])
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluateParallelEmptySet(t *testing.T) {
+	set := &EncodedSet{Classes: 3}
+	if got := EvaluateParallel(set, 4, StatelessSessions(modPredictor{classes: 3})); got != 0 {
+		t.Fatalf("empty set accuracy = %v, want 0", got)
+	}
+}
+
+func TestSessionFactoryCalledOncePerWorker(t *testing.T) {
+	set := evalSet(40, 4)
+	calls := 0
+	factory := func(w int) Predictor {
+		calls++
+		return modPredictor{classes: 4}
+	}
+	EvaluateParallel(set, 4, factory)
+	if calls != 4 {
+		t.Fatalf("factory called %d times, want once per worker (4)", calls)
+	}
+}

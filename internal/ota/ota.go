@@ -11,6 +11,19 @@
 // clock misalignment. The within-symbol multi-sampling scheme of §3.2
 // (zero-mean chips + synchronized MTS sign flips) cancels environmental
 // multipath without channel estimation.
+//
+// The engine is split along the mutability boundary:
+//
+//   - Deployment holds everything Deploy computes — the solved MTS
+//     schedules, realized responses, channel/geometry parameters, and
+//     derived noise statistics. After Deploy it is read-only and may be
+//     shared freely across goroutines.
+//   - Session owns all runtime stochastic state (noise and fading draws,
+//     sync-offset sampling, jitter replay). Sessions are cheap; create one
+//     per worker via Deployment.NewSession or Deployment.Sessions.
+//   - System couples one Deployment with one bound default Session,
+//     preserving the original single-threaded API: a 1-session run
+//     reproduces the pre-split numbers exactly.
 package ota
 
 import (
@@ -55,7 +68,9 @@ type Options struct {
 	SymbolRateHz float64
 	// SyncSampler draws the clock offset, in symbols, between the data
 	// stream and the weight schedule for one transmission (§3.5.1). Nil
-	// means perfect synchronization.
+	// means perfect synchronization. The sampler must be a pure function of
+	// its source argument: concurrent sessions call it with their own
+	// independent sources.
 	SyncSampler func(src *rng.Source) float64
 	// ExactJitter evaluates per-atom phase jitter atom by atom at every
 	// reconfiguration instead of using the engine's closed-form
@@ -109,10 +124,12 @@ func IdealOptions(surface *mts.Surface) Options {
 	}
 }
 
-// System is a deployed over-the-air classifier. It implements the Predict
-// interface used by nn.Evaluate, drawing fresh channel and noise
-// realizations from its rng source on every call.
-type System struct {
+// Deployment is a solved over-the-air classifier: the MTS schedules,
+// physically realized responses, and every derived statistic one inference
+// needs. It carries no random state — after NewDeployment returns it is
+// immutable (except for the explicit Recompute recalibration below) and
+// safe to share across any number of concurrent Sessions.
+type Deployment struct {
 	opts Options
 	// Schedule holds the per-output, per-symbol configurations.
 	Schedule [][]mts.Config
@@ -130,9 +147,9 @@ type System struct {
 	sigRMS     float64 // RMS |H| over the schedule, the SNR reference
 	gainFactor float64 // element-pattern gain relative to nominal geometry
 	ch         *channel.Model
-	src        *rng.Source
 	jitterAtt  float64 // e^{-σ²/2}
 	jitterVar  float64 // per-response complex variance M·(1-e^{-σ²})
+	noise2     float64 // per-sample receiver-noise variance (derived)
 
 	compensate  bool
 	envBase     complex128 // calibrated quasi-static environment (Eqn 8)
@@ -141,10 +158,11 @@ type System struct {
 	truePP      []float64  // true path phases, kept for exact-jitter replay
 }
 
-// Deploy solves the MTS schedule realizing the trained weight matrix w
-// (classes×U) and returns a ready System. src drives all runtime
-// randomness.
-func Deploy(w *cplx.Mat, opts Options, src *rng.Source) (*System, error) {
+// NewDeployment solves the MTS schedule realizing the trained weight matrix
+// w (classes×U) and returns the immutable deployment. src drives only
+// deployment-time randomness (the Eqn 8 calibration pass); runtime
+// randomness lives in Sessions.
+func NewDeployment(w *cplx.Mat, opts Options, src *rng.Source) (*Deployment, error) {
 	if opts.Surface == nil {
 		return nil, fmt.Errorf("ota: Deploy requires a surface")
 	}
@@ -193,7 +211,7 @@ func Deploy(w *cplx.Mat, opts Options, src *rng.Source) (*System, error) {
 	}
 	gamma := opts.TargetScale * maxR / maxW
 
-	s := &System{
+	d := &Deployment{
 		opts:          opts,
 		Schedule:      make([][]mts.Config, w.Rows),
 		Realized:      cplx.NewMat(w.Rows, w.Cols),
@@ -202,7 +220,6 @@ func Deploy(w *cplx.Mat, opts Options, src *rng.Source) (*System, error) {
 		classes:       w.Rows,
 		u:             w.Cols,
 		ch:            channel.New(opts.Channel),
-		src:           src,
 	}
 	// Eqn 8 calibration: estimate the quasi-static environment once (the
 	// paper's "disable the metasurface to estimate H_e" pass) and shift
@@ -219,202 +236,202 @@ func Deploy(w *cplx.Mat, opts Options, src *rng.Source) (*System, error) {
 			rms += real(v)*real(v) + imag(v)*imag(v)
 		}
 		rms = math.Sqrt(rms / float64(len(w.Data)))
-		s.envScale = gamma * rms
-		cal := s.ch.NewRealization(src.Split())
-		s.envBase = cal.Base()
-		s.calMTSPhase = cal.MTSPhase()
-		s.compensate = true
-		envPhys := s.envBase * complex(s.envScale, 0)
-		inv := cmplx.Conj(s.calMTSPhase) // unit modulus: conj == inverse
+		d.envScale = gamma * rms
+		cal := d.ch.NewRealization(src.Split())
+		d.envBase = cal.Base()
+		d.calMTSPhase = cal.MTSPhase()
+		d.compensate = true
+		envPhys := d.envBase * complex(d.envScale, 0)
+		inv := cmplx.Conj(d.calMTSPhase) // unit modulus: conj == inverse
 		compCorrect = func(target complex128) complex128 {
 			return (target - envPhys) * inv
 		}
 	}
 	var sumSq float64
 	for r := 0; r < w.Rows; r++ {
-		s.Schedule[r] = make([]mts.Config, w.Cols)
+		d.Schedule[r] = make([]mts.Config, w.Cols)
 		for c := 0; c < w.Cols; c++ {
 			target := compCorrect(w.At(r, c) * complex(gamma, 0))
 			cfg, _ := idealSurface.SolveTarget(target, estPP)
-			s.Schedule[r][c] = cfg
+			d.Schedule[r][c] = cfg
 			// The physically realized response uses the true phases.
 			h := opts.Surface.Response(cfg, truePP)
-			s.Realized.Set(r, c, h)
+			d.Realized.Set(r, c, h)
 			sumSq += real(h)*real(h) + imag(h)*imag(h)
 		}
 	}
-	s.sigRMS = math.Sqrt(sumSq / float64(len(s.Realized.Data)))
-	s.truePP = truePP
-	if !s.compensate {
-		s.envScale = s.sigRMS
+	d.sigRMS = math.Sqrt(sumSq / float64(len(d.Realized.Data)))
+	d.truePP = truePP
+	if !d.compensate {
+		d.envScale = d.sigRMS
 	}
-	// Element-pattern gain at the actual Tx/Rx angles, relative to the
-	// nominal default geometry (the SNR reference point).
-	nom := mts.DefaultGeometry()
-	nomGain := mts.ElementGain(nom.TxAngleDeg) * mts.ElementGain(nom.RxAngleDeg)
-	g := mts.ElementGain(opts.Geometry.TxAngleDeg) * mts.ElementGain(opts.Geometry.RxAngleDeg)
-	s.gainFactor = g / nomGain
+	d.refreshDerived(opts.Geometry)
 	// Jitter statistics: a per-atom phase error ε~N(0,σ²) attenuates the
 	// mean response by e^{-σ²/2} and adds a complex scatter of variance
 	// M·(1−e^{-σ²}) (independent atoms).
 	sigma2 := opts.JitterStd * opts.JitterStd
-	s.jitterAtt = math.Exp(-sigma2 / 2)
-	s.jitterVar = float64(opts.Surface.Atoms()) * (1 - math.Exp(-sigma2))
-	return s, nil
+	d.jitterAtt = math.Exp(-sigma2 / 2)
+	d.jitterVar = float64(opts.Surface.Atoms()) * (1 - math.Exp(-sigma2))
+	return d, nil
 }
 
-// Classes returns the number of output categories.
-func (s *System) Classes() int { return s.classes }
-
-// InputLen returns the expected symbol-vector length U.
-func (s *System) InputLen() int { return s.u }
-
-// QuantizationError returns the mean relative error between the realized
-// responses and the scaled desired weights — the pure hardware
-// approximation quality (Fig 6).
-func (s *System) QuantizationError(w *cplx.Mat) float64 {
-	var sum float64
-	for i, h := range s.Realized.Data {
-		sum += cmplx.Abs(h - w.Data[i]*complex(s.Gamma, 0))
-	}
-	return sum / (float64(len(s.Realized.Data)) * s.Gamma * w.MaxAbs())
-}
-
-// Accumulate runs one full over-the-air inference: every output class r is
-// computed by replaying the symbol stream against its weight schedule, with
-// multipath, noise, jitter, and clock offset applied. It returns the
-// complex accumulator per class (before the magnitude of Eqn 3).
-func (s *System) Accumulate(x []complex128) cplx.Vec {
-	if len(x) != s.u {
-		panic(fmt.Sprintf("ota: input length %d, deployed for U=%d", len(x), s.u))
-	}
-	acc := make(cplx.Vec, s.classes)
+// refreshDerived recomputes the geometry- and schedule-dependent statistics:
+// the element-pattern gain at the actual Tx/Rx angles relative to the
+// nominal default geometry (the SNR reference point), and the per-sample
+// receiver-noise variance used by every session.
+func (d *Deployment) refreshDerived(geom mts.Geometry) {
+	nom := mts.DefaultGeometry()
+	nomGain := mts.ElementGain(nom.TxAngleDeg) * mts.ElementGain(nom.RxAngleDeg)
+	g := mts.ElementGain(geom.TxAngleDeg) * mts.ElementGain(geom.RxAngleDeg)
+	d.gainFactor = g / nomGain
 	// The channel's SNR is anchored at the 256-atom prototype aperture;
 	// a smaller array collects quadratically less energy (array gain ∝ M²),
 	// which is why recognition accuracy grows with the atom count until the
 	// quantization floor takes over (Fig 7).
-	aperture := 256.0 / float64(s.opts.Surface.Atoms())
-	noise2 := s.sigRMS * s.sigRMS * s.ch.Params().NoiseSigma2() * aperture * aperture
+	aperture := 256.0 / float64(d.opts.Surface.Atoms())
+	noise2 := d.sigRMS * d.sigRMS * d.ch.Params().NoiseSigma2() * aperture * aperture
 	// Element-pattern gain scales the MTS-path signal but not the receiver
 	// noise floor: express it as an SNR change by dividing noise instead of
 	// multiplying every signal term (classification is scale invariant).
-	if s.gainFactor > 0 {
-		noise2 /= s.gainFactor * s.gainFactor
+	if d.gainFactor > 0 {
+		noise2 /= d.gainFactor * d.gainFactor
 	} else {
 		noise2 = math.Inf(1)
 	}
-	for r := 0; r < s.classes; r++ {
-		var rz *channel.Realization
-		if s.compensate {
-			// The calibrated quasi-static components persist; only scatter
-			// and blockage vary. If the environment has drifted since
-			// calibration (a dynamic interferer), the stale estimate leaks.
-			rz = s.ch.NewRealizationFrom(s.envBase, s.calMTSPhase, s.src.Split())
-		} else {
-			rz = s.ch.NewRealization(s.src.Split())
-		}
-		var offset float64
-		if s.opts.SyncSampler != nil {
-			offset = s.opts.SyncSampler(s.src)
-		}
-		var sum complex128
-		for i := range x {
-			h := s.effectiveResponse(r, i, offset) * rz.MTSScaleAt(i)
-			if s.opts.SubSamples > 0 {
-				// Zero-mean chips + synchronized MTS sign flips: the static
-				// within-symbol environment integrates to zero, the MTS path
-				// adds coherently, and the combined noise keeps the
-				// single-sample variance (chip noise is wider-band).
-				sum += h*x[i] + s.src.ComplexNormal(noise2)
-			} else {
-				env := rz.EnvAt(i) * complex(s.envScale, 0)
-				sum += (h+env)*x[i] + s.src.ComplexNormal(noise2)
-			}
-		}
-		acc[r] = sum
-	}
-	return acc
+	d.noise2 = noise2
 }
 
-// effectiveResponse returns the MTS response seen by data symbol i of output
-// r under a schedule/data clock offset (in symbols): an offset with
-// fractional part f mixes the two adjacent schedule entries in proportion to
-// their time overlap, and jitter perturbs the response per reconfiguration.
-func (s *System) effectiveResponse(r, i int, offset float64) complex128 {
-	base := math.Floor(offset)
-	frac := offset - base
-	idx := func(k int) int {
-		n := s.u
-		return ((k % n) + n) % n
+// Classes returns the number of output categories.
+func (d *Deployment) Classes() int { return d.classes }
+
+// InputLen returns the expected symbol-vector length U.
+func (d *Deployment) InputLen() int { return d.u }
+
+// Options returns the deployment's configuration.
+func (d *Deployment) Options() Options { return d.opts }
+
+// QuantizationError returns the mean relative error between the realized
+// responses and the scaled desired weights — the pure hardware
+// approximation quality (Fig 6).
+func (d *Deployment) QuantizationError(w *cplx.Mat) float64 {
+	var sum float64
+	for i, h := range d.Realized.Data {
+		sum += cmplx.Abs(h - w.Data[i]*complex(d.Gamma, 0))
 	}
-	i0 := idx(i - int(base))
-	if s.opts.ExactJitter && s.opts.JitterStd > 0 {
-		// Atom-by-atom jitter on the actual scheduled configuration(s).
-		h := s.opts.Surface.RealizedResponse(s.Schedule[r][i0], s.truePP, s.opts.JitterStd, s.src)
-		if frac >= 1e-9 {
-			i1 := idx(i - int(base) - 1)
-			h1 := s.opts.Surface.RealizedResponse(s.Schedule[r][i1], s.truePP, s.opts.JitterStd, s.src)
-			h = h*complex(1-frac, 0) + h1*complex(frac, 0)
-		}
-		return h
-	}
-	h0 := s.Realized.At(r, i0)
-	var h complex128
-	if frac < 1e-9 {
-		h = h0
-	} else {
-		h1 := s.Realized.At(r, idx(i-int(base)-1))
-		h = h0*complex(1-frac, 0) + h1*complex(frac, 0)
-	}
-	if s.opts.JitterStd > 0 {
-		h = h*complex(s.jitterAtt, 0) + s.src.ComplexNormal(s.jitterVar)
-	}
-	return h
+	return sum / (float64(len(d.Realized.Data)) * d.Gamma * w.MaxAbs())
 }
 
 // Recompute re-evaluates the physically realized responses of the existing
 // schedule under a new true geometry — what happens when the receiver moves
 // after deployment (§7, Device Mobility): the schedule still encodes the
 // old propagation phases, so the realized weights drift from the desired
-// ones until the system recalibrates. It returns the updated System (self).
-func (s *System) Recompute(geom mts.Geometry) *System {
-	truePP := s.opts.Surface.PathPhases(geom)
+// ones until the system recalibrates. It returns the updated Deployment
+// (self).
+//
+// Recompute is the one sanctioned mutation of a Deployment. It is NOT safe
+// to call while sessions are running concurrently; quiesce inference first
+// (package mobility's Tracker advances time single-threaded).
+func (d *Deployment) Recompute(geom mts.Geometry) *Deployment {
+	truePP := d.opts.Surface.PathPhases(geom)
 	var sumSq float64
-	for r := 0; r < s.classes; r++ {
-		for c := 0; c < s.u; c++ {
-			h := s.opts.Surface.Response(s.Schedule[r][c], truePP)
-			s.Realized.Set(r, c, h)
+	for r := 0; r < d.classes; r++ {
+		for c := 0; c < d.u; c++ {
+			h := d.opts.Surface.Response(d.Schedule[r][c], truePP)
+			d.Realized.Set(r, c, h)
 			sumSq += real(h)*real(h) + imag(h)*imag(h)
 		}
 	}
-	s.sigRMS = math.Sqrt(sumSq / float64(len(s.Realized.Data)))
-	if !s.compensate {
-		s.envScale = s.sigRMS
+	d.sigRMS = math.Sqrt(sumSq / float64(len(d.Realized.Data)))
+	d.truePP = truePP
+	if !d.compensate {
+		d.envScale = d.sigRMS
 	}
-	nom := mts.DefaultGeometry()
-	nomGain := mts.ElementGain(nom.TxAngleDeg) * mts.ElementGain(nom.RxAngleDeg)
-	g := mts.ElementGain(geom.TxAngleDeg) * mts.ElementGain(geom.RxAngleDeg)
-	s.gainFactor = g / nomGain
-	s.opts.Geometry = geom
-	return s
-}
-
-// Logits returns |accumulator| per class — the y_r of Eqn 3.
-func (s *System) Logits(x []complex128) []float64 {
-	return s.Accumulate(x).Abs()
-}
-
-// Predict classifies one encoded input over the air.
-func (s *System) Predict(x []complex128) int {
-	return cplx.Argmax(s.Logits(x))
+	d.opts.Geometry = geom
+	d.refreshDerived(geom)
+	return d
 }
 
 // TransmissionsPerInference returns how many sequential replays one
 // inference costs without parallelism (§3.3: R transmissions).
-func (s *System) TransmissionsPerInference() int { return s.classes }
+func (d *Deployment) TransmissionsPerInference() int { return d.classes }
 
 // AirTime returns the on-air time for one full inference at the configured
 // symbol rate (sequential scheme).
-func (s *System) AirTime() float64 {
-	return float64(s.classes) * float64(s.u) / s.opts.SymbolRateHz
+func (d *Deployment) AirTime() float64 {
+	return float64(d.classes) * float64(d.u) / d.opts.SymbolRateHz
+}
+
+// NewSession binds a per-worker inference session to the deployment. The
+// session takes ownership of src as its random stream; the caller must not
+// draw from src afterwards.
+func (d *Deployment) NewSession(src *rng.Source) *Session {
+	return &Session{d: d, src: src}
+}
+
+// SessionFromSeed is NewSession over a fresh source seeded with seed.
+func (d *Deployment) SessionFromSeed(seed uint64) *Session {
+	return d.NewSession(rng.New(seed))
+}
+
+// Sessions derives n independent sessions via deterministic seeded splits
+// of src: session i's stream is a pure function of (src state, i), so a
+// fixed seed yields a reproducible worker fleet regardless of how the
+// sessions are later interleaved.
+func (d *Deployment) Sessions(n int, src *rng.Source) []*Session {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*Session, n)
+	for i := range out {
+		out[i] = d.NewSession(src.Split())
+	}
+	return out
+}
+
+// System couples a Deployment with one bound default Session, preserving
+// the pre-split single-threaded API: Deploy consumes src exactly as the
+// original combined implementation did, so a 1-session run reproduces the
+// historical numbers bit for bit. For concurrent inference share the
+// embedded Deployment across per-worker Sessions instead of calling the
+// System's own Predict from several goroutines.
+type System struct {
+	*Deployment
+	sess *Session
+}
+
+// Deploy solves the MTS schedule realizing the trained weight matrix w
+// (classes×U) and returns a ready System whose default session draws its
+// runtime randomness from src.
+func Deploy(w *cplx.Mat, opts Options, src *rng.Source) (*System, error) {
+	d, err := NewDeployment(w, opts, src)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Deployment: d, sess: d.NewSession(src)}, nil
+}
+
+// Session returns the system's bound default session.
+func (s *System) Session() *Session { return s.sess }
+
+// Sessions derives n independent per-worker sessions by splitting the
+// system's bound session source. Deterministic given the deploy seed and
+// the call position in the system's usage sequence.
+func (s *System) Sessions(n int) []*Session {
+	return s.Deployment.Sessions(n, s.sess.src)
+}
+
+// Accumulate runs one full over-the-air inference on the default session.
+func (s *System) Accumulate(x []complex128) cplx.Vec { return s.sess.Accumulate(x) }
+
+// Logits returns |accumulator| per class — the y_r of Eqn 3.
+func (s *System) Logits(x []complex128) []float64 { return s.sess.Logits(x) }
+
+// Predict classifies one encoded input over the air.
+func (s *System) Predict(x []complex128) int { return s.sess.Predict(x) }
+
+// Recompute recalibrates the underlying deployment (see
+// Deployment.Recompute) and returns the updated System (self).
+func (s *System) Recompute(geom mts.Geometry) *System {
+	s.Deployment.Recompute(geom)
+	return s
 }

@@ -1,0 +1,116 @@
+package ota
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/cplx"
+	"repro/internal/rng"
+)
+
+// Session is one worker's view of a shared Deployment: it owns every piece
+// of mutable runtime state an inference needs — the channel/noise source,
+// the sync-offset sampler's draws, and the jitter replay stream. Sessions
+// are cheap to create and independent of each other; a Session must not be
+// used from more than one goroutine at a time, but any number of Sessions
+// may run concurrently against the same Deployment.
+type Session struct {
+	d   *Deployment
+	src *rng.Source
+}
+
+// Deployment returns the shared immutable deployment this session draws
+// inference from.
+func (s *Session) Deployment() *Deployment { return s.d }
+
+// Accumulate runs one full over-the-air inference: every output class r is
+// computed by replaying the symbol stream against its weight schedule, with
+// multipath, noise, jitter, and clock offset applied. It returns the
+// complex accumulator per class (before the magnitude of Eqn 3).
+func (s *Session) Accumulate(x []complex128) cplx.Vec {
+	d := s.d
+	if len(x) != d.u {
+		panic(fmt.Sprintf("ota: input length %d, deployed for U=%d", len(x), d.u))
+	}
+	acc := make(cplx.Vec, d.classes)
+	noise2 := d.noise2
+	for r := 0; r < d.classes; r++ {
+		var rz *channel.Realization
+		if d.compensate {
+			// The calibrated quasi-static components persist; only scatter
+			// and blockage vary. If the environment has drifted since
+			// calibration (a dynamic interferer), the stale estimate leaks.
+			rz = d.ch.NewRealizationFrom(d.envBase, d.calMTSPhase, s.src.Split())
+		} else {
+			rz = d.ch.NewRealization(s.src.Split())
+		}
+		var offset float64
+		if d.opts.SyncSampler != nil {
+			offset = d.opts.SyncSampler(s.src)
+		}
+		var sum complex128
+		for i := range x {
+			h := s.effectiveResponse(r, i, offset) * rz.MTSScaleAt(i)
+			if d.opts.SubSamples > 0 {
+				// Zero-mean chips + synchronized MTS sign flips: the static
+				// within-symbol environment integrates to zero, the MTS path
+				// adds coherently, and the combined noise keeps the
+				// single-sample variance (chip noise is wider-band).
+				sum += h*x[i] + s.src.ComplexNormal(noise2)
+			} else {
+				env := rz.EnvAt(i) * complex(d.envScale, 0)
+				sum += (h+env)*x[i] + s.src.ComplexNormal(noise2)
+			}
+		}
+		acc[r] = sum
+	}
+	return acc
+}
+
+// effectiveResponse returns the MTS response seen by data symbol i of output
+// r under a schedule/data clock offset (in symbols): an offset with
+// fractional part f mixes the two adjacent schedule entries in proportion to
+// their time overlap, and jitter perturbs the response per reconfiguration.
+func (s *Session) effectiveResponse(r, i int, offset float64) complex128 {
+	d := s.d
+	base := math.Floor(offset)
+	frac := offset - base
+	idx := func(k int) int {
+		n := d.u
+		return ((k % n) + n) % n
+	}
+	i0 := idx(i - int(base))
+	if d.opts.ExactJitter && d.opts.JitterStd > 0 {
+		// Atom-by-atom jitter on the actual scheduled configuration(s).
+		h := d.opts.Surface.RealizedResponse(d.Schedule[r][i0], d.truePP, d.opts.JitterStd, s.src)
+		if frac >= 1e-9 {
+			i1 := idx(i - int(base) - 1)
+			h1 := d.opts.Surface.RealizedResponse(d.Schedule[r][i1], d.truePP, d.opts.JitterStd, s.src)
+			h = h*complex(1-frac, 0) + h1*complex(frac, 0)
+		}
+		return h
+	}
+	h0 := d.Realized.At(r, i0)
+	var h complex128
+	if frac < 1e-9 {
+		h = h0
+	} else {
+		h1 := d.Realized.At(r, idx(i-int(base)-1))
+		h = h0*complex(1-frac, 0) + h1*complex(frac, 0)
+	}
+	if d.opts.JitterStd > 0 {
+		h = h*complex(d.jitterAtt, 0) + s.src.ComplexNormal(d.jitterVar)
+	}
+	return h
+}
+
+// Logits returns |accumulator| per class — the y_r of Eqn 3.
+func (s *Session) Logits(x []complex128) []float64 {
+	return s.Accumulate(x).Abs()
+}
+
+// Predict classifies one encoded input over the air.
+func (s *Session) Predict(x []complex128) int {
+	return cplx.Argmax(s.Logits(x))
+}

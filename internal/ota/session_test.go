@@ -1,0 +1,167 @@
+package ota
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// deployTwice deploys the memoized model twice from identical seeds, so the
+// two systems carry bit-identical schedules and independent-but-equal
+// random streams.
+func deployTwice(t testing.TB, seed uint64) (*System, *System, *nn.EncodedSet) {
+	t.Helper()
+	m, test, _ := trained(t)
+	mk := func() *System {
+		src := rng.New(seed)
+		sys, err := Deploy(m.Weights(), NewOptions(src.Split()), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	return mk(), mk(), test
+}
+
+func TestSerialEvaluationBitIdenticalAcrossAPIs(t *testing.T) {
+	// The System's Predict (bound default session) and an EvaluateParallel
+	// run with workers=1 through the same System must agree per sample —
+	// the refactor's backward-compatibility contract.
+	sysA, sysB, test := deployTwice(t, 21)
+	for i, x := range test.X[:50] {
+		if got, want := sysB.Predict(x), sysA.Predict(x); got != want {
+			t.Fatalf("sample %d: identical-seed systems disagree (%d vs %d)", i, got, want)
+		}
+	}
+	sysC, sysD, _ := deployTwice(t, 22)
+	serial := nn.Evaluate(sysC, test)
+	par1 := nn.EvaluateParallel(test, 1, func(int) nn.Predictor { return sysD })
+	if serial != par1 {
+		t.Fatalf("EvaluateParallel(workers=1) = %v, serial Evaluate = %v; want bit-identical", par1, serial)
+	}
+}
+
+func TestSessionPredictMatchesBoundSession(t *testing.T) {
+	// A Session created from the same source as a System's bound session
+	// must replay the System's exact stream.
+	m, test, _ := trained(t)
+	src1 := rng.New(23)
+	sysA, err := Deploy(m.Weights(), NewOptions(src1.Split()), src1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := rng.New(23)
+	d, err := NewDeployment(m.Weights(), NewOptions(src2.Split()), src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := d.NewSession(src2)
+	for i, x := range test.X[:50] {
+		if got, want := sess.Predict(x), sysA.Predict(x); got != want {
+			t.Fatalf("sample %d: standalone session %d != system's bound session %d", i, got, want)
+		}
+	}
+}
+
+func TestEvaluateParallelStatisticallyEquivalent(t *testing.T) {
+	// Fanned-out sessions draw different noise than the serial pass, but
+	// over a few hundred samples the accuracies must agree closely.
+	sysA, sysB, test := deployTwice(t, 24)
+	serial := nn.Evaluate(sysA, test)
+	ss := sysB.Sessions(4)
+	par := nn.EvaluateParallel(test, 4, func(w int) nn.Predictor { return ss[w] })
+	if math.Abs(par-serial) > 0.05 {
+		t.Fatalf("parallel accuracy %.3f deviates from serial %.3f by more than 5 points", par, serial)
+	}
+}
+
+func TestSessionsReproducibleAcrossRuns(t *testing.T) {
+	// Sessions(n, src) is a pure function of the source state: two fleets
+	// derived from equal seeds predict identically, worker by worker.
+	m, test, _ := trained(t)
+	mkFleet := func() []*Session {
+		src := rng.New(25)
+		d, err := NewDeployment(m.Weights(), NewOptions(src.Split()), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Sessions(3, rng.New(99))
+	}
+	f1, f2 := mkFleet(), mkFleet()
+	for w := range f1 {
+		for i, x := range test.X[:20] {
+			if got, want := f1[w].Predict(x), f2[w].Predict(x); got != want {
+				t.Fatalf("worker %d sample %d: fleets disagree (%d vs %d)", w, i, got, want)
+			}
+		}
+	}
+}
+
+func TestConcurrentSessionsOnSharedDeployment(t *testing.T) {
+	// 16 goroutines hammer one shared Deployment through private sessions.
+	// Run with -race: the deployment is immutable, so the only mutable
+	// state is each worker's own rng stream.
+	m, test, _ := trained(t)
+	src := rng.New(26)
+	d, err := NewDeployment(m.Weights(), NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	sessions := d.Sessions(goroutines, src)
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		sess := sessions[g]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				x := test.X[i%len(test.X)]
+				p := sess.Predict(x)
+				if p < 0 || p >= d.Classes() {
+					errs <- "prediction out of class range"
+					return
+				}
+				logits := sess.Logits(x)
+				if len(logits) != d.Classes() {
+					errs <- "logits length mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestRecomputeUpdatesDerivedState(t *testing.T) {
+	// Recompute at the deployed geometry is a no-op for realized responses;
+	// at a moved geometry it must change them (the mobility path).
+	m, _, _ := trained(t)
+	src := rng.New(27)
+	sys, err := Deploy(m.Weights(), NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Realized.Clone()
+	moved := sys.Options().Geometry
+	moved.RxAngleDeg += 20
+	sys.Recompute(moved)
+	changed := false
+	for i := range before.Data {
+		if before.Data[i] != sys.Realized.Data[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("Recompute at a moved geometry left realized responses unchanged")
+	}
+}

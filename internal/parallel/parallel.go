@@ -15,6 +15,11 @@
 // target weights" (mts.SolveMultiTarget). The residual grows with the
 // channel count — the accuracy/latency trade-off of Fig 31.
 //
+// Like package ota, the engine is split along the mutability boundary: an
+// immutable Deployment (shared configurations and realized responses) plus
+// per-worker Sessions owning all stochastic runtime state; System binds the
+// two for the historical single-threaded API.
+//
 // Substitution note (documented in DESIGN.md): at the paper's 40 kHz
 // subcarrier spacing, free-space path-length differences alone cannot
 // decorrelate subcarriers; the hardware's frequency selectivity comes from
@@ -137,7 +142,9 @@ type Options struct {
 	TargetScale  float64 // fraction of the joint dynamic range used
 	JitterStd    float64
 	SymbolRateHz float64
-	SyncSampler  func(src *rng.Source) float64
+	// SyncSampler must be a pure function of its source argument:
+	// concurrent sessions call it with their own independent sources.
+	SyncSampler func(src *rng.Source) float64
 }
 
 // NewOptions mirrors ota.NewOptions for the parallel schemes.
@@ -153,10 +160,11 @@ func NewOptions(src *rng.Source) Options {
 	}
 }
 
-// System is a deployed parallel classifier: outputs are partitioned into
+// Deployment is a solved parallel classifier: outputs are partitioned into
 // groups of at most Channels() classes; each group is computed in one
-// transmission.
-type System struct {
+// transmission. After NewDeployment returns it is immutable and safe to
+// share across concurrent Sessions.
+type Deployment struct {
 	plan   *Plan
 	opts   Options
 	groups [][]int // output indices per transmission
@@ -168,15 +176,15 @@ type System struct {
 	u        int
 	sigRMS   float64
 	ch       *channel.Model
-	src      *rng.Source
 	jitAtt   float64
 	jitVar   float64
+	noise2   float64
 }
 
-// Deploy solves the shared per-symbol configurations realizing w
+// NewDeployment solves the shared per-symbol configurations realizing w
 // (classes×U) across the plan's channels. When the plan has fewer channels
 // than classes, outputs are processed in ⌈R/C⌉ sequential groups.
-func Deploy(w *cplx.Mat, plan *Plan, opts Options, src *rng.Source) (*System, error) {
+func NewDeployment(w *cplx.Mat, plan *Plan, opts Options) (*Deployment, error) {
 	if opts.Surface == nil {
 		return nil, fmt.Errorf("parallel: Deploy requires a surface")
 	}
@@ -206,14 +214,13 @@ func Deploy(w *cplx.Mat, plan *Plan, opts Options, src *rng.Source) (*System, er
 	maxR := opts.Surface.MaxResponse(plan.Paths[0])
 	gamma := opts.TargetScale * maxR / (maxW * math.Sqrt(float64(c)))
 
-	s := &System{
+	d := &Deployment{
 		plan:     plan,
 		opts:     opts,
 		Realized: cplx.NewMat(w.Rows, w.Cols),
 		classes:  w.Rows,
 		u:        w.Cols,
 		ch:       channel.New(opts.Channel),
-		src:      src,
 	}
 	for start := 0; start < w.Rows; start += c {
 		end := start + c
@@ -224,12 +231,12 @@ func Deploy(w *cplx.Mat, plan *Plan, opts Options, src *rng.Source) (*System, er
 		for r := start; r < end; r++ {
 			group = append(group, r)
 		}
-		s.groups = append(s.groups, group)
+		d.groups = append(d.groups, group)
 	}
 	var sumSq float64
 	targets := make([]complex128, 0, c)
 	paths := make([][]float64, 0, c)
-	for _, group := range s.groups {
+	for _, group := range d.groups {
 		groupCfgs := make([]mts.Config, w.Cols)
 		for i := 0; i < w.Cols; i++ {
 			targets = targets[:0]
@@ -242,48 +249,86 @@ func Deploy(w *cplx.Mat, plan *Plan, opts Options, src *rng.Source) (*System, er
 			groupCfgs[i] = cfg
 			for ci, r := range group {
 				h := opts.Surface.Response(cfg, plan.Paths[ci])
-				s.Realized.Set(r, i, h)
+				d.Realized.Set(r, i, h)
 				sumSq += real(h)*real(h) + imag(h)*imag(h)
 			}
 		}
-		s.Configs = append(s.Configs, groupCfgs)
+		d.Configs = append(d.Configs, groupCfgs)
 	}
-	s.sigRMS = math.Sqrt(sumSq / float64(len(s.Realized.Data)))
+	d.sigRMS = math.Sqrt(sumSq / float64(len(d.Realized.Data)))
 	sig2 := opts.JitterStd * opts.JitterStd
-	s.jitAtt = math.Exp(-sig2 / 2)
-	s.jitVar = float64(opts.Surface.Atoms()) * (1 - math.Exp(-sig2))
-	return s, nil
+	d.jitAtt = math.Exp(-sig2 / 2)
+	d.jitVar = float64(opts.Surface.Atoms()) * (1 - math.Exp(-sig2))
+	// SNR anchored at the 256-atom prototype aperture, as in ota.
+	aperture := 256.0 / float64(opts.Surface.Atoms())
+	d.noise2 = d.sigRMS * d.sigRMS * d.ch.Params().NoiseSigma2() * aperture * aperture
+	return d, nil
 }
+
+// Classes returns the number of output categories.
+func (d *Deployment) Classes() int { return d.classes }
+
+// InputLen returns the expected symbol-vector length U.
+func (d *Deployment) InputLen() int { return d.u }
 
 // Transmissions returns the sequential passes one inference needs.
-func (s *System) Transmissions() int { return len(s.groups) }
+func (d *Deployment) Transmissions() int { return len(d.groups) }
 
 // AirTime returns one inference's on-air time.
-func (s *System) AirTime() float64 {
-	return float64(len(s.groups)) * float64(s.u) / s.opts.SymbolRateHz
+func (d *Deployment) AirTime() float64 {
+	return float64(len(d.groups)) * float64(d.u) / d.opts.SymbolRateHz
 }
 
-// Logits runs one over-the-air inference across all groups.
-func (s *System) Logits(x []complex128) []float64 {
-	if len(x) != s.u {
-		panic(fmt.Sprintf("parallel: input length %d, deployed for U=%d", len(x), s.u))
+// NewSession binds a per-worker inference session to the deployment. The
+// session takes ownership of src as its random stream.
+func (d *Deployment) NewSession(src *rng.Source) *Session {
+	return &Session{d: d, src: src}
+}
+
+// Sessions derives n independent sessions via deterministic seeded splits
+// of src.
+func (d *Deployment) Sessions(n int, src *rng.Source) []*Session {
+	if n < 1 {
+		n = 1
 	}
-	out := make([]float64, s.classes)
-	// SNR anchored at the 256-atom prototype aperture, as in ota.
-	aperture := 256.0 / float64(s.opts.Surface.Atoms())
-	noise2 := s.sigRMS * s.sigRMS * s.ch.Params().NoiseSigma2() * aperture * aperture
-	for _, group := range s.groups {
-		rz := s.ch.NewRealization(s.src.Split())
+	out := make([]*Session, n)
+	for i := range out {
+		out[i] = d.NewSession(src.Split())
+	}
+	return out
+}
+
+// Session is one worker's mutable view of a shared parallel Deployment; it
+// owns the channel, noise, jitter, and sync-offset randomness of its
+// inferences. Use one Session per goroutine.
+type Session struct {
+	d   *Deployment
+	src *rng.Source
+}
+
+// Deployment returns the shared immutable deployment.
+func (s *Session) Deployment() *Deployment { return s.d }
+
+// Logits runs one over-the-air inference across all groups.
+func (s *Session) Logits(x []complex128) []float64 {
+	d := s.d
+	if len(x) != d.u {
+		panic(fmt.Sprintf("parallel: input length %d, deployed for U=%d", len(x), d.u))
+	}
+	out := make([]float64, d.classes)
+	noise2 := d.noise2
+	for _, group := range d.groups {
+		rz := d.ch.NewRealization(s.src.Split())
 		var offset float64
-		if s.opts.SyncSampler != nil {
-			offset = s.opts.SyncSampler(s.src)
+		if d.opts.SyncSampler != nil {
+			offset = d.opts.SyncSampler(s.src)
 		}
 		acc := make([]complex128, len(group))
 		for i := range x {
 			scale := rz.MTSScaleAt(i)
 			var env complex128
-			if s.opts.SubSamples == 0 {
-				env = rz.EnvAt(i) * complex(s.sigRMS, 0)
+			if d.opts.SubSamples == 0 {
+				env = rz.EnvAt(i) * complex(d.sigRMS, 0)
 			}
 			for ci, r := range group {
 				h := s.effectiveResponse(r, i, offset) * scale
@@ -300,25 +345,60 @@ func (s *System) Logits(x []complex128) []float64 {
 	return out
 }
 
-func (s *System) effectiveResponse(r, i int, offset float64) complex128 {
+func (s *Session) effectiveResponse(r, i int, offset float64) complex128 {
+	d := s.d
 	base := math.Floor(offset)
 	frac := offset - base
 	idx := func(k int) int {
-		n := s.u
+		n := d.u
 		return ((k % n) + n) % n
 	}
-	h := s.Realized.At(r, idx(i-int(base)))
+	h := d.Realized.At(r, idx(i-int(base)))
 	if frac >= 1e-9 {
-		h1 := s.Realized.At(r, idx(i-int(base)-1))
+		h1 := d.Realized.At(r, idx(i-int(base)-1))
 		h = h*complex(1-frac, 0) + h1*complex(frac, 0)
 	}
-	if s.opts.JitterStd > 0 {
-		h = h*complex(s.jitAtt, 0) + s.src.ComplexNormal(s.jitVar)
+	if d.opts.JitterStd > 0 {
+		h = h*complex(d.jitAtt, 0) + s.src.ComplexNormal(d.jitVar)
 	}
 	return h
 }
 
 // Predict classifies one encoded input.
-func (s *System) Predict(x []complex128) int {
+func (s *Session) Predict(x []complex128) int {
 	return cplx.Argmax(s.Logits(x))
 }
+
+// System couples a Deployment with one bound default Session, preserving
+// the pre-split single-threaded API. For concurrent inference, share the
+// embedded Deployment across per-worker Sessions.
+type System struct {
+	*Deployment
+	sess *Session
+}
+
+// Deploy solves the shared per-symbol configurations realizing w and binds
+// a default session drawing its runtime randomness from src — bit-compatible
+// with the pre-split combined implementation.
+func Deploy(w *cplx.Mat, plan *Plan, opts Options, src *rng.Source) (*System, error) {
+	d, err := NewDeployment(w, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Deployment: d, sess: d.NewSession(src)}, nil
+}
+
+// Session returns the system's bound default session.
+func (s *System) Session() *Session { return s.sess }
+
+// Sessions derives n independent per-worker sessions by splitting the
+// system's bound session source.
+func (s *System) Sessions(n int) []*Session {
+	return s.Deployment.Sessions(n, s.sess.src)
+}
+
+// Logits runs one over-the-air inference on the default session.
+func (s *System) Logits(x []complex128) []float64 { return s.sess.Logits(x) }
+
+// Predict classifies one encoded input on the default session.
+func (s *System) Predict(x []complex128) int { return s.sess.Predict(x) }

@@ -42,6 +42,46 @@ func TestSplitIndependentAndReproducible(t *testing.T) {
 	}
 }
 
+func TestSplitChildrenIndependentOfConsumptionOrder(t *testing.T) {
+	// Each child's stream is fixed at Split time: draining one sibling
+	// before or after the other must not change either stream. This is the
+	// property per-worker sessions rely on for reproducible parallel runs.
+	const draws = 100
+	drain := func(s *Source) []uint64 {
+		out := make([]uint64, draws)
+		for i := range out {
+			out[i] = s.Uint64()
+		}
+		return out
+	}
+	p1 := New(7)
+	a1, b1 := p1.Split(), p1.Split()
+	seqA1, seqB1 := drain(a1), drain(b1) // a first, then b
+
+	p2 := New(7)
+	a2, b2 := p2.Split(), p2.Split()
+	seqB2, seqA2 := drain(b2), drain(a2) // b first, then a
+
+	for i := 0; i < draws; i++ {
+		if seqA1[i] != seqA2[i] {
+			t.Fatalf("child A diverges at draw %d when sibling is consumed first", i)
+		}
+		if seqB1[i] != seqB2[i] {
+			t.Fatalf("child B diverges at draw %d when sibling is consumed first", i)
+		}
+	}
+	// And the two children are genuinely distinct streams.
+	same := 0
+	for i := 0; i < draws; i++ {
+		if seqA1[i] == seqB1[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling children produced %d/%d identical draws", same, draws)
+	}
+}
+
 func TestNormalMoments(t *testing.T) {
 	s := New(3)
 	const n = 200000

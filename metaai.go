@@ -41,6 +41,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/modem"
+	"repro/internal/ota"
 )
 
 // Config assembles one end-to-end MetaAI run; see core.Config for the full
@@ -49,6 +50,16 @@ type Config = core.Config
 
 // Pipeline is a trained and deployed MetaAI system.
 type Pipeline = core.Pipeline
+
+// Deployment is the immutable over-the-air deployment — solved metasurface
+// schedules plus channel statistics. Any number of goroutines may share one
+// Deployment; see DESIGN.md "Deployment vs Session".
+type Deployment = ota.Deployment
+
+// Session is a per-worker inference context over a shared Deployment. Each
+// session owns a private random stream and is strictly single-goroutine;
+// derive one per worker with Pipeline.Sessions(n).
+type Session = ota.Session
 
 // SyncMode selects the clock-synchronization scheme (§3.5.1 of the paper).
 type SyncMode = core.SyncMode
