@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet fuzz faultgate check bench
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,20 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the full gate: vet, plain tests, and the race detector over the
-# concurrent evaluator, sweeps, and serve paths.
-check: vet test race
+# fuzz smokes the wire-protocol decoder for 10s beyond its seeded corpus.
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s -run='^$$' ./internal/airproto
+
+# faultgate runs a tiny abl-faults sweep; the runner errors out (non-zero
+# exit) if the zero-fault-rate point is not bit-identical to the unfaulted
+# baseline.
+faultgate:
+	$(GO) run ./cmd/metaai-bench -exp abl-faults -evalcap 40
+
+# check is the full gate: vet, plain tests, the race detector over the
+# concurrent evaluator, sweeps, and serve paths, the airproto fuzz smoke,
+# and the abl-faults zero-rate identity gate.
+check: vet test race fuzz faultgate
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...

@@ -1,6 +1,9 @@
 #!/bin/sh
-# CI gate: static checks, the unit suite, and a race-detector pass over the
-# concurrent paths (EvaluateParallel, experiment sweeps, metaai-serve).
+# CI gate: static checks, the unit suite, a race-detector pass over the
+# concurrent paths (EvaluateParallel, experiment sweeps, metaai-serve), a
+# short fuzz smoke over the wire-protocol decoder, and a tiny abl-faults run
+# whose runner errors out if the zero-fault-rate point is not bit-identical
+# to the unfaulted baseline.
 set -eu
 
 echo "== go vet =="
@@ -11,5 +14,11 @@ go test ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== airproto fuzz smoke (10s) =="
+go test -fuzz=FuzzUnmarshal -fuzztime=10s -run='^$' ./internal/airproto
+
+echo "== abl-faults zero-rate bit-identity =="
+go run ./cmd/metaai-bench -exp abl-faults -evalcap 40
 
 echo "ci: all checks passed"

@@ -5,48 +5,55 @@
 // mode acts as a one-shot client for smoke testing a running server.
 //
 //	metaai-serve -dataset mnist -addr 127.0.0.1:9530 -workers 4
+//	metaai-serve -dataset mnist -fault-rate 0.3 -self-heal
 //	metaai-serve -probe 127.0.0.1:9530 -dataset mnist -timeout 5s
 //
 // The server computes during "propagation"; whoever receives the response
 // holds only per-class accumulators, never the sensor's raw data.
 //
-// Requests are handled concurrently: the deployment is immutable and shared,
-// and each worker goroutine owns one ota.Session carrying its private
-// channel-noise stream, so no lock sits on the inference path. In-flight
-// work is bounded by the request queue; when it is full the read loop blocks,
-// shedding load to the kernel's UDP buffer.
+// Requests are handled concurrently: each worker goroutine owns one
+// ota.Session over a shared immutable deployment, resolved per request
+// from an atomic pointer. -fault-rate injects the faults.Mix fault load
+// (stuck atoms, shift-register glitches, erasures, bursts, coherence
+// collapse) into the emulated hardware; -self-heal arms a health monitor
+// that watches the fleet's decision margins and, on degradation, re-solves
+// the schedule around the stuck atoms and hot-swaps the deployment with
+// zero request loss. Malformed or mis-sized frames and shed load are
+// answered with explicit airproto NACKs instead of silence.
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
 	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	metaai "repro"
 
-	"repro/internal/airproto"
-	"repro/internal/dataset"
-	"repro/internal/nn"
+	"repro/internal/faults"
+	"repro/internal/mobility"
+	"repro/internal/rng"
 )
 
 func main() {
 	var (
-		ds      = flag.String("dataset", "mnist", "dataset: "+strings.Join(metaai.Datasets(), ", "))
-		addr    = flag.String("addr", "127.0.0.1:9530", "UDP listen address")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		probe   = flag.String("probe", "", "act as a client: send one test sample to this address and exit")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent inference sessions (min 1)")
-		timeout = flag.Duration("timeout", 5*time.Second, "probe response timeout (one retry on expiry)")
+		ds        = flag.String("dataset", "mnist", "dataset: "+strings.Join(metaai.Datasets(), ", "))
+		addr      = flag.String("addr", "127.0.0.1:9530", "UDP listen address")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		probe     = flag.String("probe", "", "act as a client: send one test sample to this address and exit")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent inference sessions (min 1)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "probe per-attempt response timeout")
+		faultRate = flag.Float64("fault-rate", 0, "inject the faults.Mix fault load at this severity in [0,1]")
+		selfHeal  = flag.Bool("self-heal", false, "monitor decision margins and hot-swap a re-solved deployment on degradation")
+		healFrac  = flag.Float64("heal-frac", 0.5, "degradation threshold as a fraction of the healthy mean margin")
+		healWin   = flag.Int("heal-window", 32, "margin observations averaged per health decision")
+		healEvery = flag.Duration("heal-every", 250*time.Millisecond, "health supervisor polling period")
 	)
 	flag.Parse()
 
@@ -56,21 +63,12 @@ func main() {
 		}
 		return
 	}
-	if err := runServer(*addr, *ds, *seed, *workers); err != nil {
+	if err := runServer(*addr, *ds, *seed, *workers, *faultRate, *selfHeal, *healFrac, *healWin, *healEvery); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// request is one validated inbound frame awaiting inference.
-type request struct {
-	frame *airproto.Frame
-	from  *net.UDPAddr
-}
-
-func runServer(addr, ds string, seed uint64, workers int) error {
-	if workers < 1 {
-		workers = 1
-	}
+func runServer(addr, ds string, seed uint64, workers int, faultRate float64, selfHeal bool, healFrac float64, healWin int, healEvery time.Duration) error {
 	log.Printf("training %s pipeline and solving MTS schedules...", ds)
 	cfg := metaai.DefaultConfig(ds)
 	cfg.Seed = seed
@@ -81,6 +79,37 @@ func runServer(addr, ds string, seed uint64, workers int) error {
 	log.Printf("deployed: %d classes, U=%d symbols, sim %.1f%%, air %.1f%%",
 		pipe.Train.Classes, pipe.Train.U, 100*pipe.SimAccuracy(), 100*pipe.AirAccuracy())
 
+	serveCfg := serverConfig{
+		deployment: pipe.Deployment(),
+		workers:    workers,
+		healEvery:  healEvery,
+		sessionSrc: rng.New(seed ^ 0x5e55),
+		logf:       log.Printf,
+	}
+	if faultRate > 0 {
+		inj, err := faults.New(pipe.Deployment(), faults.Mix(faultRate), rng.New(seed^0xfa017))
+		if err != nil {
+			return err
+		}
+		serveCfg.injector = inj
+		serveCfg.deployment = inj.Deployment()
+		log.Printf("fault injection armed at rate %.2f: %d stuck atoms, residual error %.4f",
+			faultRate, len(inj.StuckAtoms()), inj.ResidualError())
+	}
+	if selfHeal {
+		// Calibrate the degradation threshold against the HEALTHY
+		// deployment's margins (the bound default session), before any
+		// injected damage.
+		probes := pipe.Test.X
+		if len(probes) > 64 {
+			probes = probes[:64]
+		}
+		serveCfg.monitor = mobility.CalibrateMonitor(pipe.System, probes, healFrac, healWin)
+		log.Printf("self-healing armed: margin threshold %.4f over a %d-readout window",
+			serveCfg.monitor.Threshold(), healWin)
+	}
+	srv := newAirServer(serveCfg)
+
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return err
@@ -90,7 +119,7 @@ func runServer(addr, ds string, seed uint64, workers int) error {
 		return err
 	}
 	defer conn.Close()
-	log.Printf("air service listening on %s with %d workers (ctrl-c to stop)", conn.LocalAddr(), workers)
+	log.Printf("air service listening on %s with %d workers (ctrl-c to stop)", conn.LocalAddr(), srv.cfg.workers)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -99,128 +128,11 @@ func runServer(addr, ds string, seed uint64, workers int) error {
 		conn.Close() // unblock the read loop
 	}()
 
-	// One independent session per worker over the shared immutable
-	// deployment; each worker consumes only its own random stream, so the
-	// fleet needs no locking and stays reproducible for a fixed seed.
-	sessions := pipe.Sessions(workers)
-	var served atomic.Int64
-	reqs := make(chan request, workers*4)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		sess := sessions[w]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for r := range reqs {
-				acc := sess.Accumulate(r.frame.Data)
-				resp := &airproto.Frame{ID: r.frame.ID, Label: r.frame.Label, Data: acc}
-				out, err := resp.Marshal()
-				if err != nil {
-					log.Printf("frame %d: %v", r.frame.ID, err)
-					continue
-				}
-				// UDPConn writes are goroutine-safe; replies interleave freely.
-				if _, err := conn.WriteToUDP(out, r.from); err != nil {
-					log.Printf("reply to %s: %v", r.from, err)
-					continue
-				}
-				if n := served.Add(1); n%50 == 0 {
-					log.Printf("served %d transmissions", n)
-				}
-			}
-		}()
+	err = srv.serve(conn)
+	if ctx.Err() != nil {
+		log.Printf("shutting down after %d transmissions (%d healed swaps, %d shed)",
+			srv.served.Load(), srv.swaps.Load(), srv.shed.Load())
+		return nil
 	}
-
-	// Read buffers are pooled per request: airproto.Unmarshal copies the
-	// symbol payload out, so a buffer returns to the pool as soon as the
-	// frame is parsed.
-	bufs := sync.Pool{New: func() interface{} { return make([]byte, 65535) }}
-	for {
-		buf := bufs.Get().([]byte)
-		n, from, err := conn.ReadFromUDP(buf)
-		if err != nil {
-			bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
-			close(reqs)   // drain: let in-flight requests finish
-			wg.Wait()
-			if ctx.Err() != nil {
-				log.Printf("shutting down after %d transmissions", served.Load())
-				return nil
-			}
-			return err
-		}
-		frame, err := airproto.Unmarshal(buf[:n])
-		bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
-		if err != nil {
-			log.Printf("bad frame from %s: %v", from, err)
-			continue
-		}
-		if len(frame.Data) != pipe.Train.U {
-			log.Printf("frame %d from %s: %d symbols, deployed for U=%d", frame.ID, from, len(frame.Data), pipe.Train.U)
-			continue
-		}
-		reqs <- request{frame: frame, from: from}
-	}
-}
-
-func runProbe(addr, ds string, seed uint64, timeout time.Duration) error {
-	if timeout <= 0 {
-		timeout = 5 * time.Second
-	}
-	cfg := metaai.DefaultConfig(ds)
-	cfg.Seed = seed
-	data := dataset.MustLoad(ds, cfg.Scale, cfg.Seed)
-	sample := data.Test[0]
-	// Encode with the same pipeline encoder the server deployed.
-	enc := nn.Encoder{Scheme: cfg.Scheme}
-	symbols := enc.Encode(sample.X)
-
-	raddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return err
-	}
-	conn, err := net.DialUDP("udp", nil, raddr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	req := &airproto.Frame{ID: 1, Label: int32(sample.Label), Data: symbols}
-	out, err := req.Marshal()
-	if err != nil {
-		return err
-	}
-	// UDP drops are expected; retry once after a timeout before giving up.
-	var resp *airproto.Frame
-	for attempt := 0; attempt < 2; attempt++ {
-		if _, err = conn.Write(out); err != nil {
-			return err
-		}
-		conn.SetReadDeadline(time.Now().Add(timeout))
-		buf := make([]byte, 65535)
-		var n int
-		n, err = conn.Read(buf)
-		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() && attempt == 0 {
-				log.Printf("probe: no response within %v, retrying once", timeout)
-				continue
-			}
-			return fmt.Errorf("no response from %s: %w", addr, err)
-		}
-		resp, err = airproto.Unmarshal(buf[:n])
-		if err != nil {
-			return err
-		}
-		break
-	}
-	if resp == nil {
-		return fmt.Errorf("no response from %s", addr)
-	}
-	best, arg := -1.0, 0
-	for r, v := range resp.Data {
-		m := real(v)*real(v) + imag(v)*imag(v)
-		if m > best {
-			best, arg = m, r
-		}
-	}
-	fmt.Printf("probe: sample label %d classified as %d over the air\n", sample.Label, arg)
-	return nil
+	return err
 }

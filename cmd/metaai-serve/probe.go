@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	metaai "repro"
+
+	"repro/internal/airproto"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// probeAttempts is how many times the probe sends its request before giving
+// up. UDP drops and degraded-server NACKs are both expected in the wild;
+// waits between attempts grow exponentially with jitter so a fleet of
+// probes does not synchronize its retries against a recovering server.
+const probeAttempts = 3
+
+// probeBackoffBase is the first retry delay; attempt k waits
+// base·2^(k−1)·jitter with jitter uniform in [0.5, 1.5).
+const probeBackoffBase = 100 * time.Millisecond
+
+func runProbe(addr, ds string, seed uint64, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	cfg := metaai.DefaultConfig(ds)
+	cfg.Seed = seed
+	data := dataset.MustLoad(ds, cfg.Scale, cfg.Seed)
+	sample := data.Test[0]
+	// Encode with the same pipeline encoder the server deployed.
+	enc := nn.Encoder{Scheme: cfg.Scheme}
+	symbols := enc.Encode(sample.X)
+
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	req := &airproto.Frame{ID: 1, Label: int32(sample.Label), Data: symbols}
+	resp, err := exchange(conn, req, timeout, probeBackoffBase, probeAttempts, rng.New(seed^0x9e0be))
+	if err != nil {
+		return fmt.Errorf("probe %s: %w", addr, err)
+	}
+	best, arg := -1.0, 0
+	for r, v := range resp.Data {
+		m := real(v)*real(v) + imag(v)*imag(v)
+		if m > best {
+			best, arg = m, r
+		}
+	}
+	fmt.Printf("probe: sample label %d classified as %d over the air\n", sample.Label, arg)
+	return nil
+}
+
+// exchange sends req and waits for THE MATCHING response: a reply whose ID
+// differs from the request's — a delayed answer to an earlier attempt, or a
+// stray datagram — is discarded and the read continues within the same
+// deadline, so it can never be mistaken for this attempt's answer. NACKs
+// are interpreted per status code: StatusDegraded is retryable (the server
+// is shedding load or healing — back off and try again); StatusWrongLen
+// and StatusBadFrame mean the request itself is wrong and retrying cannot
+// help. Each attempt after the first is preceded by a jittered exponential
+// backoff delay.
+func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.Duration, attempts int, src *rng.Source) (*airproto.Frame, error) {
+	out, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			delay := time.Duration(float64(backoffBase) * float64(int(1)<<(attempt-1)) * (0.5 + src.Float64()))
+			log.Printf("probe: attempt %d/%d failed (%v), retrying in %v", attempt, attempts, lastErr, delay.Round(time.Millisecond))
+			time.Sleep(delay)
+		}
+		if _, err := conn.Write(out); err != nil {
+			return nil, err
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		resp, err := readMatching(conn, req.ID)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				lastErr = fmt.Errorf("no response within %v", timeout)
+				continue
+			}
+			return nil, err
+		}
+		if resp.IsNack() {
+			switch resp.Code {
+			case airproto.StatusDegraded:
+				lastErr = fmt.Errorf("server degraded, asked to back off")
+				continue
+			case airproto.StatusWrongLen:
+				return nil, fmt.Errorf("server rejected frame: deployed for U=%d symbols, sent %d", resp.Label, len(req.Data))
+			default:
+				return nil, fmt.Errorf("server rejected frame as malformed (status %d)", resp.Code)
+			}
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("gave up after %d attempts: %v", attempts, lastErr)
+}
+
+// readMatching reads frames until one carries the wanted request ID,
+// discarding unparseable datagrams and mismatched IDs. A NACK with ID 0 is
+// also accepted: the server could not parse the offending request, so the
+// rejection cannot name it. The caller's read deadline bounds the loop.
+func readMatching(conn *net.UDPConn, id uint32) (*airproto.Frame, error) {
+	buf := make([]byte, 65535)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := airproto.Unmarshal(buf[:n])
+		if err != nil {
+			continue // garbage datagram: keep reading until the deadline
+		}
+		if resp.ID != id && !(resp.IsNack() && resp.ID == 0) {
+			continue // delayed reply to an earlier attempt: not our answer
+		}
+		return resp, nil
+	}
+}

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/airproto"
+	"repro/internal/faults"
+	"repro/internal/mobility"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+// epoch is one immutable serving generation: a deployment plus one session
+// per worker. Workers resolve the current epoch per request through an
+// atomic pointer, so a heal swaps the whole generation without a lock and
+// without disturbing requests already running on the previous one.
+type epoch struct {
+	d        *ota.Deployment
+	sessions []*ota.Session
+}
+
+// serverConfig assembles an airServer.
+type serverConfig struct {
+	// deployment is the serving deployment (possibly carrying injected
+	// stuck-atom damage).
+	deployment *ota.Deployment
+	// injector, when non-nil, supplies the dynamic fault hooks for every
+	// session and the masked-atom re-solve behind heal().
+	injector *faults.Injector
+	// monitor, when non-nil, arms self-healing: workers feed it decision
+	// margins and the supervisor heals when it reports degradation.
+	monitor *mobility.Monitor
+	// workers is the number of inference goroutines (min 1).
+	workers int
+	// queue bounds in-flight requests; a full queue sheds load with a
+	// StatusDegraded NACK instead of blocking the read loop. Defaults to
+	// workers*4.
+	queue int
+	// healEvery is the supervisor's polling period (default 250ms).
+	healEvery time.Duration
+	// sessionSrc seeds the per-epoch session fleets.
+	sessionSrc *rng.Source
+	// logf receives progress lines; nil silences them.
+	logf func(format string, args ...interface{})
+}
+
+// airServer answers airproto frames over UDP with over-the-air inference,
+// monitors its own health, and hot-swaps its deployment when degraded.
+type airServer struct {
+	cfg serverConfig
+	cur atomic.Pointer[epoch]
+
+	served atomic.Int64 // data frames answered
+	shed   atomic.Int64 // StatusDegraded NACKs sent (queue full)
+	nacked atomic.Int64 // bad-frame / wrong-length NACKs sent
+	swaps  atomic.Int64 // epochs published after the first
+
+	healMu sync.Mutex // serializes heal() against itself
+}
+
+func newAirServer(cfg serverConfig) *airServer {
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.queue <= 0 {
+		cfg.queue = cfg.workers * 4
+	}
+	if cfg.healEvery <= 0 {
+		cfg.healEvery = 250 * time.Millisecond
+	}
+	if cfg.sessionSrc == nil {
+		cfg.sessionSrc = rng.New(1)
+	}
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...interface{}) {}
+	}
+	s := &airServer{cfg: cfg}
+	s.cur.Store(&epoch{d: cfg.deployment, sessions: s.newSessions(cfg.deployment)})
+	return s
+}
+
+// newSessions derives one session per worker over deployment d, threading
+// the injector's dynamic fault hooks when faults are armed.
+func (s *airServer) newSessions(d *ota.Deployment) []*ota.Session {
+	out := make([]*ota.Session, s.cfg.workers)
+	for w := range out {
+		if s.cfg.injector != nil {
+			out[w] = s.cfg.injector.SessionFor(d, s.cfg.sessionSrc.Split())
+		} else {
+			out[w] = d.NewSession(s.cfg.sessionSrc.Split())
+		}
+	}
+	return out
+}
+
+// heal publishes a recovered epoch: the masked-atom re-solve when the
+// injector still carries unhealed stuck damage, a recalibration republish
+// otherwise. In-flight requests keep their old epoch's sessions — the swap
+// loses nothing.
+func (s *airServer) heal() {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	var nd *ota.Deployment
+	if in := s.cfg.injector; in != nil && !in.Healed() {
+		healed, err := in.Heal()
+		if err != nil {
+			s.cfg.logf("heal: masked re-solve failed: %v", err)
+			return
+		}
+		nd = healed
+		s.cfg.logf("heal: re-solved schedule around %d stuck atoms (residual %.4f)",
+			len(in.StuckAtoms()), in.ResidualError())
+	} else {
+		// Nothing left to re-solve: republish a recalibration at the
+		// current geometry so transient degradation gets a fresh epoch.
+		cur := s.cur.Load().d
+		nd = cur.Recomputed(cur.Options().Geometry)
+		s.cfg.logf("heal: republished recalibrated deployment")
+	}
+	s.cur.Store(&epoch{d: nd, sessions: s.newSessions(nd)})
+	if s.cfg.monitor != nil {
+		s.cfg.monitor.Reset()
+	}
+	s.swaps.Add(1)
+}
+
+// request is one validated inbound frame awaiting inference.
+type request struct {
+	frame *airproto.Frame
+	from  *net.UDPAddr
+}
+
+// serve answers frames on conn until the connection is closed (the caller
+// owns shutdown: close conn to stop). It runs the worker fleet, the read
+// loop, and — when a monitor is armed — the self-healing supervisor.
+func (s *airServer) serve(conn *net.UDPConn) error {
+	reqs := make(chan request, s.cfg.queue)
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker(conn, w, reqs)
+		}()
+	}
+
+	stopHeal := make(chan struct{})
+	var healWG sync.WaitGroup
+	if s.cfg.monitor != nil {
+		healWG.Add(1)
+		go func() {
+			defer healWG.Done()
+			t := time.NewTicker(s.cfg.healEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopHeal:
+					return
+				case <-t.C:
+					if s.cfg.monitor.Degraded() {
+						mean, _ := s.cfg.monitor.Mean()
+						s.cfg.logf("monitor: margin %.4f below threshold %.4f, healing",
+							mean, s.cfg.monitor.Threshold())
+						s.heal()
+					}
+				}
+			}
+		}()
+	}
+
+	// Read buffers are pooled per request: airproto.Unmarshal copies the
+	// symbol payload out, so a buffer returns to the pool as soon as the
+	// frame is parsed.
+	bufs := sync.Pool{New: func() interface{} { return make([]byte, 65535) }}
+	var readErr error
+	for {
+		buf := bufs.Get().([]byte)
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
+			readErr = err
+			break
+		}
+		frame, err := airproto.Unmarshal(buf[:n])
+		bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
+		if err != nil {
+			// The sender gets an explicit rejection instead of silence; the
+			// frame did not parse, so no request ID is available to echo.
+			s.cfg.logf("bad frame from %s: %v", from, err)
+			s.nack(conn, from, airproto.Nack(0, airproto.StatusBadFrame, 0))
+			continue
+		}
+		if frame.IsNack() {
+			continue // never answer a status frame with a status frame
+		}
+		u := s.cur.Load().d.InputLen()
+		if len(frame.Data) != u {
+			s.cfg.logf("frame %d from %s: %d symbols, deployed for U=%d", frame.ID, from, len(frame.Data), u)
+			s.nack(conn, from, airproto.Nack(frame.ID, airproto.StatusWrongLen, int32(u)))
+			continue
+		}
+		select {
+		case reqs <- request{frame: frame, from: from}:
+		default:
+			// Queue full: shed load explicitly. The client distinguishes
+			// this retryable NACK from a malformed-request rejection.
+			s.shed.Add(1)
+			s.nack(conn, from, airproto.Nack(frame.ID, airproto.StatusDegraded, 0))
+		}
+	}
+
+	close(reqs) // drain: let in-flight requests finish
+	wg.Wait()
+	close(stopHeal)
+	healWG.Wait()
+	return readErr
+}
+
+// worker consumes requests on its own per-epoch session. The epoch pointer
+// is resolved per request, so a heal takes effect on the next dequeue;
+// sessions are indexed by worker, so no session is ever shared.
+func (s *airServer) worker(conn *net.UDPConn, w int, reqs <-chan request) {
+	for r := range reqs {
+		ep := s.cur.Load()
+		acc := ep.sessions[w].Accumulate(r.frame.Data)
+		if mon := s.cfg.monitor; mon != nil {
+			mags := make([]float64, len(acc))
+			for i, v := range acc {
+				mags[i] = math.Hypot(real(v), imag(v))
+			}
+			mon.Observe(mags)
+		}
+		resp := &airproto.Frame{ID: r.frame.ID, Label: r.frame.Label, Data: acc}
+		out, err := resp.Marshal()
+		if err != nil {
+			s.cfg.logf("frame %d: %v", r.frame.ID, err)
+			continue
+		}
+		// UDPConn writes are goroutine-safe; replies interleave freely.
+		if _, err := conn.WriteToUDP(out, r.from); err != nil {
+			s.cfg.logf("reply to %s: %v", r.from, err)
+			continue
+		}
+		if n := s.served.Add(1); n%50 == 0 {
+			s.cfg.logf("served %d transmissions", n)
+		}
+	}
+}
+
+func (s *airServer) nack(conn *net.UDPConn, to *net.UDPAddr, f *airproto.Frame) {
+	if f.Code != airproto.StatusDegraded {
+		s.nacked.Add(1)
+	}
+	out, err := f.Marshal()
+	if err != nil {
+		return
+	}
+	if _, err := conn.WriteToUDP(out, to); err != nil {
+		s.cfg.logf("nack to %s: %v", to, err)
+	}
+}

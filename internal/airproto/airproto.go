@@ -6,10 +6,19 @@
 //
 // Frame layout (little endian):
 //
+//	uint8   kind     KindData or KindNack
+//	uint8   code     status code (0 on data frames)
 //	uint32  id       sample/transmission identifier
-//	int32   label    ground-truth label for accounting (-1 if unknown)
+//	int32   label    data: ground-truth label for accounting (-1 if unknown)
+//	                 nack: detail value (e.g. the deployed U for StatusWrongLen)
 //	uint16  n        vector length
 //	n × (float32 re, float32 im)
+//
+// NACK frames give clients an explicit failure signal instead of silence:
+// a malformed or mis-sized request is answered with KindNack and a status
+// code, and a degraded server sheds load with StatusDegraded — "healthy
+// request, busy air, retry with backoff" — which clients must treat
+// differently from a bad frame of their own making.
 package airproto
 
 import (
@@ -18,8 +27,31 @@ import (
 	"math"
 )
 
+// Frame kinds.
+const (
+	// KindData is a payload frame: symbols uplink, accumulators downlink.
+	KindData uint8 = 0
+	// KindNack is a status/negative-acknowledgement frame; Code says why and
+	// Label carries the code-specific detail.
+	KindNack uint8 = 1
+)
+
+// Status codes carried by NACK frames.
+const (
+	// StatusBadFrame: the request failed to parse; sender should fix, not
+	// retry.
+	StatusBadFrame uint8 = 1
+	// StatusWrongLen: the symbol count does not match the deployed U; the
+	// NACK's Label carries the expected U. Sender should re-encode, not
+	// retry.
+	StatusWrongLen uint8 = 2
+	// StatusDegraded: the service is degraded or shedding load; the request
+	// was well-formed and a retry with backoff is expected to succeed.
+	StatusDegraded uint8 = 3
+)
+
 // HeaderLen is the byte length of the fixed frame header.
-const HeaderLen = 10
+const HeaderLen = 12
 
 // MaxVector is the largest vector a single frame can carry (bounded by the
 // uint16 length field and a 64 KiB datagram).
@@ -27,17 +59,32 @@ const MaxVector = (65535 - HeaderLen) / 8
 
 // Frame is one protocol message.
 type Frame struct {
+	Kind  uint8
+	Code  uint8
 	ID    uint32
 	Label int32
 	Data  []complex128
 }
+
+// Nack builds a status frame answering request id with the given code;
+// detail rides the Label field (StatusWrongLen puts the deployed U there).
+func Nack(id uint32, code uint8, detail int32) *Frame {
+	return &Frame{Kind: KindNack, Code: code, ID: id, Label: detail}
+}
+
+// IsNack reports whether the frame is a status/negative acknowledgement.
+func (f *Frame) IsNack() bool { return f.Kind == KindNack }
 
 // Marshal serializes the frame.
 func (f *Frame) Marshal() ([]byte, error) {
 	if len(f.Data) > MaxVector {
 		return nil, fmt.Errorf("airproto: vector length %d exceeds %d", len(f.Data), MaxVector)
 	}
+	if f.Kind > KindNack {
+		return nil, fmt.Errorf("airproto: unknown frame kind %d", f.Kind)
+	}
 	buf := make([]byte, 0, HeaderLen+8*len(f.Data))
+	buf = append(buf, f.Kind, f.Code)
 	buf = binary.LittleEndian.AppendUint32(buf, f.ID)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Label))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Data)))
@@ -54,10 +101,18 @@ func Unmarshal(b []byte) (*Frame, error) {
 		return nil, fmt.Errorf("airproto: short frame (%d bytes)", len(b))
 	}
 	f := &Frame{
-		ID:    binary.LittleEndian.Uint32(b[0:4]),
-		Label: int32(binary.LittleEndian.Uint32(b[4:8])),
+		Kind:  b[0],
+		Code:  b[1],
+		ID:    binary.LittleEndian.Uint32(b[2:6]),
+		Label: int32(binary.LittleEndian.Uint32(b[6:10])),
 	}
-	n := int(binary.LittleEndian.Uint16(b[8:10]))
+	if f.Kind > KindNack {
+		return nil, fmt.Errorf("airproto: unknown frame kind %d", f.Kind)
+	}
+	n := int(binary.LittleEndian.Uint16(b[10:12]))
+	if n > MaxVector {
+		return nil, fmt.Errorf("airproto: vector length %d exceeds %d", n, MaxVector)
+	}
 	if len(b) < HeaderLen+8*n {
 		return nil, fmt.Errorf("airproto: truncated frame: %d bytes for n=%d", len(b), n)
 	}

@@ -90,22 +90,119 @@ func TestMarshalRejectsOversize(t *testing.T) {
 	}
 }
 
+func TestNackRoundTrip(t *testing.T) {
+	n := Nack(99, StatusWrongLen, 784)
+	b, err := n.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsNack() || got.Code != StatusWrongLen || got.ID != 99 || got.Label != 784 || len(got.Data) != 0 {
+		t.Fatalf("NACK lost fields: %+v", got)
+	}
+	if (&Frame{ID: 1}).IsNack() {
+		t.Fatal("data frame classified as NACK")
+	}
+}
+
+func TestRejectsUnknownKind(t *testing.T) {
+	b, _ := (&Frame{ID: 1, Data: []complex128{1}}).Marshal()
+	b[0] = 7
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("expected error for unknown frame kind")
+	}
+	if _, err := (&Frame{Kind: 7}).Marshal(); err == nil {
+		t.Error("expected marshal error for unknown frame kind")
+	}
+}
+
+func TestUnmarshalRejectsOversizeClaim(t *testing.T) {
+	// A header claiming more elements than any datagram can carry must be
+	// rejected on the length field itself, not by allocating first.
+	b, _ := (&Frame{ID: 1}).Marshal()
+	b[10], b[11] = 0xff, 0xff // n = 65535 > MaxVector
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("expected error for oversized length claim")
+	}
+}
+
+// fuzzCorpus seeds FuzzUnmarshal with the failure shapes the serving stack
+// meets in the wild: truncated headers, length-field lies, arbitrary
+// (non-UTF8) byte soup, and well-formed data and NACK frames. The seeds run
+// under plain `go test` as well, so the corpus is a regression suite even
+// when fuzzing is off.
+func fuzzCorpus() [][]byte {
+	data, _ := (&Frame{ID: 7, Label: 3, Data: []complex128{1 + 2i, -3 - 4i}}).Marshal()
+	nack, _ := Nack(9, StatusDegraded, 0).Marshal()
+	big, _ := (&Frame{ID: 8, Data: make([]complex128, 300)}).Marshal()
+	oversize := append([]byte(nil), data...)
+	oversize[10], oversize[11] = 0xff, 0xff // n lies far past the payload
+	return [][]byte{
+		{},                             // empty datagram
+		{0x00},                         // 1-byte runt
+		data[:HeaderLen-1],             // header cut one byte short
+		data[:HeaderLen],               // header only, payload missing
+		data[:len(data)-3],             // payload cut mid-element
+		oversize,                       // oversized length claim
+		{0xff, 0xfe, 0x80, 0x81, 0xc3, 0x28, 0xa0, 0xa1, 0x00, 0x00, 0x00, 0x00}, // non-UTF8 byte soup, header-sized
+		data,
+		nack,
+		big,
+	}
+}
+
 func FuzzUnmarshal(f *testing.F) {
-	seed, _ := (&Frame{ID: 7, Label: 3, Data: []complex128{1 + 2i}}).Marshal()
-	f.Add(seed)
-	f.Add([]byte{})
+	for _, seed := range fuzzCorpus() {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		fr, err := Unmarshal(b)
 		if err != nil {
 			return
 		}
-		// Accepted frames must re-marshal to a parseable frame.
+		if fr.Kind > KindNack {
+			t.Fatalf("accepted frame with unknown kind %d", fr.Kind)
+		}
+		if len(fr.Data) > MaxVector {
+			t.Fatalf("accepted frame with %d elements (max %d)", len(fr.Data), MaxVector)
+		}
+		// Accepted frames must re-marshal to a parseable frame that carries
+		// the same header and payload.
 		b2, err := fr.Marshal()
 		if err != nil {
 			t.Fatalf("accepted frame failed to marshal: %v", err)
 		}
-		if _, err := Unmarshal(b2); err != nil {
+		fr2, err := Unmarshal(b2)
+		if err != nil {
 			t.Fatalf("re-marshaled frame failed to parse: %v", err)
 		}
+		if fr2.Kind != fr.Kind || fr2.Code != fr.Code || fr2.ID != fr.ID || fr2.Label != fr.Label || len(fr2.Data) != len(fr.Data) {
+			t.Fatalf("round trip changed header: %+v vs %+v", fr2, fr)
+		}
+		for i := range fr.Data {
+			b1 := [2]uint32{math.Float32bits(float32(real(fr.Data[i]))), math.Float32bits(float32(imag(fr.Data[i])))}
+			b2 := [2]uint32{math.Float32bits(float32(real(fr2.Data[i]))), math.Float32bits(float32(imag(fr2.Data[i])))}
+			if b1 != b2 {
+				t.Fatalf("round trip changed element %d: %v vs %v", i, fr.Data[i], fr2.Data[i])
+			}
+		}
 	})
+}
+
+// TestFuzzCorpusSeeded runs the seed corpus through the fuzz invariant in a
+// plain test, so the regression coverage does not depend on -fuzz being
+// enabled in CI.
+func TestFuzzCorpusSeeded(t *testing.T) {
+	for i, b := range fuzzCorpus() {
+		fr, err := Unmarshal(b)
+		if err != nil {
+			continue // rejection is a valid outcome; the fuzz target checks the rest
+		}
+		if _, err := fr.Marshal(); err != nil {
+			t.Errorf("corpus %d: accepted frame failed to marshal: %v", i, err)
+		}
+	}
 }

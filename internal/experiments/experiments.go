@@ -292,7 +292,7 @@ var paperOrder = []string{
 	"fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28",
 	"fig29", "fig30", "fig31", "table2", "table3",
 	"ext-compensation", "ext-mobility", "ext-deepmodel", "ext-feedback",
-	"abl-quantize", "abl-solver", "abl-subsamples", "abl-injector", "abl-jitter", "ext-perclass",
+	"abl-quantize", "abl-solver", "abl-subsamples", "abl-injector", "abl-jitter", "abl-faults", "ext-perclass",
 }
 
 // IDs lists the registered experiment ids in paper order; any runner not in

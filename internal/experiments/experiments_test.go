@@ -243,6 +243,31 @@ func TestAblSolverShape(t *testing.T) {
 	}
 }
 
+func TestAblFaultsRecovery(t *testing.T) {
+	// The degraded-mode acceptance sweep: the runner itself errors if the
+	// zero-rate point is not bit-identical to the unfaulted baseline, so a
+	// clean return already proves the zero-is-free invariant. On top of
+	// that, the mid fault rate must show real degradation and the masked
+	// re-solve must win back at least half of it.
+	res, err := Run("abl-faults", quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ablFaultRates) {
+		t.Fatalf("%d rows for %d rates", len(res.Rows), len(ablFaultRates))
+	}
+	baseline := cell(t, res.Rows[0][2])
+	mid := res.Rows[len(res.Rows)/2]
+	faulted, healed := cell(t, mid[2]), cell(t, mid[3])
+	if faulted >= baseline {
+		t.Fatalf("mid fault rate %v caused no degradation: faulted %v vs baseline %v", mid[0], faulted, baseline)
+	}
+	if rec := cell(t, mid[4]); rec < 50 {
+		t.Fatalf("self-healing recovered only %v%% of the mid-rate degradation (faulted %v, healed %v, baseline %v)",
+			rec, faulted, healed, baseline)
+	}
+}
+
 func TestFig12CDF(t *testing.T) {
 	res, err := Run("fig12", quickCtx())
 	if err != nil {

@@ -1,0 +1,260 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cplx"
+	"repro/internal/mts"
+	"repro/internal/ota"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// randomWeights builds a small deployable weight matrix without training a
+// model: magnitudes and phases drawn from one seeded stream, so every test
+// works against the same surface-realizable targets.
+func randomWeights(classes, u int, seed uint64) *cplx.Mat {
+	src := rng.New(seed)
+	w := cplx.NewMat(classes, u)
+	for i := range w.Data {
+		w.Data[i] = cplx.Expi(src.Phase()) * complex(0.5+src.Float64(), 0)
+	}
+	return w
+}
+
+func deploy(t testing.TB, seed uint64) *ota.Deployment {
+	t.Helper()
+	src := rng.New(seed)
+	d, err := ota.NewDeployment(randomWeights(4, 16, 7), ota.NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func inputs(u, n int, seed uint64) [][]complex128 {
+	src := rng.New(seed)
+	out := make([][]complex128, n)
+	for i := range out {
+		x := make([]complex128, u)
+		for j := range x {
+			x[j] = cplx.Expi(src.Phase())
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func TestZeroRatesBitIdentical(t *testing.T) {
+	// The tentpole invariant: an injector whose rates are all zero must hand
+	// out sessions whose accumulators are bit-identical to plain sessions of
+	// the same deployment under the same session seed.
+	d := deploy(t, 11)
+	in, err := New(d, Rates{}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Deployment() != d {
+		t.Fatal("zero-rate injector replaced the deployment")
+	}
+	plain := d.NewSession(rng.New(99))
+	faulted := in.Session(rng.New(99))
+	for i, x := range inputs(d.InputLen(), 25, 5) {
+		a, b := plain.Accumulate(x), faulted.Accumulate(x)
+		for r := range a {
+			if a[r] != b[r] {
+				t.Fatalf("input %d class %d: zero-rate accumulator %v != plain %v", i, r, b[r], a[r])
+			}
+		}
+	}
+}
+
+func TestZeroRatesBitIdenticalParallel(t *testing.T) {
+	src := rng.New(13)
+	opts := parallel.NewOptions(src.Split())
+	plan, err := parallel.NewAntennaPlan(opts.Surface, mts.DefaultGeometry(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := parallel.NewDeployment(randomWeights(4, 16, 7), plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewParallel(d, Rates{}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Deployment() != d {
+		t.Fatal("zero-rate parallel injector replaced the deployment")
+	}
+	plain := d.NewSession(rng.New(99))
+	faulted := in.Session(rng.New(99))
+	for i, x := range inputs(d.InputLen(), 25, 5) {
+		a, b := plain.Logits(x), faulted.Logits(x)
+		for r := range a {
+			if a[r] != b[r] {
+				t.Fatalf("input %d class %d: zero-rate logit %v != plain %v", i, r, b[r], a[r])
+			}
+		}
+	}
+}
+
+func TestMixShape(t *testing.T) {
+	if !Mix(0).Zero() {
+		t.Fatal("Mix(0) is not the zero configuration")
+	}
+	if Mix(0.5).Zero() {
+		t.Fatal("Mix(0.5) reports zero")
+	}
+	if !(Rates{}).Zero() {
+		t.Fatal("zero value does not report Zero")
+	}
+	if (Rates{BurstProb: 0.1}).Zero() {
+		t.Fatal("burst-only rates report Zero")
+	}
+	// Rates above 1 clamp rather than overflowing the stuck fraction.
+	if got := Mix(3).StuckAtomFrac; got != 1 {
+		t.Fatalf("Mix(3).StuckAtomFrac = %v, want 1", got)
+	}
+}
+
+func TestStuckAtomsDeterministicAndDamaging(t *testing.T) {
+	d := deploy(t, 11)
+	mk := func() *Injector {
+		in, err := New(d, Rates{StuckAtomFrac: 0.15}, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	if len(a.StuckAtoms()) == 0 {
+		t.Fatal("no atoms stuck at frac 0.15")
+	}
+	atoms := d.Options().Surface.Atoms()
+	for m, st := range a.StuckAtoms() {
+		if m < 0 || m >= atoms {
+			t.Fatalf("stuck atom %d out of range", m)
+		}
+		if got, ok := b.StuckAtoms()[m]; !ok || got != st {
+			t.Fatalf("stuck population not deterministic: atom %d", m)
+		}
+	}
+	if a.ResidualError() <= 0 {
+		t.Fatal("stuck atoms left zero residual error")
+	}
+	// And the damaged sessions replay deterministically too.
+	sa, sb := a.Session(rng.New(99)), b.Session(rng.New(99))
+	for _, x := range inputs(d.InputLen(), 10, 5) {
+		va, vb := sa.Accumulate(x), sb.Accumulate(x)
+		for r := range va {
+			if va[r] != vb[r] {
+				t.Fatal("identical-seed faulted sessions diverge")
+			}
+		}
+	}
+}
+
+func TestHealReducesResidualError(t *testing.T) {
+	d := deploy(t, 11)
+	in, err := New(d, Rates{StuckAtomFrac: 0.2}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := in.ResidualError()
+	healed, err := in.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Healed() {
+		t.Fatal("Healed() false after Heal")
+	}
+	if in.Deployment() != healed {
+		t.Fatal("Heal did not install the healed deployment")
+	}
+	after := in.ResidualError()
+	if after >= broken {
+		t.Fatalf("Heal did not reduce residual error: %v -> %v", broken, after)
+	}
+	// The healed schedule must still pin the stuck atoms: the hardware
+	// cannot move them, so the solve may only steer the healthy ones.
+	for r := range healed.Schedule {
+		for i := range healed.Schedule[r] {
+			for m, st := range in.StuckAtoms() {
+				if healed.Schedule[r][i][m] != st {
+					t.Fatalf("healed schedule moves stuck atom %d", m)
+				}
+			}
+		}
+	}
+}
+
+func TestHealNoopWithoutStuckAtoms(t *testing.T) {
+	d := deploy(t, 11)
+	in, err := New(d, Rates{BurstProb: 0.5}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed, err := in.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed != d {
+		t.Fatal("Heal with no stuck atoms should return the original deployment")
+	}
+}
+
+func TestDynamicFaultsPerturb(t *testing.T) {
+	// Each dynamic process alone must move at least one accumulator relative
+	// to a plain session with the same session seed.
+	d := deploy(t, 11)
+	cases := map[string]Rates{
+		"erasure":  {ErasureProb: 0.5},
+		"glitch":   {RowGlitchProb: 0.5},
+		"burst":    {BurstProb: 1},
+		"collapse": {KCollapseProb: 1},
+	}
+	xs := inputs(d.InputLen(), 5, 5)
+	for name, rates := range cases {
+		in, err := New(d, rates, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := d.NewSession(rng.New(99))
+		faulted := in.Session(rng.New(99))
+		moved := false
+		for _, x := range xs {
+			a, b := plain.Accumulate(x), faulted.Accumulate(x)
+			for r := range a {
+				if a[r] != b[r] {
+					moved = true
+				}
+				if math.IsNaN(real(b[r])) || math.IsNaN(imag(b[r])) {
+					t.Fatalf("%s: NaN accumulator", name)
+				}
+			}
+		}
+		if !moved {
+			t.Errorf("%s faults at high rate left every accumulator untouched", name)
+		}
+	}
+}
+
+func TestSessionsFleet(t *testing.T) {
+	d := deploy(t, 11)
+	in, err := New(d, Mix(0.2), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := in.Sessions(3, rng.New(99))
+	if len(ss) != 3 {
+		t.Fatalf("Sessions(3) returned %d", len(ss))
+	}
+	x := inputs(d.InputLen(), 1, 5)[0]
+	for _, s := range ss {
+		if got := len(s.Accumulate(x)); got != d.Classes() {
+			t.Fatalf("accumulator length %d, want %d", got, d.Classes())
+		}
+	}
+}

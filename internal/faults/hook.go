@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"repro/internal/rng"
+)
+
+// hook implements ota.FaultHook (and, via the type alias, parallel's): the
+// per-session dynamic fault processes — row glitches, symbol erasures,
+// burst interference windows, and transient coherence collapse. One hook
+// serves exactly one session and draws every decision from its own split of
+// the injector's stream, so the session's randomness — and with all rates
+// zero, its accumulators — are untouched.
+type hook struct {
+	rates    Rates
+	src      *rng.Source
+	u        int
+	burstVar float64 // per-sample interference variance when a burst fires
+	glitch   func(r, i int, src *rng.Source) complex128
+
+	// Per-transmission state, drawn in BeginTransmission.
+	kVar         float64
+	bStart, bEnd int
+}
+
+// BeginTransmission draws this replay's burst window and coherence state.
+func (h *hook) BeginTransmission(int) {
+	h.kVar = 0
+	if h.rates.KCollapseProb > 0 && h.src.Bernoulli(h.rates.KCollapseProb) {
+		h.kVar = h.rates.KCollapseVar
+	}
+	h.bStart, h.bEnd = -1, -1
+	if h.rates.BurstProb > 0 && h.src.Bernoulli(h.rates.BurstProb) {
+		n := int(h.rates.BurstLenFrac * float64(h.u))
+		if n < 1 {
+			n = 1
+		}
+		h.bStart = h.src.IntN(h.u)
+		h.bEnd = h.bStart + n
+	}
+}
+
+// Symbol applies the dynamic faults to one per-symbol term.
+func (h *hook) Symbol(r, i int, hv, x complex128) (complex128, complex128, complex128) {
+	if h.kVar > 0 {
+		// Coherence collapse: the dominant quasi-static component gives way
+		// to per-symbol scatter — multiplicative complex fading on the MTS
+		// path, which breaks the accumulation's coherent gain.
+		hv *= 1 + h.src.ComplexNormal(h.kVar)
+	}
+	if h.rates.RowGlitchProb > 0 && h.src.Bernoulli(h.rates.RowGlitchProb) {
+		hv += h.glitch(r, i, h.src)
+	}
+	if h.rates.ErasureProb > 0 && h.src.Bernoulli(h.rates.ErasureProb) {
+		x = 0
+	}
+	var extra complex128
+	if i >= h.bStart && i < h.bEnd {
+		extra = h.src.ComplexNormal(h.burstVar)
+	}
+	return hv, x, extra
+}

@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"repro/internal/cplx"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// ParInjector is Injector for the parallel (subcarrier/antenna) schemes:
+// the same deterministic fault repertoire over a parallel.Deployment. The
+// parallel layer has no masked re-solve yet — the joint multi-target solver
+// would need per-channel masking — so ParInjector injects but does not
+// Heal; degraded parallel serving falls back to the sequential scheme.
+type ParInjector struct {
+	rates  Rates
+	src    *rng.Source
+	orig   *parallel.Deployment
+	cur    *parallel.Deployment
+	stuck  map[int]uint8
+	sigRMS float64
+}
+
+// NewParallel draws the static fault population for a parallel deployment,
+// mirroring New.
+func NewParallel(d *parallel.Deployment, rates Rates, src *rng.Source) (*ParInjector, error) {
+	in := &ParInjector{rates: rates.withDefaults(), src: src, orig: d, cur: d}
+	in.sigRMS = matRMS(d.Realized)
+	surface := d.Options().Surface
+	in.stuck = drawStuck(surface, rates.StuckAtomFrac, src)
+	if len(in.stuck) > 0 {
+		faulted, err := d.WithResponses(parStuckResponses(d, in.stuck))
+		if err != nil {
+			return nil, err
+		}
+		in.cur = faulted
+	}
+	return in, nil
+}
+
+// parStuckResponses re-evaluates what the damaged surface plays for every
+// (output, symbol): group g's shared configuration with the stuck atoms
+// forced, seen through output r's own path phases.
+func parStuckResponses(d *parallel.Deployment, stuck map[int]uint8) *cplx.Mat {
+	surface := d.Options().Surface
+	plan := d.Plan()
+	out := cplx.NewMat(d.Classes(), d.InputLen())
+	for g := 0; g < d.Transmissions(); g++ {
+		group := d.Group(g)
+		for i := 0; i < d.InputLen(); i++ {
+			cfg := overrideStuck(d.Configs[g][i], stuck)
+			for ci, r := range group {
+				out.Set(r, i, surface.Response(cfg, plan.Paths[ci]))
+			}
+		}
+	}
+	return out
+}
+
+// Rates returns the injector's fault configuration.
+func (in *ParInjector) Rates() Rates { return in.rates }
+
+// Deployment returns the current (stuck-atom-faulted) serving deployment.
+func (in *ParInjector) Deployment() *parallel.Deployment { return in.cur }
+
+// StuckAtoms returns the stuck-atom diagnosis. The map is shared; callers
+// must not modify it.
+func (in *ParInjector) StuckAtoms() map[int]uint8 { return in.stuck }
+
+// Session derives one faulted per-worker session; see Injector.Session.
+func (in *ParInjector) Session(src *rng.Source) *parallel.Session {
+	return in.cur.NewSession(src).SetFaultHook(in.newHook(in.cur))
+}
+
+// Sessions derives n independent faulted sessions via seeded splits of src.
+func (in *ParInjector) Sessions(n int, src *rng.Source) []*parallel.Session {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*parallel.Session, n)
+	for i := range out {
+		out[i] = in.Session(src.Split())
+	}
+	return out
+}
+
+func (in *ParInjector) newHook(d *parallel.Deployment) *hook {
+	return &hook{
+		rates:    in.rates,
+		src:      in.src.Split(),
+		u:        d.InputLen(),
+		burstVar: in.rates.BurstPower * in.rates.BurstPower * in.sigRMS * in.sigRMS,
+		glitch:   parGlitch(d),
+	}
+}
+
+// parGlitch is otaGlitch for the parallel engine: the glitched row keeps the
+// previous symbol's states of the GROUP's shared configuration, and the
+// delta is evaluated through the faulted output's own path phases. The
+// group is recovered from the output index by the deployment's contiguous
+// partitioning.
+func parGlitch(d *parallel.Deployment) func(r, i int, src *rng.Source) complex128 {
+	surface := d.Options().Surface
+	plan := d.Plan()
+	c := plan.Channels()
+	u := d.InputLen()
+	return func(r, i int, src *rng.Source) complex128 {
+		g, ci := r/c, r%c
+		prev := d.Configs[g][(i-1+u)%u]
+		cfg := d.Configs[g][i].Clone()
+		row := src.IntN(surface.Rows)
+		for col := 0; col < surface.Cols; col++ {
+			a := row*surface.Cols + col
+			cfg[a] = prev[a]
+		}
+		return surface.Response(cfg, plan.Paths[ci]) - d.Realized.At(r, i)
+	}
+}

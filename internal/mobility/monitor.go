@@ -1,0 +1,106 @@
+package mobility
+
+import (
+	"sync"
+
+	"repro/internal/nn"
+)
+
+// Monitor is the concurrency-safe serving-side counterpart of Feedback: any
+// number of worker goroutines record the decision margin of every readout
+// they produce, and a supervisor polls Degraded to decide when the air has
+// gone bad enough to recalibrate or heal. Like Feedback, it watches the
+// windowed mean of the normalized best-vs-second margin — margins collapse
+// before accuracy does, so the signal needs no ground-truth labels.
+type Monitor struct {
+	mu        sync.Mutex
+	threshold float64
+	window    int
+	recent    []float64 // ring buffer of the last `window` margins
+	idx       int
+	filled    bool
+	observed  int64
+}
+
+// NewMonitor builds a monitor that flags degradation when the mean margin
+// over the last window observations falls below threshold. window
+// defaults to 32.
+func NewMonitor(threshold float64, window int) *Monitor {
+	if window < 1 {
+		window = 32
+	}
+	return &Monitor{threshold: threshold, window: window, recent: make([]float64, window)}
+}
+
+// CalibrateMonitor measures the healthy deployment's mean margin over the
+// probe inputs and returns a monitor whose threshold is frac of it
+// (frac defaults to 0.5 outside (0, 1)). Call it against a fresh, unfaulted
+// predictor before serving starts.
+func CalibrateMonitor(p nn.LogitsPredictor, probes [][]complex128, frac float64, window int) *Monitor {
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	return NewMonitor(frac*MeanMargin(p, probes), window)
+}
+
+// Observe records one readout's margin. Safe for concurrent use.
+func (m *Monitor) Observe(logits []float64) { m.ObserveMargin(Margin(logits)) }
+
+// ObserveMargin records one already-computed margin. Safe for concurrent
+// use.
+func (m *Monitor) ObserveMargin(mg float64) {
+	m.mu.Lock()
+	m.recent[m.idx] = mg
+	m.idx++
+	if m.idx == m.window {
+		m.idx = 0
+		m.filled = true
+	}
+	m.observed++
+	m.mu.Unlock()
+}
+
+// Mean returns the mean margin over the trailing window and whether the
+// window has filled since the last Reset.
+func (m *Monitor) Mean() (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.filled {
+		return 0, false
+	}
+	var sum float64
+	for _, v := range m.recent {
+		sum += v
+	}
+	return sum / float64(m.window), true
+}
+
+// Degraded reports whether the trailing window has filled AND its mean
+// margin sits below the threshold.
+func (m *Monitor) Degraded() bool {
+	mean, ok := m.Mean()
+	return ok && mean < m.threshold
+}
+
+// Reset clears the window — call after a recalibration or heal, so the
+// decision reflects only post-recovery readouts.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	m.idx = 0
+	m.filled = false
+	for i := range m.recent {
+		m.recent[i] = 0
+	}
+	m.mu.Unlock()
+}
+
+// Threshold returns the degradation threshold.
+func (m *Monitor) Threshold() float64 { return m.threshold }
+
+// Observed returns the total number of margins recorded over the monitor's
+// lifetime (Reset does not clear it).
+func (m *Monitor) Observed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observed
+}

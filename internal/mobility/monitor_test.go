@@ -1,0 +1,81 @@
+package mobility
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMonitorWindowAndThreshold(t *testing.T) {
+	m := NewMonitor(0.5, 4)
+	if m.Degraded() {
+		t.Fatal("empty monitor reports degraded")
+	}
+	for i := 0; i < 3; i++ {
+		m.ObserveMargin(0.1)
+	}
+	if m.Degraded() {
+		t.Fatal("degraded before the window filled")
+	}
+	m.ObserveMargin(0.1)
+	if !m.Degraded() {
+		t.Fatal("collapsed margins not flagged")
+	}
+	if mean, ok := m.Mean(); !ok || mean != 0.1 {
+		t.Fatalf("mean = %v, %v; want 0.1, true", mean, ok)
+	}
+	// Healthy margins push the window mean back over the threshold.
+	for i := 0; i < 4; i++ {
+		m.ObserveMargin(0.9)
+	}
+	if m.Degraded() {
+		t.Fatal("healthy window still flagged")
+	}
+	m.Reset()
+	if _, ok := m.Mean(); ok {
+		t.Fatal("Reset did not clear the window")
+	}
+	if m.Observed() != 8 {
+		t.Fatalf("Observed = %d, want 8 (Reset must not clear the lifetime count)", m.Observed())
+	}
+}
+
+func TestMonitorConcurrent(t *testing.T) {
+	// Hammer the monitor from many goroutines under -race; the final count
+	// must be exact.
+	m := NewMonitor(0.5, 16)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.ObserveMargin(0.3)
+				m.Degraded()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Observed() != workers*per {
+		t.Fatalf("Observed = %d, want %d", m.Observed(), workers*per)
+	}
+	if !m.Degraded() {
+		t.Fatal("uniformly low margins not flagged")
+	}
+}
+
+func TestCalibrateMonitorFraction(t *testing.T) {
+	// A predictor with fixed logits has a fixed margin; the calibrated
+	// threshold must be frac of it.
+	p := constLogits{0.2, 1.0}
+	probes := [][]complex128{{1}, {1}}
+	m := CalibrateMonitor(p, probes, 0.5, 4)
+	want := 0.5 * Margin([]float64{0.2, 1.0})
+	if m.Threshold() != want {
+		t.Fatalf("threshold = %v, want %v", m.Threshold(), want)
+	}
+}
+
+type constLogits []float64
+
+func (c constLogits) Logits([]complex128) []float64 { return c }

@@ -1,0 +1,112 @@
+package mts
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/cplx"
+	"repro/internal/rng"
+)
+
+// maskedTargets draws realizable-scale solve targets against the prototype
+// surface's maximum coherent response.
+func maskedTargets(s *Surface, pp []float64, n int, seed uint64) []complex128 {
+	src := rng.New(seed)
+	maxR := s.MaxResponse(pp)
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = cplx.Expi(src.Phase()) * complex(0.6*maxR*src.Float64(), 0)
+	}
+	return out
+}
+
+func TestSolveTargetMaskedEmptyPinIsSolveTarget(t *testing.T) {
+	// With nothing pinned the masked solver must degrade to SolveTarget bit
+	// for bit — the solver-side zero-is-free invariant.
+	s := Prototype(rng.New(3))
+	pp := s.PathPhases(DefaultGeometry())
+	for i, target := range maskedTargets(s, pp, 20, 5) {
+		cfgA, gotA := s.SolveTarget(target, pp)
+		cfgB, gotB := s.SolveTargetMasked(target, pp, nil)
+		if gotA != gotB {
+			t.Fatalf("target %d: masked response %v != plain %v", i, gotB, gotA)
+		}
+		for m := range cfgA {
+			if cfgA[m] != cfgB[m] {
+				t.Fatalf("target %d: masked config differs at atom %d", i, m)
+			}
+		}
+	}
+}
+
+func TestSolveTargetMaskedPinsAtoms(t *testing.T) {
+	s := Prototype(rng.New(3))
+	pp := s.PathPhases(DefaultGeometry())
+	src := rng.New(9)
+	pinned := map[int]uint8{}
+	for len(pinned) < 40 {
+		pinned[src.IntN(s.Atoms())] = uint8(src.IntN(len(s.States())))
+	}
+	for i, target := range maskedTargets(s, pp, 10, 5) {
+		cfg, got := s.SolveTargetMasked(target, pp, pinned)
+		for m, st := range pinned {
+			if cfg[m] != st {
+				t.Fatalf("target %d: pinned atom %d solved to %d, want %d", i, m, cfg[m], st)
+			}
+		}
+		// The returned response must be the surface's own evaluation of the
+		// returned configuration (what the faulty hardware actually plays).
+		if want := s.Response(cfg, pp); cmplx.Abs(got-want) > 1e-9 {
+			t.Fatalf("target %d: returned response %v != evaluated %v", i, got, want)
+		}
+	}
+}
+
+func TestMaskedSolveBeatsNaiveOverride(t *testing.T) {
+	// Re-solving around the stuck atoms must approximate the targets better
+	// than latching the stuck atoms into the healthy solution — otherwise
+	// degraded-mode healing would be pointless.
+	s := Prototype(rng.New(3))
+	pp := s.PathPhases(DefaultGeometry())
+	src := rng.New(9)
+	pinned := map[int]uint8{}
+	for len(pinned) < 50 {
+		pinned[src.IntN(s.Atoms())] = uint8(src.IntN(len(s.States())))
+	}
+	targets := maskedTargets(s, pp, 25, 5)
+	var naive, healed float64
+	for _, target := range targets {
+		cfg, _ := s.SolveTarget(target, pp)
+		for m, st := range pinned {
+			cfg[m] = st
+		}
+		naive += cmplx.Abs(s.Response(cfg, pp) - target)
+		_, got := s.SolveTargetMasked(target, pp, pinned)
+		healed += cmplx.Abs(got - target)
+	}
+	if healed >= naive {
+		t.Fatalf("masked solve error %v not below naive override error %v", healed, naive)
+	}
+}
+
+func TestMaskedSolveError(t *testing.T) {
+	s := Prototype(rng.New(3))
+	pp := s.PathPhases(DefaultGeometry())
+	if got := s.MaskedSolveError(nil, pp, nil); got != 0 {
+		t.Fatalf("MaskedSolveError with no targets = %v, want 0", got)
+	}
+	targets := maskedTargets(s, pp, 10, 5)
+	free := s.MaskedSolveError(targets, pp, nil)
+	// Light pinning can land the coordinate descent in a different (even
+	// better) basin, so only near-total pinning gives a guaranteed ordering:
+	// with 16 of 256 atoms free the solver cannot track the targets.
+	src := rng.New(9)
+	pinned := map[int]uint8{}
+	for len(pinned) < s.Atoms()-16 {
+		pinned[src.IntN(s.Atoms())] = uint8(src.IntN(len(s.States())))
+	}
+	stuck := s.MaskedSolveError(targets, pp, pinned)
+	if stuck <= free {
+		t.Fatalf("near-total pinning solve error %v not above free error %v", stuck, free)
+	}
+}

@@ -156,6 +156,7 @@ type Deployment struct {
 	calMTSPhase complex128 // calibrated MTS-path phase (coherent reference)
 	envScale    float64    // physical scale of the environment term
 	truePP      []float64  // true path phases, kept for exact-jitter replay
+	estPP       []float64  // solver-side path phases (ideal surface, estimated geometry)
 }
 
 // NewDeployment solves the MTS schedule realizing the trained weight matrix
@@ -262,6 +263,7 @@ func NewDeployment(w *cplx.Mat, opts Options, src *rng.Source) (*Deployment, err
 	}
 	d.sigRMS = math.Sqrt(sumSq / float64(len(d.Realized.Data)))
 	d.truePP = truePP
+	d.estPP = estPP
 	if !d.compensate {
 		d.envScale = d.sigRMS
 	}
@@ -330,26 +332,104 @@ func (d *Deployment) QuantizationError(w *cplx.Mat) float64 {
 //
 // Recompute is the one sanctioned mutation of a Deployment. It is NOT safe
 // to call while sessions are running concurrently; quiesce inference first
-// (package mobility's Tracker advances time single-threaded).
+// (package mobility's Tracker advances time single-threaded), or use
+// Recomputed to build a fresh deployment and swap it behind an atomic
+// pointer while readers keep using the old one.
 func (d *Deployment) Recompute(geom mts.Geometry) *Deployment {
 	truePP := d.opts.Surface.PathPhases(geom)
-	var sumSq float64
 	for r := 0; r < d.classes; r++ {
 		for c := 0; c < d.u; c++ {
-			h := d.opts.Surface.Response(d.Schedule[r][c], truePP)
-			d.Realized.Set(r, c, h)
-			sumSq += real(h)*real(h) + imag(h)*imag(h)
+			d.Realized.Set(r, c, d.opts.Surface.Response(d.Schedule[r][c], truePP))
 		}
 	}
-	d.sigRMS = math.Sqrt(sumSq / float64(len(d.Realized.Data)))
 	d.truePP = truePP
+	d.opts.Geometry = geom
+	d.refreshFromRealized()
+	return d
+}
+
+// Recomputed is the copy-on-write variant of Recompute: the receiver is left
+// untouched and a NEW deployment re-evaluated under geom is returned. This
+// is the swap-safe recalibration path: publish the result behind an
+// atomic.Pointer while any number of concurrent sessions keep reading the
+// old deployment, then derive fresh sessions from the new one.
+func (d *Deployment) Recomputed(geom mts.Geometry) *Deployment {
+	return d.clone().Recompute(geom)
+}
+
+// clone returns a deep-enough copy for independent recalibration: the
+// realized-response matrix is owned by the copy, while the solved schedule,
+// path phases, and channel model — all read-only after deployment — stay
+// shared.
+func (d *Deployment) clone() *Deployment {
+	cp := *d
+	cp.Realized = d.Realized.Clone()
+	return &cp
+}
+
+// refreshFromRealized re-derives every statistic that depends on the
+// realized-response matrix (signal RMS, environment scale, noise variance).
+func (d *Deployment) refreshFromRealized() {
+	var sumSq float64
+	for _, h := range d.Realized.Data {
+		sumSq += real(h)*real(h) + imag(h)*imag(h)
+	}
+	d.sigRMS = math.Sqrt(sumSq / float64(len(d.Realized.Data)))
 	if !d.compensate {
 		d.envScale = d.sigRMS
 	}
-	d.opts.Geometry = geom
-	d.refreshDerived(geom)
-	return d
+	d.refreshDerived(d.opts.Geometry)
 }
+
+// WithResponses returns a copy of the deployment whose physically realized
+// response matrix is replaced by realized (classes×U), with every derived
+// statistic refreshed. This is the hook the fault-injection layer uses to
+// model hardware defects — stuck meta-atoms change what the surface plays
+// without changing what the solver intended, so the schedule stays and only
+// the realized responses move.
+func (d *Deployment) WithResponses(realized *cplx.Mat) (*Deployment, error) {
+	if realized.Rows != d.classes || realized.Cols != d.u {
+		return nil, fmt.Errorf("ota: responses %dx%d for a %dx%d deployment", realized.Rows, realized.Cols, d.classes, d.u)
+	}
+	cp := *d
+	cp.Realized = realized
+	cp.refreshFromRealized()
+	return &cp, nil
+}
+
+// WithSchedule returns a copy of the deployment playing a replacement
+// schedule (classes×U configurations), its realized responses re-evaluated
+// under the deployment's current true geometry. This is the degraded-mode
+// re-solve path: heal a faulted deployment by re-solving the schedule
+// around known-bad atoms, then publish the result behind an atomic pointer
+// with zero disruption to sessions on the old one.
+func (d *Deployment) WithSchedule(schedule [][]mts.Config) (*Deployment, error) {
+	if len(schedule) != d.classes {
+		return nil, fmt.Errorf("ota: schedule has %d outputs, deployment has %d", len(schedule), d.classes)
+	}
+	for r, row := range schedule {
+		if len(row) != d.u {
+			return nil, fmt.Errorf("ota: schedule output %d has %d symbols, deployment has %d", r, len(row), d.u)
+		}
+	}
+	cp := *d
+	cp.Schedule = schedule
+	cp.Realized = cplx.NewMat(d.classes, d.u)
+	for r := 0; r < d.classes; r++ {
+		for c := 0; c < d.u; c++ {
+			cp.Realized.Set(r, c, d.opts.Surface.Response(schedule[r][c], d.truePP))
+		}
+	}
+	cp.refreshFromRealized()
+	return &cp, nil
+}
+
+// EstPathPhases returns the solver-side per-atom path phases the schedule
+// was solved against: the ideal (fabrication-free) surface at the estimated
+// receiver angle. Degraded-mode re-solves must target this frame — not the
+// true phases, which deployment never observes. The slice is shared; callers
+// must not modify it.
+func (d *Deployment) EstPathPhases() []float64 { return d.estPP }
 
 // TransmissionsPerInference returns how many sequential replays one
 // inference costs without parallelism (§3.3: R transmissions).

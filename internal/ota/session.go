@@ -16,8 +16,35 @@ import (
 // used from more than one goroutine at a time, but any number of Sessions
 // may run concurrently against the same Deployment.
 type Session struct {
-	d   *Deployment
-	src *rng.Source
+	d    *Deployment
+	src  *rng.Source
+	hook FaultHook
+}
+
+// FaultHook intercepts a Session's per-symbol physics to inject discrete
+// hardware and channel faults (package faults implements the repertoire:
+// shift-register glitches, symbol erasures, burst interference, coherence
+// collapse). A hook belongs to exactly one session and must draw randomness
+// only from its own sources — never from the session's — so that a hook
+// whose fault rates are all zero leaves the session's random stream, and
+// therefore its accumulators, bit-identical to an unhooked run.
+type FaultHook interface {
+	// BeginTransmission is called once before each output replay r, letting
+	// per-transmission fault processes draw their windows.
+	BeginTransmission(r int)
+	// Symbol may perturb one per-symbol term: h is the effective MTS
+	// response (after sync blending, jitter, and channel scaling), x the
+	// data symbol. It returns the possibly perturbed pair plus an additive
+	// interference sample (zero when no interference fires).
+	Symbol(r, i int, h, x complex128) (hOut, xOut, interference complex128)
+}
+
+// SetFaultHook installs (or, with nil, removes) the session's fault hook
+// and returns the session for chaining. Hooks are per-session state: wire
+// each worker's session its own hook instance.
+func (s *Session) SetFaultHook(h FaultHook) *Session {
+	s.hook = h
+	return s
 }
 
 // Deployment returns the shared immutable deployment this session draws
@@ -36,6 +63,9 @@ func (s *Session) Accumulate(x []complex128) cplx.Vec {
 	acc := make(cplx.Vec, d.classes)
 	noise2 := d.noise2
 	for r := 0; r < d.classes; r++ {
+		if s.hook != nil {
+			s.hook.BeginTransmission(r)
+		}
 		var rz *channel.Realization
 		if d.compensate {
 			// The calibrated quasi-static components persist; only scatter
@@ -52,15 +82,23 @@ func (s *Session) Accumulate(x []complex128) cplx.Vec {
 		var sum complex128
 		for i := range x {
 			h := s.effectiveResponse(r, i, offset) * rz.MTSScaleAt(i)
+			xi := x[i]
+			var extra complex128
+			if s.hook != nil {
+				h, xi, extra = s.hook.Symbol(r, i, h, xi)
+			}
 			if d.opts.SubSamples > 0 {
 				// Zero-mean chips + synchronized MTS sign flips: the static
 				// within-symbol environment integrates to zero, the MTS path
 				// adds coherently, and the combined noise keeps the
 				// single-sample variance (chip noise is wider-band).
-				sum += h*x[i] + s.src.ComplexNormal(noise2)
+				sum += h*xi + s.src.ComplexNormal(noise2)
 			} else {
 				env := rz.EnvAt(i) * complex(d.envScale, 0)
-				sum += (h+env)*x[i] + s.src.ComplexNormal(noise2)
+				sum += (h+env)*xi + s.src.ComplexNormal(noise2)
+			}
+			if extra != 0 {
+				sum += extra
 			}
 		}
 		acc[r] = sum

@@ -1,0 +1,164 @@
+package ota
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cplx"
+	"repro/internal/mts"
+	"repro/internal/rng"
+)
+
+func TestRecomputedLeavesReceiverUntouched(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(31)
+	d, err := NewDeployment(m.Weights(), NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Realized.Clone()
+	moved := d.Options().Geometry
+	moved.RxAngleDeg += 25
+	nd := d.Recomputed(moved)
+	if nd == d {
+		t.Fatal("Recomputed returned the receiver")
+	}
+	for i := range before.Data {
+		if d.Realized.Data[i] != before.Data[i] {
+			t.Fatal("Recomputed mutated the receiver's realized responses")
+		}
+	}
+	changed := false
+	for i := range before.Data {
+		if nd.Realized.Data[i] != before.Data[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("Recomputed at a moved geometry produced identical responses")
+	}
+	if nd.Options().Geometry != moved {
+		t.Fatal("Recomputed did not adopt the new geometry")
+	}
+}
+
+func TestWithResponsesValidatesAndRefreshes(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(32)
+	d, err := NewDeployment(m.Weights(), NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WithResponses(cplx.NewMat(1, 1)); err == nil {
+		t.Fatal("mis-shaped response matrix accepted")
+	}
+	scaled := d.Realized.Clone()
+	for i := range scaled.Data {
+		scaled.Data[i] *= 0.5
+	}
+	nd, err := d.WithResponses(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Realized != scaled {
+		t.Fatal("WithResponses did not adopt the given matrix")
+	}
+	if nd.sigRMS >= d.sigRMS {
+		t.Fatalf("halved responses did not shrink sigRMS: %v -> %v", d.sigRMS, nd.sigRMS)
+	}
+	if d.Realized == scaled {
+		t.Fatal("WithResponses mutated the receiver")
+	}
+}
+
+func TestWithScheduleValidatesAndReevaluates(t *testing.T) {
+	m, _, _ := trained(t)
+	src := rng.New(33)
+	d, err := NewDeployment(m.Weights(), NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WithSchedule(nil); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	if _, err := d.WithSchedule(make([][]mts.Config, d.Classes())); err == nil {
+		t.Fatal("schedule with empty rows accepted")
+	}
+	// The identity swap: handing the deployment its own schedule must
+	// re-evaluate to the same realized responses.
+	nd, err := d.WithSchedule(d.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Realized.Data {
+		if nd.Realized.Data[i] != d.Realized.Data[i] {
+			t.Fatal("identity WithSchedule changed realized responses")
+		}
+	}
+}
+
+func TestRecomputedSwapUnderConcurrentReaders(t *testing.T) {
+	// The degraded-mode swap protocol: 16 goroutines predict through
+	// per-worker sessions resolved from an atomic.Pointer while the
+	// supervisor repeatedly publishes recomputed deployments. Run under
+	// -race; every prediction must complete and stay in class range.
+	m, test, _ := trained(t)
+	src := rng.New(34)
+	d, err := NewDeployment(m.Weights(), NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One epoch = one immutable deployment plus a session per worker, so a
+	// worker never shares a session across epochs or goroutines.
+	const workers = 16
+	type epoch struct {
+		d        *Deployment
+		sessions []*Session
+	}
+	var cur atomic.Pointer[epoch]
+	cur.Store(&epoch{d: d, sessions: d.Sessions(workers, rng.New(88))})
+
+	var stop atomic.Bool
+	var predictions atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				ep := cur.Load()
+				p := ep.sessions[w].Predict(test.X[i%len(test.X)])
+				if p < 0 || p >= ep.d.Classes() {
+					errs <- "prediction out of class range"
+					return
+				}
+				predictions.Add(1)
+			}
+		}()
+	}
+
+	// Supervisor: swap through a handful of geometries while the fleet runs.
+	geom := d.Options().Geometry
+	for swap := 0; swap < 6; swap++ {
+		geom.RxAngleDeg += 5
+		nd := cur.Load().d.Recomputed(geom)
+		cur.Store(&epoch{d: nd, sessions: nd.Sessions(workers, rng.New(88 + uint64(swap)))})
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if predictions.Load() == 0 {
+		t.Fatal("no predictions completed during the swaps")
+	}
+	if got := cur.Load().d.Options().Geometry; got != geom {
+		t.Fatalf("final epoch geometry %+v, want %+v", got, geom)
+	}
+}

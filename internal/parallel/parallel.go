@@ -36,8 +36,16 @@ import (
 	"repro/internal/channel"
 	"repro/internal/cplx"
 	"repro/internal/mts"
+	"repro/internal/ota"
 	"repro/internal/rng"
 )
+
+// FaultHook is the per-symbol fault interception contract, shared with the
+// sequential engine: see ota.FaultHook for the determinism and ownership
+// rules. For parallel sessions, BeginTransmission receives the GROUP index
+// (one transmission computes a whole group) while Symbol still receives the
+// absolute output index r.
+type FaultHook = ota.FaultHook
 
 // Plan provides per-output-channel path-phase sets for the joint solver.
 type Plan struct {
@@ -271,6 +279,38 @@ func (d *Deployment) Classes() int { return d.classes }
 // InputLen returns the expected symbol-vector length U.
 func (d *Deployment) InputLen() int { return d.u }
 
+// Options returns the deployment's configuration.
+func (d *Deployment) Options() Options { return d.opts }
+
+// Plan returns the per-channel path-phase plan the deployment was solved
+// for. The plan is read-only after deployment.
+func (d *Deployment) Plan() *Plan { return d.plan }
+
+// Group returns the output indices group g computes in one transmission.
+// Outputs are partitioned in order: group g covers rows
+// [g·C, min((g+1)·C, classes)) for C = Plan().Channels().
+func (d *Deployment) Group(g int) []int { return d.groups[g] }
+
+// WithResponses returns a copy of the deployment whose realized-response
+// matrix is replaced by realized (classes×U), with the derived signal and
+// noise statistics refreshed — the fault-injection hook for modeling stuck
+// meta-atoms on a parallel deployment (see ota.Deployment.WithResponses).
+func (d *Deployment) WithResponses(realized *cplx.Mat) (*Deployment, error) {
+	if realized.Rows != d.classes || realized.Cols != d.u {
+		return nil, fmt.Errorf("parallel: responses %dx%d for a %dx%d deployment", realized.Rows, realized.Cols, d.classes, d.u)
+	}
+	cp := *d
+	cp.Realized = realized
+	var sumSq float64
+	for _, h := range realized.Data {
+		sumSq += real(h)*real(h) + imag(h)*imag(h)
+	}
+	cp.sigRMS = math.Sqrt(sumSq / float64(len(realized.Data)))
+	aperture := 256.0 / float64(d.opts.Surface.Atoms())
+	cp.noise2 = cp.sigRMS * cp.sigRMS * cp.ch.Params().NoiseSigma2() * aperture * aperture
+	return &cp, nil
+}
+
 // Transmissions returns the sequential passes one inference needs.
 func (d *Deployment) Transmissions() int { return len(d.groups) }
 
@@ -302,12 +342,20 @@ func (d *Deployment) Sessions(n int, src *rng.Source) []*Session {
 // owns the channel, noise, jitter, and sync-offset randomness of its
 // inferences. Use one Session per goroutine.
 type Session struct {
-	d   *Deployment
-	src *rng.Source
+	d    *Deployment
+	src  *rng.Source
+	hook FaultHook
 }
 
 // Deployment returns the shared immutable deployment.
 func (s *Session) Deployment() *Deployment { return s.d }
+
+// SetFaultHook installs (or, with nil, removes) the session's fault hook
+// and returns the session for chaining; see ota.Session.SetFaultHook.
+func (s *Session) SetFaultHook(h FaultHook) *Session {
+	s.hook = h
+	return s
+}
 
 // Logits runs one over-the-air inference across all groups.
 func (s *Session) Logits(x []complex128) []float64 {
@@ -317,7 +365,10 @@ func (s *Session) Logits(x []complex128) []float64 {
 	}
 	out := make([]float64, d.classes)
 	noise2 := d.noise2
-	for _, group := range d.groups {
+	for g, group := range d.groups {
+		if s.hook != nil {
+			s.hook.BeginTransmission(g)
+		}
 		rz := d.ch.NewRealization(s.src.Split())
 		var offset float64
 		if d.opts.SyncSampler != nil {
@@ -332,7 +383,15 @@ func (s *Session) Logits(x []complex128) []float64 {
 			}
 			for ci, r := range group {
 				h := s.effectiveResponse(r, i, offset) * scale
-				acc[ci] += (h+env)*x[i] + s.src.ComplexNormal(noise2)
+				xi := x[i]
+				var extra complex128
+				if s.hook != nil {
+					h, xi, extra = s.hook.Symbol(r, i, h, xi)
+				}
+				acc[ci] += (h+env)*xi + s.src.ComplexNormal(noise2)
+				if extra != 0 {
+					acc[ci] += extra
+				}
 			}
 		}
 		for ci, r := range group {

@@ -26,7 +26,7 @@ func TestExperimentsRegistered(t *testing.T) {
 		"fig25", "fig26", "fig27", "fig28", "fig29", "fig30", "fig31",
 		"table2", "table3",
 		"ext-compensation", "ext-mobility", "ext-deepmodel", "ext-feedback",
-		"abl-quantize", "abl-solver", "abl-subsamples", "abl-injector", "abl-jitter", "ext-perclass",
+		"abl-quantize", "abl-solver", "abl-subsamples", "abl-injector", "abl-jitter", "abl-faults", "ext-perclass",
 	}
 	have := map[string]bool{}
 	for _, id := range ids {
@@ -113,6 +113,43 @@ func TestParallelFacade(t *testing.T) {
 	}
 	if _, err := metaai.DeployParallel(pipe, metaai.ParallelKind("bogus"), 2); err == nil {
 		t.Fatal("expected error for unknown parallel kind")
+	}
+}
+
+func TestRobustnessFacade(t *testing.T) {
+	cfg := metaai.DefaultConfig("afhq")
+	cfg.Train.Epochs = 15
+	pipe, err := metaai.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !metaai.FaultMix(0).Zero() {
+		t.Fatal("FaultMix(0) must be the zero fault load")
+	}
+	inj, err := metaai.NewFaultInjector(pipe, metaai.FaultMix(0.6), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.StuckAtoms()) == 0 {
+		t.Fatal("FaultMix(0.6) stuck no atoms")
+	}
+	broken := inj.ResidualError()
+	if _, err := inj.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Healed() || inj.ResidualError() >= broken {
+		t.Fatalf("heal did not reduce residual error: %.4f -> %.4f", broken, inj.ResidualError())
+	}
+
+	mon := metaai.NewHealthMonitor(pipe, 32, 0.5, 8)
+	if mon.Degraded() {
+		t.Fatal("freshly calibrated monitor already degraded")
+	}
+	for i := 0; i < 8; i++ {
+		mon.ObserveMargin(0)
+	}
+	if !mon.Degraded() {
+		t.Fatal("a window of zero margins must trip the monitor")
 	}
 }
 

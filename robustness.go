@@ -1,0 +1,48 @@
+package metaai
+
+import (
+	"repro/internal/faults"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+)
+
+// FaultRates configures MetaAI's discrete fault repertoire: stuck meta-atoms,
+// shift-register row glitches, symbol erasures, interference bursts, and
+// transient K-factor collapses. The zero value injects nothing — and is
+// guaranteed bit-identical to an unfaulted session.
+type FaultRates = faults.Rates
+
+// FaultInjector wraps an immutable Deployment with a deterministic fault load
+// and the masked-atom self-healing re-solve; see DESIGN.md "Fault model &
+// degraded mode".
+type FaultInjector = faults.Injector
+
+// HealthMonitor is the label-free degradation detector the serving stack
+// polls: workers record decision margins, a supervisor asks Degraded.
+type HealthMonitor = mobility.Monitor
+
+// FaultMix returns the canonical mixed fault load at severity rate ∈ [0, 1] —
+// the mix behind metaai-serve's -fault-rate flag and the abl-faults
+// experiment. Stuck atoms dominate; dynamic faults ride along proportionally.
+func FaultMix(rate float64) FaultRates { return faults.Mix(rate) }
+
+// NewFaultInjector arms a trained pipeline's deployment with the given fault
+// load, deterministically from seed. Derive damaged sessions with
+// Injector.Session/Sessions, diagnose with StuckAtoms/ResidualError, and
+// recover with Heal, which re-solves the schedule around the stuck atoms and
+// returns a fresh Deployment to swap in.
+func NewFaultInjector(p *Pipeline, rates FaultRates, seed uint64) (*FaultInjector, error) {
+	return faults.New(p.Deployment(), rates, rng.New(seed))
+}
+
+// NewHealthMonitor calibrates a degradation monitor against the pipeline's
+// current over-the-air behaviour: it measures the mean decision margin over
+// probes test samples and trips when a window-sized mean falls below frac of
+// it.
+func NewHealthMonitor(p *Pipeline, probes int, frac float64, window int) *HealthMonitor {
+	x := p.Test.X
+	if probes > 0 && probes < len(x) {
+		x = x[:probes]
+	}
+	return mobility.CalibrateMonitor(p.System, x, frac, window)
+}
