@@ -24,10 +24,20 @@ fuzz:
 faultgate:
 	$(GO) run ./cmd/metaai-bench -exp abl-faults -evalcap 40
 
+# obsgate asserts observability determinism: two seeded serve-path runs
+# must produce bit-identical metric fingerprints.
+obsgate:
+	$(GO) test -run 'TestServeBenchDeterministicFingerprint' ./cmd/metaai-bench
+
 # check is the full gate: vet, plain tests, the race detector over the
 # concurrent evaluator, sweeps, and serve paths, the airproto fuzz smoke,
-# and the abl-faults zero-rate identity gate.
-check: vet test race fuzz faultgate
+# the abl-faults zero-rate identity gate, and the obs determinism gate.
+check: vet test race fuzz faultgate obsgate
 
+# bench runs the Go micro-benchmarks, then the serve-path observability
+# benchmark, which snapshots its metrics into BENCH_serve.json. Emit-only:
+# no CI threshold reads the file — it exists so regressions show up in
+# diffs.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
+	$(GO) run ./cmd/metaai-bench -servebench 200 -obs-out BENCH_serve.json

@@ -21,4 +21,10 @@ go test -fuzz=FuzzUnmarshal -fuzztime=10s -run='^$' ./internal/airproto
 echo "== abl-faults zero-rate bit-identity =="
 go run ./cmd/metaai-bench -exp abl-faults -evalcap 40
 
+echo "== obs determinism gate =="
+go test -run 'TestServeBenchDeterministicFingerprint' ./cmd/metaai-bench
+
+echo "== servebench snapshot (emit-only, no thresholds) =="
+go run ./cmd/metaai-bench -servebench 100 -obs-out BENCH_serve.json
+
 echo "ci: all checks passed"

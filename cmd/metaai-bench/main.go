@@ -32,9 +32,18 @@ func main() {
 		md      = flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
 		seeds   = flag.Int("seeds", 1, "run each experiment under this many consecutive seeds (variance check)")
 		workers = flag.Int("workers", 1, "fan evaluations and sweep points across this many goroutines (1 = bit-exact serial)")
+		sbench  = flag.Int("servebench", 0, "run this many observed serve-path inferences and emit a metric snapshot instead of an experiment")
+		obsOut  = flag.String("obs-out", "BENCH_serve.json", "servebench output file")
 	)
 	flag.Parse()
 
+	if *sbench > 0 {
+		if err := runServeBench(*sbench, *obsOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "metaai-bench: servebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			r, _ := experiments.Lookup(id)

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cplx"
+	"repro/internal/obs"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+// serveBenchRun deploys a small random-weight over-the-air system, enables
+// observability, and replays n inferences through one session. It returns
+// the resulting metric snapshot and the inference-loop wall time. The whole
+// run is a pure function of (n, seed) except for wall-clock durations, so
+// the snapshot's Fingerprint (counters, gauges, histogram counts) is
+// deterministic — the CI gate asserts exactly that.
+func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, error) {
+	obs.SetEnabled(true)
+	obs.Default().Reset()
+	src := rng.New(seed)
+	w := cplx.NewMat(4, 16)
+	wsrc := rng.New(seed ^ 0x7)
+	for i := range w.Data {
+		w.Data[i] = cplx.Expi(wsrc.Phase()) * complex(0.5+wsrc.Float64(), 0)
+	}
+	d, err := ota.NewDeployment(w, ota.NewOptions(src.Split()), src)
+	if err != nil {
+		return nil, 0, err
+	}
+	sess := d.NewSession(src.Split())
+	x := make([]complex128, d.InputLen())
+	for i := range x {
+		x[i] = cplx.Expi(src.Phase())
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		sess.Logits(x)
+	}
+	elapsed := time.Since(start)
+	snap := obs.Default().Snapshot()
+	return &snap, elapsed, nil
+}
+
+// runServeBench executes serveBenchRun and writes the snapshot plus run
+// metadata to out as indented JSON. Emit-only: nothing here enforces a
+// latency threshold — the artifact exists so regressions show up in diffs,
+// not so CI flakes on a loaded machine.
+func runServeBench(n int, out string, seed uint64) error {
+	if n < 1 {
+		n = 1
+	}
+	snap, elapsed, err := serveBenchRun(n, seed)
+	if err != nil {
+		return err
+	}
+	report := struct {
+		Bench        string        `json:"bench"`
+		Inferences   int           `json:"inferences"`
+		Seed         uint64        `json:"seed"`
+		WallSeconds  float64       `json:"wall_seconds"`
+		MicrosPerInf float64       `json:"micros_per_inference"`
+		Metrics      *obs.Snapshot `json:"metrics"`
+	}{
+		Bench:        "serve",
+		Inferences:   n,
+		Seed:         seed,
+		WallSeconds:  elapsed.Seconds(),
+		MicrosPerInf: float64(elapsed.Microseconds()) / float64(n),
+		Metrics:      snap,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("servebench: %d inferences in %.3fs (%.1f µs each), snapshot written to %s\n",
+		n, elapsed.Seconds(), report.MicrosPerInf, out)
+	return nil
+}

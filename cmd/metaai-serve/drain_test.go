@@ -1,0 +1,127 @@
+package main
+
+import (
+	"math"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/airproto"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+)
+
+// TestServeDrainAnswersInFlightRequests pins the shutdown ordering the serve
+// loop promises: when the read loop dies, the request channel closes, the
+// workers finish every request already queued (close(reqs) → wg.Wait()), and
+// only then does the heal supervisor stop (close(stopHeal)). The preInfer
+// hook parks both workers mid-request so the teardown races a full queue,
+// and a manual heal() runs concurrently with the drain — epoch swaps during
+// shutdown must lose nothing. Run under -race.
+func TestServeDrainAnswersInFlightRequests(t *testing.T) {
+	d := testDeployment(t, 21)
+	gate := make(chan struct{})
+	var parked atomic.Int64
+	srv := newAirServer(serverConfig{
+		deployment: d,
+		// An unreachable threshold keeps the supervisor healing on every
+		// tick once the margin window fills, so epoch swaps overlap both
+		// serving and the drain itself.
+		monitor:    mobility.NewMonitor(math.MaxFloat64, 4),
+		workers:    2,
+		queue:      16,
+		healEvery:  5 * time.Millisecond,
+		sessionSrc: rng.New(3),
+		logf:       t.Logf,
+		preInfer: func() {
+			parked.Add(1)
+			<-gate
+		},
+	})
+
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	done := make(chan error, 1)
+	go func() { done <- srv.serve(conn) }()
+	client := dialServer(t, conn.LocalAddr().(*net.UDPAddr))
+
+	const requests = 6
+	for i := 1; i <= requests; i++ {
+		req := &airproto.Frame{ID: uint32(i), Data: testSymbols(d.InputLen(), uint64(i))}
+		out, _ := req.Marshal()
+		if _, err := client.Write(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait for both workers to park mid-request, then give the read loop a
+	// beat to enqueue the remaining four.
+	deadline := time.Now().Add(5 * time.Second)
+	for parked.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if parked.Load() < 2 {
+		t.Fatal("workers never picked up the in-flight requests")
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// Kill the read loop WITHOUT closing the socket: an expired read
+	// deadline fails the next ReadFromUDP, which starts the drain, while
+	// workers can still write replies. A concurrent manual heal races the
+	// teardown on top of the supervisor's own ticks.
+	healDone := make(chan struct{})
+	go func() {
+		srv.heal()
+		close(healDone)
+	}()
+	if err := conn.SetReadDeadline(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let serve reach wg.Wait() with workers parked
+	close(gate)
+
+	// Every request sent before the teardown must still be answered with a
+	// data frame.
+	seen := make(map[uint32]bool)
+	client.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 65535)
+	for len(seen) < requests {
+		n, err := client.Read(buf)
+		if err != nil {
+			t.Fatalf("after %d/%d replies: %v", len(seen), requests, err)
+		}
+		resp, err := airproto.Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		if resp.IsNack() {
+			t.Fatalf("request %d NACKed with status %d during drain", resp.ID, resp.Code)
+		}
+		if resp.ID >= 1 && resp.ID <= requests {
+			seen[resp.ID] = true
+		}
+	}
+
+	select {
+	case err := <-done:
+		// The read loop died on the expired deadline; that error is the
+		// expected shutdown cause, not a failure.
+		if err == nil {
+			t.Fatal("serve returned nil, want the deadline error that triggered the drain")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never returned: drain ordering deadlocked")
+	}
+	<-healDone
+
+	if got := srv.served.Load(); got != requests {
+		t.Fatalf("served %d data frames, want %d (drain lost requests)", got, requests)
+	}
+	if srv.shed.Load() != 0 {
+		t.Fatalf("shed %d requests within queue capacity", srv.shed.Load())
+	}
+}

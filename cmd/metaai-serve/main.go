@@ -6,7 +6,8 @@
 //
 //	metaai-serve -dataset mnist -addr 127.0.0.1:9530 -workers 4
 //	metaai-serve -dataset mnist -fault-rate 0.3 -self-heal
-//	metaai-serve -probe 127.0.0.1:9530 -dataset mnist -timeout 5s
+//	metaai-serve -dataset mnist -metrics-addr 127.0.0.1:9531
+//	metaai-serve -probe 127.0.0.1:9530 -dataset mnist -timeout 5s -stats 50
 //
 // The server computes during "propagation"; whoever receives the response
 // holds only per-class accumulators, never the sensor's raw data.
@@ -27,6 +28,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,6 +40,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -54,11 +57,24 @@ func main() {
 		healFrac  = flag.Float64("heal-frac", 0.5, "degradation threshold as a fraction of the healthy mean margin")
 		healWin   = flag.Int("heal-window", 32, "margin observations averaged per health decision")
 		healEvery = flag.Duration("heal-every", 250*time.Millisecond, "health supervisor polling period")
+		metrics   = flag.String("metrics-addr", "", "serve the observability sidecar (metrics, expvar, pprof) on this HTTP address and enable latency timing")
+		stats     = flag.Int("stats", 0, "probe: after the classification, send this many timed requests and report latency percentiles")
 	)
 	flag.Parse()
 
+	if *metrics != "" {
+		// Timing histograms are gated behind obs; the sidecar turns them on.
+		obs.SetEnabled(true)
+		go func() {
+			log.Printf("observability sidecar on http://%s (metrics, expvar, pprof)", *metrics)
+			if err := http.ListenAndServe(*metrics, metricsMux()); err != nil {
+				log.Printf("metrics sidecar: %v", err)
+			}
+		}()
+	}
+
 	if *probe != "" {
-		if err := runProbe(*probe, *ds, *seed, *timeout); err != nil {
+		if err := runProbe(*probe, *ds, *seed, *timeout, *stats); err != nil {
 			log.Fatal(err)
 		}
 		return

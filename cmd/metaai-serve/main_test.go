@@ -258,6 +258,54 @@ func TestExchangeDiscardsMismatchedID(t *testing.T) {
 	}
 }
 
+func TestExchangeDrainsStaleZeroIDNack(t *testing.T) {
+	// An earlier unparseable request was rejected with a zero-ID NACK (the
+	// server cannot name a frame it could not parse) that the probe never
+	// consumed. The historical bug: readMatching must accept zero-ID NACKs,
+	// so the buffered stale rejection was read as the NEXT request's answer,
+	// turning a perfectly good exchange into a fatal bad-frame failure.
+	// exchange now drains the socket before every send. With a single
+	// attempt this test fails on the old code.
+	srvConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvConn.Close() })
+	go func() {
+		buf := make([]byte, 65535)
+		for {
+			n, from, err := srvConn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			req, err := airproto.Unmarshal(buf[:n])
+			if err != nil {
+				continue
+			}
+			out, _ := (&airproto.Frame{ID: req.ID, Data: []complex128{1, 2, 3}}).Marshal()
+			srvConn.WriteToUDP(out, from)
+		}
+	}()
+	client := dialServer(t, srvConn.LocalAddr().(*net.UDPAddr))
+
+	// Plant the leftover rejection in the client's receive buffer before the
+	// exchange starts.
+	stale, _ := airproto.Nack(0, airproto.StatusBadFrame, 0).Marshal()
+	if _, err := srvConn.WriteToUDP(stale, client.LocalAddr().(*net.UDPAddr)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the stale datagram land
+
+	resp, err := exchange(client, &airproto.Frame{ID: 41, Data: []complex128{1}},
+		2*time.Second, time.Millisecond, 1, rng.New(1))
+	if err != nil {
+		t.Fatalf("stale zero-ID NACK failed the exchange: %v", err)
+	}
+	if resp.IsNack() || resp.ID != 41 || len(resp.Data) != 3 {
+		t.Fatalf("exchange returned %+v, want the data frame for ID 41", resp)
+	}
+}
+
 func TestExchangeBacksOffOnDegradedNack(t *testing.T) {
 	// First two attempts are answered with a retryable StatusDegraded NACK;
 	// the third succeeds. exchange must retry through the NACKs.

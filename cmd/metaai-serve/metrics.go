@@ -1,0 +1,60 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// Serving metrics, mirrored alongside the airServer's own atomics (tests
+// assert exact per-server values on the atomics; the obs counters aggregate
+// process-wide for the sidecar):
+//
+//	serve.request.seconds  per-request latency, enqueue to reply written
+//	serve.queue.depth      in-flight requests queued for the worker fleet
+//	serve.served           data frames answered
+//	serve.shed             StatusDegraded NACKs (queue full)
+//	serve.nacked           bad-frame / wrong-length NACKs
+//	serve.heals            heal() invocations (monitor-triggered or manual)
+//	serve.swaps            epochs published after the first
+var (
+	reqSeconds  = obs.NewLatencyHistogram("serve.request.seconds")
+	queueDepth  = obs.NewGauge("serve.queue.depth")
+	servedCount = obs.NewCounter("serve.served")
+	shedCount   = obs.NewCounter("serve.shed")
+	nackedCount = obs.NewCounter("serve.nacked")
+	healCount   = obs.NewCounter("serve.heals")
+	swapCount   = obs.NewCounter("serve.swaps")
+)
+
+// metricsMux builds the observability sidecar: the obs snapshot in text and
+// JSON, the expvar dump, and the full pprof suite.
+func metricsMux() *http.ServeMux {
+	obs.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := obs.Default().Snapshot().WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.Default().Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "metaai-serve observability sidecar: /metrics /metrics.json /debug/vars /debug/pprof/")
+	})
+	return mux
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"time"
 
 	metaai "repro"
@@ -24,7 +25,7 @@ const probeAttempts = 3
 // base·2^(k−1)·jitter with jitter uniform in [0.5, 1.5).
 const probeBackoffBase = 100 * time.Millisecond
 
-func runProbe(addr, ds string, seed uint64, timeout time.Duration) error {
+func runProbe(addr, ds string, seed uint64, timeout time.Duration, stats int) error {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
@@ -58,6 +59,34 @@ func runProbe(addr, ds string, seed uint64, timeout time.Duration) error {
 		}
 	}
 	fmt.Printf("probe: sample label %d classified as %d over the air\n", sample.Label, arg)
+	if stats > 0 {
+		return probeStats(conn, symbols, stats, timeout, rng.New(seed^0x57a75))
+	}
+	return nil
+}
+
+// probeStats hammers the server with n sequential timed requests and reports
+// client-side round-trip latency percentiles — a quick serving-latency read
+// without attaching the observability sidecar.
+func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout time.Duration, src *rng.Source) error {
+	lat := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		req := &airproto.Frame{ID: uint32(i + 2), Data: symbols}
+		start := time.Now()
+		if _, err := exchange(conn, req, timeout, probeBackoffBase, probeAttempts, src); err != nil {
+			return fmt.Errorf("stats request %d/%d: %w", i+1, n, err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(q float64) time.Duration {
+		idx := int(q * float64(len(lat)-1))
+		return lat[idx]
+	}
+	fmt.Printf("probe stats: %d requests  min %v  p50 %v  p90 %v  p99 %v  max %v\n",
+		n, lat[0].Round(time.Microsecond), pct(0.50).Round(time.Microsecond),
+		pct(0.90).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
+		lat[len(lat)-1].Round(time.Microsecond))
 	return nil
 }
 
@@ -70,6 +99,12 @@ func runProbe(addr, ds string, seed uint64, timeout time.Duration) error {
 // and StatusBadFrame mean the request itself is wrong and retrying cannot
 // help. Each attempt after the first is preceded by a jittered exponential
 // backoff delay.
+//
+// Before every send, any datagrams already buffered on the socket are
+// drained. readMatching must accept zero-ID NACKs (an unparseable request
+// cannot be named by its rejection), so a zero-ID NACK left over from an
+// EARLIER request would otherwise be read as this request's answer and turn
+// a perfectly good exchange into a spurious hard failure.
 func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.Duration, attempts int, src *rng.Source) (*airproto.Frame, error) {
 	out, err := req.Marshal()
 	if err != nil {
@@ -85,6 +120,7 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.
 			log.Printf("probe: attempt %d/%d failed (%v), retrying in %v", attempt, attempts, lastErr, delay.Round(time.Millisecond))
 			time.Sleep(delay)
 		}
+		drainStale(conn)
 		if _, err := conn.Write(out); err != nil {
 			return nil, err
 		}
@@ -113,6 +149,24 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.
 		return resp, nil
 	}
 	return nil, fmt.Errorf("gave up after %d attempts: %v", attempts, lastErr)
+}
+
+// drainStale discards every datagram already buffered on conn: delayed
+// replies and zero-ID NACKs from previous exchanges that readMatching would
+// otherwise accept as the next request's answer. The deadline must sit
+// slightly in the future — a read against an already-expired deadline fails
+// immediately WITHOUT consuming buffered data — so an empty buffer costs one
+// millisecond, and each stale datagram is consumed without waiting.
+func drainStale(conn *net.UDPConn) {
+	if err := conn.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
+		return
+	}
+	buf := make([]byte, 65535)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
 }
 
 // readMatching reads frames until one carries the wanted request ID,

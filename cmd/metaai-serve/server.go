@@ -10,6 +10,7 @@ import (
 	"repro/internal/airproto"
 	"repro/internal/faults"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/ota"
 	"repro/internal/rng"
 )
@@ -46,6 +47,10 @@ type serverConfig struct {
 	sessionSrc *rng.Source
 	// logf receives progress lines; nil silences them.
 	logf func(format string, args ...interface{})
+	// preInfer, when non-nil, runs in each worker just before it processes
+	// a dequeued request — a test hook for pinning requests in flight while
+	// the read loop is torn down (the drain-path tests).
+	preInfer func()
 }
 
 // airServer answers airproto frames over UDP with over-the-air inference,
@@ -104,6 +109,7 @@ func (s *airServer) newSessions(d *ota.Deployment) []*ota.Session {
 func (s *airServer) heal() {
 	s.healMu.Lock()
 	defer s.healMu.Unlock()
+	healCount.Inc()
 	var nd *ota.Deployment
 	if in := s.cfg.injector; in != nil && !in.Healed() {
 		healed, err := in.Heal()
@@ -126,12 +132,16 @@ func (s *airServer) heal() {
 		s.cfg.monitor.Reset()
 	}
 	s.swaps.Add(1)
+	swapCount.Inc()
 }
 
 // request is one validated inbound frame awaiting inference.
 type request struct {
 	frame *airproto.Frame
 	from  *net.UDPAddr
+	// t times the request from enqueue to reply written (zero, and
+	// therefore inert, while obs is disabled).
+	t obs.Timer
 }
 
 // serve answers frames on conn until the connection is closed (the caller
@@ -205,11 +215,13 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 			continue
 		}
 		select {
-		case reqs <- request{frame: frame, from: from}:
+		case reqs <- request{frame: frame, from: from, t: obs.StartTimer()}:
+			queueDepth.Add(1)
 		default:
 			// Queue full: shed load explicitly. The client distinguishes
 			// this retryable NACK from a malformed-request rejection.
 			s.shed.Add(1)
+			shedCount.Inc()
 			s.nack(conn, from, airproto.Nack(frame.ID, airproto.StatusDegraded, 0))
 		}
 	}
@@ -226,6 +238,10 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 // sessions are indexed by worker, so no session is ever shared.
 func (s *airServer) worker(conn *net.UDPConn, w int, reqs <-chan request) {
 	for r := range reqs {
+		queueDepth.Add(-1)
+		if s.cfg.preInfer != nil {
+			s.cfg.preInfer()
+		}
 		ep := s.cur.Load()
 		acc := ep.sessions[w].Accumulate(r.frame.Data)
 		if mon := s.cfg.monitor; mon != nil {
@@ -246,6 +262,8 @@ func (s *airServer) worker(conn *net.UDPConn, w int, reqs <-chan request) {
 			s.cfg.logf("reply to %s: %v", r.from, err)
 			continue
 		}
+		servedCount.Inc()
+		r.t.ObserveInto(reqSeconds)
 		if n := s.served.Add(1); n%50 == 0 {
 			s.cfg.logf("served %d transmissions", n)
 		}
@@ -255,6 +273,7 @@ func (s *airServer) worker(conn *net.UDPConn, w int, reqs <-chan request) {
 func (s *airServer) nack(conn *net.UDPConn, to *net.UDPAddr, f *airproto.Frame) {
 	if f.Code != airproto.StatusDegraded {
 		s.nacked.Add(1)
+		nackedCount.Inc()
 	}
 	out, err := f.Marshal()
 	if err != nil {

@@ -20,8 +20,19 @@ import (
 	"repro/internal/modem"
 	"repro/internal/nn"
 	"repro/internal/noisetrain"
+	"repro/internal/obs"
 	"repro/internal/ota"
 	"repro/internal/rng"
+)
+
+// Pipeline metrics: per-stage wall-clock timings (Train = digital training,
+// Deploy = MTS schedule solving, Infer = one end-to-end over-the-air
+// classification) recorded only while obs is enabled, plus a build counter.
+var (
+	pipeBuilds        = obs.NewCounter("pipeline.builds")
+	pipeTrainSeconds  = obs.NewLatencyHistogram("pipeline.train.seconds")
+	pipeDeploySeconds = obs.NewLatencyHistogram("pipeline.deploy.seconds")
+	pipeInferSeconds  = obs.NewLatencyHistogram("pipeline.infer.seconds")
 )
 
 // SyncMode selects the clock-synchronization configuration (§3.5.1).
@@ -145,13 +156,16 @@ func NewFromSets(train, test *nn.EncodedSet, cfg Config) (*Pipeline, error) {
 	if cfg.Sync == SyncCDFA {
 		tc.InputAug = chainAug(tc.InputAug, clocksync.Injector(det, symRate))
 	}
+	trainTimer := obs.StartTimer()
 	if cfg.NoiseAware != nil {
 		p.Model = noisetrain.Train(train, tc, *cfg.NoiseAware)
 	} else {
 		p.Model = nn.TrainLNN(train, tc)
 	}
+	trainTimer.ObserveInto(pipeTrainSeconds)
 
 	// Deployment-side configuration.
+	deployTimer := obs.StartTimer()
 	src := rng.New(cfg.Seed ^ 0xa17)
 	air := fillAir(cfg.Air, ota.NewOptions(src.Split()))
 	switch cfg.Sync {
@@ -166,7 +180,9 @@ func NewFromSets(train, test *nn.EncodedSet, cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	deployTimer.ObserveInto(pipeDeploySeconds)
 	p.System = sys
+	pipeBuilds.Inc()
 	return p, nil
 }
 
@@ -274,6 +290,8 @@ func (p *Pipeline) AirAccuracyParallel(workers int) float64 {
 // default session, returning the predicted class and the per-class
 // probabilities.
 func (p *Pipeline) Infer(x []float64) (int, []float64) {
+	t := obs.StartTimer()
+	defer t.ObserveInto(pipeInferSeconds)
 	return p.inferLogits(p.System.Logits(p.Enc.Encode(x)))
 }
 
@@ -281,6 +299,8 @@ func (p *Pipeline) Infer(x []float64) (int, []float64) {
 // serving: each worker holds one session from Sessions(n) and infers
 // without any cross-worker locking.
 func (p *Pipeline) InferSession(sess *ota.Session, x []float64) (int, []float64) {
+	t := obs.StartTimer()
+	defer t.ObserveInto(pipeInferSeconds)
 	return p.inferLogits(sess.Logits(p.Enc.Encode(x)))
 }
 

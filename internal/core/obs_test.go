@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// TestPipelineStageTimingsRecorded asserts the per-stage pipeline metrics:
+// with obs enabled, one end-to-end build plus one inference must land one
+// observation in each of the Train/Deploy/Infer histograms and bump the
+// build counter.
+func TestPipelineStageTimingsRecorded(t *testing.T) {
+	obs.Default().Reset()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	cfg := DefaultConfig("afhq")
+	cfg.Train.Epochs = 2
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := dataset.MustLoad("afhq", cfg.Scale, cfg.Seed).Test[0]
+	if _, probs := p.Infer(sample.X); len(probs) != p.Train.Classes {
+		t.Fatalf("Infer returned %d probabilities, want %d", len(probs), p.Train.Classes)
+	}
+
+	snap := obs.Default().Snapshot()
+	for _, h := range []string{"pipeline.train.seconds", "pipeline.deploy.seconds", "pipeline.infer.seconds"} {
+		if got := snap.Histograms[h].Count; got < 1 {
+			t.Errorf("%s count = %d, want >= 1", h, got)
+		}
+	}
+	if got := snap.Counters["pipeline.builds"]; got < 1 {
+		t.Errorf("pipeline.builds = %d, want >= 1", got)
+	}
+	if got := snap.Counters["mts.solve.calls"]; got < 1 {
+		t.Errorf("mts.solve.calls = %d, want >= 1 (deploy solves schedules)", got)
+	}
+}

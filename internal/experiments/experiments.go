@@ -42,6 +42,11 @@ type Ctx struct {
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 
+	// mu guards the memo maps: Sets and Model are safe to call from
+	// concurrent sweep points. The lock is held across a memo miss's fill
+	// (so one key trains exactly once), which means the fill functions must
+	// never call back into Sets or Model.
+	mu     sync.Mutex
 	sets   map[string][2]*nn.EncodedSet
 	models map[string]*nn.ComplexLNN
 }
@@ -64,9 +69,11 @@ func (c *Ctx) logf(format string, args ...interface{}) {
 }
 
 // Sets returns the encoded train/test sets for a dataset and scheme,
-// memoized.
+// memoized. Safe for concurrent use.
 func (c *Ctx) Sets(name string, scheme modem.Scheme) (*nn.EncodedSet, *nn.EncodedSet, error) {
 	key := name + "/" + scheme.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if s, ok := c.sets[key]; ok {
 		return s[0], s[1], nil
 	}
@@ -81,8 +88,12 @@ func (c *Ctx) Sets(name string, scheme modem.Scheme) (*nn.EncodedSet, *nn.Encode
 	return train, test, nil
 }
 
-// Model memoizes a trained model under (dataset, scheme, variant).
+// Model memoizes a trained model under (dataset, scheme, variant). Safe for
+// concurrent use; concurrent callers of the same key block until the first
+// finishes training, then share its model.
 func (c *Ctx) Model(key string, train func() *nn.ComplexLNN) *nn.ComplexLNN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if m, ok := c.models[key]; ok {
 		return m
 	}
@@ -166,11 +177,12 @@ func (c *Ctx) EvalParSys(sys *parallel.System, set *nn.EncodedSet) float64 {
 }
 
 // sweep evaluates n independent sweep points, fanning them out across the
-// context's workers (serially when Workers <= 1). point(i) must be
-// self-contained: it may read memoized Ctx state (Sets/Model results
-// resolved BEFORE the sweep) but must not call Ctx.Sets or Ctx.Model, whose
-// memo maps are not concurrency-safe. Results are returned in index order;
-// the first error wins.
+// context's workers (serially when Workers <= 1). Ctx.Sets and Ctx.Model
+// are mutex-guarded, so point(i) may call them lazily — a memo miss fills
+// once while the other workers block on the lock. Resolving them BEFORE the
+// sweep is still preferable when convenient: it keeps training off the
+// sweep's critical path. Results are returned in index order; the first
+// error wins.
 func (c *Ctx) sweep(n int, point func(i int) ([]string, error)) ([][]string, error) {
 	rows := make([][]string, n)
 	workers := c.workerCount()

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dataset"
@@ -72,6 +74,37 @@ func TestCtxMemoization(t *testing.T) {
 	}
 	if _, _, err := c.Sets("nope", modem.QAM256); err == nil {
 		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+// TestCtxMemoizationConcurrent forces the lazy memo fill from concurrent
+// sweep points — the historical bug: Sets/Model mutated their maps with no
+// lock, so a sweep whose points resolved them lazily raced (and corrupted
+// the memo) under Workers > 1. Run under -race this fails on the old code.
+func TestCtxMemoizationConcurrent(t *testing.T) {
+	c := quickCtx()
+	c.Workers = 8
+	var builds atomic.Int64
+	_, err := c.sweep(32, func(i int) ([]string, error) {
+		// Every point lazily resolves the SAME keys plus a per-point one,
+		// exercising both the memo-hit and memo-fill paths concurrently.
+		if _, _, err := c.Sets("afhq", modem.QAM256); err != nil {
+			return nil, err
+		}
+		c.Model("shared", func() *nn.ComplexLNN {
+			builds.Add(1)
+			return nn.NewComplexLNN(2, 3)
+		})
+		c.Model(fmt.Sprintf("point-%d", i%4), func() *nn.ComplexLNN {
+			return nn.NewComplexLNN(2, 3)
+		})
+		return []string{"ok"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("shared model trained %d times, want exactly 1", n)
 	}
 }
 

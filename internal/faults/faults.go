@@ -144,6 +144,9 @@ func New(d *ota.Deployment, rates Rates, src *rng.Source) (*Injector, error) {
 		}
 		in.cur = faulted
 	}
+	faultInjectors.Inc()
+	faultStuck.Set(float64(len(in.stuck)))
+	faultResidual.Set(in.ResidualError())
 	return in, nil
 }
 
@@ -252,6 +255,7 @@ func (in *Injector) newHook(d *ota.Deployment) *hook {
 // weight structure only.
 func (in *Injector) Heal() (*ota.Deployment, error) {
 	in.healed = true
+	faultHeals.Inc()
 	if len(in.stuck) == 0 {
 		return in.cur, nil
 	}
@@ -276,6 +280,7 @@ func (in *Injector) Heal() (*ota.Deployment, error) {
 		return nil, err
 	}
 	in.cur = healed
+	faultResidual.Set(in.ResidualError())
 	return healed, nil
 }
 

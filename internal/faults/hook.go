@@ -27,6 +27,7 @@ func (h *hook) BeginTransmission(int) {
 	h.kVar = 0
 	if h.rates.KCollapseProb > 0 && h.src.Bernoulli(h.rates.KCollapseProb) {
 		h.kVar = h.rates.KCollapseVar
+		faultCollapses.Inc()
 	}
 	h.bStart, h.bEnd = -1, -1
 	if h.rates.BurstProb > 0 && h.src.Bernoulli(h.rates.BurstProb) {
@@ -36,6 +37,7 @@ func (h *hook) BeginTransmission(int) {
 		}
 		h.bStart = h.src.IntN(h.u)
 		h.bEnd = h.bStart + n
+		faultBursts.Inc()
 	}
 }
 
@@ -49,9 +51,11 @@ func (h *hook) Symbol(r, i int, hv, x complex128) (complex128, complex128, compl
 	}
 	if h.rates.RowGlitchProb > 0 && h.src.Bernoulli(h.rates.RowGlitchProb) {
 		hv += h.glitch(r, i, h.src)
+		faultGlitches.Inc()
 	}
 	if h.rates.ErasureProb > 0 && h.src.Bernoulli(h.rates.ErasureProb) {
 		x = 0
+		faultErasures.Inc()
 	}
 	var extra complex128
 	if i >= h.bStart && i < h.bEnd {

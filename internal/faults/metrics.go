@@ -1,0 +1,18 @@
+package faults
+
+import "repro/internal/obs"
+
+// Fault-layer metrics: the drawn static damage, each dynamic fault
+// process's firing count, and the heal history. Counters are bumped only
+// when a fault actually fires, so the zero-rate path records nothing and
+// stays bit-identical (the abl-faults identity gate runs with these live).
+var (
+	faultInjectors = obs.NewCounter("faults.injectors")
+	faultStuck     = obs.NewGauge("faults.stuck.atoms")
+	faultResidual  = obs.NewGauge("faults.residual.error")
+	faultGlitches  = obs.NewCounter("faults.glitches.injected")
+	faultErasures  = obs.NewCounter("faults.erasures.injected")
+	faultBursts    = obs.NewCounter("faults.bursts.injected")
+	faultCollapses = obs.NewCounter("faults.collapses.injected")
+	faultHeals     = obs.NewCounter("faults.heals")
+)

@@ -4,6 +4,15 @@ import (
 	"sync"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
+)
+
+// Monitor metrics: the last observed decision margin (the serving fleet's
+// live health signal), total observations, and window resets after heals.
+var (
+	monMargin       = obs.NewGauge("mobility.margin")
+	monObservations = obs.NewCounter("mobility.observations")
+	monResets       = obs.NewCounter("mobility.resets")
 )
 
 // Monitor is the concurrency-safe serving-side counterpart of Feedback: any
@@ -49,6 +58,8 @@ func (m *Monitor) Observe(logits []float64) { m.ObserveMargin(Margin(logits)) }
 // ObserveMargin records one already-computed margin. Safe for concurrent
 // use.
 func (m *Monitor) ObserveMargin(mg float64) {
+	monMargin.Set(mg)
+	monObservations.Inc()
 	m.mu.Lock()
 	m.recent[m.idx] = mg
 	m.idx++
@@ -85,6 +96,7 @@ func (m *Monitor) Degraded() bool {
 // Reset clears the window — call after a recalibration or heal, so the
 // decision reflects only post-recovery readouts.
 func (m *Monitor) Reset() {
+	monResets.Inc()
 	m.mu.Lock()
 	m.idx = 0
 	m.filled = false

@@ -1,0 +1,69 @@
+package mts
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestNewSurfaceFabConfigurableSpread is the regression test for the
+// FabPhaseStd clobber: NewSurface used to overwrite the documented
+// configurable field with 0.05 whenever offsets were drawn. NewSurfaceFab
+// must honor a custom spread, and since Normal(0, σ) = σ·z with the same
+// underlying draws, equal seeds make the drawn offsets scale exactly with
+// the requested spread.
+func TestNewSurfaceFabConfigurableSpread(t *testing.T) {
+	mk := func(std float64) *Surface {
+		s, err := NewSurfaceFab(16, 16, 2, 5.25, std, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	narrow, wide := mk(0.05), mk(0.20)
+	if narrow.FabPhaseStd != 0.05 || wide.FabPhaseStd != 0.20 {
+		t.Fatalf("FabPhaseStd = %v / %v, want 0.05 / 0.20", narrow.FabPhaseStd, wide.FabPhaseStd)
+	}
+	ideal, err := NewSurfaceFab(16, 16, 2, 5.25, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := DefaultGeometry()
+	pp0, ppN, ppW := ideal.PathPhases(g), narrow.PathPhases(g), wide.PathPhases(g)
+	diff := false
+	for m := range pp0 {
+		offN := ppN[m] - pp0[m]
+		offW := ppW[m] - pp0[m]
+		if offN != offW {
+			diff = true
+		}
+		// Same seed, scaled spread: offsets must be exactly 4× (away from
+		// the ±π wrap seam, where WrapPhase can fold one and not the other).
+		if math.Abs(offN) < 0.5 && math.Abs(offW) < 0.5 {
+			if math.Abs(offW-4*offN) > 1e-9 {
+				t.Fatalf("atom %d: offsets %v and %v do not scale with the spread", m, offN, offW)
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("custom fabrication spread did not change the drawn offsets")
+	}
+
+	// Back-compat: the default-spread constructor is bit-identical to
+	// NewSurfaceFab at DefaultFabPhaseStd, so Prototype stays unchanged.
+	legacy, err := NewSurface(16, 16, 2, 5.25, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpp := legacy.PathPhases(g)
+	for m := range lpp {
+		if lpp[m] != ppN[m] {
+			t.Fatalf("atom %d: NewSurface and NewSurfaceFab(DefaultFabPhaseStd) diverge", m)
+		}
+	}
+
+	if _, err := NewSurfaceFab(16, 16, 2, 5.25, -0.1, rng.New(1)); err == nil {
+		t.Fatal("negative fabrication spread was accepted")
+	}
+}

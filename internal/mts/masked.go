@@ -4,6 +4,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/cplx"
+	"repro/internal/obs"
 )
 
 // SolveTargetMasked solves Eqn 7 with a subset of atoms pinned to fixed
@@ -21,6 +22,11 @@ func (s *Surface) SolveTargetMasked(target complex128, pathPhases []float64, pin
 	if len(pinned) == 0 {
 		return s.SolveTarget(target, pathPhases)
 	}
+	solveMaskedCalls.Inc()
+	t := obs.StartTimer()
+	defer t.ObserveInto(solveMaskedSecs)
+	var nPasses, nFlips int64
+	defer func() { solvePasses.Add(nPasses); solveFlips.Add(nFlips) }()
 	cfg := s.alignConfig(cmplx.Phase(target), pathPhases)
 	for m, st := range pinned {
 		cfg[m] = st
@@ -33,6 +39,7 @@ func (s *Surface) SolveTargetMasked(target complex128, pathPhases []float64, pin
 	}
 	const passes = 3
 	for p := 0; p < passes; p++ {
+		nPasses++
 		improved := false
 		for m := range cfg {
 			if _, stuck := pinned[m]; stuck {
@@ -56,6 +63,7 @@ func (s *Surface) SolveTargetMasked(target complex128, pathPhases []float64, pin
 				sum = base + bestPh
 				ph[m] = bestPh
 				improved = true
+				nFlips++
 			}
 		}
 		if !improved {

@@ -1,0 +1,18 @@
+package mts
+
+import "repro/internal/obs"
+
+// Solver metrics: call counts per solver variant, shared refinement-work
+// counters (coordinate-descent passes and atom state flips), and wall-clock
+// solve-time histograms (recorded only while obs is enabled). None of them
+// touch any rng.Source, so instrumented solves stay bit-identical.
+var (
+	solveCalls       = obs.NewCounter("mts.solve.calls")
+	solveMaskedCalls = obs.NewCounter("mts.solve.masked.calls")
+	solveMultiCalls  = obs.NewCounter("mts.solve.multi.calls")
+	solvePasses      = obs.NewCounter("mts.solve.passes")
+	solveFlips       = obs.NewCounter("mts.solve.flips")
+	solveSeconds     = obs.NewLatencyHistogram("mts.solve.seconds")
+	solveMaskedSecs  = obs.NewLatencyHistogram("mts.solve.masked.seconds")
+	solveMultiSecs   = obs.NewLatencyHistogram("mts.solve.multi.seconds")
+)

@@ -19,6 +19,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/cplx"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -42,10 +43,25 @@ type Surface struct {
 	fab    []float64 // per-atom static fabrication offsets
 }
 
+// DefaultFabPhaseStd is the mild per-atom fabrication phase spread
+// (radians) of the paper's prototype surface, used by NewSurface and
+// Prototype when drawing fabrication offsets.
+const DefaultFabPhaseStd = 0.05
+
 // NewSurface builds a surface. rows, cols and bits must be positive; the
-// fabrication offsets are drawn once from src (pass nil for an ideal
-// surface).
+// fabrication offsets are drawn once from src at the DefaultFabPhaseStd
+// spread (pass nil for an ideal surface). Use NewSurfaceFab to configure
+// the spread.
 func NewSurface(rows, cols, bits int, freqGHz float64, src *rng.Source) (*Surface, error) {
+	return NewSurfaceFab(rows, cols, bits, freqGHz, DefaultFabPhaseStd, src)
+}
+
+// NewSurfaceFab builds a surface whose per-atom static fabrication offsets
+// are drawn from src as N(0, fabStd²). With src nil or fabStd zero the
+// surface is fabrication-free (an ideal surface); fabStd must not be
+// negative. NewSurfaceFab(r, c, b, f, DefaultFabPhaseStd, src) is
+// bit-identical to NewSurface(r, c, b, f, src).
+func NewSurfaceFab(rows, cols, bits int, freqGHz, fabStd float64, src *rng.Source) (*Surface, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("mts: invalid grid %dx%d", rows, cols)
 	}
@@ -55,6 +71,9 @@ func NewSurface(rows, cols, bits int, freqGHz float64, src *rng.Source) (*Surfac
 	if freqGHz <= 0 {
 		return nil, fmt.Errorf("mts: invalid frequency %v GHz", freqGHz)
 	}
+	if fabStd < 0 {
+		return nil, fmt.Errorf("mts: negative fabrication spread %v", fabStd)
+	}
 	s := &Surface{Rows: rows, Cols: cols, Bits: bits, FreqGHz: freqGHz}
 	n := 1 << bits
 	s.states = make([]float64, n)
@@ -62,8 +81,8 @@ func NewSurface(rows, cols, bits int, freqGHz float64, src *rng.Source) (*Surfac
 		s.states[i] = 2 * math.Pi * float64(i) / float64(n)
 	}
 	s.fab = make([]float64, rows*cols)
-	if src != nil {
-		s.FabPhaseStd = 0.05
+	if src != nil && fabStd > 0 {
+		s.FabPhaseStd = fabStd
 		for i := range s.fab {
 			s.fab[i] = src.Normal(0, s.FabPhaseStd)
 		}
@@ -236,6 +255,11 @@ func (s *Surface) alignConfig(targetPhase float64, pathPhases []float64) Config 
 // keeping the best incremental sum). It returns the configuration and the
 // achieved ideal response.
 func (s *Surface) SolveTarget(target complex128, pathPhases []float64) (Config, complex128) {
+	solveCalls.Inc()
+	t := obs.StartTimer()
+	defer t.ObserveInto(solveSeconds)
+	var nPasses, nFlips int64
+	defer func() { solvePasses.Add(nPasses); solveFlips.Add(nFlips) }()
 	cfg := s.alignConfig(cmplx.Phase(target), pathPhases)
 	// Per-atom phasors under the current configuration.
 	ph := make([]complex128, len(cfg))
@@ -246,6 +270,7 @@ func (s *Surface) SolveTarget(target complex128, pathPhases []float64) (Config, 
 	}
 	const passes = 3
 	for p := 0; p < passes; p++ {
+		nPasses++
 		improved := false
 		for m := range cfg {
 			base := sum - ph[m]
@@ -266,6 +291,7 @@ func (s *Surface) SolveTarget(target complex128, pathPhases []float64) (Config, 
 				sum = base + bestPh
 				ph[m] = bestPh
 				improved = true
+				nFlips++
 			}
 		}
 		if !improved {

@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/cplx"
+	"repro/internal/obs"
 )
 
 // SolveMultiTarget finds a single configuration whose array factor
@@ -31,6 +32,11 @@ func (s *Surface) SolveMultiTarget(targets []complex128, paths [][]float64) (Con
 			panic(fmt.Sprintf("mts: path set %d has %d phases, surface has %d atoms", i, len(p), m))
 		}
 	}
+	solveMultiCalls.Inc()
+	t := obs.StartTimer()
+	defer t.ObserveInto(solveMultiSecs)
+	var nPasses, nFlips int64
+	defer func() { solvePasses.Add(nPasses); solveFlips.Add(nFlips) }()
 	cfg := s.alignConfig(cmplx.Phase(targets[0]), paths[0])
 	// Per-channel per-atom phasors and running sums.
 	ph := make([][]complex128, k) // ph[ch][atom]
@@ -53,6 +59,7 @@ func (s *Surface) SolveMultiTarget(targets []complex128, paths [][]float64) (Con
 	const passes = 4
 	cand := make([]complex128, k)
 	for p := 0; p < passes; p++ {
+		nPasses++
 		improved := false
 		for a := 0; a < m; a++ {
 			bestErr := totalErr()
@@ -75,6 +82,7 @@ func (s *Surface) SolveMultiTarget(targets []complex128, paths [][]float64) (Con
 					}
 					cfg[a] = uint8(st)
 					improved = true
+					nFlips++
 				}
 			}
 		}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.calls")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x.calls") != c {
+		t.Fatal("re-registration returned a different counter handle")
+	}
+	g := r.Gauge("x.level")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+
+	// nil handles must be inert, so optional instrumentation can skip the
+	// nil checks.
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	nc.Inc()
+	ng.Set(1)
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 {
+		t.Fatal("nil metric handles recorded something")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 0.2, 0.4})
+	for _, v := range []float64{0.05, 0.15, 0.15, 0.3, 0.9} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-1.55) > 1e-12 {
+		t.Fatalf("sum = %v, want 1.55", s.Sum)
+	}
+	wantCounts := []int64{1, 2, 1, 1} // ≤0.1, ≤0.2, ≤0.4, +Inf overflow
+	for i, want := range wantCounts {
+		if s.Buckets[i].Count != want {
+			t.Fatalf("bucket %d count = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Fatal("last bucket is not the +Inf overflow")
+	}
+	if q := s.Quantile(0.5); q < 0.1 || q > 0.2 {
+		t.Fatalf("p50 = %v, want within (0.1, 0.2]", q)
+	}
+	// The p99 observation lives in the overflow bucket: the estimate clamps
+	// to the largest finite bound.
+	if q := s.Quantile(0.99); q != 0.4 {
+		t.Fatalf("p99 = %v, want clamp to 0.4", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty-histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestTimerGatedByEnabled(t *testing.T) {
+	defer SetEnabled(false)
+	r := NewRegistry()
+	h := r.Histogram("timed", nil)
+
+	SetEnabled(false)
+	StartTimer().ObserveInto(h)
+	if h.Count() != 0 {
+		t.Fatal("disabled timer observed into the histogram")
+	}
+
+	SetEnabled(true)
+	tm := StartTimer()
+	time.Sleep(time.Millisecond)
+	tm.ObserveInto(h)
+	if h.Count() != 1 {
+		t.Fatal("enabled timer did not observe")
+	}
+	if s := r.Snapshot().Histograms["timed"]; s.Sum <= 0 {
+		t.Fatalf("timer sum = %v, want > 0", s.Sum)
+	}
+}
+
+func TestSnapshotExportsAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(3)
+	r.Gauge("a.level").Set(7)
+	r.Histogram("a.lat", nil).Observe(0.003)
+
+	var text bytes.Buffer
+	if err := r.Snapshot().WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counter a.count", "gauge   a.level", "hist    a.lat", "count=1"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text export missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON export does not parse: %v\n%s", err, jsonBuf.String())
+	}
+	if !strings.Contains(jsonBuf.String(), `"+Inf"`) {
+		t.Fatal("JSON export does not serialize the overflow bound as \"+Inf\"")
+	}
+
+	r.Reset()
+	s := r.Snapshot()
+	if s.Counters["a.count"] != 0 || s.Gauges["a.level"] != 0 || s.Histograms["a.lat"].Count != 0 {
+		t.Fatalf("Reset left state behind: %+v", s)
+	}
+}
+
+func TestFingerprintExcludesWallClock(t *testing.T) {
+	run := func(sum float64) map[string]uint64 {
+		r := NewRegistry()
+		r.Counter("c").Add(2)
+		r.Gauge("g").Set(0.25)
+		r.Histogram("h", nil).Observe(sum)
+		return r.Snapshot().Fingerprint()
+	}
+	a, b := run(0.001), run(0.9) // same counts, different latencies
+	if len(a) != len(b) {
+		t.Fatalf("fingerprint sizes differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("fingerprint key %s differs (%d vs %d) though only wall-clock values changed", k, v, b[k])
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	// Run under -race: counters, gauges, and histogram buckets must be safe
+	// for concurrent writers while a reader snapshots.
+	r := NewRegistry()
+	c := r.Counter("hot")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %g, want 0", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at most UpperBound (non-cumulative; the +Inf overflow bucket has
+// UpperBound math.Inf(1), serialized as "+Inf").
+type Bucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// MarshalJSON renders the +Inf overflow bound as the string "+Inf" (JSON
+// has no infinity literal).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := interface{}(b.UpperBound)
+	if math.IsInf(b.UpperBound, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(struct {
+		LE    interface{} `json:"le"`
+		Count int64       `json:"count"`
+	}{le, b.Count})
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum_seconds"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the containing bucket. Observations in the overflow bucket report
+// the largest finite bound. Returns 0 for an empty histogram.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count == 0 || len(hs.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hs.Count)
+	var cum int64
+	lower := 0.0
+	for _, b := range hs.Buckets {
+		prev := cum
+		cum += b.Count
+		if float64(cum) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return lower
+			}
+			if b.Count == 0 {
+				return b.UpperBound
+			}
+			frac := (rank - float64(prev)) / float64(b.Count)
+			return lower + frac*(b.UpperBound-lower)
+		}
+		if !math.IsInf(b.UpperBound, 1) {
+			lower = b.UpperBound
+		}
+	}
+	return lower
+}
+
+// Snapshot is a frozen, export-ready view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:   h.count.Load(),
+			Sum:     math.Float64frombits(h.sum.Load()),
+			Buckets: make([]Bucket, len(h.counts)),
+		}
+		for i := range h.counts {
+			bound := math.Inf(1)
+			if i < len(h.bounds) {
+				bound = h.bounds[i]
+			}
+			hs.Buckets[i] = Bucket{UpperBound: bound, Count: h.counts[i].Load()}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// sortedKeys returns the map's keys in lexical order, so every export is
+// stable.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the snapshot as aligned text, one metric per line,
+// sorted by name — the serve sidecar's /metrics format.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "counter %-32s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "gauge   %-32s %g\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "hist    %-32s count=%d sum=%.6fs p50=%.6fs p90=%.6fs p99=%.6fs\n",
+			name, h.Count, h.Sum, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON (keys sorted by
+// encoding/json's map ordering) — the sidecar's /metrics.json format and
+// the BENCH_serve.json payload.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Fingerprint returns the deterministic subset of the snapshot: every
+// counter, every gauge (bit-exact, as IEEE-754 bits), and every histogram's
+// observation COUNT — but no histogram sums or bucket placements, which
+// depend on wall-clock time. Under a fixed seed two runs of the same
+// workload produce identical fingerprints; the CI determinism gate asserts
+// exactly that.
+func (s Snapshot) Fingerprint() map[string]uint64 {
+	fp := make(map[string]uint64, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		fp["counter:"+name] = uint64(v)
+	}
+	for name, v := range s.Gauges {
+		fp["gauge:"+name] = math.Float64bits(v)
+	}
+	for name, h := range s.Histograms {
+		fp["histcount:"+name] = uint64(h.Count)
+	}
+	return fp
+}

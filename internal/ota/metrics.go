@@ -1,0 +1,14 @@
+package ota
+
+import "repro/internal/obs"
+
+// Session metrics: inference/transmission/symbol throughput counters plus a
+// wall-clock per-inference latency histogram (recorded only while obs is
+// enabled). Counters never touch the session's rng.Source, so instrumented
+// accumulators stay bit-identical to uninstrumented ones.
+var (
+	otaInferences    = obs.NewCounter("ota.inferences")
+	otaTransmissions = obs.NewCounter("ota.transmissions")
+	otaSymbols       = obs.NewCounter("ota.symbols")
+	otaInferSeconds  = obs.NewLatencyHistogram("ota.infer.seconds")
+)

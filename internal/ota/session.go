@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/cplx"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -60,6 +61,11 @@ func (s *Session) Accumulate(x []complex128) cplx.Vec {
 	if len(x) != d.u {
 		panic(fmt.Sprintf("ota: input length %d, deployed for U=%d", len(x), d.u))
 	}
+	t := obs.StartTimer()
+	defer t.ObserveInto(otaInferSeconds)
+	otaInferences.Inc()
+	otaTransmissions.Add(int64(d.classes))
+	otaSymbols.Add(int64(d.classes) * int64(d.u))
 	acc := make(cplx.Vec, d.classes)
 	noise2 := d.noise2
 	for r := 0; r < d.classes; r++ {

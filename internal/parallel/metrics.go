@@ -1,0 +1,31 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Parallel-scheme metrics: inference/transmission/symbol throughput, the
+// deployed subchannel count, per-subchannel output counters (subcarrier or
+// antenna utilization — the last group may be ragged, so high-index
+// subchannels can legitimately run behind), and a wall-clock per-inference
+// latency histogram recorded only while obs is enabled.
+var (
+	parInferences    = obs.NewCounter("parallel.inferences")
+	parTransmissions = obs.NewCounter("parallel.transmissions")
+	parSymbols       = obs.NewCounter("parallel.symbols")
+	parChannels      = obs.NewGauge("parallel.channels")
+	parInferSeconds  = obs.NewLatencyHistogram("parallel.infer.seconds")
+)
+
+// subchannelCounters returns one output counter per subchannel index.
+// Handles are memoized by name in the registry, so deployments at the same
+// channel count share them.
+func subchannelCounters(n int) []*obs.Counter {
+	out := make([]*obs.Counter, n)
+	for ch := range out {
+		out[ch] = obs.NewCounter(fmt.Sprintf("parallel.subchannel.%d.outputs", ch))
+	}
+	return out
+}

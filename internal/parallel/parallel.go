@@ -36,6 +36,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/cplx"
 	"repro/internal/mts"
+	"repro/internal/obs"
 	"repro/internal/ota"
 	"repro/internal/rng"
 )
@@ -187,6 +188,12 @@ type Deployment struct {
 	jitAtt   float64
 	jitVar   float64
 	noise2   float64
+
+	// chanOutputs[ci] is how many outputs subchannel ci computes per
+	// inference (the last group may be ragged); chanCounters are the
+	// matching obs counters, resolved once at deployment.
+	chanOutputs  []int64
+	chanCounters []*obs.Counter
 }
 
 // NewDeployment solves the shared per-symbol configurations realizing w
@@ -270,6 +277,14 @@ func NewDeployment(w *cplx.Mat, plan *Plan, opts Options) (*Deployment, error) {
 	// SNR anchored at the 256-atom prototype aperture, as in ota.
 	aperture := 256.0 / float64(opts.Surface.Atoms())
 	d.noise2 = d.sigRMS * d.sigRMS * d.ch.Params().NoiseSigma2() * aperture * aperture
+	parChannels.Set(float64(c))
+	d.chanOutputs = make([]int64, c)
+	for _, group := range d.groups {
+		for ci := range group {
+			d.chanOutputs[ci]++
+		}
+	}
+	d.chanCounters = subchannelCounters(c)
 	return d, nil
 }
 
@@ -362,6 +377,14 @@ func (s *Session) Logits(x []complex128) []float64 {
 	d := s.d
 	if len(x) != d.u {
 		panic(fmt.Sprintf("parallel: input length %d, deployed for U=%d", len(x), d.u))
+	}
+	t := obs.StartTimer()
+	defer t.ObserveInto(parInferSeconds)
+	parInferences.Inc()
+	parTransmissions.Add(int64(len(d.groups)))
+	parSymbols.Add(int64(len(d.groups)) * int64(d.u))
+	for ci, n := range d.chanOutputs {
+		d.chanCounters[ci].Add(n)
 	}
 	out := make([]float64, d.classes)
 	noise2 := d.noise2
