@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz faultgate check bench
+.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate check bench
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,22 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s -run='^$$' ./internal/airproto
 
+# ckptfuzz smokes the checkpoint decoder for 10s: any input either fails
+# with a typed error or decodes to a value that re-encodes byte-identically.
+ckptfuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run='^$$' ./internal/checkpoint
+
 # faultgate runs a tiny abl-faults sweep; the runner errors out (non-zero
 # exit) if the zero-fault-rate point is not bit-identical to the unfaulted
 # baseline.
 faultgate:
 	$(GO) run ./cmd/metaai-bench -exp abl-faults -evalcap 40
+
+# recovergate is the crash-recovery acceptance gate, under -race: journal a
+# served epoch, kill without ceremony, corrupt the newest entry, and recover
+# the previous epoch with bit-identical accumulators and zero re-solves.
+recovergate:
+	$(GO) test -race -count=1 -run 'TestKillAndRecoverBitIdentity|TestRecoverSkipsCorruptEpochs' ./cmd/metaai-serve
 
 # obsgate asserts observability determinism: two seeded serve-path runs
 # must produce bit-identical metric fingerprints.
@@ -30,9 +41,10 @@ obsgate:
 	$(GO) test -run 'TestServeBenchDeterministicFingerprint' ./cmd/metaai-bench
 
 # check is the full gate: vet, plain tests, the race detector over the
-# concurrent evaluator, sweeps, and serve paths, the airproto fuzz smoke,
-# the abl-faults zero-rate identity gate, and the obs determinism gate.
-check: vet test race fuzz faultgate obsgate
+# concurrent evaluator, sweeps, and serve paths, the airproto and checkpoint
+# fuzz smokes, the abl-faults zero-rate identity gate, the crash-recovery
+# gate, and the obs determinism gate.
+check: vet test race fuzz ckptfuzz faultgate recovergate obsgate
 
 # bench runs the Go micro-benchmarks, then the serve-path observability
 # benchmark, which snapshots its metrics into BENCH_serve.json. Emit-only:

@@ -18,8 +18,14 @@ go test -race ./...
 echo "== airproto fuzz smoke (10s) =="
 go test -fuzz=FuzzUnmarshal -fuzztime=10s -run='^$' ./internal/airproto
 
+echo "== checkpoint fuzz smoke (10s) =="
+go test -fuzz=FuzzDecode -fuzztime=10s -run='^$' ./internal/checkpoint
+
 echo "== abl-faults zero-rate bit-identity =="
 go run ./cmd/metaai-bench -exp abl-faults -evalcap 40
+
+echo "== crash-recovery gate (save -> corrupt -> recover, -race) =="
+go test -race -count=1 -run 'TestKillAndRecoverBitIdentity|TestRecoverSkipsCorruptEpochs' ./cmd/metaai-serve
 
 echo "== obs determinism gate =="
 go test -run 'TestServeBenchDeterministicFingerprint' ./cmd/metaai-bench

@@ -6,6 +6,7 @@
 //
 //	metaai-serve -dataset mnist -addr 127.0.0.1:9530 -workers 4
 //	metaai-serve -dataset mnist -fault-rate 0.3 -self-heal
+//	metaai-serve -dataset mnist -self-heal -state-dir /var/lib/metaai
 //	metaai-serve -dataset mnist -metrics-addr 127.0.0.1:9531
 //	metaai-serve -probe 127.0.0.1:9530 -dataset mnist -timeout 5s -stats 50
 //
@@ -19,8 +20,18 @@
 // collapse) into the emulated hardware; -self-heal arms a health monitor
 // that watches the fleet's decision margins and, on degradation, re-solves
 // the schedule around the stuck atoms and hot-swaps the deployment with
-// zero request loss. Malformed or mis-sized frames and shed load are
-// answered with explicit airproto NACKs instead of silence.
+// zero request loss. Heal candidates are canary-validated against the
+// healthy deployment's own predictions on held-out probes before they are
+// published, and a published heal that regresses the observed margins is
+// automatically rolled back to the previous epoch.
+//
+// -state-dir makes the serving state durable: every published epoch (the
+// initial deployment, each heal, each rollback) is journaled as a sealed
+// checkpoint, and on restart the server recovers the newest valid epoch —
+// skipping corrupt or truncated entries — and resumes serving with zero
+// re-training and zero schedule re-solving. Malformed or mis-sized frames
+// and shed load are answered with explicit airproto NACKs instead of
+// silence.
 package main
 
 import (
@@ -38,11 +49,30 @@ import (
 
 	metaai "repro"
 
+	"repro/internal/checkpoint"
+	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/mobility"
+	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/rng"
 )
+
+// serverOptions bundles the serving knobs main parses from flags.
+type serverOptions struct {
+	ds           string
+	seed         uint64
+	workers      int
+	faultRate    float64
+	sabotage     float64
+	selfHeal     bool
+	healFrac     float64
+	healWin      int
+	healEvery    time.Duration
+	canaryFrac   float64
+	rollbackFrac float64
+	stateDir     string
+}
 
 func main() {
 	var (
@@ -57,17 +87,23 @@ func main() {
 		healFrac  = flag.Float64("heal-frac", 0.5, "degradation threshold as a fraction of the healthy mean margin")
 		healWin   = flag.Int("heal-window", 32, "margin observations averaged per health decision")
 		healEvery = flag.Duration("heal-every", 250*time.Millisecond, "health supervisor polling period")
+		canary    = flag.Float64("canary-frac", 0.8, "minimum prediction agreement with the healthy deployment a heal candidate needs on the held-out probes")
+		rollback  = flag.Float64("rollback-frac", 0.75, "roll a published heal back when the margin mean falls below this fraction of the pre-heal level (0 disables)")
+		stateDir  = flag.String("state-dir", "", "journal every published epoch here and recover the newest valid one on restart")
+		sabotage  = flag.Float64("sabotage-heal", 0, "deliberately corrupt this fraction of every heal candidate's schedule (exercises the canary gate and rollback)")
 		metrics   = flag.String("metrics-addr", "", "serve the observability sidecar (metrics, expvar, pprof) on this HTTP address and enable latency timing")
 		stats     = flag.Int("stats", 0, "probe: after the classification, send this many timed requests and report latency percentiles")
 	)
 	flag.Parse()
 
+	var sidecar *http.Server
 	if *metrics != "" {
 		// Timing histograms are gated behind obs; the sidecar turns them on.
 		obs.SetEnabled(true)
+		sidecar = &http.Server{Addr: *metrics, Handler: metricsMux()}
 		go func() {
 			log.Printf("observability sidecar on http://%s (metrics, expvar, pprof)", *metrics)
-			if err := http.ListenAndServe(*metrics, metricsMux()); err != nil {
+			if err := sidecar.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics sidecar: %v", err)
 			}
 		}()
@@ -79,50 +115,176 @@ func main() {
 		}
 		return
 	}
-	if err := runServer(*addr, *ds, *seed, *workers, *faultRate, *selfHeal, *healFrac, *healWin, *healEvery); err != nil {
+	opt := serverOptions{
+		ds:           *ds,
+		seed:         *seed,
+		workers:      *workers,
+		faultRate:    *faultRate,
+		sabotage:     *sabotage,
+		selfHeal:     *selfHeal,
+		healFrac:     *healFrac,
+		healWin:      *healWin,
+		healEvery:    *healEvery,
+		canaryFrac:   *canary,
+		rollbackFrac: *rollback,
+		stateDir:     *stateDir,
+	}
+	if err := runServer(*addr, opt, sidecar); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runServer(addr, ds string, seed uint64, workers int, faultRate float64, selfHeal bool, healFrac float64, healWin int, healEvery time.Duration) error {
-	log.Printf("training %s pipeline and solving MTS schedules...", ds)
-	cfg := metaai.DefaultConfig(ds)
-	cfg.Seed = seed
+// probeSets splits the encoded test inputs into the monitor-calibration
+// batch and the held-out canary batch. The two must not overlap: the canary
+// judges a candidate on inputs the health monitor never consumed.
+func probeSets(x [][]complex128) (monitor, canary [][]complex128) {
+	monitor = x
+	if len(monitor) > 64 {
+		monitor = monitor[:64]
+	}
+	if len(x) > 96 {
+		canary = x[64:96]
+	} else if len(x) > 64 {
+		canary = x[64:]
+	} else {
+		canary = monitor // tiny set: reuse rather than gate on nothing
+	}
+	return monitor, canary
+}
+
+// buildServerConfig assembles the serving state. With a recoverable journal
+// entry it restores the deployment bit-for-bit from disk — no training, no
+// schedule solving; otherwise it trains and deploys a fresh pipeline (the
+// cold start) whose first epoch seeds the journal.
+func buildServerConfig(opt serverOptions) (serverConfig, *checkpoint.Journal, error) {
+	serveCfg := serverConfig{
+		workers:      opt.workers,
+		healEvery:    opt.healEvery,
+		canaryFrac:   opt.canaryFrac,
+		canarySeed:   opt.seed ^ 0xca9a,
+		rollbackFrac: opt.rollbackFrac,
+		sessionSrc:   rng.New(opt.seed ^ 0x5e55),
+		logf:         log.Printf,
+	}
+
+	var journal *checkpoint.Journal
+	var recovered *checkpoint.Epoch
+	if opt.stateDir != "" {
+		var err error
+		journal, err = checkpoint.OpenJournal(opt.stateDir)
+		if err != nil {
+			return serveCfg, nil, err
+		}
+		serveCfg.journal = journal
+		recovered, err = recoverEpoch(journal, opt.ds)
+		if err != nil {
+			return serveCfg, nil, err
+		}
+	}
+
+	cfg := metaai.DefaultConfig(opt.ds)
+	cfg.Seed = opt.seed
+
+	if recovered != nil {
+		// Warm start: the journal already holds the solved deployment.
+		d, err := restoreDeployment(recovered)
+		if err != nil {
+			return serveCfg, nil, err
+		}
+		log.Printf("recovered epoch %d (%s) from %s: zero re-train, zero re-solve",
+			recovered.Seq, recovered.Reason, journal.Dir())
+		serveCfg.deployment = d
+		serveCfg.reference = d
+		serveCfg.initialReason = "recover"
+		serveCfg.meta = recovered.Meta
+		serveCfg.meta.FaultRate = opt.faultRate
+
+		// The encoded test set rebuilds cheaply (load + modulate, no
+		// training) and supplies the monitor and canary probes.
+		raw, err := dataset.Load(cfg.Dataset, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return serveCfg, nil, err
+		}
+		test := nn.EncodeSet(raw.Test, raw.Classes, nn.Encoder{Scheme: cfg.Scheme})
+		monProbes, canaryProbes := probeSets(test.X)
+		serveCfg.canaryProbes = canaryProbes
+
+		if opt.faultRate > 0 {
+			// The recovered responses already carry whatever static damage
+			// was baked in when the epoch was journaled, so only the
+			// DYNAMIC fault load re-arms; re-sampling stuck atoms on top of
+			// a healed deployment would damage it twice.
+			rates := faults.Mix(opt.faultRate)
+			rates.StuckAtomFrac = 0
+			inj, err := faults.New(d, rates, rng.New(opt.seed^0xfa017))
+			if err != nil {
+				return serveCfg, nil, err
+			}
+			inj.SabotageHeal(opt.sabotage)
+			serveCfg.injector = inj
+			serveCfg.deployment = inj.Deployment()
+			log.Printf("dynamic fault injection re-armed at rate %.2f (static damage restored from the journal)", opt.faultRate)
+		}
+		if opt.selfHeal {
+			if th := recovered.Th; th.Window > 0 {
+				serveCfg.monitor = mobility.NewMonitor(th.Threshold, th.Window)
+				log.Printf("self-healing re-armed from journaled thresholds: margin %.4f over a %d-readout window",
+					th.Threshold, th.Window)
+			} else {
+				serveCfg.monitor = mobility.CalibrateMonitor(
+					d.SessionFromSeed(opt.seed^0x4ea1), monProbes, opt.healFrac, opt.healWin)
+				log.Printf("self-healing re-armed: margin threshold %.4f over a %d-readout window",
+					serveCfg.monitor.Threshold(), opt.healWin)
+			}
+		}
+		return serveCfg, journal, nil
+	}
+
+	// Cold start: train, deploy, and let the first epoch seed the journal.
+	log.Printf("training %s pipeline and solving MTS schedules...", opt.ds)
 	pipe, err := metaai.Run(cfg)
 	if err != nil {
-		return err
+		return serveCfg, nil, err
 	}
 	log.Printf("deployed: %d classes, U=%d symbols, sim %.1f%%, air %.1f%%",
 		pipe.Train.Classes, pipe.Train.U, 100*pipe.SimAccuracy(), 100*pipe.AirAccuracy())
 
-	serveCfg := serverConfig{
-		deployment: pipe.Deployment(),
-		workers:    workers,
-		healEvery:  healEvery,
-		sessionSrc: rng.New(seed ^ 0x5e55),
-		logf:       log.Printf,
+	serveCfg.deployment = pipe.Deployment()
+	serveCfg.reference = pipe.Deployment()
+	serveCfg.meta = checkpoint.Meta{Dataset: opt.ds, Seed: opt.seed, FaultRate: opt.faultRate}
+	if cfg.Sync == metaai.SyncCoarse || cfg.Sync == metaai.SyncCDFA {
+		det := cfg.EffectiveDetector(pipe.Train.U)
+		serveCfg.meta.DetShape, serveCfg.meta.DetScale = det.Shape, det.Scale
 	}
-	if faultRate > 0 {
-		inj, err := faults.New(pipe.Deployment(), faults.Mix(faultRate), rng.New(seed^0xfa017))
+	monProbes, canaryProbes := probeSets(pipe.Test.X)
+	serveCfg.canaryProbes = canaryProbes
+
+	if opt.faultRate > 0 {
+		inj, err := faults.New(pipe.Deployment(), faults.Mix(opt.faultRate), rng.New(opt.seed^0xfa017))
 		if err != nil {
-			return err
+			return serveCfg, nil, err
 		}
+		inj.SabotageHeal(opt.sabotage)
 		serveCfg.injector = inj
 		serveCfg.deployment = inj.Deployment()
 		log.Printf("fault injection armed at rate %.2f: %d stuck atoms, residual error %.4f",
-			faultRate, len(inj.StuckAtoms()), inj.ResidualError())
+			opt.faultRate, len(inj.StuckAtoms()), inj.ResidualError())
 	}
-	if selfHeal {
+	if opt.selfHeal {
 		// Calibrate the degradation threshold against the HEALTHY
 		// deployment's margins (the bound default session), before any
 		// injected damage.
-		probes := pipe.Test.X
-		if len(probes) > 64 {
-			probes = probes[:64]
-		}
-		serveCfg.monitor = mobility.CalibrateMonitor(pipe.System, probes, healFrac, healWin)
+		serveCfg.monitor = mobility.CalibrateMonitor(pipe.System, monProbes, opt.healFrac, opt.healWin)
 		log.Printf("self-healing armed: margin threshold %.4f over a %d-readout window",
-			serveCfg.monitor.Threshold(), healWin)
+			serveCfg.monitor.Threshold(), opt.healWin)
+	}
+	return serveCfg, journal, nil
+}
+
+func runServer(addr string, opt serverOptions, sidecar *http.Server) error {
+	serveCfg, journal, err := buildServerConfig(opt)
+	if err != nil {
+		return err
 	}
 	srv := newAirServer(serveCfg)
 
@@ -141,13 +303,26 @@ func runServer(addr, ds string, seed uint64, workers int, faultRate float64, sel
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		conn.Close() // unblock the read loop
+		conn.Close() // unblock the read loop; serve() then drains the workers
 	}()
 
 	err = srv.serve(conn)
+
+	// Clean-exit ordering: serve() has drained in-flight requests; flush
+	// the journal, then take down the sidecar.
+	var fl flusher
+	if journal != nil {
+		fl = journal
+	}
+	var sd shutdowner
+	if sidecar != nil {
+		sd = sidecar
+	}
+	closeStack(fl, sd, log.Printf)
+
 	if ctx.Err() != nil {
-		log.Printf("shutting down after %d transmissions (%d healed swaps, %d shed)",
-			srv.served.Load(), srv.swaps.Load(), srv.shed.Load())
+		log.Printf("shutting down after %d transmissions (%d healed swaps, %d rollbacks, %d shed)",
+			srv.served.Load(), srv.swaps.Load(), srv.rollbacks.Load(), srv.shed.Load())
 		return nil
 	}
 	return err

@@ -20,14 +20,18 @@ import (
 //	serve.nacked           bad-frame / wrong-length NACKs
 //	serve.heals            heal() invocations (monitor-triggered or manual)
 //	serve.swaps            epochs published after the first
+//	serve.canary_rejects   heal candidates rejected by the canary gate
+//	serve.rollbacks        published heals rolled back by the supervisor
 var (
-	reqSeconds  = obs.NewLatencyHistogram("serve.request.seconds")
-	queueDepth  = obs.NewGauge("serve.queue.depth")
-	servedCount = obs.NewCounter("serve.served")
-	shedCount   = obs.NewCounter("serve.shed")
-	nackedCount = obs.NewCounter("serve.nacked")
-	healCount   = obs.NewCounter("serve.heals")
-	swapCount   = obs.NewCounter("serve.swaps")
+	reqSeconds        = obs.NewLatencyHistogram("serve.request.seconds")
+	queueDepth        = obs.NewGauge("serve.queue.depth")
+	servedCount       = obs.NewCounter("serve.served")
+	shedCount         = obs.NewCounter("serve.shed")
+	nackedCount       = obs.NewCounter("serve.nacked")
+	healCount         = obs.NewCounter("serve.heals")
+	swapCount         = obs.NewCounter("serve.swaps")
+	canaryRejectCount = obs.NewCounter("serve.canary_rejects")
+	rollbackCount     = obs.NewCounter("serve.rollbacks")
 )
 
 // metricsMux builds the observability sidecar: the obs snapshot in text and

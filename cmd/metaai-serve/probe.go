@@ -87,7 +87,30 @@ func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout time.Dur
 		n, lat[0].Round(time.Microsecond), pct(0.50).Round(time.Microsecond),
 		pct(0.90).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
 		lat[len(lat)-1].Round(time.Microsecond))
+	if line, err := serverStatsLine(conn, uint32(n+2), timeout, src); err != nil {
+		// Older servers don't speak KindStats; latency numbers still stand.
+		log.Printf("probe: server stats unavailable: %v", err)
+	} else {
+		fmt.Println(line)
+	}
 	return nil
+}
+
+// serverStatsLine asks the server for its serving counters over the wire
+// (an airproto KindStats exchange) and formats them — heal, rollback, and
+// epoch visibility without attaching the HTTP sidecar.
+func serverStatsLine(conn *net.UDPConn, id uint32, timeout time.Duration, src *rng.Source) (string, error) {
+	resp, err := exchange(conn, &airproto.Frame{Kind: airproto.KindStats, ID: id}, timeout, probeBackoffBase, probeAttempts, src)
+	if err != nil {
+		return "", err
+	}
+	if resp.Kind != airproto.KindStats || len(resp.Data) < airproto.StatsVectorLen {
+		return "", fmt.Errorf("malformed stats reply (kind %d, %d values)", resp.Kind, len(resp.Data))
+	}
+	at := func(i int) int64 { return int64(real(resp.Data[i])) }
+	return fmt.Sprintf("server stats: served %d  heals %d  swaps %d  rollbacks %d  canary-rejects %d  epoch %d",
+		at(airproto.StatServed), at(airproto.StatHeals), at(airproto.StatSwaps),
+		at(airproto.StatRollbacks), at(airproto.StatCanaryRejects), at(airproto.StatEpochSeq)), nil
 }
 
 // exchange sends req and waits for THE MATCHING response: a reply whose ID
@@ -114,12 +137,7 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.
 		attempts = 1
 	}
 	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			delay := time.Duration(float64(backoffBase) * float64(int(1)<<(attempt-1)) * (0.5 + src.Float64()))
-			log.Printf("probe: attempt %d/%d failed (%v), retrying in %v", attempt, attempts, lastErr, delay.Round(time.Millisecond))
-			time.Sleep(delay)
-		}
+	for attempt := 1; attempt <= attempts; attempt++ {
 		drainStale(conn)
 		if _, err := conn.Write(out); err != nil {
 			return nil, err
@@ -128,25 +146,33 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.
 			return nil, err
 		}
 		resp, err := readMatching(conn, req.ID)
-		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				lastErr = fmt.Errorf("no response within %v", timeout)
-				continue
+		switch {
+		case err != nil:
+			ne, ok := err.(net.Error)
+			if !ok || !ne.Timeout() {
+				return nil, err
 			}
-			return nil, err
-		}
-		if resp.IsNack() {
+			lastErr = fmt.Errorf("no response within %v", timeout)
+		case resp.IsNack():
 			switch resp.Code {
 			case airproto.StatusDegraded:
 				lastErr = fmt.Errorf("server degraded, asked to back off")
-				continue
 			case airproto.StatusWrongLen:
 				return nil, fmt.Errorf("server rejected frame: deployed for U=%d symbols, sent %d", resp.Label, len(req.Data))
 			default:
 				return nil, fmt.Errorf("server rejected frame as malformed (status %d)", resp.Code)
 			}
+		default:
+			return resp, nil
 		}
-		return resp, nil
+		// The backoff sleeps only BETWEEN attempts: once the final attempt
+		// has failed there is nothing left to wait for, and the caller gets
+		// the verdict immediately.
+		if attempt < attempts {
+			delay := time.Duration(float64(backoffBase) * float64(int(1)<<(attempt-1)) * (0.5 + src.Float64()))
+			log.Printf("probe: attempt %d/%d failed (%v), retrying in %v", attempt, attempts, lastErr, delay.Round(time.Millisecond))
+			time.Sleep(delay)
+		}
 	}
 	return nil, fmt.Errorf("gave up after %d attempts: %v", attempts, lastErr)
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/airproto"
+	"repro/internal/checkpoint"
+	"repro/internal/rng"
+)
+
+// TestExchangeNoBackoffAfterFinalFailure pins the retry-loop fix: the
+// jittered exponential backoff sleeps only BETWEEN attempts. Once the final
+// attempt has failed, exchange returns the verdict immediately instead of
+// sleeping one more (useless, and largest) backoff interval first.
+func TestExchangeNoBackoffAfterFinalFailure(t *testing.T) {
+	addr, received := fakeResponder(t, func(req *airproto.Frame, n int) []*airproto.Frame {
+		return []*airproto.Frame{airproto.Nack(req.ID, airproto.StatusDegraded, 0)}
+	})
+	conn := dialServer(t, addr)
+
+	const base = 150 * time.Millisecond
+	start := time.Now()
+	_, err := exchange(conn, &airproto.Frame{ID: 6, Data: []complex128{1}},
+		2*time.Second, base, 3, rng.New(1))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("exchange succeeded against a permanently degraded server")
+	}
+	if got := received.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	// Two inter-attempt sleeps happened (each at least base/2, so ≥ 225ms
+	// total for the 1× and 2× intervals)...
+	if elapsed < 225*time.Millisecond {
+		t.Fatalf("exchange returned in %v: the inter-attempt backoff never ran", elapsed)
+	}
+	// ...but never a third: the post-final-failure sleep would be the 4×
+	// interval, at least 300ms on top of the ≤675ms the two legitimate
+	// sleeps can take.
+	if elapsed > 900*time.Millisecond {
+		t.Fatalf("exchange took %v: it slept after the final attempt's failure", elapsed)
+	}
+}
+
+// TestProbeStatsReadsServerCounters exercises the KindStats exchange end to
+// end: a real airServer answers the probe's counter request with its served/
+// heal/swap/rollback/canary/epoch numbers, formatted by serverStatsLine.
+func TestProbeStatsReadsServerCounters(t *testing.T) {
+	d := testDeployment(t, 71)
+	journal, err := checkpoint.OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newAirServer(serverConfig{
+		deployment: d,
+		journal:    journal,
+		meta:       checkpoint.Meta{Dataset: "synthetic", Seed: 71},
+		workers:    2,
+		sessionSrc: rng.New(4),
+		logf:       t.Logf,
+	})
+	addr, shutdown := startServer(t, srv)
+	defer shutdown()
+	conn := dialServer(t, addr)
+
+	// One data request, one republish heal: known counter values.
+	req := &airproto.Frame{ID: 1, Data: testSymbols(d.InputLen(), 1)}
+	if _, err := exchange(conn, req, 5*time.Second, time.Millisecond, 3, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	srv.heal()
+
+	line, err := serverStatsLine(conn, 99, 5*time.Second, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"served 1", "heals 1", "swaps 1", "rollbacks 0", "canary-rejects 0", "epoch 2"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("stats line %q missing %q", line, want)
+		}
+	}
+}

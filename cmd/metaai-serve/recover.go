@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/clocksync"
+	"repro/internal/ota"
+)
+
+// restoreDeployment rebuilds a servable deployment from a journaled epoch:
+// ota.FromState restores the solved schedules, realized responses, and
+// channel statistics bit-for-bit — zero re-training, zero re-solving — and
+// the epoch's Meta carries the coarse detector's two parameters, which is
+// all that is needed to re-attach the clock-sync sampler the state layer
+// cannot serialize (it is a function).
+func restoreDeployment(ep *checkpoint.Epoch) (*ota.Deployment, error) {
+	if ep.State == nil {
+		return nil, fmt.Errorf("epoch %d carries no deployment state", ep.Seq)
+	}
+	d, err := ota.FromState(ep.State)
+	if err != nil {
+		return nil, err
+	}
+	if ep.Meta.DetShape > 0 {
+		det := clocksync.CoarseDetector{Shape: ep.Meta.DetShape, Scale: ep.Meta.DetScale}
+		d = d.WithSyncSampler(clocksync.CoarseSampler(det, d.Options().SymbolRateHz))
+	}
+	return d, nil
+}
+
+// recoverEpoch loads the newest valid epoch for dataset ds from the
+// journal, falling back across corrupt or truncated entries. A nil epoch
+// with a nil error means cold start: the journal is empty or nothing in it
+// decodes (each skipped entry already bumped checkpoint.corrupt). A
+// dataset mismatch is an error, not a silent cold start — pointing a server
+// at another dataset's state directory is an operator mistake that should
+// refuse loudly rather than overwrite the journal.
+func recoverEpoch(j *checkpoint.Journal, ds string) (*checkpoint.Epoch, error) {
+	ep, err := j.Recover()
+	if err != nil {
+		if errors.Is(err, checkpoint.ErrNoEpoch) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if ep.Meta.Dataset != ds {
+		return nil, fmt.Errorf("journal %s holds dataset %q, not %q (use a fresh -state-dir)",
+			j.Dir(), ep.Meta.Dataset, ds)
+	}
+	return ep, nil
+}
+
+// flusher and shutdowner are the narrow seams closeStack needs, so the
+// clean-exit ordering is testable with fakes recording call order.
+type flusher interface{ Close() error }
+
+type shutdowner interface {
+	Shutdown(ctx context.Context) error
+}
+
+// closeStack runs the post-drain shutdown sequence in its required order:
+// first flush the epoch journal (durability before anything else dies),
+// then stop the metrics sidecar (observability goes last, so the final
+// counter values stay scrapeable until the journal is safely on disk).
+// serve() has already drained the worker fleet by the time this runs; pass
+// untyped nils for absent components.
+func closeStack(journal flusher, sidecar shutdowner, logf func(string, ...interface{})) {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			logf("journal: close: %v", err)
+		}
+	}
+	if sidecar != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := sidecar.Shutdown(ctx); err != nil {
+			logf("metrics sidecar: shutdown: %v", err)
+		}
+	}
+}

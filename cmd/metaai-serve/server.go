@@ -8,12 +8,19 @@ import (
 	"time"
 
 	"repro/internal/airproto"
+	"repro/internal/checkpoint"
 	"repro/internal/faults"
 	"repro/internal/mobility"
 	"repro/internal/obs"
 	"repro/internal/ota"
 	"repro/internal/rng"
 )
+
+// journalKeep bounds the state directory: every publish prunes the epoch
+// journal down to this many newest entries. Two is the floor (the current
+// epoch plus the rollback target); eight keeps a little history for
+// post-mortems without letting the directory grow with uptime.
+const journalKeep = 8
 
 // epoch is one immutable serving generation: a deployment plus one session
 // per worker. Workers resolve the current epoch per request through an
@@ -45,6 +52,37 @@ type serverConfig struct {
 	healEvery time.Duration
 	// sessionSrc seeds the per-epoch session fleets.
 	sessionSrc *rng.Source
+	// journal, when non-nil, durably records every published epoch (the
+	// initial deployment, each heal, each rollback) as a sealed checkpoint —
+	// the crash-recovery WAL. Writes happen under healMu, entirely off the
+	// request path.
+	journal *checkpoint.Journal
+	// meta is stamped into every journaled epoch so recovery can match the
+	// dataset and rebuild the clock-sync sampler.
+	meta checkpoint.Meta
+	// initialReason labels the first journaled epoch: "deploy" on a cold
+	// start, "recover" when the deployment was restored from the journal.
+	initialReason string
+	// reference, when non-nil, is the known-healthy deployment whose
+	// predictions define the canary's golden outputs (defaults to
+	// deployment, which is correct only when deployment itself is healthy —
+	// a fault-injected server must point this at the pre-damage one).
+	reference *ota.Deployment
+	// canaryProbes, when non-empty, gate every heal candidate: its
+	// predictions on these held-out inputs must agree with the reference's
+	// on at least canaryFrac of them, or the candidate is rejected without
+	// ever being published.
+	canaryProbes [][]complex128
+	// canaryFrac is the minimum golden-output agreement (default 0.8).
+	canaryFrac float64
+	// canarySeed seeds the canary evaluation sessions so the gate is
+	// deterministic for a given candidate.
+	canarySeed uint64
+	// rollbackFrac arms the post-publication supervisor: once the margin
+	// window refills after a heal, a mean below rollbackFrac times the
+	// pre-heal mean rolls the server back to the previous epoch. Zero
+	// disables rollback.
+	rollbackFrac float64
 	// logf receives progress lines; nil silences them.
 	logf func(format string, args ...interface{})
 	// preInfer, when non-nil, runs in each worker just before it processes
@@ -59,12 +97,27 @@ type airServer struct {
 	cfg serverConfig
 	cur atomic.Pointer[epoch]
 
-	served atomic.Int64 // data frames answered
-	shed   atomic.Int64 // StatusDegraded NACKs sent (queue full)
-	nacked atomic.Int64 // bad-frame / wrong-length NACKs sent
-	swaps  atomic.Int64 // epochs published after the first
+	served        atomic.Int64  // data frames answered
+	shed          atomic.Int64  // StatusDegraded NACKs sent (queue full)
+	nacked        atomic.Int64  // bad-frame / wrong-length NACKs sent
+	swaps         atomic.Int64  // epochs published after the first
+	heals         atomic.Int64  // heal() invocations
+	rollbacks     atomic.Int64  // published heals rolled back by the supervisor
+	canaryRejects atomic.Int64  // heal candidates the canary gate refused
+	epochSeq      atomic.Uint64 // journal sequence of the current epoch (0 when unjournaled)
 
-	healMu sync.Mutex // serializes heal() against itself
+	healMu sync.Mutex // serializes heal()/rollback and guards watch
+	// watch, when non-nil, is the post-publication rollback supervisor's
+	// state: the margin level before the last heal and the epoch to return
+	// to if the heal regresses.
+	watch *healWatch
+}
+
+// healWatch is armed when a heal publishes and resolved on the first
+// supervisor tick after the margin window refills with post-heal readouts.
+type healWatch struct {
+	preMean float64 // mean margin immediately before the heal published
+	prev    *ota.Deployment
 }
 
 func newAirServer(cfg serverConfig) *airServer {
@@ -80,11 +133,21 @@ func newAirServer(cfg serverConfig) *airServer {
 	if cfg.sessionSrc == nil {
 		cfg.sessionSrc = rng.New(1)
 	}
+	if cfg.canaryFrac <= 0 {
+		cfg.canaryFrac = 0.8
+	}
+	if cfg.reference == nil {
+		cfg.reference = cfg.deployment
+	}
+	if cfg.initialReason == "" {
+		cfg.initialReason = "deploy"
+	}
 	if cfg.logf == nil {
 		cfg.logf = func(string, ...interface{}) {}
 	}
 	s := &airServer{cfg: cfg}
 	s.cur.Store(&epoch{d: cfg.deployment, sessions: s.newSessions(cfg.deployment)})
+	s.journalAppend(cfg.deployment, cfg.initialReason)
 	return s
 }
 
@@ -102,37 +165,152 @@ func (s *airServer) newSessions(d *ota.Deployment) []*ota.Session {
 	return out
 }
 
-// heal publishes a recovered epoch: the masked-atom re-solve when the
-// injector still carries unhealed stuck damage, a recalibration republish
-// otherwise. In-flight requests keep their old epoch's sessions — the swap
-// loses nothing.
-func (s *airServer) heal() {
-	s.healMu.Lock()
-	defer s.healMu.Unlock()
-	healCount.Inc()
-	var nd *ota.Deployment
-	if in := s.cfg.injector; in != nil && !in.Healed() {
-		healed, err := in.Heal()
-		if err != nil {
-			s.cfg.logf("heal: masked re-solve failed: %v", err)
-			return
-		}
-		nd = healed
-		s.cfg.logf("heal: re-solved schedule around %d stuck atoms (residual %.4f)",
-			len(in.StuckAtoms()), in.ResidualError())
-	} else {
-		// Nothing left to re-solve: republish a recalibration at the
-		// current geometry so transient degradation gets a fresh epoch.
-		cur := s.cur.Load().d
-		nd = cur.Recomputed(cur.Options().Geometry)
-		s.cfg.logf("heal: republished recalibrated deployment")
+// journalAppend durably records a published deployment when a journal is
+// configured. Failures are logged, never fatal: serving beats durability.
+func (s *airServer) journalAppend(d *ota.Deployment, reason string) {
+	j := s.cfg.journal
+	if j == nil {
+		return
 	}
+	e := &checkpoint.Epoch{Reason: reason, Meta: s.cfg.meta, State: d.State()}
+	if mon := s.cfg.monitor; mon != nil {
+		e.Th = checkpoint.Thresholds{Threshold: mon.Threshold(), Window: mon.Window()}
+	}
+	seq, err := j.Append(e)
+	if err != nil {
+		s.cfg.logf("journal: append (%s): %v", reason, err)
+		return
+	}
+	s.epochSeq.Store(seq)
+	if err := j.Prune(journalKeep); err != nil {
+		s.cfg.logf("journal: prune: %v", err)
+	}
+}
+
+// publish swaps in a new serving generation and journals it. Callers hold
+// healMu. In-flight requests keep their old epoch's sessions — the swap
+// loses nothing.
+func (s *airServer) publish(nd *ota.Deployment, reason string) {
 	s.cur.Store(&epoch{d: nd, sessions: s.newSessions(nd)})
+	s.journalAppend(nd, reason)
 	if s.cfg.monitor != nil {
 		s.cfg.monitor.Reset()
 	}
 	s.swaps.Add(1)
 	swapCount.Inc()
+}
+
+// canaryPass validates a heal candidate before publication by comparing its
+// predictions against the healthy reference's on the held-out canary probes
+// (sessions seeded identically on both sides, so the check is
+// deterministic). Margins cannot play this role — a scrambled schedule can
+// be confidently wrong — but golden-output agreement catches exactly that.
+func (s *airServer) canaryPass(candidate *ota.Deployment) bool {
+	if len(s.cfg.canaryProbes) == 0 {
+		return true
+	}
+	agree := mobility.Agreement(
+		candidate.SessionFromSeed(s.cfg.canarySeed),
+		s.cfg.reference.SessionFromSeed(s.cfg.canarySeed),
+		s.cfg.canaryProbes)
+	if agree >= s.cfg.canaryFrac {
+		s.cfg.logf("canary: candidate agrees with reference on %.0f%% of %d probes, publishing",
+			100*agree, len(s.cfg.canaryProbes))
+		return true
+	}
+	s.cfg.logf("canary: candidate agrees with reference on only %.0f%% of %d probes (< %.0f%%), rejecting",
+		100*agree, len(s.cfg.canaryProbes), 100*s.cfg.canaryFrac)
+	return false
+}
+
+// heal publishes a recovered epoch: the masked-atom re-solve when the
+// injector still carries unhealed stuck damage, a recalibration republish
+// otherwise. Re-solve candidates are canary-validated before publication and
+// watched after it — see canaryPass and checkRollback.
+func (s *airServer) heal() {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	s.heals.Add(1)
+	healCount.Inc()
+	prev := s.cur.Load().d
+	var nd *ota.Deployment
+	if in := s.cfg.injector; in != nil && !in.Healed() {
+		candidate, err := in.PreviewHeal()
+		if err != nil {
+			s.cfg.logf("heal: masked re-solve failed: %v", err)
+			return
+		}
+		if !s.canaryPass(candidate) {
+			s.canaryRejects.Add(1)
+			canaryRejectCount.Inc()
+			if s.cfg.monitor != nil {
+				s.cfg.monitor.Reset() // refill before the next verdict; don't hot-loop
+			}
+			return
+		}
+		in.CommitHeal(candidate)
+		nd = candidate
+		s.cfg.logf("heal: re-solved schedule around %d stuck atoms (residual %.4f)",
+			len(in.StuckAtoms()), in.ResidualError())
+	} else {
+		// Nothing left to re-solve: republish a recalibration at the
+		// current geometry so transient degradation gets a fresh epoch.
+		cur := prev
+		nd = cur.Recomputed(cur.Options().Geometry)
+		s.cfg.logf("heal: republished recalibrated deployment")
+	}
+	// Arm the rollback watch with the pre-heal margin level so the
+	// supervisor can tell whether the published heal actually helped.
+	if s.cfg.monitor != nil && s.cfg.rollbackFrac > 0 {
+		if preMean, ok := s.cfg.monitor.Mean(); ok {
+			s.watch = &healWatch{preMean: preMean, prev: prev}
+		}
+	}
+	s.publish(nd, "heal")
+}
+
+// checkRollback resolves an armed heal watch: once the monitor window has
+// refilled with post-heal readouts, a mean margin below rollbackFrac times
+// the pre-heal level means the heal regressed the service — republish the
+// previous journaled epoch (with fresh sessions; the old ones may still be
+// running in-flight requests) and count the rollback.
+func (s *airServer) checkRollback() {
+	if s.cfg.monitor == nil || s.cfg.rollbackFrac <= 0 {
+		return
+	}
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	w := s.watch
+	if w == nil {
+		return
+	}
+	postMean, ok := s.cfg.monitor.Mean()
+	if !ok {
+		return // window still refilling after the publish
+	}
+	s.watch = nil
+	if postMean >= s.cfg.rollbackFrac*w.preMean {
+		s.cfg.logf("heal holding: margin %.4f vs %.4f pre-heal", postMean, w.preMean)
+		return
+	}
+	s.rollbacks.Add(1)
+	rollbackCount.Inc()
+	s.cfg.logf("rollback: post-heal margin %.4f fell below %.0f%% of pre-heal %.4f, restoring previous epoch",
+		postMean, 100*s.cfg.rollbackFrac, w.preMean)
+	s.publish(w.prev, "rollback")
+}
+
+// statsFrame answers a KindStats request: the serving counters and current
+// epoch sequence, as the real parts of a StatsVector-indexed vector.
+func (s *airServer) statsFrame(id uint32) *airproto.Frame {
+	data := make([]complex128, airproto.StatsVectorLen)
+	data[airproto.StatServed] = complex(float64(s.served.Load()), 0)
+	data[airproto.StatHeals] = complex(float64(s.heals.Load()), 0)
+	data[airproto.StatSwaps] = complex(float64(s.swaps.Load()), 0)
+	data[airproto.StatRollbacks] = complex(float64(s.rollbacks.Load()), 0)
+	data[airproto.StatCanaryRejects] = complex(float64(s.canaryRejects.Load()), 0)
+	data[airproto.StatEpochSeq] = complex(float64(s.epochSeq.Load()), 0)
+	return &airproto.Frame{Kind: airproto.KindStats, ID: id, Data: data}
 }
 
 // request is one validated inbound frame awaiting inference.
@@ -172,6 +350,9 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 				case <-stopHeal:
 					return
 				case <-t.C:
+					// A pending rollback watch resolves first: a regressed
+					// heal must be rolled back, not "healed" again on top.
+					s.checkRollback()
 					if s.cfg.monitor.Degraded() {
 						mean, _ := s.cfg.monitor.Mean()
 						s.cfg.logf("monitor: margin %.4f below threshold %.4f, healing",
@@ -207,6 +388,15 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 		}
 		if frame.IsNack() {
 			continue // never answer a status frame with a status frame
+		}
+		if frame.Kind == airproto.KindStats {
+			// Counter reads are cheap; answer inline off the read loop.
+			if out, err := s.statsFrame(frame.ID).Marshal(); err == nil {
+				if _, err := conn.WriteToUDP(out, from); err != nil {
+					s.cfg.logf("stats reply to %s: %v", from, err)
+				}
+			}
+			continue
 		}
 		u := s.cur.Load().d.InputLen()
 		if len(frame.Data) != u {

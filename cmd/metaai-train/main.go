@@ -3,10 +3,17 @@
 // complex weights, realized responses, and per-symbol 2-bit configurations)
 // as JSON — the file an MTS controller would stream to its shift registers.
 //
+// -save checkpoints the trained model (sealed, CRC-checksummed binary via
+// internal/checkpoint); -resume restores it and skips the training pass
+// entirely, going straight to schedule solving — the deployment half is
+// identical, so a resumed run reproduces the saved run's pipeline.
+//
 // Usage:
 //
 //	metaai-train -dataset mnist -out deploy.json
 //	metaai-train -dataset widar3 -scheme qpsk -epochs 60 -scale full
+//	metaai-train -dataset mnist -save model.ckpt
+//	metaai-train -dataset mnist -resume model.ckpt -out deploy.json
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	metaai "repro"
 
+	"repro/internal/checkpoint"
 	"repro/internal/modem"
 )
 
@@ -28,6 +36,8 @@ func main() {
 		scale  = flag.String("scale", "quick", "dataset scale: quick or full")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		out    = flag.String("out", "", "output JSON path (default: stdout summary only)")
+		save   = flag.String("save", "", "checkpoint the trained model to this path")
+		resume = flag.String("resume", "", "restore a trained model from this checkpoint and skip training")
 	)
 	flag.Parse()
 
@@ -48,11 +58,36 @@ func main() {
 		cfg.Scale = metaai.FullScale
 	}
 
-	fmt.Fprintf(os.Stderr, "training %s (%s) and solving schedules...\n", *ds, sch)
-	pipe, err := metaai.Run(cfg)
+	var pipe *metaai.Pipeline
+	var err error
+	if *resume != "" {
+		blob, rerr := checkpoint.ReadFile(*resume)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "metaai-train: resume: %v\n", rerr)
+			os.Exit(1)
+		}
+		model, rerr := checkpoint.DecodeModel(blob)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "metaai-train: resume %s: %v\n", *resume, rerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "resuming %s (%s) from %s (%d classes, U=%d) and solving schedules...\n",
+			*ds, sch, *resume, model.Classes, model.U)
+		pipe, err = metaai.Resume(cfg, model)
+	} else {
+		fmt.Fprintf(os.Stderr, "training %s (%s) and solving schedules...\n", *ds, sch)
+		pipe, err = metaai.Run(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "metaai-train: %v\n", err)
 		os.Exit(1)
+	}
+	if *save != "" {
+		if err := checkpoint.WriteFile(*save, checkpoint.EncodeModel(pipe.Model)); err != nil {
+			fmt.Fprintf(os.Stderr, "metaai-train: save: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved trained model checkpoint to %s\n", *save)
 	}
 	fmt.Printf("dataset=%s scheme=%s classes=%d U=%d\n", *ds, sch, pipe.Train.Classes, pipe.Train.U)
 	fmt.Printf("simulation accuracy: %.2f%%\n", 100*pipe.SimAccuracy())

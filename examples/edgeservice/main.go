@@ -17,12 +17,17 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
 	"time"
 
 	metaai "repro"
 
 	"repro/internal/airproto"
+	"repro/internal/checkpoint"
+	"repro/internal/clocksync"
 	"repro/internal/dataset"
+	"repro/internal/ota"
 )
 
 func writeFrame(conn *net.UDPConn, to *net.UDPAddr, f *airproto.Frame) error {
@@ -53,6 +58,34 @@ func main() {
 		log.Fatal(err)
 	}
 	ds := dataset.MustLoad("mnist", cfg.Scale, cfg.Seed)
+
+	// --- durability: the MTS controller checkpoints its solved state and
+	// restarts from it. The sealed blob holds the schedules, realized
+	// responses, and channel statistics; restoring needs no re-training and
+	// no re-solving, and the clock-sync sampler (a function, so it cannot
+	// serialize) is rebuilt from the detector's two parameters — the same
+	// recipe metaai-serve -state-dir uses after a crash.
+	ckptPath := filepath.Join(os.TempDir(), "edgeservice-deployment.ckpt")
+	if err := checkpoint.WriteFile(ckptPath, checkpoint.EncodeDeployment(pipe.Deployment().State())); err != nil {
+		log.Fatal(err)
+	}
+	blob, err := checkpoint.ReadFile(ckptPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := checkpoint.DecodeDeployment(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := ota.FromState(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det := cfg.EffectiveDetector(pipe.Train.U)
+	restored = restored.WithSyncSampler(clocksync.CoarseSampler(det, restored.Options().SymbolRateHz))
+	fmt.Printf("air: deployment checkpointed to %s (%d bytes) and restored with zero re-solve\n",
+		ckptPath, len(blob))
+	airSession := restored.SessionFromSeed(cfg.Seed)
 
 	// --- edge server: receives accumulators, never raw data. ---
 	edgeConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
@@ -110,8 +143,9 @@ func main() {
 			if err != nil {
 				return
 			}
-			// The propagation itself computes: schedule × symbols.
-			acc := pipe.System.Accumulate(f.Data)
+			// The propagation itself computes: schedule × symbols — served
+			// from the deployment restored off the checkpoint.
+			acc := airSession.Accumulate(f.Data)
 			resp := &airproto.Frame{ID: f.ID, Label: f.Label, Data: acc}
 			if err := writeFrame(airConn, edgeAddr, resp); err != nil {
 				log.Printf("air: %v", err)

@@ -6,7 +6,7 @@
 //
 // Frame layout (little endian):
 //
-//	uint8   kind     KindData or KindNack
+//	uint8   kind     KindData, KindNack, or KindStats
 //	uint8   code     status code (0 on data frames)
 //	uint32  id       sample/transmission identifier
 //	int32   label    data: ground-truth label for accounting (-1 if unknown)
@@ -34,6 +34,23 @@ const (
 	// KindNack is a status/negative-acknowledgement frame; Code says why and
 	// Label carries the code-specific detail.
 	KindNack uint8 = 1
+	// KindStats is a serving-counter exchange: a client sends an empty
+	// KindStats frame and the server answers with one whose Data carries the
+	// StatsVector counters (real parts only) — served transmissions, heals,
+	// epoch swaps, rollbacks, canary rejections, and the current epoch
+	// sequence. It gives probes a health read without the HTTP sidecar.
+	KindStats uint8 = 2
+)
+
+// StatsVector indexes the counters a KindStats response carries in Data.
+const (
+	StatServed = iota
+	StatHeals
+	StatSwaps
+	StatRollbacks
+	StatCanaryRejects
+	StatEpochSeq
+	StatsVectorLen
 )
 
 // Status codes carried by NACK frames.
@@ -80,7 +97,7 @@ func (f *Frame) Marshal() ([]byte, error) {
 	if len(f.Data) > MaxVector {
 		return nil, fmt.Errorf("airproto: vector length %d exceeds %d", len(f.Data), MaxVector)
 	}
-	if f.Kind > KindNack {
+	if f.Kind > KindStats {
 		return nil, fmt.Errorf("airproto: unknown frame kind %d", f.Kind)
 	}
 	buf := make([]byte, 0, HeaderLen+8*len(f.Data))
@@ -106,7 +123,7 @@ func Unmarshal(b []byte) (*Frame, error) {
 		ID:    binary.LittleEndian.Uint32(b[2:6]),
 		Label: int32(binary.LittleEndian.Uint32(b[6:10])),
 	}
-	if f.Kind > KindNack {
+	if f.Kind > KindStats {
 		return nil, fmt.Errorf("airproto: unknown frame kind %d", f.Kind)
 	}
 	n := int(binary.LittleEndian.Uint16(b[10:12]))

@@ -138,19 +138,21 @@ func fuzzCorpus() [][]byte {
 	data, _ := (&Frame{ID: 7, Label: 3, Data: []complex128{1 + 2i, -3 - 4i}}).Marshal()
 	nack, _ := Nack(9, StatusDegraded, 0).Marshal()
 	big, _ := (&Frame{ID: 8, Data: make([]complex128, 300)}).Marshal()
+	stats, _ := (&Frame{Kind: KindStats, ID: 11, Data: make([]complex128, StatsVectorLen)}).Marshal()
 	oversize := append([]byte(nil), data...)
 	oversize[10], oversize[11] = 0xff, 0xff // n lies far past the payload
 	return [][]byte{
-		{},                             // empty datagram
-		{0x00},                         // 1-byte runt
-		data[:HeaderLen-1],             // header cut one byte short
-		data[:HeaderLen],               // header only, payload missing
-		data[:len(data)-3],             // payload cut mid-element
-		oversize,                       // oversized length claim
+		{},                 // empty datagram
+		{0x00},             // 1-byte runt
+		data[:HeaderLen-1], // header cut one byte short
+		data[:HeaderLen],   // header only, payload missing
+		data[:len(data)-3], // payload cut mid-element
+		oversize,           // oversized length claim
 		{0xff, 0xfe, 0x80, 0x81, 0xc3, 0x28, 0xa0, 0xa1, 0x00, 0x00, 0x00, 0x00}, // non-UTF8 byte soup, header-sized
 		data,
 		nack,
 		big,
+		stats,
 	}
 }
 
@@ -163,7 +165,7 @@ func FuzzUnmarshal(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if fr.Kind > KindNack {
+		if fr.Kind > KindStats {
 			t.Fatalf("accepted frame with unknown kind %d", fr.Kind)
 		}
 		if len(fr.Data) > MaxVector {

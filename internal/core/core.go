@@ -129,20 +129,44 @@ func New(cfg Config) (*Pipeline, error) {
 	return NewFromSets(train, test, cfg)
 }
 
+// NewResumed loads the configured dataset and deploys an ALREADY-TRAINED
+// model (typically restored from a checkpoint), skipping the digital
+// training pass entirely. The deployment half matches New exactly, so a
+// resumed pipeline equals the one that saved the model.
+func NewResumed(cfg Config, model *nn.ComplexLNN) (*Pipeline, error) {
+	ds, err := dataset.Load(cfg.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	enc := nn.Encoder{Scheme: cfg.Scheme}
+	train := nn.EncodeSet(ds.Train, ds.Classes, enc)
+	test := nn.EncodeSet(ds.Test, ds.Classes, enc)
+	return NewFromModel(train, test, model, cfg)
+}
+
+// EffectiveDetector returns the coarse-detection error model the pipeline
+// uses for a stream of u symbols: the configured detector, or the
+// stream-length-scaled Fig 12 default when unset. Checkpoint recovery
+// persists its two parameters to rebuild the SyncSampler after a restart
+// (functions don't serialize).
+func (cfg Config) EffectiveDetector(u int) clocksync.CoarseDetector {
+	det := cfg.Detector
+	if det.Shape == 0 {
+		// Default detector severity is scaled to the stream length so the
+		// CDFA injector costs the same relative capacity as in the paper's
+		// 784-symbol streams (see clocksync.ScaledDetector).
+		det = clocksync.ScaledDetector(u)
+	}
+	return det
+}
+
 // NewFromSets builds the pipeline from pre-encoded train/test sets (used by
 // the multi-sensor fusion and face-case experiments).
 func NewFromSets(train, test *nn.EncodedSet, cfg Config) (*Pipeline, error) {
 	if len(train.X) == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
-	p := &Pipeline{Cfg: cfg, Enc: nn.Encoder{Scheme: cfg.Scheme}, Train: train, Test: test}
-	det := cfg.Detector
-	if det.Shape == 0 {
-		// Default detector severity is scaled to the stream length so the
-		// CDFA injector costs the same relative capacity as in the paper's
-		// 784-symbol streams (see clocksync.ScaledDetector).
-		det = clocksync.ScaledDetector(train.U)
-	}
+	det := cfg.EffectiveDetector(train.U)
 
 	// Training-side configuration.
 	tc := cfg.Train
@@ -157,12 +181,34 @@ func NewFromSets(train, test *nn.EncodedSet, cfg Config) (*Pipeline, error) {
 		tc.InputAug = chainAug(tc.InputAug, clocksync.Injector(det, symRate))
 	}
 	trainTimer := obs.StartTimer()
+	var model *nn.ComplexLNN
 	if cfg.NoiseAware != nil {
-		p.Model = noisetrain.Train(train, tc, *cfg.NoiseAware)
+		model = noisetrain.Train(train, tc, *cfg.NoiseAware)
 	} else {
-		p.Model = nn.TrainLNN(train, tc)
+		model = nn.TrainLNN(train, tc)
 	}
 	trainTimer.ObserveInto(pipeTrainSeconds)
+	return NewFromModel(train, test, model, cfg)
+}
+
+// NewFromModel deploys an ALREADY-TRAINED model over the air — the resume
+// path: a model restored from a checkpoint skips the digital training pass
+// entirely and goes straight to schedule solving. The deployment half is
+// identical to NewFromSets', so resuming from a saved model reproduces the
+// trained-then-deployed pipeline exactly.
+func NewFromModel(train, test *nn.EncodedSet, model *nn.ComplexLNN, cfg Config) (*Pipeline, error) {
+	if len(train.X) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if model.Classes != train.Classes || model.U != train.U {
+		return nil, fmt.Errorf("core: %dx%d model does not fit a %d-class U=%d dataset",
+			model.Classes, model.U, train.Classes, train.U)
+	}
+	p := &Pipeline{Cfg: cfg, Enc: nn.Encoder{Scheme: cfg.Scheme}, Train: train, Test: test, Model: model}
+	det := cfg.EffectiveDetector(train.U)
 
 	// Deployment-side configuration.
 	deployTimer := obs.StartTimer()

@@ -125,6 +125,10 @@ type Injector struct {
 	stuck  map[int]uint8
 	sigRMS float64 // healthy RMS |H|, the burst-power reference
 	healed bool
+	// sabotage, when positive, makes PreviewHeal produce a deliberately
+	// regressive candidate (see SabotageHeal) — the test hook for the
+	// canary gate and the rollback supervisor.
+	sabotage float64
 }
 
 // New draws the static fault population for deployment d at the given rates
@@ -244,44 +248,98 @@ func (in *Injector) newHook(d *ota.Deployment) *hook {
 	}
 }
 
-// Heal re-solves the schedule around the diagnosed stuck atoms — the
-// masked-atom re-solve of degraded-mode serving. Each entry's target is the
-// solver-frame response of the original healthy schedule, and the solver
-// pins the stuck atoms at their latched states, steering the healthy atoms
-// to compensate. The healed deployment (also returned) becomes the
-// injector's serving deployment; swap it behind an atomic pointer and
-// derive fresh sessions via Session/Sessions. Dynamic faults — glitches,
-// erasures, bursts, collapses — keep firing: healing restores the static
-// weight structure only.
-func (in *Injector) Heal() (*ota.Deployment, error) {
-	in.healed = true
-	faultHeals.Inc()
-	if len(in.stuck) == 0 {
+// PreviewHeal computes the heal candidate WITHOUT publishing it: the
+// schedule re-solved around the diagnosed stuck atoms (each entry's target
+// is the solver-frame response of the original healthy schedule, with the
+// stuck atoms pinned at their latched states so the healthy atoms steer to
+// compensate). The injector's serving deployment, healed flag, and metrics
+// are untouched — this is the canary-validation hook: evaluate the returned
+// deployment on a held-out probe batch, then either CommitHeal it or drop
+// it. With no stuck atoms and no sabotage armed, the preview is the current
+// serving deployment itself.
+func (in *Injector) PreviewHeal() (*ota.Deployment, error) {
+	if len(in.stuck) == 0 && in.sabotage == 0 {
 		return in.cur, nil
 	}
 	opts := in.orig.Options()
 	s := opts.Surface
-	ideal, err := mts.NewSurface(s.Rows, s.Cols, s.Bits, s.FreqGHz, nil)
-	if err != nil {
-		return nil, err
-	}
-	estPP := in.orig.EstPathPhases()
 	sched := make([][]mts.Config, in.orig.Classes())
-	for r := range sched {
-		sched[r] = make([]mts.Config, in.orig.InputLen())
-		for i := range sched[r] {
-			target := ideal.Response(in.orig.Schedule[r][i], estPP)
-			cfg, _ := ideal.SolveTargetMasked(target, estPP, in.stuck)
-			sched[r][i] = cfg
+	if len(in.stuck) > 0 {
+		ideal, err := mts.NewSurface(s.Rows, s.Cols, s.Bits, s.FreqGHz, nil)
+		if err != nil {
+			return nil, err
+		}
+		estPP := in.orig.EstPathPhases()
+		for r := range sched {
+			sched[r] = make([]mts.Config, in.orig.InputLen())
+			for i := range sched[r] {
+				target := ideal.Response(in.orig.Schedule[r][i], estPP)
+				cfg, _ := ideal.SolveTargetMasked(target, estPP, in.stuck)
+				sched[r][i] = cfg
+			}
+		}
+	} else {
+		for r := range sched {
+			sched[r] = make([]mts.Config, in.orig.InputLen())
+			for i := range sched[r] {
+				sched[r][i] = in.orig.Schedule[r][i].Clone()
+			}
 		}
 	}
-	healed, err := in.orig.WithSchedule(sched)
+	if in.sabotage > 0 {
+		// Regression-test mode: scramble a severity-fraction of the solved
+		// entries into uniformly random configurations. The candidate looks
+		// like a heal but serves garbage — exactly what the canary gate and
+		// the rollback supervisor exist to catch.
+		states := len(s.States())
+		ssrc := in.src.Split()
+		for r := range sched {
+			for i := range sched[r] {
+				if ssrc.Float64() < in.sabotage {
+					cfg := sched[r][i]
+					for a := range cfg {
+						cfg[a] = uint8(ssrc.IntN(states))
+					}
+				}
+			}
+		}
+	}
+	return in.orig.WithSchedule(sched)
+}
+
+// CommitHeal publishes a heal candidate previously obtained from
+// PreviewHeal: it becomes the injector's serving deployment and the heal
+// metrics advance. Like construction and Heal, commit is single-threaded —
+// call it from the supervisor goroutine that owns the injector.
+func (in *Injector) CommitHeal(d *ota.Deployment) {
+	in.healed = true
+	in.cur = d
+	faultHeals.Inc()
+	faultResidual.Set(in.ResidualError())
+}
+
+// Heal is PreviewHeal followed by CommitHeal — the ungated recovery path.
+// The healed deployment (also returned) becomes the injector's serving
+// deployment; swap it behind an atomic pointer and derive fresh sessions
+// via Session/Sessions. Dynamic faults — glitches, erasures, bursts,
+// collapses — keep firing: healing restores the static weight structure
+// only.
+func (in *Injector) Heal() (*ota.Deployment, error) {
+	healed, err := in.PreviewHeal()
 	if err != nil {
 		return nil, err
 	}
-	in.cur = healed
-	faultResidual.Set(in.ResidualError())
+	in.CommitHeal(healed)
 	return healed, nil
+}
+
+// SabotageHeal arms a deliberately regressive heal: every subsequent
+// PreviewHeal scrambles the given fraction of schedule entries (clamped to
+// [0, 1]) into random configurations before returning the candidate. This
+// is the fault-injection hook behind the canary/rollback acceptance tests;
+// severity 0 disarms it.
+func (in *Injector) SabotageHeal(severity float64) {
+	in.sabotage = math.Max(0, math.Min(1, severity))
 }
 
 // ResidualError quantifies the static damage still in the serving

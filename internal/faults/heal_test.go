@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/mobility"
+	"repro/internal/rng"
+)
+
+// TestPreviewHealDoesNotPublish pins the canary contract: PreviewHeal
+// returns the candidate while the injector keeps serving the faulted
+// deployment, and only CommitHeal moves the pointer.
+func TestPreviewHealDoesNotPublish(t *testing.T) {
+	d := deploy(t, 11)
+	in, err := New(d, Rates{StuckAtomFrac: 0.1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := in.Deployment()
+	before := in.ResidualError()
+
+	candidate, err := in.PreviewHeal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if candidate == faulted {
+		t.Fatal("preview returned the faulted deployment itself")
+	}
+	if in.Deployment() != faulted {
+		t.Fatal("preview moved the serving deployment")
+	}
+	if in.Healed() {
+		t.Fatal("preview set the healed flag")
+	}
+	if got := in.ResidualError(); got != before {
+		t.Fatalf("preview changed residual error %v → %v", before, got)
+	}
+
+	in.CommitHeal(candidate)
+	if in.Deployment() != candidate {
+		t.Fatal("commit did not publish the candidate")
+	}
+	if !in.Healed() {
+		t.Fatal("commit did not set the healed flag")
+	}
+	if got := in.ResidualError(); got >= before {
+		t.Fatalf("committed heal did not reduce residual error: %v → %v", before, got)
+	}
+}
+
+// TestHealMatchesPreviewCommit verifies the refactor is seam-free: Heal on
+// one injector equals PreviewHeal+CommitHeal on an identically seeded twin,
+// bit for bit.
+func TestHealMatchesPreviewCommit(t *testing.T) {
+	mk := func() *Injector {
+		in, err := New(deploy(t, 13), Rates{StuckAtomFrac: 0.08}, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	ha, err := a.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := b.PreviewHeal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.CommitHeal(cand)
+	if len(ha.Realized.Data) != len(cand.Realized.Data) {
+		t.Fatal("healed response dimensions differ")
+	}
+	for i := range ha.Realized.Data {
+		if ha.Realized.Data[i] != cand.Realized.Data[i] {
+			t.Fatalf("response %d: Heal %v vs Preview+Commit %v", i, ha.Realized.Data[i], cand.Realized.Data[i])
+		}
+	}
+}
+
+// TestSabotageHealRegresses drives the acceptance scenario's fault: a
+// sabotaged heal candidate must be measurably WORSE than the clean one — on
+// residual error and on golden-output agreement over held-out probes — so a
+// canary gate that cannot tell them apart is broken.
+func TestSabotageHealRegresses(t *testing.T) {
+	d := deploy(t, 17)
+	probes := inputs(d.InputLen(), 24, 91)
+
+	clean, err := New(d, Rates{StuckAtomFrac: 0.05}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanHeal, err := clean.PreviewHeal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad, err := New(d, Rates{StuckAtomFrac: 0.05}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.SabotageHeal(0.9)
+	badHeal, err := bad.PreviewHeal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The canary metric: agreement with the healthy deployment's own
+	// predictions on the held-out probes.
+	cleanAgree := mobility.Agreement(cleanHeal.SessionFromSeed(3), d.SessionFromSeed(3), probes)
+	badAgree := mobility.Agreement(badHeal.SessionFromSeed(3), d.SessionFromSeed(3), probes)
+	if badAgree >= cleanAgree {
+		t.Fatalf("sabotaged heal agreement %v not below clean heal agreement %v", badAgree, cleanAgree)
+	}
+	if cleanAgree < 0.7 {
+		t.Fatalf("clean heal agreement %v too low to gate on", cleanAgree)
+	}
+
+	clean.CommitHeal(cleanHeal)
+	bad.CommitHeal(badHeal)
+	if bad.ResidualError() <= clean.ResidualError() {
+		t.Fatalf("sabotaged residual %v not above clean residual %v", bad.ResidualError(), clean.ResidualError())
+	}
+
+	// Disarming restores clean previews.
+	bad.SabotageHeal(0)
+	again, err := bad.PreviewHeal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again.Realized.Data {
+		if again.Realized.Data[i] != cleanHeal.Realized.Data[i] {
+			t.Fatal("disarmed preview still differs from the clean heal")
+		}
+	}
+}

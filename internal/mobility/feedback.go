@@ -68,6 +68,27 @@ func MeanMargin(p nn.LogitsPredictor, probes [][]complex128) float64 {
 	return sum / float64(len(probes))
 }
 
+// Agreement returns the fraction of probe inputs on which two predictors
+// produce the same argmax class. It is the label-free canary metric for
+// validating a heal candidate before publication: a genuine masked re-solve
+// approximates the healthy responses and agrees with the known-good
+// reference on almost every probe, while a regressive candidate's
+// predictions decorrelate toward chance. Margins cannot play this role —
+// a garbage schedule can be confidently wrong — but agreement against
+// golden outputs catches exactly that.
+func Agreement(candidate, reference nn.Predictor, probes [][]complex128) float64 {
+	if len(probes) == 0 {
+		return 0
+	}
+	same := 0
+	for _, x := range probes {
+		if candidate.Predict(x) == reference.Predict(x) {
+			same++
+		}
+	}
+	return float64(same) / float64(len(probes))
+}
+
 // Calibrate sets the threshold to the q-quantile of the fresh deployment's
 // per-probe margins (q = 0.25 by default: recalibration triggers when the
 // link's margins look like the bottom quartile of a healthy deployment).

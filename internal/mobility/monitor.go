@@ -109,6 +109,12 @@ func (m *Monitor) Reset() {
 // Threshold returns the degradation threshold.
 func (m *Monitor) Threshold() float64 { return m.threshold }
 
+// Window returns the length of the trailing margin window. Together with
+// Threshold it fully parameterizes the monitor, which is what the
+// checkpoint layer persists: a restarted server rebuilds an equivalent
+// (empty) monitor from the two numbers.
+func (m *Monitor) Window() int { return m.window }
+
 // Observed returns the total number of margins recorded over the monitor's
 // lifetime (Reset does not clear it).
 func (m *Monitor) Observed() int64 {

@@ -1,8 +1,11 @@
 package mobility
 
 import (
+	"math"
 	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestMonitorWindowAndThreshold(t *testing.T) {
@@ -79,3 +82,72 @@ func TestCalibrateMonitorFraction(t *testing.T) {
 type constLogits []float64
 
 func (c constLogits) Logits([]complex128) []float64 { return c }
+
+// TestMonitorDriftingChannelEpisodes runs the monitor against a synthetic
+// drifting channel: the receiver moves away from the calibrated geometry at
+// a constant rate, so the decision margin decays exponentially with the
+// accumulated drift; a heal recalibrates at the current position and
+// restores it. The contract under test is the serve supervisor's: the
+// margin gauge falls below the threshold exactly when the trigger fires,
+// the trigger fires exactly ONCE per degradation episode (the post-heal
+// Reset keeps stale pre-heal readouts from re-firing it), and every
+// episode follows the same healthy → degrading → trigger arc.
+func TestMonitorDriftingChannelEpisodes(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	const (
+		healthyMargin = 0.8
+		window        = 8
+		driftPerStep  = 0.03
+		episodes      = 3
+	)
+	threshold := 0.5 * healthyMargin
+	m := NewMonitor(threshold, window)
+
+	drift := 0.0
+	margin := func() float64 { return healthyMargin * math.Exp(-drift) }
+
+	var firedAt []int
+	for step := 0; step < 2000 && len(firedAt) < episodes; step++ {
+		drift += driftPerStep
+		m.ObserveMargin(margin())
+		if !m.Degraded() {
+			continue
+		}
+		// Trigger: the windowed mean and the live gauge both sit below the
+		// threshold — margins fell before anything else noticed.
+		if mean, ok := m.Mean(); !ok || mean >= threshold {
+			t.Fatalf("step %d: trigger fired with mean %v (threshold %v)", step, mean, threshold)
+		}
+		if g := obs.Default().Snapshot().Gauges["mobility.margin"]; g >= threshold {
+			t.Fatalf("step %d: margin gauge %v did not fall below threshold %v", step, g, threshold)
+		}
+		firedAt = append(firedAt, step)
+
+		// Heal: recalibrate at the current position and reset the window,
+		// exactly as the serve supervisor does after publishing.
+		drift = 0
+		m.Reset()
+
+		// One trigger per episode: with the drift healed, the refilling
+		// window must not re-fire on the margins that caused the episode.
+		for i := 0; i < window; i++ {
+			m.ObserveMargin(margin())
+			if m.Degraded() {
+				t.Fatalf("step %d: trigger re-fired within the healed episode", step)
+			}
+			drift += driftPerStep
+		}
+	}
+	if len(firedAt) != episodes {
+		t.Fatalf("saw %d degradation triggers, want %d (fired at %v)", len(firedAt), episodes, firedAt)
+	}
+	// Episodes are driven by the same decay from the same healed state, so
+	// the gaps between triggers must be regular — a drifting trigger point
+	// would mean window state leaked across episodes.
+	gap := firedAt[1] - firedAt[0]
+	if got := firedAt[2] - firedAt[1]; got != gap {
+		t.Fatalf("episode gaps differ: %d vs %d (window state leaked across heals)", gap, got)
+	}
+}

@@ -90,6 +90,32 @@ func NewSurfaceFab(rows, cols, bits int, freqGHz, fabStd float64, src *rng.Sourc
 	return s, nil
 }
 
+// SurfaceFromOffsets rebuilds a surface from explicit per-atom fabrication
+// offsets — the checkpoint-restore path. fab must carry exactly rows·cols
+// entries (nil means fabrication-free); fabStd records the spread the
+// offsets were drawn at and is informational only. A surface restored from
+// FabOffsets of another surface produces bit-identical path phases and
+// responses.
+func SurfaceFromOffsets(rows, cols, bits int, freqGHz, spacingM, fabStd float64, fab []float64) (*Surface, error) {
+	s, err := NewSurfaceFab(rows, cols, bits, freqGHz, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.SpacingM = spacingM
+	s.FabPhaseStd = fabStd
+	if fab != nil {
+		if len(fab) != s.Atoms() {
+			return nil, fmt.Errorf("mts: %d fabrication offsets for a %d-atom surface", len(fab), s.Atoms())
+		}
+		copy(s.fab, fab)
+	}
+	return s, nil
+}
+
+// FabOffsets returns the per-atom static fabrication phase offsets (radians).
+// The slice is shared; callers must not modify it.
+func (s *Surface) FabOffsets() []float64 { return s.fab }
+
 // Prototype returns the paper's default surface: 16×16 2-bit atoms at
 // 5.25 GHz with λ/2 spacing and mild fabrication spread.
 func Prototype(src *rng.Source) *Surface {

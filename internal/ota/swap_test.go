@@ -147,7 +147,7 @@ func TestRecomputedSwapUnderConcurrentReaders(t *testing.T) {
 	for swap := 0; swap < 6; swap++ {
 		geom.RxAngleDeg += 5
 		nd := cur.Load().d.Recomputed(geom)
-		cur.Store(&epoch{d: nd, sessions: nd.Sessions(workers, rng.New(88 + uint64(swap)))})
+		cur.Store(&epoch{d: nd, sessions: nd.Sessions(workers, rng.New(88+uint64(swap)))})
 	}
 	stop.Store(true)
 	wg.Wait()

@@ -41,6 +41,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/modem"
+	"repro/internal/nn"
 	"repro/internal/ota"
 )
 
@@ -50,6 +51,10 @@ type Config = core.Config
 
 // Pipeline is a trained and deployed MetaAI system.
 type Pipeline = core.Pipeline
+
+// Model is the digitally trained complex-valued linear network — the
+// artifact metaai-train -save checkpoints and Resume redeploys.
+type Model = nn.ComplexLNN
 
 // Deployment is the immutable over-the-air deployment — solved metasurface
 // schedules plus channel statistics. Any number of goroutines may share one
@@ -106,6 +111,14 @@ func DefaultConfig(datasetName string) Config {
 // returns the deployed pipeline.
 func Run(cfg Config) (*Pipeline, error) {
 	return core.New(cfg)
+}
+
+// Resume deploys an already-trained model — typically restored from a
+// checkpoint written by metaai-train -save — skipping the digital training
+// pass. The deployment half matches Run exactly, so a resumed pipeline
+// reproduces the one that saved the model.
+func Resume(cfg Config, model *nn.ComplexLNN) (*Pipeline, error) {
+	return core.NewResumed(cfg, model)
 }
 
 // Datasets lists the six Table 1 classification tasks.
