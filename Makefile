@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate check bench
+.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate check bench
 
 build:
 	$(GO) build ./...
@@ -40,11 +40,34 @@ recovergate:
 obsgate:
 	$(GO) test -run 'TestServeBenchDeterministicFingerprint' ./cmd/metaai-bench
 
+# benchgate wires the p99 regression comparator into CI: unit tests prove it
+# trips on real regressions and stays quiet under the relative threshold or
+# the absolute µs floor, then one fresh servebench snapshot is self-compared
+# through the CLI path (a self-compare must always exit 0; comparing two
+# live runs would flake on loaded CI machines, which is exactly the noise
+# the floor exists to reject when a human runs -compare old vs new).
+benchgate:
+	$(GO) test -run 'TestCompare' ./cmd/metaai-bench
+	$(GO) run ./cmd/metaai-bench -servebench 100 -obs-out .benchgate.json
+	$(GO) run ./cmd/metaai-bench -compare .benchgate.json .benchgate.json
+	rm -f .benchgate.json
+
+# tracegate asserts trace determinism: a fixed-seed traced pipeline run
+# (train -> schedule solve -> deploy -> 4 inferences, sample=1) must produce
+# byte-identical NORMALIZED trace exports across two process runs — trace
+# and span IDs derive from seeds and ordinals, never from wall clocks or rng
+# draws, and normalization strips the timestamps.
+tracegate:
+	$(GO) run ./cmd/metaai-bench -tracedump .tracegate.a.json
+	$(GO) run ./cmd/metaai-bench -tracedump .tracegate.b.json
+	cmp .tracegate.a.json .tracegate.b.json
+	rm -f .tracegate.a.json .tracegate.b.json
+
 # check is the full gate: vet, plain tests, the race detector over the
 # concurrent evaluator, sweeps, and serve paths, the airproto and checkpoint
 # fuzz smokes, the abl-faults zero-rate identity gate, the crash-recovery
-# gate, and the obs determinism gate.
-check: vet test race fuzz ckptfuzz faultgate recovergate obsgate
+# gate, and the obs/bench/trace determinism gates.
+check: vet test race fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate
 
 # bench runs the Go micro-benchmarks, then the serve-path observability
 # benchmark, which snapshots its metrics into BENCH_serve.json. Emit-only:

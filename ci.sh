@@ -30,6 +30,18 @@ go test -race -count=1 -run 'TestKillAndRecoverBitIdentity|TestRecoverSkipsCorru
 echo "== obs determinism gate =="
 go test -run 'TestServeBenchDeterministicFingerprint' ./cmd/metaai-bench
 
+echo "== bench p99 regression gate (comparator tests + CLI self-compare) =="
+go test -run 'TestCompare' ./cmd/metaai-bench
+go run ./cmd/metaai-bench -servebench 100 -obs-out .benchgate.json
+go run ./cmd/metaai-bench -compare .benchgate.json .benchgate.json
+rm -f .benchgate.json
+
+echo "== trace determinism gate (normalized exports byte-identical) =="
+go run ./cmd/metaai-bench -tracedump .tracegate.a.json
+go run ./cmd/metaai-bench -tracedump .tracegate.b.json
+cmp .tracegate.a.json .tracegate.b.json
+rm -f .tracegate.a.json .tracegate.b.json
+
 echo "== servebench snapshot (emit-only, no thresholds) =="
 go run ./cmd/metaai-bench -servebench 100 -obs-out BENCH_serve.json
 

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// latencyReport builds a benchReport whose single histogram places every
+// observation just under p99Us microseconds, so Quantile(0.99) lands
+// predictably.
+func latencyReport(p99Us float64) *benchReport {
+	return &benchReport{
+		Bench:        "serve",
+		Inferences:   100,
+		MicrosPerInf: p99Us,
+		Metrics: &obs.Snapshot{
+			Counters: map[string]int64{},
+			Gauges:   map[string]float64{},
+			Histograms: map[string]obs.HistogramSnapshot{
+				"ota.infer.seconds": {
+					Count: 100,
+					Sum:   100 * p99Us / 1e6,
+					Buckets: []obs.Bucket{
+						{UpperBound: p99Us / 1e6, Count: 100},
+						{UpperBound: math.Inf(1), Count: 0},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestCompareAcceptsIdenticalAndImproved(t *testing.T) {
+	old := latencyReport(100)
+	if err := compareReports(old, latencyReport(100), 0.10, 50); err != nil {
+		t.Fatalf("identical snapshots failed the gate: %v", err)
+	}
+	if err := compareReports(old, latencyReport(40), 0.10, 50); err != nil {
+		t.Fatalf("improvement failed the gate: %v", err)
+	}
+}
+
+func TestCompareFailsOnRegressionBeyondGate(t *testing.T) {
+	// 100µs → 200µs: +100% relative, +100µs absolute — both gates tripped.
+	if err := compareReports(latencyReport(100), latencyReport(200), 0.10, 50); err == nil {
+		t.Fatal("2x p99 regression passed the gate")
+	}
+}
+
+func TestCompareAbsoluteFloorSuppressesMicroNoise(t *testing.T) {
+	// 3µs → 6µs: +100% relative but only +3µs absolute — scheduler noise at
+	// this scale, and the floor must keep the gate quiet.
+	if err := compareReports(latencyReport(3), latencyReport(6), 0.10, 50); err != nil {
+		t.Fatalf("sub-floor regression failed the gate: %v", err)
+	}
+}
+
+func TestCompareJustUnderThresholdPasses(t *testing.T) {
+	// +9% with a generous absolute delta: under the 10% relative gate.
+	if err := compareReports(latencyReport(1000), latencyReport(1090), 0.10, 50); err != nil {
+		t.Fatalf("+9%% failed the 10%% gate: %v", err)
+	}
+}
+
+// TestCompareRoundTripsPersistedSnapshot pins the full CLI path: a report
+// marshaled the way runServeBench writes it (with "+Inf" bucket bounds)
+// reloads through obs.Bucket.UnmarshalJSON and re-derives the same p99.
+func TestCompareRoundTripsPersistedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	for path, r := range map[string]*benchReport{
+		oldPath: latencyReport(100),
+		newPath: latencyReport(300),
+	} {
+		blob, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runCompare(oldPath, oldPath, 0.10, 50); err != nil {
+		t.Fatalf("persisted self-compare failed: %v", err)
+	}
+	if err := runCompare(oldPath, newPath, 0.10, 50); err == nil {
+		t.Fatal("persisted 3x regression passed the gate")
+	}
+	// The reloaded overflow bound must be +Inf, not a parse artifact.
+	r, err := loadBenchReport(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := r.Metrics.Histograms["ota.infer.seconds"].Buckets
+	if !math.IsInf(buckets[len(buckets)-1].UpperBound, 1) {
+		t.Fatalf("overflow bound survived as %v, want +Inf", buckets[len(buckets)-1].UpperBound)
+	}
+}

@@ -34,9 +34,31 @@ func main() {
 		workers = flag.Int("workers", 1, "fan evaluations and sweep points across this many goroutines (1 = bit-exact serial)")
 		sbench  = flag.Int("servebench", 0, "run this many observed serve-path inferences and emit a metric snapshot instead of an experiment")
 		obsOut  = flag.String("obs-out", "BENCH_serve.json", "servebench output file")
+		compare = flag.Bool("compare", false, "compare two servebench snapshots (args: old.json new.json); exit non-zero on gated p99 regression")
+		regress = flag.Float64("regress", 0.10, "-compare relative p99 regression threshold (0.10 = 10%)")
+		floorUs = flag.Float64("regress-floor-us", 50, "-compare absolute regression floor in µs; smaller deltas never fail the gate")
+		traceGo = flag.String("tracedump", "", "run the fixed-seed traced pipeline and write normalized trace exports to this file (the tracegate workload)")
 	)
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "metaai-bench: -compare needs exactly two snapshot files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *regress, *floorUs); err != nil {
+			fmt.Fprintf(os.Stderr, "metaai-bench: compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceGo != "" {
+		if err := runTraceDump(*traceGo, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "metaai-bench: tracedump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sbench > 0 {
 		if err := runServeBench(*sbench, *obsOut, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "metaai-bench: servebench: %v\n", err)

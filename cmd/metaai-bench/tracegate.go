@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/obs/trace"
+)
+
+// runTraceDump is the trace-determinism gate's workload: with tracing armed
+// at sample=1 (retain everything), build the synthetic pipeline end to end
+// — train, schedule solve, deploy — and run a handful of standalone
+// inferences, then write every retained trace's NORMALIZED export to out,
+// sorted by trace ID.
+//
+// Everything in a normalized export is a pure function of the seed: trace
+// IDs derive from (seed, stage tag, process-local ordinal), span IDs from
+// (trace ID, insertion index), timestamps are replaced by index-scaled
+// placeholders, and attributes carry only seed-determined values. So two
+// PROCESS runs of this dump under the same seed must produce byte-identical
+// files — `make tracegate` runs it twice and cmps. (Two in-process runs
+// would differ: the build/infer ordinals keep advancing, exactly as they
+// should for a live server's request traces.)
+func runTraceDump(out string, seed uint64) error {
+	trace.Default().Enable(256, 1.0)
+	defer trace.Default().Disable()
+
+	cfg := core.DefaultConfig("mnist")
+	cfg.Seed = seed
+	p, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	data := dataset.MustLoad("mnist", cfg.Scale, cfg.Seed)
+	for i := 0; i < 4 && i < len(data.Test); i++ {
+		p.Infer(data.Test[i].X)
+	}
+
+	sums := trace.Default().List()
+	sort.Slice(sums, func(i, j int) bool { return sums[i].ID < sums[j].ID })
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, s := range sums {
+		tr, flags := trace.Default().Get(s.ID)
+		if tr == nil {
+			continue
+		}
+		if err := trace.WriteJSON(f, tr, flags, trace.ExportOptions{Normalize: true}); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(f); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("tracedump: %d normalized traces written to %s\n", len(sums), out)
+	return nil
+}

@@ -55,6 +55,8 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/events"
+	"repro/internal/obs/trace"
 	"repro/internal/rng"
 )
 
@@ -91,18 +93,26 @@ func main() {
 		rollback  = flag.Float64("rollback-frac", 0.75, "roll a published heal back when the margin mean falls below this fraction of the pre-heal level (0 disables)")
 		stateDir  = flag.String("state-dir", "", "journal every published epoch here and recover the newest valid one on restart")
 		sabotage  = flag.Float64("sabotage-heal", 0, "deliberately corrupt this fraction of every heal candidate's schedule (exercises the canary gate and rollback)")
-		metrics   = flag.String("metrics-addr", "", "serve the observability sidecar (metrics, expvar, pprof) on this HTTP address and enable latency timing")
+		metrics   = flag.String("metrics-addr", "", "serve the observability sidecar (metrics, expvar, pprof, traces, events) on this HTTP address and enable latency timing + tracing")
 		stats     = flag.Int("stats", 0, "probe: after the classification, send this many timed requests and report latency percentiles")
+		jsonOut   = flag.Bool("json", false, "probe: print the -stats report as JSON instead of text")
+		traceID   = flag.String("trace", "", "probe: fetch this retained trace (16-hex-digit ID) from the server over the air and print its Chrome JSON")
+		traceRing = flag.Int("trace-ring", 256, "retained-trace ring size (with -metrics-addr)")
+		traceSamp = flag.Float64("trace-sample", 0.01, "tail-sample retention probability in [0,1] for unflagged traces; slow/NACKed/shed/event-overlapping traces are always retained")
 	)
 	flag.Parse()
 
 	var sidecar *http.Server
 	if *metrics != "" {
-		// Timing histograms are gated behind obs; the sidecar turns them on.
+		// Timing histograms, the trace ring, and the event journal are all
+		// gated behind the sidecar: without -metrics-addr the serve path
+		// runs span-free and allocation-free.
 		obs.SetEnabled(true)
+		trace.Default().Enable(*traceRing, *traceSamp)
+		events.Default().Enable(512, trace.Default())
 		sidecar = &http.Server{Addr: *metrics, Handler: metricsMux()}
 		go func() {
-			log.Printf("observability sidecar on http://%s (metrics, expvar, pprof)", *metrics)
+			log.Printf("observability sidecar on http://%s (metrics, expvar, pprof, traces, events)", *metrics)
 			if err := sidecar.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics sidecar: %v", err)
 			}
@@ -110,7 +120,10 @@ func main() {
 	}
 
 	if *probe != "" {
-		if err := runProbe(*probe, *ds, *seed, *timeout, *stats); err != nil {
+		if err := runProbe(*probe, probeOptions{
+			ds: *ds, seed: *seed, timeout: *timeout,
+			stats: *stats, jsonOut: *jsonOut, traceID: *traceID,
+		}); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -193,6 +206,9 @@ func buildServerConfig(opt serverOptions) (serverConfig, *checkpoint.Journal, er
 		}
 		log.Printf("recovered epoch %d (%s) from %s: zero re-train, zero re-solve",
 			recovered.Seq, recovered.Reason, journal.Dir())
+		events.Default().Emit(events.Recover, "serving state restored from journal",
+			events.Num("epoch_seq", float64(recovered.Seq)),
+			events.Str("reason", recovered.Reason))
 		serveCfg.deployment = d
 		serveCfg.reference = d
 		serveCfg.initialReason = "recover"
@@ -305,6 +321,25 @@ func runServer(addr string, opt serverOptions, sidecar *http.Server) error {
 		<-ctx.Done()
 		conn.Close() // unblock the read loop; serve() then drains the workers
 	}()
+
+	if trace.Default().Enabled() {
+		// The tail sampler's "slow" criterion tracks the LIVE p99 of the
+		// request-latency histogram: refresh it periodically so "slow"
+		// means slow relative to this deployment on this machine, not a
+		// hard-coded constant.
+		go func() {
+			t := time.NewTicker(2 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					trace.Default().SetSlowThreshold(requestP99())
+				}
+			}
+		}()
+	}
 
 	err = srv.serve(conn)
 

@@ -5,8 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/events"
+	"repro/internal/obs/trace"
 )
 
 // Serving metrics, mirrored alongside the airServer's own atomics (tests
@@ -34,6 +38,29 @@ var (
 	rollbackCount     = obs.NewCounter("serve.rollbacks")
 )
 
+// Probe-side counters. The retry/backoff and stale-drain paths used to be
+// invisible in snapshots — a probe that quietly burned its attempts or
+// swallowed a stale NACK left no trace. Now every retry and every stale
+// NACK drained off the socket counts:
+//
+//	probe.retries      exchange attempts beyond each request's first
+//	probe.stale_nacks  stale NACK datagrams discarded by drainStale
+var (
+	probeRetries    = obs.NewCounter("probe.retries")
+	probeStaleNacks = obs.NewCounter("probe.stale_nacks")
+)
+
+// requestP99 reads the live 99th-percentile request latency out of the obs
+// histogram — the tail sampler's "slow" threshold. Zero (sampler treats
+// nothing as slow on latency grounds) until requests have been observed.
+func requestP99() time.Duration {
+	h, ok := obs.Default().Snapshot().Histograms["serve.request.seconds"]
+	if !ok {
+		return 0
+	}
+	return time.Duration(h.Quantile(0.99) * float64(time.Second))
+}
+
 // metricsMux builds the observability sidecar: the obs snapshot in text and
 // JSON, the expvar dump, and the full pprof suite.
 func metricsMux() *http.ServeMux {
@@ -51,6 +78,37 @@ func metricsMux() *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteList(w, trace.Default().List()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		idHex := strings.TrimPrefix(r.URL.Path, "/trace/")
+		id, err := trace.ParseID(idHex)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		tr, flags := trace.Default().Get(id)
+		if tr == nil {
+			http.Error(w, "trace not retained (sampled out, evicted, or never recorded)", http.StatusNotFound)
+			return
+		}
+		// Chrome trace-event JSON: save the body and load it in
+		// chrome://tracing or https://ui.perfetto.dev.
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteJSON(w, tr, flags, trace.ExportOptions{}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := events.Default().WriteNDJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -58,7 +116,7 @@ func metricsMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "metaai-serve observability sidecar: /metrics /metrics.json /debug/vars /debug/pprof/")
+		fmt.Fprintln(w, "metaai-serve observability sidecar: /metrics /metrics.json /traces /trace/<id> /events /debug/vars /debug/pprof/")
 	})
 	return mux
 }

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sort"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"repro/internal/airproto"
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/obs/trace"
 	"repro/internal/rng"
 )
 
@@ -25,18 +28,20 @@ const probeAttempts = 3
 // base·2^(k−1)·jitter with jitter uniform in [0.5, 1.5).
 const probeBackoffBase = 100 * time.Millisecond
 
-func runProbe(addr, ds string, seed uint64, timeout time.Duration, stats int) error {
-	if timeout <= 0 {
-		timeout = 5 * time.Second
-	}
-	cfg := metaai.DefaultConfig(ds)
-	cfg.Seed = seed
-	data := dataset.MustLoad(ds, cfg.Scale, cfg.Seed)
-	sample := data.Test[0]
-	// Encode with the same pipeline encoder the server deployed.
-	enc := nn.Encoder{Scheme: cfg.Scheme}
-	symbols := enc.Encode(sample.X)
+// probeOptions carries the probe-mode flags; runProbe dispatches on them.
+type probeOptions struct {
+	ds      string
+	seed    uint64
+	timeout time.Duration
+	stats   int
+	jsonOut bool
+	traceID string
+}
 
+func runProbe(addr string, opt probeOptions) error {
+	if opt.timeout <= 0 {
+		opt.timeout = 5 * time.Second
+	}
 	raddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return err
@@ -46,8 +51,23 @@ func runProbe(addr, ds string, seed uint64, timeout time.Duration, stats int) er
 		return err
 	}
 	defer conn.Close()
+
+	if opt.traceID != "" {
+		// Trace fetch replaces classification: pull the retained span tree
+		// for one request out of the server's ring, over the air.
+		return fetchTrace(conn, opt.traceID, opt.timeout, rng.New(opt.seed^0x7ace))
+	}
+
+	cfg := metaai.DefaultConfig(opt.ds)
+	cfg.Seed = opt.seed
+	data := dataset.MustLoad(opt.ds, cfg.Scale, cfg.Seed)
+	sample := data.Test[0]
+	// Encode with the same pipeline encoder the server deployed.
+	enc := nn.Encoder{Scheme: cfg.Scheme}
+	symbols := enc.Encode(sample.X)
+
 	req := &airproto.Frame{ID: 1, Label: int32(sample.Label), Data: symbols}
-	resp, err := exchange(conn, req, timeout, probeBackoffBase, probeAttempts, rng.New(seed^0x9e0be))
+	resp, err := exchange(conn, req, opt.timeout, probeBackoffBase, probeAttempts, rng.New(opt.seed^0x9e0be))
 	if err != nil {
 		return fmt.Errorf("probe %s: %w", addr, err)
 	}
@@ -58,17 +78,52 @@ func runProbe(addr, ds string, seed uint64, timeout time.Duration, stats int) er
 			best, arg = m, r
 		}
 	}
-	fmt.Printf("probe: sample label %d classified as %d over the air\n", sample.Label, arg)
-	if stats > 0 {
-		return probeStats(conn, symbols, stats, timeout, rng.New(seed^0x57a75))
+	if !opt.jsonOut {
+		fmt.Printf("probe: sample label %d classified as %d over the air\n", sample.Label, arg)
 	}
+	if opt.stats > 0 {
+		return probeStats(conn, symbols, opt.stats, opt.timeout, opt.jsonOut, rng.New(opt.seed^0x57a75))
+	}
+	if opt.jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(map[string]any{
+			"label": sample.Label, "classified": arg,
+		})
+	}
+	return nil
+}
+
+// fetchTrace asks the server for a retained trace by 64-bit hex ID (an
+// airproto KindTrace exchange) and prints the Chrome trace-event JSON the
+// server packed into the reply. A StatusNoTrace NACK means the ring never
+// retained — or has since evicted — that ID.
+func fetchTrace(conn *net.UDPConn, idHex string, timeout time.Duration, src *rng.Source) error {
+	id, err := trace.ParseID(idHex)
+	if err != nil {
+		return fmt.Errorf("bad trace id %q: %w", idHex, err)
+	}
+	resp, err := exchange(conn, airproto.TraceRequest(uint64(id)), timeout, probeBackoffBase, probeAttempts, src)
+	if err != nil {
+		return fmt.Errorf("trace fetch %s: %w", idHex, err)
+	}
+	if resp.Kind != airproto.KindTrace {
+		return fmt.Errorf("malformed trace reply (kind %d)", resp.Kind)
+	}
+	body := airproto.UnpackBytes(resp.Data, int(resp.Label))
+	if resp.Code == airproto.StatusNoTrace {
+		// The full export did not fit one datagram: the server truncated at
+		// MaxTraceBytes. Say so on stderr; the (cut) JSON still goes out.
+		log.Printf("probe: trace %s truncated to %d bytes by the wire format", idHex, len(body))
+	}
+	fmt.Println(string(body))
 	return nil
 }
 
 // probeStats hammers the server with n sequential timed requests and reports
 // client-side round-trip latency percentiles — a quick serving-latency read
-// without attaching the observability sidecar.
-func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout time.Duration, src *rng.Source) error {
+// without attaching the observability sidecar. With jsonOut the same
+// numbers (plus the server's own counters, when it speaks KindStats) go out
+// as one machine-readable JSON object instead of prose.
+func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout time.Duration, jsonOut bool, src *rng.Source) error {
 	lat := make([]time.Duration, 0, n)
 	for i := 0; i < n; i++ {
 		req := &airproto.Frame{ID: uint32(i + 2), Data: symbols}
@@ -83,34 +138,60 @@ func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout time.Dur
 		idx := int(q * float64(len(lat)-1))
 		return lat[idx]
 	}
+	server, serverErr := serverStats(conn, uint32(n+2), timeout, src)
+	if jsonOut {
+		out := map[string]any{
+			"requests": n,
+			"latency_seconds": map[string]float64{
+				"min": lat[0].Seconds(),
+				"p50": pct(0.50).Seconds(),
+				"p90": pct(0.90).Seconds(),
+				"p99": pct(0.99).Seconds(),
+				"max": lat[len(lat)-1].Seconds(),
+			},
+		}
+		if serverErr == nil {
+			out["server"] = server
+		} else {
+			out["server_error"] = serverErr.Error()
+		}
+		return json.NewEncoder(os.Stdout).Encode(out)
+	}
 	fmt.Printf("probe stats: %d requests  min %v  p50 %v  p90 %v  p99 %v  max %v\n",
 		n, lat[0].Round(time.Microsecond), pct(0.50).Round(time.Microsecond),
 		pct(0.90).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
 		lat[len(lat)-1].Round(time.Microsecond))
-	if line, err := serverStatsLine(conn, uint32(n+2), timeout, src); err != nil {
+	if serverErr != nil {
 		// Older servers don't speak KindStats; latency numbers still stand.
-		log.Printf("probe: server stats unavailable: %v", err)
+		log.Printf("probe: server stats unavailable: %v", serverErr)
 	} else {
-		fmt.Println(line)
+		fmt.Printf("server stats: served %d  heals %d  swaps %d  rollbacks %d  canary-rejects %d  epoch %d\n",
+			server["served"], server["heals"], server["swaps"],
+			server["rollbacks"], server["canary_rejects"], server["epoch_seq"])
 	}
 	return nil
 }
 
-// serverStatsLine asks the server for its serving counters over the wire
-// (an airproto KindStats exchange) and formats them — heal, rollback, and
-// epoch visibility without attaching the HTTP sidecar.
-func serverStatsLine(conn *net.UDPConn, id uint32, timeout time.Duration, src *rng.Source) (string, error) {
+// serverStats asks the server for its serving counters over the wire (an
+// airproto KindStats exchange) — heal, rollback, and epoch visibility
+// without attaching the HTTP sidecar.
+func serverStats(conn *net.UDPConn, id uint32, timeout time.Duration, src *rng.Source) (map[string]int64, error) {
 	resp, err := exchange(conn, &airproto.Frame{Kind: airproto.KindStats, ID: id}, timeout, probeBackoffBase, probeAttempts, src)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if resp.Kind != airproto.KindStats || len(resp.Data) < airproto.StatsVectorLen {
-		return "", fmt.Errorf("malformed stats reply (kind %d, %d values)", resp.Kind, len(resp.Data))
+		return nil, fmt.Errorf("malformed stats reply (kind %d, %d values)", resp.Kind, len(resp.Data))
 	}
 	at := func(i int) int64 { return int64(real(resp.Data[i])) }
-	return fmt.Sprintf("server stats: served %d  heals %d  swaps %d  rollbacks %d  canary-rejects %d  epoch %d",
-		at(airproto.StatServed), at(airproto.StatHeals), at(airproto.StatSwaps),
-		at(airproto.StatRollbacks), at(airproto.StatCanaryRejects), at(airproto.StatEpochSeq)), nil
+	return map[string]int64{
+		"served":         at(airproto.StatServed),
+		"heals":          at(airproto.StatHeals),
+		"swaps":          at(airproto.StatSwaps),
+		"rollbacks":      at(airproto.StatRollbacks),
+		"canary_rejects": at(airproto.StatCanaryRejects),
+		"epoch_seq":      at(airproto.StatEpochSeq),
+	}, nil
 }
 
 // exchange sends req and waits for THE MATCHING response: a reply whose ID
@@ -118,10 +199,10 @@ func serverStatsLine(conn *net.UDPConn, id uint32, timeout time.Duration, src *r
 // stray datagram — is discarded and the read continues within the same
 // deadline, so it can never be mistaken for this attempt's answer. NACKs
 // are interpreted per status code: StatusDegraded is retryable (the server
-// is shedding load or healing — back off and try again); StatusWrongLen
-// and StatusBadFrame mean the request itself is wrong and retrying cannot
-// help. Each attempt after the first is preceded by a jittered exponential
-// backoff delay.
+// is shedding load or healing — back off and try again); StatusWrongLen,
+// StatusNoTrace, and StatusBadFrame mean the request itself cannot succeed
+// and retrying won't help. Each attempt after the first is preceded by a
+// jittered exponential backoff delay, and counted in probe.retries.
 //
 // Before every send, any datagrams already buffered on the socket are
 // drained. readMatching must accept zero-ID NACKs (an unparseable request
@@ -159,6 +240,8 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.
 				lastErr = fmt.Errorf("server degraded, asked to back off")
 			case airproto.StatusWrongLen:
 				return nil, fmt.Errorf("server rejected frame: deployed for U=%d symbols, sent %d", resp.Label, len(req.Data))
+			case airproto.StatusNoTrace:
+				return nil, fmt.Errorf("server retains no such trace (sampled out, evicted, or never recorded)")
 			default:
 				return nil, fmt.Errorf("server rejected frame as malformed (status %d)", resp.Code)
 			}
@@ -169,6 +252,7 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.
 		// has failed there is nothing left to wait for, and the caller gets
 		// the verdict immediately.
 		if attempt < attempts {
+			probeRetries.Inc()
 			delay := time.Duration(float64(backoffBase) * float64(int(1)<<(attempt-1)) * (0.5 + src.Float64()))
 			log.Printf("probe: attempt %d/%d failed (%v), retrying in %v", attempt, attempts, lastErr, delay.Round(time.Millisecond))
 			time.Sleep(delay)
@@ -182,15 +266,21 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.
 // otherwise accept as the next request's answer. The deadline must sit
 // slightly in the future — a read against an already-expired deadline fails
 // immediately WITHOUT consuming buffered data — so an empty buffer costs one
-// millisecond, and each stale datagram is consumed without waiting.
+// millisecond, and each stale datagram is consumed without waiting. Drained
+// datagrams that parse as NACKs count in probe.stale_nacks: a rising count
+// reveals replies arriving after their exchange gave up on them.
 func drainStale(conn *net.UDPConn) {
 	if err := conn.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
 		return
 	}
 	buf := make([]byte, 65535)
 	for {
-		if _, err := conn.Read(buf); err != nil {
+		n, err := conn.Read(buf)
+		if err != nil {
 			return
+		}
+		if f, err := airproto.Unmarshal(buf[:n]); err == nil && f.IsNack() {
+			probeStaleNacks.Inc()
 		}
 	}
 }

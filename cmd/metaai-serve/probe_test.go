@@ -1,7 +1,6 @@
 package main
 
 import (
-	"strings"
 	"testing"
 	"time"
 
@@ -46,7 +45,7 @@ func TestExchangeNoBackoffAfterFinalFailure(t *testing.T) {
 
 // TestProbeStatsReadsServerCounters exercises the KindStats exchange end to
 // end: a real airServer answers the probe's counter request with its served/
-// heal/swap/rollback/canary/epoch numbers, formatted by serverStatsLine.
+// heal/swap/rollback/canary/epoch numbers, decoded by serverStats.
 func TestProbeStatsReadsServerCounters(t *testing.T) {
 	d := testDeployment(t, 71)
 	journal, err := checkpoint.OpenJournal(t.TempDir())
@@ -72,13 +71,17 @@ func TestProbeStatsReadsServerCounters(t *testing.T) {
 	}
 	srv.heal()
 
-	line, err := serverStatsLine(conn, 99, 5*time.Second, rng.New(3))
+	stats, err := serverStats(conn, 99, 5*time.Second, rng.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"served 1", "heals 1", "swaps 1", "rollbacks 0", "canary-rejects 0", "epoch 2"} {
-		if !strings.Contains(line, want) {
-			t.Fatalf("stats line %q missing %q", line, want)
+	want := map[string]int64{
+		"served": 1, "heals": 1, "swaps": 1,
+		"rollbacks": 0, "canary_rejects": 0, "epoch_seq": 2,
+	}
+	for k, v := range want {
+		if stats[k] != v {
+			t.Fatalf("server stats[%q] = %d, want %d (full: %v)", k, stats[k], v, stats)
 		}
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mobility"
 	"repro/internal/obs"
+	"repro/internal/obs/events"
+	"repro/internal/obs/trace"
 	"repro/internal/ota"
 	"repro/internal/rng"
 )
@@ -105,6 +107,8 @@ type airServer struct {
 	rollbacks     atomic.Int64  // published heals rolled back by the supervisor
 	canaryRejects atomic.Int64  // heal candidates the canary gate refused
 	epochSeq      atomic.Uint64 // journal sequence of the current epoch (0 when unjournaled)
+	reqSeq        atomic.Uint64 // per-server request ordinal, the trace-ID tiebreaker
+	healSeq       atomic.Uint64 // per-server heal-episode ordinal for heal traces
 
 	healMu sync.Mutex // serializes heal()/rollback and guards watch
 	// watch, when non-nil, is the post-publication rollback supervisor's
@@ -118,6 +122,7 @@ type airServer struct {
 type healWatch struct {
 	preMean float64 // mean margin immediately before the heal published
 	prev    *ota.Deployment
+	hid     trace.ID // the heal episode's trace, for rollback correlation
 }
 
 func newAirServer(cfg serverConfig) *airServer {
@@ -147,7 +152,9 @@ func newAirServer(cfg serverConfig) *airServer {
 	}
 	s := &airServer{cfg: cfg}
 	s.cur.Store(&epoch{d: cfg.deployment, sessions: s.newSessions(cfg.deployment)})
-	s.journalAppend(cfg.deployment, cfg.initialReason)
+	// The initial deploy's checkpoint-write correlates to the build trace,
+	// which is still the most recently started trace at construction time.
+	s.journalAppend(cfg.deployment, cfg.initialReason, trace.Default().LastActive())
 	return s
 }
 
@@ -166,8 +173,11 @@ func (s *airServer) newSessions(d *ota.Deployment) []*ota.Session {
 }
 
 // journalAppend durably records a published deployment when a journal is
-// configured. Failures are logged, never fatal: serving beats durability.
-func (s *airServer) journalAppend(d *ota.Deployment, reason string) {
+// configured, stamping the checkpoint-write event with the episode's trace
+// (the heal trace on heal/rollback publishes, the build trace on the
+// initial deploy). Failures are logged, never fatal: serving beats
+// durability.
+func (s *airServer) journalAppend(d *ota.Deployment, reason string, tid trace.ID) {
 	j := s.cfg.journal
 	if j == nil {
 		return
@@ -182,6 +192,9 @@ func (s *airServer) journalAppend(d *ota.Deployment, reason string) {
 		return
 	}
 	s.epochSeq.Store(seq)
+	events.Default().EmitTraced(tid, events.CheckpointWrite, "epoch journaled",
+		events.Num("epoch_seq", float64(seq)),
+		events.Str("reason", reason))
 	if err := j.Prune(journalKeep); err != nil {
 		s.cfg.logf("journal: prune: %v", err)
 	}
@@ -190,9 +203,12 @@ func (s *airServer) journalAppend(d *ota.Deployment, reason string) {
 // publish swaps in a new serving generation and journals it. Callers hold
 // healMu. In-flight requests keep their old epoch's sessions — the swap
 // loses nothing.
-func (s *airServer) publish(nd *ota.Deployment, reason string) {
+func (s *airServer) publish(nd *ota.Deployment, reason string, tid trace.ID) {
 	s.cur.Store(&epoch{d: nd, sessions: s.newSessions(nd)})
-	s.journalAppend(nd, reason)
+	s.journalAppend(nd, reason, tid)
+	events.Default().EmitTraced(tid, events.Publish, "epoch published",
+		events.Str("reason", reason),
+		events.Num("epoch_seq", float64(s.epochSeq.Load())))
 	if s.cfg.monitor != nil {
 		s.cfg.monitor.Reset()
 	}
@@ -205,9 +221,12 @@ func (s *airServer) publish(nd *ota.Deployment, reason string) {
 // (sessions seeded identically on both sides, so the check is
 // deterministic). Margins cannot play this role — a scrambled schedule can
 // be confidently wrong — but golden-output agreement catches exactly that.
-func (s *airServer) canaryPass(candidate *ota.Deployment) bool {
+// It returns the verdict and the observed agreement fraction (1 when no
+// probes are configured) so the caller can journal the canary-verdict
+// event with the number the decision turned on.
+func (s *airServer) canaryPass(candidate *ota.Deployment) (bool, float64) {
 	if len(s.cfg.canaryProbes) == 0 {
-		return true
+		return true, 1
 	}
 	agree := mobility.Agreement(
 		candidate.SessionFromSeed(s.cfg.canarySeed),
@@ -216,11 +235,11 @@ func (s *airServer) canaryPass(candidate *ota.Deployment) bool {
 	if agree >= s.cfg.canaryFrac {
 		s.cfg.logf("canary: candidate agrees with reference on %.0f%% of %d probes, publishing",
 			100*agree, len(s.cfg.canaryProbes))
-		return true
+		return true, agree
 	}
 	s.cfg.logf("canary: candidate agrees with reference on only %.0f%% of %d probes (< %.0f%%), rejecting",
 		100*agree, len(s.cfg.canaryProbes), 100*s.cfg.canaryFrac)
-	return false
+	return false, agree
 }
 
 // heal publishes a recovered epoch: the masked-atom re-solve when the
@@ -232,15 +251,37 @@ func (s *airServer) heal() {
 	defer s.healMu.Unlock()
 	s.heals.Add(1)
 	healCount.Inc()
+	// The heal episode gets its own trace: the preview's masked re-solve
+	// and the canary run show up as spans, and the heal events it emits
+	// tail-retain any request trace open across the swap. Events are
+	// stamped with hid explicitly — LastActive would name whichever
+	// concurrent request trace started last, not this episode.
+	hid := trace.Derive(0x4ea1, s.healSeq.Add(1))
+	hroot := trace.Default().Start("serve.heal", hid)
+	defer hroot.Finish(0)
 	prev := s.cur.Load().d
 	var nd *ota.Deployment
 	if in := s.cfg.injector; in != nil && !in.Healed() {
-		candidate, err := in.PreviewHeal()
+		candidate, err := in.PreviewHealSpan(hroot)
 		if err != nil {
 			s.cfg.logf("heal: masked re-solve failed: %v", err)
 			return
 		}
-		if !s.canaryPass(candidate) {
+		events.Default().EmitTraced(hid, events.HealPreview, "heal candidate re-solved",
+			events.Num("stuck_atoms", float64(len(in.StuckAtoms()))))
+		csp := hroot.Child("serve.canary")
+		pass, agree := s.canaryPass(candidate)
+		csp.SetNum("agreement", agree)
+		csp.End()
+		verdict := "accept"
+		if !pass {
+			verdict = "reject"
+		}
+		events.Default().EmitTraced(hid, events.CanaryVerdict, "canary judged heal candidate",
+			events.Str("verdict", verdict),
+			events.Num("agreement", agree),
+			events.Num("min_agreement", s.cfg.canaryFrac))
+		if !pass {
 			s.canaryRejects.Add(1)
 			canaryRejectCount.Inc()
 			if s.cfg.monitor != nil {
@@ -263,10 +304,10 @@ func (s *airServer) heal() {
 	// supervisor can tell whether the published heal actually helped.
 	if s.cfg.monitor != nil && s.cfg.rollbackFrac > 0 {
 		if preMean, ok := s.cfg.monitor.Mean(); ok {
-			s.watch = &healWatch{preMean: preMean, prev: prev}
+			s.watch = &healWatch{preMean: preMean, prev: prev, hid: hid}
 		}
 	}
-	s.publish(nd, "heal")
+	s.publish(nd, "heal", hid)
 }
 
 // checkRollback resolves an armed heal watch: once the monitor window has
@@ -297,7 +338,11 @@ func (s *airServer) checkRollback() {
 	rollbackCount.Inc()
 	s.cfg.logf("rollback: post-heal margin %.4f fell below %.0f%% of pre-heal %.4f, restoring previous epoch",
 		postMean, 100*s.cfg.rollbackFrac, w.preMean)
-	s.publish(w.prev, "rollback")
+	events.Default().EmitTraced(w.hid, events.Rollback, "regressed heal rolled back",
+		events.Num("post_margin", postMean),
+		events.Num("pre_margin", w.preMean),
+		events.Num("min_frac", s.cfg.rollbackFrac))
+	s.publish(w.prev, "rollback", w.hid)
 }
 
 // statsFrame answers a KindStats request: the serving counters and current
@@ -320,6 +365,39 @@ type request struct {
 	// t times the request from enqueue to reply written (zero, and
 	// therefore inert, while obs is disabled).
 	t obs.Timer
+	// span is the request's root trace span (nil while tracing is
+	// disabled); the worker hangs the inference's stage spans under it and
+	// finishes it when the reply is written.
+	span *trace.Span
+}
+
+// startRequestTrace opens the root span for one inbound data frame. The
+// trace ID derives from the client's request ID plus the server's arrival
+// ordinal — stable identifiers, so a fixed-seed run traces identically —
+// and the span carries the airproto request ID and the serving epoch.
+func (s *airServer) startRequestTrace(f *airproto.Frame) *trace.Span {
+	sp := trace.Default().Start("serve.request",
+		trace.Derive(0x5e12e, uint64(f.ID), s.reqSeq.Add(1)))
+	sp.SetNum("request_id", float64(f.ID))
+	sp.SetNum("epoch_seq", float64(s.epochSeq.Load()))
+	return sp
+}
+
+// traceFrame answers a KindTrace request: the retained trace's Chrome
+// JSON export packed into the vector payload (see airproto.PackBytes), or
+// a StatusNoTrace NACK when tracing is off or the ID is not retained.
+func (s *airServer) traceFrame(f *airproto.Frame) *airproto.Frame {
+	tr, flags := trace.Default().Get(trace.ID(f.TraceID()))
+	if tr == nil {
+		return airproto.Nack(f.ID, airproto.StatusNoTrace, 0)
+	}
+	body := trace.MarshalJSON(tr, flags, trace.ExportOptions{})
+	data, n := airproto.PackBytes(body)
+	var code uint8
+	if n < len(body) {
+		code = airproto.StatusNoTrace // truncated: only the first n bytes fit
+	}
+	return &airproto.Frame{Kind: airproto.KindTrace, Code: code, ID: f.ID, Label: int32(n), Data: data}
 }
 
 // serve answers frames on conn until the connection is closed (the caller
@@ -398,14 +476,26 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 			}
 			continue
 		}
+		if frame.Kind == airproto.KindTrace {
+			// A ring lookup plus an export render; also off the read loop.
+			if out, err := s.traceFrame(frame).Marshal(); err == nil {
+				if _, err := conn.WriteToUDP(out, from); err != nil {
+					s.cfg.logf("trace reply to %s: %v", from, err)
+				}
+			}
+			continue
+		}
+		sp := s.startRequestTrace(frame)
 		u := s.cur.Load().d.InputLen()
 		if len(frame.Data) != u {
 			s.cfg.logf("frame %d from %s: %d symbols, deployed for U=%d", frame.ID, from, len(frame.Data), u)
 			s.nack(conn, from, airproto.Nack(frame.ID, airproto.StatusWrongLen, int32(u)))
+			sp.SetStr("outcome", "nack_wrong_len")
+			sp.Finish(trace.FlagNack)
 			continue
 		}
 		select {
-		case reqs <- request{frame: frame, from: from, t: obs.StartTimer()}:
+		case reqs <- request{frame: frame, from: from, t: obs.StartTimer(), span: sp}:
 			queueDepth.Add(1)
 		default:
 			// Queue full: shed load explicitly. The client distinguishes
@@ -413,6 +503,8 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 			s.shed.Add(1)
 			shedCount.Inc()
 			s.nack(conn, from, airproto.Nack(frame.ID, airproto.StatusDegraded, 0))
+			sp.SetStr("outcome", "shed")
+			sp.Finish(trace.FlagShed)
 		}
 	}
 
@@ -433,7 +525,11 @@ func (s *airServer) worker(conn *net.UDPConn, w int, reqs <-chan request) {
 			s.cfg.preInfer()
 		}
 		ep := s.cur.Load()
-		acc := ep.sessions[w].Accumulate(r.frame.Data)
+		r.span.SetNum("worker", float64(w))
+		sess := ep.sessions[w]
+		sess.SetSpan(r.span)
+		acc := sess.Accumulate(r.frame.Data)
+		sess.SetSpan(nil)
 		if mon := s.cfg.monitor; mon != nil {
 			mags := make([]float64, len(acc))
 			for i, v := range acc {
@@ -445,15 +541,19 @@ func (s *airServer) worker(conn *net.UDPConn, w int, reqs <-chan request) {
 		out, err := resp.Marshal()
 		if err != nil {
 			s.cfg.logf("frame %d: %v", r.frame.ID, err)
+			r.span.SetStr("outcome", "marshal_error")
+			r.span.Finish(trace.FlagError)
 			continue
 		}
 		// UDPConn writes are goroutine-safe; replies interleave freely.
 		if _, err := conn.WriteToUDP(out, r.from); err != nil {
 			s.cfg.logf("reply to %s: %v", r.from, err)
+			r.span.Finish(trace.FlagError)
 			continue
 		}
 		servedCount.Inc()
 		r.t.ObserveInto(reqSeconds)
+		r.span.Finish(0)
 		if n := s.served.Add(1); n%50 == 0 {
 			s.cfg.logf("served %d transmissions", n)
 		}

@@ -6,7 +6,7 @@
 //
 // Frame layout (little endian):
 //
-//	uint8   kind     KindData, KindNack, or KindStats
+//	uint8   kind     KindData, KindNack, KindStats, or KindTrace
 //	uint8   code     status code (0 on data frames)
 //	uint32  id       sample/transmission identifier
 //	int32   label    data: ground-truth label for accounting (-1 if unknown)
@@ -40,6 +40,15 @@ const (
 	// epoch swaps, rollbacks, canary rejections, and the current epoch
 	// sequence. It gives probes a health read without the HTTP sidecar.
 	KindStats uint8 = 2
+	// KindTrace is a retained-trace fetch: the client sends an empty
+	// KindTrace frame whose ID/Label fields carry the low/high halves of a
+	// 64-bit trace ID (see TraceRequest), and the server answers with one
+	// whose Data carries the trace's Chrome-format JSON export packed two
+	// bytes per complex sample (see PackBytes). A server with tracing
+	// disabled or no such retained trace answers KindNack/StatusNoTrace. It
+	// lets `metaai-serve -probe -trace <id>` pull a trace over the air when
+	// the HTTP sidecar is unreachable.
+	KindTrace uint8 = 3
 )
 
 // StatsVector indexes the counters a KindStats response carries in Data.
@@ -65,6 +74,9 @@ const (
 	// StatusDegraded: the service is degraded or shedding load; the request
 	// was well-formed and a retry with backoff is expected to succeed.
 	StatusDegraded uint8 = 3
+	// StatusNoTrace: a KindTrace request named a trace the server does not
+	// retain (never traced, sampled out, or evicted). Not retryable.
+	StatusNoTrace uint8 = 4
 )
 
 // HeaderLen is the byte length of the fixed frame header.
@@ -97,7 +109,7 @@ func (f *Frame) Marshal() ([]byte, error) {
 	if len(f.Data) > MaxVector {
 		return nil, fmt.Errorf("airproto: vector length %d exceeds %d", len(f.Data), MaxVector)
 	}
-	if f.Kind > KindStats {
+	if f.Kind > KindTrace {
 		return nil, fmt.Errorf("airproto: unknown frame kind %d", f.Kind)
 	}
 	buf := make([]byte, 0, HeaderLen+8*len(f.Data))
@@ -123,7 +135,7 @@ func Unmarshal(b []byte) (*Frame, error) {
 		ID:    binary.LittleEndian.Uint32(b[2:6]),
 		Label: int32(binary.LittleEndian.Uint32(b[6:10])),
 	}
-	if f.Kind > KindStats {
+	if f.Kind > KindTrace {
 		return nil, fmt.Errorf("airproto: unknown frame kind %d", f.Kind)
 	}
 	n := int(binary.LittleEndian.Uint16(b[10:12]))

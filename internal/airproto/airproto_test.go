@@ -139,6 +139,7 @@ func fuzzCorpus() [][]byte {
 	nack, _ := Nack(9, StatusDegraded, 0).Marshal()
 	big, _ := (&Frame{ID: 8, Data: make([]complex128, 300)}).Marshal()
 	stats, _ := (&Frame{Kind: KindStats, ID: 11, Data: make([]complex128, StatsVectorLen)}).Marshal()
+	trc, _ := TraceRequest(0x8be9ac2c03521f46).Marshal()
 	oversize := append([]byte(nil), data...)
 	oversize[10], oversize[11] = 0xff, 0xff // n lies far past the payload
 	return [][]byte{
@@ -153,6 +154,7 @@ func fuzzCorpus() [][]byte {
 		nack,
 		big,
 		stats,
+		trc,
 	}
 }
 
@@ -165,7 +167,7 @@ func FuzzUnmarshal(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if fr.Kind > KindStats {
+		if fr.Kind > KindTrace {
 			t.Fatalf("accepted frame with unknown kind %d", fr.Kind)
 		}
 		if len(fr.Data) > MaxVector {

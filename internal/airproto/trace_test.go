@@ -1,0 +1,103 @@
+package airproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRequestIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, 0xdeadbeefcafef00d, ^uint64(0)} {
+		f := TraceRequest(id)
+		if f.Kind != KindTrace {
+			t.Fatalf("kind = %d", f.Kind)
+		}
+		if got := f.TraceID(); got != id {
+			t.Fatalf("TraceID round trip: got %x want %x", got, id)
+		}
+		// The split ID must survive the wire.
+		b, err := f.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Unmarshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.TraceID() != id {
+			t.Fatalf("wire round trip: got %x want %x", g.TraceID(), id)
+		}
+	}
+}
+
+func TestPackBytesRoundTripsThroughWire(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		[]byte{0},
+		[]byte{255},
+		[]byte(`{"traceEvents":[{"name":"req","ph":"X"}]}`),
+		bytes.Repeat([]byte{0, 127, 255, 3}, 300), // even length
+		bytes.Repeat([]byte{9}, 301),              // odd length
+	}
+	for _, p := range payloads {
+		data, n := PackBytes(p)
+		if n != len(p) {
+			t.Fatalf("packed %d of %d bytes", n, len(p))
+		}
+		f := &Frame{Kind: KindTrace, Label: int32(n), Data: data}
+		b, err := f.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Unmarshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := UnpackBytes(g.Data, int(g.Label))
+		if !bytes.Equal(got, p) {
+			t.Fatalf("payload corrupted: got %q want %q", got, p)
+		}
+	}
+}
+
+func TestPackBytesTruncates(t *testing.T) {
+	big := bytes.Repeat([]byte{7}, MaxTraceBytes+100)
+	data, n := PackBytes(big)
+	if n != MaxTraceBytes {
+		t.Fatalf("packed %d, want cap %d", n, MaxTraceBytes)
+	}
+	if len(data) != MaxVector {
+		t.Fatalf("vector length %d, want %d", len(data), MaxVector)
+	}
+	if got := UnpackBytes(data, n); !bytes.Equal(got, big[:MaxTraceBytes]) {
+		t.Fatal("truncated payload corrupted")
+	}
+}
+
+func TestUnpackBytesClampsBogusLength(t *testing.T) {
+	data, _ := PackBytes([]byte{1, 2, 3})
+	if got := UnpackBytes(data, 100); len(got) != 4 {
+		t.Fatalf("clamp: got %d bytes, want 4 (vector capacity)", len(got))
+	}
+	if got := UnpackBytes(data, -5); len(got) != 0 {
+		t.Fatalf("negative length: got %d bytes", len(got))
+	}
+}
+
+func TestKindTraceValidOnWireUnknownKindsStillRejected(t *testing.T) {
+	f := &Frame{Kind: KindTrace, ID: 1}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(b); err != nil {
+		t.Fatalf("KindTrace rejected: %v", err)
+	}
+	bad := &Frame{Kind: KindTrace + 1}
+	if _, err := bad.Marshal(); err == nil {
+		t.Fatal("kind 4 marshaled")
+	}
+	b[0] = KindTrace + 1
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("kind 4 unmarshaled")
+	}
+}

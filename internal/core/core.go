@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/autodiff"
 	"repro/internal/clocksync"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/noisetrain"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/ota"
 	"repro/internal/rng"
 )
@@ -180,15 +182,43 @@ func NewFromSets(train, test *nn.EncodedSet, cfg Config) (*Pipeline, error) {
 	if cfg.Sync == SyncCDFA {
 		tc.InputAug = chainAug(tc.InputAug, clocksync.Injector(det, symRate))
 	}
+	root := startBuildTrace(cfg)
 	trainTimer := obs.StartTimer()
+	tsp := root.Child("pipeline.train")
+	tsp.SetNum("classes", float64(train.Classes))
+	tsp.SetNum("u", float64(train.U))
+	tsp.SetNum("samples", float64(len(train.X)))
 	var model *nn.ComplexLNN
 	if cfg.NoiseAware != nil {
 		model = noisetrain.Train(train, tc, *cfg.NoiseAware)
 	} else {
 		model = nn.TrainLNN(train, tc)
 	}
+	tsp.End()
 	trainTimer.ObserveInto(pipeTrainSeconds)
-	return NewFromModel(train, test, model, cfg)
+	p, err := newFromModel(train, test, model, cfg, root)
+	if err != nil {
+		root.Finish(trace.FlagError)
+		return nil, err
+	}
+	root.Finish(0)
+	return p, nil
+}
+
+// buildSeq distinguishes successive pipeline builds in one process so
+// their trace IDs never collide; it advances deterministically with the
+// build sequence and never touches an rng stream.
+var buildSeq atomic.Uint64
+
+// startBuildTrace opens the per-build trace (nil while tracing is
+// disabled). The ID derives from the config seed and the process-local
+// build ordinal — stable identifiers only.
+func startBuildTrace(cfg Config) *trace.Span {
+	root := trace.Default().Start("pipeline.build",
+		trace.Derive(cfg.Seed, 0xb111d, buildSeq.Add(1)))
+	root.SetStr("dataset", cfg.Dataset)
+	root.SetNum("seed", float64(cfg.Seed))
+	return root
 }
 
 // NewFromModel deploys an ALREADY-TRAINED model over the air — the resume
@@ -197,6 +227,19 @@ func NewFromSets(train, test *nn.EncodedSet, cfg Config) (*Pipeline, error) {
 // identical to NewFromSets', so resuming from a saved model reproduces the
 // trained-then-deployed pipeline exactly.
 func NewFromModel(train, test *nn.EncodedSet, model *nn.ComplexLNN, cfg Config) (*Pipeline, error) {
+	root := startBuildTrace(cfg)
+	p, err := newFromModel(train, test, model, cfg, root)
+	if err != nil {
+		root.Finish(trace.FlagError)
+		return nil, err
+	}
+	root.Finish(0)
+	return p, nil
+}
+
+// newFromModel is the shared deployment half, its schedule solve traced
+// under root (nil when tracing is disabled or the caller owns no trace).
+func newFromModel(train, test *nn.EncodedSet, model *nn.ComplexLNN, cfg Config, root *trace.Span) (*Pipeline, error) {
 	if len(train.X) == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
@@ -212,6 +255,9 @@ func NewFromModel(train, test *nn.EncodedSet, model *nn.ComplexLNN, cfg Config) 
 
 	// Deployment-side configuration.
 	deployTimer := obs.StartTimer()
+	dsp := root.Child("pipeline.deploy")
+	dsp.SetNum("classes", float64(train.Classes))
+	dsp.SetNum("u", float64(train.U))
 	src := rng.New(cfg.Seed ^ 0xa17)
 	air := fillAir(cfg.Air, ota.NewOptions(src.Split()))
 	switch cfg.Sync {
@@ -222,10 +268,11 @@ func NewFromModel(train, test *nn.EncodedSet, model *nn.ComplexLNN, cfg Config) 
 	case SyncPerfect:
 		air.SyncSampler = nil
 	}
-	sys, err := ota.Deploy(p.Model.Weights(), air, src)
+	sys, err := ota.DeploySpan(p.Model.Weights(), air, src, dsp)
 	if err != nil {
 		return nil, err
 	}
+	dsp.End()
 	deployTimer.ObserveInto(pipeDeploySeconds)
 	p.System = sys
 	pipeBuilds.Inc()
@@ -338,16 +385,44 @@ func (p *Pipeline) AirAccuracyParallel(workers int) float64 {
 func (p *Pipeline) Infer(x []float64) (int, []float64) {
 	t := obs.StartTimer()
 	defer t.ObserveInto(pipeInferSeconds)
-	return p.inferLogits(p.System.Logits(p.Enc.Encode(x)))
+	root := trace.Default().Start("pipeline.infer",
+		trace.Derive(p.Cfg.Seed, 0x1f3a, inferSeq.Add(1)))
+	sess := p.System.Session()
+	sess.SetSpan(root)
+	logits := p.System.Logits(p.Enc.Encode(x))
+	sess.SetSpan(nil)
+	arg, probs := p.inferLogits(logits)
+	root.SetNum("class", float64(arg))
+	root.Finish(0)
+	return arg, probs
 }
+
+// inferSeq orders standalone Infer traces within one process, exactly as
+// buildSeq orders builds.
+var inferSeq atomic.Uint64
 
 // InferSession is Infer through a caller-owned session, for concurrent
 // serving: each worker holds one session from Sessions(n) and infers
 // without any cross-worker locking.
 func (p *Pipeline) InferSession(sess *ota.Session, x []float64) (int, []float64) {
+	return p.InferSessionSpan(sess, x, nil)
+}
+
+// InferSessionSpan is InferSession with the inference traced as a
+// "pipeline.infer" child of parent — the request-root plumbing a serving
+// worker that owns both the session and the request trace uses. A nil
+// parent records nothing.
+func (p *Pipeline) InferSessionSpan(sess *ota.Session, x []float64, parent *trace.Span) (int, []float64) {
 	t := obs.StartTimer()
 	defer t.ObserveInto(pipeInferSeconds)
-	return p.inferLogits(sess.Logits(p.Enc.Encode(x)))
+	sp := parent.Child("pipeline.infer")
+	sess.SetSpan(sp)
+	logits := sess.Logits(p.Enc.Encode(x))
+	sess.SetSpan(nil)
+	arg, probs := p.inferLogits(logits)
+	sp.SetNum("class", float64(arg))
+	sp.End()
+	return arg, probs
 }
 
 func (p *Pipeline) inferLogits(logits []float64) (int, []float64) {

@@ -33,6 +33,8 @@ import (
 
 	"repro/internal/cplx"
 	"repro/internal/mts"
+	"repro/internal/obs/events"
+	"repro/internal/obs/trace"
 	"repro/internal/ota"
 	"repro/internal/rng"
 )
@@ -151,6 +153,12 @@ func New(d *ota.Deployment, rates Rates, src *rng.Source) (*Injector, error) {
 	faultInjectors.Inc()
 	faultStuck.Set(float64(len(in.stuck)))
 	faultResidual.Set(in.ResidualError())
+	if !rates.Zero() {
+		events.Default().Emit(events.FaultInjected, "fault population drawn",
+			events.Num("stuck_atoms", float64(len(in.stuck))),
+			events.Num("stuck_frac", rates.StuckAtomFrac),
+			events.Num("residual", in.ResidualError()))
+	}
 	return in, nil
 }
 
@@ -258,9 +266,21 @@ func (in *Injector) newHook(d *ota.Deployment) *hook {
 // it. With no stuck atoms and no sabotage armed, the preview is the current
 // serving deployment itself.
 func (in *Injector) PreviewHeal() (*ota.Deployment, error) {
+	return in.PreviewHealSpan(nil)
+}
+
+// PreviewHealSpan is PreviewHeal with the masked re-solve traced under
+// parent (the supervisor's heal span). A nil parent records nothing; the
+// candidate is bit-identical either way, since spans never touch the
+// injector's random streams.
+func (in *Injector) PreviewHealSpan(parent *trace.Span) (*ota.Deployment, error) {
 	if len(in.stuck) == 0 && in.sabotage == 0 {
 		return in.cur, nil
 	}
+	hsp := parent.Child("faults.heal_preview")
+	hsp.SetNum("stuck_atoms", float64(len(in.stuck)))
+	hsp.SetNum("sabotage", in.sabotage)
+	defer hsp.End()
 	opts := in.orig.Options()
 	s := opts.Surface
 	sched := make([][]mts.Config, in.orig.Classes())
@@ -270,6 +290,7 @@ func (in *Injector) PreviewHeal() (*ota.Deployment, error) {
 			return nil, err
 		}
 		estPP := in.orig.EstPathPhases()
+		ssp := mts.StartSolveSpan(hsp, "masked", in.orig.Classes()*in.orig.InputLen())
 		for r := range sched {
 			sched[r] = make([]mts.Config, in.orig.InputLen())
 			for i := range sched[r] {
@@ -278,6 +299,7 @@ func (in *Injector) PreviewHeal() (*ota.Deployment, error) {
 				sched[r][i] = cfg
 			}
 		}
+		ssp.End()
 	} else {
 		for r := range sched {
 			sched[r] = make([]mts.Config, in.orig.InputLen())

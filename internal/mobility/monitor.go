@@ -2,9 +2,11 @@ package mobility
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 )
 
 // Monitor metrics: the last observed decision margin (the serving fleet's
@@ -29,6 +31,10 @@ type Monitor struct {
 	idx       int
 	filled    bool
 	observed  int64
+	// degraded tracks the last Degraded verdict so the journal records the
+	// RISING edge only — a degraded window polled every supervisor tick
+	// must not flood the event ring.
+	degraded atomic.Bool
 }
 
 // NewMonitor builds a monitor that flags degradation when the mean margin
@@ -87,16 +93,26 @@ func (m *Monitor) Mean() (float64, bool) {
 }
 
 // Degraded reports whether the trailing window has filled AND its mean
-// margin sits below the threshold.
+// margin sits below the threshold. The first degraded verdict after a
+// healthy (or reset) stretch is journaled as a Degraded event.
 func (m *Monitor) Degraded() bool {
 	mean, ok := m.Mean()
-	return ok && mean < m.threshold
+	bad := ok && mean < m.threshold
+	if bad && m.degraded.CompareAndSwap(false, true) {
+		events.Default().Emit(events.Degraded, "margin window fell below threshold",
+			events.Num("mean_margin", mean),
+			events.Num("threshold", m.threshold))
+	} else if !bad && ok {
+		m.degraded.Store(false)
+	}
+	return bad
 }
 
 // Reset clears the window — call after a recalibration or heal, so the
 // decision reflects only post-recovery readouts.
 func (m *Monitor) Reset() {
 	monResets.Inc()
+	m.degraded.Store(false)
 	m.mu.Lock()
 	m.idx = 0
 	m.filled = false

@@ -1,0 +1,15 @@
+package mts
+
+import "repro/internal/obs/trace"
+
+// StartSolveSpan opens a child span covering one schedule-level solver run
+// — a whole classes×U target batch, not a single SolveTarget call, which
+// is far too hot to trace individually. Callers (ota deployment builds,
+// faults heal previews) end the returned span when their solve loop
+// finishes; a nil parent (tracing disabled) makes the whole thing free.
+func StartSolveSpan(parent *trace.Span, kind string, targets int) *trace.Span {
+	sp := parent.Child("mts.solve")
+	sp.SetStr("kind", kind)
+	sp.SetNum("targets", float64(targets))
+	return sp
+}

@@ -1,0 +1,260 @@
+// Package events is the structured counterpart to the trace ring: a
+// fixed-size journal of the discrete control-plane episodes — heal
+// previews, canary verdicts, epoch publishes, rollbacks, checkpoint
+// writes, recoveries, degradation edges — that explain why the data
+// plane's traces look the way they do. Each record is stamped with a
+// trace ID — the episode's own trace when the emitter holds one
+// (EmitTraced), the tracer's most recently active trace otherwise — so an
+// operator can walk from a rolled-back epoch in /events to the exact heal
+// episode in /traces, and every emit bumps the tracer's event counter so
+// any trace open across the episode is tail-retained with FlagEvent.
+//
+// Like the rest of the obs tree, the package is dependency-free, its
+// disabled path allocates nothing (Emit returns before building the
+// record), and it never touches an rng.Source.
+package events
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs/trace"
+)
+
+// Type enumerates the journaled episode kinds.
+type Type uint8
+
+const (
+	// HealPreview: a degraded-mode heal was previewed (re-solved off the
+	// serving path) and is awaiting its canary verdict.
+	HealPreview Type = iota
+	// CanaryVerdict: the held-out probe gate accepted or rejected a
+	// previewed heal.
+	CanaryVerdict
+	// Publish: a new epoch was atomically published to the serving path.
+	Publish
+	// Rollback: the margin watch reverted serving to a previous epoch.
+	Rollback
+	// CheckpointWrite: an epoch was journaled to the state WAL.
+	CheckpointWrite
+	// Recover: serving state was rebuilt from the WAL at startup.
+	Recover
+	// Degraded: the mobility monitor crossed its degradation threshold
+	// (rising edge only).
+	Degraded
+	// FaultInjected: the fault injector activated an episode.
+	FaultInjected
+)
+
+var typeNames = [...]string{
+	HealPreview:     "heal-preview",
+	CanaryVerdict:   "canary-verdict",
+	Publish:         "publish",
+	Rollback:        "rollback",
+	CheckpointWrite: "checkpoint-write",
+	Recover:         "recover",
+	Degraded:        "degraded",
+	FaultInjected:   "fault-injected",
+}
+
+// String returns the wire name used in NDJSON output.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type-%d", uint8(t))
+}
+
+// Field is one key/value detail on a record (epoch numbers, agreement
+// fractions, stuck-atom counts, paths).
+type Field struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// Str builds a string field.
+func Str(key, val string) Field { return Field{Key: key, Str: val} }
+
+// Num builds a numeric field.
+func Num(key string, val float64) Field { return Field{Key: key, Num: val, IsNum: true} }
+
+// Record is one journaled episode.
+type Record struct {
+	Seq    uint64    // monotonically increasing journal sequence
+	Time   time.Time // wall clock at Emit
+	Type   Type
+	Msg    string   // one-line human summary
+	Trace  trace.ID // the episode's trace (explicit via EmitTraced, else last active)
+	Fields []Field
+}
+
+// Journal is a fixed-size ring of records. The zero Journal is disabled;
+// arm it with Enable. All methods are safe for concurrent use.
+type Journal struct {
+	enabled atomic.Bool
+	tracer  *trace.Tracer // notified on every Emit; nil ok
+
+	mu   sync.Mutex
+	buf  []Record
+	next uint64
+}
+
+var def = &Journal{}
+
+// Default returns the process-wide journal the serve stack emits to.
+func Default() *Journal { return def }
+
+// Enable arms the journal with room for size records and binds it to a
+// tracer (may be nil) whose NoteEvent/LastActive drive trace correlation.
+func (j *Journal) Enable(size int, tr *trace.Tracer) {
+	if size < 1 {
+		size = 256
+	}
+	j.mu.Lock()
+	j.buf = make([]Record, size)
+	j.next = 0
+	j.tracer = tr
+	j.mu.Unlock()
+	j.enabled.Store(true)
+}
+
+// Disable disarms the journal; retained records stay readable.
+func (j *Journal) Disable() { j.enabled.Store(false) }
+
+// Enabled reports whether Emit records anything.
+func (j *Journal) Enabled() bool { return j.enabled.Load() }
+
+// Emit journals one episode stamped with the bound tracer's most recently
+// active trace ID. While disabled it returns immediately without
+// allocating. LastActive is a heuristic: under concurrent traffic the most
+// recently started trace may belong to an unrelated request, so emitters
+// that hold the episode's own trace must use EmitTraced instead.
+func (j *Journal) Emit(t Type, msg string, fields ...Field) {
+	if !j.enabled.Load() {
+		return
+	}
+	j.mu.Lock()
+	tr := j.tracer
+	j.mu.Unlock()
+	var tid trace.ID
+	if tr != nil {
+		tid = tr.LastActive()
+	}
+	j.EmitTraced(tid, t, msg, fields...)
+}
+
+// EmitTraced journals one episode stamped with an explicit trace ID — the
+// correct form whenever the episode's trace is in scope (heal previews,
+// canary verdicts, publishes, rollbacks all belong to a heal episode's
+// trace, not to whichever request trace happened to start last). The
+// tracer is still notified so traces open across the episode tail-retain.
+func (j *Journal) EmitTraced(tid trace.ID, t Type, msg string, fields ...Field) {
+	if !j.enabled.Load() {
+		return
+	}
+	j.mu.Lock()
+	tr := j.tracer
+	rec := Record{
+		Seq:   j.next,
+		Time:  time.Now(),
+		Type:  t,
+		Msg:   msg,
+		Trace: tid,
+	}
+	if len(fields) > 0 {
+		rec.Fields = append([]Field(nil), fields...)
+	}
+	j.buf[j.next%uint64(len(j.buf))] = rec
+	j.next++
+	j.mu.Unlock()
+	if tr != nil {
+		tr.NoteEvent()
+	}
+}
+
+// Records returns the retained records oldest-first.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.buf) == 0 {
+		return nil
+	}
+	n := j.next
+	size := uint64(len(j.buf))
+	start := uint64(0)
+	count := n
+	if n > size {
+		start = n - size
+		count = size
+	}
+	out := make([]Record, 0, count)
+	for s := start; s < n; s++ {
+		out = append(out, j.buf[s%size])
+	}
+	return out
+}
+
+// Len reports how many records the journal retains.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.next
+	if n > uint64(len(j.buf)) {
+		n = uint64(len(j.buf))
+	}
+	return int(n)
+}
+
+// Reset drops every record (tests and journal re-arming).
+func (j *Journal) Reset() {
+	j.mu.Lock()
+	for i := range j.buf {
+		j.buf[i] = Record{}
+	}
+	j.next = 0
+	j.mu.Unlock()
+}
+
+// WriteNDJSON renders the journal oldest-first as newline-delimited JSON
+// (the sidecar /events body). Field order is fixed so the output is
+// deterministic given deterministic records.
+func (j *Journal) WriteNDJSON(w io.Writer) error {
+	recs := j.Records()
+	var b bytes.Buffer
+	for _, r := range recs {
+		b.WriteString(`{"seq":`)
+		b.WriteString(strconv.FormatUint(r.Seq, 10))
+		b.WriteString(`,"time":`)
+		b.WriteString(strconv.Quote(r.Time.UTC().Format("2006-01-02T15:04:05.000000Z")))
+		b.WriteString(`,"type":`)
+		b.WriteString(strconv.Quote(r.Type.String()))
+		b.WriteString(`,"msg":`)
+		b.WriteString(strconv.Quote(r.Msg))
+		b.WriteString(`,"trace_id":`)
+		b.WriteString(strconv.Quote(r.Trace.String()))
+		for _, f := range r.Fields {
+			b.WriteByte(',')
+			b.WriteString(strconv.Quote(f.Key))
+			b.WriteByte(':')
+			if f.IsNum {
+				if f.Num == float64(int64(f.Num)) && f.Num < 1e15 && f.Num > -1e15 {
+					b.WriteString(strconv.FormatInt(int64(f.Num), 10))
+				} else {
+					b.WriteString(strconv.FormatFloat(f.Num, 'g', -1, 64))
+				}
+			} else {
+				b.WriteString(strconv.Quote(f.Str))
+			}
+		}
+		b.WriteString("}\n")
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}

@@ -1,0 +1,140 @@
+package events
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/trace"
+)
+
+func TestDisabledEmitIsZeroAlloc(t *testing.T) {
+	var j Journal
+	allocs := testing.AllocsPerRun(1000, func() {
+		j.Emit(Publish, "epoch published", Num("epoch", 3))
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Emit allocated %.1f/op, want 0", allocs)
+	}
+	if j.Len() != 0 {
+		t.Fatal("disabled journal retained records")
+	}
+}
+
+func TestEmitRecordsAndStampsTraceID(t *testing.T) {
+	var tr trace.Tracer
+	tr.Enable(8, 1)
+	var j Journal
+	j.Enable(8, &tr)
+
+	id := trace.Derive(5)
+	sp := tr.Start("req", id)
+	j.Emit(Rollback, "margin watch reverted", Num("from_epoch", 4), Num("to_epoch", 3))
+	sp.Finish(0)
+
+	recs := j.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Type != Rollback || r.Trace != id {
+		t.Fatalf("record = %+v, want Rollback stamped with %v", r, id)
+	}
+	// The overlapping trace must be tail-retained with FlagEvent.
+	got, flags := tr.Get(id)
+	if got == nil || flags&trace.FlagEvent == 0 {
+		t.Fatalf("overlapping trace not event-retained (flags %v)", flags)
+	}
+}
+
+// TestEmitTracedOverridesLastActive pins the explicit-stamp contract: an
+// episode emitted with EmitTraced carries the given trace ID even when an
+// unrelated trace started more recently, and the tracer is still notified
+// so traces open across the episode tail-retain with FlagEvent.
+func TestEmitTracedOverridesLastActive(t *testing.T) {
+	var tr trace.Tracer
+	tr.Enable(8, 0)
+	var j Journal
+	j.Enable(8, &tr)
+
+	episode := trace.Derive(0x4ea1, 1)
+	epSpan := tr.Start("serve.heal", episode)
+	foreign := trace.Derive(0xf0e17, 1)
+	tr.Start("foreign.req", foreign).Finish(0)
+	if tr.LastActive() != foreign {
+		t.Fatalf("setup: LastActive %s, want foreign %s", tr.LastActive(), foreign)
+	}
+
+	j.EmitTraced(episode, Publish, "epoch published")
+	epSpan.Finish(0)
+
+	recs := j.Records()
+	if len(recs) != 1 || recs[0].Trace != episode {
+		t.Fatalf("records = %+v, want one Publish stamped with %s", recs, episode)
+	}
+	// NoteEvent still fired: the episode trace, open across the emit, is
+	// retained at sample=0.
+	got, flags := tr.Get(episode)
+	if got == nil || flags&trace.FlagEvent == 0 {
+		t.Fatalf("episode trace not event-retained (flags %v)", flags)
+	}
+}
+
+func TestJournalRingWraps(t *testing.T) {
+	var j Journal
+	j.Enable(3, nil)
+	for i := 0; i < 5; i++ {
+		j.Emit(Publish, "p", Num("i", float64(i)))
+	}
+	recs := j.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	if recs[0].Seq != 2 || recs[2].Seq != 4 {
+		t.Fatalf("wrong window: seqs %d..%d, want 2..4", recs[0].Seq, recs[2].Seq)
+	}
+	j.Reset()
+	if j.Len() != 0 {
+		t.Fatal("Reset left records")
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	var j Journal
+	j.Enable(8, nil)
+	j.Emit(CanaryVerdict, "canary rejected heal", Num("agreement", 0.42), Str("verdict", "reject"))
+	j.Emit(CheckpointWrite, "epoch journaled", Num("epoch", 7))
+	var b bytes.Buffer
+	if err := j.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2: %q", len(lines), b.String())
+	}
+	for _, want := range []string{`"type":"canary-verdict"`, `"agreement":0.42`, `"verdict":"reject"`, `"trace_id":"0000000000000000"`} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("line 0 missing %s: %s", want, lines[0])
+		}
+	}
+	if !strings.Contains(lines[1], `"epoch":7`) {
+		t.Fatalf("line 1 missing epoch: %s", lines[1])
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		HealPreview: "heal-preview", CanaryVerdict: "canary-verdict",
+		Publish: "publish", Rollback: "rollback",
+		CheckpointWrite: "checkpoint-write", Recover: "recover",
+		Degraded: "degraded", FaultInjected: "fault-injected",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Type(200).String(), "type-") {
+		t.Fatal("unknown type name")
+	}
+}

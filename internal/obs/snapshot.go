@@ -29,6 +29,30 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 	}{le, b.Count})
 }
 
+// UnmarshalJSON reverses MarshalJSON, restoring the "+Inf" overflow bound
+// to math.Inf(1). Any other string bound is rejected. This makes persisted
+// snapshots (BENCH_serve.json, /metrics.json captures) round-trippable, so
+// tools like metaai-bench -compare can re-derive quantiles from them.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var s string
+	if err := json.Unmarshal(raw.LE, &s); err == nil {
+		if s != "+Inf" {
+			return fmt.Errorf("obs: bucket bound %q is neither a number nor \"+Inf\"", s)
+		}
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(raw.LE, &b.UpperBound)
+}
+
 // HistogramSnapshot is one histogram's frozen state.
 type HistogramSnapshot struct {
 	Count   int64    `json:"count"`

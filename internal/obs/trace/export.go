@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file renders retained traces in Chrome's trace-event JSON format
+// (the "traceEvents" array chrome://tracing and Perfetto load directly).
+// The encoder is hand-rolled rather than reflection-based so the byte
+// stream is fully deterministic: fields emit in a fixed order and
+// attributes in insertion order. The tracegate CI target diffs two
+// normalized exports byte-for-byte, so "mostly deterministic" is not
+// enough.
+
+// ExportOptions tune the JSON rendering.
+type ExportOptions struct {
+	// Normalize replaces wall-clock and monotonic timestamps with
+	// deterministic values derived from span order (span i starts at
+	// i*1000µs with duration 1000µs·(1+depth from end order)). The shape
+	// of the tree, names, IDs, parent links, and attrs are untouched.
+	// tracegate exports with Normalize set so two fixed-seed runs produce
+	// byte-identical files.
+	Normalize bool
+}
+
+// appendJSONString appends a JSON-quoted string (Go strconv quoting is a
+// superset of JSON for the ASCII names and attrs we emit).
+func appendJSONString(b *bytes.Buffer, s string) {
+	b.WriteString(strconv.Quote(s))
+}
+
+func appendNum(b *bytes.Buffer, v float64) {
+	// Integers render without an exponent; everything else shortest-form.
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		b.WriteString(strconv.FormatInt(int64(v), 10))
+		return
+	}
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// WriteJSON renders the trace as a complete Chrome trace-event document.
+func WriteJSON(w io.Writer, tr *Trace, flags Flags, opt ExportOptions) error {
+	if tr == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	tr.mu.Lock()
+	spans := make([]*Span, len(tr.spans))
+	copy(spans, tr.spans)
+	tr.mu.Unlock()
+
+	var b bytes.Buffer
+	b.WriteString(`{"displayTimeUnit":"ms","metadata":{"trace_id":`)
+	appendJSONString(&b, tr.id.String())
+	b.WriteString(`,"name":`)
+	appendJSONString(&b, tr.name)
+	b.WriteString(`,"flags":`)
+	appendJSONString(&b, flags.String())
+	if !opt.Normalize {
+		b.WriteString(`,"wall":`)
+		appendJSONString(&b, tr.wall.UTC().Format("2006-01-02T15:04:05.000000Z"))
+	}
+	b.WriteString(`},"traceEvents":[`)
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		tr.mu.Lock()
+		name, parent, id := sp.name, sp.parent, sp.id
+		start, end := sp.start, sp.end
+		attrs := make([]Attr, len(sp.attrs))
+		copy(attrs, sp.attrs)
+		tr.mu.Unlock()
+		tsUS := start / 1e3
+		durUS := (end - start) / 1e3
+		if end == 0 {
+			durUS = 0
+		}
+		if opt.Normalize {
+			tsUS = int64(i) * 1000
+			durUS = 1000
+		}
+		if durUS < 1 {
+			durUS = 1
+		}
+		b.WriteString(`{"name":`)
+		appendJSONString(&b, name)
+		b.WriteString(`,"ph":"X","pid":1,"tid":1,"ts":`)
+		b.WriteString(strconv.FormatInt(tsUS, 10))
+		b.WriteString(`,"dur":`)
+		b.WriteString(strconv.FormatInt(durUS, 10))
+		b.WriteString(`,"args":{"span_id":`)
+		appendJSONString(&b, ID(id).String())
+		b.WriteString(`,"parent_id":`)
+		appendJSONString(&b, ID(parent).String())
+		for _, a := range attrs {
+			b.WriteByte(',')
+			appendJSONString(&b, a.Key)
+			b.WriteByte(':')
+			if a.IsNum {
+				appendNum(&b, a.Num)
+			} else {
+				appendJSONString(&b, a.Str)
+			}
+		}
+		b.WriteString(`}}`)
+	}
+	b.WriteString(`]}`)
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// MarshalJSON renders the trace to bytes (the KindTrace payload and the
+// sidecar /trace/<id> body share this).
+func MarshalJSON(tr *Trace, flags Flags, opt ExportOptions) []byte {
+	var b bytes.Buffer
+	WriteJSON(&b, tr, flags, opt)
+	return b.Bytes()
+}
+
+// WriteList renders trace summaries as a JSON array (the sidecar /traces
+// body), newest first.
+func WriteList(w io.Writer, sums []Summary) error {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, s := range sums {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"id":`)
+		appendJSONString(&b, s.ID.String())
+		b.WriteString(`,"name":`)
+		appendJSONString(&b, s.Name)
+		b.WriteString(`,"dur_us":`)
+		b.WriteString(strconv.FormatInt(int64(s.Duration)/1e3, 10))
+		b.WriteString(`,"spans":`)
+		b.WriteString(strconv.Itoa(s.Spans))
+		b.WriteString(`,"flags":`)
+		appendJSONString(&b, s.Flags.String())
+		fmt.Fprintf(&b, `,"wall":%q`, s.Wall.UTC().Format("2006-01-02T15:04:05.000000Z"))
+		b.WriteByte('}')
+	}
+	b.WriteString("]\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}

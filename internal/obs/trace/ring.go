@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Summary is one retained trace's row in the sidecar's /traces listing.
+type Summary struct {
+	ID       ID
+	Name     string
+	Wall     time.Time
+	Duration time.Duration
+	Spans    int
+	Flags    Flags
+}
+
+// entry is one ring slot.
+type entry struct {
+	tr    *Trace
+	flags Flags
+	seq   uint64 // monotonically increasing insertion order
+}
+
+// Ring is the fixed-size retention buffer behind a Tracer. Tail-sampled
+// traces land here; once full, the oldest retained trace is evicted.
+// All methods are safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []entry
+	next uint64 // insertion counter; buf index = next % len(buf)
+}
+
+// NewRing returns a ring retaining at most size traces.
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{buf: make([]entry, size)}
+}
+
+// Put retains a finished trace, evicting the oldest slot when full. A
+// second Put with the same trace ID replaces the earlier copy in place so
+// the ring never lists duplicates.
+func (r *Ring) Put(tr *Trace, flags Flags) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.buf {
+		if r.buf[i].tr != nil && r.buf[i].tr.id == tr.id {
+			r.buf[i].tr = tr
+			r.buf[i].flags = flags
+			return
+		}
+	}
+	r.buf[r.next%uint64(len(r.buf))] = entry{tr: tr, flags: flags, seq: r.next}
+	r.next++
+}
+
+// Get returns the retained trace with the given ID, or nil.
+func (r *Ring) Get(id ID) (*Trace, Flags) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.buf {
+		if r.buf[i].tr != nil && r.buf[i].tr.id == id {
+			return r.buf[i].tr, r.buf[i].flags
+		}
+	}
+	return nil, 0
+}
+
+// Len reports how many traces the ring currently retains.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.buf {
+		if r.buf[i].tr != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// List summarizes every retained trace, newest insertion first.
+func (r *Ring) List() []Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ents := make([]entry, 0, len(r.buf))
+	for i := range r.buf {
+		if r.buf[i].tr != nil {
+			ents = append(ents, r.buf[i])
+		}
+	}
+	// Insertion sort by descending seq: rings are small (hundreds).
+	for i := 1; i < len(ents); i++ {
+		for j := i; j > 0 && ents[j].seq > ents[j-1].seq; j-- {
+			ents[j], ents[j-1] = ents[j-1], ents[j]
+		}
+	}
+	out := make([]Summary, len(ents))
+	for i, e := range ents {
+		e.tr.mu.Lock()
+		out[i] = Summary{
+			ID:    e.tr.id,
+			Name:  e.tr.name,
+			Wall:  e.tr.wall,
+			Spans: len(e.tr.spans),
+			Flags: e.flags,
+		}
+		e.tr.mu.Unlock()
+		out[i].Duration = e.tr.Duration()
+	}
+	return out
+}
+
+// Reset drops every retained trace.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.buf {
+		r.buf[i] = entry{}
+	}
+	r.next = 0
+}

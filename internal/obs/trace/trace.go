@@ -1,0 +1,425 @@
+// Package trace is MetaAI's per-request tracing layer: dependency-free
+// spans over the full air path (train → solve → transmit → accumulate),
+// a tail-sampled ring of retained traces, and a Chrome-trace-format
+// exporter the serve sidecar and the airproto KindTrace frame both speak.
+// Where package obs answers "how is the fleet doing in aggregate", this
+// package answers "what happened to THIS request".
+//
+// Three invariants shape the design, inherited from obs and tightened:
+//
+//   - Instrumentation never touches randomness. Trace and span IDs are
+//     derived by hashing stable workload identifiers (request IDs, seeds,
+//     ordinal counters) through a splitmix64 mix — never by drawing from a
+//     live rng.Source — so enabling tracing leaves every accumulator,
+//     logit, and experiment row bit-identical. The tracegate CI target
+//     asserts exactly that.
+//   - The disabled path is allocation-free. Tracer.Start returns a nil
+//     *Span while tracing is disarmed, and every Span method is a no-op on
+//     nil, so instrumented hot paths pay one nil check and zero
+//     allocations per call site.
+//   - Retention is tail-sampled. A trace's fate is decided when it
+//     FINISHES, when its outcome is known: traces that were slow (above
+//     the configured latency threshold, typically the obs p99), NACKed,
+//     shed, or that overlapped a journal event (fault, heal, swap,
+//     rollback, checkpoint) are always retained; the rest are kept with a
+//     deterministic per-trace-ID probability. Head sampling would throw
+//     away exactly the requests an operator needs.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID identifies a trace or a span. The zero ID is "no trace".
+type ID uint64
+
+// String renders the ID as 16 lowercase hex digits — the form the sidecar
+// URLs and probe -trace accept.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseID parses the hex form produced by String (with or without leading
+// zeros).
+func ParseID(s string) (ID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad id %q: %v", s, err)
+	}
+	return ID(v), nil
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64,
+// the same construction seed-derivation schemes use. It is a pure
+// function — no state, no rng.Source — which is what keeps ID derivation
+// outside every model and channel random stream.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Derive deterministically folds stable workload identifiers (request ID,
+// seed, ordinal) into a trace or span ID. Equal inputs give equal IDs;
+// Derive() with no parts gives a fixed non-zero constant.
+func Derive(parts ...uint64) ID {
+	h := uint64(0x6d7472616365) // "mtrace"
+	for _, p := range parts {
+		h = mix64(h ^ p)
+	}
+	if h == 0 {
+		h = 1
+	}
+	return ID(h)
+}
+
+// Flags mark a finished trace's outcome; the tail sampler retains any
+// trace carrying a sticky flag.
+type Flags uint32
+
+const (
+	// FlagSlow: the trace's duration exceeded the tracer's slow threshold.
+	FlagSlow Flags = 1 << iota
+	// FlagNack: the request was answered with a NACK.
+	FlagNack
+	// FlagShed: the request was shed (queue full, StatusDegraded).
+	FlagShed
+	// FlagEvent: a journal event (heal/swap/rollback/checkpoint/...) fired
+	// while the trace was open.
+	FlagEvent
+	// FlagError: the instrumented operation failed.
+	FlagError
+	// FlagSampled: the trace carried no sticky flag and survived the
+	// probabilistic tail sample.
+	FlagSampled
+)
+
+// sticky are the always-retain outcomes.
+const sticky = FlagSlow | FlagNack | FlagShed | FlagEvent | FlagError
+
+// String renders the set flags as a compact comma-joined list.
+func (f Flags) String() string {
+	if f == 0 {
+		return ""
+	}
+	names := []struct {
+		bit  Flags
+		name string
+	}{
+		{FlagSlow, "slow"}, {FlagNack, "nack"}, {FlagShed, "shed"},
+		{FlagEvent, "event"}, {FlagError, "error"}, {FlagSampled, "sampled"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if out != "" {
+				out += ","
+			}
+			out += n.name
+		}
+	}
+	return out
+}
+
+// Attr is one span attribute: a string or a numeric value under a key.
+type Attr struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// Span is one timed operation inside a trace. A nil *Span (what Start
+// returns while tracing is disabled) ignores every method, so call sites
+// never branch on enablement themselves.
+type Span struct {
+	tr     *Trace
+	id     ID
+	parent ID
+	name   string
+	start  int64 // ns since the trace's monotonic anchor
+	end    int64 // 0 while open
+	attrs  []Attr
+}
+
+// ID returns the span's deterministic ID (0 on nil).
+func (s *Span) ID() ID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID returns the owning trace's ID (0 on nil).
+func (s *Span) TraceID() ID {
+	if s == nil {
+		return 0
+	}
+	return s.tr.id
+}
+
+// Child opens a sub-span under s. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id)
+}
+
+// SetStr attaches a string attribute. No-op on nil.
+func (s *Span) SetStr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Str: val})
+	s.tr.mu.Unlock()
+}
+
+// SetNum attaches a numeric attribute. No-op on nil.
+func (s *Span) SetNum(key string, val float64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Num: val, IsNum: true})
+	s.tr.mu.Unlock()
+}
+
+// End closes the span at the current monotonic offset. No-op on nil or an
+// already-ended span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.end == 0 {
+		s.end = int64(time.Since(s.tr.t0))
+	}
+	s.tr.mu.Unlock()
+}
+
+// Finish ends the ROOT span and submits the whole trace to its tracer's
+// tail sampler with the given outcome flags. Only call it on the span
+// Tracer.Start returned; child spans just End. No-op on nil.
+func (s *Span) Finish(flags Flags) {
+	if s == nil {
+		return
+	}
+	s.End()
+	s.tr.tracer.finish(s.tr, flags)
+}
+
+// Trace is one request's (or one build's, or one heal's) span tree plus
+// the bookkeeping the tail sampler needs. Spans append under a mutex so a
+// trace is safe to hand across goroutines, but the deterministic span-ID
+// sequence assumes the common case of one goroutine per trace.
+type Trace struct {
+	tracer    *Tracer
+	id        ID
+	name      string
+	wall      time.Time // wall-clock start, for export
+	t0        time.Time // monotonic anchor; span offsets are Since(t0)
+	eventMark uint64    // tracer event counter at start
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// newSpan appends a span with the next deterministic ID.
+func (tr *Trace) newSpan(name string, parent ID) *Span {
+	tr.mu.Lock()
+	sp := &Span{
+		tr:     tr,
+		id:     Derive(uint64(tr.id), uint64(len(tr.spans))),
+		parent: parent,
+		name:   name,
+		start:  int64(time.Since(tr.t0)),
+	}
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+	return sp
+}
+
+// Duration returns the root span's duration (the whole trace's extent).
+func (tr *Trace) Duration() time.Duration {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.spans) == 0 {
+		return 0
+	}
+	root := tr.spans[0]
+	end := root.end
+	if end == 0 {
+		end = int64(time.Since(tr.t0))
+	}
+	return time.Duration(end - root.start)
+}
+
+// ID returns the trace's ID.
+func (tr *Trace) ID() ID { return tr.id }
+
+// SpanInfo is a read-only copy of one span's identity and structure — what
+// tests and tools need to verify a retained trace's tree without parsing an
+// export.
+type SpanInfo struct {
+	ID     ID
+	Parent ID
+	Name   string
+	Attrs  []Attr
+}
+
+// Spans snapshots the trace's spans in insertion order.
+func (tr *Trace) Spans() []SpanInfo {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]SpanInfo, len(tr.spans))
+	for i, s := range tr.spans {
+		out[i] = SpanInfo{
+			ID:     s.id,
+			Parent: s.parent,
+			Name:   s.name,
+			Attrs:  append([]Attr(nil), s.attrs...),
+		}
+	}
+	return out
+}
+
+// Tracer owns the enablement flag, the sampling policy, and the retention
+// ring. The zero Tracer is disabled; arm it with Enable.
+type Tracer struct {
+	enabled    atomic.Bool
+	sampleBits atomic.Uint64 // retain when mix64(id) < sampleBits
+	slowNs     atomic.Int64  // FlagSlow threshold; 0 disables
+	eventSeq   atomic.Uint64 // bumped by NoteEvent (the events journal)
+	lastActive atomic.Uint64 // most recently started trace ID
+
+	mu   sync.Mutex
+	ring *Ring
+}
+
+var def = &Tracer{}
+
+// Default returns the process-wide tracer every instrumented package
+// starts spans on.
+func Default() *Tracer { return def }
+
+// Enable arms the tracer with a retention ring of ringSize traces and the
+// given probabilistic tail-sample rate in [0, 1] for unflagged traces.
+// Safe to call again to resize or retune; the ring is replaced.
+func (t *Tracer) Enable(ringSize int, sample float64) {
+	if ringSize < 1 {
+		ringSize = 256
+	}
+	if sample < 0 {
+		sample = 0
+	}
+	if sample > 1 {
+		sample = 1
+	}
+	t.mu.Lock()
+	t.ring = NewRing(ringSize)
+	t.mu.Unlock()
+	if sample >= 1 {
+		t.sampleBits.Store(^uint64(0))
+	} else {
+		t.sampleBits.Store(uint64(sample * float64(1<<63) * 2))
+	}
+	t.enabled.Store(true)
+}
+
+// Disable disarms the tracer; retained traces stay readable.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether Start returns live spans.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SetSlowThreshold sets the duration above which a finished trace is
+// flagged FlagSlow and always retained. The serve sidecar feeds it the
+// live p99 of the request-latency histogram; zero disables the criterion.
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNs.Store(int64(d)) }
+
+// SlowThreshold returns the current always-retain latency threshold.
+func (t *Tracer) SlowThreshold() time.Duration { return time.Duration(t.slowNs.Load()) }
+
+// NoteEvent marks that a journal event fired: any trace open across the
+// call is flagged FlagEvent at finish and always retained. The events
+// package calls this on every Emit.
+func (t *Tracer) NoteEvent() { t.eventSeq.Add(1) }
+
+// LastActive returns the most recently started trace's ID (0 when tracing
+// is disabled or nothing has started) — the stamp the events journal puts
+// on records so operators can walk from an episode to the requests around
+// it.
+func (t *Tracer) LastActive() ID { return ID(t.lastActive.Load()) }
+
+// Start opens a new trace with the given deterministic ID and returns its
+// root span, or nil while the tracer is disabled. Use Derive to build the
+// ID from stable workload identifiers.
+func (t *Tracer) Start(name string, id ID) *Span {
+	if !t.enabled.Load() {
+		return nil
+	}
+	now := time.Now()
+	tr := &Trace{
+		tracer:    t,
+		id:        id,
+		name:      name,
+		wall:      now,
+		t0:        now,
+		eventMark: t.eventSeq.Load(),
+	}
+	t.lastActive.Store(uint64(id))
+	return tr.newSpan(name, 0)
+}
+
+// finish applies the tail-sampling policy and offers the trace to the
+// ring. Retention is a pure function of (flags, duration, event overlap,
+// trace ID, sample rate): no rng.Source is consulted.
+func (t *Tracer) finish(tr *Trace, flags Flags) {
+	if slow := t.slowNs.Load(); slow > 0 && int64(tr.Duration()) > slow {
+		flags |= FlagSlow
+	}
+	if t.eventSeq.Load() != tr.eventMark {
+		flags |= FlagEvent
+	}
+	retain := flags&sticky != 0
+	if !retain && mix64(uint64(tr.id)) < t.sampleBits.Load() {
+		flags |= FlagSampled
+		retain = true
+	}
+	if !retain {
+		return
+	}
+	t.mu.Lock()
+	ring := t.ring
+	t.mu.Unlock()
+	if ring != nil {
+		ring.Put(tr, flags)
+	}
+}
+
+// Get returns the retained trace with the given ID, or nil.
+func (t *Tracer) Get(id ID) (*Trace, Flags) {
+	t.mu.Lock()
+	ring := t.ring
+	t.mu.Unlock()
+	if ring == nil {
+		return nil, 0
+	}
+	return ring.Get(id)
+}
+
+// List summarizes every retained trace, newest first.
+func (t *Tracer) List() []Summary {
+	t.mu.Lock()
+	ring := t.ring
+	t.mu.Unlock()
+	if ring == nil {
+		return nil
+	}
+	return ring.List()
+}

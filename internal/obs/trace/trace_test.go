@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeriveDeterministicAndNonZero(t *testing.T) {
+	a := Derive(42, 7)
+	b := Derive(42, 7)
+	if a != b {
+		t.Fatalf("Derive not deterministic: %v vs %v", a, b)
+	}
+	if a == 0 {
+		t.Fatal("Derive returned the zero ID")
+	}
+	if Derive(42, 7) == Derive(7, 42) {
+		t.Fatal("Derive is order-insensitive; IDs would collide")
+	}
+	if Derive() == 0 {
+		t.Fatal("Derive() must be non-zero")
+	}
+}
+
+func TestParseIDRoundTrip(t *testing.T) {
+	id := Derive(123)
+	got, err := ParseID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatalf("round trip: got %v want %v", got, id)
+	}
+	if _, err := ParseID("not-hex"); err == nil {
+		t.Fatal("ParseID accepted garbage")
+	}
+}
+
+func TestDisabledTracerReturnsNilAndIsNilSafe(t *testing.T) {
+	var tr Tracer
+	sp := tr.Start("req", Derive(1))
+	if sp != nil {
+		t.Fatal("disabled tracer returned a live span")
+	}
+	// Every method must be a no-op on nil.
+	sp.SetStr("k", "v")
+	sp.SetNum("n", 1)
+	child := sp.Child("stage")
+	if child != nil {
+		t.Fatal("nil span produced a live child")
+	}
+	child.End()
+	sp.Finish(FlagNack)
+	if sp.ID() != 0 || sp.TraceID() != 0 {
+		t.Fatal("nil span reported non-zero IDs")
+	}
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var tr Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("req", Derive(9))
+		c := sp.Child("stage")
+		c.SetNum("i", 3)
+		c.End()
+		sp.Finish(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestStickyFlagsAlwaysRetained(t *testing.T) {
+	for _, f := range []Flags{FlagNack, FlagShed, FlagError} {
+		var tr Tracer
+		tr.Enable(8, 0) // sample rate 0: only sticky traces survive
+		id := Derive(uint64(f))
+		sp := tr.Start("req", id)
+		sp.Finish(f)
+		got, flags := tr.Get(id)
+		if got == nil {
+			t.Fatalf("flag %v: trace not retained", f)
+		}
+		if flags&f == 0 {
+			t.Fatalf("flag %v: retained flags %v missing it", f, flags)
+		}
+	}
+}
+
+func TestUnflaggedDroppedAtZeroSampleRetainedAtOne(t *testing.T) {
+	var tr Tracer
+	tr.Enable(8, 0)
+	id := Derive(1)
+	tr.Start("req", id).Finish(0)
+	if got, _ := tr.Get(id); got != nil {
+		t.Fatal("unflagged trace retained at sample=0")
+	}
+
+	tr.Enable(8, 1)
+	tr.Start("req", id).Finish(0)
+	got, flags := tr.Get(id)
+	if got == nil {
+		t.Fatal("unflagged trace dropped at sample=1")
+	}
+	if flags&FlagSampled == 0 {
+		t.Fatalf("retained flags %v missing FlagSampled", flags)
+	}
+}
+
+func TestSlowThresholdFlags(t *testing.T) {
+	var tr Tracer
+	tr.Enable(8, 0)
+	tr.SetSlowThreshold(time.Nanosecond)
+	id := Derive(2)
+	sp := tr.Start("req", id)
+	time.Sleep(time.Millisecond)
+	sp.Finish(0)
+	got, flags := tr.Get(id)
+	if got == nil {
+		t.Fatal("slow trace not retained")
+	}
+	if flags&FlagSlow == 0 {
+		t.Fatalf("retained flags %v missing FlagSlow", flags)
+	}
+	if tr.SlowThreshold() != time.Nanosecond {
+		t.Fatal("SlowThreshold round trip failed")
+	}
+}
+
+func TestEventOverlapFlags(t *testing.T) {
+	var tr Tracer
+	tr.Enable(8, 0)
+	id := Derive(3)
+	sp := tr.Start("req", id)
+	tr.NoteEvent() // a heal/rollback/checkpoint fired mid-request
+	sp.Finish(0)
+	got, flags := tr.Get(id)
+	if got == nil {
+		t.Fatal("event-overlapping trace not retained")
+	}
+	if flags&FlagEvent == 0 {
+		t.Fatalf("retained flags %v missing FlagEvent", flags)
+	}
+
+	// A trace started after the event must NOT inherit the flag.
+	id2 := Derive(4)
+	tr.Start("req", id2).Finish(0)
+	if got, _ := tr.Get(id2); got != nil {
+		t.Fatal("post-event unflagged trace retained at sample=0")
+	}
+}
+
+func TestLastActive(t *testing.T) {
+	var tr Tracer
+	if tr.LastActive() != 0 {
+		t.Fatal("disabled tracer reported an active trace")
+	}
+	tr.Enable(8, 1)
+	id := Derive(77)
+	sp := tr.Start("req", id)
+	if tr.LastActive() != id {
+		t.Fatalf("LastActive = %v, want %v", tr.LastActive(), id)
+	}
+	sp.Finish(0)
+}
+
+func TestSpanTreeParentingAndDeterministicIDs(t *testing.T) {
+	var tr Tracer
+	tr.Enable(8, 1)
+	id := Derive(5)
+	root := tr.Start("req", id)
+	a := root.Child("train")
+	a.SetNum("steps", 10)
+	a.End()
+	b := root.Child("infer")
+	bb := b.Child("subch")
+	bb.SetStr("group", "g0")
+	bb.End()
+	b.End()
+	root.Finish(0)
+
+	got, _ := tr.Get(id)
+	if got == nil {
+		t.Fatal("trace not retained")
+	}
+	if len(got.spans) != 4 {
+		t.Fatalf("span count = %d, want 4", len(got.spans))
+	}
+	if got.spans[0].parent != 0 {
+		t.Fatal("root has a parent")
+	}
+	if got.spans[1].parent != got.spans[0].id || got.spans[2].parent != got.spans[0].id {
+		t.Fatal("children not parented to root")
+	}
+	if got.spans[3].parent != got.spans[2].id {
+		t.Fatal("grandchild not parented to its child span")
+	}
+	// Span IDs derive from (trace ID, index): stable across runs.
+	for i, sp := range got.spans {
+		if want := Derive(uint64(id), uint64(i)); sp.id != want {
+			t.Fatalf("span %d id = %v, want %v", i, sp.id, want)
+		}
+	}
+}
+
+func TestRingEvictionAndDupReplace(t *testing.T) {
+	r := NewRing(2)
+	mk := func(n uint64) *Trace {
+		return &Trace{id: Derive(n), name: "t", wall: time.Now(), t0: time.Now()}
+	}
+	t1, t2, t3 := mk(1), mk(2), mk(3)
+	r.Put(t1, FlagNack)
+	r.Put(t2, FlagNack)
+	r.Put(t3, FlagNack) // evicts t1
+	if got, _ := r.Get(t1.id); got != nil {
+		t.Fatal("oldest trace not evicted")
+	}
+	if got, _ := r.Get(t3.id); got == nil {
+		t.Fatal("newest trace missing")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	// Same ID again replaces in place, no duplicate rows.
+	r.Put(t3, FlagSlow)
+	if r.Len() != 2 {
+		t.Fatalf("dup Put changed Len to %d", r.Len())
+	}
+	if _, f := r.Get(t3.id); f != FlagSlow {
+		t.Fatalf("dup Put kept flags %v, want %v", f, FlagSlow)
+	}
+	sums := r.List()
+	if len(sums) != 2 || sums[0].ID != t3.id {
+		t.Fatalf("List order wrong: %+v", sums)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset left traces behind")
+	}
+}
+
+func TestNormalizedExportByteIdentical(t *testing.T) {
+	run := func() []byte {
+		var tr Tracer
+		tr.Enable(8, 1)
+		id := Derive(99, 1)
+		root := tr.Start("req", id)
+		root.SetNum("epoch", 3)
+		c := root.Child("pipeline.infer")
+		c.SetStr("enc", "amp")
+		c.End()
+		root.Finish(FlagNack)
+		got, flags := tr.Get(id)
+		return MarshalJSON(got, flags, ExportOptions{Normalize: true})
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("normalized exports differ:\n%s\n%s", a, b)
+	}
+	s := string(a)
+	for _, want := range []string{`"traceEvents"`, `"ph":"X"`, `"pipeline.infer"`, `"parent_id"`, `"flags":"nack"`, `"enc":"amp"`, `"epoch":3`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("export missing %s:\n%s", want, s)
+		}
+	}
+	// Normalized exports must not leak wall-clock time.
+	if strings.Contains(s, `"wall"`) {
+		t.Fatalf("normalized export contains wall time:\n%s", s)
+	}
+}
+
+func TestWriteListRendersSummaries(t *testing.T) {
+	var tr Tracer
+	tr.Enable(4, 1)
+	id := Derive(11)
+	tr.Start("req", id).Finish(FlagShed)
+	var b bytes.Buffer
+	if err := WriteList(&b, tr.List()); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if !strings.Contains(s, id.String()) || !strings.Contains(s, `"flags":"shed"`) {
+		t.Fatalf("list missing fields: %s", s)
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if got := (FlagSlow | FlagNack).String(); got != "slow,nack" {
+		t.Fatalf("Flags.String = %q", got)
+	}
+	if got := Flags(0).String(); got != "" {
+		t.Fatalf("zero Flags.String = %q", got)
+	}
+}
+
+func TestWriteJSONNilTrace(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteJSON(&b, nil, 0, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != `{"traceEvents":[]}` {
+		t.Fatalf("nil trace export = %s", b.String())
+	}
+}

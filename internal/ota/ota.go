@@ -34,6 +34,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/cplx"
 	"repro/internal/mts"
+	"repro/internal/obs/trace"
 	"repro/internal/rng"
 )
 
@@ -164,6 +165,14 @@ type Deployment struct {
 // deployment-time randomness (the Eqn 8 calibration pass); runtime
 // randomness lives in Sessions.
 func NewDeployment(w *cplx.Mat, opts Options, src *rng.Source) (*Deployment, error) {
+	return NewDeploymentSpan(w, opts, src, nil)
+}
+
+// NewDeploymentSpan is NewDeployment with its schedule solve traced under
+// parent (a pipeline-build or heal span). A nil parent — the common
+// untraced path — records nothing and costs nothing; either way the solve
+// itself is bit-identical, since spans never touch src.
+func NewDeploymentSpan(w *cplx.Mat, opts Options, src *rng.Source, parent *trace.Span) (*Deployment, error) {
 	if opts.Surface == nil {
 		return nil, fmt.Errorf("ota: Deploy requires a surface")
 	}
@@ -248,6 +257,10 @@ func NewDeployment(w *cplx.Mat, opts Options, src *rng.Source) (*Deployment, err
 			return (target - envPhys) * inv
 		}
 	}
+	ssp := mts.StartSolveSpan(parent, "schedule", w.Rows*w.Cols)
+	ssp.SetNum("classes", float64(w.Rows))
+	ssp.SetNum("u", float64(w.Cols))
+	ssp.SetNum("gamma", gamma)
 	var sumSq float64
 	for r := 0; r < w.Rows; r++ {
 		d.Schedule[r] = make([]mts.Config, w.Cols)
@@ -261,6 +274,7 @@ func NewDeployment(w *cplx.Mat, opts Options, src *rng.Source) (*Deployment, err
 			sumSq += real(h)*real(h) + imag(h)*imag(h)
 		}
 	}
+	ssp.End()
 	d.sigRMS = math.Sqrt(sumSq / float64(len(d.Realized.Data)))
 	d.truePP = truePP
 	d.estPP = estPP
@@ -483,7 +497,13 @@ type System struct {
 // (classes×U) and returns a ready System whose default session draws its
 // runtime randomness from src.
 func Deploy(w *cplx.Mat, opts Options, src *rng.Source) (*System, error) {
-	d, err := NewDeployment(w, opts, src)
+	return DeploySpan(w, opts, src, nil)
+}
+
+// DeploySpan is Deploy with the schedule solve traced under parent; see
+// NewDeploymentSpan.
+func DeploySpan(w *cplx.Mat, opts Options, src *rng.Source, parent *trace.Span) (*System, error) {
+	d, err := NewDeploymentSpan(w, opts, src, parent)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/cplx"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/rng"
 )
 
@@ -20,6 +21,7 @@ type Session struct {
 	d    *Deployment
 	src  *rng.Source
 	hook FaultHook
+	span *trace.Span
 }
 
 // FaultHook intercepts a Session's per-symbol physics to inject discrete
@@ -48,6 +50,17 @@ func (s *Session) SetFaultHook(h FaultHook) *Session {
 	return s
 }
 
+// SetSpan parents the session's next inferences under a trace span (nil
+// detaches). Sessions are single-goroutine, so the caller that owns the
+// request trace — a serve worker, Pipeline.InferSession — sets the span
+// before the inference and clears it after; the span itself never draws
+// from the session's random stream, so tracing leaves accumulators
+// bit-identical.
+func (s *Session) SetSpan(sp *trace.Span) *Session {
+	s.span = sp
+	return s
+}
+
 // Deployment returns the shared immutable deployment this session draws
 // inference from.
 func (s *Session) Deployment() *Deployment { return s.d }
@@ -66,9 +79,17 @@ func (s *Session) Accumulate(x []complex128) cplx.Vec {
 	otaInferences.Inc()
 	otaTransmissions.Add(int64(d.classes))
 	otaSymbols.Add(int64(d.classes) * int64(d.u))
+	asp := s.span.Child("ota.accumulate")
+	asp.SetNum("classes", float64(d.classes))
+	asp.SetNum("u", float64(d.u))
 	acc := make(cplx.Vec, d.classes)
 	noise2 := d.noise2
 	for r := 0; r < d.classes; r++ {
+		var rsp *trace.Span
+		if asp != nil {
+			rsp = asp.Child("ota.replay")
+			rsp.SetNum("class", float64(r))
+		}
 		if s.hook != nil {
 			s.hook.BeginTransmission(r)
 		}
@@ -108,7 +129,13 @@ func (s *Session) Accumulate(x []complex128) cplx.Vec {
 			}
 		}
 		acc[r] = sum
+		if rsp != nil {
+			rsp.SetNum("acc_re", real(sum))
+			rsp.SetNum("acc_im", imag(sum))
+			rsp.End()
+		}
 	}
+	asp.End()
 	return acc
 }
 

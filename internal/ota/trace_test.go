@@ -1,0 +1,158 @@
+package ota
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cplx"
+	"repro/internal/obs/trace"
+	"repro/internal/rng"
+)
+
+func traceTestDeployment(t *testing.T) (*Deployment, []complex128) {
+	t.Helper()
+	src := rng.New(17)
+	w := cplx.NewMat(3, 12)
+	wsrc := rng.New(23)
+	for i := range w.Data {
+		w.Data[i] = cplx.Expi(wsrc.Phase()) * complex(0.5+wsrc.Float64(), 0)
+	}
+	d, err := NewDeployment(w, NewOptions(src.Split()), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, d.InputLen())
+	xsrc := rng.New(29)
+	for i := range x {
+		x[i] = cplx.Expi(xsrc.Phase())
+	}
+	return d, x
+}
+
+// TestTracingEnabledLeavesAccumulatorsBitIdentical is the serve-path
+// bit-identity gate for tracing: span IDs derive from hashes and ordinals,
+// never from rng draws, so a fully traced inference must produce the same
+// accumulator bits as an untraced one.
+func TestTracingEnabledLeavesAccumulatorsBitIdentical(t *testing.T) {
+	run := func(traced bool) []cplx.Vec {
+		d, x := traceTestDeployment(t)
+		sess := d.NewSession(rng.New(31))
+		out := make([]cplx.Vec, 5)
+		for k := range out {
+			if traced {
+				root := trace.Default().Start("test.infer", trace.Derive(0x1de117, uint64(k)))
+				sess.SetSpan(root)
+				out[k] = sess.Accumulate(x)
+				sess.SetSpan(nil)
+				root.Finish(0)
+			} else {
+				out[k] = sess.Accumulate(x)
+			}
+		}
+		return out
+	}
+
+	trace.Default().Disable()
+	off := run(false)
+	trace.Default().Enable(16, 1)
+	defer trace.Default().Disable()
+	on := run(true)
+
+	for k := range off {
+		for i := range off[k] {
+			if off[k][i] != on[k][i] {
+				t.Fatalf("accumulator %d[%d] diverged with tracing enabled: %v vs %v",
+					k, i, off[k][i], on[k][i])
+			}
+		}
+	}
+}
+
+// TestDisabledTracingZeroAllocOnSessionHotPath gates the disabled path's
+// cost on the real inference hot path, not just on isolated span calls: an
+// untraced session must allocate exactly as much with the tracer armed as
+// with it disarmed — every instrumentation call inside Accumulate is a nil
+// no-op either way, so tracing adds zero allocations per inference.
+func TestDisabledTracingZeroAllocOnSessionHotPath(t *testing.T) {
+	d, x := traceTestDeployment(t)
+	sess := d.NewSession(rng.New(37))
+
+	trace.Default().Disable()
+	disabled := testing.AllocsPerRun(50, func() { sess.Accumulate(x) })
+
+	trace.Default().Enable(16, 0)
+	defer trace.Default().Disable()
+	armed := testing.AllocsPerRun(50, func() { sess.Accumulate(x) })
+
+	if armed != disabled {
+		t.Fatalf("untraced Accumulate allocates %.1f/run with the tracer armed vs %.1f disarmed: the disabled tracing path allocates",
+			armed, disabled)
+	}
+}
+
+// TestConcurrentSessionSpansWellParented runs a fleet of sessions under
+// -race (make race / make check), each tracing its own requests, and then
+// verifies no trace interleaved with another: every retained trace holds
+// exactly its own root, its accumulate span, and one replay span per class,
+// every non-root span's parent exists earlier in the SAME trace, and span
+// IDs are the deterministic Derive(traceID, index) sequence.
+func TestConcurrentSessionSpansWellParented(t *testing.T) {
+	const workers, reqs = 8, 3
+	trace.Default().Enable(workers*reqs+8, 1)
+	defer trace.Default().Disable()
+
+	d, x := traceTestDeployment(t)
+	sessions := d.Sessions(workers, rng.New(41))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := sessions[w]
+			for k := 0; k < reqs; k++ {
+				root := trace.Default().Start("test.req", trace.Derive(0x7e57, uint64(w), uint64(k)))
+				sess.SetSpan(root)
+				sess.Accumulate(x)
+				sess.SetSpan(nil)
+				root.Finish(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	classes := d.Classes()
+	for w := 0; w < workers; w++ {
+		for k := 0; k < reqs; k++ {
+			id := trace.Derive(0x7e57, uint64(w), uint64(k))
+			tr, _ := trace.Default().Get(id)
+			if tr == nil {
+				t.Fatalf("trace w=%d k=%d not retained at sample=1", w, k)
+			}
+			spans := tr.Spans()
+			if want := 2 + classes; len(spans) != want {
+				t.Fatalf("trace w=%d k=%d has %d spans, want %d (root + accumulate + %d replays): another trace interleaved",
+					w, k, len(spans), want, classes)
+			}
+			seen := map[trace.ID]bool{}
+			names := map[string]int{}
+			for i, sp := range spans {
+				if want := trace.Derive(uint64(id), uint64(i)); sp.ID != want {
+					t.Fatalf("span %d of trace w=%d k=%d has ID %s, want deterministic %s", i, w, k, sp.ID, want)
+				}
+				if i == 0 {
+					if sp.Parent != 0 || sp.Name != "test.req" {
+						t.Fatalf("trace w=%d k=%d root is %q parent %s", w, k, sp.Name, sp.Parent)
+					}
+				} else if !seen[sp.Parent] {
+					t.Fatalf("span %d (%q) of trace w=%d k=%d parents to %s, which is not an earlier span of this trace",
+						i, sp.Name, w, k, sp.Parent)
+				}
+				seen[sp.ID] = true
+				names[sp.Name]++
+			}
+			if names["ota.accumulate"] != 1 || names["ota.replay"] != classes {
+				t.Fatalf("trace w=%d k=%d span names %v, want 1 ota.accumulate and %d ota.replay", w, k, names, classes)
+			}
+		}
+	}
+}

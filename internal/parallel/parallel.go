@@ -37,6 +37,7 @@ import (
 	"repro/internal/cplx"
 	"repro/internal/mts"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/ota"
 	"repro/internal/rng"
 )
@@ -360,10 +361,19 @@ type Session struct {
 	d    *Deployment
 	src  *rng.Source
 	hook FaultHook
+	span *trace.Span
 }
 
 // Deployment returns the shared immutable deployment.
 func (s *Session) Deployment() *Deployment { return s.d }
+
+// SetSpan parents the session's next inferences under a trace span (nil
+// detaches); see ota.Session.SetSpan for the ownership and determinism
+// rules.
+func (s *Session) SetSpan(sp *trace.Span) *Session {
+	s.span = sp
+	return s
+}
 
 // SetFaultHook installs (or, with nil, removes) the session's fault hook
 // and returns the session for chaining; see ota.Session.SetFaultHook.
@@ -386,9 +396,18 @@ func (s *Session) Logits(x []complex128) []float64 {
 	for ci, n := range d.chanOutputs {
 		d.chanCounters[ci].Add(n)
 	}
+	lsp := s.span.Child("parallel.logits")
+	lsp.SetNum("groups", float64(len(d.groups)))
+	lsp.SetNum("u", float64(d.u))
 	out := make([]float64, d.classes)
 	noise2 := d.noise2
 	for g, group := range d.groups {
+		var gsp *trace.Span
+		if lsp != nil {
+			gsp = lsp.Child("parallel.transmission")
+			gsp.SetNum("group", float64(g))
+			gsp.SetNum("subchannels", float64(len(group)))
+		}
 		if s.hook != nil {
 			s.hook.BeginTransmission(g)
 		}
@@ -419,8 +438,18 @@ func (s *Session) Logits(x []complex128) []float64 {
 		}
 		for ci, r := range group {
 			out[r] = real(acc[ci])*real(acc[ci]) + imag(acc[ci])*imag(acc[ci])
+			if gsp != nil {
+				csp := gsp.Child("parallel.subchannel")
+				csp.SetNum("subchannel", float64(ci))
+				csp.SetNum("class", float64(r))
+				csp.SetNum("acc_re", real(acc[ci]))
+				csp.SetNum("acc_im", imag(acc[ci]))
+				csp.End()
+			}
 		}
+		gsp.End()
 	}
+	lsp.End()
 	for r := range out {
 		out[r] = math.Sqrt(out[r])
 	}
