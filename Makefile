@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate check bench
+.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate cascadegate check bench
 
 build:
 	$(GO) build ./...
@@ -63,11 +63,23 @@ tracegate:
 	cmp .tracegate.a.json .tracegate.b.json
 	rm -f .tracegate.a.json .tracegate.b.json
 
+# cascadegate is the stacked-cascade compatibility gate: a K=1 deployment
+# must stay provably bit-identical to the classic single-surface path
+# (solver and deployment level), single-surface checkpoints must keep
+# sealing at format version 1 byte-compatible with every pre-cascade build
+# while cascade state round-trips bit-identically at version 2, and a
+# journaled cascade epoch must recover bit-identically across a kill.
+cascadegate:
+	$(GO) test -count=1 -run 'TestCascadeK1BitIdentity' ./internal/mts ./internal/ota
+	$(GO) test -count=1 -run 'TestCascadeStateSealsVersion2|TestCascadeDeploymentRoundtripBitIdentity|TestJournalRecoverSkipsCorruptCascade' ./internal/checkpoint
+	$(GO) test -count=1 -run 'TestKillAndRecoverCascadeBitIdentity' ./cmd/metaai-serve
+
 # check is the full gate: vet, plain tests, the race detector over the
 # concurrent evaluator, sweeps, and serve paths, the airproto and checkpoint
 # fuzz smokes, the abl-faults zero-rate identity gate, the crash-recovery
-# gate, and the obs/bench/trace determinism gates.
-check: vet test race fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate
+# gate, the cascade K=1 compatibility gate, and the obs/bench/trace
+# determinism gates.
+check: vet test race fuzz ckptfuzz faultgate recovergate cascadegate obsgate benchgate tracegate
 
 # bench runs the Go micro-benchmarks, then the serve-path observability
 # benchmark, which snapshots its metrics into BENCH_serve.json. Emit-only:

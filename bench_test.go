@@ -16,8 +16,11 @@ import (
 
 	metaai "repro"
 
+	"repro/internal/cplx"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/ota"
+	"repro/internal/rng"
 )
 
 // benchExperiment runs one experiment per iteration at Quick scale with a
@@ -105,6 +108,74 @@ func BenchmarkEvaluateParallel(b *testing.B) {
 		}
 	}
 }
+
+// cascadeBenchWeights is a fixed 8-class, 32-symbol weight matrix shared by
+// the cascade benches.
+func cascadeBenchWeights() *cplx.Mat {
+	w := cplx.NewMat(8, 32)
+	src := rng.New(0xbe9c)
+	for i := range w.Data {
+		w.Data[i] = complex(src.Normal(0, 1), src.Normal(0, 1))
+	}
+	return w
+}
+
+func cascadeBenchOptions(k int, src *rng.Source) ota.Options {
+	opts := ota.NewOptions(src.Split())
+	if k > 1 {
+		opts.Stack = ota.DefaultStack(k-1, src.Split())
+		opts.HopNoise = ota.DefaultHopNoise
+	}
+	return opts
+}
+
+// benchCascadeSolve measures the joint layer-wise schedule solve for a
+// K-layer stacked deployment (K=1 is the classic single-surface solve — the
+// baseline the cascade refactor must not regress).
+func benchCascadeSolve(b *testing.B, k int) {
+	w := cascadeBenchWeights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.New(1)
+		d, err := ota.NewDeployment(w, cascadeBenchOptions(k, src), src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Layers() != k {
+			b.Fatalf("deployed %d layers, want %d", d.Layers(), k)
+		}
+	}
+}
+
+func BenchmarkCascadeSolveK1(b *testing.B) { benchCascadeSolve(b, 1) }
+func BenchmarkCascadeSolveK2(b *testing.B) { benchCascadeSolve(b, 2) }
+func BenchmarkCascadeSolveK3(b *testing.B) { benchCascadeSolve(b, 3) }
+
+// benchCascadeInfer measures one over-the-air inference (all per-class
+// accumulations) through a deployed K-layer cascade.
+func benchCascadeInfer(b *testing.B, k int) {
+	src := rng.New(1)
+	d, err := ota.NewDeployment(cascadeBenchWeights(), cascadeBenchOptions(k, src), src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := d.SessionFromSeed(7)
+	x := make([]complex128, d.InputLen())
+	in := rng.New(9)
+	for i := range x {
+		x[i] = cplx.Expi(in.Phase())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if logits := sess.Logits(x); len(logits) != 8 {
+			b.Fatal("degenerate logits")
+		}
+	}
+}
+
+func BenchmarkCascadeInferK1(b *testing.B) { benchCascadeInfer(b, 1) }
+func BenchmarkCascadeInferK2(b *testing.B) { benchCascadeInfer(b, 2) }
+func BenchmarkCascadeInferK3(b *testing.B) { benchCascadeInfer(b, 3) }
 
 // Ablation benches (DESIGN.md "design choices called out for ablation").
 func BenchmarkAblationQuantizeStrategy(b *testing.B)     { benchExperiment(b, "abl-quantize") }

@@ -27,6 +27,11 @@ go run ./cmd/metaai-bench -exp abl-faults -evalcap 40
 echo "== crash-recovery gate (save -> corrupt -> recover, -race) =="
 go test -race -count=1 -run 'TestKillAndRecoverBitIdentity|TestRecoverSkipsCorruptEpochs' ./cmd/metaai-serve
 
+echo "== cascade K=1 bit-identity gate =="
+go test -count=1 -run 'TestCascadeK1BitIdentity' ./internal/mts ./internal/ota
+go test -count=1 -run 'TestCascadeStateSealsVersion2|TestCascadeDeploymentRoundtripBitIdentity|TestJournalRecoverSkipsCorruptCascade' ./internal/checkpoint
+go test -count=1 -run 'TestKillAndRecoverCascadeBitIdentity' ./cmd/metaai-serve
+
 echo "== obs determinism gate =="
 go test -run 'TestServeBenchDeterministicFingerprint' ./cmd/metaai-bench
 

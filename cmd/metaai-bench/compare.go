@@ -13,12 +13,16 @@ import (
 // be reloaded and diffed. obs.Bucket round-trips its "+Inf" overflow bound,
 // which lets Quantile re-derive percentiles from the persisted buckets.
 type benchReport struct {
-	Bench        string        `json:"bench"`
-	Inferences   int           `json:"inferences"`
-	Seed         uint64        `json:"seed"`
-	WallSeconds  float64       `json:"wall_seconds"`
-	MicrosPerInf float64       `json:"micros_per_inference"`
-	Metrics      *obs.Snapshot `json:"metrics"`
+	Bench        string  `json:"bench"`
+	Inferences   int     `json:"inferences"`
+	Seed         uint64  `json:"seed"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	MicrosPerInf float64 `json:"micros_per_inference"`
+	// MicrosPerInfCas gates the 2-layer cascade hot path; zero in artifacts
+	// written before cascades existed, which check() treats as "no old
+	// baseline" rather than a regression.
+	MicrosPerInfCas float64       `json:"micros_per_inference_cascade2"`
+	Metrics         *obs.Snapshot `json:"metrics"`
 }
 
 func loadBenchReport(path string) (*benchReport, error) {
@@ -65,6 +69,7 @@ func compareReports(oldR, newR *benchReport, threshold, floorMicros float64) err
 		rows = append(rows, r)
 	}
 	check("micros_per_inference", oldR.MicrosPerInf, newR.MicrosPerInf)
+	check("micros_per_inference_cascade2", oldR.MicrosPerInfCas, newR.MicrosPerInfCas)
 	for _, name := range sortedNames(oldR.Metrics.Histograms) {
 		oldH := oldR.Metrics.Histograms[name]
 		newH, ok := newR.Metrics.Histograms[name]

@@ -13,12 +13,14 @@ import (
 )
 
 // serveBenchRun deploys a small random-weight over-the-air system, enables
-// observability, and replays n inferences through one session. It returns
-// the resulting metric snapshot and the inference-loop wall time. The whole
-// run is a pure function of (n, seed) except for wall-clock durations, so
-// the snapshot's Fingerprint (counters, gauges, histogram counts) is
-// deterministic — the CI gate asserts exactly that.
-func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, error) {
+// observability, and replays n inferences through one session — then the
+// same workload through a 2-layer stacked cascade, so the snapshot carries
+// both hot paths. It returns the metric snapshot plus the single-surface
+// and cascade inference-loop wall times. The whole run is a pure function
+// of (n, seed) except for wall-clock durations, so the snapshot's
+// Fingerprint (counters, gauges, histogram counts) is deterministic — the
+// CI gate asserts exactly that.
+func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Duration, error) {
 	obs.SetEnabled(true)
 	obs.Default().Reset()
 	src := rng.New(seed)
@@ -29,7 +31,7 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, error) {
 	}
 	d, err := ota.NewDeployment(w, ota.NewOptions(src.Split()), src)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	sess := d.NewSession(src.Split())
 	x := make([]complex128, d.InputLen())
@@ -41,8 +43,24 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, error) {
 		sess.Logits(x)
 	}
 	elapsed := time.Since(start)
+
+	// Cascade hot path: the same weights behind a 2-layer stack.
+	srcC := rng.New(seed ^ 0xca5c)
+	optsC := ota.NewOptions(srcC.Split())
+	optsC.Stack = ota.DefaultStack(1, srcC.Split())
+	optsC.HopNoise = ota.DefaultHopNoise
+	dc, err := ota.NewDeployment(w, optsC, srcC)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sessC := dc.NewSession(srcC.Split())
+	startC := time.Now()
+	for i := 0; i < n; i++ {
+		sessC.Logits(x)
+	}
+	elapsedC := time.Since(startC)
 	snap := obs.Default().Snapshot()
-	return &snap, elapsed, nil
+	return &snap, elapsed, elapsedC, nil
 }
 
 // runServeBench executes serveBenchRun and writes the snapshot plus run
@@ -53,24 +71,26 @@ func runServeBench(n int, out string, seed uint64) error {
 	if n < 1 {
 		n = 1
 	}
-	snap, elapsed, err := serveBenchRun(n, seed)
+	snap, elapsed, elapsedC, err := serveBenchRun(n, seed)
 	if err != nil {
 		return err
 	}
 	report := struct {
-		Bench        string        `json:"bench"`
-		Inferences   int           `json:"inferences"`
-		Seed         uint64        `json:"seed"`
-		WallSeconds  float64       `json:"wall_seconds"`
-		MicrosPerInf float64       `json:"micros_per_inference"`
-		Metrics      *obs.Snapshot `json:"metrics"`
+		Bench           string        `json:"bench"`
+		Inferences      int           `json:"inferences"`
+		Seed            uint64        `json:"seed"`
+		WallSeconds     float64       `json:"wall_seconds"`
+		MicrosPerInf    float64       `json:"micros_per_inference"`
+		MicrosPerInfCas float64       `json:"micros_per_inference_cascade2"`
+		Metrics         *obs.Snapshot `json:"metrics"`
 	}{
-		Bench:        "serve",
-		Inferences:   n,
-		Seed:         seed,
-		WallSeconds:  elapsed.Seconds(),
-		MicrosPerInf: float64(elapsed.Microseconds()) / float64(n),
-		Metrics:      snap,
+		Bench:           "serve",
+		Inferences:      n,
+		Seed:            seed,
+		WallSeconds:     elapsed.Seconds(),
+		MicrosPerInf:    float64(elapsed.Microseconds()) / float64(n),
+		MicrosPerInfCas: float64(elapsedC.Microseconds()) / float64(n),
+		Metrics:         snap,
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -80,7 +100,7 @@ func runServeBench(n int, out string, seed uint64) error {
 	if err := os.WriteFile(out, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("servebench: %d inferences in %.3fs (%.1f µs each), snapshot written to %s\n",
-		n, elapsed.Seconds(), report.MicrosPerInf, out)
+	fmt.Printf("servebench: %d inferences in %.3fs (%.1f µs each; 2-layer cascade %.1f µs each), snapshot written to %s\n",
+		n, elapsed.Seconds(), report.MicrosPerInf, report.MicrosPerInfCas, out)
 	return nil
 }

@@ -17,12 +17,12 @@ import (
 // and are excluded by Fingerprint by construction.
 func TestServeBenchDeterministicFingerprint(t *testing.T) {
 	defer obs.SetEnabled(false)
-	a, _, err := serveBenchRun(50, 3)
+	a, _, _, err := serveBenchRun(50, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fpA := a.Fingerprint()
-	b, _, err := serveBenchRun(50, 3)
+	b, _, _, err := serveBenchRun(50, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,14 +33,18 @@ func TestServeBenchDeterministicFingerprint(t *testing.T) {
 	if !reflect.DeepEqual(fpA, fpB) {
 		t.Fatalf("seeded runs diverged:\nrun A: %v\nrun B: %v", fpA, fpB)
 	}
-	if fpA["counter:ota.inferences"] != 50 {
-		t.Fatalf("ota.inferences = %d, want 50", fpA["counter:ota.inferences"])
+	// 50 through the single surface + 50 through the 2-layer cascade.
+	if fpA["counter:ota.inferences"] != 100 {
+		t.Fatalf("ota.inferences = %d, want 100", fpA["counter:ota.inferences"])
 	}
-	if fpA["histcount:ota.infer.seconds"] != 50 {
-		t.Fatalf("ota.infer.seconds count = %d, want 50", fpA["histcount:ota.infer.seconds"])
+	if fpA["histcount:ota.infer.seconds"] != 100 {
+		t.Fatalf("ota.infer.seconds count = %d, want 100", fpA["histcount:ota.infer.seconds"])
 	}
 	if fpA["counter:mts.solve.calls"] == 0 {
 		t.Fatal("mts.solve.calls = 0: deployment solve was not instrumented")
+	}
+	if fpA["counter:ota.cascade.deploys"] != 1 {
+		t.Fatalf("ota.cascade.deploys = %d, want 1", fpA["counter:ota.cascade.deploys"])
 	}
 }
 
@@ -58,8 +62,9 @@ func TestServeBenchWritesReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	var report struct {
-		Bench      string `json:"bench"`
-		Inferences int    `json:"inferences"`
+		Bench      string  `json:"bench"`
+		Inferences int     `json:"inferences"`
+		CascadeUs  float64 `json:"micros_per_inference_cascade2"`
 		Metrics    struct {
 			Counters   map[string]int64           `json:"counters"`
 			Histograms map[string]json.RawMessage `json:"histograms"`
@@ -71,8 +76,11 @@ func TestServeBenchWritesReport(t *testing.T) {
 	if report.Bench != "serve" || report.Inferences != 20 {
 		t.Fatalf("report header = (%q, %d), want (serve, 20)", report.Bench, report.Inferences)
 	}
-	if report.Metrics.Counters["ota.inferences"] != 20 {
-		t.Fatalf("ota.inferences = %d, want 20", report.Metrics.Counters["ota.inferences"])
+	if report.CascadeUs <= 0 {
+		t.Fatal("artifact carries no cascade hot-path latency")
+	}
+	if report.Metrics.Counters["ota.inferences"] != 40 {
+		t.Fatalf("ota.inferences = %d, want 40 (20 single + 20 cascade)", report.Metrics.Counters["ota.inferences"])
 	}
 	if _, ok := report.Metrics.Histograms["ota.infer.seconds"]; !ok {
 		t.Fatal("snapshot missing ota.infer.seconds histogram")

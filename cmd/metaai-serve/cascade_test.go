@@ -1,0 +1,93 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cplx"
+	"repro/internal/mts"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+// testCascadeDeployment is testDeployment with two extra relay layers and a
+// non-trivial power allocation — the state a -layers 3 server journals.
+func testCascadeDeployment(t testing.TB, seed uint64) *ota.Deployment {
+	t.Helper()
+	src := rng.New(seed)
+	w := cplx.NewMat(4, 16)
+	wsrc := rng.New(7)
+	for i := range w.Data {
+		w.Data[i] = cplx.Expi(wsrc.Phase()) * complex(0.5+wsrc.Float64(), 0)
+	}
+	opts := ota.NewOptions(src.Split())
+	stack := make([]ota.CascadeLayer, 2)
+	for k := range stack {
+		s, err := mts.NewSurface(8, 8, 2, 5.25, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack[k] = ota.CascadeLayer{
+			Surface:  s,
+			Geometry: mts.Geometry{TxDistM: 1.5, TxAngleDeg: 20, RxDistM: 2, RxAngleDeg: 30 + 5*float64(k)},
+		}
+	}
+	opts.Stack = stack
+	opts.LayerPower = []float64{1, 1.2, 0.8}
+	opts.HopNoise = 0.03
+	d, err := ota.NewDeployment(w, opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestKillAndRecoverCascadeBitIdentity extends the crash-recovery acceptance
+// test to stacked cascades: a server journals a 3-layer epoch (sealed at
+// checkpoint format version 2), dies, and a restarted process recovers the
+// full cascade — layers, relay schedules, power allocation — and serves
+// bit-identical accumulators.
+func TestKillAndRecoverCascadeBitIdentity(t *testing.T) {
+	dir := t.TempDir()
+	d := testCascadeDeployment(t, 51)
+	golden := serveAccumBits(t, d, 4)
+
+	journal, err := checkpoint.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newAirServer(serverConfig{
+		deployment: d,
+		journal:    journal,
+		meta:       checkpoint.Meta{Dataset: "synthetic", Seed: 51},
+		workers:    2,
+		sessionSrc: rng.New(5),
+		logf:       t.Logf,
+	})
+	if got := srv.epochSeq.Load(); got != 1 {
+		t.Fatalf("initial epoch journaled as seq %d, want 1", got)
+	}
+	// Kill: abandon the server; restart with a fresh handle over the dir.
+	j2, err := checkpoint.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := recoverEpoch(j2, "synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep == nil {
+		t.Fatal("journal holds an epoch but recovery reported cold start")
+	}
+	restored, err := restoreDeployment(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Layers() != 3 {
+		t.Fatalf("recovered deployment has %d layers, want 3", restored.Layers())
+	}
+	if got := restored.LayerPowerAlloc(); len(got) != 3 || got[1] != 1.2 || got[2] != 0.8 {
+		t.Fatalf("recovered power allocation %v, want [1 1.2 0.8]", got)
+	}
+	assertSameBits(t, serveAccumBits(t, restored, 4), golden)
+}

@@ -5,6 +5,7 @@
 // mode acts as a one-shot client for smoke testing a running server.
 //
 //	metaai-serve -dataset mnist -addr 127.0.0.1:9530 -workers 4
+//	metaai-serve -dataset mnist -layers 2
 //	metaai-serve -dataset mnist -fault-rate 0.3 -self-heal
 //	metaai-serve -dataset mnist -self-heal -state-dir /var/lib/metaai
 //	metaai-serve -dataset mnist -metrics-addr 127.0.0.1:9531
@@ -64,6 +65,7 @@ import (
 type serverOptions struct {
 	ds           string
 	seed         uint64
+	layers       int
 	workers      int
 	faultRate    float64
 	sabotage     float64
@@ -81,6 +83,7 @@ func main() {
 		ds        = flag.String("dataset", "mnist", "dataset: "+strings.Join(metaai.Datasets(), ", "))
 		addr      = flag.String("addr", "127.0.0.1:9530", "UDP listen address")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		layers    = flag.Int("layers", 1, "stacked metasurface layers for a cold start (1 = classic single surface; a recovered journal epoch keeps its own layer count)")
 		probe     = flag.String("probe", "", "act as a client: send one test sample to this address and exit")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent inference sessions (min 1)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "probe per-attempt response timeout")
@@ -131,6 +134,7 @@ func main() {
 	opt := serverOptions{
 		ds:           *ds,
 		seed:         *seed,
+		layers:       *layers,
 		workers:      *workers,
 		faultRate:    *faultRate,
 		sabotage:     *sabotage,
@@ -197,6 +201,7 @@ func buildServerConfig(opt serverOptions) (serverConfig, *checkpoint.Journal, er
 
 	cfg := metaai.DefaultConfig(opt.ds)
 	cfg.Seed = opt.seed
+	cfg.Layers = opt.layers
 
 	if recovered != nil {
 		// Warm start: the journal already holds the solved deployment.
@@ -206,6 +211,12 @@ func buildServerConfig(opt serverOptions) (serverConfig, *checkpoint.Journal, er
 		}
 		log.Printf("recovered epoch %d (%s) from %s: zero re-train, zero re-solve",
 			recovered.Seq, recovered.Reason, journal.Dir())
+		if n := d.Layers(); n > 1 {
+			log.Printf("recovered deployment is a %d-layer stacked cascade", n)
+			if opt.layers != n && opt.layers > 1 {
+				log.Printf("-layers %d ignored: the journal epoch's layer count wins on recovery", opt.layers)
+			}
+		}
 		events.Default().Emit(events.Recover, "serving state restored from journal",
 			events.Num("epoch_seq", float64(recovered.Seq)),
 			events.Str("reason", recovered.Reason))
@@ -264,6 +275,9 @@ func buildServerConfig(opt serverOptions) (serverConfig, *checkpoint.Journal, er
 	}
 	log.Printf("deployed: %d classes, U=%d symbols, sim %.1f%%, air %.1f%%",
 		pipe.Train.Classes, pipe.Train.U, 100*pipe.SimAccuracy(), 100*pipe.AirAccuracy())
+	if n := pipe.Deployment().Layers(); n > 1 {
+		log.Printf("stacked cascade: %d layers, hop noise %.3f", n, pipe.Deployment().Options().HopNoise)
+	}
 
 	serveCfg.deployment = pipe.Deployment()
 	serveCfg.reference = pipe.Deployment()

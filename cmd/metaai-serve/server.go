@@ -268,7 +268,8 @@ func (s *airServer) heal() {
 			return
 		}
 		events.Default().EmitTraced(hid, events.HealPreview, "heal candidate re-solved",
-			events.Num("stuck_atoms", float64(len(in.StuckAtoms()))))
+			events.Num("stuck_atoms", float64(len(in.StuckAtoms()))),
+			events.Num("layer", float64(in.Layer())))
 		csp := hroot.Child("serve.canary")
 		pass, agree := s.canaryPass(candidate)
 		csp.SetNum("agreement", agree)

@@ -35,6 +35,7 @@ func main() {
 		epochs = flag.Int("epochs", 0, "training epochs (0 = paper default)")
 		scale  = flag.String("scale", "quick", "dataset scale: quick or full")
 		seed   = flag.Uint64("seed", 1, "random seed")
+		layers = flag.Int("layers", 1, "stacked metasurface layers (1 = classic single surface)")
 		out    = flag.String("out", "", "output JSON path (default: stdout summary only)")
 		save   = flag.String("save", "", "checkpoint the trained model to this path")
 		resume = flag.String("resume", "", "restore a trained model from this checkpoint and skip training")
@@ -54,6 +55,7 @@ func main() {
 	cfg.Scheme = sch
 	cfg.Seed = *seed
 	cfg.Train.Epochs = *epochs
+	cfg.Layers = *layers
 	if *scale == "full" {
 		cfg.Scale = metaai.FullScale
 	}
@@ -94,6 +96,9 @@ func main() {
 	fmt.Printf("prototype accuracy:  %.2f%%\n", 100*pipe.AirAccuracy())
 	fmt.Printf("estimated Rx angle:  %.1f deg, schedule: %d configs of %d atoms\n",
 		pipe.System.EstRxAngleDeg, pipe.Train.Classes*pipe.Train.U, len(pipe.System.Schedule[0][0]))
+	if n := pipe.Deployment().Layers(); n > 1 {
+		fmt.Printf("stacked cascade:     %d layers, hop noise %.3f\n", n, pipe.Deployment().Options().HopNoise)
+	}
 
 	if *out == "" {
 		return

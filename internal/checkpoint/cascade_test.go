@@ -1,0 +1,196 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cplx"
+	"repro/internal/mts"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+// buildCascadeDeployment constructs a 3-layer cascade deployment without a
+// testing.T, so the fuzz harness can seed from it too.
+func buildCascadeDeployment(seed uint64) *ota.Deployment {
+	src := rng.New(seed)
+	w := cplx.NewMat(3, 8)
+	wsrc := rng.New(seed ^ 0xabcd)
+	for i := range w.Data {
+		w.Data[i] = complex(wsrc.Normal(0, 1), wsrc.Normal(0, 1))
+	}
+	opts := ota.NewOptions(src.Split())
+	stack := make([]ota.CascadeLayer, 2)
+	for k := range stack {
+		s, err := mts.NewSurface(6, 6, 2, 5.25, nil)
+		if err != nil {
+			panic(err)
+		}
+		stack[k] = ota.CascadeLayer{
+			Surface:  s,
+			Geometry: mts.Geometry{TxDistM: 1.5, TxAngleDeg: 20, RxDistM: 2, RxAngleDeg: 30 + 5*float64(k)},
+		}
+	}
+	opts.Stack = stack
+	opts.LayerPower = []float64{1, 1.3, 0.9}
+	opts.HopNoise = 0.05
+	d, err := ota.NewDeployment(w, opts, src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func buildCascadeEpoch(seed uint64) *Epoch {
+	return &Epoch{
+		Reason: "deploy",
+		Meta:   Meta{Dataset: "digits", Seed: seed, DetShape: 2, DetScale: 0.4},
+		State:  buildCascadeDeployment(seed).State(),
+		Th:     Thresholds{Threshold: 0.1875, Window: 32},
+	}
+}
+
+func sealedVersion(b []byte) uint16 { return binary.LittleEndian.Uint16(b[4:6]) }
+
+func TestCascadeStateSealsVersion2(t *testing.T) {
+	// Single-surface state must keep sealing at version 1 — byte-compatible
+	// with every pre-cascade build — while cascade state bumps to 2.
+	_, single := testState(t, 11)
+	if v := sealedVersion(EncodeDeployment(single)); v != 1 {
+		t.Fatalf("single-surface deployment sealed at version %d, want 1", v)
+	}
+	casc := buildCascadeDeployment(19).State()
+	if v := sealedVersion(EncodeDeployment(casc)); v != 2 {
+		t.Fatalf("cascade deployment sealed at version %d, want 2", v)
+	}
+	if v := sealedVersion(EncodeEpoch(buildCascadeEpoch(19))); v != 2 {
+		t.Fatalf("cascade epoch sealed at version %d, want 2", v)
+	}
+}
+
+func TestCascadeDeploymentRoundtripBitIdentity(t *testing.T) {
+	d := buildCascadeDeployment(23)
+	got, err := DecodeDeployment(EncodeDeployment(d.State()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Layers) != 2 || len(got.LayerSchedules) != 2 {
+		t.Fatalf("decoded %d layers, %d layer schedules, want 2, 2", len(got.Layers), len(got.LayerSchedules))
+	}
+	if got.HopNoise != 0.05 || len(got.LayerPower) != 3 {
+		t.Fatalf("cascade knobs lost: hop %v power %v", got.HopNoise, got.LayerPower)
+	}
+	r, err := ota.FromState(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Layers() != 3 {
+		t.Fatalf("restored deployment has %d layers, want 3", r.Layers())
+	}
+	sessA := d.SessionFromSeed(77)
+	sessB := r.SessionFromSeed(77)
+	in := rng.New(78)
+	for k := 0; k < 3; k++ {
+		x := make([]complex128, d.InputLen())
+		for i := range x {
+			x[i] = complex(in.Normal(0, 1), in.Normal(0, 1))
+		}
+		a, b := sessA.Accumulate(x), sessB.Accumulate(x)
+		for i := range a {
+			if math.Float64bits(real(a[i])) != math.Float64bits(real(b[i])) ||
+				math.Float64bits(imag(a[i])) != math.Float64bits(imag(b[i])) {
+				t.Fatalf("inference %d accumulator %d: %v != %v", k, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestCascadeEpochRoundtrip(t *testing.T) {
+	e := buildCascadeEpoch(29)
+	got, err := DecodeEpoch(EncodeEpoch(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.State.Layers) != 2 {
+		t.Fatalf("epoch round-trip lost cascade layers: %d", len(got.State.Layers))
+	}
+	if _, err := ota.FromState(got.State); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCascadeDecodeRejects(t *testing.T) {
+	blob := EncodeDeployment(buildCascadeDeployment(31).State())
+	t.Run("futureVersion", func(t *testing.T) {
+		mut := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint16(mut[4:6], 3)
+		reCRC(mut)
+		if _, err := DecodeDeployment(mut); !errors.Is(err, ErrVersion) {
+			t.Fatalf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("v1HeaderOnCascadePayload", func(t *testing.T) {
+		// Re-labeling a cascade payload as version 1 leaves the cascade
+		// block as trailing garbage — must be rejected, not silently
+		// restored without its layers.
+		mut := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint16(mut[4:6], 1)
+		reCRC(mut)
+		if _, err := DecodeDeployment(mut); err == nil {
+			t.Fatal("cascade payload decoded under a version-1 header")
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		for _, frac := range []int{2, 3, 8} {
+			if _, err := DecodeDeployment(blob[:len(blob)/frac]); err == nil {
+				t.Fatalf("truncated to 1/%d decoded", frac)
+			}
+		}
+	})
+}
+
+func TestJournalRecoverSkipsCorruptCascade(t *testing.T) {
+	// Cross-version fallback: a corrupt version-2 cascade record must not
+	// strand recovery — the journal walks back to the older version-1
+	// single-surface epoch.
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := testEpoch(t, 43)
+	if _, err := j.Append(single); err != nil {
+		t.Fatal(err)
+	}
+	casc := buildCascadeEpoch(47)
+	if _, err := j.Append(casc); err != nil {
+		t.Fatal(err)
+	}
+	p2 := filepath.Join(dir, "epoch-00000002.ckpt")
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2[len(b2)-10] ^= 0x20
+	if err := os.WriteFile(p2, b2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 || len(got.State.Layers) != 0 {
+		t.Fatalf("recovered seq %d with %d layers, want the single-surface epoch 1", got.Seq, len(got.State.Layers))
+	}
+	r, err := ota.FromState(got.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Layers() != 1 {
+		t.Fatalf("fallback deployment has %d layers, want 1", r.Layers())
+	}
+}

@@ -71,7 +71,7 @@ func EncodeModel(m *nn.ComplexLNN) []byte {
 
 // DecodeModel rebuilds a network from a sealed model checkpoint.
 func DecodeModel(b []byte) (*nn.ComplexLNN, error) {
-	payload, err := open(KindModel, b)
+	payload, _, err := open(KindModel, b)
 	if err != nil {
 		return nil, err
 	}
@@ -93,9 +93,20 @@ func DecodeModel(b []byte) (*nn.ComplexLNN, error) {
 	return m, nil
 }
 
-// encodeState appends a DeploymentState to w — shared by the deployment and
-// epoch kinds.
-func encodeState(w *writer, st *ota.DeploymentState) {
+// stateVersion returns the envelope version a DeploymentState needs:
+// versionCascade iff it carries cascade layers, so single-surface
+// checkpoints stay byte-identical to version-1 builds.
+func stateVersion(st *ota.DeploymentState) uint16 {
+	if len(st.Layers) > 0 {
+		return versionCascade
+	}
+	return version
+}
+
+// encodeState appends a DeploymentState to w at format version v — shared
+// by the deployment and epoch kinds. Version 1 writes exactly the
+// pre-cascade field sequence; version 2 appends the cascade block.
+func encodeState(w *writer, st *ota.DeploymentState, v uint16) {
 	w.u32(uint32(st.Surface.Rows))
 	w.u32(uint32(st.Surface.Cols))
 	w.u32(uint32(st.Surface.Bits))
@@ -154,10 +165,71 @@ func encodeState(w *writer, st *ota.DeploymentState) {
 	w.c128(st.EnvBase)
 	w.c128(st.CalMTSPhase)
 	w.f64(st.EnvScale)
+
+	if v >= versionCascade {
+		w.u32(uint32(len(st.Layers)))
+		for _, layer := range st.Layers {
+			w.u32(uint32(layer.Surface.Rows))
+			w.u32(uint32(layer.Surface.Cols))
+			w.u32(uint32(layer.Surface.Bits))
+			w.f64(layer.Surface.FreqGHz)
+			w.f64(layer.Surface.SpacingM)
+			w.f64(layer.Surface.FabPhaseStd)
+			w.f64s(layer.Surface.Fab)
+			w.f64(layer.Geometry.TxDistM)
+			w.f64(layer.Geometry.TxAngleDeg)
+			w.f64(layer.Geometry.RxDistM)
+			w.f64(layer.Geometry.RxAngleDeg)
+		}
+		w.u32(uint32(len(st.LayerSchedules)))
+		for _, sched := range st.LayerSchedules {
+			w.u32(uint32(len(sched)))
+			var cols int
+			if len(sched) > 0 {
+				cols = len(sched[0])
+			}
+			w.u32(uint32(cols))
+			for _, row := range sched {
+				for _, cfg := range row {
+					w.u32(uint32(len(cfg)))
+					w.buf = append(w.buf, cfg...)
+				}
+			}
+		}
+		w.f64s(st.LayerPower)
+		w.f64(st.HopNoise)
+	}
 }
 
-// decodeState reads a DeploymentState and validates it.
-func decodeState(r *reader) (*ota.DeploymentState, error) {
+// decodeSchedule reads one rows×cols configuration matrix with the
+// allocation guards (shared by the primary and per-layer schedules).
+func decodeSchedule(r *reader) [][]mts.Config {
+	rows := r.count(0)
+	cols := int(r.u32())
+	if r.err == nil {
+		if rows < 0 || cols < 0 || cols > 1<<20 || (cols > 0 && rows > (len(r.b)-r.off)/cols) {
+			r.fail("%w: schedule claims %dx%d configurations in %d remaining bytes", ErrTruncated, rows, cols, len(r.b)-r.off)
+		}
+	}
+	if r.err != nil || rows == 0 {
+		return nil
+	}
+	out := make([][]mts.Config, rows)
+	for i := range out {
+		row := make([]mts.Config, cols)
+		for j := range row {
+			// Copy out of the payload buffer: a decoded state must own its
+			// storage.
+			row[j] = mts.Config(append([]uint8(nil), r.take(r.count(1))...))
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// decodeState reads a DeploymentState sealed at format version v and
+// validates it.
+func decodeState(r *reader, v uint16) (*ota.DeploymentState, error) {
 	st := &ota.DeploymentState{}
 	st.Surface.Rows = int(r.u32())
 	st.Surface.Cols = int(r.u32())
@@ -196,25 +268,7 @@ func decodeState(r *reader) (*ota.DeploymentState, error) {
 	st.ExactJitter = r.bool()
 	st.CompensateEnv = r.bool()
 
-	rows := r.count(0)
-	cols := int(r.u32())
-	if r.err == nil {
-		if rows < 0 || cols < 0 || cols > 1<<20 || (cols > 0 && rows > (len(r.b)-r.off)/cols) {
-			r.fail("%w: schedule claims %dx%d configurations in %d remaining bytes", ErrTruncated, rows, cols, len(r.b)-r.off)
-		}
-	}
-	if r.err == nil && rows > 0 {
-		st.Schedule = make([][]mts.Config, rows)
-		for i := range st.Schedule {
-			row := make([]mts.Config, cols)
-			for j := range row {
-				// Copy out of the payload buffer: a decoded state must own
-				// its storage.
-				row[j] = mts.Config(append([]uint8(nil), r.take(r.count(1))...))
-			}
-			st.Schedule[i] = row
-		}
-	}
+	st.Schedule = decodeSchedule(r)
 	realized := r.c128s()
 
 	st.Gamma = r.f64()
@@ -222,8 +276,42 @@ func decodeState(r *reader) (*ota.DeploymentState, error) {
 	st.EnvBase = r.c128()
 	st.CalMTSPhase = r.c128()
 	st.EnvScale = r.f64()
+
+	if v >= versionCascade {
+		nLayers := r.count(1)
+		if r.err == nil && nLayers > 0 {
+			st.Layers = make([]ota.CascadeLayerState, nLayers)
+			for k := range st.Layers {
+				l := &st.Layers[k]
+				l.Surface.Rows = int(r.u32())
+				l.Surface.Cols = int(r.u32())
+				l.Surface.Bits = int(r.u32())
+				l.Surface.FreqGHz = r.f64()
+				l.Surface.SpacingM = r.f64()
+				l.Surface.FabPhaseStd = r.f64()
+				l.Surface.Fab = r.f64s()
+				l.Geometry.TxDistM = r.f64()
+				l.Geometry.TxAngleDeg = r.f64()
+				l.Geometry.RxDistM = r.f64()
+				l.Geometry.RxAngleDeg = r.f64()
+			}
+		}
+		nScheds := r.count(1)
+		if r.err == nil && nScheds > 0 {
+			st.LayerSchedules = make([][][]mts.Config, nScheds)
+			for k := range st.LayerSchedules {
+				st.LayerSchedules[k] = decodeSchedule(r)
+			}
+		}
+		st.LayerPower = r.f64s()
+		st.HopNoise = r.f64()
+	}
 	if r.err != nil {
 		return nil, r.err
+	}
+	rows, cols := len(st.Schedule), 0
+	if rows > 0 {
+		cols = len(st.Schedule[0])
 	}
 	if rows > 0 && cols > 0 {
 		if len(realized) != rows*cols {
@@ -237,21 +325,25 @@ func decodeState(r *reader) (*ota.DeploymentState, error) {
 	return st, nil
 }
 
-// EncodeDeployment seals a deployment snapshot.
+// EncodeDeployment seals a deployment snapshot — version 1 for a
+// single-surface deployment (byte-identical to pre-cascade builds),
+// version 2 when cascade layers are present.
 func EncodeDeployment(st *ota.DeploymentState) []byte {
+	v := stateVersion(st)
 	var w writer
-	encodeState(&w, st)
-	return seal(KindDeployment, w.buf)
+	encodeState(&w, st, v)
+	return sealV(KindDeployment, v, w.buf)
 }
 
-// DecodeDeployment rebuilds and validates a deployment snapshot.
+// DecodeDeployment rebuilds and validates a deployment snapshot (either
+// format version).
 func DecodeDeployment(b []byte) (*ota.DeploymentState, error) {
-	payload, err := open(KindDeployment, b)
+	payload, v, err := open(KindDeployment, b)
 	if err != nil {
 		return nil, err
 	}
 	r := &reader{b: payload}
-	st, err := decodeState(r)
+	st, err := decodeState(r, v)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +385,7 @@ func EncodeThresholds(th Thresholds) []byte {
 
 // DecodeThresholds rebuilds a monitor parameterization.
 func DecodeThresholds(b []byte) (Thresholds, error) {
-	payload, err := open(KindThresholds, b)
+	payload, _, err := open(KindThresholds, b)
 	if err != nil {
 		return Thresholds{}, err
 	}
@@ -333,8 +425,10 @@ type Epoch struct {
 	Th     Thresholds
 }
 
-// EncodeEpoch seals a full serving epoch.
+// EncodeEpoch seals a full serving epoch — version 2 iff its deployment
+// state carries cascade layers, exactly as EncodeDeployment.
 func EncodeEpoch(e *Epoch) []byte {
+	v := stateVersion(e.State)
 	var w writer
 	w.u64(e.Seq)
 	w.str(e.Reason)
@@ -344,13 +438,14 @@ func EncodeEpoch(e *Epoch) []byte {
 	w.f64(e.Meta.DetScale)
 	w.f64(e.Meta.FaultRate)
 	encodeThresholds(&w, e.Th)
-	encodeState(&w, e.State)
-	return seal(KindEpoch, w.buf)
+	encodeState(&w, e.State, v)
+	return sealV(KindEpoch, v, w.buf)
 }
 
-// DecodeEpoch rebuilds and validates a serving epoch.
+// DecodeEpoch rebuilds and validates a serving epoch (either format
+// version).
 func DecodeEpoch(b []byte) (*Epoch, error) {
-	payload, err := open(KindEpoch, b)
+	payload, v, err := open(KindEpoch, b)
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +460,7 @@ func DecodeEpoch(b []byte) (*Epoch, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.State, err = decodeState(r)
+	e.State, err = decodeState(r, v)
 	if err != nil {
 		return nil, err
 	}

@@ -10,7 +10,7 @@ import (
 // Envelope layout (little-endian):
 //
 //	offset 0  magic   "MAIC" (4 bytes)
-//	offset 4  version uint16 (currently 1)
+//	offset 4  version uint16 (1 or 2)
 //	offset 6  kind    uint8
 //	offset 7  reserved uint8 (must be 0)
 //	offset 8  payload length uint64
@@ -20,11 +20,18 @@ import (
 // Everything after the header is kind-specific. The CRC covers the header
 // too, so a flipped kind or length byte reads as corruption, not as a
 // different (possibly valid) checkpoint.
+//
+// Version 2 exists solely for stacked-cascade deployment state: a
+// deployment/epoch whose DeploymentState carries cascade layers seals as
+// version 2 with the cascade block appended after the version-1 fields.
+// Single-surface state keeps sealing as version 1, byte-identical to every
+// pre-cascade build, and this build reads both.
 const (
-	magic      = "MAIC"
-	version    = 1
-	headerLen  = 16
-	trailerLen = 4
+	magic          = "MAIC"
+	version        = 1
+	versionCascade = 2
+	headerLen      = 16
+	trailerLen     = 4
 )
 
 // Kind tags what a checkpoint payload contains.
@@ -56,46 +63,56 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// seal wraps a payload in the envelope: header, payload, CRC trailer.
+// seal wraps a payload in the version-1 envelope: header, payload, CRC
+// trailer.
 func seal(kind Kind, payload []byte) []byte {
+	return sealV(kind, version, payload)
+}
+
+// sealV is seal at an explicit format version — versionCascade for state
+// carrying cascade layers.
+func sealV(kind Kind, v uint16, payload []byte) []byte {
 	out := make([]byte, 0, headerLen+len(payload)+trailerLen)
 	out = append(out, magic...)
-	out = binary.LittleEndian.AppendUint16(out, version)
+	out = binary.LittleEndian.AppendUint16(out, v)
 	out = append(out, byte(kind), 0)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
 	out = append(out, payload...)
 	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
 }
 
-// open validates the envelope and returns the payload. Every failure maps to
-// one of the package's typed errors; the CRC is checked before anything in
-// the payload is believed, so a torn or bit-flipped file can never decode.
-func open(kind Kind, b []byte) ([]byte, error) {
+// open validates the envelope and returns the payload plus the format
+// version it was sealed at (version or versionCascade — anything else is
+// ErrVersion). Every failure maps to one of the package's typed errors; the
+// CRC is checked before anything in the payload is believed, so a torn or
+// bit-flipped file can never decode.
+func open(kind Kind, b []byte) ([]byte, uint16, error) {
 	if len(b) < headerLen+trailerLen {
-		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(b), headerLen+trailerLen)
+		return nil, 0, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(b), headerLen+trailerLen)
 	}
 	if string(b[:4]) != magic {
-		return nil, ErrBadMagic
+		return nil, 0, ErrBadMagic
 	}
 	body, tail := b[:len(b)-trailerLen], b[len(b)-trailerLen:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return nil, ErrCorrupt
+		return nil, 0, ErrCorrupt
 	}
-	if v := binary.LittleEndian.Uint16(b[4:6]); v != version {
-		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrVersion, v, version)
+	v := binary.LittleEndian.Uint16(b[4:6])
+	if v != version && v != versionCascade {
+		return nil, 0, fmt.Errorf("%w: version %d, this build reads %d and %d", ErrVersion, v, version, versionCascade)
 	}
 	got := Kind(b[6])
 	if got != kind {
-		return nil, fmt.Errorf("%w: %v checkpoint where %v expected", ErrKind, got, kind)
+		return nil, 0, fmt.Errorf("%w: %v checkpoint where %v expected", ErrKind, got, kind)
 	}
 	if b[7] != 0 {
-		return nil, fmt.Errorf("%w: nonzero reserved byte", ErrInvalid)
+		return nil, 0, fmt.Errorf("%w: nonzero reserved byte", ErrInvalid)
 	}
 	payload := body[headerLen:]
 	if n := binary.LittleEndian.Uint64(b[8:16]); n != uint64(len(payload)) {
-		return nil, fmt.Errorf("%w: header claims %d payload bytes, file carries %d", ErrTruncated, n, len(payload))
+		return nil, 0, fmt.Errorf("%w: header claims %d payload bytes, file carries %d", ErrTruncated, n, len(payload))
 	}
-	return payload, nil
+	return payload, v, nil
 }
 
 // PeekKind reports the kind of a sealed checkpoint without validating the

@@ -25,6 +25,10 @@ func FuzzDecode(f *testing.F) {
 	epochBlob := EncodeEpoch(e)
 	deployBlob := EncodeDeployment(e.State)
 	thBlob := EncodeThresholds(Thresholds{Threshold: 0.25, Window: 16})
+	// Version-2 cascade state exercises the layer block decoder.
+	ce := buildCascadeEpoch(101)
+	cascadeEpochBlob := EncodeEpoch(ce)
+	cascadeDeployBlob := EncodeDeployment(ce.State)
 
 	seeds := [][]byte{
 		nil,
@@ -35,6 +39,9 @@ func FuzzDecode(f *testing.F) {
 		epochBlob,
 		epochBlob[:len(epochBlob)/2],
 		append([]byte(nil), epochBlob[headerLen:]...),
+		cascadeEpochBlob,
+		cascadeDeployBlob,
+		cascadeDeployBlob[:len(cascadeDeployBlob)*3/4],
 	}
 	// Mutated variants: flipped kind, zeroed CRC, elevated version.
 	for _, base := range [][]byte{modelBlob, thBlob} {

@@ -90,6 +90,11 @@ type Config struct {
 	Detector clocksync.CoarseDetector
 	// NoiseAware, when non-nil, trains with the §3.5.2 alleviation scheme.
 	NoiseAware *noisetrain.Config
+	// Layers deploys a K-layer stacked cascade (0 or 1 means the classic
+	// single surface). When Air.Stack is empty, the extra K-1 layers come
+	// from ota.DefaultStack with the default per-hop noise; an explicit
+	// Air.Stack wins over this count.
+	Layers int
 	// Seed drives every stochastic component.
 	Seed uint64
 }
@@ -260,6 +265,17 @@ func newFromModel(train, test *nn.EncodedSet, model *nn.ComplexLNN, cfg Config, 
 	dsp.SetNum("u", float64(train.U))
 	src := rng.New(cfg.Seed ^ 0xa17)
 	air := fillAir(cfg.Air, ota.NewOptions(src.Split()))
+	if cfg.Layers > 1 && len(air.Stack) == 0 {
+		// Extra relay layers draw from their own split so a K=1 config keeps
+		// the seed's random stream (and accumulators) bit-identical.
+		air.Stack = ota.DefaultStack(cfg.Layers-1, src.Split())
+		if air.HopNoise == 0 {
+			air.HopNoise = ota.DefaultHopNoise
+		}
+	}
+	if n := len(air.Stack); n > 0 {
+		dsp.SetNum("layers", float64(n+1))
+	}
 	switch cfg.Sync {
 	case SyncNone:
 		air.SyncSampler = clocksync.NoSyncSampler(train.U)

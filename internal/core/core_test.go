@@ -6,8 +6,10 @@ import (
 	"repro/internal/channel"
 	"repro/internal/dataset"
 	"repro/internal/modem"
+	"repro/internal/mts"
 	"repro/internal/nn"
 	"repro/internal/noisetrain"
+	"repro/internal/ota"
 )
 
 func TestDefaultConfigRunsEndToEnd(t *testing.T) {
@@ -149,4 +151,46 @@ func nnInputLen(s modem.Scheme) int {
 		return 128
 	}
 	return 64
+}
+
+func TestLayersConfigDeploysCascade(t *testing.T) {
+	cfg := DefaultConfig("mnist")
+	cfg.Train.Epochs = 2
+	cfg.Layers = 2
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Deployment()
+	if d.Layers() != 2 {
+		t.Fatalf("Layers() = %d, want 2", d.Layers())
+	}
+	if got := d.Options().HopNoise; got != ota.DefaultHopNoise {
+		t.Fatalf("default stack HopNoise = %v, want %v", got, ota.DefaultHopNoise)
+	}
+	air := p.AirAccuracy()
+	if air < 0 || air > 1 {
+		t.Fatalf("cascade air accuracy %v out of range", air)
+	}
+}
+
+func TestLayersConfigRespectsExplicitStack(t *testing.T) {
+	cfg := DefaultConfig("mnist")
+	cfg.Train.Epochs = 2
+	cfg.Layers = 3 // must lose to the explicit 2-layer stack below
+	srf, err := mts.NewSurface(8, 8, 2, 5.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Air.Stack = []ota.CascadeLayer{{
+		Surface:  srf,
+		Geometry: mts.Geometry{TxDistM: 1.5, TxAngleDeg: 20, RxDistM: 2, RxAngleDeg: 35},
+	}}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Deployment().Layers(); got != 2 {
+		t.Fatalf("explicit stack overridden: Layers() = %d, want 2", got)
+	}
 }

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestFigCascadeDepthGain pins the extension's claim at the canonical seed:
+// in the quantization-starved compact-surface regime, a 2-layer cascade
+// beats the single surface on at least one dataset, and the joint solve
+// drives quantization error down from K=1 to K=3 somewhere in the sweep.
+func TestFigCascadeDepthGain(t *testing.T) {
+	c := NewCtx(dataset.Quick, 1)
+	res, err := Run("fig-cascade", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Headers) != 7 {
+		t.Fatalf("fig-cascade shape %dx%d, want 2 rows x 7 headers", len(res.Rows), len(res.Headers))
+	}
+	cell := func(r, col int) float64 {
+		v, err := strconv.ParseFloat(res.Rows[r][col], 64)
+		if err != nil {
+			t.Fatalf("row %d col %d %q: %v", r, col, res.Rows[r][col], err)
+		}
+		return v
+	}
+	depthGain, quantGain := false, false
+	for r := range res.Rows {
+		k1, k2 := cell(r, 2), cell(r, 3)
+		if k2 > k1 {
+			depthGain = true
+		}
+		if cell(r, 6) < cell(r, 5) {
+			quantGain = true
+		}
+		if d := cell(r, 1); k1 > d+3 || k2 > d+3 {
+			t.Fatalf("%s: air accuracy exceeds the digital bound by >3pp", res.Rows[r][0])
+		}
+	}
+	if !depthGain {
+		t.Fatalf("no dataset shows K=2 beating K=1: %v", res.Rows)
+	}
+	if !quantGain {
+		t.Fatalf("no dataset shows quantization error falling with depth: %v", res.Rows)
+	}
+}

@@ -303,7 +303,7 @@ var paperOrder = []string{
 	"fig12", "fig13", "fig16", "fig17", "fig18", "fig19", "fig20",
 	"fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28",
 	"fig29", "fig30", "fig31", "table2", "table3",
-	"ext-compensation", "ext-mobility", "ext-deepmodel", "ext-feedback",
+	"ext-compensation", "ext-mobility", "ext-deepmodel", "ext-feedback", "fig-cascade",
 	"abl-quantize", "abl-solver", "abl-subsamples", "abl-injector", "abl-jitter", "abl-faults", "ext-perclass",
 }
 

@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mts"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+func cascadeDeploy(t testing.TB, seed uint64) *ota.Deployment {
+	t.Helper()
+	src := rng.New(seed)
+	opts := ota.NewOptions(src.Split())
+	stack := make([]ota.CascadeLayer, 2)
+	for k := range stack {
+		s, err := mts.NewSurface(8, 8, 2, 5.25, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack[k] = ota.CascadeLayer{
+			Surface:  s,
+			Geometry: mts.Geometry{TxDistM: 1.5, TxAngleDeg: 20, RxDistM: 2, RxAngleDeg: 30 + 5*float64(k)},
+		}
+	}
+	opts.Stack = stack
+	d, err := ota.NewDeployment(randomWeights(4, 16, 7), opts, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewAtLayerValidation(t *testing.T) {
+	single := deploy(t, 31)
+	if _, err := NewAtLayer(single, Rates{}, 1, rng.New(1)); err == nil {
+		t.Error("layer 1 on a single-surface deployment must error")
+	}
+	cas := cascadeDeploy(t, 32)
+	if _, err := NewAtLayer(cas, Rates{}, -1, rng.New(1)); err == nil {
+		t.Error("negative layer must error")
+	}
+	if _, err := NewAtLayer(cas, Rates{}, 3, rng.New(1)); err == nil {
+		t.Error("layer 3 on a 3-layer deployment must error")
+	}
+	in, err := NewAtLayer(cas, Rates{}, 2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Layer() != 2 {
+		t.Fatalf("Layer() = %d, want 2", in.Layer())
+	}
+}
+
+func TestLayerFaultHealTargetsFaultedLayer(t *testing.T) {
+	d := cascadeDeploy(t, 33)
+	in, err := NewAtLayer(d, Rates{StuckAtomFrac: 0.15}, 1, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.StuckAtoms()) == 0 {
+		t.Fatal("no stuck atoms drawn")
+	}
+	damaged := in.ResidualError()
+	if damaged <= 0 {
+		t.Fatal("stuck atoms on layer 1 caused no damage")
+	}
+	healed, err := in.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.ResidualError(); got >= damaged {
+		t.Fatalf("heal did not reduce residual: %.4f -> %.4f", damaged, got)
+	}
+	// The re-solve must touch ONLY the faulted layer: the primary schedule
+	// and the other relay layer stay byte-identical.
+	for r := range healed.Schedule {
+		for i := range healed.Schedule[r] {
+			if !bytes.Equal(healed.Schedule[r][i], d.Schedule[r][i]) {
+				t.Fatalf("layer-1 heal rewrote the primary schedule at (%d,%d)", r, i)
+			}
+			if !bytes.Equal(healed.LayerSchedule(2)[r][i], d.LayerSchedule(2)[r][i]) {
+				t.Fatalf("layer-1 heal rewrote layer 2's schedule at (%d,%d)", r, i)
+			}
+		}
+	}
+	changed := false
+	for r := range healed.Schedule {
+		for i := range healed.Schedule[r] {
+			if !bytes.Equal(healed.LayerSchedule(1)[r][i], d.LayerSchedule(1)[r][i]) {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("layer-1 heal left layer 1's schedule untouched")
+	}
+}
+
+func TestPrimaryFaultHealOnCascade(t *testing.T) {
+	d := cascadeDeploy(t, 34)
+	in, err := New(d, Rates{StuckAtomFrac: 0.1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Layer() != 0 {
+		t.Fatalf("New must target the primary layer, got %d", in.Layer())
+	}
+	damaged := in.ResidualError()
+	if damaged <= 0 {
+		t.Fatal("primary stuck atoms caused no damage")
+	}
+	healed, err := in.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.ResidualError(); got >= damaged {
+		t.Fatalf("heal did not reduce residual: %.4f -> %.4f", damaged, got)
+	}
+	for k := 1; k <= 2; k++ {
+		for r := range healed.Schedule {
+			for i := range healed.Schedule[r] {
+				if !bytes.Equal(healed.LayerSchedule(k)[r][i], d.LayerSchedule(k)[r][i]) {
+					t.Fatalf("primary heal rewrote relay layer %d at (%d,%d)", k, r, i)
+				}
+			}
+		}
+	}
+}

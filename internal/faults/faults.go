@@ -29,6 +29,7 @@
 package faults
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/cplx"
@@ -125,6 +126,7 @@ type Injector struct {
 	orig   *ota.Deployment // the healthy deployment, kept as the heal target
 	cur    *ota.Deployment // serving deployment: stuck-faulted, healed after Heal
 	stuck  map[int]uint8
+	layer  int // cascade layer the stuck atoms live on (0 = primary)
 	sigRMS float64 // healthy RMS |H|, the burst-power reference
 	healed bool
 	// sabotage, when positive, makes PreviewHeal produce a deliberately
@@ -139,12 +141,28 @@ type Injector struct {
 // (Deployment) carries the stuck-atom damage; with StuckAtomFrac zero it is
 // d itself.
 func New(d *ota.Deployment, rates Rates, src *rng.Source) (*Injector, error) {
-	in := &Injector{rates: rates.withDefaults(), src: src, orig: d, cur: d}
+	return NewAtLayer(d, rates, 0, src)
+}
+
+// NewAtLayer is New with the static stuck-atom population drawn on cascade
+// layer `layer` (0 is the primary surface; a K-layer deployment accepts
+// layers 0..K-1). The dynamic fault repertoire is layer-agnostic — bursts,
+// erasures, and collapses hit the composed air path — but stuck atoms and
+// the masked re-solve that heals them target exactly one surface.
+func NewAtLayer(d *ota.Deployment, rates Rates, layer int, src *rng.Source) (*Injector, error) {
+	if layer < 0 || layer >= d.Layers() {
+		return nil, fmt.Errorf("faults: layer %d of a %d-layer deployment", layer, d.Layers())
+	}
+	in := &Injector{rates: rates.withDefaults(), src: src, orig: d, cur: d, layer: layer}
 	in.sigRMS = matRMS(d.Realized)
-	surface := d.Options().Surface
+	surface := d.LayerSurface(layer)
 	in.stuck = drawStuck(surface, rates.StuckAtomFrac, src)
 	if len(in.stuck) > 0 {
-		faulted, err := d.WithResponses(stuckResponses(d, in.stuck))
+		realized, err := d.RealizedWithLayerStuck(layer, in.stuck)
+		if err != nil {
+			return nil, err
+		}
+		faulted, err := d.WithResponses(realized)
 		if err != nil {
 			return nil, err
 		}
@@ -157,10 +175,15 @@ func New(d *ota.Deployment, rates Rates, src *rng.Source) (*Injector, error) {
 		events.Default().Emit(events.FaultInjected, "fault population drawn",
 			events.Num("stuck_atoms", float64(len(in.stuck))),
 			events.Num("stuck_frac", rates.StuckAtomFrac),
+			events.Num("layer", float64(layer)),
 			events.Num("residual", in.ResidualError()))
 	}
 	return in, nil
 }
+
+// Layer returns the cascade layer the injector's stuck-atom population
+// targets (0 for the primary surface).
+func (in *Injector) Layer() int { return in.layer }
 
 // drawStuck picks ⌊frac·M⌋ distinct atoms and latches each in a uniformly
 // random phase state.
@@ -175,22 +198,6 @@ func drawStuck(s *mts.Surface, frac float64, src *rng.Source) map[int]uint8 {
 		stuck[src.IntN(s.Atoms())] = uint8(src.IntN(states))
 	}
 	return stuck
-}
-
-// stuckResponses re-evaluates the realized responses the damaged surface
-// actually plays: every scheduled configuration with the stuck atoms forced
-// to their latched states, under the deployment's true path phases.
-func stuckResponses(d *ota.Deployment, stuck map[int]uint8) *cplx.Mat {
-	opts := d.Options()
-	pp := opts.Surface.PathPhases(opts.Geometry)
-	out := cplx.NewMat(d.Classes(), d.InputLen())
-	for r := 0; r < d.Classes(); r++ {
-		for i := 0; i < d.InputLen(); i++ {
-			cfg := overrideStuck(d.Schedule[r][i], stuck)
-			out.Set(r, i, opts.Surface.Response(cfg, pp))
-		}
-	}
-	return out
 }
 
 // overrideStuck returns cfg with the stuck atoms forced to their latched
@@ -279,22 +286,26 @@ func (in *Injector) PreviewHealSpan(parent *trace.Span) (*ota.Deployment, error)
 	}
 	hsp := parent.Child("faults.heal_preview")
 	hsp.SetNum("stuck_atoms", float64(len(in.stuck)))
+	hsp.SetNum("layer", float64(in.layer))
 	hsp.SetNum("sabotage", in.sabotage)
 	defer hsp.End()
-	opts := in.orig.Options()
-	s := opts.Surface
+	// The re-solve targets exactly the faulted layer: its surface, its
+	// solver-frame path phases, its schedule. Every other cascade layer is
+	// untouched (WithLayerSchedule recomposes the end-to-end responses).
+	s := in.orig.LayerSurface(in.layer)
+	origSched := in.orig.LayerSchedule(in.layer)
 	sched := make([][]mts.Config, in.orig.Classes())
 	if len(in.stuck) > 0 {
 		ideal, err := mts.NewSurface(s.Rows, s.Cols, s.Bits, s.FreqGHz, nil)
 		if err != nil {
 			return nil, err
 		}
-		estPP := in.orig.EstPathPhases()
+		estPP := in.orig.EstLayerPathPhases(in.layer)
 		ssp := mts.StartSolveSpan(hsp, "masked", in.orig.Classes()*in.orig.InputLen())
 		for r := range sched {
 			sched[r] = make([]mts.Config, in.orig.InputLen())
 			for i := range sched[r] {
-				target := ideal.Response(in.orig.Schedule[r][i], estPP)
+				target := ideal.Response(origSched[r][i], estPP)
 				cfg, _ := ideal.SolveTargetMasked(target, estPP, in.stuck)
 				sched[r][i] = cfg
 			}
@@ -304,7 +315,7 @@ func (in *Injector) PreviewHealSpan(parent *trace.Span) (*ota.Deployment, error)
 		for r := range sched {
 			sched[r] = make([]mts.Config, in.orig.InputLen())
 			for i := range sched[r] {
-				sched[r][i] = in.orig.Schedule[r][i].Clone()
+				sched[r][i] = origSched[r][i].Clone()
 			}
 		}
 	}
@@ -326,7 +337,10 @@ func (in *Injector) PreviewHealSpan(parent *trace.Span) (*ota.Deployment, error)
 			}
 		}
 	}
-	return in.orig.WithSchedule(sched)
+	if in.layer == 0 {
+		return in.orig.WithSchedule(sched)
+	}
+	return in.orig.WithLayerSchedule(in.layer, sched)
 }
 
 // CommitHeal publishes a heal candidate previously obtained from
@@ -404,6 +418,15 @@ func otaGlitch(d *ota.Deployment) func(r, i int, src *rng.Source) complex128 {
 		for c := 0; c < surface.Cols; c++ {
 			a := row*surface.Cols + c
 			cfg[a] = prev[a]
+		}
+		if d.Layers() > 1 {
+			// The glitch hits the primary; the composed response scales by
+			// the glitched/nominal primary ratio (the relay factors cancel).
+			nom := surface.Response(d.Schedule[r][i], pp)
+			if nom == 0 {
+				return 0
+			}
+			return d.Realized.At(r, i) * (surface.Response(cfg, pp)/nom - 1)
 		}
 		return surface.Response(cfg, pp) - d.Realized.At(r, i)
 	}

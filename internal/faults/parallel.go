@@ -49,7 +49,13 @@ func parStuckResponses(d *parallel.Deployment, stuck map[int]uint8) *cplx.Mat {
 		for i := 0; i < d.InputLen(); i++ {
 			cfg := overrideStuck(d.Configs[g][i], stuck)
 			for ci, r := range group {
-				out.Set(r, i, surface.Response(cfg, plan.Paths[ci]))
+				h := surface.Response(cfg, plan.Paths[ci])
+				if d.Layers() > 1 {
+					// Cascade realized responses include the static relay
+					// gain; the damaged primary keeps that factor.
+					h = d.RelayGain() * h
+				}
+				out.Set(r, i, h)
 			}
 		}
 	}
@@ -111,6 +117,13 @@ func parGlitch(d *parallel.Deployment) func(r, i int, src *rng.Source) complex12
 		for col := 0; col < surface.Cols; col++ {
 			a := row*surface.Cols + col
 			cfg[a] = prev[a]
+		}
+		if d.Layers() > 1 {
+			nom := surface.Response(d.Configs[g][i], plan.Paths[ci])
+			if nom == 0 {
+				return 0
+			}
+			return d.Realized.At(r, i) * (surface.Response(cfg, plan.Paths[ci])/nom - 1)
 		}
 		return surface.Response(cfg, plan.Paths[ci]) - d.Realized.At(r, i)
 	}

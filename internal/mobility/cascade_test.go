@@ -1,0 +1,73 @@
+package mobility
+
+import (
+	"testing"
+
+	"repro/internal/mts"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+// TestMonitorFlagsCascadePowerStarvation is the end-to-end margin check for
+// stacked cascades: a monitor calibrated against a healthy 2-layer
+// deployment must flag degradation when a relay hop is power-starved. A
+// starved hop amplifies the per-hop re-scattering noise (cascadeNoiseBoost),
+// which shrinks decision margins at the receiver — the margin signal sees
+// the whole cascade, not just the primary surface.
+func TestMonitorFlagsCascadePowerStarvation(t *testing.T) {
+	m, test := trained(t)
+	probes := test.X[:48]
+	build := func(power []float64) *ota.Deployment {
+		src := rng.New(21)
+		opts := ota.NewOptions(src.Split())
+		relay, err := mts.NewSurface(12, 12, 2, 5.25, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Stack = []ota.CascadeLayer{{
+			Surface:  relay,
+			Geometry: mts.Geometry{TxDistM: 1.5, TxAngleDeg: 20, RxDistM: 2, RxAngleDeg: 35},
+		}}
+		opts.HopNoise = 0.05
+		opts.LayerPower = power
+		d, err := ota.NewDeployment(m.Weights(), opts, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	healthy := build(nil)
+	if healthy.Layers() != 2 {
+		t.Fatalf("Layers() = %d, want 2", healthy.Layers())
+	}
+	// A tight SLO: flag when margins fall below 90% of the healthy mean.
+	mon := CalibrateMonitor(healthy.SessionFromSeed(5), probes, 0.9, len(probes))
+
+	sess := healthy.SessionFromSeed(5)
+	for _, x := range probes {
+		mon.Observe(sess.Logits(x))
+	}
+	if mon.Degraded() {
+		t.Fatal("healthy cascade flagged as degraded")
+	}
+
+	// Starve the relay hop to 5% drive: the hop-noise boost
+	// 1 + HopNoise/p² inflates the end-to-end noise floor ~21x.
+	mon.Reset()
+	starved := build([]float64{1, 0.05})
+	sess = starved.SessionFromSeed(5)
+	for _, x := range probes {
+		mon.Observe(sess.Logits(x))
+	}
+	mean, ok := mon.Mean()
+	if !ok {
+		t.Fatal("window did not fill")
+	}
+	if mean >= mon.Threshold() {
+		t.Fatalf("starved-relay margin mean %.4f not below threshold %.4f", mean, mon.Threshold())
+	}
+	if !mon.Degraded() {
+		t.Fatal("monitor did not flag relay power starvation end-to-end")
+	}
+}

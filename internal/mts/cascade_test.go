@@ -1,0 +1,107 @@
+package mts
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// cascadeFixture builds a K-layer solver over ideal surfaces with distinct
+// geometries per layer and unit scales normalized by each layer's maximum
+// response (extra layers), the shape ota's cascade deployment uses.
+func cascadeFixture(t *testing.T, k, rows, cols, bits int) *CascadeSolver {
+	t.Helper()
+	cs := &CascadeSolver{Passes: 2}
+	for l := 0; l < k; l++ {
+		s, err := NewSurface(rows, cols, bits, 5.25, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := DefaultGeometry()
+		g.RxAngleDeg += float64(5 * l) // distinct hop geometries
+		pp := s.PathPhases(g)
+		scale := complex(1, 0)
+		if l > 0 {
+			scale = complex(1/s.MaxResponse(pp), 0)
+		}
+		cs.Surfaces = append(cs.Surfaces, s)
+		cs.Paths = append(cs.Paths, pp)
+		cs.Scales = append(cs.Scales, scale)
+	}
+	return cs
+}
+
+// A 1-layer cascade must be bit-identical to the plain Eqn 7 solver —
+// same configuration, same achieved response. This is the solver half of
+// the cascadegate K=1 compatibility contract.
+func TestCascadeK1BitIdentitySolver(t *testing.T) {
+	cs := cascadeFixture(t, 1, 8, 8, 2)
+	src := rng.New(7)
+	for n := 0; n < 50; n++ {
+		target := complex(src.Normal(0, 20), src.Normal(0, 20))
+		cfgs, got := cs.Solve(target)
+		if len(cfgs) != 1 {
+			t.Fatalf("K=1 solve returned %d configs", len(cfgs))
+		}
+		wantCfg, want := cs.Surfaces[0].SolveTarget(target, cs.Paths[0])
+		if got != want {
+			t.Fatalf("target %v: cascade response %v != single-surface %v", target, got, want)
+		}
+		for m := range wantCfg {
+			if cfgs[0][m] != wantCfg[m] {
+				t.Fatalf("target %v: config differs at atom %d", target, m)
+			}
+		}
+	}
+}
+
+// A deeper cascade must approximate targets at least as well as its layer-0
+// surface alone on average: the extra aligned layers contribute a
+// near-constant complex gain the layer-0 subsolve compensates for, and the
+// extra degrees of freedom can only help the joint descent.
+func TestCascadeSolveApproximatesTargets(t *testing.T) {
+	single := cascadeFixture(t, 1, 8, 8, 2)
+	double := cascadeFixture(t, 2, 8, 8, 2)
+	src := rng.New(11)
+	var errSingle, errDouble float64
+	for n := 0; n < 40; n++ {
+		target := complex(src.Normal(0, 15), src.Normal(0, 15))
+		_, got1 := single.Solve(target)
+		_, got2 := double.Solve(target)
+		errSingle += cmplx.Abs(got1 - target)
+		errDouble += cmplx.Abs(got2 - target)
+	}
+	if errDouble > errSingle*1.05 {
+		t.Fatalf("2-layer cascade residual %.3f worse than single-surface %.3f", errDouble, errSingle)
+	}
+}
+
+// Pinned atoms on any layer must survive the solve — the (layer, atom)
+// fault-heal contract.
+func TestCascadeSolveRespectsPinnedAtoms(t *testing.T) {
+	cs := cascadeFixture(t, 3, 6, 6, 2)
+	cs.Pinned = []map[int]uint8{
+		{3: 1},
+		{7: 2, 11: 0},
+		nil,
+	}
+	cfgs, _ := cs.Solve(complex(9, -4))
+	if cfgs[0][3] != 1 {
+		t.Fatalf("layer 0 pinned atom 3 moved to state %d", cfgs[0][3])
+	}
+	if cfgs[1][7] != 2 || cfgs[1][11] != 0 {
+		t.Fatalf("layer 1 pinned atoms moved: %d %d", cfgs[1][7], cfgs[1][11])
+	}
+}
+
+// CascadeResponse over the solver's own frame must reproduce the composed
+// response Solve reports.
+func TestCascadeResponseMatchesSolve(t *testing.T) {
+	cs := cascadeFixture(t, 2, 8, 8, 2)
+	cfgs, got := cs.Solve(complex(12, 5))
+	h := CascadeResponse(cs.Surfaces, cfgs, cs.Paths, cs.Scales)
+	if cmplx.Abs(h-got) > 1e-9 {
+		t.Fatalf("CascadeResponse %v != Solve composed %v", h, got)
+	}
+}

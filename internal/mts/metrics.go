@@ -1,18 +1,36 @@
 package mts
 
-import "repro/internal/obs"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Solver metrics: call counts per solver variant, shared refinement-work
 // counters (coordinate-descent passes and atom state flips), and wall-clock
 // solve-time histograms (recorded only while obs is enabled). None of them
 // touch any rng.Source, so instrumented solves stay bit-identical.
 var (
-	solveCalls       = obs.NewCounter("mts.solve.calls")
-	solveMaskedCalls = obs.NewCounter("mts.solve.masked.calls")
-	solveMultiCalls  = obs.NewCounter("mts.solve.multi.calls")
-	solvePasses      = obs.NewCounter("mts.solve.passes")
-	solveFlips       = obs.NewCounter("mts.solve.flips")
-	solveSeconds     = obs.NewLatencyHistogram("mts.solve.seconds")
-	solveMaskedSecs  = obs.NewLatencyHistogram("mts.solve.masked.seconds")
-	solveMultiSecs   = obs.NewLatencyHistogram("mts.solve.multi.seconds")
+	solveCalls        = obs.NewCounter("mts.solve.calls")
+	solveMaskedCalls  = obs.NewCounter("mts.solve.masked.calls")
+	solveMultiCalls   = obs.NewCounter("mts.solve.multi.calls")
+	solvePasses       = obs.NewCounter("mts.solve.passes")
+	solveFlips        = obs.NewCounter("mts.solve.flips")
+	solveSeconds      = obs.NewLatencyHistogram("mts.solve.seconds")
+	solveMaskedSecs   = obs.NewLatencyHistogram("mts.solve.masked.seconds")
+	solveMultiSecs    = obs.NewLatencyHistogram("mts.solve.multi.seconds")
+	cascadeSolveCalls = obs.NewCounter("mts.cascade.solve.calls")
+	cascadeSolveSecs  = obs.NewLatencyHistogram("mts.cascade.solve.seconds")
 )
+
+// cascadeLayerCounters returns one per-layer subsolve counter per cascade
+// layer — the layer dimension of the solver metrics. Handles are memoized by
+// name in the registry, so cascades of the same depth share them (the same
+// pattern as parallel's per-subchannel output counters).
+func cascadeLayerCounters(k int) []*obs.Counter {
+	out := make([]*obs.Counter, k)
+	for l := range out {
+		out[l] = obs.NewCounter(fmt.Sprintf("mts.cascade.layer.%d.solves", l))
+	}
+	return out
+}

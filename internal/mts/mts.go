@@ -257,6 +257,13 @@ func (s *Surface) MaxResponse(pathPhases []float64) float64 {
 	return cmplx.Abs(s.Response(cfg, pathPhases))
 }
 
+// AlignedConfig returns the configuration that phase-aligns every atom
+// toward the given paths (target phase zero) — the beam-steering / relay
+// configuration whose response realizes MaxResponse's magnitude.
+func (s *Surface) AlignedConfig(pathPhases []float64) Config {
+	return s.alignConfig(0, pathPhases)
+}
+
 // alignConfig picks, per atom, the state whose total phase is closest to
 // targetPhase — the greedy beam-steering initialization.
 func (s *Surface) alignConfig(targetPhase float64, pathPhases []float64) Config {

@@ -1,0 +1,430 @@
+package ota
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/cplx"
+	"repro/internal/mts"
+	"repro/internal/obs/trace"
+	"repro/internal/rng"
+)
+
+// CascadeLayer is one extra metasurface the signal traverses after the
+// primary surface — a stacked-intelligent-metasurface hop. Each layer
+// re-scatters the field arriving from the previous hop under its own
+// geometry, so the end-to-end channel is the product of the per-layer
+// responses.
+type CascadeLayer struct {
+	// Surface is the layer's programmable metasurface.
+	Surface *mts.Surface
+	// Geometry fixes the hop's incidence/emergence placement relative to
+	// this layer.
+	Geometry mts.Geometry
+}
+
+// unitPower returns k unit per-layer drive amplitudes.
+func unitPower(k int) []float64 {
+	p := make([]float64, k)
+	for i := range p {
+		p[i] = 1
+	}
+	return p
+}
+
+// cascadeNoiseBoost is the receiver-noise inflation of a multi-hop link:
+// every extra re-scattering hop adds its own thermal/rescatter noise floor,
+// referred to the output through that layer's drive amplitude, so boosting
+// a layer's power (LayerPower) genuinely buys end-to-end SNR. hop is the
+// per-hop noise fraction (Options.HopNoise); power carries one amplitude
+// per layer including the primary. The factor is exactly 1 with no extra
+// layers or a zero hop fraction.
+func cascadeNoiseBoost(hop float64, power []float64) float64 {
+	boost := 1.0
+	if hop <= 0 {
+		return boost
+	}
+	for k := 1; k < len(power); k++ {
+		boost += hop / (power[k] * power[k])
+	}
+	return boost
+}
+
+// newCascadeDeploymentSpan builds a stacked-surface deployment: the joint
+// layer-wise solve against the end-to-end targets, the composed realized
+// responses the sessions play, and the cascade-aware derived statistics.
+// NewDeploymentSpan dispatches here whenever Options.Stack is non-empty;
+// the single-surface path never reaches this file.
+func newCascadeDeploymentSpan(w *cplx.Mat, opts Options, src *rng.Source, parent *trace.Span) (*Deployment, error) {
+	if opts.Surface == nil {
+		return nil, fmt.Errorf("ota: Deploy requires a surface")
+	}
+	if opts.TargetScale <= 0 || opts.TargetScale > 1 {
+		return nil, fmt.Errorf("ota: TargetScale %v out of (0, 1]", opts.TargetScale)
+	}
+	if opts.SubSamples < 0 || opts.SubSamples%2 == 1 {
+		return nil, fmt.Errorf("ota: SubSamples %d must be 0 or a positive even count", opts.SubSamples)
+	}
+	if opts.SymbolRateHz <= 0 {
+		opts.SymbolRateHz = 1e6
+	}
+	if opts.CompensateEnv {
+		return nil, fmt.Errorf("ota: CompensateEnv (Eqn 8) calibrates a single MTS path; it is not supported with a cascade Stack")
+	}
+	if opts.HopNoise < 0 {
+		return nil, fmt.Errorf("ota: negative HopNoise %v", opts.HopNoise)
+	}
+	layers := 1 + len(opts.Stack)
+	for k, lay := range opts.Stack {
+		if lay.Surface == nil {
+			return nil, fmt.Errorf("ota: cascade layer %d has no surface", k+1)
+		}
+	}
+	power := opts.LayerPower
+	if power == nil {
+		power = unitPower(layers)
+	}
+	if len(power) != layers {
+		return nil, fmt.Errorf("ota: LayerPower carries %d amplitudes for %d layers", len(power), layers)
+	}
+	for k, p := range power {
+		if p <= 0 || math.IsInf(p, 0) || math.IsNaN(p) {
+			return nil, fmt.Errorf("ota: layer %d drive amplitude %v out of (0, ∞)", k, p)
+		}
+	}
+	switches := 1
+	if opts.SubSamples > 0 {
+		switches = opts.SubSamples
+	}
+	// Every layer replays the schedule at the full reconfiguration rate; the
+	// control plane must sustain it per surface.
+	if err := opts.Controller.ValidateSchedule(opts.Surface.Atoms(), opts.SymbolRateHz, switches); err != nil {
+		return nil, err
+	}
+	for k, lay := range opts.Stack {
+		if err := opts.Controller.ValidateSchedule(lay.Surface.Atoms(), opts.SymbolRateHz, switches); err != nil {
+			return nil, fmt.Errorf("ota: cascade layer %d: %w", k+1, err)
+		}
+	}
+
+	// Solver-side knowledge mirrors the single-surface path: the primary
+	// Rx angle is beam-scanned when configured, every solver frame uses an
+	// ideal (fabrication-free) copy of each layer's surface.
+	estGeom := opts.Geometry
+	if opts.BeamScanStepDeg > 0 {
+		ideal, err := mts.NewSurface(opts.Surface.Rows, opts.Surface.Cols, opts.Surface.Bits, opts.Surface.FreqGHz, nil)
+		if err != nil {
+			return nil, err
+		}
+		estGeom.RxAngleDeg = ideal.BeamScan(opts.Geometry, opts.BeamScanStepDeg)
+	}
+	idealSurface, err := mts.NewSurface(opts.Surface.Rows, opts.Surface.Cols, opts.Surface.Bits, opts.Surface.FreqGHz, nil)
+	if err != nil {
+		return nil, err
+	}
+	estPP := idealSurface.PathPhases(estGeom)
+	truePP := opts.Surface.PathPhases(opts.Geometry)
+
+	solverSurfaces := []*mts.Surface{idealSurface}
+	solverPaths := [][]float64{estPP}
+	scales := []complex128{complex(power[0], 0)}
+	layerEstPP := make([][]float64, len(opts.Stack))
+	layerTruePP := make([][]float64, len(opts.Stack))
+	layerScale := make([]complex128, len(opts.Stack))
+	for k, lay := range opts.Stack {
+		s := lay.Surface
+		idealLayer, err := mts.NewSurface(s.Rows, s.Cols, s.Bits, s.FreqGHz, nil)
+		if err != nil {
+			return nil, err
+		}
+		layerEstPP[k] = idealLayer.PathPhases(lay.Geometry)
+		layerTruePP[k] = s.PathPhases(lay.Geometry)
+		maxRk := idealLayer.MaxResponse(layerEstPP[k])
+		if maxRk == 0 {
+			return nil, fmt.Errorf("ota: cascade layer %d has a degenerate maximum response", k+1)
+		}
+		// Normalizing each extra layer by its achievable maximum makes the
+		// layer a unit-gain relay at drive 1: the cascade's dynamic range
+		// stays anchored to the primary's array factor, and LayerPower
+		// scales each hop around that unit operating point.
+		layerScale[k] = complex(power[k+1]/maxRk, 0)
+		solverSurfaces = append(solverSurfaces, idealLayer)
+		solverPaths = append(solverPaths, layerEstPP[k])
+		scales = append(scales, layerScale[k])
+	}
+
+	maxR := idealSurface.MaxResponse(estPP)
+	maxW := w.MaxAbs()
+	if maxW == 0 {
+		return nil, fmt.Errorf("ota: weight matrix is all zeros")
+	}
+	gain := 1.0
+	for _, p := range power {
+		gain *= p
+	}
+	gamma := opts.TargetScale * maxR * gain / maxW
+
+	d := &Deployment{
+		opts:          opts,
+		Schedule:      make([][]mts.Config, w.Rows),
+		Realized:      cplx.NewMat(w.Rows, w.Cols),
+		Gamma:         gamma,
+		EstRxAngleDeg: estGeom.RxAngleDeg,
+		classes:       w.Rows,
+		u:             w.Cols,
+		ch:            channel.New(opts.Channel),
+		power:         power,
+		layerScale:    layerScale,
+		layerEstPP:    layerEstPP,
+		layerTruePP:   layerTruePP,
+		noiseBoost:    cascadeNoiseBoost(opts.HopNoise, power),
+	}
+	d.truePP = truePP
+	d.estPP = estPP
+	d.layerSched = make([][][]mts.Config, len(opts.Stack))
+	for k := range d.layerSched {
+		d.layerSched[k] = make([][]mts.Config, w.Rows)
+	}
+	solver := &mts.CascadeSolver{Surfaces: solverSurfaces, Paths: solverPaths, Scales: scales}
+	ssp := mts.StartSolveSpan(parent, "cascade", w.Rows*w.Cols)
+	ssp.SetNum("classes", float64(w.Rows))
+	ssp.SetNum("u", float64(w.Cols))
+	ssp.SetNum("gamma", gamma)
+	ssp.SetNum("layers", float64(layers))
+	var sumSq float64
+	for r := 0; r < w.Rows; r++ {
+		d.Schedule[r] = make([]mts.Config, w.Cols)
+		for k := range d.layerSched {
+			d.layerSched[k][r] = make([]mts.Config, w.Cols)
+		}
+		for c := 0; c < w.Cols; c++ {
+			target := w.At(r, c) * complex(gamma, 0)
+			cfgs, _ := solver.Solve(target)
+			d.Schedule[r][c] = cfgs[0]
+			for k := range d.layerSched {
+				d.layerSched[k][r][c] = cfgs[k+1]
+			}
+			h := d.composedRealizedAt(r, c)
+			d.Realized.Set(r, c, h)
+			sumSq += real(h)*real(h) + imag(h)*imag(h)
+		}
+	}
+	ssp.End()
+	d.sigRMS = math.Sqrt(sumSq / float64(len(d.Realized.Data)))
+	d.envScale = d.sigRMS
+	d.refreshDerived(opts.Geometry)
+	d.setJitterMoments()
+	cascadeDeploys.Inc()
+	cascadeLayers.Set(float64(layers))
+	return d, nil
+}
+
+// composedRealizedAt evaluates the physically realized end-to-end response
+// of output r, symbol c: every layer's TRUE response (fabrication offsets,
+// actual geometry) at its scheduled configuration, composed with the
+// per-layer power scales.
+func (d *Deployment) composedRealizedAt(r, c int) complex128 {
+	h := complex(d.power[0], 0) * d.opts.Surface.Response(d.Schedule[r][c], d.truePP)
+	for k := range d.opts.Stack {
+		h *= d.layerScale[k] * d.opts.Stack[k].Surface.Response(d.layerSched[k][r][c], d.layerTruePP[k])
+	}
+	return h
+}
+
+// refreshRealizedFromSchedules re-evaluates every realized response from the
+// current schedules under the current true path phases — the shared core of
+// Recompute, WithSchedule, and WithLayerSchedule. The single-surface
+// expression is exactly the seed path's arithmetic.
+func (d *Deployment) refreshRealizedFromSchedules() {
+	for r := 0; r < d.classes; r++ {
+		for c := 0; c < d.u; c++ {
+			if len(d.opts.Stack) > 0 {
+				d.Realized.Set(r, c, d.composedRealizedAt(r, c))
+			} else {
+				d.Realized.Set(r, c, d.opts.Surface.Response(d.Schedule[r][c], d.truePP))
+			}
+		}
+	}
+}
+
+// setJitterMoments derives the closed-form jitter statistics. A single
+// surface keeps the seed model (mean attenuation e^{−σ²/2}, complex scatter
+// of variance M·(1−e^{−σ²})); a K-layer cascade composes K independent
+// per-layer jitter processes to first order — attenuations multiply, and
+// the normalized per-layer scatters add.
+func (d *Deployment) setJitterMoments() {
+	sigma2 := d.opts.JitterStd * d.opts.JitterStd
+	att := math.Exp(-sigma2 / 2)
+	scatter := float64(d.opts.Surface.Atoms()) * (1 - math.Exp(-sigma2))
+	if k := len(d.opts.Stack); k > 0 {
+		d.jitterAtt = math.Pow(att, float64(k+1))
+		d.jitterVar = float64(k+1) * scatter
+	} else {
+		d.jitterAtt = att
+		d.jitterVar = scatter
+	}
+}
+
+// exactJitterResponse evaluates the atom-by-atom jittered response of symbol
+// slot i0, output r — per layer when a cascade is deployed, composing the
+// per-layer draws exactly as composedRealizedAt composes the ideal ones. The
+// single-surface call is byte-identical to the seed exact-jitter path.
+func (d *Deployment) exactJitterResponse(r, i0 int, src *rng.Source) complex128 {
+	if len(d.opts.Stack) == 0 {
+		return d.opts.Surface.RealizedResponse(d.Schedule[r][i0], d.truePP, d.opts.JitterStd, src)
+	}
+	h := complex(d.power[0], 0) * d.opts.Surface.RealizedResponse(d.Schedule[r][i0], d.truePP, d.opts.JitterStd, src)
+	for k := range d.opts.Stack {
+		h *= d.layerScale[k] * d.opts.Stack[k].Surface.RealizedResponse(d.layerSched[k][r][i0], d.layerTruePP[k], d.opts.JitterStd, src)
+	}
+	return h
+}
+
+// Layers returns the cascade depth K — 1 for the paper's single-surface
+// system.
+func (d *Deployment) Layers() int { return 1 + len(d.opts.Stack) }
+
+// StackLayers returns the extra cascade layers (empty for a single-surface
+// deployment). The slice is shared; callers must not modify it.
+func (d *Deployment) StackLayers() []CascadeLayer { return d.opts.Stack }
+
+// LayerPowerAlloc returns the per-layer drive amplitudes, primary first
+// (nil for a single-surface deployment). The slice is shared; callers must
+// not modify it.
+func (d *Deployment) LayerPowerAlloc() []float64 { return d.power }
+
+// LayerSurface returns layer k's surface (layer 0 is the primary).
+func (d *Deployment) LayerSurface(k int) *mts.Surface {
+	if k == 0 {
+		return d.opts.Surface
+	}
+	return d.opts.Stack[k-1].Surface
+}
+
+// LayerSchedule returns layer k's solved per-output per-symbol
+// configurations (layer 0 is the primary schedule). The slices are shared;
+// callers must not modify them.
+func (d *Deployment) LayerSchedule(k int) [][]mts.Config {
+	if k == 0 {
+		return d.Schedule
+	}
+	return d.layerSched[k-1]
+}
+
+// EstLayerPathPhases returns the solver-frame path phases of layer k —
+// what a degraded-mode re-solve of that layer must target, exactly as
+// EstPathPhases does for the primary.
+func (d *Deployment) EstLayerPathPhases(k int) []float64 {
+	if k == 0 {
+		return d.estPP
+	}
+	return d.layerEstPP[k-1]
+}
+
+// WithLayerSchedule returns a copy of the deployment playing a replacement
+// schedule on ONE cascade layer, every other layer untouched, with the
+// composed realized responses re-evaluated under the current true
+// geometry. Layer 0 delegates to WithSchedule; this is the (layer, atom)
+// heal path: re-solve the faulted layer around its stuck atoms and publish
+// the result behind an atomic pointer.
+func (d *Deployment) WithLayerSchedule(layer int, schedule [][]mts.Config) (*Deployment, error) {
+	if layer == 0 {
+		return d.WithSchedule(schedule)
+	}
+	if layer < 0 || layer >= d.Layers() {
+		return nil, fmt.Errorf("ota: layer %d of a %d-layer deployment", layer, d.Layers())
+	}
+	if len(schedule) != d.classes {
+		return nil, fmt.Errorf("ota: schedule has %d outputs, deployment has %d", len(schedule), d.classes)
+	}
+	atoms := d.LayerSurface(layer).Atoms()
+	for r, row := range schedule {
+		if len(row) != d.u {
+			return nil, fmt.Errorf("ota: schedule output %d has %d symbols, deployment has %d", r, len(row), d.u)
+		}
+		for i, cfg := range row {
+			if len(cfg) != atoms {
+				return nil, fmt.Errorf("ota: schedule (%d,%d) configures %d atoms, layer %d has %d", r, i, len(cfg), layer, atoms)
+			}
+		}
+	}
+	cp := *d
+	cp.layerSched = append([][][]mts.Config(nil), d.layerSched...)
+	cp.layerSched[layer-1] = schedule
+	cp.Realized = cplx.NewMat(d.classes, d.u)
+	cp.refreshRealizedFromSchedules()
+	cp.refreshFromRealized()
+	return &cp, nil
+}
+
+// RealizedWithLayerStuck re-evaluates the end-to-end realized responses
+// with a set of layer-k atoms latched in fixed states — what the cascade
+// physically plays when one layer's hardware degrades. This is the
+// fault-injection hook's (layer, atom) generalization of re-evaluating a
+// single surface's stuck responses; for a single-surface deployment with
+// layer 0 it reproduces that arithmetic exactly.
+func (d *Deployment) RealizedWithLayerStuck(layer int, stuck map[int]uint8) (*cplx.Mat, error) {
+	if layer < 0 || layer >= d.Layers() {
+		return nil, fmt.Errorf("ota: layer %d of a %d-layer deployment", layer, d.Layers())
+	}
+	override := func(cfg mts.Config) mts.Config {
+		out := cfg.Clone()
+		for m, st := range stuck {
+			if m >= 0 && m < len(out) {
+				out[m] = st
+			}
+		}
+		return out
+	}
+	out := cplx.NewMat(d.classes, d.u)
+	for r := 0; r < d.classes; r++ {
+		for c := 0; c < d.u; c++ {
+			if len(d.opts.Stack) == 0 {
+				out.Set(r, c, d.opts.Surface.Response(override(d.Schedule[r][c]), d.truePP))
+				continue
+			}
+			cfg0 := d.Schedule[r][c]
+			if layer == 0 {
+				cfg0 = override(cfg0)
+			}
+			h := complex(d.power[0], 0) * d.opts.Surface.Response(cfg0, d.truePP)
+			for k := range d.opts.Stack {
+				cfg := d.layerSched[k][r][c]
+				if layer == k+1 {
+					cfg = override(cfg)
+				}
+				h *= d.layerScale[k] * d.opts.Stack[k].Surface.Response(cfg, d.layerTruePP[k])
+			}
+			out.Set(r, c, h)
+		}
+	}
+	return out, nil
+}
+
+// DefaultHopNoise is the per-hop re-scattering noise coefficient a default
+// relay stack assumes: each extra surface-to-surface hop adds a few percent
+// of the receiver noise floor at unit drive (see Options.HopNoise).
+const DefaultHopNoise = 0.02
+
+// DefaultStack builds `extra` relay layers for a stacked deployment: each is
+// a prototype-class fabricated surface (drawn from src, so a fixed seed
+// yields a fixed stack) placed on a short re-scattering hop with a slightly
+// rotated exit angle per layer. The primary surface and its geometry stay
+// whatever Options carries; these layers slot into Options.Stack.
+func DefaultStack(extra int, src *rng.Source) []CascadeLayer {
+	if extra <= 0 {
+		return nil
+	}
+	stack := make([]CascadeLayer, extra)
+	for k := range stack {
+		stack[k] = CascadeLayer{
+			Surface: mts.Prototype(src.Split()),
+			Geometry: mts.Geometry{
+				TxDistM: 1.5, TxAngleDeg: 20,
+				RxDistM: 2, RxAngleDeg: 35 + 4*float64(k),
+			},
+		}
+	}
+	return stack
+}

@@ -12,3 +12,11 @@ var (
 	otaSymbols       = obs.NewCounter("ota.symbols")
 	otaInferSeconds  = obs.NewLatencyHistogram("ota.infer.seconds")
 )
+
+// Cascade metrics: how many stacked-surface deployments were built and the
+// depth of the most recent one. The layer dimension of per-solve work lives
+// in mts ("mts.cascade.layer.K.solves"); these record the deployment shape.
+var (
+	cascadeDeploys = obs.NewCounter("ota.cascade.deploys")
+	cascadeLayers  = obs.NewGauge("ota.cascade.layers")
+)

@@ -86,6 +86,24 @@ type Options struct {
 	// requires SubSamples == 0 (the two schemes are alternatives) and — as
 	// the paper warns — only works while the environment stays static.
 	CompensateEnv bool
+	// Stack lists the extra metasurface layers the signal traverses after
+	// the primary surface — a stacked-intelligent-metasurface cascade whose
+	// end-to-end channel is the product of the per-layer responses. Empty
+	// means the paper's single-surface system, and every code path is then
+	// bit-identical to it (the K=1 compatibility contract; see DESIGN.md
+	// "Stacked cascades").
+	Stack []CascadeLayer
+	// LayerPower gives the per-layer drive amplitudes p_k, primary first
+	// (len 1+len(Stack)); nil means uniform unit drive. Raising a hop's
+	// amplitude buys back the hop's noise contribution (see HopNoise);
+	// power.AllocateLayers computes the optimal split under a budget.
+	LayerPower []float64
+	// HopNoise is the per-extra-hop rescatter noise fraction: each extra
+	// layer k inflates the receiver-noise variance by HopNoise/p_k², the
+	// noise floor a real re-scattering hop adds referred through its drive
+	// amplitude. Zero (the default) models ideal lossless relays. Ignored
+	// without a Stack.
+	HopNoise float64
 }
 
 // NewOptions returns the paper's default setup: 16×16 2-bit prototype
@@ -158,6 +176,17 @@ type Deployment struct {
 	envScale    float64    // physical scale of the environment term
 	truePP      []float64  // true path phases, kept for exact-jitter replay
 	estPP       []float64  // solver-side path phases (ideal surface, estimated geometry)
+
+	// Cascade state (zero/nil for the single-surface system). Realized and
+	// Schedule keep their seed meaning — Realized holds the COMPOSED
+	// end-to-end responses, Schedule the primary layer's configurations —
+	// so sessions consume a cascade through the unchanged hot path.
+	power       []float64        // per-layer drive amplitudes, primary first
+	layerSched  [][][]mts.Config // extra layers' schedules [k][r][i]
+	layerScale  []complex128     // extra layers' composition scales p_k/maxR_k
+	layerEstPP  [][]float64      // extra layers' solver-frame path phases
+	layerTruePP [][]float64      // extra layers' true path phases
+	noiseBoost  float64          // multi-hop receiver-noise inflation (see cascadeNoiseBoost)
 }
 
 // NewDeployment solves the MTS schedule realizing the trained weight matrix
@@ -173,6 +202,12 @@ func NewDeployment(w *cplx.Mat, opts Options, src *rng.Source) (*Deployment, err
 // untraced path — records nothing and costs nothing; either way the solve
 // itself is bit-identical, since spans never touch src.
 func NewDeploymentSpan(w *cplx.Mat, opts Options, src *rng.Source, parent *trace.Span) (*Deployment, error) {
+	if len(opts.Stack) > 0 {
+		// Stacked cascade: the joint layer-wise solve lives in cascade.go.
+		// The single-surface path below is untouched by the dispatch, which
+		// is what makes K=1 provably bit-identical to the seed system.
+		return newCascadeDeploymentSpan(w, opts, src, parent)
+	}
 	if opts.Surface == nil {
 		return nil, fmt.Errorf("ota: Deploy requires a surface")
 	}
@@ -285,9 +320,7 @@ func NewDeploymentSpan(w *cplx.Mat, opts Options, src *rng.Source, parent *trace
 	// Jitter statistics: a per-atom phase error ε~N(0,σ²) attenuates the
 	// mean response by e^{-σ²/2} and adds a complex scatter of variance
 	// M·(1−e^{-σ²}) (independent atoms).
-	sigma2 := opts.JitterStd * opts.JitterStd
-	d.jitterAtt = math.Exp(-sigma2 / 2)
-	d.jitterVar = float64(opts.Surface.Atoms()) * (1 - math.Exp(-sigma2))
+	d.setJitterMoments()
 	return d, nil
 }
 
@@ -313,6 +346,13 @@ func (d *Deployment) refreshDerived(geom mts.Geometry) {
 		noise2 /= d.gainFactor * d.gainFactor
 	} else {
 		noise2 = math.Inf(1)
+	}
+	// Multi-hop cascades inflate the receiver-noise floor (each extra
+	// re-scattering layer adds its own, scaled by its drive amplitude). The
+	// single-surface path never sets noiseBoost, so its arithmetic here is
+	// byte-identical to the seed.
+	if d.noiseBoost > 1 {
+		noise2 *= d.noiseBoost
 	}
 	d.noise2 = noise2
 }
@@ -350,14 +390,12 @@ func (d *Deployment) QuantizationError(w *cplx.Mat) float64 {
 // Recomputed to build a fresh deployment and swap it behind an atomic
 // pointer while readers keep using the old one.
 func (d *Deployment) Recompute(geom mts.Geometry) *Deployment {
-	truePP := d.opts.Surface.PathPhases(geom)
-	for r := 0; r < d.classes; r++ {
-		for c := 0; c < d.u; c++ {
-			d.Realized.Set(r, c, d.opts.Surface.Response(d.Schedule[r][c], truePP))
-		}
-	}
-	d.truePP = truePP
+	// Mobility moves the PRIMARY hop's geometry (the receiver); extra
+	// cascade layers keep their own placements and stored responses, and the
+	// composed end-to-end realized matrix reflects the primary's drift.
+	d.truePP = d.opts.Surface.PathPhases(geom)
 	d.opts.Geometry = geom
+	d.refreshRealizedFromSchedules()
 	d.refreshFromRealized()
 	return d
 }
@@ -429,11 +467,7 @@ func (d *Deployment) WithSchedule(schedule [][]mts.Config) (*Deployment, error) 
 	cp := *d
 	cp.Schedule = schedule
 	cp.Realized = cplx.NewMat(d.classes, d.u)
-	for r := 0; r < d.classes; r++ {
-		for c := 0; c < d.u; c++ {
-			cp.Realized.Set(r, c, d.opts.Surface.Response(schedule[r][c], d.truePP))
-		}
-	}
+	cp.refreshRealizedFromSchedules()
 	cp.refreshFromRealized()
 	return &cp, nil
 }

@@ -82,6 +82,9 @@ func (s *Session) Accumulate(x []complex128) cplx.Vec {
 	asp := s.span.Child("ota.accumulate")
 	asp.SetNum("classes", float64(d.classes))
 	asp.SetNum("u", float64(d.u))
+	if n := len(d.opts.Stack); n > 0 {
+		asp.SetNum("layers", float64(n+1))
+	}
 	acc := make(cplx.Vec, d.classes)
 	noise2 := d.noise2
 	for r := 0; r < d.classes; r++ {
@@ -153,11 +156,12 @@ func (s *Session) effectiveResponse(r, i int, offset float64) complex128 {
 	}
 	i0 := idx(i - int(base))
 	if d.opts.ExactJitter && d.opts.JitterStd > 0 {
-		// Atom-by-atom jitter on the actual scheduled configuration(s).
-		h := d.opts.Surface.RealizedResponse(d.Schedule[r][i0], d.truePP, d.opts.JitterStd, s.src)
+		// Atom-by-atom jitter on the actual scheduled configuration(s) —
+		// composed per layer when a cascade is deployed.
+		h := d.exactJitterResponse(r, i0, s.src)
 		if frac >= 1e-9 {
 			i1 := idx(i - int(base) - 1)
-			h1 := d.opts.Surface.RealizedResponse(d.Schedule[r][i1], d.truePP, d.opts.JitterStd, s.src)
+			h1 := d.exactJitterResponse(r, i1, s.src)
 			h = h*complex(1-frac, 0) + h1*complex(frac, 0)
 		}
 		return h

@@ -54,6 +54,23 @@ type DeploymentState struct {
 	EnvBase     complex128
 	CalMTSPhase complex128
 	EnvScale    float64
+
+	// Stacked-cascade extensions (absent — all nil/zero — for the paper's
+	// single-surface system; their presence bumps the checkpoint envelope
+	// to version 2). Layers and LayerSchedules describe the extra surfaces
+	// and their solved configurations; Realized above already holds the
+	// COMPOSED end-to-end responses.
+	Layers         []CascadeLayerState
+	LayerSchedules [][][]mts.Config
+	LayerPower     []float64
+	HopNoise       float64
+}
+
+// CascadeLayerState is the serializable description of one extra cascade
+// layer: its surface and its hop geometry.
+type CascadeLayerState struct {
+	Surface  SurfaceState
+	Geometry mts.Geometry
 }
 
 // State captures the deployment as a serializable snapshot.
@@ -84,6 +101,22 @@ func (d *Deployment) State() *DeploymentState {
 		st.EnvBase = d.envBase
 		st.CalMTSPhase = d.calMTSPhase
 		st.EnvScale = d.envScale
+	}
+	for _, lay := range d.opts.Stack {
+		ls := lay.Surface
+		st.Layers = append(st.Layers, CascadeLayerState{
+			Surface: SurfaceState{
+				Rows: ls.Rows, Cols: ls.Cols, Bits: ls.Bits,
+				FreqGHz: ls.FreqGHz, SpacingM: ls.SpacingM,
+				FabPhaseStd: ls.FabPhaseStd, Fab: ls.FabOffsets(),
+			},
+			Geometry: lay.Geometry,
+		})
+	}
+	if len(d.opts.Stack) > 0 {
+		st.LayerSchedules = d.layerSched
+		st.LayerPower = d.power
+		st.HopNoise = d.opts.HopNoise
 	}
 	return st
 }
@@ -129,6 +162,65 @@ func (st *DeploymentState) Validate() error {
 			}
 		}
 	}
+	return st.validateCascade()
+}
+
+// validateCascade checks the stacked-layer extension block: every extra
+// layer's grid/bit depth, its schedule's shape against the deployment
+// dimensions, and the power allocation's arity and positivity.
+func (st *DeploymentState) validateCascade() error {
+	if len(st.Layers) == 0 {
+		if len(st.LayerSchedules) != 0 || len(st.LayerPower) != 0 {
+			return fmt.Errorf("ota: state carries cascade schedules or power without cascade layers")
+		}
+		return nil
+	}
+	if len(st.LayerSchedules) != len(st.Layers) {
+		return fmt.Errorf("ota: state has %d layer schedules for %d cascade layers", len(st.LayerSchedules), len(st.Layers))
+	}
+	if st.LayerPower != nil && len(st.LayerPower) != 1+len(st.Layers) {
+		return fmt.Errorf("ota: state has %d power amplitudes for %d layers", len(st.LayerPower), 1+len(st.Layers))
+	}
+	for _, p := range st.LayerPower {
+		if !(p > 0) || math.IsInf(p, 0) {
+			return fmt.Errorf("ota: state layer drive amplitude %v out of (0, ∞)", p)
+		}
+	}
+	if st.HopNoise < 0 || math.IsNaN(st.HopNoise) {
+		return fmt.Errorf("ota: state hop-noise fraction %v negative", st.HopNoise)
+	}
+	for k, lay := range st.Layers {
+		atoms := lay.Surface.Rows * lay.Surface.Cols
+		if lay.Surface.Rows <= 0 || lay.Surface.Cols <= 0 {
+			return fmt.Errorf("ota: cascade layer %d has invalid grid %dx%d", k+1, lay.Surface.Rows, lay.Surface.Cols)
+		}
+		if lay.Surface.Bits <= 0 || lay.Surface.Bits > 8 {
+			return fmt.Errorf("ota: cascade layer %d has unsupported bit depth %d", k+1, lay.Surface.Bits)
+		}
+		if lay.Surface.Fab != nil && len(lay.Surface.Fab) != atoms {
+			return fmt.Errorf("ota: cascade layer %d has %d fabrication offsets for %d atoms", k+1, len(lay.Surface.Fab), atoms)
+		}
+		sched := st.LayerSchedules[k]
+		if len(sched) != st.Realized.Rows {
+			return fmt.Errorf("ota: cascade layer %d schedule has %d outputs, want %d", k+1, len(sched), st.Realized.Rows)
+		}
+		states := uint8(1) << lay.Surface.Bits
+		for r, row := range sched {
+			if len(row) != st.Realized.Cols {
+				return fmt.Errorf("ota: cascade layer %d schedule output %d has %d symbols, want %d", k+1, r, len(row), st.Realized.Cols)
+			}
+			for i, cfg := range row {
+				if len(cfg) != atoms {
+					return fmt.Errorf("ota: cascade layer %d schedule (%d,%d) configures %d atoms, layer has %d", k+1, r, i, len(cfg), atoms)
+				}
+				for _, stt := range cfg {
+					if stt >= states {
+						return fmt.Errorf("ota: cascade layer %d schedule (%d,%d) uses state %d beyond %d-bit depth", k+1, r, i, stt, lay.Surface.Bits)
+					}
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -164,6 +256,16 @@ func FromState(st *DeploymentState) (*Deployment, error) {
 	if opts.SymbolRateHz <= 0 {
 		opts.SymbolRateHz = 1e6
 	}
+	for _, lay := range st.Layers {
+		ls, err := mts.SurfaceFromOffsets(lay.Surface.Rows, lay.Surface.Cols, lay.Surface.Bits,
+			lay.Surface.FreqGHz, lay.Surface.SpacingM, lay.Surface.FabPhaseStd, lay.Surface.Fab)
+		if err != nil {
+			return nil, err
+		}
+		opts.Stack = append(opts.Stack, CascadeLayer{Surface: ls, Geometry: lay.Geometry})
+	}
+	opts.LayerPower = st.LayerPower
+	opts.HopNoise = st.HopNoise
 	d := &Deployment{
 		opts:          opts,
 		Schedule:      st.Schedule,
@@ -190,10 +292,39 @@ func FromState(st *DeploymentState) (*Deployment, error) {
 	estGeom.RxAngleDeg = st.EstRxAngleDeg
 	d.estPP = ideal.PathPhases(estGeom)
 	d.truePP = surface.PathPhases(opts.Geometry)
+	if len(opts.Stack) > 0 {
+		// Rebuild the cascade frames with the exact arithmetic
+		// newCascadeDeploymentSpan uses: solver-side ideal copies of every
+		// layer, per-layer true phases, and the power-normalized scales —
+		// all pure functions of the persisted state, so the recomputed
+		// values are bit-identical to the snapshotted deployment's.
+		power := st.LayerPower
+		if power == nil {
+			power = unitPower(1 + len(opts.Stack))
+		}
+		d.power = power
+		d.layerSched = st.LayerSchedules
+		d.layerScale = make([]complex128, len(opts.Stack))
+		d.layerEstPP = make([][]float64, len(opts.Stack))
+		d.layerTruePP = make([][]float64, len(opts.Stack))
+		for k, lay := range opts.Stack {
+			s := lay.Surface
+			idealLayer, err := mts.NewSurface(s.Rows, s.Cols, s.Bits, s.FreqGHz, nil)
+			if err != nil {
+				return nil, err
+			}
+			d.layerEstPP[k] = idealLayer.PathPhases(lay.Geometry)
+			d.layerTruePP[k] = s.PathPhases(lay.Geometry)
+			maxRk := idealLayer.MaxResponse(d.layerEstPP[k])
+			if maxRk == 0 {
+				return nil, fmt.Errorf("ota: cascade layer %d has a degenerate maximum response", k+1)
+			}
+			d.layerScale[k] = complex(power[k+1]/maxRk, 0)
+		}
+		d.noiseBoost = cascadeNoiseBoost(st.HopNoise, power)
+	}
 	d.refreshFromRealized()
-	sigma2 := opts.JitterStd * opts.JitterStd
-	d.jitterAtt = math.Exp(-sigma2 / 2)
-	d.jitterVar = float64(surface.Atoms()) * (1 - math.Exp(-sigma2))
+	d.setJitterMoments()
 	return d, nil
 }
 

@@ -1,0 +1,160 @@
+package parallel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/cplx"
+	"repro/internal/mts"
+	"repro/internal/ota"
+	"repro/internal/rng"
+)
+
+func cascadeStack(t *testing.T, extra int) []ota.CascadeLayer {
+	t.Helper()
+	stack := make([]ota.CascadeLayer, extra)
+	for k := range stack {
+		s, err := mts.NewSurface(8, 8, 2, 5.25, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack[k] = ota.CascadeLayer{
+			Surface:  s,
+			Geometry: mts.Geometry{TxDistM: 1.5, TxAngleDeg: 20, RxDistM: 2, RxAngleDeg: 30 + 5*float64(k)},
+		}
+	}
+	return stack
+}
+
+func cascadeWeights(rows, cols int) *cplx.Mat {
+	w := cplx.NewMat(rows, cols)
+	src := rng.New(77)
+	for i := range w.Data {
+		w.Data[i] = complex(src.Normal(0, 1), src.Normal(0, 1))
+	}
+	return w
+}
+
+func TestParallelCascadeRelayGainUnit(t *testing.T) {
+	// Unit-drive relays are normalized to unit-magnitude gains, so the
+	// composed relay factor has magnitude ~1 and the realized responses stay
+	// on the same dynamic range as a single-surface deployment.
+	src := rng.New(11)
+	opts := NewOptions(src.Split())
+	opts.JitterStd = 0
+	opts.Stack = cascadeStack(t, 2)
+	w := cascadeWeights(4, 16)
+	plan, err := NewAntennaPlan(opts.Surface, mts.DefaultGeometry(), 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeployment(w, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Layers() != 3 {
+		t.Fatalf("Layers() = %d, want 3", d.Layers())
+	}
+	if g := cmplx.Abs(d.RelayGain()); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("unit-drive relay gain magnitude %v, want 1", g)
+	}
+	for k := 0; k < 2; k++ {
+		if len(d.RelayConfig(k)) != opts.Stack[k].Surface.Atoms() {
+			t.Fatalf("relay %d config has %d atoms", k, len(d.RelayConfig(k)))
+		}
+	}
+	sess := d.NewSession(rng.New(5))
+	x := make([]complex128, 16)
+	for i := range x {
+		x[i] = complex(1, 0)
+	}
+	for _, v := range sess.Logits(x) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("cascade logits not finite: %v", v)
+		}
+	}
+}
+
+func TestParallelCascadeHopNoiseBoost(t *testing.T) {
+	src := rng.New(12)
+	base := NewOptions(src.Split())
+	base.Stack = cascadeStack(t, 2)
+	w := cascadeWeights(4, 16)
+	plan, err := NewSubcarrierPlan(base.Surface, mts.DefaultGeometry(), 2, 40e3, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := NewDeployment(w, plan, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := base
+	noisy.HopNoise = 0.1
+	nd, err := NewDeployment(w, plan, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same realized responses, inflated receiver noise: 1 + 2*0.1/1².
+	ratio := nd.noise2 / clean.noise2
+	if math.Abs(ratio-1.2) > 1e-9 {
+		t.Fatalf("hop-noise boost ratio %v, want 1.2", ratio)
+	}
+	// WithResponses must preserve the boost.
+	cp, err := nd.WithResponses(nd.Realized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cp.noise2-nd.noise2) > 1e-15*nd.noise2 {
+		t.Fatalf("WithResponses dropped the hop-noise boost: %v vs %v", cp.noise2, nd.noise2)
+	}
+}
+
+func TestParallelCascadePowerScalesRange(t *testing.T) {
+	src := rng.New(13)
+	opts := NewOptions(src.Split())
+	opts.Stack = cascadeStack(t, 1)
+	w := cascadeWeights(4, 16)
+	plan, err := NewAntennaPlan(opts.Surface, mts.DefaultGeometry(), 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := NewDeployment(w, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted := opts
+	boosted.LayerPower = []float64{1, 2}
+	bd, err := NewDeployment(w, plan, boosted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling the relay drive doubles the end-to-end dynamic range.
+	ratio := bd.sigRMS / unit.sigRMS
+	if math.Abs(ratio-2) > 0.2 {
+		t.Fatalf("doubled relay drive scaled sigRMS by %v, want ~2", ratio)
+	}
+}
+
+func TestParallelCascadeValidation(t *testing.T) {
+	src := rng.New(14)
+	w := cascadeWeights(4, 16)
+	good := NewOptions(src.Split())
+	plan, err := NewAntennaPlan(good.Surface, mts.DefaultGeometry(), 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(o *Options){
+		"nil layer surface": func(o *Options) { o.Stack = []ota.CascadeLayer{{}} },
+		"power arity":       func(o *Options) { o.Stack = cascadeStack(t, 1); o.LayerPower = []float64{1} },
+		"zero power":        func(o *Options) { o.Stack = cascadeStack(t, 1); o.LayerPower = []float64{1, 0} },
+		"negative hopnoise": func(o *Options) { o.Stack = cascadeStack(t, 1); o.HopNoise = -1 },
+	}
+	for name, mutate := range cases {
+		o := good
+		mutate(&o)
+		if _, err := NewDeployment(w, plan, o); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

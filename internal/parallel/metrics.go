@@ -16,6 +16,7 @@ var (
 	parTransmissions = obs.NewCounter("parallel.transmissions")
 	parSymbols       = obs.NewCounter("parallel.symbols")
 	parChannels      = obs.NewGauge("parallel.channels")
+	parLayers        = obs.NewGauge("parallel.layers")
 	parInferSeconds  = obs.NewLatencyHistogram("parallel.infer.seconds")
 )
 

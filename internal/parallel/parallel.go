@@ -155,6 +155,19 @@ type Options struct {
 	// SyncSampler must be a pure function of its source argument:
 	// concurrent sessions call it with their own independent sources.
 	SyncSampler func(src *rng.Source) float64
+	// Stack appends extra cascade layers behind the surface (see
+	// ota.Options.Stack). In the parallel schemes the extras act as relays:
+	// each holds one fixed phase-aligned configuration for the whole
+	// inference — per-symbol weight realization stays on the primary while
+	// the relays contribute a static per-hop complex gain. Static relays do
+	// not reconfigure per symbol, so they add no reconfiguration jitter.
+	Stack []ota.CascadeLayer
+	// LayerPower is the per-layer drive amplitude (primary first); nil
+	// means unit drive everywhere. See ota.Options.LayerPower.
+	LayerPower []float64
+	// HopNoise is the per-hop re-scattering noise coefficient; see
+	// ota.Options.HopNoise.
+	HopNoise float64
 }
 
 // NewOptions mirrors ota.NewOptions for the parallel schemes.
@@ -195,6 +208,14 @@ type Deployment struct {
 	// matching obs counters, resolved once at deployment.
 	chanOutputs  []int64
 	chanCounters []*obs.Counter
+
+	// Cascade state: the static per-hop relay configurations, their composed
+	// complex gain (1 for a single-surface deployment), the per-layer drive
+	// amplitudes, and the hop-noise inflation applied to noise2.
+	relayCfgs  []mts.Config
+	relayGain  complex128
+	power      []float64
+	noiseBoost float64
 }
 
 // NewDeployment solves the shared per-symbol configurations realizing w
@@ -225,18 +246,75 @@ func NewDeployment(w *cplx.Mat, plan *Plan, opts Options) (*Deployment, error) {
 	if maxW == 0 {
 		return nil, fmt.Errorf("parallel: weight matrix is all zeros")
 	}
+	// Cascade state: a non-empty Stack turns the deployment into a relay
+	// cascade — each extra layer holds its phase-aligned configuration,
+	// normalized to a unit-magnitude gain at unit drive. With an empty Stack
+	// every expression below reduces to the classic single-surface
+	// arithmetic bit for bit (relayGain stays exactly 1+0i and is never
+	// multiplied in).
+	relayGain, gain := complex(1, 0), 1.0
+	var relayCfgs []mts.Config
+	var power []float64
+	var noiseBoost float64
+	if len(opts.Stack) > 0 {
+		if opts.HopNoise < 0 || math.IsNaN(opts.HopNoise) {
+			return nil, fmt.Errorf("parallel: HopNoise %v out of [0, inf)", opts.HopNoise)
+		}
+		power = opts.LayerPower
+		if power == nil {
+			power = make([]float64, 1+len(opts.Stack))
+			for i := range power {
+				power[i] = 1
+			}
+		}
+		if len(power) != 1+len(opts.Stack) {
+			return nil, fmt.Errorf("parallel: %d layer powers for %d layers", len(power), 1+len(opts.Stack))
+		}
+		for k, p := range power {
+			if !(p > 0) || math.IsInf(p, 0) {
+				return nil, fmt.Errorf("parallel: layer %d power %v out of (0, inf)", k, p)
+			}
+		}
+		gain = power[0]
+		relayCfgs = make([]mts.Config, len(opts.Stack))
+		noiseBoost = 1
+		for k, layer := range opts.Stack {
+			if layer.Surface == nil {
+				return nil, fmt.Errorf("parallel: cascade layer %d has no surface", k)
+			}
+			pp := layer.Surface.PathPhases(layer.Geometry)
+			maxRk := layer.Surface.MaxResponse(pp)
+			if maxRk == 0 {
+				return nil, fmt.Errorf("parallel: cascade layer %d has zero max response", k)
+			}
+			cfg := layer.Surface.AlignedConfig(pp)
+			relayCfgs[k] = cfg
+			relayGain *= complex(power[k+1]/maxRk, 0) * layer.Surface.Response(cfg, pp)
+			gain *= power[k+1]
+			noiseBoost += opts.HopNoise / (power[k+1] * power[k+1])
+		}
+		relayGain *= complex(power[0], 0)
+	}
 	// Joint targets share the atom budget: scale by 1/√C so C simultaneous
-	// constraints stay inside the reachable set.
+	// constraints stay inside the reachable set. Relay hops multiply the
+	// dynamic range by the composed drive gain (1 without a stack).
 	maxR := opts.Surface.MaxResponse(plan.Paths[0])
 	gamma := opts.TargetScale * maxR / (maxW * math.Sqrt(float64(c)))
+	if len(opts.Stack) > 0 {
+		gamma *= gain
+	}
 
 	d := &Deployment{
-		plan:     plan,
-		opts:     opts,
-		Realized: cplx.NewMat(w.Rows, w.Cols),
-		classes:  w.Rows,
-		u:        w.Cols,
-		ch:       channel.New(opts.Channel),
+		plan:       plan,
+		opts:       opts,
+		Realized:   cplx.NewMat(w.Rows, w.Cols),
+		classes:    w.Rows,
+		u:          w.Cols,
+		ch:         channel.New(opts.Channel),
+		relayCfgs:  relayCfgs,
+		relayGain:  relayGain,
+		power:      power,
+		noiseBoost: noiseBoost,
 	}
 	for start := 0; start < w.Rows; start += c {
 		end := start + c
@@ -258,13 +336,22 @@ func NewDeployment(w *cplx.Mat, plan *Plan, opts Options) (*Deployment, error) {
 			targets = targets[:0]
 			paths = paths[:0]
 			for ci, r := range group {
-				targets = append(targets, w.At(r, i)*complex(gamma, 0))
+				tgt := w.At(r, i) * complex(gamma, 0)
+				if len(opts.Stack) > 0 {
+					// The primary realizes target/relay so the composed
+					// end-to-end response lands on the target.
+					tgt /= relayGain
+				}
+				targets = append(targets, tgt)
 				paths = append(paths, plan.Paths[ci])
 			}
 			cfg, _ := opts.Surface.SolveMultiTarget(targets, paths)
 			groupCfgs[i] = cfg
 			for ci, r := range group {
 				h := opts.Surface.Response(cfg, plan.Paths[ci])
+				if len(opts.Stack) > 0 {
+					h = relayGain * h
+				}
 				d.Realized.Set(r, i, h)
 				sumSq += real(h)*real(h) + imag(h)*imag(h)
 			}
@@ -278,7 +365,13 @@ func NewDeployment(w *cplx.Mat, plan *Plan, opts Options) (*Deployment, error) {
 	// SNR anchored at the 256-atom prototype aperture, as in ota.
 	aperture := 256.0 / float64(opts.Surface.Atoms())
 	d.noise2 = d.sigRMS * d.sigRMS * d.ch.Params().NoiseSigma2() * aperture * aperture
+	if d.noiseBoost > 1 {
+		d.noise2 *= d.noiseBoost
+	}
 	parChannels.Set(float64(c))
+	if n := len(opts.Stack); n > 0 {
+		parLayers.Set(float64(n + 1))
+	}
 	d.chanOutputs = make([]int64, c)
 	for _, group := range d.groups {
 		for ci := range group {
@@ -324,8 +417,23 @@ func (d *Deployment) WithResponses(realized *cplx.Mat) (*Deployment, error) {
 	cp.sigRMS = math.Sqrt(sumSq / float64(len(realized.Data)))
 	aperture := 256.0 / float64(d.opts.Surface.Atoms())
 	cp.noise2 = cp.sigRMS * cp.sigRMS * cp.ch.Params().NoiseSigma2() * aperture * aperture
+	if cp.noiseBoost > 1 {
+		cp.noise2 *= cp.noiseBoost
+	}
 	return &cp, nil
 }
+
+// Layers returns the cascade depth (1 for a single-surface deployment).
+func (d *Deployment) Layers() int { return 1 + len(d.opts.Stack) }
+
+// RelayGain returns the composed static complex gain of the relay hops,
+// including the primary drive amplitude (exactly 1+0i for a single-surface
+// deployment — the factor is then never multiplied into any response).
+func (d *Deployment) RelayGain() complex128 { return d.relayGain }
+
+// RelayConfig returns the fixed phase-aligned configuration relay k
+// (0-based among the extra layers) holds for every symbol.
+func (d *Deployment) RelayConfig(k int) mts.Config { return d.relayCfgs[k] }
 
 // Transmissions returns the sequential passes one inference needs.
 func (d *Deployment) Transmissions() int { return len(d.groups) }

@@ -1,0 +1,99 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Per-layer power control for stacked-metasurface cascades (the
+// SIM-with-power-control operating point): a K-layer cascade drives K
+// control planes, and every extra re-scattering hop adds a noise floor that
+// its drive amplitude divides down (ota.Options.HopNoise). This file holds
+// the allocation arithmetic — how to split a drive-power budget across hops
+// — and the cascade row of the Appendix A.4 energy table.
+
+// UniformLayers returns k unit per-layer drive amplitudes (primary first) —
+// the default operating point ota assumes when Options.LayerPower is nil.
+func UniformLayers(k int) []float64 {
+	if k < 1 {
+		k = 1
+	}
+	p := make([]float64, k)
+	for i := range p {
+		p[i] = 1
+	}
+	return p
+}
+
+// AllocateLayers returns per-layer drive amplitudes (primary first) for a
+// cascade with len(hopNoise) extra hops: the primary keeps unit drive, and
+// the extra hops split a drive-squared budget to minimize the total
+// hop-noise inflation Σ_k c_k/p_k² subject to Σ_k p_k² = budget — the
+// Lagrange solution p_k² ∝ √c_k, so a noisier hop earns more power. With
+// equal coefficients the split is uniform; budget ≤ 0 defaults to one
+// drive-squared unit per hop (the uniform allocation's total). Hop-noise
+// coefficients are clamped to 1/16 of the largest so no hop is starved to a
+// vanishing amplitude (the hop still carries the signal).
+func AllocateLayers(hopNoise []float64, budget float64) []float64 {
+	p := make([]float64, 1+len(hopNoise))
+	p[0] = 1
+	if len(hopNoise) == 0 {
+		return p
+	}
+	if budget <= 0 {
+		budget = float64(len(hopNoise))
+	}
+	var maxC float64
+	for _, c := range hopNoise {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC <= 0 {
+		for k := range hopNoise {
+			p[k+1] = math.Sqrt(budget / float64(len(hopNoise)))
+		}
+		return p
+	}
+	floor := maxC / 16
+	var sumSqrt float64
+	for _, c := range hopNoise {
+		sumSqrt += math.Sqrt(math.Max(c, floor))
+	}
+	for k, c := range hopNoise {
+		p[k+1] = math.Sqrt(budget * math.Sqrt(math.Max(c, floor)) / sumSqrt)
+	}
+	return p
+}
+
+// HopNoiseBoost returns the receiver-noise inflation 1 + Σ_k c_k/p_k² of an
+// allocation — the figure AllocateLayers minimizes and ota applies to the
+// per-sample noise variance. power carries the primary amplitude first,
+// exactly as AllocateLayers returns it.
+func HopNoiseBoost(hopNoise, power []float64) float64 {
+	if len(power) != 1+len(hopNoise) {
+		panic(fmt.Sprintf("power: %d amplitudes for %d extra hops", len(power), len(hopNoise)))
+	}
+	boost := 1.0
+	for k, c := range hopNoise {
+		boost += c / (power[k+1] * power[k+1])
+	}
+	return boost
+}
+
+// MetaAICascadeRow is the Meta-AI line of the Appendix A.4 table for a
+// K-layer stacked deployment: air time and transmit energy are unchanged
+// (the hops are traversed at the speed of light within one symbol), server
+// work stays an argmax, but every layer runs its own control plane for the
+// duration of the schedule — MTS control energy scales by K.
+func MetaAICascadeRow(w Workload, layers int) Row {
+	if layers < 1 {
+		panic(fmt.Sprintf("power: cascade with %d layers", layers))
+	}
+	rows := Table(w)
+	r := rows[len(rows)-1] // the Meta-AI row
+	r.System = fmt.Sprintf("Meta-AI x%d", layers)
+	r.MTSMJ *= float64(layers)
+	r.TotalMJ = r.TxMJ + r.ServerMJ + r.MTSMJ
+	return r
+}

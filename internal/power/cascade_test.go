@@ -1,0 +1,89 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformLayers(t *testing.T) {
+	if got := UniformLayers(3); len(got) != 3 || got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("UniformLayers(3) = %v", got)
+	}
+	if got := UniformLayers(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("UniformLayers(0) = %v", got)
+	}
+}
+
+func TestAllocateLayersUniformWeights(t *testing.T) {
+	p := AllocateLayers([]float64{0.1, 0.1, 0.1}, 0)
+	if len(p) != 4 || p[0] != 1 {
+		t.Fatalf("allocation = %v", p)
+	}
+	for k := 1; k < len(p); k++ {
+		if math.Abs(p[k]-1) > 1e-12 {
+			t.Fatalf("equal hop noise must split uniformly at unit amplitude: %v", p)
+		}
+	}
+}
+
+func TestAllocateLayersRespectsBudget(t *testing.T) {
+	hop := []float64{0.3, 0.05, 0.12}
+	budget := 2.5
+	p := AllocateLayers(hop, budget)
+	var sum2 float64
+	for k := 1; k < len(p); k++ {
+		sum2 += p[k] * p[k]
+	}
+	if math.Abs(sum2-budget) > 1e-9 {
+		t.Fatalf("allocation spends %.6f of budget %.6f: %v", sum2, budget, p)
+	}
+	// The noisier hop must earn the larger amplitude.
+	if !(p[1] > p[3] && p[3] > p[2]) {
+		t.Fatalf("amplitudes not ordered by hop noise: %v", p)
+	}
+}
+
+func TestAllocateLayersBeatsUniform(t *testing.T) {
+	hop := []float64{0.4, 0.02}
+	opt := AllocateLayers(hop, float64(len(hop)))
+	uni := UniformLayers(1 + len(hop))
+	if got, want := HopNoiseBoost(hop, opt), HopNoiseBoost(hop, uni); got >= want {
+		t.Fatalf("optimal allocation boost %.6f not below uniform %.6f", got, want)
+	}
+}
+
+func TestAllocateLayersDegenerateWeights(t *testing.T) {
+	// All-zero hop noise still yields positive amplitudes (the hop carries
+	// the signal even when it adds no noise).
+	for _, p := range AllocateLayers([]float64{0, 0}, 0) {
+		if !(p > 0) {
+			t.Fatalf("degenerate weights must keep positive amplitudes: %v", p)
+		}
+	}
+	// A starved hop is clamped, not zeroed.
+	p := AllocateLayers([]float64{1, 0}, 2)
+	if !(p[2] > 0) {
+		t.Fatalf("clamped hop lost its amplitude: %v", p)
+	}
+}
+
+func TestMetaAICascadeRow(t *testing.T) {
+	w := MNIST()
+	base := findRow(Table(w), "Meta-AI", "LNN")
+	r := MetaAICascadeRow(w, 3)
+	if r.System != "Meta-AI x3" {
+		t.Fatalf("system label = %q", r.System)
+	}
+	if math.Abs(r.MTSMJ-3*base.MTSMJ) > 1e-12 {
+		t.Fatalf("3-layer MTS energy %.6f, want 3x %.6f", r.MTSMJ, base.MTSMJ)
+	}
+	if r.TxMJ != base.TxMJ || r.ServerMJ != base.ServerMJ || r.TxMs != base.TxMs {
+		t.Fatalf("cascade row must only change MTS energy: %+v vs %+v", r, base)
+	}
+	if math.Abs(r.TotalMJ-(r.TxMJ+r.ServerMJ+r.MTSMJ)) > 1e-12 {
+		t.Fatalf("total not re-summed: %+v", r)
+	}
+	if one := MetaAICascadeRow(w, 1); one.MTSMJ != base.MTSMJ {
+		t.Fatalf("1-layer cascade row must match the seed row")
+	}
+}

@@ -26,6 +26,7 @@ func TestExperimentsRegistered(t *testing.T) {
 		"fig25", "fig26", "fig27", "fig28", "fig29", "fig30", "fig31",
 		"table2", "table3",
 		"ext-compensation", "ext-mobility", "ext-deepmodel", "ext-feedback",
+		"fig-cascade",
 		"abl-quantize", "abl-solver", "abl-subsamples", "abl-injector", "abl-jitter", "abl-faults", "ext-perclass",
 	}
 	have := map[string]bool{}
