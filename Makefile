@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate cascadegate check bench
+.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate cascadegate fleetbench fleetgate check bench
 
 build:
 	$(GO) build ./...
@@ -74,12 +74,26 @@ cascadegate:
 	$(GO) test -count=1 -run 'TestCascadeStateSealsVersion2|TestCascadeDeploymentRoundtripBitIdentity|TestJournalRecoverSkipsCorruptCascade' ./internal/checkpoint
 	$(GO) test -count=1 -run 'TestKillAndRecoverCascadeBitIdentity' ./cmd/metaai-serve
 
+# fleetbench is the fleet acceptance bench, under -race: three replicas
+# behind the router take sustained client load through a fleet-wide epoch
+# replication, a canary-rejected sabotage with fleet-wide rollback, a
+# replica kill mid-publish with hedged failover, and a cold replacement
+# caught up by anti-entropy — asserting zero request loss and convergence
+# on the latest valid epoch throughout.
+fleetbench:
+	$(GO) test -race -count=1 -run 'TestFleetBench' -v ./cmd/metaai-serve
+
+# fleetgate is the CI smoke of the same episode (-short trims the load) —
+# every failure mode still fires, in about two seconds.
+fleetgate:
+	$(GO) test -race -count=1 -run 'TestFleetBench' -short ./cmd/metaai-serve
+
 # check is the full gate: vet, plain tests, the race detector over the
 # concurrent evaluator, sweeps, and serve paths, the airproto and checkpoint
 # fuzz smokes, the abl-faults zero-rate identity gate, the crash-recovery
-# gate, the cascade K=1 compatibility gate, and the obs/bench/trace
-# determinism gates.
-check: vet test race fuzz ckptfuzz faultgate recovergate cascadegate obsgate benchgate tracegate
+# gate, the cascade K=1 compatibility gate, the fleet failover/replication
+# smoke, and the obs/bench/trace determinism gates.
+check: vet test race fuzz ckptfuzz faultgate recovergate cascadegate fleetgate obsgate benchgate tracegate
 
 # bench runs the Go micro-benchmarks, then the serve-path observability
 # benchmark, which snapshots its metrics into BENCH_serve.json. Emit-only:

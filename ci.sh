@@ -32,6 +32,9 @@ go test -count=1 -run 'TestCascadeK1BitIdentity' ./internal/mts ./internal/ota
 go test -count=1 -run 'TestCascadeStateSealsVersion2|TestCascadeDeploymentRoundtripBitIdentity|TestJournalRecoverSkipsCorruptCascade' ./internal/checkpoint
 go test -count=1 -run 'TestKillAndRecoverCascadeBitIdentity' ./cmd/metaai-serve
 
+echo "== fleet failover/replication gate (3 replicas, kill/rollback/catch-up, -race) =="
+go test -race -count=1 -run 'TestFleetBench' -short ./cmd/metaai-serve
+
 echo "== obs determinism gate =="
 go test -run 'TestServeBenchDeterministicFingerprint' ./cmd/metaai-bench
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cplx"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/ota"
 	"repro/internal/rng"
@@ -14,12 +15,14 @@ import (
 
 // serveBenchRun deploys a small random-weight over-the-air system, enables
 // observability, and replays n inferences through one session — then the
-// same workload through a 2-layer stacked cascade, so the snapshot carries
-// both hot paths. It returns the metric snapshot plus the single-surface
-// and cascade inference-loop wall times. The whole run is a pure function
-// of (n, seed) except for wall-clock durations, so the snapshot's
-// Fingerprint (counters, gauges, histogram counts) is deterministic — the
-// CI gate asserts exactly that.
+// same workload through a 2-layer stacked cascade, and finally a replayed
+// fleet episode (routing, failover, eviction, replication, canary rollback,
+// catch-up) so the snapshot carries the serving hot paths AND the fleet.*
+// series. It returns the metric snapshot plus the single-surface and
+// cascade inference-loop wall times. The whole run is a pure function of
+// (n, seed) except for wall-clock durations, so the snapshot's Fingerprint
+// (counters, gauges, histogram counts) is deterministic — the CI gate
+// asserts exactly that.
 func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Duration, error) {
 	obs.SetEnabled(true)
 	obs.Default().Reset()
@@ -59,6 +62,14 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Durat
 		sessC.Logits(x)
 	}
 	elapsedC := time.Since(startC)
+
+	// Fleet tier: one deterministic replayed episode drives the router's
+	// components (ring, detector, chunked replication) through their full
+	// failure repertoire, so the fleet.* counters land in the snapshot with
+	// reproducible values.
+	if _, err := fleet.Replay(fleet.ReplayConfig{Seed: seed ^ 0xf1ee7}); err != nil {
+		return nil, 0, 0, err
+	}
 	snap := obs.Default().Snapshot()
 	return &snap, elapsed, elapsedC, nil
 }

@@ -50,6 +50,7 @@ import (
 
 	metaai "repro"
 
+	"repro/internal/airproto"
 	"repro/internal/checkpoint"
 	"repro/internal/dataset"
 	"repro/internal/faults"
@@ -76,7 +77,13 @@ type serverOptions struct {
 	canaryFrac   float64
 	rollbackFrac float64
 	stateDir     string
+	joinAddr     string
 }
+
+// joinEvery is the cadence of a replica's membership announcements to its
+// fleet router (-join). Re-announcing is cheap and idempotent: it resurrects
+// the replica after an eviction and re-registers it after a router restart.
+const joinEvery = 2 * time.Second
 
 func main() {
 	var (
@@ -87,6 +94,8 @@ func main() {
 		probe     = flag.String("probe", "", "act as a client: send one test sample to this address and exit")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent inference sessions (min 1)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "probe per-attempt response timeout")
+		budget    = flag.Duration("budget", 0, "probe overall deadline per exchange across all retry attempts and backoffs (0 disables)")
+		joinAddr  = flag.String("join", "", "announce this replica to a metaai-fleet router at this address and accept replicated epochs")
 		faultRate = flag.Float64("fault-rate", 0, "inject the faults.Mix fault load at this severity in [0,1]")
 		selfHeal  = flag.Bool("self-heal", false, "monitor decision margins and hot-swap a re-solved deployment on degradation")
 		healFrac  = flag.Float64("heal-frac", 0.5, "degradation threshold as a fraction of the healthy mean margin")
@@ -124,7 +133,7 @@ func main() {
 
 	if *probe != "" {
 		if err := runProbe(*probe, probeOptions{
-			ds: *ds, seed: *seed, timeout: *timeout,
+			ds: *ds, seed: *seed, timeout: *timeout, budget: *budget,
 			stats: *stats, jsonOut: *jsonOut, traceID: *traceID,
 		}); err != nil {
 			log.Fatal(err)
@@ -145,6 +154,7 @@ func main() {
 		canaryFrac:   *canary,
 		rollbackFrac: *rollback,
 		stateDir:     *stateDir,
+		joinAddr:     *joinAddr,
 	}
 	if err := runServer(*addr, opt, sidecar); err != nil {
 		log.Fatal(err)
@@ -335,6 +345,35 @@ func runServer(addr string, opt serverOptions, sidecar *http.Server) error {
 		<-ctx.Done()
 		conn.Close() // unblock the read loop; serve() then drains the workers
 	}()
+
+	if opt.joinAddr != "" {
+		// Announce membership from the SERVING socket so the router learns
+		// this replica's data-path address from the datagram's source. Writes
+		// interleave safely with the read loop; the router's join replies come
+		// back on conn and are consumed by the fleet agent.
+		raddr, err := net.ResolveUDPAddr("udp", opt.joinAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("announcing to fleet router %s every %v", raddr, joinEvery)
+		go func() {
+			t := time.NewTicker(joinEvery)
+			defer t.Stop()
+			for id := uint32(1); ; id++ {
+				f := airproto.Join(id, srv.fleetAgent.FleetSeq(), srv.epochSeq.Load())
+				if out, err := f.Marshal(); err == nil {
+					if _, err := conn.WriteToUDP(out, raddr); err != nil && ctx.Err() == nil {
+						log.Printf("fleet join announce: %v", err)
+					}
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+			}
+		}()
+	}
 
 	if trace.Default().Enabled() {
 		// The tail sampler's "slow" criterion tracks the LIVE p99 of the

@@ -249,7 +249,7 @@ func TestExchangeDiscardsMismatchedID(t *testing.T) {
 	})
 	conn := dialServer(t, addr)
 	req := &airproto.Frame{ID: 5, Data: []complex128{1}}
-	resp, err := exchange(conn, req, 5*time.Second, time.Millisecond, 3, rng.New(1))
+	resp, err := exchange(conn, req, 5*time.Second, 0, time.Millisecond, 3, rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestExchangeDrainsStaleZeroIDNack(t *testing.T) {
 	time.Sleep(100 * time.Millisecond) // let the stale datagram land
 
 	resp, err := exchange(client, &airproto.Frame{ID: 41, Data: []complex128{1}},
-		2*time.Second, time.Millisecond, 1, rng.New(1))
+		2*time.Second, 0, time.Millisecond, 1, rng.New(1))
 	if err != nil {
 		t.Fatalf("stale zero-ID NACK failed the exchange: %v", err)
 	}
@@ -317,7 +317,7 @@ func TestExchangeBacksOffOnDegradedNack(t *testing.T) {
 	})
 	conn := dialServer(t, addr)
 	req := &airproto.Frame{ID: 9, Data: []complex128{1}}
-	resp, err := exchange(conn, req, 2*time.Second, time.Millisecond, 3, rng.New(1))
+	resp, err := exchange(conn, req, 2*time.Second, 0, time.Millisecond, 3, rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestExchangeWrongLenIsFatal(t *testing.T) {
 	})
 	conn := dialServer(t, addr)
 	req := &airproto.Frame{ID: 2, Data: []complex128{1}}
-	_, err := exchange(conn, req, 2*time.Second, time.Millisecond, 3, rng.New(1))
+	_, err := exchange(conn, req, 2*time.Second, 0, time.Millisecond, 3, rng.New(1))
 	if err == nil {
 		t.Fatal("exchange succeeded against a WrongLen NACK")
 	}
@@ -358,7 +358,7 @@ func TestExchangeTimesOutThroughAttempts(t *testing.T) {
 	conn := dialServer(t, addr)
 	req := &airproto.Frame{ID: 3, Data: []complex128{1}}
 	start := time.Now()
-	_, err := exchange(conn, req, 50*time.Millisecond, time.Millisecond, 3, rng.New(1))
+	_, err := exchange(conn, req, 50*time.Millisecond, 0, time.Millisecond, 3, rng.New(1))
 	if err == nil {
 		t.Fatal("exchange succeeded against a silent server")
 	}

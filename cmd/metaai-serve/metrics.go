@@ -43,11 +43,15 @@ var (
 // swallowed a stale NACK left no trace. Now every retry and every stale
 // NACK drained off the socket counts:
 //
-//	probe.retries      exchange attempts beyond each request's first
-//	probe.stale_nacks  stale NACK datagrams discarded by drainStale
+//	probe.retries           exchange attempts beyond each request's first
+//	probe.stale_nacks       stale NACK datagrams discarded by drainStale
+//	probe.budget_exhausted  exchanges abandoned because the overall deadline
+//	                        budget ran out (counted separately from the
+//	                        per-attempt timeouts it subsumes)
 var (
-	probeRetries    = obs.NewCounter("probe.retries")
-	probeStaleNacks = obs.NewCounter("probe.stale_nacks")
+	probeRetries         = obs.NewCounter("probe.retries")
+	probeStaleNacks      = obs.NewCounter("probe.stale_nacks")
+	probeBudgetExhausted = obs.NewCounter("probe.budget_exhausted")
 )
 
 // requestP99 reads the live 99th-percentile request latency out of the obs

@@ -31,7 +31,7 @@ func TestMetricsSidecarReportsServing(t *testing.T) {
 	const requests = 10
 	for i := 1; i <= requests; i++ {
 		req := &airproto.Frame{ID: uint32(i), Data: testSymbols(d.InputLen(), uint64(i))}
-		resp, err := exchange(conn, req, 5*time.Second, time.Millisecond, 3, rng.New(uint64(i)))
+		resp, err := exchange(conn, req, 5*time.Second, 0, time.Millisecond, 3, rng.New(uint64(i)))
 		if err != nil {
 			t.Fatal(err)
 		}

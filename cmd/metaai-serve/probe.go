@@ -33,6 +33,9 @@ type probeOptions struct {
 	ds      string
 	seed    uint64
 	timeout time.Duration
+	// budget, when positive, bounds each exchange end to end across all
+	// retry attempts and backoff sleeps (see exchange).
+	budget  time.Duration
 	stats   int
 	jsonOut bool
 	traceID string
@@ -55,7 +58,7 @@ func runProbe(addr string, opt probeOptions) error {
 	if opt.traceID != "" {
 		// Trace fetch replaces classification: pull the retained span tree
 		// for one request out of the server's ring, over the air.
-		return fetchTrace(conn, opt.traceID, opt.timeout, rng.New(opt.seed^0x7ace))
+		return fetchTrace(conn, opt.traceID, opt.timeout, opt.budget, rng.New(opt.seed^0x7ace))
 	}
 
 	cfg := metaai.DefaultConfig(opt.ds)
@@ -67,7 +70,7 @@ func runProbe(addr string, opt probeOptions) error {
 	symbols := enc.Encode(sample.X)
 
 	req := &airproto.Frame{ID: 1, Label: int32(sample.Label), Data: symbols}
-	resp, err := exchange(conn, req, opt.timeout, probeBackoffBase, probeAttempts, rng.New(opt.seed^0x9e0be))
+	resp, err := exchange(conn, req, opt.timeout, opt.budget, probeBackoffBase, probeAttempts, rng.New(opt.seed^0x9e0be))
 	if err != nil {
 		return fmt.Errorf("probe %s: %w", addr, err)
 	}
@@ -82,7 +85,7 @@ func runProbe(addr string, opt probeOptions) error {
 		fmt.Printf("probe: sample label %d classified as %d over the air\n", sample.Label, arg)
 	}
 	if opt.stats > 0 {
-		return probeStats(conn, symbols, opt.stats, opt.timeout, opt.jsonOut, rng.New(opt.seed^0x57a75))
+		return probeStats(conn, symbols, opt.stats, opt.timeout, opt.budget, opt.jsonOut, rng.New(opt.seed^0x57a75))
 	}
 	if opt.jsonOut {
 		return json.NewEncoder(os.Stdout).Encode(map[string]any{
@@ -96,12 +99,12 @@ func runProbe(addr string, opt probeOptions) error {
 // airproto KindTrace exchange) and prints the Chrome trace-event JSON the
 // server packed into the reply. A StatusNoTrace NACK means the ring never
 // retained — or has since evicted — that ID.
-func fetchTrace(conn *net.UDPConn, idHex string, timeout time.Duration, src *rng.Source) error {
+func fetchTrace(conn *net.UDPConn, idHex string, timeout, budget time.Duration, src *rng.Source) error {
 	id, err := trace.ParseID(idHex)
 	if err != nil {
 		return fmt.Errorf("bad trace id %q: %w", idHex, err)
 	}
-	resp, err := exchange(conn, airproto.TraceRequest(uint64(id)), timeout, probeBackoffBase, probeAttempts, src)
+	resp, err := exchange(conn, airproto.TraceRequest(uint64(id)), timeout, budget, probeBackoffBase, probeAttempts, src)
 	if err != nil {
 		return fmt.Errorf("trace fetch %s: %w", idHex, err)
 	}
@@ -123,12 +126,12 @@ func fetchTrace(conn *net.UDPConn, idHex string, timeout time.Duration, src *rng
 // without attaching the observability sidecar. With jsonOut the same
 // numbers (plus the server's own counters, when it speaks KindStats) go out
 // as one machine-readable JSON object instead of prose.
-func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout time.Duration, jsonOut bool, src *rng.Source) error {
+func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout, budget time.Duration, jsonOut bool, src *rng.Source) error {
 	lat := make([]time.Duration, 0, n)
 	for i := 0; i < n; i++ {
 		req := &airproto.Frame{ID: uint32(i + 2), Data: symbols}
 		start := time.Now()
-		if _, err := exchange(conn, req, timeout, probeBackoffBase, probeAttempts, src); err != nil {
+		if _, err := exchange(conn, req, timeout, budget, probeBackoffBase, probeAttempts, src); err != nil {
 			return fmt.Errorf("stats request %d/%d: %w", i+1, n, err)
 		}
 		lat = append(lat, time.Since(start))
@@ -138,7 +141,7 @@ func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout time.Dur
 		idx := int(q * float64(len(lat)-1))
 		return lat[idx]
 	}
-	server, serverErr := serverStats(conn, uint32(n+2), timeout, src)
+	server, serverErr := serverStats(conn, uint32(n+2), timeout, budget, src)
 	if jsonOut {
 		out := map[string]any{
 			"requests": n,
@@ -175,8 +178,8 @@ func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout time.Dur
 // serverStats asks the server for its serving counters over the wire (an
 // airproto KindStats exchange) — heal, rollback, and epoch visibility
 // without attaching the HTTP sidecar.
-func serverStats(conn *net.UDPConn, id uint32, timeout time.Duration, src *rng.Source) (map[string]int64, error) {
-	resp, err := exchange(conn, &airproto.Frame{Kind: airproto.KindStats, ID: id}, timeout, probeBackoffBase, probeAttempts, src)
+func serverStats(conn *net.UDPConn, id uint32, timeout, budget time.Duration, src *rng.Source) (map[string]int64, error) {
+	resp, err := exchange(conn, &airproto.Frame{Kind: airproto.KindStats, ID: id}, timeout, budget, probeBackoffBase, probeAttempts, src)
 	if err != nil {
 		return nil, err
 	}
@@ -204,12 +207,23 @@ func serverStats(conn *net.UDPConn, id uint32, timeout time.Duration, src *rng.S
 // and retrying won't help. Each attempt after the first is preceded by a
 // jittered exponential backoff delay, and counted in probe.retries.
 //
+// budget, when positive, is an overall deadline across ALL attempts and the
+// backoff sleeps between them: per-attempt timeouts bound one wait, the
+// budget bounds the whole exchange, so a caller with a latency contract is
+// never held for attempts × timeout plus the sleeps. A per-attempt read is
+// clipped to the remaining budget, and an exchange that runs out — either
+// before an attempt can start or because the next backoff would sleep
+// through everything that is left — fails with a budget error, counted in
+// probe.budget_exhausted separately from the per-attempt timeouts it
+// subsumes. Zero disables the budget and preserves the retry-until-spent
+// behavior.
+//
 // Before every send, any datagrams already buffered on the socket are
 // drained. readMatching must accept zero-ID NACKs (an unparseable request
 // cannot be named by its rejection), so a zero-ID NACK left over from an
 // EARLIER request would otherwise be read as this request's answer and turn
 // a perfectly good exchange into a spurious hard failure.
-func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.Duration, attempts int, src *rng.Source) (*airproto.Frame, error) {
+func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, budget, backoffBase time.Duration, attempts int, src *rng.Source) (*airproto.Frame, error) {
 	out, err := req.Marshal()
 	if err != nil {
 		return nil, err
@@ -217,13 +231,28 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.
 	if attempts < 1 {
 		attempts = 1
 	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
+		wait := timeout
+		if budget > 0 {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				probeBudgetExhausted.Inc()
+				return nil, fmt.Errorf("probe budget %v exhausted after %d attempts: %v", budget, attempt-1, lastErr)
+			}
+			if remaining < wait {
+				wait = remaining
+			}
+		}
 		drainStale(conn)
 		if _, err := conn.Write(out); err != nil {
 			return nil, err
 		}
-		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		if err := conn.SetReadDeadline(time.Now().Add(wait)); err != nil {
 			return nil, err
 		}
 		resp, err := readMatching(conn, req.ID)
@@ -233,7 +262,7 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.
 			if !ok || !ne.Timeout() {
 				return nil, err
 			}
-			lastErr = fmt.Errorf("no response within %v", timeout)
+			lastErr = fmt.Errorf("no response within %v", wait)
 		case resp.IsNack():
 			switch resp.Code {
 			case airproto.StatusDegraded:
@@ -252,8 +281,15 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, backoffBase time.
 		// has failed there is nothing left to wait for, and the caller gets
 		// the verdict immediately.
 		if attempt < attempts {
-			probeRetries.Inc()
 			delay := time.Duration(float64(backoffBase) * float64(int(1)<<(attempt-1)) * (0.5 + src.Float64()))
+			if budget > 0 && time.Now().Add(delay).After(deadline) {
+				// The backoff would sleep through the rest of the budget, so
+				// the next attempt could never be answered: fail now and
+				// return the remaining time to the caller.
+				probeBudgetExhausted.Inc()
+				return nil, fmt.Errorf("probe budget %v exhausted after %d attempts: %v", budget, attempt, lastErr)
+			}
+			probeRetries.Inc()
 			log.Printf("probe: attempt %d/%d failed (%v), retrying in %v", attempt, attempts, lastErr, delay.Round(time.Millisecond))
 			time.Sleep(delay)
 		}

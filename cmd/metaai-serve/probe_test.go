@@ -22,7 +22,7 @@ func TestExchangeNoBackoffAfterFinalFailure(t *testing.T) {
 	const base = 150 * time.Millisecond
 	start := time.Now()
 	_, err := exchange(conn, &airproto.Frame{ID: 6, Data: []complex128{1}},
-		2*time.Second, base, 3, rng.New(1))
+		2*time.Second, 0, base, 3, rng.New(1))
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("exchange succeeded against a permanently degraded server")
@@ -40,6 +40,64 @@ func TestExchangeNoBackoffAfterFinalFailure(t *testing.T) {
 	// sleeps can take.
 	if elapsed > 900*time.Millisecond {
 		t.Fatalf("exchange took %v: it slept after the final attempt's failure", elapsed)
+	}
+}
+
+// TestExchangeBudgetBoundsRetries pins the overall-deadline contract: with a
+// budget that covers one attempt but not the retry schedule behind it, the
+// exchange fails with a budget error well before attempts × timeout, the
+// remaining attempts are never sent, and the exhaustion counts in its own
+// counter rather than blending into the per-attempt timeouts.
+func TestExchangeBudgetBoundsRetries(t *testing.T) {
+	// A silent server: every attempt times out at its read deadline.
+	addr, received := fakeResponder(t, func(req *airproto.Frame, n int) []*airproto.Frame {
+		return nil
+	})
+	conn := dialServer(t, addr)
+
+	before := probeBudgetExhausted.Value()
+	const timeout, budget = 200 * time.Millisecond, 250 * time.Millisecond
+	start := time.Now()
+	_, err := exchange(conn, &airproto.Frame{ID: 8, Data: []complex128{1}},
+		timeout, budget, 400*time.Millisecond, 5, rng.New(1))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("exchange succeeded against a silent server")
+	}
+	// Unbudgeted, 5 silent attempts plus 4 backoffs would run multiple
+	// seconds; the budget caps the whole exchange near 250ms (the first
+	// attempt's full timeout, then the backoff that would overrun).
+	if elapsed > budget+300*time.Millisecond {
+		t.Fatalf("exchange took %v against a %v budget", elapsed, budget)
+	}
+	if got := received.Load(); got > 2 {
+		t.Fatalf("server saw %d attempts inside a budget that affords at most 2", got)
+	}
+	if got := probeBudgetExhausted.Value() - before; got != 1 {
+		t.Fatalf("probe.budget_exhausted advanced by %d, want 1", got)
+	}
+}
+
+// TestExchangeBudgetClipsAttemptTimeout pins the other half of the budget
+// arithmetic: the final attempt's read deadline is the REMAINING budget, not
+// the full per-attempt timeout, so the exchange never overruns its contract
+// just because timeout > budget.
+func TestExchangeBudgetClipsAttemptTimeout(t *testing.T) {
+	addr, _ := fakeResponder(t, func(req *airproto.Frame, n int) []*airproto.Frame {
+		return nil
+	})
+	conn := dialServer(t, addr)
+
+	const budget = 150 * time.Millisecond
+	start := time.Now()
+	_, err := exchange(conn, &airproto.Frame{ID: 9, Data: []complex128{1}},
+		10*time.Second, budget, time.Millisecond, 1, rng.New(1))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("exchange succeeded against a silent server")
+	}
+	if elapsed > budget+200*time.Millisecond {
+		t.Fatalf("single attempt waited %v: the %v budget did not clip the 10s timeout", elapsed, budget)
 	}
 }
 
@@ -66,12 +124,12 @@ func TestProbeStatsReadsServerCounters(t *testing.T) {
 
 	// One data request, one republish heal: known counter values.
 	req := &airproto.Frame{ID: 1, Data: testSymbols(d.InputLen(), 1)}
-	if _, err := exchange(conn, req, 5*time.Second, time.Millisecond, 3, rng.New(2)); err != nil {
+	if _, err := exchange(conn, req, 5*time.Second, 0, time.Millisecond, 3, rng.New(2)); err != nil {
 		t.Fatal(err)
 	}
 	srv.heal()
 
-	stats, err := serverStats(conn, 99, 5*time.Second, rng.New(3))
+	stats, err := serverStats(conn, 99, 5*time.Second, 0, rng.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}

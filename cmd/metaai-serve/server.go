@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"math"
 	"net"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/airproto"
 	"repro/internal/checkpoint"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/mobility"
 	"repro/internal/obs"
 	"repro/internal/obs/events"
@@ -109,6 +111,13 @@ type airServer struct {
 	epochSeq      atomic.Uint64 // journal sequence of the current epoch (0 when unjournaled)
 	reqSeq        atomic.Uint64 // per-server request ordinal, the trace-ID tiebreaker
 	healSeq       atomic.Uint64 // per-server heal-episode ordinal for heal traces
+	inflight      atomic.Int64  // requests queued for the worker fleet (the HBQueueDepth gauge)
+
+	// fleetAgent answers the fleet router's heartbeats with this server's
+	// health vector and installs replicated epochs pushed over the wire. It
+	// is always constructed — a server that never joins a fleet simply never
+	// receives a fleet-control frame.
+	fleetAgent *fleet.Agent
 
 	healMu sync.Mutex // serializes heal()/rollback and guards watch
 	// watch, when non-nil, is the post-publication rollback supervisor's
@@ -151,6 +160,7 @@ func newAirServer(cfg serverConfig) *airServer {
 		cfg.logf = func(string, ...interface{}) {}
 	}
 	s := &airServer{cfg: cfg}
+	s.fleetAgent = fleet.NewAgent(s.healthVector, s.applyFleetEpoch)
 	s.cur.Store(&epoch{d: cfg.deployment, sessions: s.newSessions(cfg.deployment)})
 	// The initial deploy's checkpoint-write correlates to the build trace,
 	// which is still the most recently started trace at construction time.
@@ -359,6 +369,67 @@ func (s *airServer) statsFrame(id uint32) *airproto.Frame {
 	return &airproto.Frame{Kind: airproto.KindStats, ID: id, Data: data}
 }
 
+// healthVector supplies the gauges a fleet heartbeat reply carries: the
+// replicated-epoch sequence (the fleet's convergence variable), the local
+// journal epoch, queue pressure, and the serving counters. Every read is an
+// atomic load, so the read loop answers heartbeats without touching a lock.
+func (s *airServer) healthVector() []float64 {
+	hv := make([]float64, airproto.HBVectorLen)
+	hv[airproto.HBFleetSeq] = float64(s.fleetAgent.FleetSeq())
+	hv[airproto.HBEpochSeq] = float64(s.epochSeq.Load())
+	hv[airproto.HBQueueDepth] = float64(s.inflight.Load())
+	hv[airproto.HBServed] = float64(s.served.Load())
+	hv[airproto.HBShed] = float64(s.shed.Load())
+	hv[airproto.HBNacked] = float64(s.nacked.Load())
+	hv[airproto.HBHeals] = float64(s.heals.Load())
+	return hv
+}
+
+// applyFleetEpoch installs one epoch replicated by the fleet coordinator:
+// decode the sealed checkpoint, refuse a dataset mismatch, rebuild the
+// deployment, and — on a canary push — measure prediction agreement against
+// the CURRENT serving deployment on the held-out probes so the coordinator
+// can gate the fleet-wide fan-out on a number this replica actually
+// observed. The publish itself reuses the heal path's machinery (fresh
+// sessions, journal append, publish event) under healMu, and the replicated
+// epoch becomes the new canary reference: the fleet's truth supersedes
+// whatever this replica was deployed with.
+func (s *airServer) applyFleetEpoch(sealed []byte, mode uint8, tid uint32) (float64, error) {
+	ep, err := checkpoint.DecodeEpoch(sealed)
+	if err != nil {
+		return 0, err
+	}
+	if ds := s.cfg.meta.Dataset; ds != "" && ep.Meta.Dataset != "" && ep.Meta.Dataset != ds {
+		return 0, fmt.Errorf("replicated epoch holds dataset %q, serving %q", ep.Meta.Dataset, ds)
+	}
+	nd, err := restoreDeployment(ep)
+	if err != nil {
+		return 0, err
+	}
+	agreement := 1.0
+	if mode == airproto.PushCanary && len(s.cfg.canaryProbes) > 0 {
+		agreement = mobility.Agreement(
+			nd.SessionFromSeed(s.cfg.canarySeed),
+			s.cur.Load().d.SessionFromSeed(s.cfg.canarySeed),
+			s.cfg.canaryProbes)
+	}
+	reason := fleet.ReasonReplicate
+	if mode == airproto.PushRollback {
+		reason = fleet.ReasonRollback
+	}
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	// The replicated epoch supersedes any armed local rollback watch (the
+	// pre-heal margin it captured described a deployment that no longer
+	// serves) and becomes the reference future heal candidates are judged
+	// against.
+	s.watch = nil
+	s.cfg.reference = nd
+	s.publish(nd, reason, trace.Derive(0xf1ee7, uint64(tid)))
+	s.cfg.logf("fleet: %s epoch %d installed (journal seq %d)", reason, tid, s.epochSeq.Load())
+	return agreement, nil
+}
+
 // request is one validated inbound frame awaiting inference.
 type request struct {
 	frame *airproto.Frame
@@ -468,6 +539,22 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 		if frame.IsNack() {
 			continue // never answer a status frame with a status frame
 		}
+		if frame.Kind >= airproto.KindHeartbeat {
+			// Fleet-control frames (router heartbeats, chunked epoch pushes,
+			// join replies) are answered inline: a heartbeat reply is a
+			// handful of atomic loads and a chunk ack is a copy. The one
+			// expensive case — the final chunk's apply — happens once per
+			// fleet publication, and the kernel buffers data frames for the
+			// few milliseconds it takes.
+			if resp, ok := s.fleetAgent.HandleFrame(frame); ok {
+				if out, err := resp.Marshal(); err == nil {
+					if _, err := conn.WriteToUDP(out, from); err != nil {
+						s.cfg.logf("fleet reply to %s: %v", from, err)
+					}
+				}
+			}
+			continue
+		}
 		if frame.Kind == airproto.KindStats {
 			// Counter reads are cheap; answer inline off the read loop.
 			if out, err := s.statsFrame(frame.ID).Marshal(); err == nil {
@@ -498,6 +585,7 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 		select {
 		case reqs <- request{frame: frame, from: from, t: obs.StartTimer(), span: sp}:
 			queueDepth.Add(1)
+			s.inflight.Add(1)
 		default:
 			// Queue full: shed load explicitly. The client distinguishes
 			// this retryable NACK from a malformed-request rejection.
@@ -522,6 +610,7 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 func (s *airServer) worker(conn *net.UDPConn, w int, reqs <-chan request) {
 	for r := range reqs {
 		queueDepth.Add(-1)
+		s.inflight.Add(-1)
 		if s.cfg.preInfer != nil {
 			s.cfg.preInfer()
 		}

@@ -6,7 +6,9 @@
 //
 // Frame layout (little endian):
 //
-//	uint8   kind     KindData, KindNack, KindStats, or KindTrace
+//	uint8   kind     KindData, KindNack, KindStats, KindTrace, or one of
+//	                 the fleet kinds (KindHeartbeat, KindJoin,
+//	                 KindEpochPush, KindEpochAck — see fleet.go)
 //	uint8   code     status code (0 on data frames)
 //	uint32  id       sample/transmission identifier
 //	int32   label    data: ground-truth label for accounting (-1 if unknown)
@@ -49,7 +51,25 @@ const (
 	// lets `metaai-serve -probe -trace <id>` pull a trace over the air when
 	// the HTTP sidecar is unreachable.
 	KindTrace uint8 = 3
+	// KindHeartbeat is the fleet router's liveness probe: an empty request,
+	// answered with the HBVector health gauges (see fleet.go).
+	KindHeartbeat uint8 = 4
+	// KindJoin is a replica's membership announcement to the fleet router,
+	// sent from its serving socket so the source address doubles as the
+	// routing address (see fleet.go).
+	KindJoin uint8 = 5
+	// KindEpochPush carries one chunk of a sealed checkpoint epoch from the
+	// coordinator to a replica (see fleet.go).
+	KindEpochPush uint8 = 6
+	// KindEpochAck acknowledges a push chunk; the completing chunk's ack
+	// carries the apply verdict and canary agreement (see fleet.go).
+	KindEpochAck uint8 = 7
 )
+
+// maxKind is the highest frame kind this build speaks; anything above it is
+// rejected at both Marshal and Unmarshal so unknown kinds never cross the
+// wire silently.
+const maxKind = KindEpochAck
 
 // StatsVector indexes the counters a KindStats response carries in Data.
 const (
@@ -109,7 +129,7 @@ func (f *Frame) Marshal() ([]byte, error) {
 	if len(f.Data) > MaxVector {
 		return nil, fmt.Errorf("airproto: vector length %d exceeds %d", len(f.Data), MaxVector)
 	}
-	if f.Kind > KindTrace {
+	if f.Kind > maxKind {
 		return nil, fmt.Errorf("airproto: unknown frame kind %d", f.Kind)
 	}
 	buf := make([]byte, 0, HeaderLen+8*len(f.Data))
@@ -135,7 +155,7 @@ func Unmarshal(b []byte) (*Frame, error) {
 		ID:    binary.LittleEndian.Uint32(b[2:6]),
 		Label: int32(binary.LittleEndian.Uint32(b[6:10])),
 	}
-	if f.Kind > KindTrace {
+	if f.Kind > maxKind {
 		return nil, fmt.Errorf("airproto: unknown frame kind %d", f.Kind)
 	}
 	n := int(binary.LittleEndian.Uint16(b[10:12]))

@@ -35,7 +35,11 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestRoundTripProperty(t *testing.T) {
-	err := quick.Check(func(id uint32, label int32, raw []float64) bool {
+	// Every kind this build speaks — data, NACK, stats, trace, and the four
+	// fleet kinds — must round-trip its full header (kind, code, ID, label)
+	// and payload bit-exactly through the wire format.
+	err := quick.Check(func(kindSel, code uint8, id uint32, label int32, raw []float64) bool {
+		kind := kindSel % (maxKind + 1)
 		if len(raw) > 200 {
 			raw = raw[:200]
 		}
@@ -47,13 +51,14 @@ func TestRoundTripProperty(t *testing.T) {
 			}
 			data[i] = complex(float64(float32(re)), float64(float32(im)))
 		}
-		f := &Frame{ID: id, Label: label, Data: data}
+		f := &Frame{Kind: kind, Code: code, ID: id, Label: label, Data: data}
 		b, err := f.Marshal()
 		if err != nil {
 			return false
 		}
 		got, err := Unmarshal(b)
-		if err != nil || got.ID != id || got.Label != label || len(got.Data) != len(data) {
+		if err != nil || got.Kind != kind || got.Code != code || got.ID != id ||
+			got.Label != label || len(got.Data) != len(data) {
 			return false
 		}
 		for i := range data {
@@ -110,12 +115,16 @@ func TestNackRoundTrip(t *testing.T) {
 
 func TestRejectsUnknownKind(t *testing.T) {
 	b, _ := (&Frame{ID: 1, Data: []complex128{1}}).Marshal()
-	b[0] = 7
+	b[0] = maxKind + 1
 	if _, err := Unmarshal(b); err == nil {
 		t.Error("expected error for unknown frame kind")
 	}
-	if _, err := (&Frame{Kind: 7}).Marshal(); err == nil {
+	if _, err := (&Frame{Kind: maxKind + 1}).Marshal(); err == nil {
 		t.Error("expected marshal error for unknown frame kind")
+	}
+	b[0] = 0xff
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("expected error for kind 255")
 	}
 }
 
@@ -142,6 +151,16 @@ func fuzzCorpus() [][]byte {
 	trc, _ := TraceRequest(0x8be9ac2c03521f46).Marshal()
 	oversize := append([]byte(nil), data...)
 	oversize[10], oversize[11] = 0xff, 0xff // n lies far past the payload
+	// Fleet control frames: liveness, membership, and both halves of the
+	// chunked epoch-replication exchange.
+	hb, _ := Heartbeat(21).Marshal()
+	hbReply, _ := HeartbeatReply(21, []float64{3, 7, 1, 500, 2, 0, 1}).Marshal()
+	join, _ := Join(22, 5, 9).Marshal()
+	chunkFrame, _ := EpochChunk(23, PushCanary, 1, 3, []byte{0xde, 0xad, 0xbe}, 500, 1000)
+	chunk, _ := chunkFrame.Marshal()
+	chunkCut := chunk[:len(chunk)-5] // chunk cut mid-payload
+	ackChunk, _ := EpochAck(23, 1, AckChunk, 0, 0).Marshal()
+	ackDone, _ := EpochAck(23, 2, AckApplied, 0.97, 6).Marshal()
 	return [][]byte{
 		{},                 // empty datagram
 		{0x00},             // 1-byte runt
@@ -155,6 +174,13 @@ func fuzzCorpus() [][]byte {
 		big,
 		stats,
 		trc,
+		hb,
+		hbReply,
+		join,
+		chunk,
+		chunkCut,
+		ackChunk,
+		ackDone,
 	}
 }
 
@@ -167,7 +193,7 @@ func FuzzUnmarshal(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if fr.Kind > KindTrace {
+		if fr.Kind > maxKind {
 			t.Fatalf("accepted frame with unknown kind %d", fr.Kind)
 		}
 		if len(fr.Data) > MaxVector {

@@ -1,0 +1,198 @@
+package airproto
+
+import "fmt"
+
+// Fleet control frames. The router/coordinator tier (internal/fleet) speaks
+// three more exchanges over the same dumb-datagram protocol the data path
+// uses, so a replica needs exactly one socket for serving, liveness, and
+// replication:
+//
+//   - KindHeartbeat: the router pings each replica; the reply's Data carries
+//     the HBVector health gauges (fleet epoch, local epoch, queue depth, and
+//     the shed/NACK counters the router's failure detector folds into its
+//     suspicion score). An empty request, a small reply, no side effects.
+//
+//   - KindJoin: a replica announces itself to the router from its serving
+//     socket — the datagram's source address IS the address clients get
+//     routed to. Data[0] carries (fleet epoch seq, local journal seq); the
+//     router's reply echoes the frame with Data[0] = (router's current
+//     epoch seq, 0), so a stale replica learns immediately that a catch-up
+//     push is coming.
+//
+//   - KindEpochPush / KindEpochAck: epoch replication. The payload is a
+//     sealed internal/checkpoint epoch — CRC envelope and all, so the wire
+//     format IS the journal format and a replica can journal what it
+//     applied byte-for-byte. Sealed epochs outgrow one datagram, so the
+//     push is chunked: every chunk frame carries (index, total) in Label,
+//     (chunk length, total length) in Data[0], and the chunk bytes packed
+//     two per complex sample behind it (PackBytes — small integers survive
+//     the float32 wire exactly). The replica acks every chunk; the ack for
+//     the final, completing chunk carries the apply verdict and, on a
+//     canary push, the measured prediction agreement in Data[0].
+//
+// Chunks are idempotent and may arrive duplicated or out of order; the
+// transfer ID in the header keys reassembly.
+
+// Push modes carried in a KindEpochPush frame's Code field.
+const (
+	// PushCommit: apply unconditionally after CRC + semantic validation.
+	PushCommit uint8 = 0
+	// PushCanary: measure prediction agreement against the current serving
+	// epoch on the held-out probes, apply, and report the agreement — the
+	// coordinator gates the fleet-wide fan-out on it.
+	PushCanary uint8 = 1
+	// PushRollback: apply an OLDER epoch; the replica journals it with
+	// reason "fleet-rollback" instead of "replicate".
+	PushRollback uint8 = 2
+)
+
+// Ack verdicts carried in a KindEpochAck frame's Code field.
+const (
+	// AckChunk acknowledges receipt of one non-completing chunk.
+	AckChunk uint8 = 0
+	// AckApplied: the transfer completed, decoded, validated, and is now
+	// the replica's serving epoch.
+	AckApplied uint8 = 1
+	// AckRejected: the transfer completed but the replica refused it —
+	// corrupt seal, failed validation, or a deployment that would not
+	// build. The epoch must not be trusted anywhere.
+	AckRejected uint8 = 2
+)
+
+// HBVector indexes the health gauges a KindHeartbeat reply carries in Data
+// (real parts). HBFleetSeq is the coordinator-assigned sequence of the last
+// replicated epoch the replica applied (0 until a push lands) — the fleet's
+// convergence variable; HBEpochSeq is the replica's own journal sequence.
+const (
+	HBFleetSeq = iota
+	HBEpochSeq
+	HBQueueDepth
+	HBServed
+	HBShed
+	HBNacked
+	HBHeals
+	HBVectorLen
+)
+
+// MaxChunkBytes is the largest sealed-epoch slice one push frame can carry:
+// two packed bytes per complex sample, two samples reserved for the
+// (length, total) and (offset) headers.
+const MaxChunkBytes = 2 * (MaxVector - 2)
+
+// Heartbeat builds the router's liveness ping.
+func Heartbeat(id uint32) *Frame {
+	return &Frame{Kind: KindHeartbeat, ID: id}
+}
+
+// HeartbeatReply builds a replica's answer: the HBVector gauges as real
+// parts. Short vectors are zero-padded to HBVectorLen so older replicas
+// stay readable when the vector grows.
+func HeartbeatReply(id uint32, health []float64) *Frame {
+	data := make([]complex128, HBVectorLen)
+	for i := 0; i < len(health) && i < HBVectorLen; i++ {
+		data[i] = complex(health[i], 0)
+	}
+	return &Frame{Kind: KindHeartbeat, ID: id, Data: data}
+}
+
+// HealthVector extracts the HBVector gauges from a heartbeat reply,
+// zero-padding short payloads.
+func (f *Frame) HealthVector() []float64 {
+	out := make([]float64, HBVectorLen)
+	for i := 0; i < len(f.Data) && i < HBVectorLen; i++ {
+		out[i] = real(f.Data[i])
+	}
+	return out
+}
+
+// Join builds a replica's membership announcement: the fleet epoch seq it
+// last applied and its local journal seq, both as exact float64 integers.
+func Join(id uint32, fleetSeq, localSeq uint64) *Frame {
+	return &Frame{Kind: KindJoin, ID: id, Data: []complex128{
+		complex(float64(fleetSeq), float64(localSeq)),
+	}}
+}
+
+// JoinSeqs extracts the (fleet, local) epoch sequences from a join frame or
+// a join reply (where the fleet slot carries the router's current seq).
+func (f *Frame) JoinSeqs() (fleetSeq, localSeq uint64) {
+	if len(f.Data) == 0 {
+		return 0, 0
+	}
+	return uint64(real(f.Data[0])), uint64(imag(f.Data[0]))
+}
+
+// EpochChunk builds one replication chunk: slice index of total, carrying
+// chunk bytes at byte offset into a totalLen-byte sealed epoch. The offset
+// rides its own header sample so reassembly never has to infer a stride —
+// chunks of any size land at their exact position even when duplicated or
+// reordered.
+func EpochChunk(transfer uint32, mode uint8, index, total int, chunk []byte, offset, totalLen int) (*Frame, error) {
+	if len(chunk) > MaxChunkBytes {
+		return nil, fmt.Errorf("airproto: chunk of %d bytes exceeds %d", len(chunk), MaxChunkBytes)
+	}
+	if index < 0 || total < 1 || index >= total || total > 0xffff {
+		return nil, fmt.Errorf("airproto: chunk index %d of %d out of range", index, total)
+	}
+	if offset < 0 || totalLen < 0 || offset+len(chunk) > totalLen {
+		return nil, fmt.Errorf("airproto: chunk [%d, %d) outside %d-byte transfer", offset, offset+len(chunk), totalLen)
+	}
+	packed, _ := PackBytes(chunk)
+	data := make([]complex128, 2+len(packed))
+	data[0] = complex(float64(len(chunk)), float64(totalLen))
+	data[1] = complex(float64(offset), 0)
+	copy(data[2:], packed)
+	return &Frame{
+		Kind:  KindEpochPush,
+		Code:  mode,
+		ID:    transfer,
+		Label: int32(uint32(index)<<16 | uint32(total)),
+		Data:  data,
+	}, nil
+}
+
+// ChunkInfo decodes the (index, total) pair from a push frame's Label.
+func (f *Frame) ChunkInfo() (index, total int) {
+	u := uint32(f.Label)
+	return int(u >> 16), int(u & 0xffff)
+}
+
+// ChunkPayload extracts the chunk bytes, their byte offset, and the
+// transfer's total byte length from a push frame. It returns ok=false for a
+// frame whose headers disagree with its payload — a malformed or truncated
+// chunk that must not enter reassembly.
+func (f *Frame) ChunkPayload() (chunk []byte, offset, totalLen int, ok bool) {
+	if len(f.Data) < 2 {
+		return nil, 0, 0, false
+	}
+	n := int(real(f.Data[0]))
+	totalLen = int(imag(f.Data[0]))
+	offset = int(real(f.Data[1]))
+	if n < 0 || offset < 0 || totalLen < 0 || offset+n > totalLen || n > 2*(len(f.Data)-2) {
+		return nil, 0, 0, false
+	}
+	return UnpackBytes(f.Data[2:], n), offset, totalLen, true
+}
+
+// EpochAck builds a replica's chunk acknowledgement. For the completing
+// chunk, code carries the apply verdict and Data[0] the (agreement,
+// applied fleet seq) pair; intermediate chunks ack with AckChunk and no
+// payload.
+func EpochAck(transfer uint32, index int, code uint8, agreement float64, seq uint64) *Frame {
+	f := &Frame{Kind: KindEpochAck, Code: code, ID: transfer, Label: int32(index)}
+	if code != AckChunk {
+		f.Data = []complex128{complex(agreement, float64(seq))}
+	}
+	return f
+}
+
+// AckInfo extracts the chunk index, canary agreement, and applied fleet
+// sequence from an ack frame (agreement and seq are zero on AckChunk).
+func (f *Frame) AckInfo() (index int, agreement float64, seq uint64) {
+	index = int(f.Label)
+	if len(f.Data) > 0 {
+		agreement = real(f.Data[0])
+		seq = uint64(imag(f.Data[0]))
+	}
+	return index, agreement, seq
+}

@@ -1,0 +1,180 @@
+package airproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	b, err := Heartbeat(42).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindHeartbeat || got.ID != 42 || len(got.Data) != 0 {
+		t.Fatalf("heartbeat lost fields: %+v", got)
+	}
+
+	health := []float64{3, 17, 2, 1234, 5, 1, 2}
+	b, err = HeartbeatReply(42, health).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv := got.HealthVector()
+	if len(hv) != HBVectorLen {
+		t.Fatalf("health vector length %d, want %d", len(hv), HBVectorLen)
+	}
+	for i, v := range health {
+		if hv[i] != v {
+			t.Fatalf("health[%d] = %v, want %v", i, hv[i], v)
+		}
+	}
+	// A short (older-replica) reply zero-pads instead of panicking.
+	short := HeartbeatReply(42, []float64{9})
+	short.Data = short.Data[:1]
+	if hv := short.HealthVector(); hv[HBFleetSeq] != 9 || hv[HBEpochSeq] != 0 {
+		t.Fatalf("short health vector mishandled: %v", hv)
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	b, err := Join(7, 12, 34).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindJoin || got.ID != 7 {
+		t.Fatalf("join lost fields: %+v", got)
+	}
+	fs, ls := got.JoinSeqs()
+	if fs != 12 || ls != 34 {
+		t.Fatalf("join seqs (%d, %d), want (12, 34)", fs, ls)
+	}
+	if fs, ls := (&Frame{Kind: KindJoin}).JoinSeqs(); fs != 0 || ls != 0 {
+		t.Fatalf("empty join decoded to (%d, %d)", fs, ls)
+	}
+}
+
+func TestEpochChunkRoundTrip(t *testing.T) {
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	f, err := EpochChunk(99, PushCanary, 2, 5, payload, 600, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindEpochPush || got.Code != PushCanary || got.ID != 99 {
+		t.Fatalf("chunk lost header: %+v", got)
+	}
+	idx, total := got.ChunkInfo()
+	if idx != 2 || total != 5 {
+		t.Fatalf("chunk info (%d, %d), want (2, 5)", idx, total)
+	}
+	chunk, offset, totalLen, ok := got.ChunkPayload()
+	if !ok {
+		t.Fatal("valid chunk rejected")
+	}
+	if offset != 600 || totalLen != 1500 || !bytes.Equal(chunk, payload) {
+		t.Fatalf("chunk payload corrupted: offset %d, total %d, %d bytes", offset, totalLen, len(chunk))
+	}
+}
+
+func TestEpochChunkOddLength(t *testing.T) {
+	// Odd byte counts pad the final imaginary slot; the length header must
+	// still recover the exact byte string.
+	f, err := EpochChunk(1, PushCommit, 0, 1, []byte{1, 2, 3}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := f.Marshal()
+	got, _ := Unmarshal(b)
+	chunk, offset, totalLen, ok := got.ChunkPayload()
+	if !ok || offset != 0 || totalLen != 3 || !bytes.Equal(chunk, []byte{1, 2, 3}) {
+		t.Fatalf("odd chunk corrupted: %v (offset %d, total %d, ok %v)", chunk, offset, totalLen, ok)
+	}
+}
+
+func TestEpochChunkRejectsMalformed(t *testing.T) {
+	if _, err := EpochChunk(1, PushCommit, 0, 1, make([]byte, MaxChunkBytes+1), 0, MaxChunkBytes+1); err == nil {
+		t.Error("oversized chunk accepted")
+	}
+	if _, err := EpochChunk(1, PushCommit, 3, 3, nil, 0, 0); err == nil {
+		t.Error("out-of-range chunk index accepted")
+	}
+	if _, err := EpochChunk(1, PushCommit, 0, 0x10000, nil, 0, 0); err == nil {
+		t.Error("chunk total beyond the 16-bit label field accepted")
+	}
+	if _, err := EpochChunk(1, PushCommit, 0, 2, []byte{1, 2}, 99, 100); err == nil {
+		t.Error("chunk overrunning the transfer accepted")
+	}
+	// A frame whose length header claims more bytes than its payload holds
+	// must not enter reassembly.
+	f, _ := EpochChunk(1, PushCommit, 0, 2, []byte{1, 2, 3, 4}, 0, 100)
+	f.Data[0] = complex(50, 100) // claims 50 bytes, carries 4
+	if _, _, _, ok := f.ChunkPayload(); ok {
+		t.Error("length-lying chunk accepted")
+	}
+	f.Data[0] = complex(4, 2) // total shorter than the chunk itself
+	if _, _, _, ok := f.ChunkPayload(); ok {
+		t.Error("total-lying chunk accepted")
+	}
+	f.Data[0] = complex(4, 100)
+	f.Data[1] = complex(98, 0) // offset pushes the chunk past the transfer end
+	if _, _, _, ok := f.ChunkPayload(); ok {
+		t.Error("offset-lying chunk accepted")
+	}
+	if _, _, _, ok := (&Frame{Kind: KindEpochPush}).ChunkPayload(); ok {
+		t.Error("headerless chunk accepted")
+	}
+}
+
+func TestEpochAckRoundTrip(t *testing.T) {
+	// Intermediate chunk ack: no payload.
+	b, err := EpochAck(5, 3, AckChunk, 0, 0).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindEpochAck || got.Code != AckChunk || len(got.Data) != 0 {
+		t.Fatalf("chunk ack lost fields: %+v", got)
+	}
+	if idx, _, _ := got.AckInfo(); idx != 3 {
+		t.Fatalf("chunk ack index %d, want 3", idx)
+	}
+
+	// Completing ack: verdict plus (agreement, seq).
+	b, err = EpochAck(5, 4, AckApplied, 0.875, 11).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, agree, seq := got.AckInfo()
+	if got.Code != AckApplied || idx != 4 || agree != 0.875 || seq != 11 {
+		t.Fatalf("final ack decoded to (%d, %v, %d, code %d)", idx, agree, seq, got.Code)
+	}
+}

@@ -92,12 +92,12 @@ func TestKindTraceValidOnWireUnknownKindsStillRejected(t *testing.T) {
 	if _, err := Unmarshal(b); err != nil {
 		t.Fatalf("KindTrace rejected: %v", err)
 	}
-	bad := &Frame{Kind: KindTrace + 1}
+	bad := &Frame{Kind: maxKind + 1}
 	if _, err := bad.Marshal(); err == nil {
-		t.Fatal("kind 4 marshaled")
+		t.Fatalf("kind %d marshaled", maxKind+1)
 	}
-	b[0] = KindTrace + 1
+	b[0] = maxKind + 1
 	if _, err := Unmarshal(b); err == nil {
-		t.Fatal("kind 4 unmarshaled")
+		t.Fatalf("kind %d unmarshaled", maxKind+1)
 	}
 }

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/airproto"
+)
+
+// Journal reasons a replica records when it publishes a fleet-applied
+// epoch. They mark the epoch as replication-born: a coordinator watching
+// that replica's journal must NOT re-publish such epochs (only organic
+// deploys, heals, and local rollbacks replicate), or every push would
+// bounce back through the fleet forever.
+const (
+	ReasonReplicate = "replicate"
+	ReasonRollback  = "fleet-rollback"
+)
+
+// ackCacheSize bounds the per-agent cache of completed-transfer verdicts.
+// A retransmitted chunk for a transfer that already completed must be
+// answered with the SAME final ack (the coordinator may have missed it),
+// not re-applied and not re-reassembled.
+const ackCacheSize = 8
+
+// ApplyFunc installs one replicated epoch on the replica. sealed is the
+// complete sealed checkpoint exactly as the coordinator journaled it; mode
+// is the airproto push mode (PushCommit, PushCanary, PushRollback); tid is
+// the coordinator-assigned transfer/fleet sequence. It returns the measured
+// canary agreement (1 when the push is not a canary or no probes are
+// configured) and an error when the epoch must be refused — corrupt seal,
+// failed validation, wrong dataset, or a deployment that will not build.
+type ApplyFunc func(sealed []byte, mode uint8, tid uint32) (agreement float64, err error)
+
+// Agent is the replica-side half of the fleet protocol: it answers the
+// router's heartbeats with the replica's health vector and receives chunked
+// epoch pushes, reassembling, applying, and acking them. It is wired into
+// the serving read loop — one socket carries data, liveness, and
+// replication.
+type Agent struct {
+	health func() []float64
+	apply  ApplyFunc
+
+	fleetSeq atomic.Uint64 // last transfer applied; 0 until a push lands
+
+	mu       sync.Mutex
+	reasm    *Reassembler
+	acks     map[uint32]*airproto.Frame // final ack per completed transfer
+	ackOrder []uint32
+}
+
+// NewAgent builds a replica agent. health supplies the HBVector gauges for
+// heartbeat replies; apply installs completed epoch transfers (nil refuses
+// every push — a heartbeat-only agent).
+func NewAgent(health func() []float64, apply ApplyFunc) *Agent {
+	if health == nil {
+		health = func() []float64 { return nil }
+	}
+	return &Agent{health: health, apply: apply, reasm: NewReassembler(), acks: make(map[uint32]*airproto.Frame)}
+}
+
+// FleetSeq returns the coordinator-assigned sequence of the last epoch this
+// agent applied — the fleet's convergence variable, reported in every
+// heartbeat reply.
+func (a *Agent) FleetSeq() uint64 { return a.fleetSeq.Load() }
+
+// HandleFrame processes one fleet-control frame and returns the reply to
+// send, or ok=false when the frame needs no answer (join replies and other
+// router-side frames that reached a replica).
+func (a *Agent) HandleFrame(f *airproto.Frame) (*airproto.Frame, bool) {
+	switch f.Kind {
+	case airproto.KindHeartbeat:
+		if len(f.Data) > 0 {
+			return nil, false // a reply, not a ping; not ours to answer
+		}
+		return airproto.HeartbeatReply(f.ID, a.health()), true
+	case airproto.KindEpochPush:
+		return a.handlePush(f), true
+	}
+	// KindJoin replies (and any stray KindEpochAck) land here: consumed
+	// silently so a replica never answers a reply with a reply.
+	return nil, false
+}
+
+func (a *Agent) handlePush(f *airproto.Frame) *airproto.Frame {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cached, ok := a.acks[f.ID]; ok {
+		// The transfer already completed; whatever chunk this is, the
+		// coordinator needs the verdict again.
+		return cached
+	}
+	idx, _ := f.ChunkInfo()
+	sealed, mode, done, err := a.reasm.Add(f)
+	if err != nil {
+		return a.finishTransfer(f.ID, idx, airproto.AckRejected, 0)
+	}
+	if !done {
+		return airproto.EpochAck(f.ID, idx, airproto.AckChunk, 0, 0)
+	}
+	if a.apply == nil {
+		return a.finishTransfer(f.ID, idx, airproto.AckRejected, 0)
+	}
+	agreement, err := a.apply(sealed, mode, f.ID)
+	if err != nil {
+		return a.finishTransfer(f.ID, idx, airproto.AckRejected, agreement)
+	}
+	a.fleetSeq.Store(uint64(f.ID))
+	return a.finishTransfer(f.ID, idx, airproto.AckApplied, agreement)
+}
+
+// finishTransfer builds, caches, and returns the completing ack for a
+// transfer. Callers hold mu.
+func (a *Agent) finishTransfer(tid uint32, idx int, code uint8, agreement float64) *airproto.Frame {
+	ack := airproto.EpochAck(tid, idx, code, agreement, a.fleetSeq.Load())
+	if len(a.ackOrder) >= ackCacheSize {
+		delete(a.acks, a.ackOrder[0])
+		a.ackOrder = a.ackOrder[1:]
+	}
+	a.acks[tid] = ack
+	a.ackOrder = append(a.ackOrder, tid)
+	return ack
+}

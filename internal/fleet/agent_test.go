@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/airproto"
+)
+
+func TestAgentAnswersHeartbeat(t *testing.T) {
+	a := NewAgent(func() []float64 { return []float64{5, 9, 1} }, nil)
+	resp, ok := a.HandleFrame(airproto.Heartbeat(77))
+	if !ok || resp.Kind != airproto.KindHeartbeat || resp.ID != 77 {
+		t.Fatalf("heartbeat answered with %+v (ok=%v)", resp, ok)
+	}
+	hv := resp.HealthVector()
+	if hv[airproto.HBFleetSeq] != 5 || hv[airproto.HBEpochSeq] != 9 {
+		t.Fatalf("health vector %v", hv)
+	}
+	// A heartbeat REPLY (non-empty data) is not ours to answer: replying
+	// would ping-pong between two replicas forever.
+	if _, ok := a.HandleFrame(resp); ok {
+		t.Fatal("agent answered a heartbeat reply")
+	}
+}
+
+func TestAgentAppliesChunkedPushOnce(t *testing.T) {
+	sealed := testSealed(4_000, 9)
+	applies := 0
+	a := NewAgent(nil, func(got []byte, mode uint8, tid uint32) (float64, error) {
+		applies++
+		if !bytes.Equal(got, sealed) {
+			t.Fatal("apply saw different bytes")
+		}
+		if mode != airproto.PushCanary || tid != 21 {
+			t.Fatalf("apply(mode=%d, tid=%d)", mode, tid)
+		}
+		return 0.9375, nil
+	})
+	frames, err := Chunks(21, airproto.PushCanary, sealed, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final *airproto.Frame
+	for i, f := range frames {
+		ack, ok := a.HandleFrame(f)
+		if !ok {
+			t.Fatalf("chunk %d unanswered", i)
+		}
+		if i < len(frames)-1 {
+			if ack.Code != airproto.AckChunk {
+				t.Fatalf("chunk %d acked with code %d", i, ack.Code)
+			}
+			if idx, _, _ := ack.AckInfo(); idx != i {
+				t.Fatalf("chunk %d acked as index %d", i, idx)
+			}
+		} else {
+			final = ack
+		}
+	}
+	if final.Code != airproto.AckApplied {
+		t.Fatalf("final ack code %d", final.Code)
+	}
+	if _, agree, seq := final.AckInfo(); agree != 0.9375 || seq != 21 {
+		t.Fatalf("final ack (agreement %v, seq %d)", agree, seq)
+	}
+	if applies != 1 {
+		t.Fatalf("apply ran %d times", applies)
+	}
+	if a.FleetSeq() != 21 {
+		t.Fatalf("fleet seq %d after apply", a.FleetSeq())
+	}
+
+	// A retransmitted chunk after completion — ANY chunk of the transfer —
+	// returns the cached final verdict without re-applying.
+	for _, f := range []*airproto.Frame{frames[0], frames[len(frames)-1]} {
+		ack, ok := a.HandleFrame(f)
+		if !ok || ack.Code != airproto.AckApplied {
+			t.Fatalf("retransmit answered with %+v", ack)
+		}
+	}
+	if applies != 1 {
+		t.Fatalf("retransmit re-applied (%d applies)", applies)
+	}
+}
+
+func TestAgentRejectsFailingApply(t *testing.T) {
+	sealed := testSealed(1_000, 10)
+	a := NewAgent(nil, func([]byte, uint8, uint32) (float64, error) {
+		return 0.25, fmt.Errorf("bad epoch")
+	})
+	frames, _ := Chunks(5, airproto.PushCommit, sealed, 600)
+	var final *airproto.Frame
+	for _, f := range frames {
+		final, _ = a.HandleFrame(f)
+	}
+	if final.Code != airproto.AckRejected {
+		t.Fatalf("failing apply acked with code %d", final.Code)
+	}
+	if a.FleetSeq() != 0 {
+		t.Fatal("rejected transfer advanced the fleet seq")
+	}
+	// The rejection is cached too.
+	ack, _ := a.HandleFrame(frames[0])
+	if ack.Code != airproto.AckRejected {
+		t.Fatalf("cached rejection lost: code %d", ack.Code)
+	}
+}
+
+func TestAgentNilApplyRejects(t *testing.T) {
+	frames, _ := Chunks(3, airproto.PushCommit, testSealed(100, 11), 600)
+	a := NewAgent(nil, nil)
+	ack, ok := a.HandleFrame(frames[0])
+	if !ok || ack.Code != airproto.AckRejected {
+		t.Fatalf("heartbeat-only agent answered a push with %+v", ack)
+	}
+}
+
+func TestAgentIgnoresJoinReplies(t *testing.T) {
+	a := NewAgent(nil, nil)
+	if _, ok := a.HandleFrame(airproto.Join(1, 2, 3)); ok {
+		t.Fatal("agent answered a join frame")
+	}
+}

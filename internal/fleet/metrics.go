@@ -1,0 +1,38 @@
+package fleet
+
+import "repro/internal/obs"
+
+// Fleet-tier metrics. The router aggregates these process-wide for the obs
+// sidecar; per-replica truth stays on each replica's own counters:
+//
+//	fleet.replicas.live     members the detector currently trusts
+//	fleet.replicas.suspect  members under jittered exponential probing
+//	fleet.replicas.evicted  members removed after exhausting their probes
+//	fleet.joins             join announcements accepted (first contact or rejoin)
+//	fleet.forwards          client requests routed to a replica
+//	fleet.failovers         forwards retried on another replica after a failure
+//	fleet.hedged_wins       forwards answered by a hedge, not the first pick
+//	fleet.shed              requests NACKed at the router (no live replica or
+//	                        the inflight cap, which scales with live count)
+//	fleet.publishes         epoch publications fanned out fleet-wide
+//	fleet.publish.chunks    replication chunk frames sent (retries included)
+//	fleet.rollbacks         fleet-wide rollbacks to the prior epoch
+//	fleet.canary_rejects    publications stopped at the canary gate
+//	fleet.catchups          anti-entropy pushes to stale or rejoined replicas
+//	fleet.forward.seconds   client-observed forward latency through the router
+var (
+	liveGauge      = obs.NewGauge("fleet.replicas.live")
+	suspectGauge   = obs.NewGauge("fleet.replicas.suspect")
+	evictedCount   = obs.NewCounter("fleet.replicas.evicted")
+	joinCount      = obs.NewCounter("fleet.joins")
+	forwardCount   = obs.NewCounter("fleet.forwards")
+	failoverCount  = obs.NewCounter("fleet.failovers")
+	hedgedWinCount = obs.NewCounter("fleet.hedged_wins")
+	shedCount      = obs.NewCounter("fleet.shed")
+	publishCount   = obs.NewCounter("fleet.publishes")
+	chunkCount     = obs.NewCounter("fleet.publish.chunks")
+	rollbackCount  = obs.NewCounter("fleet.rollbacks")
+	canaryRejects  = obs.NewCounter("fleet.canary_rejects")
+	catchupCount   = obs.NewCounter("fleet.catchups")
+	forwardSeconds = obs.NewLatencyHistogram("fleet.forward.seconds")
+)

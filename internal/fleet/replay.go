@@ -1,0 +1,307 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/airproto"
+	"repro/internal/rng"
+)
+
+// Replay drives one deterministic, socket-free fleet episode through the
+// same components — and the same fleet.* obs series — the live router uses:
+// consistent-hash routing over a Ring, the Alive→Suspect→Evicted Detector on
+// a fake clock, and chunked epoch replication through real replica Agents.
+// The serve bench replays an episode so the fleet counters land in
+// BENCH_serve.json with reproducible values; every decision here is a pure
+// function of the seed, which is exactly what the observability-determinism
+// gate asserts.
+//
+// The episode covers the full failure repertoire: joins, steady routing,
+// a committed replication, a replica death (data-path suspicion, heartbeat
+// probing, eviction, failover routing around the corpse), a sabotaged epoch
+// stopped at the canary with a fleet-wide rollback, and the dead replica
+// rejoining stale and being caught up by anti-entropy.
+
+// ReplayConfig sizes a replay episode. Zero values take the defaults noted
+// on each field.
+type ReplayConfig struct {
+	Replicas   int    // fleet size (default 3)
+	Requests   int    // routed requests per load burst (default 96)
+	ChunkBytes int    // replication chunk payload (default 512)
+	Seed       uint64 // drives keys, latencies, and detector jitter (default 1)
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.Replicas < 2 {
+		c.Replicas = 3
+	}
+	if c.Requests <= 0 {
+		c.Requests = 96
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 512
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ReplayStats tallies what the episode did — the same quantities the
+// fleet.* counters record, returned so callers can report them without
+// reading the metrics registry.
+type ReplayStats struct {
+	Forwards      int
+	Failovers     int
+	HedgedWins    int
+	Evicted       int
+	Publishes     int
+	Chunks        int
+	CanaryRejects int
+	Rollbacks     int
+	Catchups      int
+	FleetSeq      uint64 // converged sequence across all replicas at the end
+}
+
+// replayReplica is one simulated fleet member: a real Agent whose apply
+// reads the epoch's agreement straight out of the sealed payload (the
+// replay's stand-in for measuring held-out prediction agreement).
+type replayReplica struct {
+	name  string
+	agent *Agent
+	alive bool
+}
+
+// replayCanaryFrac is the gate a replayed canary must clear, matching the
+// production default.
+const replayCanaryFrac = 0.8
+
+// replayEpoch builds a synthetic sealed payload for the replay: size bytes
+// of seeded noise with the canary agreement encoded in the first byte
+// (255 = perfect agreement, so a "sabotaged" epoch is simply one whose
+// first byte reports a sub-gate value).
+func replayEpoch(src *rng.Source, size int, agreement float64) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(src.IntN(256))
+	}
+	b[0] = byte(agreement * 255)
+	return b
+}
+
+// Replay runs one episode and returns its tallies. The error path only
+// fires on internal inconsistency (a transfer that never completes, a fleet
+// that fails to converge) — any error is a bug in the fleet tier, not a
+// simulated failure.
+func Replay(cfg ReplayConfig) (ReplayStats, error) {
+	cfg = cfg.withDefaults()
+	var st ReplayStats
+	src := rng.New(cfg.Seed)
+	now := time.Unix(1_726_000_000, 0) // fake clock: fixed origin, stepped below
+
+	det := NewDetector(DetectorConfig{
+		SuspectMisses: 2,
+		ProbeBase:     50 * time.Millisecond,
+		ProbeMax:      400 * time.Millisecond,
+		ProbeLimit:    3,
+		NackWindow:    8,
+	}, src.Split())
+	ring := NewRing()
+
+	reps := make([]*replayReplica, cfg.Replicas)
+	for i := range reps {
+		r := &replayReplica{name: fmt.Sprintf("replay-%d", i), alive: true}
+		r.agent = NewAgent(nil, func(sealed []byte, mode uint8, tid uint32) (float64, error) {
+			if mode == airproto.PushCanary {
+				return float64(sealed[0]) / 255, nil
+			}
+			return 1, nil
+		})
+		ring.Add(r.name)
+		det.Revive(r.name)
+		joinCount.Inc()
+		reps[i] = r
+	}
+	byName := make(map[string]*replayReplica, len(reps))
+	for _, r := range reps {
+		byName[r.name] = r
+	}
+	setGauges := func() {
+		alive, suspect, _ := det.Counts()
+		liveGauge.Set(float64(alive))
+		suspectGauge.Set(float64(suspect))
+	}
+	setGauges()
+
+	// route sends one burst of requests through the ring exactly as the
+	// router would: forward to the primary, report the outcome to the
+	// detector, fail over in ring order around dead members, and count a
+	// hedged win when the primary's latency draw crosses the hedge line.
+	route := func(n int) {
+		for i := 0; i < n; i++ {
+			key := src.Uint64()
+			for _, name := range ring.Route(key, 2) {
+				lat := 150e-6 + 300e-6*src.Float64()
+				if r := byName[name]; !r.alive {
+					det.ReportForward(name, true, now)
+					failoverCount.Inc()
+					st.Failovers++
+					continue
+				}
+				det.ReportForward(name, false, now)
+				forwardCount.Inc()
+				forwardSeconds.Observe(lat)
+				st.Forwards++
+				if lat > 420e-6 { // the hedge fired and the hedge answered first
+					hedgedWinCount.Inc()
+					st.HedgedWins++
+				}
+				break
+			}
+			now = now.Add(time.Millisecond)
+		}
+	}
+
+	// push streams one chunked transfer into a replica agent, counting every
+	// chunk frame like the coordinator's sender does, and returns the
+	// completing ack.
+	push := func(r *replayReplica, tid uint32, sealed []byte, mode uint8) (*airproto.Frame, error) {
+		frames, err := Chunks(tid, mode, sealed, cfg.ChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		for _, fr := range frames {
+			chunkCount.Inc()
+			st.Chunks++
+			ack, ok := r.agent.HandleFrame(fr)
+			if !ok || ack == nil {
+				return nil, fmt.Errorf("fleet replay: %s ignored chunk of transfer %d", r.name, tid)
+			}
+			if ack.Code != airproto.AckChunk {
+				return ack, nil
+			}
+		}
+		return nil, fmt.Errorf("fleet replay: transfer %d to %s fully acked but never completed", tid, r.name)
+	}
+
+	liveOrder := func(key uint64) []*replayReplica {
+		var order []*replayReplica
+		for _, name := range ring.Route(key, len(reps)) {
+			if r := byName[name]; r.alive {
+				order = append(order, r)
+			}
+		}
+		return order
+	}
+
+	// publish replicates one sealed epoch exactly as Router.Publish does:
+	// canary first, gate on its reported agreement, then fan out; a rejection
+	// rolls every live replica back to the prior epoch under a fresh
+	// sequence.
+	var pubSeq uint32
+	var current []byte
+	publish := func(sealed []byte) error {
+		pubSeq++
+		tid := pubSeq
+		order := liveOrder(uint64(tid))
+		if len(order) == 0 {
+			return fmt.Errorf("fleet replay: no live replicas")
+		}
+		publishCount.Inc()
+		st.Publishes++
+		ack, err := push(order[0], tid, sealed, airproto.PushCanary)
+		if err != nil {
+			return err
+		}
+		_, agreement, _ := ack.AckInfo()
+		if ack.Code != airproto.AckApplied || agreement < replayCanaryFrac {
+			canaryRejects.Inc()
+			st.CanaryRejects++
+			if current != nil && ack.Code == airproto.AckApplied {
+				pubSeq++
+				rollbackCount.Inc()
+				st.Rollbacks++
+				for _, r := range liveOrder(uint64(pubSeq)) {
+					if _, err := push(r, pubSeq, current, airproto.PushRollback); err != nil {
+						return err
+					}
+				}
+			}
+			return nil // the rejection is the episode's point, not an error
+		}
+		for _, r := range order[1:] {
+			if _, err := push(r, tid, sealed, airproto.PushCommit); err != nil {
+				return err
+			}
+		}
+		current = sealed
+		return nil
+	}
+
+	// Steady state: route, then commit a healthy epoch fleet-wide.
+	route(cfg.Requests)
+	good := replayEpoch(src.Split(), 4*cfg.ChunkBytes+37, 1.0)
+	if err := publish(good); err != nil {
+		return st, err
+	}
+
+	// Kill one replica mid-episode. The load keeps flowing — its share fails
+	// over — while missed heartbeats walk it Alive→Suspect→Evicted on the
+	// fake clock's jittered probe schedule.
+	victim := reps[len(reps)-1]
+	victim.alive = false
+	route(cfg.Requests)
+	for det.State(victim.name) != Evicted {
+		for _, r := range reps {
+			if !det.ShouldProbe(r.name, now) {
+				continue
+			}
+			if !r.alive {
+				det.Observe(r.name, false, now)
+				continue
+			}
+			hb, ok := r.agent.HandleFrame(airproto.Heartbeat(uint32(st.Forwards + 1)))
+			det.Observe(r.name, ok && hb != nil, now)
+		}
+		now = now.Add(25 * time.Millisecond)
+	}
+	ring.Remove(victim.name)
+	evictedCount.Inc()
+	st.Evicted++
+	setGauges()
+
+	// A sabotaged epoch: the canary measures sub-gate agreement, the publish
+	// stops there, and the survivors roll back to the committed epoch under a
+	// fresh fleet sequence.
+	bad := replayEpoch(src.Split(), 3*cfg.ChunkBytes, 0.25)
+	if err := publish(bad); err != nil {
+		return st, err
+	}
+
+	// The corpse rejoins stale and anti-entropy catches it up to the fleet's
+	// current sequence.
+	victim.alive = true
+	ring.Add(victim.name)
+	det.Revive(victim.name)
+	joinCount.Inc()
+	if victim.agent.FleetSeq() != uint64(pubSeq) {
+		catchupCount.Inc()
+		st.Catchups++
+		if _, err := push(victim, pubSeq, current, airproto.PushCommit); err != nil {
+			return st, err
+		}
+	}
+	setGauges()
+	route(cfg.Requests)
+
+	// Every replica must hold the same fleet sequence — the same convergence
+	// invariant the live fleet bench asserts.
+	st.FleetSeq = uint64(pubSeq)
+	for _, r := range reps {
+		if got := r.agent.FleetSeq(); got != st.FleetSeq {
+			return st, fmt.Errorf("fleet replay: %s at seq %d, fleet at %d", r.name, got, st.FleetSeq)
+		}
+	}
+	return st, nil
+}

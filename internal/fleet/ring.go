@@ -1,0 +1,119 @@
+package fleet
+
+import "sort"
+
+// ringVnodes is how many points each member contributes to the hash ring.
+// 64 keeps the per-member load spread within a few percent of uniform for
+// the fleet sizes this tier targets (single digits to tens of replicas).
+const ringVnodes = 64
+
+// Ring is a consistent-hash ring over member names. Routing a key walks the
+// ring clockwise from the key's position and collects distinct members in
+// ring order — the natural failover sequence: when the primary for a key
+// dies, its traffic lands on the next member, and every other key's
+// placement is undisturbed.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members map[string]struct{}
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+func NewRing() *Ring {
+	return &Ring{members: make(map[string]struct{})}
+}
+
+// mix64 is SplitMix64's finalizer — a cheap, well-distributed 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashString is FNV-1a, inlined to keep the ring dependency-free.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Add inserts a member's vnodes; re-adding is a no-op.
+func (r *Ring) Add(member string) {
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	base := hashString(member)
+	for v := 0; v < ringVnodes; v++ {
+		r.points = append(r.points, ringPoint{hash: mix64(base + uint64(v)*0x9e3779b97f4a7c15), member: member})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a member and all its vnodes.
+func (r *Ring) Remove(member string) {
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports membership.
+func (r *Ring) Has(member string) bool {
+	_, ok := r.members[member]
+	return ok
+}
+
+// Members returns the member names in stable (sorted) order.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Route returns up to n distinct members in ring order starting at key's
+// position — the preference list for a request: index 0 is the primary,
+// the rest are failover targets.
+func (r *Ring) Route(key uint64, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := mix64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.member]; dup {
+			continue
+		}
+		seen[p.member] = struct{}{}
+		out = append(out, p.member)
+	}
+	return out
+}

@@ -1,0 +1,649 @@
+// Package fleet is the router/coordinator tier in front of N metaai-serve
+// replicas: one address clients talk to, consistent-hash routing with
+// failover and bounded hedging across the replica set, heartbeat-driven
+// failure detection (Alive → Suspect → Evicted, with jittered exponential
+// probing before eviction), and chunked epoch replication with a fleet-wide
+// canary gate and automatic rollback. The fleet speaks the same airproto
+// datagrams the data path does — a replica needs exactly one socket for
+// serving, liveness, and replication.
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/airproto"
+	"repro/internal/obs"
+	"repro/internal/obs/events"
+	"repro/internal/rng"
+)
+
+// Replica names one seed member of the fleet.
+type Replica struct {
+	Name string // display name; defaults to Addr
+	Addr string // UDP host:port of the replica's serving socket
+}
+
+// Config assembles a Router.
+type Config struct {
+	// Replicas is the seed membership; replicas can also announce
+	// themselves later with KindJoin frames.
+	Replicas []Replica
+	// HeartbeatEvery is the liveness probe cadence (default 250ms);
+	// HeartbeatTimeout is how long one probe waits (default 200ms).
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	// Detector tunes the failure detector's suspicion thresholds.
+	Detector DetectorConfig
+	// ForwardTimeout bounds one client request end to end through all
+	// failover attempts (default 3s). HedgeAfter launches the next
+	// candidate when the current one has not answered (default 150ms), and
+	// MaxAttempts caps the distinct replicas tried (default 3).
+	ForwardTimeout time.Duration
+	HedgeAfter     time.Duration
+	MaxAttempts    int
+	// InflightPerReplica scales the router's load-shedding cap: at most
+	// InflightPerReplica × live-replica-count forwards run at once, so a
+	// shrinking fleet sheds load instead of queueing it (default 64).
+	InflightPerReplica int
+	// ChunkBytes sizes replication chunks (default DefaultChunkBytes);
+	// PublishTimeout is the per-chunk ack wait and PublishRetries the
+	// per-chunk send attempts (defaults 500ms / 3).
+	ChunkBytes     int
+	PublishTimeout time.Duration
+	PublishRetries int
+	// CanaryFrac is the minimum prediction agreement the canary replica
+	// must report before an epoch fans out fleet-wide (default 0.8).
+	CanaryFrac float64
+	// Seed drives the detector's probe jitter.
+	Seed uint64
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 200 * time.Millisecond
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 3 * time.Second
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 150 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.InflightPerReplica <= 0 {
+		c.InflightPerReplica = 64
+	}
+	if c.ChunkBytes <= 0 || c.ChunkBytes > airproto.MaxChunkBytes {
+		c.ChunkBytes = DefaultChunkBytes
+	}
+	if c.PublishTimeout <= 0 {
+		c.PublishTimeout = 500 * time.Millisecond
+	}
+	if c.PublishRetries <= 0 {
+		c.PublishRetries = 3
+	}
+	if c.CanaryFrac <= 0 || c.CanaryFrac > 1 {
+		c.CanaryFrac = 0.8
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// member is the router's record of one replica.
+type member struct {
+	name       string
+	addr       *net.UDPAddr
+	fleetSeq   atomic.Uint64 // last replicated epoch the replica reported
+	catchingUp atomic.Bool   // an anti-entropy push is already in flight
+}
+
+// Router fronts the fleet: it routes client frames across the replicas by
+// consistent hash with failover and hedging, heartbeats every member, and
+// replicates epochs with a canary gate (see Publish).
+type Router struct {
+	cfg Config
+	det *Detector
+	up  *net.UDPConn // upstream socket: heartbeats + forwarded requests
+
+	mu         sync.Mutex
+	ring       *Ring
+	members    map[string]*member
+	current    []byte // sealed epoch the fleet converges on (nil before the first publish)
+	currentTid uint32
+
+	pubMu  sync.Mutex // one publication (or fleet rollback) at a time
+	pubSeq atomic.Uint32
+
+	nextID atomic.Uint32
+	pendMu sync.Mutex
+	pend   map[uint32]chan *airproto.Frame
+
+	inflight  atomic.Int64
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewRouter resolves the seed replicas, binds the upstream socket, and
+// starts the heartbeat and reply-dispatch loops.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:     cfg,
+		det:     NewDetector(cfg.Detector, rng.New(cfg.Seed^0xf1ee7)),
+		ring:    NewRing(),
+		members: make(map[string]*member),
+		pend:    make(map[uint32]chan *airproto.Frame),
+		stop:    make(chan struct{}),
+	}
+	for _, rep := range cfg.Replicas {
+		addr, err := net.ResolveUDPAddr("udp", rep.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: replica %q: %w", rep.Addr, err)
+		}
+		name := rep.Name
+		if name == "" {
+			name = addr.String()
+		}
+		r.members[name] = &member{name: name, addr: addr}
+		r.ring.Add(name)
+	}
+	up, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	r.up = up
+	r.wg.Add(2)
+	go r.upstreamLoop()
+	go r.heartbeatLoop()
+	return r, nil
+}
+
+// Close stops the heartbeat loop and the upstream socket. The client-facing
+// connection passed to Serve belongs to the caller.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		r.up.Close()
+	})
+	r.wg.Wait()
+}
+
+// Members returns the current membership names in stable order.
+func (r *Router) Members() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.members))
+	for name := range r.members {
+		out = append(out, name)
+	}
+	return out
+}
+
+// CurrentTid returns the fleet sequence of the last committed publication
+// (0 before the first).
+func (r *Router) CurrentTid() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.currentTid
+}
+
+// MemberFleetSeq returns the last replicated-epoch sequence a member
+// reported via heartbeat or join (ok=false for an unknown member).
+func (r *Router) MemberFleetSeq(name string) (uint64, bool) {
+	r.mu.Lock()
+	m := r.members[name]
+	r.mu.Unlock()
+	if m == nil {
+		return 0, false
+	}
+	return m.fleetSeq.Load(), true
+}
+
+// await registers a pending reply slot for frame id.
+func (r *Router) await(id uint32) chan *airproto.Frame {
+	ch := make(chan *airproto.Frame, 4)
+	r.pendMu.Lock()
+	r.pend[id] = ch
+	r.pendMu.Unlock()
+	return ch
+}
+
+func (r *Router) settle(id uint32) {
+	r.pendMu.Lock()
+	delete(r.pend, id)
+	r.pendMu.Unlock()
+}
+
+// newID returns a fresh nonzero upstream frame ID. Zero is reserved: a
+// replica's unattributable bad-frame NACK carries ID 0 and must never match
+// a pending exchange.
+func (r *Router) newID() uint32 {
+	for {
+		if id := r.nextID.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// upstreamLoop dispatches every replica reply to its pending exchange by
+// frame ID — the reverse half of the router's NAT: replies come back on the
+// shared upstream socket and are matched to whichever forward or heartbeat
+// sent them.
+func (r *Router) upstreamLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, _, err := r.up.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		f, err := airproto.Unmarshal(buf[:n])
+		if err != nil || f.ID == 0 {
+			continue
+		}
+		r.pendMu.Lock()
+		ch := r.pend[f.ID]
+		r.pendMu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- f:
+			default:
+			}
+		}
+	}
+}
+
+// heartbeatLoop pings every member on the configured cadence. Alive members
+// are probed every tick; Suspect members only when their jittered
+// exponential backoff says so (hammering a struggling replica helps
+// nobody); Evicted members not at all — only a join resurrects them.
+func (r *Router) heartbeatLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			now := time.Now()
+			for _, m := range r.snapshotMembers() {
+				if !r.det.ShouldProbe(m.name, now) {
+					continue
+				}
+				r.wg.Add(1)
+				go func(m *member) {
+					defer r.wg.Done()
+					r.heartbeat(m)
+				}(m)
+			}
+			alive, suspect, _ := r.det.Counts()
+			liveGauge.Set(float64(alive))
+			suspectGauge.Set(float64(suspect))
+		}
+	}
+}
+
+func (r *Router) snapshotMembers() []*member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	return out
+}
+
+// heartbeat runs one liveness exchange with a member and feeds the outcome
+// to the detector. A live reply also carries the member's replicated-epoch
+// sequence, which drives anti-entropy: a stale member gets a catch-up push.
+func (r *Router) heartbeat(m *member) {
+	id := r.newID()
+	ch := r.await(id)
+	defer r.settle(id)
+	out, err := airproto.Heartbeat(id).Marshal()
+	if err != nil {
+		return
+	}
+	if _, err := r.up.WriteToUDP(out, m.addr); err != nil {
+		r.observeMember(m, false)
+		return
+	}
+	timer := time.NewTimer(r.cfg.HeartbeatTimeout)
+	defer timer.Stop()
+	select {
+	case f := <-ch:
+		if f.Kind == airproto.KindHeartbeat && len(f.Data) > 0 {
+			hv := f.HealthVector()
+			m.fleetSeq.Store(uint64(hv[airproto.HBFleetSeq]))
+		}
+		r.observeMember(m, true)
+		r.maybeCatchUp(m)
+	case <-timer.C:
+		r.observeMember(m, false)
+	case <-r.stop:
+	}
+}
+
+// observeMember feeds one heartbeat outcome to the detector and reacts to
+// the eviction edge: the member leaves the ring (its keys redistribute) and
+// the event journal records the death.
+func (r *Router) observeMember(m *member, ok bool) {
+	prev := r.det.State(m.name)
+	st := r.det.Observe(m.name, ok, time.Now())
+	if st == prev {
+		return
+	}
+	if st == Evicted {
+		r.evict(m, "missed heartbeats and all probes")
+	} else if prev == Evicted || (prev == Suspect && st == Alive) {
+		r.mu.Lock()
+		r.ring.Add(m.name)
+		r.mu.Unlock()
+		r.cfg.Logf("fleet: replica %s recovered (%s -> %s)", m.name, prev, st)
+	}
+}
+
+// evict removes a member from the routing ring (the record stays, so a
+// rejoin is cheap). Idempotent.
+func (r *Router) evict(m *member, why string) {
+	r.mu.Lock()
+	had := r.ring.Has(m.name)
+	r.ring.Remove(m.name)
+	r.mu.Unlock()
+	r.det.Evict(m.name)
+	if !had {
+		return
+	}
+	evictedCount.Inc()
+	r.cfg.Logf("fleet: evicted replica %s: %s", m.name, why)
+	events.Default().Emit(events.FleetMember, "replica evicted",
+		events.Str("member", m.name),
+		events.Str("why", why))
+}
+
+// maybeCatchUp launches an asynchronous anti-entropy push when the member
+// reports an older replicated epoch than the fleet's current one. One
+// catch-up per member at a time; the member's next heartbeat reply shows
+// whether it landed.
+func (r *Router) maybeCatchUp(m *member) {
+	r.mu.Lock()
+	cur, tid := r.current, r.currentTid
+	r.mu.Unlock()
+	if cur == nil || m.fleetSeq.Load() >= uint64(tid) {
+		return
+	}
+	if !m.catchingUp.CompareAndSwap(false, true) {
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer m.catchingUp.Store(false)
+		catchupCount.Inc()
+		ack, err := r.pushEpoch(m, tid, cur, airproto.PushCommit)
+		switch {
+		case err != nil:
+			r.cfg.Logf("fleet: catch-up push to %s failed: %v", m.name, err)
+		case ack.Code != airproto.AckApplied:
+			r.cfg.Logf("fleet: replica %s refused catch-up epoch %d", m.name, tid)
+		default:
+			m.fleetSeq.Store(uint64(tid))
+			r.cfg.Logf("fleet: replica %s caught up to epoch %d", m.name, tid)
+		}
+	}()
+}
+
+// handleJoin processes a replica's membership announcement: first contact
+// registers the member and its serving address (the datagram's source),
+// a rejoin revives an evicted or suspect member, and either way the reply
+// carries the fleet's current epoch sequence so a stale replica knows a
+// catch-up push is coming.
+func (r *Router) handleJoin(conn *net.UDPConn, f *airproto.Frame, from *net.UDPAddr) {
+	name := from.String()
+	fleetSeq, _ := f.JoinSeqs()
+	r.mu.Lock()
+	m := r.members[name]
+	fresh := m == nil
+	if fresh {
+		m = &member{name: name, addr: from}
+		r.members[name] = m
+	}
+	inRing := r.ring.Has(name)
+	if !inRing {
+		r.ring.Add(name)
+	}
+	curTid := r.currentTid
+	r.mu.Unlock()
+
+	m.fleetSeq.Store(fleetSeq)
+	prev := r.det.State(name)
+	r.det.Revive(name)
+	if fresh || !inRing || prev != Alive {
+		joinCount.Inc()
+		r.cfg.Logf("fleet: replica %s joined (reported epoch %d, fleet at %d)", name, fleetSeq, curTid)
+		events.Default().Emit(events.FleetMember, "replica joined",
+			events.Str("member", name),
+			events.Num("reported_seq", float64(fleetSeq)),
+			events.Num("fleet_seq", float64(curTid)))
+	}
+	if out, err := airproto.Join(f.ID, uint64(curTid), 0).Marshal(); err == nil {
+		conn.WriteToUDP(out, from)
+	}
+	r.maybeCatchUp(m)
+}
+
+// liveRoute returns up to n Alive members in ring order from key.
+func (r *Router) liveRoute(key uint64, n int) []*member {
+	r.mu.Lock()
+	names := r.ring.Route(key, r.ring.Len())
+	ms := make([]*member, 0, len(names))
+	for _, name := range names {
+		ms = append(ms, r.members[name])
+	}
+	r.mu.Unlock()
+	out := make([]*member, 0, n)
+	for _, m := range ms {
+		if m != nil && r.det.State(m.name) == Alive {
+			out = append(out, m)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Live returns the number of members the detector currently routes to.
+func (r *Router) Live() int { return r.liveCount() }
+
+func (r *Router) liveCount() int {
+	r.mu.Lock()
+	names := r.ring.Members()
+	r.mu.Unlock()
+	n := 0
+	for _, name := range names {
+		if r.det.State(name) == Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Serve answers client frames on conn until it is closed (the caller owns
+// shutdown, exactly like airServer.serve). Data, stats, and trace requests
+// are forwarded to replicas; joins update membership; everything else is
+// dropped.
+func (r *Router) Serve(conn *net.UDPConn) error {
+	for {
+		buf := make([]byte, 65535)
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return err
+		}
+		f, err := airproto.Unmarshal(buf[:n])
+		if err != nil {
+			r.writeTo(conn, from, airproto.Nack(0, airproto.StatusBadFrame, 0))
+			continue
+		}
+		switch f.Kind {
+		case airproto.KindJoin:
+			r.handleJoin(conn, f, from)
+		case airproto.KindData, airproto.KindStats, airproto.KindTrace:
+			live := r.liveCount()
+			if live == 0 || r.inflight.Load() >= int64(r.cfg.InflightPerReplica*live) {
+				// Router-level load shedding: fleet health sets the cap, so
+				// a shrinking fleet sheds early instead of queueing forwards
+				// that will only time out.
+				shedCount.Inc()
+				r.writeTo(conn, from, airproto.Nack(f.ID, airproto.StatusDegraded, 0))
+				continue
+			}
+			r.inflight.Add(1)
+			r.wg.Add(1)
+			go func(f *airproto.Frame, from *net.UDPAddr) {
+				defer r.wg.Done()
+				defer r.inflight.Add(-1)
+				r.forward(conn, f, from)
+			}(f, from)
+		}
+	}
+}
+
+func (r *Router) writeTo(conn *net.UDPConn, to *net.UDPAddr, f *airproto.Frame) {
+	if out, err := f.Marshal(); err == nil {
+		if _, err := conn.WriteToUDP(out, to); err != nil {
+			r.cfg.Logf("fleet: reply to %s: %v", to, err)
+		}
+	}
+}
+
+// fwdResult is one forwarding attempt's outcome: the reply frame (nil on
+// timeout), the member that produced it, and the attempt's ordinal.
+type fwdResult struct {
+	f       *airproto.Frame
+	m       *member
+	attempt int
+}
+
+// forward routes one client request: the consistent-hash preference list
+// for the client's address gives the primary and the failover order. A
+// degraded NACK or an attempt timeout fails over to the next candidate; a
+// candidate that is merely slow gets hedged — the next candidate launches
+// in parallel after HedgeAfter, and whichever replies first wins. The reply
+// is rewritten back to the client's original frame ID, so the translation
+// is invisible: clients speak to the fleet as if it were one server.
+func (r *Router) forward(conn *net.UDPConn, f *airproto.Frame, from *net.UDPAddr) {
+	t := obs.StartTimer()
+	prefs := r.liveRoute(hashString(from.String()), r.cfg.MaxAttempts)
+	if len(prefs) == 0 {
+		shedCount.Inc()
+		r.writeTo(conn, from, airproto.Nack(f.ID, airproto.StatusDegraded, 0))
+		return
+	}
+	origID := f.ID
+	deadline := time.Now().Add(r.cfg.ForwardTimeout)
+	resCh := make(chan fwdResult, len(prefs))
+
+	next := 0
+	launch := func() {
+		m := prefs[next]
+		attempt := next
+		next++
+		id := r.newID()
+		ch := r.await(id)
+		fwd := *f
+		fwd.ID = id
+		out, err := fwd.Marshal()
+		if err != nil {
+			resCh <- fwdResult{nil, m, attempt}
+			return
+		}
+		forwardCount.Inc()
+		if _, err := r.up.WriteToUDP(out, m.addr); err != nil {
+			resCh <- fwdResult{nil, m, attempt}
+			return
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer r.settle(id)
+			timer := time.NewTimer(time.Until(deadline))
+			defer timer.Stop()
+			select {
+			case resp := <-ch:
+				resCh <- fwdResult{resp, m, attempt}
+			case <-timer.C:
+				resCh <- fwdResult{nil, m, attempt}
+			case <-r.stop:
+				resCh <- fwdResult{nil, m, attempt}
+			}
+		}()
+	}
+
+	launch()
+	outstanding := 1
+	hedge := time.NewTimer(r.cfg.HedgeAfter)
+	defer hedge.Stop()
+	overall := time.NewTimer(r.cfg.ForwardTimeout)
+	defer overall.Stop()
+	for {
+		select {
+		case res := <-resCh:
+			outstanding--
+			now := time.Now()
+			failed := res.f == nil || (res.f.IsNack() && res.f.Code == airproto.StatusDegraded)
+			r.det.ReportForward(res.m.name, failed, now)
+			if !failed {
+				// Success — or a fatal NACK (wrong length, bad frame, no
+				// trace), which is the client's answer too: relaying it
+				// beats a silent timeout.
+				reply := *res.f
+				reply.ID = origID
+				r.writeTo(conn, from, &reply)
+				if res.attempt > 0 {
+					hedgedWinCount.Inc()
+				}
+				t.ObserveInto(forwardSeconds)
+				return
+			}
+			if res.f != nil && next < len(prefs) {
+				// Explicit degraded NACK: fail over immediately rather than
+				// waiting out the hedge timer.
+				failoverCount.Inc()
+				launch()
+				outstanding++
+			}
+			if outstanding == 0 && next >= len(prefs) {
+				shedCount.Inc()
+				r.writeTo(conn, from, airproto.Nack(origID, airproto.StatusDegraded, 0))
+				return
+			}
+		case <-hedge.C:
+			if next < len(prefs) {
+				launch()
+				outstanding++
+				hedge.Reset(r.cfg.HedgeAfter)
+			}
+		case <-overall.C:
+			shedCount.Inc()
+			r.writeTo(conn, from, airproto.Nack(origID, airproto.StatusDegraded, 0))
+			return
+		case <-r.stop:
+			return
+		}
+	}
+}

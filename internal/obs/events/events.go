@@ -49,6 +49,12 @@ const (
 	Degraded
 	// FaultInjected: the fault injector activated an episode.
 	FaultInjected
+	// FleetMember: the fleet router's membership changed (a replica joined,
+	// rejoined, or was evicted).
+	FleetMember
+	// FleetPublish: the fleet coordinator finished an epoch publication —
+	// committed fleet-wide, or stopped and rolled back.
+	FleetPublish
 )
 
 var typeNames = [...]string{
@@ -60,6 +66,8 @@ var typeNames = [...]string{
 	Recover:         "recover",
 	Degraded:        "degraded",
 	FaultInjected:   "fault-injected",
+	FleetMember:     "fleet-member",
+	FleetPublish:    "fleet-publish",
 }
 
 // String returns the wire name used in NDJSON output.
