@@ -135,9 +135,13 @@ func main() {
 // format, so pointing -publish at a running server's -state-dir turns each
 // of its published epochs (deploys, heals, rollbacks) into a fleet-wide
 // replication — canary-gated, so one server's bad heal cannot poison the
-// fleet. Publish failures (no live replicas yet, canary rejection) are
-// logged and retried against the journal's next epoch; the fleet converges
-// on the newest epoch that survives its canary.
+// fleet. Permanent verdicts (fleet.ErrRefused: the canary or a fan-out
+// replica rejected the epoch, or it would not decode) skip the epoch — the
+// fleet rolled back and the journal moves past it on the next heal.
+// Transient failures (no live replicas yet, canary unreachable, ack
+// timeouts, mid-fan-out eviction) keep the epoch pending and retry it on
+// the next tick, so the fleet still converges on the journal's newest
+// valid epoch once the transport recovers.
 func publishLoop(ctx context.Context, router *fleet.Router, dir string, every time.Duration) {
 	if every <= 0 {
 		every = 2 * time.Second
@@ -178,12 +182,12 @@ func publishLoop(ctx context.Context, router *fleet.Router, dir string, every ti
 		}
 		if err := router.Publish(checkpoint.EncodeEpoch(ep)); err != nil {
 			log.Printf("fleet publish: epoch %d: %v", ep.Seq, err)
-			if strings.Contains(err.Error(), "no live replicas") {
-				continue // keep the epoch pending until members join
+			if !errors.Is(err, fleet.ErrRefused) {
+				continue // transient: keep the epoch pending and retry next tick
 			}
+			// Refused epochs are not retried: the fleet rolled back and the
+			// journal will move past the bad epoch on the next heal.
 		}
-		// Canary-rejected epochs are not retried: the fleet rolled back and
-		// the journal will move past the bad epoch on the next heal.
 		last = ep.Seq
 	}
 }

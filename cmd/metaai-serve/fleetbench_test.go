@@ -60,7 +60,8 @@ func (r *fleetReplica) stop() {
 // like metaai-serve -join: the router learns the data-path address from the
 // datagram's source. The reply is consumed by the replica's own fleet agent.
 func (r *fleetReplica) join(front *net.UDPAddr) {
-	f := airproto.Join(1, r.srv.fleetAgent.FleetSeq(), r.srv.epochSeq.Load())
+	fleetSeq, fleetNonce := r.srv.fleetAgent.FleetVersion()
+	f := airproto.Join(1, fleetSeq, r.srv.epochSeq.Load(), fleetNonce)
 	if out, err := f.Marshal(); err == nil {
 		r.conn.WriteToUDP(out, front)
 	}
@@ -319,5 +320,92 @@ func TestFleetBench(t *testing.T) {
 
 	for _, r := range reps[:2] {
 		r.stop()
+	}
+}
+
+// TestFleetCoordinatorRestartRepublishes is the coordinator-restart
+// regression: a new router incarnation restarts its transfer sequence from
+// 1, so its first publish reuses IDs the replicas have cached verdicts for
+// AND leaves the replicas reporting fleet sequences numerically >= the new
+// router's. Both used to silently break convergence — the replicas
+// answered the new transfer from the stale ack cache without applying, and
+// anti-entropy saw nothing to repair. The incarnation nonce must defeat
+// both: the second router's publish must actually apply on every replica.
+func TestFleetCoordinatorRestartRepublishes(t *testing.T) {
+	d := testDeployment(t, 11)
+	reps := make([]*fleetReplica, 2)
+	for i := range reps {
+		reps[i] = startFleetReplica(t, d, nil, uint64(40+i))
+	}
+	defer func() {
+		for _, r := range reps {
+			r.stop()
+		}
+	}()
+	seedReplicas := func() []fleet.Replica {
+		var rs []fleet.Replica
+		for _, r := range reps {
+			rs = append(rs, fleet.Replica{Addr: r.addr.String()})
+		}
+		return rs
+	}
+	newRouter := func(seed uint64) *fleet.Router {
+		t.Helper()
+		router, err := fleet.NewRouter(fleet.Config{
+			Replicas:       seedReplicas(),
+			ChunkBytes:     512,
+			PublishTimeout: 150 * time.Millisecond,
+			PublishRetries: 4,
+			Seed:           seed,
+			Logf:           t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return router
+	}
+
+	// First incarnation commits transfer 1.
+	routerA := newRouter(7)
+	if err := routerA.Publish(sealedEpoch(d, 1)); err != nil {
+		t.Fatalf("incarnation A publish failed: %v", err)
+	}
+	tidA, nonceA := routerA.CurrentTid(), routerA.Incarnation()
+	for _, r := range reps {
+		if seq, nonce := r.srv.fleetAgent.FleetVersion(); seq != uint64(tidA) || nonce != nonceA {
+			t.Fatalf("replica %s at version (%d, %#x) after A's publish, want (%d, %#x)",
+				r.name, seq, nonce, tidA, nonceA)
+		}
+	}
+	swaps := make([]int64, len(reps))
+	for i, r := range reps {
+		swaps[i] = r.srv.swaps.Load()
+	}
+	routerA.Close()
+
+	// The restarted coordinator reuses transfer ID 1 for a DIFFERENT epoch.
+	// Every replica must reassemble and apply it — a cached tid-1 verdict
+	// answered without applying leaves the fleet silently diverged.
+	routerB := newRouter(8)
+	defer routerB.Close()
+	if routerB.Incarnation() == nonceA {
+		t.Fatalf("independent incarnations drew the same nonce %#x", nonceA)
+	}
+	if err := routerB.Publish(sealedEpoch(d, 2)); err != nil {
+		t.Fatalf("incarnation B publish failed: %v", err)
+	}
+	if routerB.CurrentTid() != tidA {
+		t.Logf("note: B's first transfer is %d, A's was %d", routerB.CurrentTid(), tidA)
+	}
+	for i, r := range reps {
+		seq, nonce := r.srv.fleetAgent.FleetVersion()
+		if seq != uint64(routerB.CurrentTid()) || nonce != routerB.Incarnation() {
+			t.Fatalf("replica %s at version (%d, %#x) after B's publish, want (%d, %#x)",
+				r.name, seq, nonce, routerB.CurrentTid(), routerB.Incarnation())
+		}
+		if got := r.srv.swaps.Load(); got <= swaps[i] {
+			t.Fatalf("replica %s swap count stuck at %d: B's epoch was answered from the stale ack cache",
+				r.name, got)
+		}
 	}
 }

@@ -360,7 +360,8 @@ func runServer(addr string, opt serverOptions, sidecar *http.Server) error {
 			t := time.NewTicker(joinEvery)
 			defer t.Stop()
 			for id := uint32(1); ; id++ {
-				f := airproto.Join(id, srv.fleetAgent.FleetSeq(), srv.epochSeq.Load())
+				fleetSeq, fleetNonce := srv.fleetAgent.FleetVersion()
+				f := airproto.Join(id, fleetSeq, srv.epochSeq.Load(), fleetNonce)
 				if out, err := f.Marshal(); err == nil {
 					if _, err := conn.WriteToUDP(out, raddr); err != nil && ctx.Err() == nil {
 						log.Printf("fleet join announce: %v", err)

@@ -370,12 +370,15 @@ func (s *airServer) statsFrame(id uint32) *airproto.Frame {
 }
 
 // healthVector supplies the gauges a fleet heartbeat reply carries: the
-// replicated-epoch sequence (the fleet's convergence variable), the local
-// journal epoch, queue pressure, and the serving counters. Every read is an
-// atomic load, so the read loop answers heartbeats without touching a lock.
+// replicated-epoch (sequence, coordinator nonce) pair — the fleet's
+// convergence variable — the local journal epoch, queue pressure, and the
+// serving counters. Every read is an atomic load, so the read loop answers
+// heartbeats without touching a lock.
 func (s *airServer) healthVector() []float64 {
 	hv := make([]float64, airproto.HBVectorLen)
-	hv[airproto.HBFleetSeq] = float64(s.fleetAgent.FleetSeq())
+	fleetSeq, fleetNonce := s.fleetAgent.FleetVersion()
+	hv[airproto.HBFleetSeq] = float64(fleetSeq)
+	hv[airproto.HBFleetNonce] = float64(fleetNonce)
 	hv[airproto.HBEpochSeq] = float64(s.epochSeq.Load())
 	hv[airproto.HBQueueDepth] = float64(s.inflight.Load())
 	hv[airproto.HBServed] = float64(s.served.Load())

@@ -154,13 +154,13 @@ func fuzzCorpus() [][]byte {
 	// Fleet control frames: liveness, membership, and both halves of the
 	// chunked epoch-replication exchange.
 	hb, _ := Heartbeat(21).Marshal()
-	hbReply, _ := HeartbeatReply(21, []float64{3, 7, 1, 500, 2, 0, 1}).Marshal()
-	join, _ := Join(22, 5, 9).Marshal()
-	chunkFrame, _ := EpochChunk(23, PushCanary, 1, 3, []byte{0xde, 0xad, 0xbe}, 500, 1000)
+	hbReply, _ := HeartbeatReply(21, []float64{3, 7, 1, 500, 2, 0, 1, 0x1234}).Marshal()
+	join, _ := Join(22, 5, 9, 0xabcdef).Marshal()
+	chunkFrame, _ := EpochChunk(23, PushCanary, 1, 3, []byte{0xde, 0xad, 0xbe}, 500, 1000, 0xbeef01)
 	chunk, _ := chunkFrame.Marshal()
 	chunkCut := chunk[:len(chunk)-5] // chunk cut mid-payload
-	ackChunk, _ := EpochAck(23, 1, AckChunk, 0, 0).Marshal()
-	ackDone, _ := EpochAck(23, 2, AckApplied, 0.97, 6).Marshal()
+	ackChunk, _ := EpochAck(23, 1, AckChunk, 0, 0, 0xbeef01).Marshal()
+	ackDone, _ := EpochAck(23, 2, AckApplied, 0.97, 6, 0xbeef01).Marshal()
 	return [][]byte{
 		{},                 // empty datagram
 		{0x00},             // 1-byte runt

@@ -24,14 +24,24 @@ import "fmt"
 //     format IS the journal format and a replica can journal what it
 //     applied byte-for-byte. Sealed epochs outgrow one datagram, so the
 //     push is chunked: every chunk frame carries (index, total) in Label,
-//     (chunk length, total length) in Data[0], and the chunk bytes packed
-//     two per complex sample behind it (PackBytes — small integers survive
-//     the float32 wire exactly). The replica acks every chunk; the ack for
-//     the final, completing chunk carries the apply verdict and, on a
-//     canary push, the measured prediction agreement in Data[0].
+//     (chunk length, total length) in Data[0], and (byte offset,
+//     coordinator incarnation nonce) in Data[1], with the chunk bytes
+//     packed two per complex sample behind it (PackBytes — small integers
+//     survive the float32 wire exactly). The replica acks every chunk; the
+//     ack for the final, completing chunk carries the apply verdict, the
+//     measured canary prediction agreement, and echoes the nonce.
 //
 // Chunks are idempotent and may arrive duplicated or out of order; the
-// transfer ID in the header keys reassembly.
+// (transfer ID, nonce) pair keys reassembly. The nonce exists because
+// transfer IDs are a coordinator-local counter that restarts from 1 with
+// the coordinator process: a replica that caches the final verdict of
+// transfer 1 from one coordinator incarnation must not answer a NEW
+// incarnation's transfer 1 — different bytes — from that cache. Each
+// coordinator incarnation draws a random nonce at startup and stamps it on
+// everything it sends; replicas report the nonce of their applied epoch
+// back (heartbeats, joins), so fleet convergence is decided on the
+// (nonce, seq) pair, never on a counter that two incarnations both start
+// at 1.
 
 // Push modes carried in a KindEpochPush frame's Code field.
 const (
@@ -71,13 +81,28 @@ const (
 	HBShed
 	HBNacked
 	HBHeals
+	// HBFleetNonce is the coordinator incarnation nonce stamped on the last
+	// replicated epoch the replica applied (0 until a push lands). Paired
+	// with HBFleetSeq it makes the convergence variable unique across
+	// coordinator restarts, whose transfer sequences both start at 1.
+	HBFleetNonce
 	HBVectorLen
 )
 
 // MaxChunkBytes is the largest sealed-epoch slice one push frame can carry:
 // two packed bytes per complex sample, two samples reserved for the
-// (length, total) and (offset) headers.
+// (length, total) and (offset, nonce) headers.
 const MaxChunkBytes = 2 * (MaxVector - 2)
+
+// Chunk header integers (offset, length, total length) and nonces ride
+// complex samples that Marshal encodes as float32, which represents
+// integers exactly only up to 2^24. MaxTransferBytes caps a chunked
+// transfer (and with it every offset) at that bound so the headers survive
+// the wire bit-exactly; NonceMask keeps incarnation nonces inside it.
+const (
+	MaxTransferBytes = 1 << 24
+	NonceMask        = 1<<24 - 1
+)
 
 // Heartbeat builds the router's liveness ping.
 func Heartbeat(id uint32) *Frame {
@@ -106,28 +131,35 @@ func (f *Frame) HealthVector() []float64 {
 }
 
 // Join builds a replica's membership announcement: the fleet epoch seq it
-// last applied and its local journal seq, both as exact float64 integers.
-func Join(id uint32, fleetSeq, localSeq uint64) *Frame {
+// last applied (with the coordinator incarnation nonce that stamped it) and
+// its local journal seq, all as exact small-integer floats.
+func Join(id uint32, fleetSeq, localSeq uint64, fleetNonce uint32) *Frame {
 	return &Frame{Kind: KindJoin, ID: id, Data: []complex128{
 		complex(float64(fleetSeq), float64(localSeq)),
+		complex(float64(fleetNonce&NonceMask), 0),
 	}}
 }
 
-// JoinSeqs extracts the (fleet, local) epoch sequences from a join frame or
-// a join reply (where the fleet slot carries the router's current seq).
-func (f *Frame) JoinSeqs() (fleetSeq, localSeq uint64) {
+// JoinInfo extracts the (fleet, local) epoch sequences and the fleet
+// nonce from a join frame or a join reply (where the fleet slots carry the
+// router's current seq and incarnation).
+func (f *Frame) JoinInfo() (fleetSeq, localSeq uint64, fleetNonce uint32) {
 	if len(f.Data) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
-	return uint64(real(f.Data[0])), uint64(imag(f.Data[0]))
+	fleetSeq, localSeq = uint64(real(f.Data[0])), uint64(imag(f.Data[0]))
+	if len(f.Data) > 1 {
+		fleetNonce = uint32(real(f.Data[1]))
+	}
+	return fleetSeq, localSeq, fleetNonce
 }
 
 // EpochChunk builds one replication chunk: slice index of total, carrying
-// chunk bytes at byte offset into a totalLen-byte sealed epoch. The offset
-// rides its own header sample so reassembly never has to infer a stride —
-// chunks of any size land at their exact position even when duplicated or
-// reordered.
-func EpochChunk(transfer uint32, mode uint8, index, total int, chunk []byte, offset, totalLen int) (*Frame, error) {
+// chunk bytes at byte offset into a totalLen-byte sealed epoch, stamped
+// with the coordinator's incarnation nonce. The offset rides its own header
+// sample so reassembly never has to infer a stride — chunks of any size
+// land at their exact position even when duplicated or reordered.
+func EpochChunk(transfer uint32, mode uint8, index, total int, chunk []byte, offset, totalLen int, nonce uint32) (*Frame, error) {
 	if len(chunk) > MaxChunkBytes {
 		return nil, fmt.Errorf("airproto: chunk of %d bytes exceeds %d", len(chunk), MaxChunkBytes)
 	}
@@ -137,10 +169,13 @@ func EpochChunk(transfer uint32, mode uint8, index, total int, chunk []byte, off
 	if offset < 0 || totalLen < 0 || offset+len(chunk) > totalLen {
 		return nil, fmt.Errorf("airproto: chunk [%d, %d) outside %d-byte transfer", offset, offset+len(chunk), totalLen)
 	}
+	if totalLen > MaxTransferBytes {
+		return nil, fmt.Errorf("airproto: %d-byte transfer exceeds the %d-byte float32-exact cap", totalLen, MaxTransferBytes)
+	}
 	packed, _ := PackBytes(chunk)
 	data := make([]complex128, 2+len(packed))
 	data[0] = complex(float64(len(chunk)), float64(totalLen))
-	data[1] = complex(float64(offset), 0)
+	data[1] = complex(float64(offset), float64(nonce&NonceMask))
 	copy(data[2:], packed)
 	return &Frame{
 		Kind:  KindEpochPush,
@@ -157,42 +192,55 @@ func (f *Frame) ChunkInfo() (index, total int) {
 	return int(u >> 16), int(u & 0xffff)
 }
 
-// ChunkPayload extracts the chunk bytes, their byte offset, and the
-// transfer's total byte length from a push frame. It returns ok=false for a
-// frame whose headers disagree with its payload — a malformed or truncated
-// chunk that must not enter reassembly.
-func (f *Frame) ChunkPayload() (chunk []byte, offset, totalLen int, ok bool) {
+// ChunkPayload extracts the chunk bytes, their byte offset, the transfer's
+// total byte length, and the coordinator nonce from a push frame. It
+// returns ok=false for a frame whose headers disagree with its payload — a
+// malformed or truncated chunk that must not enter reassembly — including
+// a total length past the float32-exact transfer cap, which can only be a
+// rounded or hostile header.
+func (f *Frame) ChunkPayload() (chunk []byte, offset, totalLen int, nonce uint32, ok bool) {
 	if len(f.Data) < 2 {
-		return nil, 0, 0, false
+		return nil, 0, 0, 0, false
 	}
 	n := int(real(f.Data[0]))
 	totalLen = int(imag(f.Data[0]))
 	offset = int(real(f.Data[1]))
-	if n < 0 || offset < 0 || totalLen < 0 || offset+n > totalLen || n > 2*(len(f.Data)-2) {
-		return nil, 0, 0, false
+	nonce = uint32(imag(f.Data[1])) & NonceMask
+	if n < 0 || offset < 0 || totalLen < 0 || totalLen > MaxTransferBytes ||
+		offset+n > totalLen || n > 2*(len(f.Data)-2) {
+		return nil, 0, 0, 0, false
 	}
-	return UnpackBytes(f.Data[2:], n), offset, totalLen, true
+	return UnpackBytes(f.Data[2:], n), offset, totalLen, nonce, true
 }
 
 // EpochAck builds a replica's chunk acknowledgement. For the completing
-// chunk, code carries the apply verdict and Data[0] the (agreement,
-// applied fleet seq) pair; intermediate chunks ack with AckChunk and no
+// chunk, code carries the apply verdict, Data[0] the (agreement, applied
+// fleet seq) pair, and Data[1] echoes the transfer's coordinator nonce so
+// the sender can tell a fresh verdict from a cached one about another
+// incarnation's transfer; intermediate chunks ack with AckChunk and no
 // payload.
-func EpochAck(transfer uint32, index int, code uint8, agreement float64, seq uint64) *Frame {
+func EpochAck(transfer uint32, index int, code uint8, agreement float64, seq uint64, nonce uint32) *Frame {
 	f := &Frame{Kind: KindEpochAck, Code: code, ID: transfer, Label: int32(index)}
 	if code != AckChunk {
-		f.Data = []complex128{complex(agreement, float64(seq))}
+		f.Data = []complex128{
+			complex(agreement, float64(seq)),
+			complex(float64(nonce&NonceMask), 0),
+		}
 	}
 	return f
 }
 
-// AckInfo extracts the chunk index, canary agreement, and applied fleet
-// sequence from an ack frame (agreement and seq are zero on AckChunk).
-func (f *Frame) AckInfo() (index int, agreement float64, seq uint64) {
+// AckInfo extracts the chunk index, canary agreement, applied fleet
+// sequence, and echoed nonce from an ack frame (all but the index are zero
+// on AckChunk).
+func (f *Frame) AckInfo() (index int, agreement float64, seq uint64, nonce uint32) {
 	index = int(f.Label)
 	if len(f.Data) > 0 {
 		agreement = real(f.Data[0])
 		seq = uint64(imag(f.Data[0]))
 	}
-	return index, agreement, seq
+	if len(f.Data) > 1 {
+		nonce = uint32(real(f.Data[1]))
+	}
+	return index, agreement, seq, nonce
 }

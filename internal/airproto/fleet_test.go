@@ -45,7 +45,7 @@ func TestHeartbeatRoundTrip(t *testing.T) {
 }
 
 func TestJoinRoundTrip(t *testing.T) {
-	b, err := Join(7, 12, 34).Marshal()
+	b, err := Join(7, 12, 34, 0xabcde).Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,12 +56,18 @@ func TestJoinRoundTrip(t *testing.T) {
 	if got.Kind != KindJoin || got.ID != 7 {
 		t.Fatalf("join lost fields: %+v", got)
 	}
-	fs, ls := got.JoinSeqs()
-	if fs != 12 || ls != 34 {
-		t.Fatalf("join seqs (%d, %d), want (12, 34)", fs, ls)
+	fs, ls, nonce := got.JoinInfo()
+	if fs != 12 || ls != 34 || nonce != 0xabcde {
+		t.Fatalf("join info (%d, %d, %#x), want (12, 34, 0xabcde)", fs, ls, nonce)
 	}
-	if fs, ls := (&Frame{Kind: KindJoin}).JoinSeqs(); fs != 0 || ls != 0 {
-		t.Fatalf("empty join decoded to (%d, %d)", fs, ls)
+	if fs, ls, nonce := (&Frame{Kind: KindJoin}).JoinInfo(); fs != 0 || ls != 0 || nonce != 0 {
+		t.Fatalf("empty join decoded to (%d, %d, %d)", fs, ls, nonce)
+	}
+	// An older single-sample join (no nonce) still yields its sequences.
+	short := Join(7, 5, 6, 1)
+	short.Data = short.Data[:1]
+	if fs, ls, nonce := short.JoinInfo(); fs != 5 || ls != 6 || nonce != 0 {
+		t.Fatalf("nonce-less join decoded to (%d, %d, %d)", fs, ls, nonce)
 	}
 }
 
@@ -70,7 +76,7 @@ func TestEpochChunkRoundTrip(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
-	f, err := EpochChunk(99, PushCanary, 2, 5, payload, 600, 1500)
+	f, err := EpochChunk(99, PushCanary, 2, 5, payload, 600, 1500, 0xf0f0f0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,67 +95,92 @@ func TestEpochChunkRoundTrip(t *testing.T) {
 	if idx != 2 || total != 5 {
 		t.Fatalf("chunk info (%d, %d), want (2, 5)", idx, total)
 	}
-	chunk, offset, totalLen, ok := got.ChunkPayload()
+	chunk, offset, totalLen, nonce, ok := got.ChunkPayload()
 	if !ok {
 		t.Fatal("valid chunk rejected")
 	}
-	if offset != 600 || totalLen != 1500 || !bytes.Equal(chunk, payload) {
-		t.Fatalf("chunk payload corrupted: offset %d, total %d, %d bytes", offset, totalLen, len(chunk))
+	if offset != 600 || totalLen != 1500 || nonce != 0xf0f0f0 || !bytes.Equal(chunk, payload) {
+		t.Fatalf("chunk payload corrupted: offset %d, total %d, nonce %#x, %d bytes", offset, totalLen, nonce, len(chunk))
+	}
+}
+
+func TestEpochChunkNonceSurvivesFloat32(t *testing.T) {
+	// The nonce rides a float32 sample: every 24-bit value must round-trip
+	// bit-exactly, including the mask's edges.
+	for _, nonce := range []uint32{1, NonceMask, NonceMask - 1, 0x800001, 0xabcdef} {
+		f, err := EpochChunk(1, PushCommit, 0, 1, []byte{1}, 0, 1, nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := f.Marshal()
+		got, _ := Unmarshal(b)
+		if _, _, _, n, ok := got.ChunkPayload(); !ok || n != nonce {
+			t.Fatalf("nonce %#x arrived as %#x (ok=%v)", nonce, n, ok)
+		}
 	}
 }
 
 func TestEpochChunkOddLength(t *testing.T) {
 	// Odd byte counts pad the final imaginary slot; the length header must
 	// still recover the exact byte string.
-	f, err := EpochChunk(1, PushCommit, 0, 1, []byte{1, 2, 3}, 0, 3)
+	f, err := EpochChunk(1, PushCommit, 0, 1, []byte{1, 2, 3}, 0, 3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b, _ := f.Marshal()
 	got, _ := Unmarshal(b)
-	chunk, offset, totalLen, ok := got.ChunkPayload()
+	chunk, offset, totalLen, _, ok := got.ChunkPayload()
 	if !ok || offset != 0 || totalLen != 3 || !bytes.Equal(chunk, []byte{1, 2, 3}) {
 		t.Fatalf("odd chunk corrupted: %v (offset %d, total %d, ok %v)", chunk, offset, totalLen, ok)
 	}
 }
 
 func TestEpochChunkRejectsMalformed(t *testing.T) {
-	if _, err := EpochChunk(1, PushCommit, 0, 1, make([]byte, MaxChunkBytes+1), 0, MaxChunkBytes+1); err == nil {
+	if _, err := EpochChunk(1, PushCommit, 0, 1, make([]byte, MaxChunkBytes+1), 0, MaxChunkBytes+1, 0); err == nil {
 		t.Error("oversized chunk accepted")
 	}
-	if _, err := EpochChunk(1, PushCommit, 3, 3, nil, 0, 0); err == nil {
+	if _, err := EpochChunk(1, PushCommit, 3, 3, nil, 0, 0, 0); err == nil {
 		t.Error("out-of-range chunk index accepted")
 	}
-	if _, err := EpochChunk(1, PushCommit, 0, 0x10000, nil, 0, 0); err == nil {
+	if _, err := EpochChunk(1, PushCommit, 0, 0x10000, nil, 0, 0, 0); err == nil {
 		t.Error("chunk total beyond the 16-bit label field accepted")
 	}
-	if _, err := EpochChunk(1, PushCommit, 0, 2, []byte{1, 2}, 99, 100); err == nil {
+	if _, err := EpochChunk(1, PushCommit, 0, 2, []byte{1, 2}, 99, 100, 0); err == nil {
 		t.Error("chunk overrunning the transfer accepted")
+	}
+	// Transfers past the float32-exact cap would ship rounded offsets.
+	if _, err := EpochChunk(1, PushCommit, 0, 2, []byte{1, 2}, 0, MaxTransferBytes+1, 0); err == nil {
+		t.Error("transfer beyond the float32-exact cap accepted")
 	}
 	// A frame whose length header claims more bytes than its payload holds
 	// must not enter reassembly.
-	f, _ := EpochChunk(1, PushCommit, 0, 2, []byte{1, 2, 3, 4}, 0, 100)
+	f, _ := EpochChunk(1, PushCommit, 0, 2, []byte{1, 2, 3, 4}, 0, 100, 0)
 	f.Data[0] = complex(50, 100) // claims 50 bytes, carries 4
-	if _, _, _, ok := f.ChunkPayload(); ok {
+	if _, _, _, _, ok := f.ChunkPayload(); ok {
 		t.Error("length-lying chunk accepted")
 	}
 	f.Data[0] = complex(4, 2) // total shorter than the chunk itself
-	if _, _, _, ok := f.ChunkPayload(); ok {
+	if _, _, _, _, ok := f.ChunkPayload(); ok {
 		t.Error("total-lying chunk accepted")
 	}
 	f.Data[0] = complex(4, 100)
 	f.Data[1] = complex(98, 0) // offset pushes the chunk past the transfer end
-	if _, _, _, ok := f.ChunkPayload(); ok {
+	if _, _, _, _, ok := f.ChunkPayload(); ok {
 		t.Error("offset-lying chunk accepted")
 	}
-	if _, _, _, ok := (&Frame{Kind: KindEpochPush}).ChunkPayload(); ok {
+	f.Data[0] = complex(4, float64(MaxTransferBytes)+4096) // rounded/hostile total
+	f.Data[1] = complex(0, 0)
+	if _, _, _, _, ok := f.ChunkPayload(); ok {
+		t.Error("over-cap total accepted on receive")
+	}
+	if _, _, _, _, ok := (&Frame{Kind: KindEpochPush}).ChunkPayload(); ok {
 		t.Error("headerless chunk accepted")
 	}
 }
 
 func TestEpochAckRoundTrip(t *testing.T) {
 	// Intermediate chunk ack: no payload.
-	b, err := EpochAck(5, 3, AckChunk, 0, 0).Marshal()
+	b, err := EpochAck(5, 3, AckChunk, 0, 0, 9).Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,12 +191,12 @@ func TestEpochAckRoundTrip(t *testing.T) {
 	if got.Kind != KindEpochAck || got.Code != AckChunk || len(got.Data) != 0 {
 		t.Fatalf("chunk ack lost fields: %+v", got)
 	}
-	if idx, _, _ := got.AckInfo(); idx != 3 {
+	if idx, _, _, _ := got.AckInfo(); idx != 3 {
 		t.Fatalf("chunk ack index %d, want 3", idx)
 	}
 
-	// Completing ack: verdict plus (agreement, seq).
-	b, err = EpochAck(5, 4, AckApplied, 0.875, 11).Marshal()
+	// Completing ack: verdict plus (agreement, seq) and the echoed nonce.
+	b, err = EpochAck(5, 4, AckApplied, 0.875, 11, 0x1234).Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +204,8 @@ func TestEpochAckRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, agree, seq := got.AckInfo()
-	if got.Code != AckApplied || idx != 4 || agree != 0.875 || seq != 11 {
-		t.Fatalf("final ack decoded to (%d, %v, %d, code %d)", idx, agree, seq, got.Code)
+	idx, agree, seq, nonce := got.AckInfo()
+	if got.Code != AckApplied || idx != 4 || agree != 0.875 || seq != 11 || nonce != 0x1234 {
+		t.Fatalf("final ack decoded to (%d, %v, %d, %#x, code %d)", idx, agree, seq, nonce, got.Code)
 	}
 }

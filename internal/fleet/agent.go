@@ -20,8 +20,18 @@ const (
 // ackCacheSize bounds the per-agent cache of completed-transfer verdicts.
 // A retransmitted chunk for a transfer that already completed must be
 // answered with the SAME final ack (the coordinator may have missed it),
-// not re-applied and not re-reassembled.
+// not re-applied and not re-reassembled. Entries are keyed by the
+// (transfer ID, coordinator nonce) pair: transfer IDs restart from 1 with
+// every coordinator incarnation, and a cached verdict about one
+// incarnation's bytes must never answer another's.
 const ackCacheSize = 8
+
+// cachedAck is one completed transfer's final verdict, valid only for the
+// coordinator incarnation that ran the transfer.
+type cachedAck struct {
+	nonce uint32
+	ack   *airproto.Frame
+}
 
 // ApplyFunc installs one replicated epoch on the replica. sealed is the
 // complete sealed checkpoint exactly as the coordinator journaled it; mode
@@ -41,11 +51,14 @@ type Agent struct {
 	health func() []float64
 	apply  ApplyFunc
 
-	fleetSeq atomic.Uint64 // last transfer applied; 0 until a push lands
+	// fleetVer packs (incarnation nonce << 32 | transfer seq) of the last
+	// applied push; 0 until a push lands. One word so heartbeat replies read
+	// both halves atomically.
+	fleetVer atomic.Uint64
 
 	mu       sync.Mutex
 	reasm    *Reassembler
-	acks     map[uint32]*airproto.Frame // final ack per completed transfer
+	acks     map[uint32]cachedAck // final ack per completed transfer
 	ackOrder []uint32
 }
 
@@ -56,13 +69,21 @@ func NewAgent(health func() []float64, apply ApplyFunc) *Agent {
 	if health == nil {
 		health = func() []float64 { return nil }
 	}
-	return &Agent{health: health, apply: apply, reasm: NewReassembler(), acks: make(map[uint32]*airproto.Frame)}
+	return &Agent{health: health, apply: apply, reasm: NewReassembler(), acks: make(map[uint32]cachedAck)}
 }
 
 // FleetSeq returns the coordinator-assigned sequence of the last epoch this
-// agent applied — the fleet's convergence variable, reported in every
-// heartbeat reply.
-func (a *Agent) FleetSeq() uint64 { return a.fleetSeq.Load() }
+// agent applied, reported in every heartbeat reply.
+func (a *Agent) FleetSeq() uint64 { return a.fleetVer.Load() & 0xffffffff }
+
+// FleetVersion returns the fleet's convergence variable: the sequence of
+// the last applied epoch and the incarnation nonce of the coordinator that
+// pushed it. The pair is what makes the variable unique across coordinator
+// restarts — sequences alone restart from 1 with each incarnation.
+func (a *Agent) FleetVersion() (seq uint64, nonce uint32) {
+	v := a.fleetVer.Load()
+	return v & 0xffffffff, uint32(v >> 32)
+}
 
 // HandleFrame processes one fleet-control frame and returns the reply to
 // send, or ok=false when the frame needs no answer (join replies and other
@@ -85,39 +106,57 @@ func (a *Agent) HandleFrame(f *airproto.Frame) (*airproto.Frame, bool) {
 func (a *Agent) handlePush(f *airproto.Frame) *airproto.Frame {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	_, _, _, nonce, _ := f.ChunkPayload() // malformed frames fail reasm.Add below
 	if cached, ok := a.acks[f.ID]; ok {
-		// The transfer already completed; whatever chunk this is, the
-		// coordinator needs the verdict again.
-		return cached
+		if cached.nonce == nonce {
+			// The transfer already completed; whatever chunk this is, the
+			// coordinator needs the verdict again.
+			return cached.ack
+		}
+		// Same transfer ID, different coordinator incarnation: a restarted
+		// coordinator reusing tid 1 for NEW bytes. The cached verdict says
+		// nothing about this transfer — forget it and reassemble for real.
+		a.forgetAck(f.ID)
 	}
 	idx, _ := f.ChunkInfo()
 	sealed, mode, done, err := a.reasm.Add(f)
 	if err != nil {
-		return a.finishTransfer(f.ID, idx, airproto.AckRejected, 0)
+		return a.finishTransfer(f.ID, idx, nonce, airproto.AckRejected, 0)
 	}
 	if !done {
-		return airproto.EpochAck(f.ID, idx, airproto.AckChunk, 0, 0)
+		return airproto.EpochAck(f.ID, idx, airproto.AckChunk, 0, 0, nonce)
 	}
 	if a.apply == nil {
-		return a.finishTransfer(f.ID, idx, airproto.AckRejected, 0)
+		return a.finishTransfer(f.ID, idx, nonce, airproto.AckRejected, 0)
 	}
 	agreement, err := a.apply(sealed, mode, f.ID)
 	if err != nil {
-		return a.finishTransfer(f.ID, idx, airproto.AckRejected, agreement)
+		return a.finishTransfer(f.ID, idx, nonce, airproto.AckRejected, agreement)
 	}
-	a.fleetSeq.Store(uint64(f.ID))
-	return a.finishTransfer(f.ID, idx, airproto.AckApplied, agreement)
+	a.fleetVer.Store(uint64(nonce)<<32 | uint64(f.ID))
+	return a.finishTransfer(f.ID, idx, nonce, airproto.AckApplied, agreement)
 }
 
 // finishTransfer builds, caches, and returns the completing ack for a
-// transfer. Callers hold mu.
-func (a *Agent) finishTransfer(tid uint32, idx int, code uint8, agreement float64) *airproto.Frame {
-	ack := airproto.EpochAck(tid, idx, code, agreement, a.fleetSeq.Load())
+// transfer under coordinator incarnation nonce. Callers hold mu.
+func (a *Agent) finishTransfer(tid uint32, idx int, nonce uint32, code uint8, agreement float64) *airproto.Frame {
+	ack := airproto.EpochAck(tid, idx, code, agreement, a.FleetSeq(), nonce)
 	if len(a.ackOrder) >= ackCacheSize {
 		delete(a.acks, a.ackOrder[0])
 		a.ackOrder = a.ackOrder[1:]
 	}
-	a.acks[tid] = ack
+	a.acks[tid] = cachedAck{nonce: nonce, ack: ack}
 	a.ackOrder = append(a.ackOrder, tid)
 	return ack
+}
+
+// forgetAck drops one cached verdict. Callers hold mu.
+func (a *Agent) forgetAck(tid uint32) {
+	delete(a.acks, tid)
+	for i, id := range a.ackOrder {
+		if id == tid {
+			a.ackOrder = append(a.ackOrder[:i], a.ackOrder[i+1:]...)
+			break
+		}
+	}
 }

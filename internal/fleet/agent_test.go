@@ -38,7 +38,7 @@ func TestAgentAppliesChunkedPushOnce(t *testing.T) {
 		}
 		return 0.9375, nil
 	})
-	frames, err := Chunks(21, airproto.PushCanary, sealed, 900)
+	frames, err := Chunks(21, airproto.PushCanary, sealed, 900, 0x77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestAgentAppliesChunkedPushOnce(t *testing.T) {
 			if ack.Code != airproto.AckChunk {
 				t.Fatalf("chunk %d acked with code %d", i, ack.Code)
 			}
-			if idx, _, _ := ack.AckInfo(); idx != i {
+			if idx, _, _, _ := ack.AckInfo(); idx != i {
 				t.Fatalf("chunk %d acked as index %d", i, idx)
 			}
 		} else {
@@ -62,7 +62,7 @@ func TestAgentAppliesChunkedPushOnce(t *testing.T) {
 	if final.Code != airproto.AckApplied {
 		t.Fatalf("final ack code %d", final.Code)
 	}
-	if _, agree, seq := final.AckInfo(); agree != 0.9375 || seq != 21 {
+	if _, agree, seq, _ := final.AckInfo(); agree != 0.9375 || seq != 21 {
 		t.Fatalf("final ack (agreement %v, seq %d)", agree, seq)
 	}
 	if applies != 1 {
@@ -90,7 +90,7 @@ func TestAgentRejectsFailingApply(t *testing.T) {
 	a := NewAgent(nil, func([]byte, uint8, uint32) (float64, error) {
 		return 0.25, fmt.Errorf("bad epoch")
 	})
-	frames, _ := Chunks(5, airproto.PushCommit, sealed, 600)
+	frames, _ := Chunks(5, airproto.PushCommit, sealed, 600, 0x77)
 	var final *airproto.Frame
 	for _, f := range frames {
 		final, _ = a.HandleFrame(f)
@@ -109,7 +109,7 @@ func TestAgentRejectsFailingApply(t *testing.T) {
 }
 
 func TestAgentNilApplyRejects(t *testing.T) {
-	frames, _ := Chunks(3, airproto.PushCommit, testSealed(100, 11), 600)
+	frames, _ := Chunks(3, airproto.PushCommit, testSealed(100, 11), 600, 0x77)
 	a := NewAgent(nil, nil)
 	ack, ok := a.HandleFrame(frames[0])
 	if !ok || ack.Code != airproto.AckRejected {
@@ -117,9 +117,72 @@ func TestAgentNilApplyRejects(t *testing.T) {
 	}
 }
 
+// TestAgentNewIncarnationBustsAckCache is the coordinator-restart
+// regression: transfer IDs restart from 1 with every coordinator process,
+// so a chunk reusing a cached transfer's ID under a DIFFERENT incarnation
+// nonce carries different bytes and must be reassembled and applied for
+// real — answering it from the cached verdict would silently diverge the
+// replica from the fleet.
+func TestAgentNewIncarnationBustsAckCache(t *testing.T) {
+	first := testSealed(2_000, 12)
+	second := testSealed(2_000, 13)
+	var applied [][]byte
+	a := NewAgent(nil, func(sealed []byte, mode uint8, tid uint32) (float64, error) {
+		applied = append(applied, append([]byte(nil), sealed...))
+		return 1, nil
+	})
+
+	push := func(sealed []byte, nonce uint32) *airproto.Frame {
+		t.Helper()
+		frames, err := Chunks(1, airproto.PushCommit, sealed, 600, nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var final *airproto.Frame
+		for _, f := range frames {
+			final, _ = a.HandleFrame(f)
+		}
+		return final
+	}
+
+	// Incarnation A publishes transfer 1 and the verdict is cached.
+	if ack := push(first, 0xaaa); ack.Code != airproto.AckApplied {
+		t.Fatalf("first publish acked with code %d", ack.Code)
+	}
+	if _, nonce := a.FleetVersion(); nonce != 0xaaa {
+		t.Fatalf("fleet nonce %#x after first apply", nonce)
+	}
+
+	// A restarted coordinator (incarnation B) reuses transfer ID 1 for new
+	// bytes. The cached ack must NOT answer it; the new epoch must apply.
+	if ack := push(second, 0xbbb); ack.Code != airproto.AckApplied {
+		t.Fatalf("post-restart publish acked with code %d", ack.Code)
+	}
+	if len(applied) != 2 || !bytes.Equal(applied[1], second) {
+		t.Fatalf("post-restart transfer answered from cache (%d applies)", len(applied))
+	}
+	if seq, nonce := a.FleetVersion(); seq != 1 || nonce != 0xbbb {
+		t.Fatalf("fleet version (%d, %#x) after restart publish", seq, nonce)
+	}
+
+	// Retransmits of incarnation B's transfer hit the refreshed cache, and
+	// the completing ack echoes B's nonce.
+	frames, _ := Chunks(1, airproto.PushCommit, second, 600, 0xbbb)
+	ack, _ := a.HandleFrame(frames[0])
+	if ack.Code != airproto.AckApplied {
+		t.Fatalf("retransmit under the new incarnation answered with code %d", ack.Code)
+	}
+	if _, _, _, nonce := ack.AckInfo(); nonce != 0xbbb {
+		t.Fatalf("cached ack echoes nonce %#x, want 0xbbb", nonce)
+	}
+	if len(applied) != 2 {
+		t.Fatalf("retransmit re-applied (%d applies)", len(applied))
+	}
+}
+
 func TestAgentIgnoresJoinReplies(t *testing.T) {
 	a := NewAgent(nil, nil)
-	if _, ok := a.HandleFrame(airproto.Join(1, 2, 3)); ok {
+	if _, ok := a.HandleFrame(airproto.Join(1, 2, 3, 4)); ok {
 		t.Fatal("agent answered a join frame")
 	}
 }

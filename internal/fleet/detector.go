@@ -51,7 +51,8 @@ type DetectorConfig struct {
 	// NackWindow and NackFrac arm data-path suspicion: when the trailing
 	// NackWindow forward outcomes for a member are at least NackFrac
 	// failures, the member turns Suspect without waiting for heartbeats to
-	// miss (defaults 16 / 0.5; NackWindow 0 disables).
+	// miss. NackWindow 0 takes the default 16; a NEGATIVE NackWindow
+	// disables data-path suspicion entirely (NackFrac defaults to 0.5).
 	NackWindow int
 	NackFrac   float64
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -10,6 +11,15 @@ import (
 	"repro/internal/obs/events"
 	"repro/internal/obs/trace"
 )
+
+// ErrRefused marks a permanent Publish verdict: the epoch itself was judged
+// bad — it would not decode, the canary rejected it, or a fan-out replica
+// refused it — and retrying the same bytes can never succeed. Publish
+// errors NOT wrapping ErrRefused are transient transport failures (no live
+// replicas yet, canary unreachable, chunk ack timeouts): the fleet is
+// unchanged or already rolled back, and the same epoch should be offered
+// again. Callers gate retry-vs-skip on errors.Is(err, ErrRefused).
+var ErrRefused = errors.New("epoch refused")
 
 // Publish replicates one sealed checkpoint epoch across the fleet:
 //
@@ -34,7 +44,7 @@ import (
 func (r *Router) Publish(sealed []byte) error {
 	ep, err := checkpoint.DecodeEpoch(sealed)
 	if err != nil {
-		return fmt.Errorf("fleet: refusing to publish: %w", err)
+		return fmt.Errorf("fleet: refusing to publish: %w (%w)", err, ErrRefused)
 	}
 	r.pubMu.Lock()
 	defer r.pubMu.Unlock()
@@ -68,7 +78,7 @@ func (r *Router) Publish(sealed []byte) error {
 		r.det.ReportForward(canary.name, true, time.Now())
 		return fmt.Errorf("fleet: canary %s unreachable: %w", canary.name, err)
 	}
-	_, agreement, _ := ack.AckInfo()
+	_, agreement, _, _ := ack.AckInfo()
 	csp.SetNum("agreement", agreement)
 	csp.End()
 	if ack.Code != airproto.AckApplied || agreement < r.cfg.CanaryFrac {
@@ -86,8 +96,8 @@ func (r *Router) Publish(sealed []byte) error {
 		} else if rollback == nil && ack.Code == airproto.AckApplied {
 			r.cfg.Logf("fleet: WARNING: canary %s holds a rejected epoch and no rollback target exists", canary.name)
 		}
-		return fmt.Errorf("fleet: canary %s refused epoch %d (verdict %d, agreement %.2f < %.2f)",
-			canary.name, ep.Seq, ack.Code, agreement, r.cfg.CanaryFrac)
+		return fmt.Errorf("fleet: canary %s refused epoch %d (verdict %d, agreement %.2f < %.2f): %w",
+			canary.name, ep.Seq, ack.Code, agreement, r.cfg.CanaryFrac, ErrRefused)
 	}
 
 	// Canary holds the new epoch; fan out to the rest in parallel.
@@ -121,7 +131,7 @@ func (r *Router) Publish(sealed []byte) error {
 			rejected = true
 			r.cfg.Logf("fleet: replica %s refused epoch %d during fan-out", res.m.name, ep.Seq)
 		default:
-			res.m.fleetSeq.Store(uint64(tid))
+			res.m.fleetVer.Store(r.ver(tid))
 			applied++
 		}
 	}
@@ -133,13 +143,13 @@ func (r *Router) Publish(sealed []byte) error {
 		if rollback != nil {
 			r.rollbackFleet(rollback, pid)
 		}
-		return fmt.Errorf("fleet: epoch %d refused during fan-out, fleet rolled back", ep.Seq)
+		return fmt.Errorf("fleet: epoch %d refused during fan-out, fleet rolled back: %w", ep.Seq, ErrRefused)
 	}
 	r.mu.Lock()
 	r.current = sealed
 	r.currentTid = tid
 	r.mu.Unlock()
-	canary.fleetSeq.Store(uint64(tid))
+	canary.fleetVer.Store(r.ver(tid))
 	events.Default().EmitTraced(pid, events.FleetPublish, "epoch replicated fleet-wide",
 		events.Num("epoch_seq", float64(ep.Seq)),
 		events.Num("fleet_seq", float64(tid)),
@@ -168,7 +178,7 @@ func (r *Router) rollbackFleet(sealed []byte, pid trace.ID) {
 				r.cfg.Logf("fleet: replica %s refused ROLLBACK epoch (seq %d) — manual intervention needed", m.name, rtid)
 				return
 			}
-			m.fleetSeq.Store(uint64(rtid))
+			m.fleetVer.Store(r.ver(rtid))
 		}()
 	}
 	for range order {
@@ -189,7 +199,7 @@ func (r *Router) rollbackFleet(sealed []byte, pid trace.ID) {
 // PublishTimeout per ack. It returns the completing ack (AckApplied or
 // AckRejected). An error means the member never finished the transfer.
 func (r *Router) pushEpoch(m *member, tid uint32, sealed []byte, mode uint8) (*airproto.Frame, error) {
-	frames, err := Chunks(tid, mode, sealed, r.cfg.ChunkBytes)
+	frames, err := Chunks(tid, mode, sealed, r.cfg.ChunkBytes, r.incar)
 	if err != nil {
 		return nil, err
 	}
@@ -225,10 +235,15 @@ func (r *Router) pushEpoch(m *member, tid uint32, sealed []byte, mode uint8) (*a
 				if af.Code != airproto.AckChunk {
 					// The completing verdict — possibly early (a duplicate
 					// transfer the replica already finished, or a mid-stream
-					// rejection). Either way it is final.
+					// rejection). Final only if it is about THIS
+					// incarnation's transfer: a verdict echoing another
+					// nonce is a stale cache answer about different bytes.
+					if _, _, _, nonce := af.AckInfo(); nonce != r.incar {
+						continue
+					}
 					return af, nil
 				}
-				if idx, _, _ := af.AckInfo(); idx == i {
+				if idx, _, _, _ := af.AckInfo(); idx == i {
 					acked = true
 				}
 			}

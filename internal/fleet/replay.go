@@ -74,8 +74,12 @@ type replayReplica struct {
 }
 
 // replayCanaryFrac is the gate a replayed canary must clear, matching the
-// production default.
-const replayCanaryFrac = 0.8
+// production default. replayNonce stands in for the coordinator incarnation
+// nonce — fixed, so the episode stays a pure function of the seed.
+const (
+	replayCanaryFrac = 0.8
+	replayNonce      = 0x5eed
+)
 
 // replayEpoch builds a synthetic sealed payload for the replay: size bytes
 // of seeded noise with the canary agreement encoded in the first byte
@@ -167,7 +171,7 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 	// chunk frame like the coordinator's sender does, and returns the
 	// completing ack.
 	push := func(r *replayReplica, tid uint32, sealed []byte, mode uint8) (*airproto.Frame, error) {
-		frames, err := Chunks(tid, mode, sealed, cfg.ChunkBytes)
+		frames, err := Chunks(tid, mode, sealed, cfg.ChunkBytes, replayNonce)
 		if err != nil {
 			return nil, err
 		}
@@ -214,7 +218,7 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 		if err != nil {
 			return err
 		}
-		_, agreement, _ := ack.AckInfo()
+		_, agreement, _, _ := ack.AckInfo()
 		if ack.Code != airproto.AckApplied || agreement < replayCanaryFrac {
 			canaryRejects.Inc()
 			st.CanaryRejects++

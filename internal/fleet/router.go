@@ -9,6 +9,8 @@
 package fleet
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -103,10 +105,12 @@ func (c Config) withDefaults() Config {
 
 // member is the router's record of one replica.
 type member struct {
-	name       string
-	addr       *net.UDPAddr
-	fleetSeq   atomic.Uint64 // last replicated epoch the replica reported
-	catchingUp atomic.Bool   // an anti-entropy push is already in flight
+	name string
+	addr *net.UDPAddr
+	// fleetVer is the (incarnation nonce << 32 | seq) of the last replicated
+	// epoch the replica reported via heartbeat or join.
+	fleetVer   atomic.Uint64
+	catchingUp atomic.Bool // an anti-entropy push is already in flight
 }
 
 // Router fronts the fleet: it routes client frames across the replicas by
@@ -116,6 +120,12 @@ type Router struct {
 	cfg Config
 	det *Detector
 	up  *net.UDPConn // upstream socket: heartbeats + forwarded requests
+	// incar is this coordinator incarnation's random 24-bit nonce, stamped
+	// on every push chunk and compared against the nonce replicas report
+	// back. It must differ across process restarts (so it is NOT derived
+	// from Config.Seed): transfer sequences restart from 1 with the process,
+	// and replicas cache per-transfer verdicts keyed by (seq, nonce).
+	incar uint32
 
 	mu         sync.Mutex
 	ring       *Ring
@@ -136,6 +146,19 @@ type Router struct {
 	closeOnce sync.Once
 }
 
+// newIncarnation draws a nonzero random 24-bit coordinator nonce. Entropy
+// comes from the OS, falling back to the wall clock — never from a config
+// seed, which a restarted process would reuse.
+func newIncarnation() uint32 {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if n := binary.LittleEndian.Uint32(b[:]) & airproto.NonceMask; n != 0 {
+			return n
+		}
+	}
+	return uint32(time.Now().UnixNano())&airproto.NonceMask | 1
+}
+
 // NewRouter resolves the seed replicas, binds the upstream socket, and
 // starts the heartbeat and reply-dispatch loops.
 func NewRouter(cfg Config) (*Router, error) {
@@ -143,6 +166,7 @@ func NewRouter(cfg Config) (*Router, error) {
 	r := &Router{
 		cfg:     cfg,
 		det:     NewDetector(cfg.Detector, rng.New(cfg.Seed^0xf1ee7)),
+		incar:   newIncarnation(),
 		ring:    NewRing(),
 		members: make(map[string]*member),
 		pend:    make(map[uint32]chan *airproto.Frame),
@@ -200,6 +224,15 @@ func (r *Router) CurrentTid() uint32 {
 	return r.currentTid
 }
 
+// Incarnation returns this coordinator incarnation's nonce — the high half
+// of every fleet version it publishes.
+func (r *Router) Incarnation() uint32 { return r.incar }
+
+// ver packs a transfer sequence into this incarnation's fleet version.
+func (r *Router) ver(tid uint32) uint64 {
+	return uint64(r.incar)<<32 | uint64(tid)
+}
+
 // MemberFleetSeq returns the last replicated-epoch sequence a member
 // reported via heartbeat or join (ok=false for an unknown member).
 func (r *Router) MemberFleetSeq(name string) (uint64, bool) {
@@ -209,7 +242,7 @@ func (r *Router) MemberFleetSeq(name string) (uint64, bool) {
 	if m == nil {
 		return 0, false
 	}
-	return m.fleetSeq.Load(), true
+	return m.fleetVer.Load() & 0xffffffff, true
 }
 
 // await registers a pending reply slot for frame id.
@@ -328,7 +361,7 @@ func (r *Router) heartbeat(m *member) {
 	case f := <-ch:
 		if f.Kind == airproto.KindHeartbeat && len(f.Data) > 0 {
 			hv := f.HealthVector()
-			m.fleetSeq.Store(uint64(hv[airproto.HBFleetSeq]))
+			m.fleetVer.Store(uint64(hv[airproto.HBFleetNonce])<<32 | uint64(hv[airproto.HBFleetSeq]))
 		}
 		r.observeMember(m, true)
 		r.maybeCatchUp(m)
@@ -376,14 +409,19 @@ func (r *Router) evict(m *member, why string) {
 }
 
 // maybeCatchUp launches an asynchronous anti-entropy push when the member
-// reports an older replicated epoch than the fleet's current one. One
-// catch-up per member at a time; the member's next heartbeat reply shows
-// whether it landed.
+// reports ANY fleet version other than the coordinator's current one — not
+// just an older sequence. A replica can legitimately report a HIGHER
+// number than the fleet's: sequences restart from 1 with the coordinator
+// process, so after a restart a surviving replica holds a large sequence
+// from the previous incarnation while the new coordinator counts from 1
+// again. The coordinator is authoritative; inequality means divergence.
+// One catch-up per member at a time; the member's next heartbeat reply
+// shows whether it landed.
 func (r *Router) maybeCatchUp(m *member) {
 	r.mu.Lock()
 	cur, tid := r.current, r.currentTid
 	r.mu.Unlock()
-	if cur == nil || m.fleetSeq.Load() >= uint64(tid) {
+	if cur == nil || m.fleetVer.Load() == r.ver(tid) {
 		return
 	}
 	if !m.catchingUp.CompareAndSwap(false, true) {
@@ -393,6 +431,18 @@ func (r *Router) maybeCatchUp(m *member) {
 	go func() {
 		defer r.wg.Done()
 		defer m.catchingUp.Store(false)
+		// Serialize with publishes and re-check: mid-fan-out the member may
+		// already hold a version NEWER than currentTid (per-member versions
+		// advance before the commit point), and pushing the old current
+		// epoch over it would regress the replica.
+		r.pubMu.Lock()
+		defer r.pubMu.Unlock()
+		r.mu.Lock()
+		cur, tid := r.current, r.currentTid
+		r.mu.Unlock()
+		if cur == nil || m.fleetVer.Load() == r.ver(tid) {
+			return
+		}
 		catchupCount.Inc()
 		ack, err := r.pushEpoch(m, tid, cur, airproto.PushCommit)
 		switch {
@@ -401,7 +451,7 @@ func (r *Router) maybeCatchUp(m *member) {
 		case ack.Code != airproto.AckApplied:
 			r.cfg.Logf("fleet: replica %s refused catch-up epoch %d", m.name, tid)
 		default:
-			m.fleetSeq.Store(uint64(tid))
+			m.fleetVer.Store(r.ver(tid))
 			r.cfg.Logf("fleet: replica %s caught up to epoch %d", m.name, tid)
 		}
 	}()
@@ -414,7 +464,7 @@ func (r *Router) maybeCatchUp(m *member) {
 // catch-up push is coming.
 func (r *Router) handleJoin(conn *net.UDPConn, f *airproto.Frame, from *net.UDPAddr) {
 	name := from.String()
-	fleetSeq, _ := f.JoinSeqs()
+	fleetSeq, _, fleetNonce := f.JoinInfo()
 	r.mu.Lock()
 	m := r.members[name]
 	fresh := m == nil
@@ -429,7 +479,7 @@ func (r *Router) handleJoin(conn *net.UDPConn, f *airproto.Frame, from *net.UDPA
 	curTid := r.currentTid
 	r.mu.Unlock()
 
-	m.fleetSeq.Store(fleetSeq)
+	m.fleetVer.Store(uint64(fleetNonce)<<32 | fleetSeq)
 	prev := r.det.State(name)
 	r.det.Revive(name)
 	if fresh || !inRing || prev != Alive {
@@ -440,7 +490,7 @@ func (r *Router) handleJoin(conn *net.UDPConn, f *airproto.Frame, from *net.UDPA
 			events.Num("reported_seq", float64(fleetSeq)),
 			events.Num("fleet_seq", float64(curTid)))
 	}
-	if out, err := airproto.Join(f.ID, uint64(curTid), 0).Marshal(); err == nil {
+	if out, err := airproto.Join(f.ID, uint64(curTid), 0, r.incar).Marshal(); err == nil {
 		conn.WriteToUDP(out, from)
 	}
 	r.maybeCatchUp(m)

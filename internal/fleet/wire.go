@@ -15,17 +15,21 @@ const DefaultChunkBytes = 8192
 // Reassembly guards: a replica holds at most maxTransfers concurrent
 // partial transfers and refuses any transfer claiming more than
 // maxTransferBytes — a malformed or hostile header must not make the
-// replica allocate unbounded buffers.
+// replica allocate unbounded buffers. The byte cap is airproto's
+// float32-exact bound (16 MiB): chunk header integers ride float32 samples
+// that are only exact below 2^24, so a larger transfer would ship rounded
+// offsets. Sealed epochs are a few MiB at most.
 const (
 	maxTransfers     = 4
-	maxTransferBytes = 1 << 26 // 64 MiB; sealed epochs are a few MiB at most
+	maxTransferBytes = airproto.MaxTransferBytes
 )
 
 // Chunks splits one sealed checkpoint epoch into ordered KindEpochPush
-// frames for transfer tid in the given push mode. Every chunk carries its
-// own byte offset, so the receiver never infers positions from a stride and
-// out-of-order or duplicated arrival is harmless.
-func Chunks(tid uint32, mode uint8, sealed []byte, chunkBytes int) ([]*airproto.Frame, error) {
+// frames for transfer tid in the given push mode, stamped with the
+// coordinator's incarnation nonce. Every chunk carries its own byte offset,
+// so the receiver never infers positions from a stride and out-of-order or
+// duplicated arrival is harmless.
+func Chunks(tid uint32, mode uint8, sealed []byte, chunkBytes int, nonce uint32) ([]*airproto.Frame, error) {
 	if len(sealed) == 0 {
 		return nil, fmt.Errorf("fleet: refusing to chunk an empty epoch")
 	}
@@ -46,7 +50,7 @@ func Chunks(tid uint32, mode uint8, sealed []byte, chunkBytes int) ([]*airproto.
 		if end > len(sealed) {
 			end = len(sealed)
 		}
-		f, err := airproto.EpochChunk(tid, mode, i, total, sealed[off:end], off, len(sealed))
+		f, err := airproto.EpochChunk(tid, mode, i, total, sealed[off:end], off, len(sealed), nonce)
 		if err != nil {
 			return nil, err
 		}
@@ -58,6 +62,7 @@ func Chunks(tid uint32, mode uint8, sealed []byte, chunkBytes int) ([]*airproto.
 // transfer is one in-progress chunked reception.
 type transfer struct {
 	mode    uint8
+	nonce   uint32 // coordinator incarnation that opened the transfer
 	buf     []byte
 	got     []bool
 	pending int // chunks still missing
@@ -82,7 +87,7 @@ func NewReassembler() *Reassembler {
 // drops the whole transfer — a torn buffer must never reach the decoder.
 func (ra *Reassembler) Add(f *airproto.Frame) (sealed []byte, mode uint8, done bool, err error) {
 	idx, total := f.ChunkInfo()
-	chunk, off, totalLen, ok := f.ChunkPayload()
+	chunk, off, totalLen, nonce, ok := f.ChunkPayload()
 	if !ok || idx < 0 || total < 1 || idx >= total {
 		return nil, 0, false, fmt.Errorf("fleet: malformed chunk %d/%d for transfer %d", idx, total, f.ID)
 	}
@@ -94,14 +99,14 @@ func (ra *Reassembler) Add(f *airproto.Frame) (sealed []byte, mode uint8, done b
 		if len(ra.m) >= maxTransfers {
 			ra.evictOldest()
 		}
-		tr = &transfer{mode: f.Code, buf: make([]byte, totalLen), got: make([]bool, total), pending: total}
+		tr = &transfer{mode: f.Code, nonce: nonce, buf: make([]byte, totalLen), got: make([]bool, total), pending: total}
 		ra.m[f.ID] = tr
 		ra.order = append(ra.order, f.ID)
 	}
-	if len(tr.buf) != totalLen || len(tr.got) != total || tr.mode != f.Code {
+	if len(tr.buf) != totalLen || len(tr.got) != total || tr.mode != f.Code || tr.nonce != nonce {
 		ra.Drop(f.ID)
-		return nil, 0, false, fmt.Errorf("fleet: transfer %d changed shape mid-flight (%d/%d bytes, %d/%d chunks)",
-			f.ID, totalLen, len(tr.buf), total, len(tr.got))
+		return nil, 0, false, fmt.Errorf("fleet: transfer %d changed shape mid-flight (%d/%d bytes, %d/%d chunks, nonce %d/%d)",
+			f.ID, totalLen, len(tr.buf), total, len(tr.got), nonce, tr.nonce)
 	}
 	if tr.got[idx] {
 		return nil, tr.mode, false, nil // duplicate: already placed

@@ -19,7 +19,7 @@ func testSealed(n int, seed uint64) []byte {
 
 func TestChunksRoundTripInOrder(t *testing.T) {
 	sealed := testSealed(10_000, 1)
-	frames, err := Chunks(7, airproto.PushCommit, sealed, 1024)
+	frames, err := Chunks(7, airproto.PushCommit, sealed, 1024, 0xa1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestChunksSurviveWire(t *testing.T) {
 	// Every chunk must fit an airproto datagram and round-trip through
 	// Marshal/Unmarshal — the reassembler sees wire frames, not originals.
 	sealed := testSealed(3_000, 2)
-	frames, err := Chunks(9, airproto.PushCanary, sealed, 0) // default chunking
+	frames, err := Chunks(9, airproto.PushCanary, sealed, 0, 0xa1) // default chunking
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestChunksSurviveWire(t *testing.T) {
 
 func TestReassemblerOutOfOrderAndDuplicates(t *testing.T) {
 	sealed := testSealed(5_000, 3)
-	frames, err := Chunks(11, airproto.PushCommit, sealed, 700)
+	frames, err := Chunks(11, airproto.PushCommit, sealed, 700, 0xa1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,25 +105,37 @@ func TestReassemblerOutOfOrderAndDuplicates(t *testing.T) {
 
 func TestReassemblerRejectsShapeShift(t *testing.T) {
 	sealed := testSealed(2_000, 5)
-	frames, _ := Chunks(13, airproto.PushCommit, sealed, 600)
+	frames, _ := Chunks(13, airproto.PushCommit, sealed, 600, 0xa1)
 	ra := NewReassembler()
 	if _, _, _, err := ra.Add(frames[0]); err != nil {
 		t.Fatal(err)
 	}
 	// Same transfer ID, different mode: the transfer must drop, not blend.
-	evil, _ := Chunks(13, airproto.PushRollback, sealed, 600)
+	evil, _ := Chunks(13, airproto.PushRollback, sealed, 600, 0xa1)
 	if _, _, _, err := ra.Add(evil[1]); err == nil {
 		t.Fatal("mode flip mid-transfer accepted")
 	}
 	if len(ra.m) != 0 {
 		t.Fatal("poisoned transfer not dropped")
 	}
+	// Same transfer ID, different coordinator incarnation: chunks from two
+	// incarnations carry different bytes and must never blend either.
+	if _, _, _, err := ra.Add(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := Chunks(13, airproto.PushCommit, sealed, 600, 0xb2)
+	if _, _, _, err := ra.Add(other[1]); err == nil {
+		t.Fatal("nonce flip mid-transfer accepted")
+	}
+	if len(ra.m) != 0 {
+		t.Fatal("cross-incarnation transfer not dropped")
+	}
 }
 
 func TestReassemblerEvictsOldestPartial(t *testing.T) {
 	ra := NewReassembler()
 	for tid := uint32(1); tid <= maxTransfers+1; tid++ {
-		frames, _ := Chunks(tid, airproto.PushCommit, testSealed(2_000, uint64(tid)), 600)
+		frames, _ := Chunks(tid, airproto.PushCommit, testSealed(2_000, uint64(tid)), 600, 0xa1)
 		if _, _, _, err := ra.Add(frames[0]); err != nil {
 			t.Fatal(err)
 		}
@@ -137,10 +149,10 @@ func TestReassemblerEvictsOldestPartial(t *testing.T) {
 }
 
 func TestChunksRejectsEmptyAndOversized(t *testing.T) {
-	if _, err := Chunks(1, airproto.PushCommit, nil, 100); err == nil {
+	if _, err := Chunks(1, airproto.PushCommit, nil, 100, 0); err == nil {
 		t.Fatal("empty epoch chunked")
 	}
-	if _, err := Chunks(1, airproto.PushCommit, make([]byte, maxTransferBytes+1), 100); err == nil {
+	if _, err := Chunks(1, airproto.PushCommit, make([]byte, maxTransferBytes+1), 100, 0); err == nil {
 		t.Fatal("oversized epoch chunked")
 	}
 }
