@@ -42,12 +42,18 @@ obsgate:
 
 # benchgate wires the p99 regression comparator into CI: unit tests prove it
 # trips on real regressions and stays quiet under the relative threshold or
-# the absolute µs floor, then one fresh servebench snapshot is self-compared
-# through the CLI path (a self-compare must always exit 0; comparing two
-# live runs would flake on loaded CI machines, which is exactly the noise
-# the floor exists to reject when a human runs -compare old vs new).
+# the absolute µs floor, then one fresh servebench snapshot (sequential,
+# batched, and cascade tiers) is self-compared through the CLI path (a
+# self-compare must always exit 0; comparing two live runs would flake on
+# loaded CI machines, which is exactly the noise the floor exists to reject
+# when a human runs -compare old vs new). The zero-alloc steady-state tests
+# are the alloc-regression half of the gate: any allocation creeping into
+# the batched serving hot path fails them deterministically, without
+# depending on wall-clock benchmark numbers.
 benchgate:
 	$(GO) test -run 'TestCompare' ./cmd/metaai-bench
+	$(GO) test -count=1 -run 'TestAccumulateSteadyStateZeroAlloc' ./internal/ota
+	$(GO) test -count=1 -run 'TestWorkerBatchSteadyStateZeroAlloc' ./cmd/metaai-serve
 	$(GO) run ./cmd/metaai-bench -servebench 100 -obs-out .benchgate.json
 	$(GO) run ./cmd/metaai-bench -compare .benchgate.json .benchgate.json
 	rm -f .benchgate.json
@@ -98,7 +104,9 @@ check: vet test race fuzz ckptfuzz faultgate recovergate cascadegate fleetgate o
 # bench runs the Go micro-benchmarks, then the serve-path observability
 # benchmark, which snapshots its metrics into BENCH_serve.json. Emit-only:
 # no CI threshold reads the file — it exists so regressions show up in
-# diffs.
+# diffs. 2000 inferences keep the µs-per-inference tiers out of the
+# warmup-noise regime (at 200, total wall time is ~1 ms and page faults
+# dominate).
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
-	$(GO) run ./cmd/metaai-bench -servebench 200 -obs-out BENCH_serve.json
+	$(GO) run ./cmd/metaai-bench -servebench 2000 -obs-out BENCH_serve.json

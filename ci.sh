@@ -38,8 +38,10 @@ go test -race -count=1 -run 'TestFleetBench' -short ./cmd/metaai-serve
 echo "== obs determinism gate =="
 go test -run 'TestServeBenchDeterministicFingerprint' ./cmd/metaai-bench
 
-echo "== bench p99 regression gate (comparator tests + CLI self-compare) =="
+echo "== bench p99 regression gate (comparator tests + zero-alloc hot path + CLI self-compare) =="
 go test -run 'TestCompare' ./cmd/metaai-bench
+go test -count=1 -run 'TestAccumulateSteadyStateZeroAlloc' ./internal/ota
+go test -count=1 -run 'TestWorkerBatchSteadyStateZeroAlloc' ./cmd/metaai-serve
 go run ./cmd/metaai-bench -servebench 100 -obs-out .benchgate.json
 go run ./cmd/metaai-bench -compare .benchgate.json .benchgate.json
 rm -f .benchgate.json
@@ -51,6 +53,6 @@ cmp .tracegate.a.json .tracegate.b.json
 rm -f .tracegate.a.json .tracegate.b.json
 
 echo "== servebench snapshot (emit-only, no thresholds) =="
-go run ./cmd/metaai-bench -servebench 100 -obs-out BENCH_serve.json
+go run ./cmd/metaai-bench -servebench 2000 -obs-out BENCH_serve.json
 
 echo "ci: all checks passed"

@@ -18,6 +18,11 @@ type benchReport struct {
 	Seed         uint64  `json:"seed"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	MicrosPerInf float64 `json:"micros_per_inference"`
+	// MicrosPerInfBatch gates the batched zero-alloc serve path
+	// (AccumulateBatch sweeps); zero in artifacts written before batching
+	// existed, which check() treats as "no old baseline" rather than a
+	// regression.
+	MicrosPerInfBatch float64 `json:"micros_per_inference_batch"`
 	// MicrosPerInfCas gates the 2-layer cascade hot path; zero in artifacts
 	// written before cascades existed, which check() treats as "no old
 	// baseline" rather than a regression.
@@ -69,6 +74,7 @@ func compareReports(oldR, newR *benchReport, threshold, floorMicros float64) err
 		rows = append(rows, r)
 	}
 	check("micros_per_inference", oldR.MicrosPerInf, newR.MicrosPerInf)
+	check("micros_per_inference_batch", oldR.MicrosPerInfBatch, newR.MicrosPerInfBatch)
 	check("micros_per_inference_cascade2", oldR.MicrosPerInfCas, newR.MicrosPerInfCas)
 	for _, name := range sortedNames(oldR.Metrics.Histograms) {
 		oldH := oldR.Metrics.Histograms[name]

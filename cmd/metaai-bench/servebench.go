@@ -13,17 +13,23 @@ import (
 	"repro/internal/rng"
 )
 
+// serveBatchSize is the sweep width of the batched-inference tier — the
+// serve worker's drain ceiling at `-batch 8`.
+const serveBatchSize = 8
+
 // serveBenchRun deploys a small random-weight over-the-air system, enables
 // observability, and replays n inferences through one session — then the
-// same workload through a 2-layer stacked cascade, and finally a replayed
-// fleet episode (routing, failover, eviction, replication, canary rollback,
-// catch-up) so the snapshot carries the serving hot paths AND the fleet.*
-// series. It returns the metric snapshot plus the single-surface and
-// cascade inference-loop wall times. The whole run is a pure function of
-// (n, seed) except for wall-clock durations, so the snapshot's Fingerprint
-// (counters, gauges, histogram counts) is deterministic — the CI gate
-// asserts exactly that.
-func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Duration, error) {
+// same n through the batched zero-alloc path (AccumulateBatch sweeps of
+// serveBatchSize, magnitudes via AbsInto scratch, mirroring the serve
+// worker's steady state), then the sequential workload through a 2-layer
+// stacked cascade, and finally a replayed fleet episode (routing, failover,
+// eviction, replication, canary rollback, catch-up) so the snapshot carries
+// the serving hot paths AND the fleet.* series. It returns the metric
+// snapshot plus the single-surface, batched, and cascade inference-loop
+// wall times. The whole run is a pure function of (n, seed) except for
+// wall-clock durations, so the snapshot's Fingerprint (counters, gauges,
+// histogram counts) is deterministic — the CI gate asserts exactly that.
+func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Duration, time.Duration, error) {
 	obs.SetEnabled(true)
 	obs.Default().Reset()
 	src := rng.New(seed)
@@ -34,7 +40,7 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Durat
 	}
 	d, err := ota.NewDeployment(w, ota.NewOptions(src.Split()), src)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	sess := d.NewSession(src.Split())
 	x := make([]complex128, d.InputLen())
@@ -47,6 +53,42 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Durat
 	}
 	elapsed := time.Since(start)
 
+	// Batched hot path: n inferences in AccumulateBatch sweeps over reused
+	// accumulators and magnitude scratch — what a serve worker does per
+	// wakeup under load — on a static-channel epoch (compensated
+	// quasi-static environment, no jitter, no sync sampler), where the
+	// deployment's cached flat response rows turn the inner loop into a
+	// fused multiply-add.
+	srcB := rng.New(seed ^ 0xba7c)
+	optsB := ota.NewOptions(srcB.Split())
+	optsB.SubSamples = 0
+	optsB.JitterStd = 0
+	optsB.CompensateEnv = true
+	db, err := ota.NewDeployment(w, optsB, srcB)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	sessB := db.NewSession(srcB.Split())
+	xs := make([][]complex128, serveBatchSize)
+	accs := make([]cplx.Vec, serveBatchSize)
+	for i := range xs {
+		xs[i] = x
+		accs[i] = make(cplx.Vec, db.Classes())
+	}
+	var mags []float64
+	startB := time.Now()
+	for done := 0; done < n; done += serveBatchSize {
+		sweep := xs
+		if rem := n - done; rem < serveBatchSize {
+			sweep = xs[:rem]
+		}
+		out := sessB.AccumulateBatch(sweep, accs)
+		for _, acc := range out {
+			mags = cplx.AbsInto(mags, acc)
+		}
+	}
+	elapsedB := time.Since(startB)
+
 	// Cascade hot path: the same weights behind a 2-layer stack.
 	srcC := rng.New(seed ^ 0xca5c)
 	optsC := ota.NewOptions(srcC.Split())
@@ -54,7 +96,7 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Durat
 	optsC.HopNoise = ota.DefaultHopNoise
 	dc, err := ota.NewDeployment(w, optsC, srcC)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	sessC := dc.NewSession(srcC.Split())
 	startC := time.Now()
@@ -68,10 +110,10 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Durat
 	// failure repertoire, so the fleet.* counters land in the snapshot with
 	// reproducible values.
 	if _, err := fleet.Replay(fleet.ReplayConfig{Seed: seed ^ 0xf1ee7}); err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	snap := obs.Default().Snapshot()
-	return &snap, elapsed, elapsedC, nil
+	return &snap, elapsed, elapsedB, elapsedC, nil
 }
 
 // runServeBench executes serveBenchRun and writes the snapshot plus run
@@ -82,26 +124,30 @@ func runServeBench(n int, out string, seed uint64) error {
 	if n < 1 {
 		n = 1
 	}
-	snap, elapsed, elapsedC, err := serveBenchRun(n, seed)
+	snap, elapsed, elapsedB, elapsedC, err := serveBenchRun(n, seed)
 	if err != nil {
 		return err
 	}
 	report := struct {
-		Bench           string        `json:"bench"`
-		Inferences      int           `json:"inferences"`
-		Seed            uint64        `json:"seed"`
-		WallSeconds     float64       `json:"wall_seconds"`
-		MicrosPerInf    float64       `json:"micros_per_inference"`
-		MicrosPerInfCas float64       `json:"micros_per_inference_cascade2"`
-		Metrics         *obs.Snapshot `json:"metrics"`
+		Bench             string        `json:"bench"`
+		Inferences        int           `json:"inferences"`
+		Seed              uint64        `json:"seed"`
+		BatchSize         int           `json:"batch_size"`
+		WallSeconds       float64       `json:"wall_seconds"`
+		MicrosPerInf      float64       `json:"micros_per_inference"`
+		MicrosPerInfBatch float64       `json:"micros_per_inference_batch"`
+		MicrosPerInfCas   float64       `json:"micros_per_inference_cascade2"`
+		Metrics           *obs.Snapshot `json:"metrics"`
 	}{
-		Bench:           "serve",
-		Inferences:      n,
-		Seed:            seed,
-		WallSeconds:     elapsed.Seconds(),
-		MicrosPerInf:    float64(elapsed.Microseconds()) / float64(n),
-		MicrosPerInfCas: float64(elapsedC.Microseconds()) / float64(n),
-		Metrics:         snap,
+		Bench:             "serve",
+		Inferences:        n,
+		Seed:              seed,
+		BatchSize:         serveBatchSize,
+		WallSeconds:       elapsed.Seconds(),
+		MicrosPerInf:      float64(elapsed.Microseconds()) / float64(n),
+		MicrosPerInfBatch: float64(elapsedB.Microseconds()) / float64(n),
+		MicrosPerInfCas:   float64(elapsedC.Microseconds()) / float64(n),
+		Metrics:           snap,
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -111,7 +157,7 @@ func runServeBench(n int, out string, seed uint64) error {
 	if err := os.WriteFile(out, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("servebench: %d inferences in %.3fs (%.1f µs each; 2-layer cascade %.1f µs each), snapshot written to %s\n",
-		n, elapsed.Seconds(), report.MicrosPerInf, report.MicrosPerInfCas, out)
+	fmt.Printf("servebench: %d inferences in %.3fs (%.1f µs each; batch-%d %.1f µs each; 2-layer cascade %.1f µs each), snapshot written to %s\n",
+		n, elapsed.Seconds(), report.MicrosPerInf, serveBatchSize, report.MicrosPerInfBatch, report.MicrosPerInfCas, out)
 	return nil
 }

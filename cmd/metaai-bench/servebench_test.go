@@ -17,12 +17,12 @@ import (
 // and are excluded by Fingerprint by construction.
 func TestServeBenchDeterministicFingerprint(t *testing.T) {
 	defer obs.SetEnabled(false)
-	a, _, _, err := serveBenchRun(50, 3)
+	a, _, _, _, err := serveBenchRun(50, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fpA := a.Fingerprint()
-	b, _, _, err := serveBenchRun(50, 3)
+	b, _, _, _, err := serveBenchRun(50, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,12 +33,13 @@ func TestServeBenchDeterministicFingerprint(t *testing.T) {
 	if !reflect.DeepEqual(fpA, fpB) {
 		t.Fatalf("seeded runs diverged:\nrun A: %v\nrun B: %v", fpA, fpB)
 	}
-	// 50 through the single surface + 50 through the 2-layer cascade.
-	if fpA["counter:ota.inferences"] != 100 {
-		t.Fatalf("ota.inferences = %d, want 100", fpA["counter:ota.inferences"])
+	// 50 through the single surface + 50 through the batched static-channel
+	// tier + 50 through the 2-layer cascade.
+	if fpA["counter:ota.inferences"] != 150 {
+		t.Fatalf("ota.inferences = %d, want 150", fpA["counter:ota.inferences"])
 	}
-	if fpA["histcount:ota.infer.seconds"] != 100 {
-		t.Fatalf("ota.infer.seconds count = %d, want 100", fpA["histcount:ota.infer.seconds"])
+	if fpA["histcount:ota.infer.seconds"] != 150 {
+		t.Fatalf("ota.infer.seconds count = %d, want 150", fpA["histcount:ota.infer.seconds"])
 	}
 	if fpA["counter:mts.solve.calls"] == 0 {
 		t.Fatal("mts.solve.calls = 0: deployment solve was not instrumented")
@@ -64,6 +65,7 @@ func TestServeBenchWritesReport(t *testing.T) {
 	var report struct {
 		Bench      string  `json:"bench"`
 		Inferences int     `json:"inferences"`
+		BatchSize  int     `json:"batch_size"`
 		CascadeUs  float64 `json:"micros_per_inference_cascade2"`
 		Metrics    struct {
 			Counters   map[string]int64           `json:"counters"`
@@ -79,8 +81,11 @@ func TestServeBenchWritesReport(t *testing.T) {
 	if report.CascadeUs <= 0 {
 		t.Fatal("artifact carries no cascade hot-path latency")
 	}
-	if report.Metrics.Counters["ota.inferences"] != 40 {
-		t.Fatalf("ota.inferences = %d, want 40 (20 single + 20 cascade)", report.Metrics.Counters["ota.inferences"])
+	if report.BatchSize != serveBatchSize {
+		t.Fatalf("batch_size = %d, want %d", report.BatchSize, serveBatchSize)
+	}
+	if report.Metrics.Counters["ota.inferences"] != 60 {
+		t.Fatalf("ota.inferences = %d, want 60 (20 single + 20 batched + 20 cascade)", report.Metrics.Counters["ota.inferences"])
 	}
 	if _, ok := report.Metrics.Histograms["ota.infer.seconds"]; !ok {
 		t.Fatal("snapshot missing ota.infer.seconds histogram")

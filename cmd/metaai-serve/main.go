@@ -68,6 +68,7 @@ type serverOptions struct {
 	seed         uint64
 	layers       int
 	workers      int
+	batch        int
 	faultRate    float64
 	sabotage     float64
 	selfHeal     bool
@@ -93,6 +94,7 @@ func main() {
 		layers    = flag.Int("layers", 1, "stacked metasurface layers for a cold start (1 = classic single surface; a recovered journal epoch keeps its own layer count)")
 		probe     = flag.String("probe", "", "act as a client: send one test sample to this address and exit")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent inference sessions (min 1)")
+		batch     = flag.Int("batch", 1, "max pending requests one worker drains and accumulates per wakeup (min 1; 1 = classic per-request path, outputs bit-identical at any setting)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "probe per-attempt response timeout")
 		budget    = flag.Duration("budget", 0, "probe overall deadline per exchange across all retry attempts and backoffs (0 disables)")
 		joinAddr  = flag.String("join", "", "announce this replica to a metaai-fleet router at this address and accept replicated epochs")
@@ -145,6 +147,7 @@ func main() {
 		seed:         *seed,
 		layers:       *layers,
 		workers:      *workers,
+		batch:        *batch,
 		faultRate:    *faultRate,
 		sabotage:     *sabotage,
 		selfHeal:     *selfHeal,
@@ -186,6 +189,7 @@ func probeSets(x [][]complex128) (monitor, canary [][]complex128) {
 func buildServerConfig(opt serverOptions) (serverConfig, *checkpoint.Journal, error) {
 	serveCfg := serverConfig{
 		workers:      opt.workers,
+		batch:        opt.batch,
 		healEvery:    opt.healEvery,
 		canaryFrac:   opt.canaryFrac,
 		canarySeed:   opt.seed ^ 0xca9a,

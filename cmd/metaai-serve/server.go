@@ -2,7 +2,6 @@ package main
 
 import (
 	"fmt"
-	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -10,6 +9,7 @@ import (
 
 	"repro/internal/airproto"
 	"repro/internal/checkpoint"
+	"repro/internal/cplx"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/mobility"
@@ -48,6 +48,12 @@ type serverConfig struct {
 	monitor *mobility.Monitor
 	// workers is the number of inference goroutines (min 1).
 	workers int
+	// batch is the most pending requests one worker drains per wakeup and
+	// accumulates as a single Session.AccumulateBatch sweep (min 1). Batch 1
+	// is exactly the classic per-request path; larger batches amortize the
+	// per-inference bookkeeping while keeping accumulator bits identical to
+	// sequential processing.
+	batch int
 	// queue bounds in-flight requests; a full queue sheds load with a
 	// StatusDegraded NACK instead of blocking the read loop. Defaults to
 	// workers*4.
@@ -137,6 +143,9 @@ type healWatch struct {
 func newAirServer(cfg serverConfig) *airServer {
 	if cfg.workers < 1 {
 		cfg.workers = 1
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
 	}
 	if cfg.queue <= 0 {
 		cfg.queue = cfg.workers * 4
@@ -607,37 +616,143 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 	return readErr
 }
 
-// worker consumes requests on its own per-epoch session. The epoch pointer
-// is resolved per request, so a heal takes effect on the next dequeue;
-// sessions are indexed by worker, so no session is ever shared.
+// udpWriter is the reply surface workers write to — *net.UDPConn in
+// production, an in-memory stub in the zero-alloc steady-state test.
+type udpWriter interface {
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+}
+
+// workerScratch bundles one worker's reusable buffers: the drained batch,
+// the validated run and its input views, the per-request accumulators, the
+// magnitude scratch the monitor consumes, and the reply frame plus marshal
+// buffer. Everything is reused across wakeups, so a steady-state worker
+// loop allocates nothing.
+type workerScratch struct {
+	batch []request
+	run   []request
+	xs    [][]complex128
+	accs  []cplx.Vec
+	mags  []float64
+	out   []byte
+	resp  airproto.Frame
+}
+
+// scratchPool recycles worker scratch across worker lifetimes — workers are
+// long-lived, but tests and fleet restarts construct servers repeatedly.
+var scratchPool = sync.Pool{New: func() interface{} { return new(workerScratch) }}
+
+// worker consumes requests on its own per-epoch session, draining up to
+// cfg.batch pending requests per wakeup from the bounded queue — the
+// natural batching point: under light load every batch has size 1 (latency
+// unchanged), and under pressure the queue's depth becomes batched sweeps.
+// The epoch pointer is resolved per batch, so a heal takes effect on the
+// next dequeue; sessions are indexed by worker, so no session is ever
+// shared.
 func (s *airServer) worker(conn *net.UDPConn, w int, reqs <-chan request) {
+	sc := scratchPool.Get().(*workerScratch)
+	defer scratchPool.Put(sc)
 	for r := range reqs {
 		queueDepth.Add(-1)
 		s.inflight.Add(-1)
-		if s.cfg.preInfer != nil {
+		sc.batch = append(sc.batch[:0], r)
+	drain:
+		for len(sc.batch) < s.cfg.batch {
+			select {
+			case r2, ok := <-reqs:
+				if !ok {
+					break drain
+				}
+				queueDepth.Add(-1)
+				s.inflight.Add(-1)
+				sc.batch = append(sc.batch, r2)
+			default:
+				break drain
+			}
+		}
+		s.processBatch(conn, w, sc)
+	}
+}
+
+// processBatch runs one drained batch through worker w's session and writes
+// the replies. Requests are accumulated strictly in dequeue order on the
+// session's single random stream, so a batch of n produces bit-identical
+// accumulators to n sequential single-request wakeups.
+func (s *airServer) processBatch(conn udpWriter, w int, sc *workerScratch) {
+	if s.cfg.preInfer != nil {
+		for range sc.batch {
 			s.cfg.preInfer()
 		}
-		ep := s.cur.Load()
-		r.span.SetNum("worker", float64(w))
-		sess := ep.sessions[w]
-		sess.SetSpan(r.span)
-		acc := sess.Accumulate(r.frame.Data)
-		sess.SetSpan(nil)
-		if mon := s.cfg.monitor; mon != nil {
-			mags := make([]float64, len(acc))
-			for i, v := range acc {
-				mags[i] = math.Hypot(real(v), imag(v))
-			}
-			mon.Observe(mags)
+	}
+	ep := s.cur.Load()
+	u := ep.d.InputLen()
+	// Re-validate the symbol count against the epoch resolved NOW: the read
+	// loop validated against the epoch at enqueue time, and a hot swap that
+	// changes U between enqueue and dequeue would otherwise panic the
+	// session (killing the worker and silently dropping everything queued
+	// behind the request). A swapped-out length gets the same explicit
+	// StatusWrongLen the read loop sends.
+	sc.run = sc.run[:0]
+	sc.xs = sc.xs[:0]
+	for _, r := range sc.batch {
+		if len(r.frame.Data) != u {
+			s.cfg.logf("frame %d: %d symbols, deployed for U=%d after epoch swap", r.frame.ID, len(r.frame.Data), u)
+			s.nack(conn, r.from, airproto.Nack(r.frame.ID, airproto.StatusWrongLen, int32(u)))
+			r.span.SetStr("outcome", "nack_wrong_len")
+			r.span.Finish(trace.FlagNack)
+			continue
 		}
-		resp := &airproto.Frame{ID: r.frame.ID, Label: r.frame.Label, Data: acc}
-		out, err := resp.Marshal()
+		sc.run = append(sc.run, r)
+		sc.xs = append(sc.xs, r.frame.Data)
+	}
+	bsz := len(sc.run)
+	if bsz == 0 {
+		return
+	}
+	classes := ep.d.Classes()
+	if cap(sc.accs) < bsz {
+		grown := make([]cplx.Vec, bsz)
+		copy(grown, sc.accs[:cap(sc.accs)])
+		sc.accs = grown
+	}
+	sc.accs = sc.accs[:bsz]
+	for b := range sc.accs {
+		if len(sc.accs[b]) != classes {
+			sc.accs[b] = make(cplx.Vec, classes)
+		}
+	}
+	sess := ep.sessions[w]
+	if bsz == 1 {
+		// Single request: the classic path, span-parented per request —
+		// bit-identical to pre-batching serving in spans as well as bits.
+		r := sc.run[0]
+		r.span.SetNum("worker", float64(w))
+		r.span.SetNum("batch", 1)
+		sess.SetSpan(r.span)
+		sess.AccumulateInto(r.frame.Data, sc.accs[0])
+		sess.SetSpan(nil)
+	} else {
+		sess.AccumulateBatch(sc.xs, sc.accs)
+	}
+	mon := s.cfg.monitor
+	for b, r := range sc.run {
+		acc := sc.accs[b]
+		if mon != nil {
+			sc.mags = cplx.AbsInto(sc.mags, acc)
+			mon.Observe(sc.mags)
+		}
+		if bsz > 1 {
+			r.span.SetNum("worker", float64(w))
+			r.span.SetNum("batch", float64(bsz))
+		}
+		sc.resp = airproto.Frame{ID: r.frame.ID, Label: r.frame.Label, Data: acc}
+		out, err := sc.resp.MarshalAppend(sc.out[:0])
 		if err != nil {
 			s.cfg.logf("frame %d: %v", r.frame.ID, err)
 			r.span.SetStr("outcome", "marshal_error")
 			r.span.Finish(trace.FlagError)
 			continue
 		}
+		sc.out = out
 		// UDPConn writes are goroutine-safe; replies interleave freely.
 		if _, err := conn.WriteToUDP(out, r.from); err != nil {
 			s.cfg.logf("reply to %s: %v", r.from, err)
@@ -647,13 +762,13 @@ func (s *airServer) worker(conn *net.UDPConn, w int, reqs <-chan request) {
 		servedCount.Inc()
 		r.t.ObserveInto(reqSeconds)
 		r.span.Finish(0)
-		if n := s.served.Add(1); n%50 == 0 {
-			s.cfg.logf("served %d transmissions", n)
+		if total := s.served.Add(1); total%50 == 0 {
+			s.cfg.logf("served %d transmissions", total)
 		}
 	}
 }
 
-func (s *airServer) nack(conn *net.UDPConn, to *net.UDPAddr, f *airproto.Frame) {
+func (s *airServer) nack(conn udpWriter, to *net.UDPAddr, f *airproto.Frame) {
 	if f.Code != airproto.StatusDegraded {
 		s.nacked.Add(1)
 		nackedCount.Inc()

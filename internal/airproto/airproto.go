@@ -126,13 +126,20 @@ func (f *Frame) IsNack() bool { return f.Kind == KindNack }
 
 // Marshal serializes the frame.
 func (f *Frame) Marshal() ([]byte, error) {
+	return f.MarshalAppend(make([]byte, 0, HeaderLen+8*len(f.Data)))
+}
+
+// MarshalAppend serializes the frame onto buf and returns the extended
+// slice, reusing buf's capacity — the zero-alloc variant for reply loops
+// that recycle a scratch buffer (pass buf[:0] to overwrite it). The wire
+// bytes are identical to Marshal's.
+func (f *Frame) MarshalAppend(buf []byte) ([]byte, error) {
 	if len(f.Data) > MaxVector {
 		return nil, fmt.Errorf("airproto: vector length %d exceeds %d", len(f.Data), MaxVector)
 	}
 	if f.Kind > maxKind {
 		return nil, fmt.Errorf("airproto: unknown frame kind %d", f.Kind)
 	}
-	buf := make([]byte, 0, HeaderLen+8*len(f.Data))
 	buf = append(buf, f.Kind, f.Code)
 	buf = binary.LittleEndian.AppendUint32(buf, f.ID)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Label))

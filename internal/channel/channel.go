@@ -200,6 +200,16 @@ func Default() Params {
 // Wavelength returns the carrier wavelength in meters.
 func (p Params) Wavelength() float64 { return SpeedOfLight / (p.FreqGHz * 1e9) }
 
+// StaticMTSPath reports whether the MTS-path scale is constant across the
+// symbols of one transmission: no Doppler phase ramp and no interferer that
+// can shadow the MTS-Rx path (region R4). Off-path interferers (R1–R3) only
+// re-randomize the environmental scatter and leave the MTS path static.
+// Deployment-side response caches are valid only under this predicate.
+func (p Params) StaticMTSPath() bool {
+	_, blockProb, _ := p.Interf.scatterDrift()
+	return p.DopplerHz == 0 && blockProb == 0
+}
+
 // wallLossDB is the penetration loss per interior wall at sub-6 GHz.
 const wallLossDB = 5.0
 
@@ -240,6 +250,22 @@ func (p Params) FSPLAmplitude(d float64) float64 {
 // draw the random multipath and noise.
 type Model struct {
 	p Params
+
+	// Derived constants, fixed at New: realizations are re-drawn per
+	// transmission on the serving hot path, and none of these depend on
+	// anything but Params — recomputing the link budget's pow/log chain per
+	// realization would cost more than the draws themselves. Every value is
+	// computed by exactly the arithmetic the per-realization code used, so
+	// the cached constants are bit-identical to recomputation.
+	envRMS     float64
+	drift      float64
+	blockProb  float64
+	blockDepth float64
+	noise2     float64
+	dopStep    float64
+	baseSD     float64 // per-component SD of the NLoS envBase draw
+	scatterSD  float64 // per-component SD of the per-symbol scatter draw
+	driftSD    float64 // per-component SD of the interferer drift draw
 }
 
 // New returns a channel model for the given parameters.
@@ -247,7 +273,22 @@ func New(p Params) *Model {
 	if p.FreqGHz <= 0 {
 		p.FreqGHz = 5.25
 	}
-	return &Model{p: p}
+	m := &Model{p: p}
+	rel := p.Env.multipathRel() * p.Antenna.multipathFactor()
+	m.envRMS = rel
+	m.drift, m.blockProb, m.blockDepth = p.Interf.scatterDrift()
+	m.noise2 = p.NoiseSigma2()
+	if p.DopplerHz != 0 {
+		rate := p.SymbolRateHz
+		if rate <= 0 {
+			rate = 1e6
+		}
+		m.dopStep = 2 * math.Pi * p.DopplerHz / rate
+	}
+	m.baseSD = math.Sqrt(rel * rel * 0.25 / 2)
+	m.scatterSD = math.Sqrt(rel * rel * 0.3 / 2)
+	m.driftSD = math.Sqrt(m.drift * m.drift * rel * rel / 2)
+	return m
 }
 
 // Params returns the model's configuration.
@@ -265,6 +306,8 @@ type Realization struct {
 	mtsScale   complex128
 	dopStep    float64 // per-symbol Doppler phase increment (radians)
 	noise2     float64
+	scatterSD  float64 // hoisted per-component SD of the scatter draw
+	driftSD    float64 // hoisted per-component SD of the drift draw
 	src        *rng.Source
 
 	cur       complex128
@@ -279,10 +322,40 @@ type Realization struct {
 // between a calibration pass and later transmissions. Scatter, blockage,
 // and noise still vary per symbol.
 func (m *Model) NewRealizationFrom(base, mtsPhase complex128, src *rng.Source) *Realization {
-	r := m.NewRealization(src)
+	return m.NewRealizationFromInto(new(Realization), base, mtsPhase, src)
+}
+
+// NewRealizationFromInto is NewRealizationFrom writing into rz — the
+// allocation-free variant for steady-state loops that redraw a realization
+// per transmission. It consumes the same draws from src and leaves rz in
+// the same state a fresh NewRealizationFrom would return. Because the
+// drawn quasi-static values are immediately replaced by the calibrated
+// ones, only the stream consumption is replayed: the uniform draws happen
+// (keeping src bit-aligned with NewRealizationInto), but the trigonometry
+// that would shape the discarded values is skipped.
+func (m *Model) NewRealizationFromInto(rz *Realization, base, mtsPhase complex128, src *rng.Source) *Realization {
+	r := rz
+	*r = Realization{
+		envRMS:     m.envRMS,
+		drift:      m.drift,
+		blockProb:  m.blockProb,
+		blockDepth: m.blockDepth,
+		noise2:     m.noise2,
+		dopStep:    m.dopStep,
+		scatterSD:  m.scatterSD,
+		driftSD:    m.driftSD,
+		src:        src,
+		curSymbol:  -1,
+	}
+	if m.p.Env.hasDirectPath() {
+		src.Float64() // envBase real-part phase (Phase() is one uniform)
+		src.Float64() // envBase imag-part phase
+	} else {
+		src.ComplexNormalSD(m.baseSD) // envBase normal draw
+	}
+	src.Float64() // mtsScale global phase
 	r.envBase = base
 	r.mtsScale = mtsPhase
-	r.curSymbol = -1
 	return r
 }
 
@@ -298,41 +371,40 @@ func (r *Realization) MTSPhase() complex128 { return r.mtsScale }
 // NewRealization draws a fresh channel realization. src drives all
 // randomness so experiments are reproducible.
 func (m *Model) NewRealization(src *rng.Source) *Realization {
-	p := m.p
-	rel := p.Env.multipathRel() * p.Antenna.multipathFactor()
-	if !p.Env.hasDirectPath() {
-		// Residual scatter only: no quasi-static direct term.
-	}
-	drift, blockProb, blockDepth := p.Interf.scatterDrift()
-	r := &Realization{
-		envRMS:     rel,
-		drift:      drift,
-		blockProb:  blockProb,
-		blockDepth: blockDepth,
-		noise2:     p.NoiseSigma2(),
+	return m.NewRealizationInto(new(Realization), src)
+}
+
+// NewRealizationInto is NewRealization writing into rz — the allocation-free
+// variant for hot loops. It consumes the same draws from src and leaves rz
+// in the same state a fresh NewRealization would return.
+func (m *Model) NewRealizationInto(rz *Realization, src *rng.Source) *Realization {
+	r := rz
+	*r = Realization{
+		envRMS:     m.envRMS,
+		drift:      m.drift,
+		blockProb:  m.blockProb,
+		blockDepth: m.blockDepth,
+		noise2:     m.noise2,
+		dopStep:    m.dopStep,
+		scatterSD:  m.scatterSD,
+		driftSD:    m.driftSD,
 		src:        src,
 		curSymbol:  -1,
 	}
 	// Quasi-static environment response: Rician-like with a dominant static
 	// component plus scatter. The direct Tx→Rx path exists in all LoS
 	// environments.
-	if p.Env.hasDirectPath() {
+	if m.p.Env.hasDirectPath() {
+		rel := m.envRMS
 		r.envBase = complex(rel*math.Cos(src.Phase()), rel*math.Sin(src.Phase()))
 	} else {
-		r.envBase = src.ComplexNormal(rel * rel * 0.25)
+		r.envBase = src.ComplexNormalSD(m.baseSD)
 	}
 	// MTS path random global phase (distance-dependent common factor
 	// e^{jk·d1Rx} of Eqn 6 — provably irrelevant to classification, kept to
 	// prove it).
 	ph := src.Phase()
 	r.mtsScale = complex(math.Cos(ph), math.Sin(ph))
-	if p.DopplerHz != 0 {
-		rate := p.SymbolRateHz
-		if rate <= 0 {
-			rate = 1e6
-		}
-		r.dopStep = 2 * math.Pi * p.DopplerHz / rate
-	}
 	return r
 }
 
@@ -343,9 +415,9 @@ func (m *Model) NewRealization(src *rng.Source) *Realization {
 func (r *Realization) EnvAt(sym int) complex128 {
 	if sym != r.curSymbol {
 		r.curSymbol = sym
-		scatter := r.src.ComplexNormal(r.envRMS * r.envRMS * 0.3)
+		scatter := r.src.ComplexNormalSD(r.scatterSD)
 		if r.drift > 0 {
-			scatter += r.src.ComplexNormal(r.drift * r.drift * r.envRMS * r.envRMS)
+			scatter += r.src.ComplexNormalSD(r.driftSD)
 		}
 		r.cur = r.envBase + scatter
 		r.blocked = r.blockProb > 0 && r.src.Bernoulli(r.blockProb)
@@ -371,6 +443,47 @@ func (r *Realization) MTSScaleAt(sym int) complex128 {
 	}
 	return scale
 }
+
+// Step advances the realization to symbol sym and returns both the
+// environmental response and the MTS-path scale in one call — EnvAt and
+// MTSScaleAt fused, drawing per-symbol randomness exactly once in the same
+// order, so a loop over Step is bit-identical to the two-call sequence.
+// Inference hot loops use it to halve per-symbol call overhead.
+func (r *Realization) Step(sym int) (env, scale complex128) {
+	if sym != r.curSymbol {
+		r.curSymbol = sym
+		scatter := r.src.ComplexNormalSD(r.scatterSD)
+		if r.drift > 0 {
+			scatter += r.src.ComplexNormalSD(r.driftSD)
+		}
+		r.cur = r.envBase + scatter
+		r.blocked = r.blockProb > 0 && r.src.Bernoulli(r.blockProb)
+	}
+	scale = r.mtsScale
+	if r.dopStep != 0 {
+		th := r.dopStep * float64(sym)
+		sin, cos := math.Sincos(th)
+		scale *= complex(cos, sin)
+	}
+	if r.blocked {
+		scale *= complex(1-r.blockDepth, 0)
+	}
+	return r.cur, scale
+}
+
+// ScatterSD returns the hoisted per-component standard deviation of the
+// per-symbol scatter draw — what Step draws with — for hot loops that
+// inline the scatter draw when the MTS path is static.
+func (r *Realization) ScatterSD() float64 { return r.scatterSD }
+
+// DriftSD returns the hoisted per-component standard deviation of the
+// interferer drift draw, zero when no off-path interferer is configured.
+// HasDrift gates whether the draw happens at all.
+func (r *Realization) DriftSD() float64 { return r.driftSD }
+
+// HasDrift reports whether Step draws a second, interferer-drift scatter
+// sample per symbol.
+func (r *Realization) HasDrift() bool { return r.drift > 0 }
 
 // Noise returns one complex receiver-noise sample for a unit-power MTS-path
 // signal.

@@ -54,11 +54,22 @@ func (v Vec) Dot(w Vec) complex128 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("cplx: Dot length mismatch %d != %d", len(v), len(w)))
 	}
-	var sum complex128
-	for i := range v {
-		sum += v[i] * w[i]
+	return DotInto(0, v, w)
+}
+
+// DotInto accumulates the unconjugated dot product Σ a[i]·b[i] onto acc over
+// flat slices — the straight fused-multiply-add kernel of every hot row
+// sweep (LNN forward pass, cached-response accumulation). Iteration order
+// and grouping match Vec.Dot exactly, so results are bit-identical. It reads
+// min(len(a), len(b)) elements; callers enforce shape.
+func DotInto(acc complex128, a, b []complex128) complex128 {
+	if len(a) > len(b) {
+		a = a[:len(b)]
 	}
-	return sum
+	for i, av := range a {
+		acc += av * b[i]
+	}
+	return acc
 }
 
 // HermDot returns the Hermitian inner product Σ conj(v[i])·w[i].
@@ -84,11 +95,23 @@ func (v Vec) Norm() float64 {
 
 // Abs returns the element-wise magnitudes |v[i]| as a real slice.
 func (v Vec) Abs() []float64 {
-	out := make([]float64, len(v))
-	for i, c := range v {
-		out[i] = cmplx.Abs(c)
+	return AbsInto(make([]float64, len(v)), v)
+}
+
+// AbsInto writes the element-wise magnitudes |v[i]| into dst and returns
+// dst[:len(v)], growing dst only when its capacity is short — the zero-alloc
+// variant of Vec.Abs for steady-state loops that reuse a scratch slice.
+// math.Hypot is exactly cmplx.Abs's implementation, so the values are
+// bit-identical to Abs's.
+func AbsInto(dst []float64, v []complex128) []float64 {
+	if cap(dst) < len(v) {
+		dst = make([]float64, len(v))
 	}
-	return out
+	dst = dst[:len(v)]
+	for i, c := range v {
+		dst[i] = math.Hypot(real(c), imag(c))
+	}
+	return dst
 }
 
 // MaxAbs returns the largest element magnitude, or 0 for an empty vector.
@@ -139,12 +162,7 @@ func (m *Mat) MulVec(x Vec) Vec {
 	}
 	out := make(Vec, m.Rows)
 	for r := 0; r < m.Rows; r++ {
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
-		var sum complex128
-		for c, w := range row {
-			sum += w * x[c]
-		}
-		out[r] = sum
+		out[r] = DotInto(0, m.Data[r*m.Cols:(r+1)*m.Cols], x)
 	}
 	return out
 }
@@ -156,12 +174,7 @@ func (m *Mat) MulVecTo(dst, x Vec) {
 		panic("cplx: MulVecTo dimension mismatch")
 	}
 	for r := 0; r < m.Rows; r++ {
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
-		var sum complex128
-		for c, w := range row {
-			sum += w * x[c]
-		}
-		dst[r] = sum
+		dst[r] = DotInto(0, m.Data[r*m.Cols:(r+1)*m.Cols], x)
 	}
 }
 

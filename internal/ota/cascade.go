@@ -264,6 +264,7 @@ func (d *Deployment) setJitterMoments() {
 		d.jitterAtt = att
 		d.jitterVar = scatter
 	}
+	d.jitterSD = math.Sqrt(d.jitterVar / 2)
 }
 
 // exactJitterResponse evaluates the atom-by-atom jittered response of symbol

@@ -22,6 +22,14 @@ type Session struct {
 	src  *rng.Source
 	hook FaultHook
 	span *trace.Span
+
+	// Steady-state scratch, lazily built on the first inference: the
+	// per-transmission channel source is re-seeded in place (SplitInto) and
+	// the realization re-initialized in place (NewRealizationInto), consuming
+	// draws exactly as freshly allocated ones would. After warmup,
+	// AccumulateInto allocates nothing.
+	chSrc *rng.Source
+	rz    channel.Realization
 }
 
 // FaultHook intercepts a Session's per-symbol physics to inject discrete
@@ -70,9 +78,20 @@ func (s *Session) Deployment() *Deployment { return s.d }
 // multipath, noise, jitter, and clock offset applied. It returns the
 // complex accumulator per class (before the magnitude of Eqn 3).
 func (s *Session) Accumulate(x []complex128) cplx.Vec {
+	return s.AccumulateInto(x, make(cplx.Vec, s.d.classes))
+}
+
+// AccumulateInto is Accumulate writing into dst (len == Classes) — the
+// zero-alloc variant for steady-state serving loops. The accumulator bits
+// are identical to Accumulate's: reusing dst and the session's internal
+// scratch changes where results live, never what is drawn or summed.
+func (s *Session) AccumulateInto(x []complex128, dst cplx.Vec) cplx.Vec {
 	d := s.d
 	if len(x) != d.u {
 		panic(fmt.Sprintf("ota: input length %d, deployed for U=%d", len(x), d.u))
+	}
+	if len(dst) != d.classes {
+		panic(fmt.Sprintf("ota: accumulator length %d, deployment has %d classes", len(dst), d.classes))
 	}
 	t := obs.StartTimer()
 	defer t.ObserveInto(otaInferSeconds)
@@ -85,8 +104,69 @@ func (s *Session) Accumulate(x []complex128) cplx.Vec {
 	if n := len(d.opts.Stack); n > 0 {
 		asp.SetNum("layers", float64(n+1))
 	}
-	acc := make(cplx.Vec, d.classes)
-	noise2 := d.noise2
+	s.accumulate(x, dst, asp)
+	asp.End()
+	return dst
+}
+
+// AccumulateBatch runs one inference per input of xs into dst, amortizing
+// the per-call bookkeeping — timer, counters, span construction — across
+// the batch. Requests are replayed strictly in order on the session's
+// single random stream, so the accumulators are bit-identical to len(xs)
+// sequential AccumulateInto calls for any batch size; the speedup comes
+// from hoisted overhead and the session's reused realization scratch, not
+// from reusing draws across requests. dst is grown as needed (entries with
+// the right length are reused in place) and returned as dst[:len(xs)].
+func (s *Session) AccumulateBatch(xs [][]complex128, dst []cplx.Vec) []cplx.Vec {
+	d := s.d
+	n := len(xs)
+	for b, x := range xs {
+		if len(x) != d.u {
+			panic(fmt.Sprintf("ota: batch input %d length %d, deployed for U=%d", b, len(x), d.u))
+		}
+	}
+	if cap(dst) < n {
+		grown := make([]cplx.Vec, n)
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	t := obs.StartTimer()
+	otaInferences.Add(int64(n))
+	otaTransmissions.Add(int64(n) * int64(d.classes))
+	otaSymbols.Add(int64(n) * int64(d.classes) * int64(d.u))
+	asp := s.span.Child("ota.accumulate")
+	asp.SetNum("classes", float64(d.classes))
+	asp.SetNum("u", float64(d.u))
+	asp.SetNum("batch", float64(n))
+	if k := len(d.opts.Stack); k > 0 {
+		asp.SetNum("layers", float64(k+1))
+	}
+	for b, x := range xs {
+		if len(dst[b]) != d.classes {
+			dst[b] = make(cplx.Vec, d.classes)
+		}
+		s.accumulate(x, dst[b], asp)
+	}
+	asp.End()
+	// One histogram observation per request at the per-request mean keeps
+	// the ota.infer.seconds series count- and scale-comparable with the
+	// unbatched path.
+	t.ObserveMeanInto(otaInferSeconds, n)
+	return dst
+}
+
+// accumulate is the shared physics core: one full inference into dst, with
+// per-class replay spans hung under asp when tracing is live. Each class
+// replay re-seeds the session's scratch channel source and realization in
+// place — draw-for-draw what freshly split/allocated ones would consume —
+// then dispatches to the fast replay loop when no per-symbol overhead is
+// required, or to the general loop otherwise.
+func (s *Session) accumulate(x []complex128, dst cplx.Vec, asp *trace.Span) {
+	d := s.d
 	for r := 0; r < d.classes; r++ {
 		var rsp *trace.Span
 		if asp != nil {
@@ -96,50 +176,146 @@ func (s *Session) Accumulate(x []complex128) cplx.Vec {
 		if s.hook != nil {
 			s.hook.BeginTransmission(r)
 		}
+		s.chSrc = s.src.SplitInto(s.chSrc)
 		var rz *channel.Realization
 		if d.compensate {
 			// The calibrated quasi-static components persist; only scatter
 			// and blockage vary. If the environment has drifted since
 			// calibration (a dynamic interferer), the stale estimate leaks.
-			rz = d.ch.NewRealizationFrom(d.envBase, d.calMTSPhase, s.src.Split())
+			rz = d.ch.NewRealizationFromInto(&s.rz, d.envBase, d.calMTSPhase, s.chSrc)
 		} else {
-			rz = d.ch.NewRealization(s.src.Split())
+			rz = d.ch.NewRealizationInto(&s.rz, s.chSrc)
 		}
 		var offset float64
 		if d.opts.SyncSampler != nil {
 			offset = d.opts.SyncSampler(s.src)
 		}
 		var sum complex128
-		for i := range x {
-			h := s.effectiveResponse(r, i, offset) * rz.MTSScaleAt(i)
-			xi := x[i]
-			var extra complex128
-			if s.hook != nil {
-				h, xi, extra = s.hook.Symbol(r, i, h, xi)
-			}
-			if d.opts.SubSamples > 0 {
-				// Zero-mean chips + synchronized MTS sign flips: the static
-				// within-symbol environment integrates to zero, the MTS path
-				// adds coherently, and the combined noise keeps the
-				// single-sample variance (chip noise is wider-band).
-				sum += h*xi + s.src.ComplexNormal(noise2)
-			} else {
-				env := rz.EnvAt(i) * complex(d.envScale, 0)
-				sum += (h+env)*xi + s.src.ComplexNormal(noise2)
-			}
-			if extra != 0 {
-				sum += extra
-			}
+		if s.hook == nil && offset == 0 && !(d.opts.ExactJitter && d.opts.JitterStd > 0) {
+			sum = s.fastReplay(r, x, rz)
+		} else {
+			sum = s.slowReplay(r, x, rz, offset)
 		}
-		acc[r] = sum
+		dst[r] = sum
 		if rsp != nil {
 			rsp.SetNum("acc_re", real(sum))
 			rsp.SetNum("acc_im", imag(sum))
 			rsp.End()
 		}
 	}
-	asp.End()
-	return acc
+}
+
+// fastReplay is the per-symbol loop for the common perfectly synchronized,
+// unhooked case (offset 0, no exact jitter): the schedule row is read by
+// direct index — no Floor, no modulo — per-symbol channel state comes from
+// one fused Realization.Step call, and noise/jitter draws use the hoisted
+// standard deviations. When the deployment's static-channel cache is valid
+// (staticOK), the composed response row is a precomputed flat slice and the
+// loop is a straight multiply-add. Every variant consumes the session and
+// realization streams in the general path's per-source order and keeps its
+// exact floating-point grouping, so accumulators are bit-identical to
+// slowReplay's.
+func (s *Session) fastReplay(r int, x []complex128, rz *channel.Realization) complex128 {
+	d := s.d
+	noiseSD := d.noiseSD
+	var sum complex128
+	if d.opts.SubSamples > 0 {
+		row := d.Realized.Data[r*d.u : (r+1)*d.u]
+		if d.opts.JitterStd > 0 {
+			jatt, jsd := complex(d.jitterAtt, 0), d.jitterSD
+			for i, xi := range x {
+				_, scale := rz.Step(i)
+				h := (row[i]*jatt + s.src.ComplexNormalSD(jsd)) * scale
+				sum += h*xi + s.src.ComplexNormalSD(noiseSD)
+			}
+		} else {
+			for i, xi := range x {
+				_, scale := rz.Step(i)
+				sum += (row[i]*scale)*xi + s.src.ComplexNormalSD(noiseSD)
+			}
+		}
+		return sum
+	}
+	envScale := complex(d.envScale, 0)
+	if d.staticOK {
+		// Static-channel epoch: the cached row already carries the pinned
+		// calibrated MTS phase, so only the environmental term and noise
+		// remain per symbol. staticOK guarantees no Doppler ramp and no
+		// blockage Bernoulli, so the per-symbol channel state is exactly the
+		// scatter draw(s) — inlined here with Step's draw order and
+		// floating-point grouping, leaving a straight multiply-add loop.
+		row := d.staticResp[r*d.u : (r+1)*d.u]
+		base := rz.Base()
+		scatSD := rz.ScatterSD()
+		ch, ns := s.chSrc, s.src
+		if rz.HasDrift() {
+			driftSD := rz.DriftSD()
+			for i, xi := range x {
+				scatter := ch.ComplexNormalSD(scatSD)
+				scatter += ch.ComplexNormalSD(driftSD)
+				env := base + scatter
+				sum += (row[i]+env*envScale)*xi + ns.ComplexNormalSD(noiseSD)
+			}
+		} else {
+			for i, xi := range x {
+				env := base + ch.ComplexNormalSD(scatSD)
+				sum += (row[i]+env*envScale)*xi + ns.ComplexNormalSD(noiseSD)
+			}
+		}
+		return sum
+	}
+	row := d.Realized.Data[r*d.u : (r+1)*d.u]
+	if d.opts.JitterStd > 0 {
+		jatt, jsd := complex(d.jitterAtt, 0), d.jitterSD
+		for i, xi := range x {
+			env, scale := rz.Step(i)
+			h := (row[i]*jatt + s.src.ComplexNormalSD(jsd)) * scale
+			sum += (h+env*envScale)*xi + s.src.ComplexNormalSD(noiseSD)
+		}
+	} else {
+		for i, xi := range x {
+			env, scale := rz.Step(i)
+			sum += (row[i]*scale+env*envScale)*xi + s.src.ComplexNormalSD(noiseSD)
+		}
+	}
+	return sum
+}
+
+// slowReplay is the general per-symbol loop: fault hooks, clock offsets,
+// and exact jitter all route here. It is the seed implementation verbatim.
+func (s *Session) slowReplay(r int, x []complex128, rz *channel.Realization, offset float64) complex128 {
+	d := s.d
+	noise2 := d.noise2
+	var sum complex128
+	for i := range x {
+		h := s.effectiveResponse(r, i, offset) * rz.MTSScaleAt(i)
+		xi := x[i]
+		var extra complex128
+		if s.hook != nil {
+			h, xi, extra = s.hook.Symbol(r, i, h, xi)
+		}
+		if d.opts.SubSamples > 0 {
+			// Zero-mean chips + synchronized MTS sign flips: the static
+			// within-symbol environment integrates to zero, the MTS path
+			// adds coherently, and the combined noise keeps the
+			// single-sample variance (chip noise is wider-band).
+			sum += h*xi + s.src.ComplexNormal(noise2)
+		} else {
+			env := rz.EnvAt(i) * complex(d.envScale, 0)
+			sum += (h+env)*xi + s.src.ComplexNormal(noise2)
+		}
+		if extra != 0 {
+			sum += extra
+		}
+	}
+	return sum
+}
+
+// wrapIdx reduces k into [0, n) with Euclidean wrap-around — the schedule
+// index under a clock offset. A plain function (not a closure) keeps the
+// offset path allocation-free.
+func wrapIdx(k, n int) int {
+	return ((k % n) + n) % n
 }
 
 // effectiveResponse returns the MTS response seen by data symbol i of output
@@ -148,19 +324,26 @@ func (s *Session) Accumulate(x []complex128) cplx.Vec {
 // their time overlap, and jitter perturbs the response per reconfiguration.
 func (s *Session) effectiveResponse(r, i int, offset float64) complex128 {
 	d := s.d
+	if offset == 0 && !(d.opts.ExactJitter && d.opts.JitterStd > 0) {
+		// Perfectly synchronized: Floor(0) = 0 and the fractional blend
+		// vanishes, so the response is the directly indexed schedule entry
+		// (plus jitter). Bit-identical to the general arithmetic below at
+		// offset 0 — pinned by TestEffectiveResponseFastPathBitIdentical.
+		h := d.Realized.At(r, i)
+		if d.opts.JitterStd > 0 {
+			h = h*complex(d.jitterAtt, 0) + s.src.ComplexNormalSD(d.jitterSD)
+		}
+		return h
+	}
 	base := math.Floor(offset)
 	frac := offset - base
-	idx := func(k int) int {
-		n := d.u
-		return ((k % n) + n) % n
-	}
-	i0 := idx(i - int(base))
+	i0 := wrapIdx(i-int(base), d.u)
 	if d.opts.ExactJitter && d.opts.JitterStd > 0 {
 		// Atom-by-atom jitter on the actual scheduled configuration(s) —
 		// composed per layer when a cascade is deployed.
 		h := d.exactJitterResponse(r, i0, s.src)
 		if frac >= 1e-9 {
-			i1 := idx(i - int(base) - 1)
+			i1 := wrapIdx(i-int(base)-1, d.u)
 			h1 := d.exactJitterResponse(r, i1, s.src)
 			h = h*complex(1-frac, 0) + h1*complex(frac, 0)
 		}
@@ -171,11 +354,11 @@ func (s *Session) effectiveResponse(r, i int, offset float64) complex128 {
 	if frac < 1e-9 {
 		h = h0
 	} else {
-		h1 := d.Realized.At(r, idx(i-int(base)-1))
+		h1 := d.Realized.At(r, wrapIdx(i-int(base)-1, d.u))
 		h = h0*complex(1-frac, 0) + h1*complex(frac, 0)
 	}
 	if d.opts.JitterStd > 0 {
-		h = h*complex(d.jitterAtt, 0) + s.src.ComplexNormal(d.jitterVar)
+		h = h*complex(d.jitterAtt, 0) + s.src.ComplexNormalSD(d.jitterSD)
 	}
 	return h
 }

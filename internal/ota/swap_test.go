@@ -1,6 +1,7 @@
 package ota
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -143,11 +144,20 @@ func TestRecomputedSwapUnderConcurrentReaders(t *testing.T) {
 	}
 
 	// Supervisor: swap through a handful of geometries while the fleet runs.
+	// After each publish, wait for the readers to make forward progress
+	// before the next swap — otherwise, on a loaded machine, the supervisor
+	// can finish all six swaps and raise stop before any of the freshly
+	// spawned workers completes a single prediction, and the test degrades
+	// into a sequential no-op.
 	geom := d.Options().Geometry
 	for swap := 0; swap < 6; swap++ {
+		before := predictions.Load()
 		geom.RxAngleDeg += 5
 		nd := cur.Load().d.Recomputed(geom)
 		cur.Store(&epoch{d: nd, sessions: nd.Sessions(workers, rng.New(88+uint64(swap)))})
+		for predictions.Load() == before {
+			runtime.Gosched()
+		}
 	}
 	stop.Store(true)
 	wg.Wait()

@@ -18,19 +18,35 @@ import (
 // A Source is not safe for concurrent use; derive independent child sources
 // with Split for parallel work.
 type Source struct {
-	r *rand.Rand
+	r   *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a Source seeded with seed. Equal seeds yield identical streams.
 func New(seed uint64) *Source {
-	return &Source{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &Source{r: rand.New(pcg), pcg: pcg}
 }
 
 // Split derives an independent child source. The child's stream is a pure
 // function of the parent's state at the time of the call, so a fixed call
 // sequence yields reproducible children.
 func (s *Source) Split() *Source {
-	return &Source{r: rand.New(rand.NewPCG(s.r.Uint64(), s.r.Uint64()))}
+	pcg := rand.NewPCG(s.r.Uint64(), s.r.Uint64())
+	return &Source{r: rand.New(pcg), pcg: pcg}
+}
+
+// SplitInto re-seeds child to the exact stream a fresh Split would return,
+// reusing its storage: the parent consumes the same two draws, and the
+// child's subsequent output is bit-identical to a newly allocated split.
+// A nil child falls back to Split. This is the allocation-free derivation
+// hot inference loops use once per transmission.
+func (s *Source) SplitInto(child *Source) *Source {
+	if child == nil {
+		return s.Split()
+	}
+	child.pcg.Seed(s.r.Uint64(), s.r.Uint64())
+	return child
 }
 
 // Float64 returns a uniform sample in [0, 1).
@@ -53,7 +69,14 @@ func (s *Source) Normal(mean, stddev float64) float64 {
 // standard model for both thermal receiver noise and small-scale fading
 // scatter components.
 func (s *Source) ComplexNormal(sigma2 float64) complex128 {
-	sd := math.Sqrt(sigma2 / 2)
+	return s.ComplexNormalSD(math.Sqrt(sigma2 / 2))
+}
+
+// ComplexNormalSD is ComplexNormal with the per-dimension standard deviation
+// sd = sqrt(sigma2/2) precomputed by the caller: it consumes the same two
+// draws and returns the same bits, but hoists the square root out of
+// per-symbol loops that sample a fixed variance millions of times.
+func (s *Source) ComplexNormalSD(sd float64) complex128 {
 	return complex(sd*s.r.NormFloat64(), sd*s.r.NormFloat64())
 }
 
