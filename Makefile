@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate cascadegate fleetbench fleetgate check bench
+.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate cascadegate fleetbench fleetgate chaossoak chaosgate check bench
 
 build:
 	$(GO) build ./...
@@ -94,12 +94,31 @@ fleetbench:
 fleetgate:
 	$(GO) test -race -count=1 -run 'TestFleetBench' -short ./cmd/metaai-serve
 
+# chaossoak is the full bad-network acceptance soak, under -race: three
+# chaos-wrapped replicas and a chaos-wrapped router take sustained
+# deadline-stamped client load through 10% drop/dup/delay/corrupt on every
+# link, an epoch replication pushed through the fault load, a transient
+# one-way partition, and a coordinator kill/restart that rejoins from its
+# journaled pubSeq + membership — asserting zero accepted-request loss,
+# fleet convergence on the latest valid epoch, and a ≥90% goodput floor.
+chaossoak:
+	$(GO) test -race -count=1 -run 'TestChaosGate' -v ./cmd/metaai-serve
+
+# chaosgate is the CI smoke of the same episode (-short trims the load),
+# plus the netchaos zero-rate identity gate: a chaos layer with all rates
+# zero must hand every packet through byte-identical, consuming no
+# randomness — mirroring the faults-layer zero-rate gate.
+chaosgate:
+	$(GO) test -count=1 -run 'TestZeroRateBitIdentity|TestZeroRateLanePassthrough' ./internal/netchaos
+	$(GO) test -race -count=1 -run 'TestChaosGate' -short ./cmd/metaai-serve
+
 # check is the full gate: vet, plain tests, the race detector over the
 # concurrent evaluator, sweeps, and serve paths, the airproto and checkpoint
 # fuzz smokes, the abl-faults zero-rate identity gate, the crash-recovery
 # gate, the cascade K=1 compatibility gate, the fleet failover/replication
-# smoke, and the obs/bench/trace determinism gates.
-check: vet test race fuzz ckptfuzz faultgate recovergate cascadegate fleetgate obsgate benchgate tracegate
+# smoke, the bad-network chaos soak smoke, and the obs/bench/trace
+# determinism gates.
+check: vet test race fuzz ckptfuzz faultgate recovergate cascadegate fleetgate chaosgate obsgate benchgate tracegate
 
 # bench runs the Go micro-benchmarks, then the serve-path observability
 # benchmark, which snapshots its metrics into BENCH_serve.json. Emit-only:

@@ -35,6 +35,10 @@ go test -count=1 -run 'TestKillAndRecoverCascadeBitIdentity' ./cmd/metaai-serve
 echo "== fleet failover/replication gate (3 replicas, kill/rollback/catch-up, -race) =="
 go test -race -count=1 -run 'TestFleetBench' -short ./cmd/metaai-serve
 
+echo "== chaos gate (netchaos zero-rate identity + 3-replica chaos soak, -race) =="
+go test -count=1 -run 'TestZeroRateBitIdentity|TestZeroRateLanePassthrough' ./internal/netchaos
+go test -race -count=1 -run 'TestChaosGate' -short ./cmd/metaai-serve
+
 echo "== obs determinism gate =="
 go test -run 'TestServeBenchDeterministicFingerprint' ./cmd/metaai-bench
 

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// The loadgen tier replays a bursty flash-crowd arrival trace against the
+// serving stack's overload machinery — the admission controller, the bounded
+// queue, and the deadline-at-dequeue check — in VIRTUAL time: every arrival,
+// service completion, and feedback tick advances a simulated clock, so the
+// whole trace is a pure function of its seed and the counters land in the
+// obsgate fingerprint with bit-identical values run after run. It is the
+// harness half of the ROADMAP's load-generator item: the queueing model and
+// policy knobs are the real ones (admission.Controller, FIFO bounds,
+// StatusExpired semantics), only the inference is abstracted to a fixed
+// virtual service time.
+//
+//	loadgen.offered        arrivals presented to the stack
+//	loadgen.brownout_shed  arrivals the admission controller browned out
+//	loadgen.shed           arrivals dropped on a full queue
+//	loadgen.expired        dequeues past their deadline budget (no service spent)
+//	loadgen.answered       requests served to completion
+//	loadgen.slo_ok         answered requests that met the latency SLO
+var (
+	lgOffered  = obs.NewCounter("loadgen.offered")
+	lgBrownout = obs.NewCounter("loadgen.brownout_shed")
+	lgShed     = obs.NewCounter("loadgen.shed")
+	lgExpired  = obs.NewCounter("loadgen.expired")
+	lgAnswered = obs.NewCounter("loadgen.answered")
+	lgSLOOk    = obs.NewCounter("loadgen.slo_ok")
+)
+
+// loadgenConfig parameterizes one flash-crowd episode.
+type loadgenConfig struct {
+	Arrivals int           // offered requests across the whole trace
+	Seed     uint64        // arrival-jitter seed; same seed, same trace
+	SLO      time.Duration // p99 target fed to the admission controller
+	Deadline time.Duration // per-request budget, checked at dequeue
+	Workers  int           // virtual service lanes
+	Queue    int           // FIFO bound, the queue-full shed point
+	Service  time.Duration // deterministic per-request service time
+	BaseRate float64       // baseline arrival rate, requests/second
+	FlashX   float64       // rate multiplier inside the flash-crowd window
+	// FlashFrom/FlashTo bound the flash crowd as fractions of the arrival
+	// count: arrivals in [From·N, To·N) come FlashX times faster.
+	FlashFrom, FlashTo float64
+	// ObserveEvery is the virtual period of the p99 → AIMD feedback loop
+	// (the admitEvery knob of the live server).
+	ObserveEvery time.Duration
+}
+
+// defaultLoadgen is the canonical flash crowd: a fleet comfortably serving
+// its baseline (2 lanes × 2ms = 1000 rps capacity against 500 rps offered)
+// hit by an 8× crowd for the middle third of the trace — deep overload, so
+// every overload answer (brownout, queue-full, expiry) is exercised — then
+// a recovery tail long enough for the controller to relax again.
+func defaultLoadgen(arrivals int, seed uint64) loadgenConfig {
+	return loadgenConfig{
+		Arrivals:     arrivals,
+		Seed:         seed,
+		SLO:          20 * time.Millisecond,
+		Deadline:     50 * time.Millisecond,
+		Workers:      2,
+		Queue:        64,
+		Service:      2 * time.Millisecond,
+		BaseRate:     500,
+		FlashX:       8,
+		FlashFrom:    1.0 / 3,
+		FlashTo:      2.0 / 3,
+		ObserveEvery: 10 * time.Millisecond,
+	}
+}
+
+// loadgenResult is the episode's scoreboard. Goodput counts a request only
+// if it was answered at all; SLOAttainment further requires the answer to
+// have met the latency target — the goal-oriented metric the brownout
+// controller optimizes for.
+type loadgenResult struct {
+	Offered       int     `json:"offered"`
+	BrownoutShed  int     `json:"brownout_shed"`
+	QueueShed     int     `json:"queue_shed"`
+	Expired       int     `json:"expired"`
+	Answered      int     `json:"answered"`
+	AnsweredInSLO int     `json:"answered_in_slo"`
+	Goodput       float64 `json:"goodput"`        // answered / offered
+	SLOAttainment float64 `json:"slo_attainment"` // answered_in_slo / answered
+	PeakShedFrac  float64 `json:"peak_shed_fraction"`
+	WallVirtual   float64 `json:"virtual_seconds"` // trace span in virtual time
+}
+
+// runLoadgen replays one episode. Everything is integer virtual time; the
+// only floating point is the exponential arrival jitter and the p99 window,
+// both seeded — two runs with the same config are identical to the bit.
+func runLoadgen(cfg loadgenConfig) loadgenResult {
+	src := rng.New(cfg.Seed)
+	ac := admission.New(cfg.SLO)
+
+	var res loadgenResult
+	var clock time.Duration
+	workerFree := make([]time.Duration, cfg.Workers)
+	type pending struct{ arrival time.Duration }
+	var queue []pending
+
+	// p99 feedback window: the answered latencies since the last feedback
+	// tick — an interval scrape, so the signal recovers as soon as the
+	// queue drains instead of ratcheting on flash-era stragglers.
+	var window []time.Duration
+	observe := func() {
+		if len(window) == 0 {
+			ac.Observe(0)
+			return
+		}
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		ac.Observe(window[len(window)*99/100])
+		window = window[:0]
+	}
+	record := func(lat time.Duration) {
+		window = append(window, lat)
+		res.Answered++
+		lgAnswered.Inc()
+		if lat <= cfg.SLO {
+			res.AnsweredInSLO++
+			lgSLOOk.Inc()
+		}
+	}
+
+	// serveHead dequeues the oldest queued request onto the earliest-free
+	// lane: the deadline check happens HERE, at dequeue — a request whose
+	// budget died in the queue costs zero service, exactly the serving
+	// stack's StatusExpired path.
+	serveHead := func() {
+		lane := 0
+		for w := 1; w < len(workerFree); w++ {
+			if workerFree[w] < workerFree[lane] {
+				lane = w
+			}
+		}
+		h := queue[0]
+		queue = queue[1:]
+		start := workerFree[lane]
+		if start < h.arrival {
+			start = h.arrival
+		}
+		if start > h.arrival+cfg.Deadline {
+			res.Expired++
+			lgExpired.Inc()
+			return
+		}
+		workerFree[lane] = start + cfg.Service
+		record(start + cfg.Service - h.arrival)
+	}
+	minFree := func() time.Duration {
+		m := workerFree[0]
+		for _, f := range workerFree[1:] {
+			if f < m {
+				m = f
+			}
+		}
+		return m
+	}
+
+	nextObserve := cfg.ObserveEvery
+	flashLo := int(float64(cfg.Arrivals) * cfg.FlashFrom)
+	flashHi := int(float64(cfg.Arrivals) * cfg.FlashTo)
+	for i := 0; i < cfg.Arrivals; i++ {
+		rate := cfg.BaseRate
+		if i >= flashLo && i < flashHi {
+			rate *= cfg.FlashX
+		}
+		// Exponential inter-arrival jitter at the phase's rate.
+		clock += time.Duration(-math.Log(1-src.Float64()) / rate * float64(time.Second))
+
+		// Drain every dequeue that happens before this arrival, then run the
+		// feedback loop's ticks up to the arrival instant.
+		for len(queue) > 0 && minFree() <= clock {
+			serveHead()
+		}
+		for nextObserve <= clock {
+			observe()
+			if f := ac.Fraction(); f > res.PeakShedFrac {
+				res.PeakShedFrac = f
+			}
+			nextObserve += cfg.ObserveEvery
+		}
+
+		res.Offered++
+		lgOffered.Inc()
+		if !ac.Admit() {
+			res.BrownoutShed++
+			lgBrownout.Inc()
+			continue
+		}
+		if len(queue) >= cfg.Queue {
+			res.QueueShed++
+			lgShed.Inc()
+			continue
+		}
+		queue = append(queue, pending{arrival: clock})
+	}
+	for len(queue) > 0 {
+		serveHead()
+	}
+	res.Goodput = float64(res.Answered) / float64(res.Offered)
+	if res.Answered > 0 {
+		res.SLOAttainment = float64(res.AnsweredInSLO) / float64(res.Answered)
+	}
+	res.WallVirtual = clock.Seconds()
+	return res
+}
+
+// runLoadgenBench is the standalone `-loadgen N` entry point: one seeded
+// flash-crowd episode, the scoreboard plus metric snapshot written to out
+// as indented JSON (the same artifact flow as -servebench, so regressions
+// show up in diffs of the committed BENCH_serve.json).
+func runLoadgenBench(arrivals int, out string, seed uint64) error {
+	if arrivals < 1 {
+		arrivals = 1
+	}
+	obs.SetEnabled(true)
+	obs.Default().Reset()
+	res := runLoadgen(defaultLoadgen(arrivals, seed))
+	snap := obs.Default().Snapshot()
+	report := struct {
+		Bench    string        `json:"bench"`
+		Arrivals int           `json:"arrivals"`
+		Seed     uint64        `json:"seed"`
+		Loadgen  loadgenResult `json:"loadgen"`
+		Metrics  *obs.Snapshot `json:"metrics"`
+	}{Bench: "loadgen", Arrivals: arrivals, Seed: seed, Loadgen: res, Metrics: &snap}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d offered over %.2fs virtual — %d answered (goodput %.3f, SLO attainment %.3f), %d brownout, %d queue-shed, %d expired, peak shed fraction %.3f; written to %s\n",
+		res.Offered, res.WallVirtual, res.Answered, res.Goodput, res.SLOAttainment,
+		res.BrownoutShed, res.QueueShed, res.Expired, res.PeakShedFrac, out)
+	return nil
+}

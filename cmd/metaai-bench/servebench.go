@@ -17,19 +17,28 @@ import (
 // serve worker's drain ceiling at `-batch 8`.
 const serveBatchSize = 8
 
+// serveBenchOut bundles one servebench run: the metric snapshot, the three
+// inference-loop wall times, and the flash-crowd loadgen scoreboard.
+type serveBenchOut struct {
+	snap                   *obs.Snapshot
+	single, batch, cascade time.Duration
+	loadgen                loadgenResult
+}
+
 // serveBenchRun deploys a small random-weight over-the-air system, enables
 // observability, and replays n inferences through one session — then the
 // same n through the batched zero-alloc path (AccumulateBatch sweeps of
 // serveBatchSize, magnitudes via AbsInto scratch, mirroring the serve
 // worker's steady state), then the sequential workload through a 2-layer
-// stacked cascade, and finally a replayed fleet episode (routing, failover,
+// stacked cascade, then a replayed fleet episode (routing, failover,
 // eviction, replication, canary rollback, catch-up) so the snapshot carries
-// the serving hot paths AND the fleet.* series. It returns the metric
-// snapshot plus the single-surface, batched, and cascade inference-loop
-// wall times. The whole run is a pure function of (n, seed) except for
-// wall-clock durations, so the snapshot's Fingerprint (counters, gauges,
-// histogram counts) is deterministic — the CI gate asserts exactly that.
-func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Duration, time.Duration, error) {
+// the serving hot paths AND the fleet.* series, and finally a virtual-time
+// flash-crowd loadgen episode so the loadgen.* overload counters land in
+// the fingerprint too. The whole run is a pure function of (n, seed) except
+// for wall-clock durations, so the snapshot's Fingerprint (counters,
+// gauges, histogram counts) is deterministic — the CI gate asserts exactly
+// that.
+func serveBenchRun(n int, seed uint64) (serveBenchOut, error) {
 	obs.SetEnabled(true)
 	obs.Default().Reset()
 	src := rng.New(seed)
@@ -40,7 +49,7 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Durat
 	}
 	d, err := ota.NewDeployment(w, ota.NewOptions(src.Split()), src)
 	if err != nil {
-		return nil, 0, 0, 0, err
+		return serveBenchOut{}, err
 	}
 	sess := d.NewSession(src.Split())
 	x := make([]complex128, d.InputLen())
@@ -66,7 +75,7 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Durat
 	optsB.CompensateEnv = true
 	db, err := ota.NewDeployment(w, optsB, srcB)
 	if err != nil {
-		return nil, 0, 0, 0, err
+		return serveBenchOut{}, err
 	}
 	sessB := db.NewSession(srcB.Split())
 	xs := make([][]complex128, serveBatchSize)
@@ -96,7 +105,7 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Durat
 	optsC.HopNoise = ota.DefaultHopNoise
 	dc, err := ota.NewDeployment(w, optsC, srcC)
 	if err != nil {
-		return nil, 0, 0, 0, err
+		return serveBenchOut{}, err
 	}
 	sessC := dc.NewSession(srcC.Split())
 	startC := time.Now()
@@ -110,10 +119,16 @@ func serveBenchRun(n int, seed uint64) (*obs.Snapshot, time.Duration, time.Durat
 	// failure repertoire, so the fleet.* counters land in the snapshot with
 	// reproducible values.
 	if _, err := fleet.Replay(fleet.ReplayConfig{Seed: seed ^ 0xf1ee7}); err != nil {
-		return nil, 0, 0, 0, err
+		return serveBenchOut{}, err
 	}
+
+	// Overload tier: a seeded virtual-time flash crowd through the admission
+	// controller and deadline machinery — shed/expired/goodput with zero
+	// wall-clock dependence.
+	lg := runLoadgen(defaultLoadgen(n*40, seed^0x10ad))
+
 	snap := obs.Default().Snapshot()
-	return &snap, elapsed, elapsedB, elapsedC, nil
+	return serveBenchOut{snap: &snap, single: elapsed, batch: elapsedB, cascade: elapsedC, loadgen: lg}, nil
 }
 
 // runServeBench executes serveBenchRun and writes the snapshot plus run
@@ -124,7 +139,7 @@ func runServeBench(n int, out string, seed uint64) error {
 	if n < 1 {
 		n = 1
 	}
-	snap, elapsed, elapsedB, elapsedC, err := serveBenchRun(n, seed)
+	r, err := serveBenchRun(n, seed)
 	if err != nil {
 		return err
 	}
@@ -137,17 +152,19 @@ func runServeBench(n int, out string, seed uint64) error {
 		MicrosPerInf      float64       `json:"micros_per_inference"`
 		MicrosPerInfBatch float64       `json:"micros_per_inference_batch"`
 		MicrosPerInfCas   float64       `json:"micros_per_inference_cascade2"`
+		Loadgen           loadgenResult `json:"loadgen"`
 		Metrics           *obs.Snapshot `json:"metrics"`
 	}{
 		Bench:             "serve",
 		Inferences:        n,
 		Seed:              seed,
 		BatchSize:         serveBatchSize,
-		WallSeconds:       elapsed.Seconds(),
-		MicrosPerInf:      float64(elapsed.Microseconds()) / float64(n),
-		MicrosPerInfBatch: float64(elapsedB.Microseconds()) / float64(n),
-		MicrosPerInfCas:   float64(elapsedC.Microseconds()) / float64(n),
-		Metrics:           snap,
+		WallSeconds:       r.single.Seconds(),
+		MicrosPerInf:      float64(r.single.Microseconds()) / float64(n),
+		MicrosPerInfBatch: float64(r.batch.Microseconds()) / float64(n),
+		MicrosPerInfCas:   float64(r.cascade.Microseconds()) / float64(n),
+		Loadgen:           r.loadgen,
+		Metrics:           r.snap,
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -157,7 +174,8 @@ func runServeBench(n int, out string, seed uint64) error {
 	if err := os.WriteFile(out, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("servebench: %d inferences in %.3fs (%.1f µs each; batch-%d %.1f µs each; 2-layer cascade %.1f µs each), snapshot written to %s\n",
-		n, elapsed.Seconds(), report.MicrosPerInf, serveBatchSize, report.MicrosPerInfBatch, report.MicrosPerInfCas, out)
+	fmt.Printf("servebench: %d inferences in %.3fs (%.1f µs each; batch-%d %.1f µs each; 2-layer cascade %.1f µs each; loadgen goodput %.3f, SLO attainment %.3f), snapshot written to %s\n",
+		n, r.single.Seconds(), report.MicrosPerInf, serveBatchSize, report.MicrosPerInfBatch, report.MicrosPerInfCas,
+		r.loadgen.Goodput, r.loadgen.SLOAttainment, out)
 	return nil
 }

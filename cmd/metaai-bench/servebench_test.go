@@ -17,16 +17,16 @@ import (
 // and are excluded by Fingerprint by construction.
 func TestServeBenchDeterministicFingerprint(t *testing.T) {
 	defer obs.SetEnabled(false)
-	a, _, _, _, err := serveBenchRun(50, 3)
+	a, err := serveBenchRun(50, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fpA := a.Fingerprint()
-	b, _, _, _, err := serveBenchRun(50, 3)
+	fpA := a.snap.Fingerprint()
+	b, err := serveBenchRun(50, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fpB := b.Fingerprint()
+	fpB := b.snap.Fingerprint()
 	if len(fpA) == 0 {
 		t.Fatal("empty fingerprint: instrumentation recorded nothing")
 	}
@@ -46,6 +46,46 @@ func TestServeBenchDeterministicFingerprint(t *testing.T) {
 	}
 	if fpA["counter:ota.cascade.deploys"] != 1 {
 		t.Fatalf("ota.cascade.deploys = %d, want 1", fpA["counter:ota.cascade.deploys"])
+	}
+	// The loadgen tier extends the fingerprint: the flash crowd offered
+	// every arrival and its overload answers are part of the deterministic
+	// surface CI pins.
+	if fpA["counter:loadgen.offered"] != 50*40 {
+		t.Fatalf("loadgen.offered = %d, want %d", fpA["counter:loadgen.offered"], 50*40)
+	}
+	if fpA["counter:loadgen.brownout_shed"] == 0 {
+		t.Fatal("loadgen.brownout_shed = 0: the flash crowd never engaged the admission controller")
+	}
+	if fpA["counter:loadgen.expired"] == 0 {
+		t.Fatal("loadgen.expired = 0: no queued request ever outlived its deadline budget")
+	}
+	if a.loadgen != b.loadgen {
+		t.Fatalf("seeded loadgen episodes diverged:\nrun A: %+v\nrun B: %+v", a.loadgen, b.loadgen)
+	}
+}
+
+// TestLoadgenFlashCrowdShape sanity-checks the canonical episode: the
+// baseline is comfortably served, the flash crowd forces real shedding and
+// expiry, and the scoreboard's fractions are internally consistent.
+func TestLoadgenFlashCrowdShape(t *testing.T) {
+	defer obs.SetEnabled(false)
+	obs.SetEnabled(true)
+	res := runLoadgen(defaultLoadgen(2000, 9))
+	if res.Offered != 2000 {
+		t.Fatalf("offered %d, want 2000", res.Offered)
+	}
+	if got := res.Answered + res.BrownoutShed + res.QueueShed + res.Expired; got != res.Offered {
+		t.Fatalf("scoreboard leaks: %d answered + %d brownout + %d queue + %d expired != %d offered",
+			res.Answered, res.BrownoutShed, res.QueueShed, res.Expired, res.Offered)
+	}
+	if res.BrownoutShed == 0 || res.PeakShedFrac == 0 {
+		t.Fatalf("flash crowd never engaged the brownout: %+v", res)
+	}
+	if res.Goodput <= 0.5 || res.Goodput >= 1 {
+		t.Fatalf("goodput %.3f outside the overloaded-but-serving band", res.Goodput)
+	}
+	if res.SLOAttainment <= 0.5 {
+		t.Fatalf("SLO attainment %.3f: the brownout failed to protect served latency", res.SLOAttainment)
 	}
 }
 

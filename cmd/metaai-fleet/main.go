@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/fleet"
+	"repro/internal/netchaos"
 	"repro/internal/obs"
 	"repro/internal/obs/events"
 	"repro/internal/obs/trace"
@@ -51,6 +52,9 @@ func main() {
 		publish    = flag.String("publish", "", "watch this checkpoint journal directory and replicate every new epoch fleet-wide")
 		pubEvery   = flag.Duration("publish-every", 2*time.Second, "journal polling period for -publish")
 		seed       = flag.Uint64("seed", 1, "random seed (probe jitter)")
+		stateDir   = flag.String("state-dir", "", "journal the coordinator's publication sequence, membership, and committed epoch here; a restarted router restores them and rejoins without diverging the fleet")
+		chaosRate  = flag.Float64("chaos-rate", 0, "wrap the client-facing socket with the seeded netchaos.Mix packet-fault load at this severity in [0,1]")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "seed for -chaos-rate packet fates (same seed, same fates)")
 		metrics    = flag.String("metrics-addr", "", "serve fleet metrics and events on this HTTP address")
 	)
 	flag.Parse()
@@ -78,6 +82,7 @@ func main() {
 		InflightPerReplica: *inflight,
 		CanaryFrac:         *canaryFrac,
 		Seed:               *seed,
+		StateDir:           *stateDir,
 		Logf:               log.Printf,
 	}
 	if *replicas != "" {
@@ -96,9 +101,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	front, err := net.ListenUDP("udp", udpAddr)
+	udpFront, err := net.ListenUDP("udp", udpAddr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var front netchaos.PacketConn = udpFront
+	if *chaosRate > 0 {
+		front = netchaos.Wrap(udpFront, netchaos.Config{
+			Seed:     *chaosSeed,
+			Inbound:  netchaos.Mix(*chaosRate),
+			Outbound: netchaos.Mix(*chaosRate),
+		})
+		log.Printf("chaos armed on the client-facing socket (mix severity %.2f, seed %d)", *chaosRate, *chaosSeed)
 	}
 	log.Printf("fleet router on %s fronting %d seed replicas (ctrl-c to stop)",
 		front.LocalAddr(), len(cfg.Replicas))

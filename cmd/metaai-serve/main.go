@@ -53,8 +53,10 @@ import (
 	"repro/internal/airproto"
 	"repro/internal/checkpoint"
 	"repro/internal/dataset"
+	"repro/internal/admission"
 	"repro/internal/faults"
 	"repro/internal/mobility"
+	"repro/internal/netchaos"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/obs/events"
@@ -79,6 +81,14 @@ type serverOptions struct {
 	rollbackFrac float64
 	stateDir     string
 	joinAddr     string
+	// sloP99, when positive, arms adaptive admission control: a feedback
+	// loop watches the live p99 request latency against this target and
+	// browns out a rising fraction of data traffic while it is breached.
+	sloP99 time.Duration
+	// chaosRate/chaosSeed, when chaosRate is positive, wrap the serving
+	// socket with the seeded netchaos.Mix fault load on both directions.
+	chaosRate float64
+	chaosSeed uint64
 }
 
 // joinEvery is the cadence of a replica's membership announcements to its
@@ -106,6 +116,10 @@ func main() {
 		canary    = flag.Float64("canary-frac", 0.8, "minimum prediction agreement with the healthy deployment a heal candidate needs on the held-out probes")
 		rollback  = flag.Float64("rollback-frac", 0.75, "roll a published heal back when the margin mean falls below this fraction of the pre-heal level (0 disables)")
 		stateDir  = flag.String("state-dir", "", "journal every published epoch here and recover the newest valid one on restart")
+		sloP99    = flag.Duration("slo-p99", 0, "p99 latency target; when breached, admission control browns out a rising fraction of data traffic with RetryAfter NACKs (0 disables; implies latency timing)")
+		deadlineF = flag.Duration("deadline", 0, "probe: stamp this deadline budget on every data request; the server drops work whose budget expires in queue with StatusExpired (0 disables)")
+		chaosRate = flag.Float64("chaos-rate", 0, "wrap the UDP socket (server or probe) with the seeded netchaos.Mix packet-fault load at this severity in [0,1]")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for -chaos-rate packet fates (same seed, same fates)")
 		sabotage  = flag.Float64("sabotage-heal", 0, "deliberately corrupt this fraction of every heal candidate's schedule (exercises the canary gate and rollback)")
 		metrics   = flag.String("metrics-addr", "", "serve the observability sidecar (metrics, expvar, pprof, traces, events) on this HTTP address and enable latency timing + tracing")
 		stats     = flag.Int("stats", 0, "probe: after the classification, send this many timed requests and report latency percentiles")
@@ -136,11 +150,18 @@ func main() {
 	if *probe != "" {
 		if err := runProbe(*probe, probeOptions{
 			ds: *ds, seed: *seed, timeout: *timeout, budget: *budget,
+			deadline: *deadlineF, chaosRate: *chaosRate, chaosSeed: *chaosSeed,
 			stats: *stats, jsonOut: *jsonOut, traceID: *traceID,
 		}); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *sloP99 > 0 {
+		// The admission controller's feedback input is the live p99 out of
+		// the request-latency histogram; timing must be on even without the
+		// sidecar.
+		obs.SetEnabled(true)
 	}
 	opt := serverOptions{
 		ds:           *ds,
@@ -158,6 +179,9 @@ func main() {
 		rollbackFrac: *rollback,
 		stateDir:     *stateDir,
 		joinAddr:     *joinAddr,
+		sloP99:       *sloP99,
+		chaosRate:    *chaosRate,
+		chaosSeed:    *chaosSeed,
 	}
 	if err := runServer(*addr, opt, sidecar); err != nil {
 		log.Fatal(err)
@@ -196,6 +220,10 @@ func buildServerConfig(opt serverOptions) (serverConfig, *checkpoint.Journal, er
 		rollbackFrac: opt.rollbackFrac,
 		sessionSrc:   rng.New(opt.seed ^ 0x5e55),
 		logf:         log.Printf,
+	}
+	if opt.sloP99 > 0 {
+		serveCfg.admit = admission.New(opt.sloP99)
+		log.Printf("adaptive admission control armed: p99 SLO %v (brownout sheds data traffic only; control-plane frames always admitted)", opt.sloP99)
 	}
 
 	var journal *checkpoint.Journal
@@ -336,9 +364,18 @@ func runServer(addr string, opt serverOptions, sidecar *http.Server) error {
 	if err != nil {
 		return err
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
+	udpConn, err := net.ListenUDP("udp", udpAddr)
 	if err != nil {
 		return err
+	}
+	var conn netchaos.PacketConn = udpConn
+	if opt.chaosRate > 0 {
+		conn = netchaos.Wrap(udpConn, netchaos.Config{
+			Seed:     opt.chaosSeed,
+			Inbound:  netchaos.Mix(opt.chaosRate),
+			Outbound: netchaos.Mix(opt.chaosRate),
+		})
+		log.Printf("chaos armed on the serving socket (mix severity %.2f, seed %d)", opt.chaosRate, opt.chaosSeed)
 	}
 	defer conn.Close()
 	log.Printf("air service listening on %s with %d workers (ctrl-c to stop)", conn.LocalAddr(), srv.cfg.workers)

@@ -20,7 +20,14 @@ import (
 //	serve.request.seconds  per-request latency, enqueue to reply written
 //	serve.queue.depth      in-flight requests queued for the worker fleet
 //	serve.served           data frames answered
-//	serve.shed             StatusDegraded NACKs (queue full)
+//	serve.shed             load-shedding NACKs (queue-full StatusDegraded
+//	                       plus brownout StatusRetryAfter)
+//	serve.brownout_shed    the brownout subset of serve.shed: admission-
+//	                       control rejections with a RetryAfter hint
+//	serve.expired          requests dropped at dequeue because their
+//	                       deadline budget ran out (StatusExpired NACKs)
+//	serve.admit_fraction   the admission controller's current shed fraction
+//	                       in parts per million (gauge; 0 = fully open)
 //	serve.nacked           bad-frame / wrong-length NACKs
 //	serve.heals            heal() invocations (monitor-triggered or manual)
 //	serve.swaps            epochs published after the first
@@ -31,6 +38,9 @@ var (
 	queueDepth        = obs.NewGauge("serve.queue.depth")
 	servedCount       = obs.NewCounter("serve.served")
 	shedCount         = obs.NewCounter("serve.shed")
+	brownoutShedCount = obs.NewCounter("serve.brownout_shed")
+	expiredCount      = obs.NewCounter("serve.expired")
+	admitFraction     = obs.NewGauge("serve.admit_fraction")
 	nackedCount       = obs.NewCounter("serve.nacked")
 	healCount         = obs.NewCounter("serve.heals")
 	swapCount         = obs.NewCounter("serve.swaps")

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/airproto"
 	"repro/internal/dataset"
+	"repro/internal/netchaos"
 	"repro/internal/nn"
 	"repro/internal/obs/trace"
 	"repro/internal/rng"
@@ -24,9 +25,18 @@ import (
 // probes does not synchronize its retries against a recovering server.
 const probeAttempts = 3
 
-// probeBackoffBase is the first retry delay; attempt k waits
-// base·2^(k−1)·jitter with jitter uniform in [0.5, 1.5).
+// probeBackoffBase caps the first retry delay; attempt k waits a FULL
+// jitter delay uniform in [0, base·2^(k−1)) — unlike the old equal-jitter
+// [0.5, 1.5)·base·2^(k−1), a full-jitter spread leaves no common floor for
+// a shed wave's retry storm to synchronize on. The draw comes from a
+// source derived from the probe seed and the request ID, so a fixed-seed
+// probe run replays the exact same delays.
 const probeBackoffBase = 100 * time.Millisecond
+
+// probeConn is the connected-UDP surface the probe speaks — a bare
+// *net.UDPConn, or a netchaos.Stream when -chaos-rate wraps the client
+// side of the link.
+type probeConn = netchaos.StreamConn
 
 // probeOptions carries the probe-mode flags; runProbe dispatches on them.
 type probeOptions struct {
@@ -35,10 +45,18 @@ type probeOptions struct {
 	timeout time.Duration
 	// budget, when positive, bounds each exchange end to end across all
 	// retry attempts and backoff sleeps (see exchange).
-	budget  time.Duration
-	stats   int
-	jsonOut bool
-	traceID string
+	budget time.Duration
+	// deadline, when positive, is stamped onto every data request as its
+	// wire deadline budget: the server (and any router hop) drops the work
+	// with StatusExpired once the budget runs out instead of answering late.
+	deadline time.Duration
+	// chaosRate, when positive, wraps the probe's socket with the
+	// netchaos.Mix fault load at this severity, seeded by chaosSeed.
+	chaosRate float64
+	chaosSeed uint64
+	stats     int
+	jsonOut   bool
+	traceID   string
 }
 
 func runProbe(addr string, opt probeOptions) error {
@@ -49,9 +67,18 @@ func runProbe(addr string, opt probeOptions) error {
 	if err != nil {
 		return err
 	}
-	conn, err := net.DialUDP("udp", nil, raddr)
+	udpConn, err := net.DialUDP("udp", nil, raddr)
 	if err != nil {
 		return err
+	}
+	var conn probeConn = udpConn
+	if opt.chaosRate > 0 {
+		conn = netchaos.WrapStream(udpConn, netchaos.Config{
+			Seed:     opt.chaosSeed,
+			Inbound:  netchaos.Mix(opt.chaosRate),
+			Outbound: netchaos.Mix(opt.chaosRate),
+		})
+		log.Printf("probe: chaos armed on the client socket (mix severity %.2f, seed %d)", opt.chaosRate, opt.chaosSeed)
 	}
 	defer conn.Close()
 
@@ -70,6 +97,7 @@ func runProbe(addr string, opt probeOptions) error {
 	symbols := enc.Encode(sample.X)
 
 	req := &airproto.Frame{ID: 1, Label: int32(sample.Label), Data: symbols}
+	req.SetDeadline(opt.deadline)
 	resp, err := exchange(conn, req, opt.timeout, opt.budget, probeBackoffBase, probeAttempts, rng.New(opt.seed^0x9e0be))
 	if err != nil {
 		return fmt.Errorf("probe %s: %w", addr, err)
@@ -85,7 +113,7 @@ func runProbe(addr string, opt probeOptions) error {
 		fmt.Printf("probe: sample label %d classified as %d over the air\n", sample.Label, arg)
 	}
 	if opt.stats > 0 {
-		return probeStats(conn, symbols, opt.stats, opt.timeout, opt.budget, opt.jsonOut, rng.New(opt.seed^0x57a75))
+		return probeStats(conn, symbols, opt.stats, opt.timeout, opt.budget, opt.deadline, opt.jsonOut, rng.New(opt.seed^0x57a75))
 	}
 	if opt.jsonOut {
 		return json.NewEncoder(os.Stdout).Encode(map[string]any{
@@ -99,7 +127,7 @@ func runProbe(addr string, opt probeOptions) error {
 // airproto KindTrace exchange) and prints the Chrome trace-event JSON the
 // server packed into the reply. A StatusNoTrace NACK means the ring never
 // retained — or has since evicted — that ID.
-func fetchTrace(conn *net.UDPConn, idHex string, timeout, budget time.Duration, src *rng.Source) error {
+func fetchTrace(conn probeConn, idHex string, timeout, budget time.Duration, src *rng.Source) error {
 	id, err := trace.ParseID(idHex)
 	if err != nil {
 		return fmt.Errorf("bad trace id %q: %w", idHex, err)
@@ -126,10 +154,11 @@ func fetchTrace(conn *net.UDPConn, idHex string, timeout, budget time.Duration, 
 // without attaching the observability sidecar. With jsonOut the same
 // numbers (plus the server's own counters, when it speaks KindStats) go out
 // as one machine-readable JSON object instead of prose.
-func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout, budget time.Duration, jsonOut bool, src *rng.Source) error {
+func probeStats(conn probeConn, symbols []complex128, n int, timeout, budget, deadline time.Duration, jsonOut bool, src *rng.Source) error {
 	lat := make([]time.Duration, 0, n)
 	for i := 0; i < n; i++ {
 		req := &airproto.Frame{ID: uint32(i + 2), Data: symbols}
+		req.SetDeadline(deadline)
 		start := time.Now()
 		if _, err := exchange(conn, req, timeout, budget, probeBackoffBase, probeAttempts, src); err != nil {
 			return fmt.Errorf("stats request %d/%d: %w", i+1, n, err)
@@ -168,9 +197,10 @@ func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout, budget 
 		// Older servers don't speak KindStats; latency numbers still stand.
 		log.Printf("probe: server stats unavailable: %v", serverErr)
 	} else {
-		fmt.Printf("server stats: served %d  heals %d  swaps %d  rollbacks %d  canary-rejects %d  epoch %d\n",
+		fmt.Printf("server stats: served %d  heals %d  swaps %d  rollbacks %d  canary-rejects %d  epoch %d  shed %d  expired %d\n",
 			server["served"], server["heals"], server["swaps"],
-			server["rollbacks"], server["canary_rejects"], server["epoch_seq"])
+			server["rollbacks"], server["canary_rejects"], server["epoch_seq"],
+			server["shed"], server["expired"])
 	}
 	return nil
 }
@@ -178,7 +208,7 @@ func probeStats(conn *net.UDPConn, symbols []complex128, n int, timeout, budget 
 // serverStats asks the server for its serving counters over the wire (an
 // airproto KindStats exchange) — heal, rollback, and epoch visibility
 // without attaching the HTTP sidecar.
-func serverStats(conn *net.UDPConn, id uint32, timeout, budget time.Duration, src *rng.Source) (map[string]int64, error) {
+func serverStats(conn probeConn, id uint32, timeout, budget time.Duration, src *rng.Source) (map[string]int64, error) {
 	resp, err := exchange(conn, &airproto.Frame{Kind: airproto.KindStats, ID: id}, timeout, budget, probeBackoffBase, probeAttempts, src)
 	if err != nil {
 		return nil, err
@@ -194,6 +224,8 @@ func serverStats(conn *net.UDPConn, id uint32, timeout, budget time.Duration, sr
 		"rollbacks":      at(airproto.StatRollbacks),
 		"canary_rejects": at(airproto.StatCanaryRejects),
 		"epoch_seq":      at(airproto.StatEpochSeq),
+		"shed":           at(airproto.StatShed),
+		"expired":        at(airproto.StatExpired),
 	}, nil
 }
 
@@ -202,10 +234,16 @@ func serverStats(conn *net.UDPConn, id uint32, timeout, budget time.Duration, sr
 // stray datagram — is discarded and the read continues within the same
 // deadline, so it can never be mistaken for this attempt's answer. NACKs
 // are interpreted per status code: StatusDegraded is retryable (the server
-// is shedding load or healing — back off and try again); StatusWrongLen,
-// StatusNoTrace, and StatusBadFrame mean the request itself cannot succeed
-// and retrying won't help. Each attempt after the first is preceded by a
-// jittered exponential backoff delay, and counted in probe.retries.
+// is shedding load or healing — back off and try again), StatusRetryAfter
+// is retryable but floors the next backoff at the server's hint (the
+// brownout told us exactly how long it wants us gone), and StatusExpired is
+// retryable with a fresh deadline budget (the old one died in a queue, not
+// the request itself); StatusWrongLen, StatusNoTrace, and StatusBadFrame
+// mean the request itself cannot succeed and retrying won't help. Each
+// attempt after the first is preceded by a FULL-jitter exponential backoff
+// delay — uniform in [0, base·2^(k−1)), drawn from a source derived from
+// the caller's seed and the request ID so replays are exact — and counted
+// in probe.retries.
 //
 // budget, when positive, is an overall deadline across ALL attempts and the
 // backoff sleeps between them: per-attempt timeouts bound one wait, the
@@ -223,7 +261,7 @@ func serverStats(conn *net.UDPConn, id uint32, timeout, budget time.Duration, sr
 // cannot be named by its rejection), so a zero-ID NACK left over from an
 // EARLIER request would otherwise be read as this request's answer and turn
 // a perfectly good exchange into a spurious hard failure.
-func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, budget, backoffBase time.Duration, attempts int, src *rng.Source) (*airproto.Frame, error) {
+func exchange(conn probeConn, req *airproto.Frame, timeout, budget, backoffBase time.Duration, attempts int, src *rng.Source) (*airproto.Frame, error) {
 	out, err := req.Marshal()
 	if err != nil {
 		return nil, err
@@ -231,11 +269,16 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, budget, backoffBa
 	if attempts < 1 {
 		attempts = 1
 	}
+	// The jitter stream mixes the request ID into the caller's seed: many
+	// probes sharing a seed base still spread their retries, and a replay
+	// of one probe run reproduces every delay exactly.
+	jsrc := rng.New(src.Uint64() ^ uint64(req.ID)*0x9e3779b97f4a7c15)
 	var deadline time.Time
 	if budget > 0 {
 		deadline = time.Now().Add(budget)
 	}
 	var lastErr error
+	var retryFloor time.Duration // latest StatusRetryAfter hint, floors the next backoff
 	for attempt := 1; attempt <= attempts; attempt++ {
 		wait := timeout
 		if budget > 0 {
@@ -267,6 +310,11 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, budget, backoffBa
 			switch resp.Code {
 			case airproto.StatusDegraded:
 				lastErr = fmt.Errorf("server degraded, asked to back off")
+			case airproto.StatusRetryAfter:
+				retryFloor = resp.RetryAfterHint()
+				lastErr = fmt.Errorf("server browning out, asked to retry after %v", retryFloor)
+			case airproto.StatusExpired:
+				lastErr = fmt.Errorf("deadline budget expired in the server's queue (%d ms late)", resp.Label)
 			case airproto.StatusWrongLen:
 				return nil, fmt.Errorf("server rejected frame: deployed for U=%d symbols, sent %d", resp.Label, len(req.Data))
 			case airproto.StatusNoTrace:
@@ -281,7 +329,15 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, budget, backoffBa
 		// has failed there is nothing left to wait for, and the caller gets
 		// the verdict immediately.
 		if attempt < attempts {
-			delay := time.Duration(float64(backoffBase) * float64(int(1)<<(attempt-1)) * (0.5 + src.Float64()))
+			// Full jitter: uniform in [0, cap) with cap doubling per attempt.
+			// No deterministic floor means no instant for a retry storm to
+			// re-synchronize on; a brownout hint reinstates a floor on
+			// purpose — the server named its price.
+			delay := time.Duration(jsrc.Float64() * float64(backoffBase) * float64(int(1)<<(attempt-1)))
+			if delay < retryFloor {
+				delay = retryFloor
+			}
+			retryFloor = 0
 			if budget > 0 && time.Now().Add(delay).After(deadline) {
 				// The backoff would sleep through the rest of the budget, so
 				// the next attempt could never be answered: fail now and
@@ -305,7 +361,7 @@ func exchange(conn *net.UDPConn, req *airproto.Frame, timeout, budget, backoffBa
 // millisecond, and each stale datagram is consumed without waiting. Drained
 // datagrams that parse as NACKs count in probe.stale_nacks: a rising count
 // reveals replies arriving after their exchange gave up on them.
-func drainStale(conn *net.UDPConn) {
+func drainStale(conn probeConn) {
 	if err := conn.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
 		return
 	}
@@ -325,7 +381,7 @@ func drainStale(conn *net.UDPConn) {
 // discarding unparseable datagrams and mismatched IDs. A NACK with ID 0 is
 // also accepted: the server could not parse the offending request, so the
 // rejection cannot name it. The caller's read deadline bounds the loop.
-func readMatching(conn *net.UDPConn, id uint32) (*airproto.Frame, error) {
+func readMatching(conn probeConn, id uint32) (*airproto.Frame, error) {
 	buf := make([]byte, 65535)
 	for {
 		n, err := conn.Read(buf)

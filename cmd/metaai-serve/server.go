@@ -7,12 +7,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/airproto"
 	"repro/internal/checkpoint"
 	"repro/internal/cplx"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/mobility"
+	"repro/internal/netchaos"
 	"repro/internal/obs"
 	"repro/internal/obs/events"
 	"repro/internal/obs/trace"
@@ -93,6 +95,16 @@ type serverConfig struct {
 	// pre-heal mean rolls the server back to the previous epoch. Zero
 	// disables rollback.
 	rollbackFrac float64
+	// admit, when non-nil, arms adaptive admission control: a brownout
+	// controller that sheds a rising fraction of data frames (with a
+	// StatusRetryAfter hint) when the live p99 exceeds its SLO. Control-
+	// plane traffic — heartbeats, joins, epoch replication, stats, trace
+	// fetches — is handled before the admission point and is never shed.
+	admit *admission.Controller
+	// admitEvery is the period of the p99 → controller feedback loop
+	// (default 100ms). The loop reads the live serve.request.seconds p99,
+	// so brownout needs obs enabled to ever engage.
+	admitEvery time.Duration
 	// logf receives progress lines; nil silences them.
 	logf func(format string, args ...interface{})
 	// preInfer, when non-nil, runs in each worker just before it processes
@@ -108,7 +120,9 @@ type airServer struct {
 	cur atomic.Pointer[epoch]
 
 	served        atomic.Int64  // data frames answered
-	shed          atomic.Int64  // StatusDegraded NACKs sent (queue full)
+	shed          atomic.Int64  // load-shedding NACKs sent (queue full + brownout)
+	brownout      atomic.Int64  // the admission-control subset of shed
+	expired       atomic.Int64  // requests dropped at dequeue past their deadline
 	nacked        atomic.Int64  // bad-frame / wrong-length NACKs sent
 	swaps         atomic.Int64  // epochs published after the first
 	heals         atomic.Int64  // heal() invocations
@@ -375,6 +389,8 @@ func (s *airServer) statsFrame(id uint32) *airproto.Frame {
 	data[airproto.StatRollbacks] = complex(float64(s.rollbacks.Load()), 0)
 	data[airproto.StatCanaryRejects] = complex(float64(s.canaryRejects.Load()), 0)
 	data[airproto.StatEpochSeq] = complex(float64(s.epochSeq.Load()), 0)
+	data[airproto.StatShed] = complex(float64(s.shed.Load()), 0)
+	data[airproto.StatExpired] = complex(float64(s.expired.Load()), 0)
 	return &airproto.Frame{Kind: airproto.KindStats, ID: id, Data: data}
 }
 
@@ -446,6 +462,11 @@ func (s *airServer) applyFleetEpoch(sealed []byte, mode uint8, tid uint32) (floa
 type request struct {
 	frame *airproto.Frame
 	from  *net.UDPAddr
+	// expires is the wall-clock deadline derived from the frame's budget at
+	// enqueue; zero means the client set no deadline. Checked again at
+	// dequeue: a request that can no longer make its deadline is answered
+	// with StatusExpired instead of burning inference time.
+	expires time.Time
 	// t times the request from enqueue to reply written (zero, and
 	// therefore inert, while obs is disabled).
 	t obs.Timer
@@ -486,8 +507,10 @@ func (s *airServer) traceFrame(f *airproto.Frame) *airproto.Frame {
 
 // serve answers frames on conn until the connection is closed (the caller
 // owns shutdown: close conn to stop). It runs the worker fleet, the read
-// loop, and — when a monitor is armed — the self-healing supervisor.
-func (s *airServer) serve(conn *net.UDPConn) error {
+// loop, and — when a monitor is armed — the self-healing supervisor. conn
+// is the netchaos.PacketConn surface: a bare *net.UDPConn in production,
+// or a chaos-wrapped one under `-chaos-*` flags and in the chaosgate soak.
+func (s *airServer) serve(conn netchaos.PacketConn) error {
 	reqs := make(chan request, s.cfg.queue)
 	var wg sync.WaitGroup
 	for w := 0; w < s.cfg.workers; w++ {
@@ -501,6 +524,31 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 
 	stopHeal := make(chan struct{})
 	var healWG sync.WaitGroup
+	if ac := s.cfg.admit; ac != nil {
+		// The brownout feedback loop: feed the live p99 into the AIMD
+		// controller off the read loop. The admit decision itself stays on
+		// the hot path (lock-free, allocation-free); only the policy update
+		// ticks here.
+		every := s.cfg.admitEvery
+		if every <= 0 {
+			every = 100 * time.Millisecond
+		}
+		healWG.Add(1)
+		go func() {
+			defer healWG.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopHeal:
+					return
+				case <-t.C:
+					ac.Observe(requestP99())
+					admitFraction.Set(ac.Fraction() * 1e6)
+				}
+			}
+		}()
+	}
 	if s.cfg.monitor != nil {
 		healWG.Add(1)
 		go func() {
@@ -585,6 +633,20 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 			}
 			continue
 		}
+		// Adaptive admission: everything above this point — fleet control,
+		// stats, trace fetches — is never shed; only data frames brown out,
+		// and they get an explicit RetryAfter hint so clients desynchronize
+		// their retries instead of hammering a server already over SLO. The
+		// check runs before the trace span opens: under overload the shed
+		// path should cost as little as possible.
+		if ac := s.cfg.admit; ac != nil && !ac.Admit() {
+			s.shed.Add(1)
+			s.brownout.Add(1)
+			shedCount.Inc()
+			brownoutShedCount.Inc()
+			s.nack(conn, from, airproto.RetryAfterNack(frame.ID, ac.RetryAfter()))
+			continue
+		}
 		sp := s.startRequestTrace(frame)
 		u := s.cur.Load().d.InputLen()
 		if len(frame.Data) != u {
@@ -594,8 +656,12 @@ func (s *airServer) serve(conn *net.UDPConn) error {
 			sp.Finish(trace.FlagNack)
 			continue
 		}
+		var expires time.Time
+		if d := frame.Deadline(); d > 0 {
+			expires = time.Now().Add(d)
+		}
 		select {
-		case reqs <- request{frame: frame, from: from, t: obs.StartTimer(), span: sp}:
+		case reqs <- request{frame: frame, from: from, expires: expires, t: obs.StartTimer(), span: sp}:
 			queueDepth.Add(1)
 			s.inflight.Add(1)
 		default:
@@ -648,7 +714,7 @@ var scratchPool = sync.Pool{New: func() interface{} { return new(workerScratch) 
 // The epoch pointer is resolved per batch, so a heal takes effect on the
 // next dequeue; sessions are indexed by worker, so no session is ever
 // shared.
-func (s *airServer) worker(conn *net.UDPConn, w int, reqs <-chan request) {
+func (s *airServer) worker(conn udpWriter, w int, reqs <-chan request) {
 	sc := scratchPool.Get().(*workerScratch)
 	defer scratchPool.Put(sc)
 	for r := range reqs {
@@ -694,6 +760,21 @@ func (s *airServer) processBatch(conn udpWriter, w int, sc *workerScratch) {
 	sc.run = sc.run[:0]
 	sc.xs = sc.xs[:0]
 	for _, r := range sc.batch {
+		// Deadline check at dequeue, batch drain included: a request whose
+		// budget ran out while it sat in the queue (or crossed the wire) is
+		// answered with StatusExpired before any inference is spent on it —
+		// the goal-oriented drop. Requests without a deadline skip the clock
+		// read entirely, keeping the steady-state loop allocation-free.
+		if !r.expires.IsZero() {
+			if now := time.Now(); now.After(r.expires) {
+				s.expired.Add(1)
+				expiredCount.Inc()
+				s.nack(conn, r.from, airproto.ExpiredNack(r.frame.ID, now.Sub(r.expires)))
+				r.span.SetStr("outcome", "expired")
+				r.span.Finish(trace.FlagShed)
+				continue
+			}
+		}
 		if len(r.frame.Data) != u {
 			s.cfg.logf("frame %d: %d symbols, deployed for U=%d after epoch swap", r.frame.ID, len(r.frame.Data), u)
 			s.nack(conn, r.from, airproto.Nack(r.frame.ID, airproto.StatusWrongLen, int32(u)))
@@ -769,7 +850,11 @@ func (s *airServer) processBatch(conn udpWriter, w int, sc *workerScratch) {
 }
 
 func (s *airServer) nack(conn udpWriter, to *net.UDPAddr, f *airproto.Frame) {
-	if f.Code != airproto.StatusDegraded {
+	// Shed (queue-full, brownout) and expired verdicts have their own
+	// counters; nacked counts protocol rejections the client should fix.
+	switch f.Code {
+	case airproto.StatusDegraded, airproto.StatusRetryAfter, airproto.StatusExpired:
+	default:
 		s.nacked.Add(1)
 		nackedCount.Inc()
 	}

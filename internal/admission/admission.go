@@ -1,0 +1,137 @@
+// Package admission is the serving stack's adaptive overload control: an
+// AIMD brownout controller that sheds a rising fraction of non-control
+// traffic when the live p99 exceeds the latency SLO, instead of the binary
+// queue-full cliff.
+//
+// The controller separates *policy* (how much to shed — updated by a slow
+// feedback loop fed with the observed p99) from *mechanism* (which request
+// to shed — a deterministic per-arrival decision on the hot path). The
+// decision consumes no randomness and takes no locks: arrivals are counted
+// with an atomic and hashed through a fixed 64-bit mixer, so a shed
+// fraction of f drops an evenly spaced, reproducible f of arrivals. That
+// keeps the obs invariant (instrumentation and overload control never
+// touch an rng stream) and keeps the admit check allocation-free for the
+// zero-alloc serving gates.
+package admission
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// fracScale is the fixed-point denominator for the shed fraction.
+const fracScale = 1 << 20
+
+// Controller is an AIMD brownout governor. The zero value is unusable; use
+// New. Admit and Fraction are safe for concurrent use with Observe.
+type Controller struct {
+	slo time.Duration
+
+	// shed is the current shed fraction in fracScale fixed point.
+	shed atomic.Uint64
+	// arrivals counts Admit calls; the admit decision hashes this ordinal.
+	arrivals atomic.Uint64
+
+	// Tunables, fixed at construction.
+	step  uint64  // additive increase per over-SLO observation
+	decay float64 // multiplicative decrease per under-SLO observation
+	max   uint64  // shed ceiling: always admit some traffic to keep measuring
+}
+
+// New returns a controller targeting the given p99 SLO. While the observed
+// p99 stays at or under slo the controller admits everything; each
+// over-SLO observation sheds an additional 5% of traffic (up to a 95%
+// ceiling — a trickle is always admitted so the latency signal keeps
+// flowing), and each under-SLO observation multiplicatively relaxes the
+// brownout by a quarter.
+func New(slo time.Duration) *Controller {
+	return &Controller{
+		slo:   slo,
+		step:  fracScale / 20,       // +5 points
+		decay: 0.75,                 // -25% relative
+		max:   fracScale * 95 / 100, // 95% ceiling
+	}
+}
+
+// SLO returns the controller's latency target.
+func (c *Controller) SLO() time.Duration { return c.slo }
+
+// Observe feeds one p99 measurement into the AIMD loop. A p99 of 0 means
+// "no traffic observed" and relaxes the brownout like an under-SLO read.
+func (c *Controller) Observe(p99 time.Duration) {
+	cur := c.shed.Load()
+	var next uint64
+	if p99 > c.slo {
+		next = cur + c.step
+		if next > c.max {
+			next = c.max
+		}
+	} else {
+		next = uint64(float64(cur) * c.decay)
+		if next < fracScale/200 { // below 0.5%: snap open
+			next = 0
+		}
+	}
+	c.shed.Store(next)
+}
+
+// SetFraction pins the shed fraction directly (clamped to [0, 95%]) —
+// deterministic setup for tests and episode replays.
+func (c *Controller) SetFraction(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	v := uint64(f * fracScale)
+	if v > c.max {
+		v = c.max
+	}
+	c.shed.Store(v)
+}
+
+// Fraction returns the current shed fraction in [0, 1).
+func (c *Controller) Fraction() float64 {
+	return float64(c.shed.Load()) / fracScale
+}
+
+// splitmix64's finalizer: a full-avalanche 64-bit mixer, so consecutive
+// arrival ordinals land uniformly in [0, 2^64).
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Admit decides one arrival: false means shed this request (answer with a
+// RetryAfter hint), true means enqueue it. Lock-free, allocation-free, and
+// deterministic in the arrival ordinal — at a fixed fraction the same
+// arrival sequence sheds the same requests every run.
+func (c *Controller) Admit() bool {
+	shed := c.shed.Load()
+	if shed == 0 {
+		return true
+	}
+	ord := c.arrivals.Add(1)
+	return mix(ord)>>(64-20) >= shed
+}
+
+// RetryAfter suggests how long a shed client should back off before
+// retrying: half the SLO when the brownout is mild, growing toward four
+// SLOs as the shed fraction approaches the ceiling. Monotone in the
+// current fraction, so hints harshen as the brownout deepens.
+func (c *Controller) RetryAfter() time.Duration {
+	f := c.Fraction()
+	scale := 0.5 + 3.5*f
+	d := time.Duration(scale * float64(c.slo))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Quantize rounds a fraction to the controller's fixed-point grid — what
+// Fraction would report after SetFraction(f). Useful for exact assertions.
+func Quantize(f float64) float64 {
+	return math.Floor(f*fracScale) / fracScale
+}

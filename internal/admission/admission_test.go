@@ -1,0 +1,127 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmitAllAtZeroFraction(t *testing.T) {
+	c := New(10 * time.Millisecond)
+	for i := 0; i < 1000; i++ {
+		if !c.Admit() {
+			t.Fatal("shed with zero fraction")
+		}
+	}
+}
+
+// TestAIMDRampAndRelax: over-SLO observations ramp the shed fraction
+// additively toward the ceiling; under-SLO observations decay it
+// multiplicatively back to exactly zero.
+func TestAIMDRampAndRelax(t *testing.T) {
+	c := New(10 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		c.Observe(50 * time.Millisecond)
+	}
+	if f := c.Fraction(); f < 0.24 || f > 0.26 {
+		t.Fatalf("after 5 over-SLO observations fraction = %.3f, want ~0.25", f)
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(50 * time.Millisecond)
+	}
+	if f := c.Fraction(); f > 0.95001 || f < 0.94 {
+		t.Fatalf("ceiling breached or unreached: %.4f", f)
+	}
+	relaxes := 0
+	for c.Fraction() > 0 {
+		c.Observe(time.Millisecond)
+		relaxes++
+		if relaxes > 100 {
+			t.Fatal("brownout never fully relaxed")
+		}
+	}
+	// 0.95 * 0.75^n < 0.005 → n ≈ 19.
+	if relaxes > 25 {
+		t.Fatalf("relax took %d under-SLO observations", relaxes)
+	}
+	if !c.Admit() {
+		t.Fatal("relaxed controller still shedding")
+	}
+}
+
+// TestShedFractionAccuracy: at a pinned fraction, the long-run shed rate
+// matches, and the pattern is deterministic in the arrival ordinal.
+func TestShedFractionAccuracy(t *testing.T) {
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		a := New(time.Millisecond)
+		a.SetFraction(frac)
+		const n = 20000
+		shedA := 0
+		var pattern []bool
+		for i := 0; i < n; i++ {
+			ok := a.Admit()
+			if !ok {
+				shedA++
+			}
+			if i < 256 {
+				pattern = append(pattern, ok)
+			}
+		}
+		got := float64(shedA) / n
+		if got < frac-0.02 || got > frac+0.02 {
+			t.Fatalf("fraction %.2f: shed rate %.4f", frac, got)
+		}
+		b := New(time.Millisecond)
+		b.SetFraction(frac)
+		for i, want := range pattern {
+			if b.Admit() != want {
+				t.Fatalf("fraction %.2f: decision %d not deterministic", frac, i)
+			}
+		}
+	}
+}
+
+func TestRetryAfterMonotone(t *testing.T) {
+	c := New(20 * time.Millisecond)
+	c.SetFraction(0.1)
+	mild := c.RetryAfter()
+	c.SetFraction(0.9)
+	harsh := c.RetryAfter()
+	if mild <= 0 || harsh <= mild {
+		t.Fatalf("hints not monotone: mild=%v harsh=%v", mild, harsh)
+	}
+	if harsh > 5*c.SLO() {
+		t.Fatalf("hint %v unreasonably past 4×SLO", harsh)
+	}
+}
+
+// TestAdmitConcurrentSafe exercises Admit/Observe under the race detector.
+func TestAdmitConcurrentSafe(t *testing.T) {
+	c := New(time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				c.Admit()
+				if i%100 == 0 {
+					c.Observe(time.Duration(i%3) * time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSetFractionClamps(t *testing.T) {
+	c := New(time.Millisecond)
+	c.SetFraction(2.0)
+	if f := c.Fraction(); f > 0.95001 {
+		t.Fatalf("fraction %f above ceiling", f)
+	}
+	c.SetFraction(-1)
+	if c.Fraction() != 0 {
+		t.Fatal("negative fraction not clamped to 0")
+	}
+}

@@ -9,7 +9,8 @@
 //	uint8   kind     KindData, KindNack, KindStats, KindTrace, or one of
 //	                 the fleet kinds (KindHeartbeat, KindJoin,
 //	                 KindEpochPush, KindEpochAck — see fleet.go)
-//	uint8   code     status code (0 on data frames)
+//	uint8   code     status code; on data frames, the client's remaining
+//	                 deadline budget in DeadlineUnit ticks (0 = no deadline)
 //	uint32  id       sample/transmission identifier
 //	int32   label    data: ground-truth label for accounting (-1 if unknown)
 //	                 nack: detail value (e.g. the deployed U for StatusWrongLen)
@@ -79,6 +80,8 @@ const (
 	StatRollbacks
 	StatCanaryRejects
 	StatEpochSeq
+	StatShed
+	StatExpired
 	StatsVectorLen
 )
 
@@ -97,6 +100,18 @@ const (
 	// StatusNoTrace: a KindTrace request named a trace the server does not
 	// retain (never traced, sampled out, or evicted). Not retryable.
 	StatusNoTrace uint8 = 4
+	// StatusExpired: the request's deadline budget ran out before the server
+	// (or router) would have started inference, so the work was dropped
+	// unstarted — goal-oriented shedding, not a failure of the frame. The
+	// NACK's Label carries how far past the deadline the request was, in
+	// milliseconds. Retryable with a fresh budget if the result still
+	// matters.
+	StatusExpired uint8 = 5
+	// StatusRetryAfter: admission control is browning out non-control
+	// traffic because the serving latency exceeds its SLO; the NACK's Label
+	// carries a suggested wait in milliseconds before retrying. The request
+	// was well-formed — back off at least the hint, then retry.
+	StatusRetryAfter uint8 = 6
 )
 
 // HeaderLen is the byte length of the fixed frame header.

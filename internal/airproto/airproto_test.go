@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/rng"
 )
@@ -161,6 +162,11 @@ func fuzzCorpus() [][]byte {
 	chunkCut := chunk[:len(chunk)-5] // chunk cut mid-payload
 	ackChunk, _ := EpochAck(23, 1, AckChunk, 0, 0, 0xbeef01).Marshal()
 	ackDone, _ := EpochAck(23, 2, AckApplied, 0.97, 6, 0xbeef01).Marshal()
+	// Overload-control frames: a deadline-stamped data request, the expired
+	// verdict, and a brownout retry-after hint.
+	deadlined, _ := (&Frame{ID: 31, Label: -1, Code: EncodeDeadline(250 * time.Millisecond), Data: []complex128{1i, 2}}).Marshal()
+	expired, _ := ExpiredNack(31, 40*time.Millisecond).Marshal()
+	retryAfter, _ := RetryAfterNack(32, 75*time.Millisecond).Marshal()
 	return [][]byte{
 		{},                 // empty datagram
 		{0x00},             // 1-byte runt
@@ -181,6 +187,9 @@ func fuzzCorpus() [][]byte {
 		chunkCut,
 		ackChunk,
 		ackDone,
+		deadlined,
+		expired,
+		retryAfter,
 	}
 }
 

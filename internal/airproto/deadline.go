@@ -1,0 +1,95 @@
+package airproto
+
+import "time"
+
+// Deadline budgets ride the Code byte of KindData frames: the client stamps
+// how much time the answer is still worth, each forwarding hop (the fleet
+// router's hedged failover) re-stamps the remaining budget, and the serving
+// replica checks it once more at dequeue — work that can no longer make its
+// deadline is answered with StatusExpired instead of burning inference time.
+// One byte at DeadlineUnit granularity covers 10ms..2.55s, which brackets
+// every latency the serving stack targets; 0 means "no deadline" and is what
+// every pre-deadline client already sends.
+const (
+	// DeadlineUnit is the resolution of the wire deadline budget.
+	DeadlineUnit = 10 * time.Millisecond
+	// MaxDeadline is the largest budget one byte can carry.
+	MaxDeadline = 255 * DeadlineUnit
+)
+
+// EncodeDeadline converts a deadline budget to its wire byte, rounding up to
+// the next DeadlineUnit so a small positive budget never truncates to "no
+// deadline", and clamping at MaxDeadline. Non-positive budgets encode as 0
+// (no deadline).
+func EncodeDeadline(d time.Duration) uint8 {
+	if d <= 0 {
+		return 0
+	}
+	units := (d + DeadlineUnit - 1) / DeadlineUnit
+	if units > 255 {
+		units = 255
+	}
+	return uint8(units)
+}
+
+// DecodeDeadline converts a wire deadline byte back to a duration; 0 decodes
+// to 0 (no deadline).
+func DecodeDeadline(code uint8) time.Duration {
+	return time.Duration(code) * DeadlineUnit
+}
+
+// Deadline returns the frame's remaining deadline budget, or 0 if the frame
+// carries none. Only data frames carry budgets — on every other kind the
+// Code byte means something else (NACK status, push mode, ack verdict), so
+// Deadline reports 0 for them.
+func (f *Frame) Deadline() time.Duration {
+	if f.Kind != KindData {
+		return 0
+	}
+	return DecodeDeadline(f.Code)
+}
+
+// SetDeadline stamps a deadline budget onto a data frame (no-op on other
+// kinds, whose Code byte is not a budget).
+func (f *Frame) SetDeadline(d time.Duration) {
+	if f.Kind != KindData {
+		return
+	}
+	f.Code = EncodeDeadline(d)
+}
+
+// ExpiredNack answers request id with StatusExpired; late says how far past
+// its deadline the request was when the server looked at it.
+func ExpiredNack(id uint32, late time.Duration) *Frame {
+	ms := late.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > 1<<31-1 {
+		ms = 1<<31 - 1
+	}
+	return Nack(id, StatusExpired, int32(ms))
+}
+
+// RetryAfterNack answers request id with StatusRetryAfter and a suggested
+// wait before retrying (milliseconds on the Label field, rounded up so a
+// sub-millisecond hint is never silently zero).
+func RetryAfterNack(id uint32, wait time.Duration) *Frame {
+	ms := (wait + time.Millisecond - 1) / time.Millisecond
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > 1<<31-1 {
+		ms = 1<<31 - 1
+	}
+	return Nack(id, StatusRetryAfter, int32(ms))
+}
+
+// RetryAfterHint returns the suggested wait carried by a StatusRetryAfter
+// NACK, or 0 for any other frame.
+func (f *Frame) RetryAfterHint() time.Duration {
+	if f.Kind != KindNack || f.Code != StatusRetryAfter || f.Label < 0 {
+		return 0
+	}
+	return time.Duration(f.Label) * time.Millisecond
+}

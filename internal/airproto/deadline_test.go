@@ -1,0 +1,144 @@
+package airproto
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEncodeDeadlineRounding(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want uint8
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Nanosecond, 1}, // any positive budget survives encoding
+		{time.Millisecond, 1},
+		{DeadlineUnit, 1},
+		{DeadlineUnit + time.Nanosecond, 2},
+		{250 * time.Millisecond, 25},
+		{MaxDeadline, 255},
+		{10 * time.Second, 255}, // clamps, never wraps
+	}
+	for _, c := range cases {
+		if got := EncodeDeadline(c.in); got != c.want {
+			t.Errorf("EncodeDeadline(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDeadlineEncodeDecodeProperty: for any budget, the decoded wire value
+// is >= the original (rounded up, never silently shortened), within one
+// DeadlineUnit of it below the clamp, and idempotent through a second
+// encode/decode cycle.
+func TestDeadlineEncodeDecodeProperty(t *testing.T) {
+	err := quick.Check(func(ms uint32) bool {
+		d := time.Duration(ms%3000) * time.Millisecond
+		code := EncodeDeadline(d)
+		dec := DecodeDeadline(code)
+		if d == 0 {
+			return code == 0 && dec == 0
+		}
+		if d <= MaxDeadline {
+			if dec < d || dec-d >= DeadlineUnit {
+				return false
+			}
+		} else if dec != MaxDeadline {
+			return false
+		}
+		// Re-encoding a decoded budget is a fixed point.
+		return EncodeDeadline(dec) == code
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameDeadlineKindGating(t *testing.T) {
+	f := &Frame{Kind: KindData, ID: 1}
+	f.SetDeadline(120 * time.Millisecond)
+	if f.Code != 12 || f.Deadline() != 120*time.Millisecond {
+		t.Fatalf("data frame deadline: code=%d deadline=%v", f.Code, f.Deadline())
+	}
+	// On non-data kinds the Code byte is a status/mode, never a budget:
+	// SetDeadline must not clobber it and Deadline must read 0.
+	n := Nack(1, StatusDegraded, 0)
+	n.SetDeadline(time.Second)
+	if n.Code != StatusDegraded || n.Deadline() != 0 {
+		t.Fatalf("NACK code clobbered by SetDeadline: %+v", n)
+	}
+}
+
+func TestExpiredNackRoundTrip(t *testing.T) {
+	b, err := ExpiredNack(77, 35*time.Millisecond).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsNack() || got.Code != StatusExpired || got.ID != 77 || got.Label != 35 {
+		t.Fatalf("expired NACK lost fields: %+v", got)
+	}
+	if n := ExpiredNack(1, -time.Second); n.Label != 0 {
+		t.Fatalf("negative lateness must clamp to 0, got %d", n.Label)
+	}
+}
+
+func TestRetryAfterRoundTrip(t *testing.T) {
+	b, err := RetryAfterNack(88, 50*time.Millisecond).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsNack() || got.Code != StatusRetryAfter || got.ID != 88 {
+		t.Fatalf("retry-after NACK lost fields: %+v", got)
+	}
+	if hint := got.RetryAfterHint(); hint != 50*time.Millisecond {
+		t.Fatalf("hint = %v, want 50ms", hint)
+	}
+	// Sub-millisecond hints round up rather than vanish.
+	if n := RetryAfterNack(2, 100*time.Microsecond); n.Label != 1 {
+		t.Fatalf("sub-ms hint truncated: label=%d", n.Label)
+	}
+	// Only StatusRetryAfter NACKs carry hints.
+	if (&Frame{Kind: KindNack, Code: StatusDegraded, Label: 99}).RetryAfterHint() != 0 {
+		t.Fatal("non-retry-after frame reported a hint")
+	}
+	if (&Frame{Kind: KindData, Code: StatusRetryAfter, Label: 99}).RetryAfterHint() != 0 {
+		t.Fatal("data frame reported a retry hint")
+	}
+}
+
+// TestNewStatusCodesWireProperty round-trips StatusExpired/StatusRetryAfter
+// NACKs with arbitrary IDs and details through the wire format, alongside
+// deadline-stamped data frames.
+func TestNewStatusCodesWireProperty(t *testing.T) {
+	err := quick.Check(func(id uint32, detail int32, budget uint8) bool {
+		for _, code := range []uint8{StatusExpired, StatusRetryAfter} {
+			b, err := Nack(id, code, detail).Marshal()
+			if err != nil {
+				return false
+			}
+			got, err := Unmarshal(b)
+			if err != nil || !got.IsNack() || got.Code != code || got.ID != id || got.Label != detail {
+				return false
+			}
+		}
+		f := &Frame{Kind: KindData, Code: budget, ID: id, Label: -1}
+		b, err := f.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		return err == nil && got.Deadline() == DecodeDeadline(budget)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

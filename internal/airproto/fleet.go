@@ -1,6 +1,10 @@
 package airproto
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
 
 // Fleet control frames. The router/coordinator tier (internal/fleet) speaks
 // three more exchanges over the same dumb-datagram protocol the data path
@@ -24,10 +28,11 @@ import "fmt"
 //     format IS the journal format and a replica can journal what it
 //     applied byte-for-byte. Sealed epochs outgrow one datagram, so the
 //     push is chunked: every chunk frame carries (index, total) in Label,
-//     (chunk length, total length) in Data[0], and (byte offset,
-//     coordinator incarnation nonce) in Data[1], with the chunk bytes
-//     packed two per complex sample behind it (PackBytes — small integers
-//     survive the float32 wire exactly). The replica acks every chunk; the
+//     (chunk length, total length) in Data[0], (byte offset, coordinator
+//     incarnation nonce) in Data[1], and a CRC32 digest over headers and
+//     bytes in Data[2], with the chunk bytes packed two per complex sample
+//     behind it (PackBytes — small integers survive the float32 wire
+//     exactly). The replica acks every chunk; the
 //     ack for the final, completing chunk carries the apply verdict, the
 //     measured canary prediction agreement, and echoes the nonce.
 //
@@ -90,9 +95,9 @@ const (
 )
 
 // MaxChunkBytes is the largest sealed-epoch slice one push frame can carry:
-// two packed bytes per complex sample, two samples reserved for the
-// (length, total) and (offset, nonce) headers.
-const MaxChunkBytes = 2 * (MaxVector - 2)
+// two packed bytes per complex sample, three samples reserved for the
+// (length, total), (offset, nonce), and digest headers.
+const MaxChunkBytes = 2 * (MaxVector - 3)
 
 // Chunk header integers (offset, length, total length) and nonces ride
 // complex samples that Marshal encodes as float32, which represents
@@ -154,11 +159,33 @@ func (f *Frame) JoinInfo() (fleetSeq, localSeq uint64, fleetNonce uint32) {
 	return fleetSeq, localSeq, fleetNonce
 }
 
+// chunkDigest is the per-chunk integrity check: a CRC32 over every header
+// field a push frame carries (transfer, mode, index, total, offset, total
+// length, nonce) plus the chunk bytes themselves. Frames have no payload
+// checksum of their own, so without this a single corrupted datagram can
+// tear a multi-chunk reassembly or land garbage bytes at a valid offset —
+// the receiver only discovers it when the sealed epoch's own CRC fails at
+// apply time, wasting the entire transfer.
+func chunkDigest(transfer uint32, mode uint8, index, total, offset, totalLen int, nonce uint32, chunk []byte) uint32 {
+	var hdr [25]byte
+	binary.LittleEndian.PutUint32(hdr[0:], transfer)
+	hdr[4] = mode
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(index))
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(total))
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(offset))
+	binary.LittleEndian.PutUint32(hdr[17:], uint32(totalLen))
+	binary.LittleEndian.PutUint32(hdr[21:], nonce&NonceMask)
+	return crc32.Update(crc32.ChecksumIEEE(hdr[:]), crc32.IEEETable, chunk)
+}
+
 // EpochChunk builds one replication chunk: slice index of total, carrying
 // chunk bytes at byte offset into a totalLen-byte sealed epoch, stamped
 // with the coordinator's incarnation nonce. The offset rides its own header
 // sample so reassembly never has to infer a stride — chunks of any size
-// land at their exact position even when duplicated or reordered.
+// land at their exact position even when duplicated or reordered. A third
+// header sample carries a CRC32 digest over headers and bytes, split into
+// float32-exact 24-bit + 8-bit halves, so a receiver can tell a chunk
+// mangled on the wire from a clean one and discard it for re-send.
 func EpochChunk(transfer uint32, mode uint8, index, total int, chunk []byte, offset, totalLen int, nonce uint32) (*Frame, error) {
 	if len(chunk) > MaxChunkBytes {
 		return nil, fmt.Errorf("airproto: chunk of %d bytes exceeds %d", len(chunk), MaxChunkBytes)
@@ -173,10 +200,12 @@ func EpochChunk(transfer uint32, mode uint8, index, total int, chunk []byte, off
 		return nil, fmt.Errorf("airproto: %d-byte transfer exceeds the %d-byte float32-exact cap", totalLen, MaxTransferBytes)
 	}
 	packed, _ := PackBytes(chunk)
-	data := make([]complex128, 2+len(packed))
+	crc := chunkDigest(transfer, mode, index, total, offset, totalLen, nonce, chunk)
+	data := make([]complex128, 3+len(packed))
 	data[0] = complex(float64(len(chunk)), float64(totalLen))
 	data[1] = complex(float64(offset), float64(nonce&NonceMask))
-	copy(data[2:], packed)
+	data[2] = complex(float64(crc&NonceMask), float64(crc>>24))
+	copy(data[3:], packed)
 	return &Frame{
 		Kind:  KindEpochPush,
 		Code:  mode,
@@ -197,9 +226,12 @@ func (f *Frame) ChunkInfo() (index, total int) {
 // returns ok=false for a frame whose headers disagree with its payload — a
 // malformed or truncated chunk that must not enter reassembly — including
 // a total length past the float32-exact transfer cap, which can only be a
-// rounded or hostile header.
+// rounded or hostile header, and any frame whose CRC32 digest does not
+// match its headers and bytes: a chunk corrupted anywhere on the wire
+// (header byte, length field, payload sample) reads as not-a-chunk, and
+// the sender's stop-and-wait loop re-sends it like a drop.
 func (f *Frame) ChunkPayload() (chunk []byte, offset, totalLen int, nonce uint32, ok bool) {
-	if len(f.Data) < 2 {
+	if len(f.Data) < 3 {
 		return nil, 0, 0, 0, false
 	}
 	n := int(real(f.Data[0]))
@@ -207,10 +239,16 @@ func (f *Frame) ChunkPayload() (chunk []byte, offset, totalLen int, nonce uint32
 	offset = int(real(f.Data[1]))
 	nonce = uint32(imag(f.Data[1])) & NonceMask
 	if n < 0 || offset < 0 || totalLen < 0 || totalLen > MaxTransferBytes ||
-		offset+n > totalLen || n > 2*(len(f.Data)-2) {
+		offset+n > totalLen || n > 2*(len(f.Data)-3) {
 		return nil, 0, 0, 0, false
 	}
-	return UnpackBytes(f.Data[2:], n), offset, totalLen, nonce, true
+	crc := uint32(real(f.Data[2]))&NonceMask | uint32(imag(f.Data[2]))<<24
+	chunk = UnpackBytes(f.Data[3:], n)
+	index, total := f.ChunkInfo()
+	if crc != chunkDigest(f.ID, f.Code, index, total, offset, totalLen, nonce, chunk) {
+		return nil, 0, 0, 0, false
+	}
+	return chunk, offset, totalLen, nonce, true
 }
 
 // EpochAck builds a replica's chunk acknowledgement. For the completing

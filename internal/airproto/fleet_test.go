@@ -178,6 +178,54 @@ func TestEpochChunkRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestEpochChunkDigestDetectsTamper(t *testing.T) {
+	// Every field the digest covers: flipping any of them after build must
+	// make ChunkPayload refuse the frame, because a chunk corrupted in
+	// flight (airproto frames carry no payload checksum of their own) would
+	// otherwise land garbage bytes at a valid offset or open a phantom
+	// transfer under a mangled ID.
+	build := func() *Frame {
+		f, err := EpochChunk(7, PushCommit, 1, 3, []byte{9, 8, 7, 6, 5}, 16, 48, 0xabcdef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	tampers := []struct {
+		name string
+		mut  func(f *Frame)
+	}{
+		{"transfer ID", func(f *Frame) { f.ID ^= 1 }},
+		{"push mode", func(f *Frame) { f.Code ^= 1 }},
+		{"chunk index/total", func(f *Frame) { f.Label ^= 1 << 16 }},
+		{"byte offset", func(f *Frame) { f.Data[1] = complex(real(f.Data[1])+2, imag(f.Data[1])) }},
+		{"nonce", func(f *Frame) { f.Data[1] = complex(real(f.Data[1]), imag(f.Data[1])+1) }},
+		{"digest itself", func(f *Frame) { f.Data[2] = complex(real(f.Data[2])+1, imag(f.Data[2])) }},
+		{"payload byte", func(f *Frame) { f.Data[3] = complex(real(f.Data[3])+1, imag(f.Data[3])) }},
+		{"truncated payload", func(f *Frame) { f.Data = f.Data[:len(f.Data)-1]; f.Data[0] = complex(2, 48) }},
+	}
+	for _, tc := range tampers {
+		f := build()
+		tc.mut(f)
+		if _, _, _, _, ok := f.ChunkPayload(); ok {
+			t.Errorf("tampered %s accepted", tc.name)
+		}
+	}
+	// And the untampered frame still round-trips through the wire.
+	b, err := build().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunk, off, totalLen, nonce, ok := got.ChunkPayload(); !ok ||
+		off != 16 || totalLen != 48 || nonce != 0xabcdef || !bytes.Equal(chunk, []byte{9, 8, 7, 6, 5}) {
+		t.Fatalf("clean chunk refused: %v (offset %d, total %d, nonce %#x, ok %v)", chunk, off, totalLen, nonce, ok)
+	}
+}
+
 func TestEpochAckRoundTrip(t *testing.T) {
 	// Intermediate chunk ack: no payload.
 	b, err := EpochAck(5, 3, AckChunk, 0, 0, 9).Marshal()

@@ -488,6 +488,8 @@ func Decode(b []byte) (any, error) {
 		return DecodeThresholds(b)
 	case KindEpoch:
 		return DecodeEpoch(b)
+	case KindFleet:
+		return DecodeFleetState(b)
 	}
 	return nil, fmt.Errorf("%w: %v", ErrKind, kind)
 }

@@ -47,6 +47,10 @@ const (
 	// KindEpoch is a served epoch: deployment + thresholds + serving
 	// metadata, the unit the WAL journal appends.
 	KindEpoch Kind = 4
+	// KindFleet is a fleet coordinator's durable state: publication
+	// sequence, membership, and the current committed epoch bytes (see
+	// FleetState).
+	KindFleet Kind = 5
 )
 
 func (k Kind) String() string {
@@ -59,6 +63,8 @@ func (k Kind) String() string {
 		return "thresholds"
 	case KindEpoch:
 		return "epoch"
+	case KindFleet:
+		return "fleet"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

@@ -1,0 +1,90 @@
+package checkpoint
+
+import "fmt"
+
+// FleetState is the coordinator's durable core: everything a restarted
+// fleet router needs to rejoin its own fleet without diverging it.
+//
+// The publication sequence is the critical piece — ROADMAP's router-
+// replication gap. Sequences used to restart from 1 with the process,
+// which made every surviving replica look "ahead" of the new coordinator
+// and forced a full anti-entropy storm keyed only by the incarnation
+// nonce. Journaling pubSeq (and the committed epoch bytes) lets a restarted
+// coordinator resume counting where it left off and re-offer the exact
+// epoch the fleet last converged on.
+//
+// The incarnation nonce is deliberately ABSENT: it must differ across
+// process restarts (replicas cache per-transfer verdicts keyed by
+// (seq, nonce), and a reused nonce would let stale cached verdicts answer
+// for different bytes). A restored coordinator draws a fresh nonce, so
+// replicas' remembered (nonce, seq) versions mismatch and one round of
+// anti-entropy re-converges them onto the journaled epoch.
+type FleetState struct {
+	// PubSeq is the last publication sequence issued (committed or not);
+	// the restarted coordinator keeps counting from here.
+	PubSeq uint32
+	// CurrentTid is the sequence of the last COMMITTED publication
+	// (0 before the first).
+	CurrentTid uint32
+	// Members is the known membership: name and UDP address of every
+	// replica that was seeded or ever announced itself.
+	Members []FleetMember
+	// Current is the sealed epoch the fleet last converged on (nil before
+	// the first commit). Stored verbatim — the wire format IS the journal
+	// format — so the restored coordinator can anti-entropy push it
+	// byte-for-byte.
+	Current []byte
+}
+
+// FleetMember is one journaled membership record.
+type FleetMember struct {
+	Name string
+	Addr string // UDP host:port of the replica's serving socket
+}
+
+// EncodeFleetState seals a fleet coordinator snapshot into a KindFleet
+// checkpoint.
+func EncodeFleetState(s *FleetState) []byte {
+	var w writer
+	w.u32(s.PubSeq)
+	w.u32(s.CurrentTid)
+	w.u32(uint32(len(s.Members)))
+	for _, m := range s.Members {
+		w.str(m.Name)
+		w.str(m.Addr)
+	}
+	w.u64(uint64(len(s.Current)))
+	w.buf = append(w.buf, s.Current...)
+	return seal(KindFleet, w.buf)
+}
+
+// DecodeFleetState validates and decodes a sealed KindFleet checkpoint.
+func DecodeFleetState(b []byte) (*FleetState, error) {
+	payload, _, err := open(KindFleet, b)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{b: payload}
+	s := &FleetState{
+		PubSeq:     r.u32(),
+		CurrentTid: r.u32(),
+	}
+	n := r.count(8) // each member is at least two length prefixes
+	if r.err == nil && n > 0 {
+		s.Members = make([]FleetMember, n)
+		for i := range s.Members {
+			s.Members[i] = FleetMember{Name: r.str(), Addr: r.str()}
+		}
+	}
+	cn := int(r.u64())
+	if cur := r.take(cn); len(cur) > 0 {
+		s.Current = append([]byte(nil), cur...)
+	}
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("fleet state: %w", err)
+	}
+	if s.CurrentTid > s.PubSeq {
+		return nil, fmt.Errorf("%w: committed sequence %d beyond publication sequence %d", ErrInvalid, s.CurrentTid, s.PubSeq)
+	}
+	return s, nil
+}

@@ -1,0 +1,75 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFleetStateRoundTrip(t *testing.T) {
+	in := &FleetState{
+		PubSeq:     17,
+		CurrentTid: 15,
+		Members: []FleetMember{
+			{Name: "127.0.0.1:9530", Addr: "127.0.0.1:9530"},
+			{Name: "edge-b", Addr: "127.0.0.1:9531"},
+		},
+		Current: []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01},
+	}
+	out, err := DecodeFleetState(EncodeFleetState(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PubSeq != in.PubSeq || out.CurrentTid != in.CurrentTid {
+		t.Fatalf("sequences: got (%d,%d), want (%d,%d)", out.PubSeq, out.CurrentTid, in.PubSeq, in.CurrentTid)
+	}
+	if len(out.Members) != 2 || out.Members[1] != in.Members[1] {
+		t.Fatalf("members: %+v", out.Members)
+	}
+	if string(out.Current) != string(in.Current) {
+		t.Fatalf("epoch bytes: %x", out.Current)
+	}
+}
+
+func TestFleetStateEmpty(t *testing.T) {
+	out, err := DecodeFleetState(EncodeFleetState(&FleetState{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PubSeq != 0 || out.Members != nil || out.Current != nil {
+		t.Fatalf("empty state decoded as %+v", out)
+	}
+}
+
+// A flipped byte anywhere must read as corruption — the CRC covers header
+// and payload alike.
+func TestFleetStateCorruptionRejected(t *testing.T) {
+	b := EncodeFleetState(&FleetState{PubSeq: 3, CurrentTid: 3, Current: []byte("epoch")})
+	for _, i := range []int{0, 6, len(b) / 2, len(b) - 1} {
+		bad := append([]byte(nil), b...)
+		bad[i] ^= 0x40
+		if _, err := DecodeFleetState(bad); err == nil {
+			t.Fatalf("flipped byte %d decoded cleanly", i)
+		}
+	}
+}
+
+// A committed sequence beyond the publication counter can never have been
+// written by a correct coordinator; restoring it would hand out duplicate
+// sequences.
+func TestFleetStateSequenceInvariant(t *testing.T) {
+	var w = &FleetState{PubSeq: 2, CurrentTid: 5}
+	if _, err := DecodeFleetState(EncodeFleetState(w)); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("tid > pubSeq decoded with err %v, want ErrInvalid", err)
+	}
+}
+
+// KindFleet must not decode as an epoch and vice versa.
+func TestFleetStateKindConfusion(t *testing.T) {
+	b := EncodeFleetState(&FleetState{PubSeq: 1, CurrentTid: 1})
+	if k, err := PeekKind(b); err != nil || k != KindFleet {
+		t.Fatalf("PeekKind = %v, %v", k, err)
+	}
+	if _, err := DecodeEpoch(b); !errors.Is(err, ErrKind) {
+		t.Fatalf("fleet state decoded as epoch: %v", err)
+	}
+}

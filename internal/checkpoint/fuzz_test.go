@@ -29,6 +29,11 @@ func FuzzDecode(f *testing.F) {
 	ce := buildCascadeEpoch(101)
 	cascadeEpochBlob := EncodeEpoch(ce)
 	cascadeDeployBlob := EncodeDeployment(ce.State)
+	fleetBlob := EncodeFleetState(&FleetState{
+		PubSeq: 9, CurrentTid: 7,
+		Members: []FleetMember{{Name: "a", Addr: "127.0.0.1:9530"}},
+		Current: epochBlob,
+	})
 
 	seeds := [][]byte{
 		nil,
@@ -42,6 +47,8 @@ func FuzzDecode(f *testing.F) {
 		cascadeEpochBlob,
 		cascadeDeployBlob,
 		cascadeDeployBlob[:len(cascadeDeployBlob)*3/4],
+		fleetBlob,
+		fleetBlob[:len(fleetBlob)/2],
 	}
 	// Mutated variants: flipped kind, zeroed CRC, elevated version.
 	for _, base := range [][]byte{modelBlob, thBlob} {
@@ -75,6 +82,8 @@ func FuzzDecode(f *testing.F) {
 			again = EncodeThresholds(x)
 		case *Epoch:
 			again = EncodeEpoch(x)
+		case *FleetState:
+			again = EncodeFleetState(x)
 		default:
 			t.Fatalf("Decode returned unexpected type %T", v)
 		}

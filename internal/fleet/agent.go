@@ -18,12 +18,16 @@ const (
 )
 
 // ackCacheSize bounds the per-agent cache of completed-transfer verdicts.
-// A retransmitted chunk for a transfer that already completed must be
+// A retransmitted chunk for a transfer that already APPLIED must be
 // answered with the SAME final ack (the coordinator may have missed it),
 // not re-applied and not re-reassembled. Entries are keyed by the
 // (transfer ID, coordinator nonce) pair: transfer IDs restart from 1 with
 // every coordinator incarnation, and a cached verdict about one
-// incarnation's bytes must never answer another's.
+// incarnation's bytes must never answer another's. Only AckApplied
+// verdicts are cached: a rejection may be the fault of the WIRE (a
+// corrupted chunk tearing the reassembly or the sealed bytes), so caching
+// it would brick every future retry of the same transfer — the coordinator
+// retries the whole push and the replica must reassemble it for real.
 const ackCacheSize = 8
 
 // cachedAck is one completed transfer's final verdict, valid only for the
@@ -86,8 +90,9 @@ func (a *Agent) FleetVersion() (seq uint64, nonce uint32) {
 }
 
 // HandleFrame processes one fleet-control frame and returns the reply to
-// send, or ok=false when the frame needs no answer (join replies and other
-// router-side frames that reached a replica).
+// send, or ok=false when the frame needs no answer (join replies, other
+// router-side frames that reached a replica, and push chunks corrupted in
+// flight, which the coordinator re-sends on timeout).
 func (a *Agent) HandleFrame(f *airproto.Frame) (*airproto.Frame, bool) {
 	switch f.Kind {
 	case airproto.KindHeartbeat:
@@ -96,7 +101,12 @@ func (a *Agent) HandleFrame(f *airproto.Frame) (*airproto.Frame, bool) {
 		}
 		return airproto.HeartbeatReply(f.ID, a.health()), true
 	case airproto.KindEpochPush:
-		return a.handlePush(f), true
+		if reply := a.handlePush(f); reply != nil {
+			return reply, true
+		}
+		// Chunk corrupted on the wire (per-chunk digest failed): silence.
+		// The coordinator's stop-and-wait re-sends it exactly like a drop.
+		return nil, false
 	}
 	// KindJoin replies (and any stray KindEpochAck) land here: consumed
 	// silently so a replica never answers a reply with a reply.
@@ -106,7 +116,14 @@ func (a *Agent) HandleFrame(f *airproto.Frame) (*airproto.Frame, bool) {
 func (a *Agent) handlePush(f *airproto.Frame) *airproto.Frame {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	_, _, _, nonce, _ := f.ChunkPayload() // malformed frames fail reasm.Add below
+	_, _, _, nonce, ok := f.ChunkPayload()
+	if !ok {
+		// The digest failed or the headers lie: this chunk was mangled in
+		// flight (even its transfer ID may be garbage), so it must not touch
+		// any transfer's state, evict any cached verdict, or earn a NACK —
+		// answering would let one corrupt datagram abort a healthy transfer.
+		return nil
+	}
 	if cached, ok := a.acks[f.ID]; ok {
 		if cached.nonce == nonce {
 			// The transfer already completed; whatever chunk this is, the
@@ -137,10 +154,16 @@ func (a *Agent) handlePush(f *airproto.Frame) *airproto.Frame {
 	return a.finishTransfer(f.ID, idx, nonce, airproto.AckApplied, agreement)
 }
 
-// finishTransfer builds, caches, and returns the completing ack for a
-// transfer under coordinator incarnation nonce. Callers hold mu.
+// finishTransfer builds the completing ack for a transfer under coordinator
+// incarnation nonce, caching it only when the transfer applied — rejections
+// are transient (possibly corruption-born) and must not poison retries.
+// Callers hold mu.
 func (a *Agent) finishTransfer(tid uint32, idx int, nonce uint32, code uint8, agreement float64) *airproto.Frame {
 	ack := airproto.EpochAck(tid, idx, code, agreement, a.FleetSeq(), nonce)
+	if code != airproto.AckApplied {
+		a.forgetAck(tid)
+		return ack
+	}
 	if len(a.ackOrder) >= ackCacheSize {
 		delete(a.acks, a.ackOrder[0])
 		a.ackOrder = a.ackOrder[1:]

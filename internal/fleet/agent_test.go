@@ -87,8 +87,14 @@ func TestAgentAppliesChunkedPushOnce(t *testing.T) {
 
 func TestAgentRejectsFailingApply(t *testing.T) {
 	sealed := testSealed(1_000, 10)
+	var fail = true
+	applies := 0
 	a := NewAgent(nil, func([]byte, uint8, uint32) (float64, error) {
-		return 0.25, fmt.Errorf("bad epoch")
+		applies++
+		if fail {
+			return 0.25, fmt.Errorf("bad epoch")
+		}
+		return 1, nil
 	})
 	frames, _ := Chunks(5, airproto.PushCommit, sealed, 600, 0x77)
 	var final *airproto.Frame
@@ -101,10 +107,84 @@ func TestAgentRejectsFailingApply(t *testing.T) {
 	if a.FleetSeq() != 0 {
 		t.Fatal("rejected transfer advanced the fleet seq")
 	}
-	// The rejection is cached too.
-	ack, _ := a.HandleFrame(frames[0])
-	if ack.Code != airproto.AckRejected {
-		t.Fatalf("cached rejection lost: code %d", ack.Code)
+	// Rejections are NOT cached: the failure may have been the wire's fault
+	// (a corrupted chunk tearing the sealed bytes), so a full coordinator
+	// retry must reassemble and re-apply for real instead of being answered
+	// from a poisoned verdict. Here the retry's apply succeeds, proving the
+	// replica gave the bytes a second chance.
+	fail = false
+	for _, f := range frames {
+		final, _ = a.HandleFrame(f)
+	}
+	if final.Code != airproto.AckApplied {
+		t.Fatalf("retry after rejection acked with code %d, want applied", final.Code)
+	}
+	if applies != 2 {
+		t.Fatalf("retry ran apply %d times, want 2", applies)
+	}
+	if a.FleetSeq() != 5 {
+		t.Fatalf("fleet seq %d after successful retry", a.FleetSeq())
+	}
+}
+
+// TestAgentIgnoresCorruptChunk is the bad-wire contract: a push chunk
+// mangled in flight (failing its per-chunk digest) earns NO reply — not a
+// rejection, which would abort the coordinator's whole push — and leaves
+// the in-progress reassembly untouched, so a clean re-send of the same
+// chunk completes the transfer as if the corruption were a drop.
+func TestAgentIgnoresCorruptChunk(t *testing.T) {
+	sealed := testSealed(4_000, 14)
+	applies := 0
+	a := NewAgent(nil, func(got []byte, mode uint8, tid uint32) (float64, error) {
+		applies++
+		if !bytes.Equal(got, sealed) {
+			t.Fatal("apply saw torn bytes")
+		}
+		return 1, nil
+	})
+	frames, err := Chunks(9, airproto.PushCommit, sealed, 900, 0x77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 3 {
+		t.Fatalf("want a multi-chunk transfer, got %d frames", len(frames))
+	}
+	var final *airproto.Frame
+	for i, f := range frames {
+		// Deliver a corrupted copy first: one payload sample off by one, as
+		// wire corruption would leave it after Unmarshal still parses.
+		bad := *f
+		bad.Data = append([]complex128(nil), f.Data...)
+		bad.Data[3] = complex(real(bad.Data[3])+1, imag(bad.Data[3]))
+		if reply, ok := a.HandleFrame(&bad); ok || reply != nil {
+			t.Fatalf("corrupt chunk %d earned a reply: %+v", i, reply)
+		}
+		// The clean re-send must still be acked and the transfer proceed.
+		ack, ok := a.HandleFrame(f)
+		if !ok || ack == nil {
+			t.Fatalf("clean re-send of chunk %d unanswered", i)
+		}
+		final = ack
+	}
+	if final.Code != airproto.AckApplied || applies != 1 {
+		t.Fatalf("transfer after per-chunk corruption: code %d, %d applies", final.Code, applies)
+	}
+	if a.FleetSeq() != 9 {
+		t.Fatalf("fleet seq %d after apply", a.FleetSeq())
+	}
+
+	// A corrupt chunk whose mangled ID collides with the completed transfer
+	// must not evict its cached verdict: the next clean retransmit is still
+	// answered from cache, without re-applying.
+	bad := *frames[0]
+	bad.Data = append([]complex128(nil), frames[0].Data...)
+	bad.Data[1] = complex(real(bad.Data[1]), imag(bad.Data[1])+1) // nonce flipped in flight
+	if reply, ok := a.HandleFrame(&bad); ok || reply != nil {
+		t.Fatalf("corrupt retransmit earned a reply: %+v", reply)
+	}
+	ack, ok := a.HandleFrame(frames[0])
+	if !ok || ack.Code != airproto.AckApplied || applies != 1 {
+		t.Fatalf("cached verdict lost after corrupt retransmit: %+v (%d applies)", ack, applies)
 	}
 }
 

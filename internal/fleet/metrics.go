@@ -14,6 +14,8 @@ import "repro/internal/obs"
 //	fleet.hedged_wins       forwards answered by a hedge, not the first pick
 //	fleet.shed              requests NACKed at the router (no live replica or
 //	                        the inflight cap, which scales with live count)
+//	fleet.expired           requests whose deadline budget died at the router
+//	                        (StatusExpired sent without burning a replica)
 //	fleet.publishes         epoch publications fanned out fleet-wide
 //	fleet.publish.chunks    replication chunk frames sent (retries included)
 //	fleet.rollbacks         fleet-wide rollbacks to the prior epoch
@@ -29,6 +31,7 @@ var (
 	failoverCount  = obs.NewCounter("fleet.failovers")
 	hedgedWinCount = obs.NewCounter("fleet.hedged_wins")
 	shedCount      = obs.NewCounter("fleet.shed")
+	expiredCount   = obs.NewCounter("fleet.expired")
 	publishCount   = obs.NewCounter("fleet.publishes")
 	chunkCount     = obs.NewCounter("fleet.publish.chunks")
 	rollbackCount  = obs.NewCounter("fleet.rollbacks")

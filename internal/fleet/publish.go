@@ -150,6 +150,7 @@ func (r *Router) Publish(sealed []byte) error {
 	r.currentTid = tid
 	r.mu.Unlock()
 	canary.fleetVer.Store(r.ver(tid))
+	r.persistState()
 	events.Default().EmitTraced(pid, events.FleetPublish, "epoch replicated fleet-wide",
 		events.Num("epoch_seq", float64(ep.Seq)),
 		events.Num("fleet_seq", float64(tid)),
@@ -188,6 +189,7 @@ func (r *Router) rollbackFleet(sealed []byte, pid trace.ID) {
 	r.current = sealed
 	r.currentTid = rtid
 	r.mu.Unlock()
+	r.persistState()
 	events.Default().EmitTraced(pid, events.Rollback, "fleet rolled back to prior epoch",
 		events.Num("fleet_seq", float64(rtid)),
 		events.Num("replicas", float64(len(order))))

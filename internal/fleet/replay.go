@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
 	"repro/internal/airproto"
+	"repro/internal/netchaos"
 	"repro/internal/rng"
 )
 
@@ -30,6 +32,15 @@ type ReplayConfig struct {
 	Requests   int    // routed requests per load burst (default 96)
 	ChunkBytes int    // replication chunk payload (default 512)
 	Seed       uint64 // drives keys, latencies, and detector jitter (default 1)
+	// Chaos, when non-nil, threads every routed request and every
+	// replication chunk through seeded netchaos lanes: routed requests can
+	// be dropped on the wire (failing over exactly as a dead replica
+	// would), and chunk frames can be dropped, duplicated, reordered, or
+	// mangled — the stop-and-wait sender retries, the agent re-acks
+	// duplicates, and mangled frames fail Unmarshal and are ignored. The
+	// episode stays a pure function of (Seed, Chaos): same config, same
+	// fates, same tallies.
+	Chaos *netchaos.Config
 }
 
 func (c ReplayConfig) withDefaults() ReplayConfig {
@@ -76,9 +87,13 @@ type replayReplica struct {
 // replayCanaryFrac is the gate a replayed canary must clear, matching the
 // production default. replayNonce stands in for the coordinator incarnation
 // nonce — fixed, so the episode stays a pure function of the seed.
+// replayChunkRetries is the stop-and-wait sender's per-chunk attempt cap;
+// without chaos the first attempt always acks, with the Mix(0.1) load
+// eight attempts make an all-drops chunk vanishingly unlikely.
 const (
-	replayCanaryFrac = 0.8
-	replayNonce      = 0x5eed
+	replayCanaryFrac   = 0.8
+	replayNonce        = 0x5eed
+	replayChunkRetries = 8
 )
 
 // replayEpoch builds a synthetic sealed payload for the replay: size bytes
@@ -138,16 +153,38 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 	}
 	setGauges()
 
+	// Chaos lanes: routeLane decides routed-request delivery, wireLane
+	// mangles replication chunk bytes. Both are seeded from the chaos
+	// config (falling back to the episode seed), independent of the episode
+	// source so arming chaos does not shift the request keys or latencies.
+	var routeLane, wireLane *netchaos.Lane
+	if cfg.Chaos != nil {
+		cseed := cfg.Chaos.Seed
+		if cseed == 0 {
+			cseed = cfg.Seed
+		}
+		routeLane = netchaos.NewLane(cfg.Chaos.Inbound, cseed^0x407e)
+		wireLane = netchaos.NewLane(cfg.Chaos.Outbound, cseed^0x317e)
+	}
+
 	// route sends one burst of requests through the ring exactly as the
 	// router would: forward to the primary, report the outcome to the
-	// detector, fail over in ring order around dead members, and count a
-	// hedged win when the primary's latency draw crosses the hedge line.
+	// detector, fail over in ring order around dead members (or around a
+	// chaos-eaten datagram — the router can't tell the difference), and
+	// count a hedged win when the primary's latency draw crosses the hedge
+	// line.
 	route := func(n int) {
+		var keyBuf [8]byte
 		for i := 0; i < n; i++ {
 			key := src.Uint64()
 			for _, name := range ring.Route(key, 2) {
 				lat := 150e-6 + 300e-6*src.Float64()
-				if r := byName[name]; !r.alive {
+				lost := false
+				if routeLane != nil {
+					binary.LittleEndian.PutUint64(keyBuf[:], key)
+					lost = len(routeLane.Apply(keyBuf[:], nil)) == 0
+				}
+				if r := byName[name]; !r.alive || lost {
 					det.ReportForward(name, true, now)
 					failoverCount.Inc()
 					st.Failovers++
@@ -169,21 +206,61 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 
 	// push streams one chunked transfer into a replica agent, counting every
 	// chunk frame like the coordinator's sender does, and returns the
-	// completing ack.
+	// completing ack. With a wire lane armed each chunk's bytes go through
+	// the fault engine: a dropped or mangled chunk is resent (stop-and-wait,
+	// exactly like Router.pushEpoch), a duplicated or reordered one is
+	// re-acked by the agent's idempotent chunk handling.
 	push := func(r *replayReplica, tid uint32, sealed []byte, mode uint8) (*airproto.Frame, error) {
 		frames, err := Chunks(tid, mode, sealed, cfg.ChunkBytes, replayNonce)
 		if err != nil {
 			return nil, err
 		}
-		for _, fr := range frames {
-			chunkCount.Inc()
-			st.Chunks++
-			ack, ok := r.agent.HandleFrame(fr)
-			if !ok || ack == nil {
-				return nil, fmt.Errorf("fleet replay: %s ignored chunk of transfer %d", r.name, tid)
+		for i, fr := range frames {
+			if wireLane == nil {
+				chunkCount.Inc()
+				st.Chunks++
+				ack, ok := r.agent.HandleFrame(fr)
+				if !ok || ack == nil {
+					return nil, fmt.Errorf("fleet replay: %s ignored chunk of transfer %d", r.name, tid)
+				}
+				if ack.Code != airproto.AckChunk {
+					return ack, nil
+				}
+				continue
 			}
-			if ack.Code != airproto.AckChunk {
-				return ack, nil
+			out, err := fr.Marshal()
+			if err != nil {
+				return nil, err
+			}
+			var final *airproto.Frame
+			acked := false
+			for attempt := 0; attempt < replayChunkRetries && !acked && final == nil; attempt++ {
+				chunkCount.Inc()
+				st.Chunks++
+				for _, p := range wireLane.Apply(out, nil) {
+					f2, err := airproto.Unmarshal(p.Data)
+					if err != nil || f2.Kind != airproto.KindEpochPush {
+						continue // mangled on the wire: the replica ignores it
+					}
+					ack, ok := r.agent.HandleFrame(f2)
+					if !ok || ack == nil || ack.Kind != airproto.KindEpochAck || ack.ID != tid {
+						continue // stale held frame from an earlier transfer
+					}
+					if ack.Code != airproto.AckChunk {
+						final = ack // completing verdict, possibly early
+						continue
+					}
+					if idx, _, _, _ := ack.AckInfo(); idx == i {
+						acked = true
+					}
+				}
+			}
+			if final != nil {
+				return final, nil
+			}
+			if !acked {
+				return nil, fmt.Errorf("fleet replay: no ack for chunk %d/%d of transfer %d after %d attempts",
+					i+1, len(frames), tid, replayChunkRetries)
 			}
 		}
 		return nil, fmt.Errorf("fleet replay: transfer %d to %s fully acked but never completed", tid, r.name)

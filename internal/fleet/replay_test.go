@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"testing"
+
+	"repro/internal/netchaos"
 )
 
 // TestReplayDeterministicAndConverged pins the replay driver's contract: a
@@ -35,6 +37,43 @@ func TestReplayDeterministicAndConverged(t *testing.T) {
 	}
 	if a != b {
 		t.Fatalf("same seed, different episodes:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+// TestReplayChaosDeterministicAndConverged: the same episode under the
+// netchaos fault load still completes every leg — lost routed requests
+// fail over, dropped/mangled chunks are resent, duplicated ones re-acked
+// — converges on the same final fleet sequence, and replays to IDENTICAL
+// tallies: the packet fates are a pure function of the chaos config.
+func TestReplayChaosDeterministicAndConverged(t *testing.T) {
+	cfg := ReplayConfig{Seed: 42, Chaos: &netchaos.Config{
+		Seed:     7,
+		Inbound:  netchaos.Mix(0.1),
+		Outbound: netchaos.Mix(0.1),
+	}}
+	a, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FleetSeq != 3 {
+		t.Fatalf("chaos episode converged on seq %d, want 3", a.FleetSeq)
+	}
+	clean, err := Replay(ReplayConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chunks <= clean.Chunks {
+		t.Fatalf("chaos sent %d chunks vs %d clean — the fault load never bit", a.Chunks, clean.Chunks)
+	}
+	if a.Failovers <= clean.Failovers {
+		t.Fatalf("chaos caused %d failovers vs %d clean — routed requests never dropped", a.Failovers, clean.Failovers)
+	}
+	b, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same chaos config, different episodes:\n a=%+v\n b=%+v", a, b)
 	}
 }
 

@@ -13,11 +13,15 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/airproto"
+	"repro/internal/checkpoint"
+	"repro/internal/netchaos"
 	"repro/internal/obs"
 	"repro/internal/obs/events"
 	"repro/internal/rng"
@@ -62,6 +66,14 @@ type Config struct {
 	CanaryFrac float64
 	// Seed drives the detector's probe jitter.
 	Seed uint64
+	// StateDir, when set, journals the coordinator's core state (publication
+	// sequence, membership, the committed epoch bytes) as a sealed
+	// checkpoint after every commit, rollback, and membership change. A
+	// restarted router restores it and rejoins its own fleet without
+	// divergence: sequences keep counting instead of restarting from 1, and
+	// one anti-entropy round (forced by the fresh incarnation nonce)
+	// re-converges the replicas onto the journaled epoch.
+	StateDir string
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...interface{})
 }
@@ -159,8 +171,12 @@ func newIncarnation() uint32 {
 	return uint32(time.Now().UnixNano())&airproto.NonceMask | 1
 }
 
-// NewRouter resolves the seed replicas, binds the upstream socket, and
-// starts the heartbeat and reply-dispatch loops.
+// NewRouter resolves the seed replicas, restores any journaled coordinator
+// state, binds the upstream socket, and starts the heartbeat and
+// reply-dispatch loops. Restored state wins over seed replicas for
+// membership; the incarnation nonce is ALWAYS drawn fresh (never restored),
+// so replicas still holding the previous incarnation's version mismatch
+// and anti-entropy re-converges them onto the journaled epoch.
 func NewRouter(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
 	r := &Router{
@@ -184,6 +200,9 @@ func NewRouter(cfg Config) (*Router, error) {
 		r.members[name] = &member{name: name, addr: addr}
 		r.ring.Add(name)
 	}
+	if err := r.restoreState(); err != nil {
+		return nil, err
+	}
 	up, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, err
@@ -193,6 +212,82 @@ func NewRouter(cfg Config) (*Router, error) {
 	go r.upstreamLoop()
 	go r.heartbeatLoop()
 	return r, nil
+}
+
+// statePath is the coordinator's journal file under StateDir.
+func (r *Router) statePath() string {
+	return filepath.Join(r.cfg.StateDir, "fleet-state.ckpt")
+}
+
+// restoreState loads the journaled coordinator state, if any. A missing
+// file is a cold start; a corrupt file is an error (silently discarding it
+// would restart sequences from 1 — the exact divergence the journal
+// exists to prevent).
+func (r *Router) restoreState() error {
+	if r.cfg.StateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("fleet: state dir: %w", err)
+	}
+	b, err := os.ReadFile(r.statePath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: read state: %w", err)
+	}
+	st, err := checkpoint.DecodeFleetState(b)
+	if err != nil {
+		return fmt.Errorf("fleet: restore state: %w", err)
+	}
+	r.pubSeq.Store(st.PubSeq)
+	r.currentTid = st.CurrentTid
+	r.current = st.Current
+	for _, m := range st.Members {
+		if _, ok := r.members[m.Name]; ok {
+			continue // a seed replica re-declared on the command line wins
+		}
+		addr, err := net.ResolveUDPAddr("udp", m.Addr)
+		if err != nil {
+			r.cfg.Logf("fleet: journaled member %s has unresolvable addr %q, dropping", m.Name, m.Addr)
+			continue
+		}
+		r.members[m.Name] = &member{name: m.Name, addr: addr}
+		r.ring.Add(m.Name)
+	}
+	r.cfg.Logf("fleet: restored coordinator state: pubSeq %d, committed seq %d, %d members, epoch bytes %d (fresh incarnation %#x)",
+		st.PubSeq, st.CurrentTid, len(r.members), len(st.Current), r.incar)
+	return nil
+}
+
+// persistState journals the coordinator's core state atomically (write to a
+// temp file, then rename). Failures are logged, not fatal: the fleet keeps
+// running on its in-memory state and the next mutation retries the write.
+func (r *Router) persistState() {
+	if r.cfg.StateDir == "" {
+		return
+	}
+	r.mu.Lock()
+	st := &checkpoint.FleetState{
+		PubSeq:     r.pubSeq.Load(),
+		CurrentTid: r.currentTid,
+		Current:    r.current,
+		Members:    make([]checkpoint.FleetMember, 0, len(r.members)),
+	}
+	for _, m := range r.members {
+		st.Members = append(st.Members, checkpoint.FleetMember{Name: m.name, Addr: m.addr.String()})
+	}
+	r.mu.Unlock()
+	b := checkpoint.EncodeFleetState(st)
+	tmp := r.statePath() + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		r.cfg.Logf("fleet: persist state: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, r.statePath()); err != nil {
+		r.cfg.Logf("fleet: persist state: %v", err)
+	}
 }
 
 // Close stops the heartbeat loop and the upstream socket. The client-facing
@@ -462,7 +557,7 @@ func (r *Router) maybeCatchUp(m *member) {
 // a rejoin revives an evicted or suspect member, and either way the reply
 // carries the fleet's current epoch sequence so a stale replica knows a
 // catch-up push is coming.
-func (r *Router) handleJoin(conn *net.UDPConn, f *airproto.Frame, from *net.UDPAddr) {
+func (r *Router) handleJoin(conn netchaos.PacketConn, f *airproto.Frame, from *net.UDPAddr) {
 	name := from.String()
 	fleetSeq, _, fleetNonce := f.JoinInfo()
 	r.mu.Lock()
@@ -489,6 +584,9 @@ func (r *Router) handleJoin(conn *net.UDPConn, f *airproto.Frame, from *net.UDPA
 			events.Str("member", name),
 			events.Num("reported_seq", float64(fleetSeq)),
 			events.Num("fleet_seq", float64(curTid)))
+	}
+	if fresh {
+		r.persistState()
 	}
 	if out, err := airproto.Join(f.ID, uint64(curTid), 0, r.incar).Marshal(); err == nil {
 		conn.WriteToUDP(out, from)
@@ -536,8 +634,10 @@ func (r *Router) liveCount() int {
 // Serve answers client frames on conn until it is closed (the caller owns
 // shutdown, exactly like airServer.serve). Data, stats, and trace requests
 // are forwarded to replicas; joins update membership; everything else is
-// dropped.
-func (r *Router) Serve(conn *net.UDPConn) error {
+// dropped. conn is any netchaos.PacketConn — a bare *net.UDPConn in
+// production, or a chaos-wrapped one when the front link itself is under
+// fault injection.
+func (r *Router) Serve(conn netchaos.PacketConn) error {
 	for {
 		buf := make([]byte, 65535)
 		n, from, err := conn.ReadFromUDP(buf)
@@ -573,7 +673,7 @@ func (r *Router) Serve(conn *net.UDPConn) error {
 	}
 }
 
-func (r *Router) writeTo(conn *net.UDPConn, to *net.UDPAddr, f *airproto.Frame) {
+func (r *Router) writeTo(conn netchaos.PacketConn, to *net.UDPAddr, f *airproto.Frame) {
 	if out, err := f.Marshal(); err == nil {
 		if _, err := conn.WriteToUDP(out, to); err != nil {
 			r.cfg.Logf("fleet: reply to %s: %v", to, err)
@@ -591,12 +691,21 @@ type fwdResult struct {
 
 // forward routes one client request: the consistent-hash preference list
 // for the client's address gives the primary and the failover order. A
-// degraded NACK or an attempt timeout fails over to the next candidate; a
-// candidate that is merely slow gets hedged — the next candidate launches
-// in parallel after HedgeAfter, and whichever replies first wins. The reply
-// is rewritten back to the client's original frame ID, so the translation
-// is invisible: clients speak to the fleet as if it were one server.
-func (r *Router) forward(conn *net.UDPConn, f *airproto.Frame, from *net.UDPAddr) {
+// degraded or retry-after NACK or an attempt timeout fails over to the
+// next candidate; a candidate that is merely slow gets hedged — the next
+// candidate launches in parallel after HedgeAfter, and whichever replies
+// first wins. The reply is rewritten back to the client's original frame
+// ID, so the translation is invisible: clients speak to the fleet as if it
+// were one server.
+//
+// A data frame carrying a deadline budget has it pinned to an absolute
+// expiry on arrival and DECREMENTED across hops: every attempt re-stamps
+// the remaining budget, so a replica sees how much time the client
+// actually has left, not the original figure minus nothing. Once the
+// budget is gone the router stops launching attempts and answers
+// StatusExpired itself — hedging past a dead deadline only burns replica
+// capacity on work nobody will read.
+func (r *Router) forward(conn netchaos.PacketConn, f *airproto.Frame, from *net.UDPAddr) {
 	t := obs.StartTimer()
 	prefs := r.liveRoute(hashString(from.String()), r.cfg.MaxAttempts)
 	if len(prefs) == 0 {
@@ -605,11 +714,40 @@ func (r *Router) forward(conn *net.UDPConn, f *airproto.Frame, from *net.UDPAddr
 		return
 	}
 	origID := f.ID
+	var expiry time.Time
+	if d := f.Deadline(); d > 0 {
+		expiry = time.Now().Add(d)
+	}
 	deadline := time.Now().Add(r.cfg.ForwardTimeout)
+	if !expiry.IsZero() && expiry.Before(deadline) {
+		deadline = expiry // the client stops listening before we stop trying
+	}
 	resCh := make(chan fwdResult, len(prefs))
 
+	// giveUp answers the client when no attempt can succeed anymore: an
+	// exhausted deadline budget is StatusExpired (with the lateness), an
+	// exhausted candidate list is StatusDegraded.
+	giveUp := func() {
+		if late := lateBy(expiry); late > 0 {
+			expiredCount.Inc()
+			r.writeTo(conn, from, airproto.ExpiredNack(origID, late))
+			return
+		}
+		shedCount.Inc()
+		r.writeTo(conn, from, airproto.Nack(origID, airproto.StatusDegraded, 0))
+	}
+
 	next := 0
-	launch := func() {
+	launch := func() bool {
+		if next >= len(prefs) {
+			return false
+		}
+		var remaining time.Duration
+		if !expiry.IsZero() {
+			if remaining = time.Until(expiry); remaining <= 0 {
+				return false
+			}
+		}
 		m := prefs[next]
 		attempt := next
 		next++
@@ -617,15 +755,18 @@ func (r *Router) forward(conn *net.UDPConn, f *airproto.Frame, from *net.UDPAddr
 		ch := r.await(id)
 		fwd := *f
 		fwd.ID = id
+		if remaining > 0 {
+			fwd.SetDeadline(remaining)
+		}
 		out, err := fwd.Marshal()
 		if err != nil {
 			resCh <- fwdResult{nil, m, attempt}
-			return
+			return true
 		}
 		forwardCount.Inc()
 		if _, err := r.up.WriteToUDP(out, m.addr); err != nil {
 			resCh <- fwdResult{nil, m, attempt}
-			return
+			return true
 		}
 		r.wg.Add(1)
 		go func() {
@@ -642,25 +783,30 @@ func (r *Router) forward(conn *net.UDPConn, f *airproto.Frame, from *net.UDPAddr
 				resCh <- fwdResult{nil, m, attempt}
 			}
 		}()
+		return true
 	}
 
-	launch()
+	if !launch() {
+		giveUp() // budget already dead on arrival
+		return
+	}
 	outstanding := 1
 	hedge := time.NewTimer(r.cfg.HedgeAfter)
 	defer hedge.Stop()
-	overall := time.NewTimer(r.cfg.ForwardTimeout)
+	overall := time.NewTimer(time.Until(deadline))
 	defer overall.Stop()
 	for {
 		select {
 		case res := <-resCh:
 			outstanding--
 			now := time.Now()
-			failed := res.f == nil || (res.f.IsNack() && res.f.Code == airproto.StatusDegraded)
+			failed := res.f == nil || (res.f.IsNack() &&
+				(res.f.Code == airproto.StatusDegraded || res.f.Code == airproto.StatusRetryAfter))
 			r.det.ReportForward(res.m.name, failed, now)
 			if !failed {
 				// Success — or a fatal NACK (wrong length, bad frame, no
-				// trace), which is the client's answer too: relaying it
-				// beats a silent timeout.
+				// trace, expired-at-the-replica), which is the client's
+				// answer too: relaying it beats a silent timeout.
 				reply := *res.f
 				reply.ID = origID
 				r.writeTo(conn, from, &reply)
@@ -670,30 +816,40 @@ func (r *Router) forward(conn *net.UDPConn, f *airproto.Frame, from *net.UDPAddr
 				t.ObserveInto(forwardSeconds)
 				return
 			}
-			if res.f != nil && next < len(prefs) {
-				// Explicit degraded NACK: fail over immediately rather than
+			if res.f != nil {
+				// Explicit shed NACK: fail over immediately rather than
 				// waiting out the hedge timer.
-				failoverCount.Inc()
-				launch()
-				outstanding++
+				if launch() {
+					failoverCount.Inc()
+					outstanding++
+				}
 			}
-			if outstanding == 0 && next >= len(prefs) {
-				shedCount.Inc()
-				r.writeTo(conn, from, airproto.Nack(origID, airproto.StatusDegraded, 0))
+			if outstanding == 0 {
+				giveUp()
 				return
 			}
 		case <-hedge.C:
-			if next < len(prefs) {
-				launch()
+			if launch() {
 				outstanding++
-				hedge.Reset(r.cfg.HedgeAfter)
 			}
+			hedge.Reset(r.cfg.HedgeAfter)
 		case <-overall.C:
-			shedCount.Inc()
-			r.writeTo(conn, from, airproto.Nack(origID, airproto.StatusDegraded, 0))
+			giveUp()
 			return
 		case <-r.stop:
 			return
 		}
 	}
+}
+
+// lateBy reports how far past a nonzero expiry the clock is (0 when the
+// expiry is zero or still ahead).
+func lateBy(expiry time.Time) time.Duration {
+	if expiry.IsZero() {
+		return 0
+	}
+	if late := time.Since(expiry); late > 0 {
+		return late
+	}
+	return 0
 }

@@ -1,0 +1,168 @@
+package netchaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// PacketConn is the unconnected-UDP surface the serving stack actually
+// uses — *net.UDPConn satisfies it, and so does a chaos-wrapped Conn, so
+// `metaai-serve`'s read loop and the fleet router accept either.
+type PacketConn interface {
+	ReadFromUDP(b []byte) (int, *net.UDPAddr, error)
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+	SetReadDeadline(t time.Time) error
+	LocalAddr() net.Addr
+	Close() error
+}
+
+// Conn wraps an unconnected UDP socket with per-direction chaos lanes.
+// Reads pull datagrams through the inbound lane (dropped frames are read
+// past transparently; duplicated/reordered ones queue for later Read
+// calls); writes fan out through the outbound lane. A send the lane drops
+// still reports success to the caller — chaos is invisible to the
+// application, exactly like a real lossy link.
+type Conn struct {
+	inner PacketConn
+	in    *Lane
+	out   *Lane
+
+	rmu   sync.Mutex
+	rbuf  []byte
+	queue []Packet
+}
+
+// Wrap layers chaos over inner. The two lanes are seeded from cfg.Seed
+// with per-direction salts, so inbound and outbound fates are independent
+// reproducible streams.
+func Wrap(inner PacketConn, cfg Config) *Conn {
+	return &Conn{
+		inner: inner,
+		in:    NewLane(cfg.Inbound, cfg.Seed^inboundSalt),
+		out:   NewLane(cfg.Outbound, cfg.Seed^outboundSalt),
+		rbuf:  make([]byte, 64<<10),
+	}
+}
+
+// Lane exposes the lane for a direction (for SetCut partitions and fault
+// counters in tests).
+func (c *Conn) Lane(d Dir) *Lane {
+	if d == Inbound {
+		return c.in
+	}
+	return c.out
+}
+
+// Partition toggles a manual one-way partition on the given direction.
+func (c *Conn) Partition(d Dir, on bool) { c.Lane(d).SetCut(on) }
+
+func (c *Conn) ReadFromUDP(b []byte) (int, *net.UDPAddr, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for {
+		if len(c.queue) > 0 {
+			p := c.queue[0]
+			c.queue = c.queue[1:]
+			return copy(b, p.Data), p.Addr, nil
+		}
+		n, addr, err := c.inner.ReadFromUDP(c.rbuf)
+		if err != nil {
+			return 0, nil, err
+		}
+		outs := c.in.Apply(c.rbuf[:n], addr)
+		if len(outs) == 0 {
+			continue // dropped/held: read the next datagram
+		}
+		// outs[0] may alias rbuf (zero-rate fast path): consume it before
+		// the next inner read; the rest are fresh copies and can queue.
+		c.queue = append(c.queue, outs[1:]...)
+		return copy(b, outs[0].Data), outs[0].Addr, nil
+	}
+}
+
+func (c *Conn) WriteToUDP(b []byte, addr *net.UDPAddr) (int, error) {
+	for _, p := range c.out.Apply(b, addr) {
+		if _, err := c.inner.WriteToUDP(p.Data, p.Addr); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+func (c *Conn) LocalAddr() net.Addr               { return c.inner.LocalAddr() }
+func (c *Conn) Close() error                      { return c.inner.Close() }
+
+// StreamConn is the connected-UDP surface the probe client uses —
+// *net.UDPConn after DialUDP satisfies it.
+type StreamConn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+// Stream wraps a connected UDP socket (the probe client's side) with the
+// same per-direction chaos lanes as Conn.
+type Stream struct {
+	inner StreamConn
+	in    *Lane
+	out   *Lane
+
+	rmu   sync.Mutex
+	rbuf  []byte
+	queue []Packet
+}
+
+// WrapStream layers chaos over a connected socket.
+func WrapStream(inner StreamConn, cfg Config) *Stream {
+	return &Stream{
+		inner: inner,
+		in:    NewLane(cfg.Inbound, cfg.Seed^inboundSalt),
+		out:   NewLane(cfg.Outbound, cfg.Seed^outboundSalt),
+		rbuf:  make([]byte, 64<<10),
+	}
+}
+
+// Lane exposes the lane for a direction.
+func (s *Stream) Lane(d Dir) *Lane {
+	if d == Inbound {
+		return s.in
+	}
+	return s.out
+}
+
+func (s *Stream) Read(b []byte) (int, error) {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	for {
+		if len(s.queue) > 0 {
+			p := s.queue[0]
+			s.queue = s.queue[1:]
+			return copy(b, p.Data), nil
+		}
+		n, err := s.inner.Read(s.rbuf)
+		if err != nil {
+			return 0, err
+		}
+		outs := s.in.Apply(s.rbuf[:n], nil)
+		if len(outs) == 0 {
+			continue
+		}
+		s.queue = append(s.queue, outs[1:]...)
+		return copy(b, outs[0].Data), nil
+	}
+}
+
+func (s *Stream) Write(b []byte) (int, error) {
+	for _, p := range s.out.Apply(b, nil) {
+		if _, err := s.inner.Write(p.Data); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}
+
+func (s *Stream) SetReadDeadline(t time.Time) error { return s.inner.SetReadDeadline(t) }
+func (s *Stream) Close() error                      { return s.inner.Close() }

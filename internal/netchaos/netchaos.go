@@ -1,0 +1,250 @@
+// Package netchaos is a deterministic, seeded packet-fault layer for the
+// UDP transports the serving stack speaks: it drops, duplicates, delays
+// (reorders), truncates, and corrupts datagrams, cuts one-way partitions,
+// and concentrates faults into bursty episodes — the failure repertoire of
+// a real over-the-air link, on a loopback socket.
+//
+// Determinism contract: every fault decision is drawn from an rng stream
+// seeded per (Config.Seed, direction), and is a pure function of that seed
+// and the packet's offered ordinal within its lane — no wall clock, no
+// global state. Reordering is expressed in packet-ordinal space (a delayed
+// datagram is re-delivered after DelayDepth later packets pass), not timer
+// space, so a single-threaded episode replays byte-for-byte: same seed,
+// same packet fates. Under live concurrent sockets the fates per ordinal
+// are still fixed; only which packet draws which ordinal follows the
+// scheduler.
+//
+// A lane at zero rates consumes no randomness and passes the original
+// slice through untouched — byte-identical to no chaos layer at all, which
+// `make chaosgate` pins (mirroring the faults-layer zero-rate gate).
+package netchaos
+
+import (
+	"net"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Dir names one direction through a wrapped transport.
+type Dir int
+
+const (
+	// Inbound is the receive path (datagrams arriving at the wrapped socket).
+	Inbound Dir = iota
+	// Outbound is the send path.
+	Outbound
+)
+
+// Rates configures one lane's fault mix. All rates are probabilities in
+// [0, 1] per offered packet; a zero-valued Rates is a transparent lane.
+type Rates struct {
+	// Drop is the probability a packet vanishes.
+	Drop float64
+	// Dup is the probability a delivered packet is delivered twice.
+	Dup float64
+	// Delay is the probability a packet is held and re-delivered after
+	// DelayDepth later packets pass — reordering in ordinal space.
+	Delay float64
+	// Corrupt is the probability a delivered packet has one bit flipped.
+	Corrupt float64
+	// Truncate is the probability a delivered packet is cut short.
+	Truncate float64
+	// DelayDepth is how many subsequent packets overtake a delayed one
+	// (default 2).
+	DelayDepth int
+	// BurstEvery/BurstLen carve periodic fault storms: within every
+	// BurstEvery-packet window, the first BurstLen packets see all rates
+	// multiplied by BurstBoost (default 4, capped at probability 1). Zero
+	// disables bursts.
+	BurstEvery, BurstLen int
+	BurstBoost           float64
+	// PartitionFrom/PartitionLen black-hole the lane for an ordinal window
+	// [PartitionFrom, PartitionFrom+PartitionLen): a scripted transient
+	// one-way partition for deterministic episodes. Zero PartitionLen
+	// disables it; SetCut is the manual equivalent for live tests.
+	PartitionFrom, PartitionLen uint64
+}
+
+// active reports whether the lane can ever touch a packet.
+func (r Rates) active() bool {
+	return r.Drop > 0 || r.Dup > 0 || r.Delay > 0 || r.Corrupt > 0 ||
+		r.Truncate > 0 || r.PartitionLen > 0
+}
+
+// Mix is a balanced fault mix at the given severity: drop and reorder at
+// the full rate, duplication at half, payload damage (truncate/corrupt) at
+// a fifth each — roughly the loss-dominated profile of a congested
+// wireless link.
+func Mix(rate float64) Rates {
+	return Rates{
+		Drop:     rate,
+		Delay:    rate,
+		Dup:      rate / 2,
+		Truncate: rate / 5,
+		Corrupt:  rate / 5,
+	}
+}
+
+// Config seeds a wrapped transport's two lanes.
+type Config struct {
+	Seed              uint64
+	Inbound, Outbound Rates
+}
+
+// lane seeds are salted per direction so the two fate streams are
+// independent.
+const (
+	inboundSalt  = 0x1b0a12d5eed5a17e
+	outboundSalt = 0x0a7b0a12d5eed5a1
+)
+
+// Packet is one delivery decision: the bytes to hand on and, for
+// unconnected sockets, the peer address they belong to.
+type Packet struct {
+	Data []byte
+	Addr *net.UDPAddr
+}
+
+type heldPacket struct {
+	pkt     Packet
+	release uint64 // deliver after this offered ordinal has passed
+}
+
+// LaneStats counts what a lane did to its traffic.
+type LaneStats struct {
+	Offered, Dropped, Duplicated, Delayed, Corrupted, Truncated, Partitioned uint64
+}
+
+// Lane applies one direction's fault mix to a packet stream. Safe for
+// concurrent use; fates are serialized in offered order.
+type Lane struct {
+	mu   sync.Mutex
+	r    Rates
+	src  *rng.Source
+	ord  uint64
+	held []heldPacket
+	cut  bool
+	st   LaneStats
+}
+
+// NewLane returns a lane with the given fault mix, seeded deterministically.
+func NewLane(r Rates, seed uint64) *Lane {
+	return &Lane{r: r, src: rng.New(seed)}
+}
+
+// SetCut toggles a manual one-way partition: while cut, every offered
+// packet is black-holed and held packets stay held.
+func (l *Lane) SetCut(on bool) {
+	l.mu.Lock()
+	l.cut = on
+	l.mu.Unlock()
+}
+
+// Stats returns a snapshot of the lane's fault counters.
+func (l *Lane) Stats() LaneStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st
+}
+
+// Apply offers one packet to the lane and returns what actually gets
+// delivered, in order: the packet's own fate first (absent if dropped,
+// delayed, or partitioned; possibly truncated/corrupted/duplicated), then
+// any previously delayed packets whose release ordinal has passed. At zero
+// rates with no cut, the returned single Packet aliases data — the
+// byte-identical passthrough; in every other outcome the returned slices
+// are fresh copies, so callers may reuse data immediately except for that
+// aliased fast path (which they consume before the next read).
+func (l *Lane) Apply(data []byte, addr *net.UDPAddr) []Packet {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ord := l.ord
+	l.ord++
+	l.st.Offered++
+	if !l.r.active() && !l.cut {
+		return []Packet{{Data: data, Addr: addr}}
+	}
+	if l.cut || (l.r.PartitionLen > 0 && ord >= l.r.PartitionFrom && ord < l.r.PartitionFrom+l.r.PartitionLen) {
+		// One-way partition: the packet vanishes and time stands still for
+		// held packets too — nothing crosses a cut link in this direction.
+		l.st.Partitioned++
+		return nil
+	}
+	boost := 1.0
+	if l.r.BurstEvery > 0 && l.r.BurstLen > 0 && ord%uint64(l.r.BurstEvery) < uint64(l.r.BurstLen) {
+		if boost = l.r.BurstBoost; boost <= 0 {
+			boost = 4
+		}
+	}
+	// hit consumes one draw per configured (non-zero) fault class, in a
+	// fixed order — the fate schedule is reproducible from the seed alone.
+	hit := func(rate float64) bool {
+		if rate <= 0 {
+			return false
+		}
+		p := rate * boost
+		if p > 1 {
+			p = 1
+		}
+		return l.src.Float64() < p
+	}
+	var out []Packet
+	switch {
+	case hit(l.r.Drop):
+		l.st.Dropped++
+	case hit(l.r.Delay):
+		depth := l.r.DelayDepth
+		if depth <= 0 {
+			depth = 2
+		}
+		cp := append([]byte(nil), data...)
+		l.held = append(l.held, heldPacket{Packet{cp, addr}, ord + uint64(depth)})
+		l.st.Delayed++
+	default:
+		deliver := data
+		if hit(l.r.Truncate) && len(data) > 1 {
+			cut := 1 + int(l.src.Float64()*float64(len(data)-1))
+			deliver = append([]byte(nil), data[:cut]...)
+			l.st.Truncated++
+		} else {
+			deliver = append([]byte(nil), deliver...)
+		}
+		if hit(l.r.Corrupt) && len(deliver) > 0 {
+			i := int(l.src.Float64() * float64(len(deliver)))
+			deliver[i] ^= 1 << (l.src.Uint64() % 8)
+			l.st.Corrupted++
+		}
+		out = append(out, Packet{deliver, addr})
+		if hit(l.r.Dup) {
+			cp := append([]byte(nil), deliver...)
+			out = append(out, Packet{cp, addr})
+			l.st.Duplicated++
+		}
+	}
+	// Release delayed packets that enough traffic has now overtaken.
+	kept := l.held[:0]
+	for _, h := range l.held {
+		if h.release <= ord {
+			out = append(out, h.pkt)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	l.held = kept
+	return out
+}
+
+// Flush releases every held packet regardless of its release ordinal —
+// end-of-episode drain so a deterministic replay never strands a delayed
+// frame.
+func (l *Lane) Flush() []Packet {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Packet, 0, len(l.held))
+	for _, h := range l.held {
+		out = append(out, h.pkt)
+	}
+	l.held = l.held[:0]
+	return out
+}

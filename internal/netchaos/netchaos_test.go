@@ -1,0 +1,301 @@
+package netchaos
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// stream feeds n seeded packets through a lane and flattens the delivered
+// byte stream with ordinal markers, capturing both content and order.
+func stream(l *Lane, n int, seed uint64) []byte {
+	src := rng.New(seed)
+	var out bytes.Buffer
+	for i := 0; i < n; i++ {
+		pkt := make([]byte, 8+src.IntN(56))
+		for j := range pkt {
+			pkt[j] = byte(src.Uint64())
+		}
+		for _, p := range l.Apply(pkt, nil) {
+			fmt.Fprintf(&out, "|%d:%x", len(p.Data), p.Data)
+		}
+	}
+	for _, p := range l.Flush() {
+		fmt.Fprintf(&out, "|f%d:%x", len(p.Data), p.Data)
+	}
+	return out.Bytes()
+}
+
+// TestLaneDeterministic: same seed, same packet fates, byte-for-byte.
+func TestLaneDeterministic(t *testing.T) {
+	r := Mix(0.2)
+	r.BurstEvery, r.BurstLen = 40, 8
+	a := stream(NewLane(r, 42), 500, 7)
+	b := stream(NewLane(r, 42), 500, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different fates")
+	}
+	c := stream(NewLane(r, 43), 500, 7)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical fates (chaos not seeded?)")
+	}
+}
+
+// TestZeroRateLanePassthrough: a zero-rate lane aliases the offered slice
+// and delivers exactly one copy of every packet in order — and consumes no
+// randomness doing it.
+func TestZeroRateLanePassthrough(t *testing.T) {
+	l := NewLane(Rates{}, 99)
+	for i := 0; i < 100; i++ {
+		pkt := []byte{byte(i), 1, 2, 3}
+		outs := l.Apply(pkt, nil)
+		if len(outs) != 1 {
+			t.Fatalf("packet %d: got %d deliveries, want 1", i, len(outs))
+		}
+		if &outs[0].Data[0] != &pkt[0] {
+			t.Fatalf("packet %d: zero-rate path copied instead of aliasing", i)
+		}
+	}
+	if got := stream(NewLane(Rates{}, 1), 50, 3); !bytes.Equal(got, stream(NewLane(Rates{}, 2), 50, 3)) {
+		t.Fatal("zero-rate delivery depends on the chaos seed")
+	}
+	st := l.Stats()
+	if st.Offered != 100 || st.Dropped+st.Duplicated+st.Delayed+st.Corrupted+st.Truncated+st.Partitioned != 0 {
+		t.Fatalf("zero-rate lane touched traffic: %+v", st)
+	}
+}
+
+func TestLaneDropAndDupRates(t *testing.T) {
+	const n = 4000
+	l := NewLane(Rates{Drop: 0.2}, 5)
+	delivered := 0
+	for i := 0; i < n; i++ {
+		delivered += len(l.Apply([]byte{1, 2, 3, 4}, nil))
+	}
+	st := l.Stats()
+	if st.Dropped < n/10 || st.Dropped > n/2 {
+		t.Fatalf("drop rate off: %d/%d", st.Dropped, n)
+	}
+	if delivered != n-int(st.Dropped) {
+		t.Fatalf("delivered %d + dropped %d != offered %d", delivered, st.Dropped, n)
+	}
+
+	ld := NewLane(Rates{Dup: 0.5}, 6)
+	delivered = 0
+	for i := 0; i < n; i++ {
+		delivered += len(ld.Apply([]byte{9}, nil))
+	}
+	std := ld.Stats()
+	if delivered != n+int(std.Duplicated) || std.Duplicated < n/4 {
+		t.Fatalf("dup accounting off: delivered=%d duplicated=%d", delivered, std.Duplicated)
+	}
+}
+
+// TestLaneReorder: a delayed packet re-appears after DelayDepth later
+// packets, intact and in ordinal-deterministic position.
+func TestLaneReorder(t *testing.T) {
+	l := NewLane(Rates{Delay: 1, DelayDepth: 2}, 3)
+	// Packet 0 is held (delay rate 1 holds everything; each later packet is
+	// also held, so releases cascade at +depth).
+	if outs := l.Apply([]byte{0xa0}, nil); len(outs) != 0 {
+		t.Fatalf("packet 0 should be held, got %d deliveries", len(outs))
+	}
+	if outs := l.Apply([]byte{0xa1}, nil); len(outs) != 0 {
+		t.Fatalf("packet 1 should be held, got %d deliveries", len(outs))
+	}
+	// Offering packet 2 (ordinal 2) releases packet 0 (release = 0+2).
+	outs := l.Apply([]byte{0xa2}, nil)
+	if len(outs) != 1 || outs[0].Data[0] != 0xa0 {
+		t.Fatalf("expected delayed packet 0 released at ordinal 2, got %v", outs)
+	}
+	// Flush drains the rest in hold order.
+	fl := l.Flush()
+	if len(fl) != 2 || fl[0].Data[0] != 0xa1 || fl[1].Data[0] != 0xa2 {
+		t.Fatalf("flush returned %v", fl)
+	}
+}
+
+func TestLaneCorruptAndTruncateDamageCopies(t *testing.T) {
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	lc := NewLane(Rates{Corrupt: 1}, 8)
+	outs := lc.Apply(orig, nil)
+	if len(outs) != 1 || bytes.Equal(outs[0].Data, orig) {
+		t.Fatal("corrupt lane delivered pristine bytes")
+	}
+	if !bytes.Equal(orig, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+	lt := NewLane(Rates{Truncate: 1}, 9)
+	outs = lt.Apply(orig, nil)
+	if len(outs) != 1 || len(outs[0].Data) >= len(orig) || !bytes.Equal(outs[0].Data, orig[:len(outs[0].Data)]) {
+		t.Fatalf("truncate fate wrong: %v", outs)
+	}
+}
+
+// TestLanePartitionWindow: the scripted ordinal window black-holes traffic
+// and manual SetCut does the same, including holding back delayed releases.
+func TestLanePartitionWindow(t *testing.T) {
+	l := NewLane(Rates{PartitionFrom: 2, PartitionLen: 3}, 4)
+	var got []int
+	for i := 0; i < 8; i++ {
+		got = append(got, len(l.Apply([]byte{byte(i)}, nil)))
+	}
+	want := []int{1, 1, 0, 0, 0, 1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("partition window: deliveries %v, want %v", got, want)
+		}
+	}
+	if l.Stats().Partitioned != 3 {
+		t.Fatalf("partitioned = %d, want 3", l.Stats().Partitioned)
+	}
+
+	m := NewLane(Rates{}, 5)
+	m.SetCut(true)
+	if outs := m.Apply([]byte{1}, nil); len(outs) != 0 {
+		t.Fatal("cut lane delivered")
+	}
+	m.SetCut(false)
+	if outs := m.Apply([]byte{2}, nil); len(outs) != 1 {
+		t.Fatal("healed lane did not deliver")
+	}
+}
+
+// TestLaneBurstConcentratesFaults: with a burst profile, drops concentrate
+// inside the burst windows.
+func TestLaneBurstConcentratesFaults(t *testing.T) {
+	r := Rates{Drop: 0.1, BurstEvery: 100, BurstLen: 20, BurstBoost: 8}
+	l := NewLane(r, 11)
+	inBurst, outBurst := 0, 0
+	inN, outN := 0, 0
+	for i := 0; i < 10000; i++ {
+		dropped := len(l.Apply([]byte{1, 2}, nil)) == 0
+		if i%100 < 20 {
+			inN++
+			if dropped {
+				inBurst++
+			}
+		} else {
+			outN++
+			if dropped {
+				outBurst++
+			}
+		}
+	}
+	fIn := float64(inBurst) / float64(inN)
+	fOut := float64(outBurst) / float64(outN)
+	if fIn < 3*fOut {
+		t.Fatalf("burst drop fraction %.3f not concentrated vs %.3f outside", fIn, fOut)
+	}
+}
+
+func udpPair(t *testing.T) (*net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	a, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// TestZeroRateBitIdentity is the CI gate: a zero-rate chaos wrapper around
+// a real UDP socket must deliver the exact byte stream the bare socket
+// delivers — same payloads, same count, same order — in both directions.
+func TestZeroRateBitIdentity(t *testing.T) {
+	run := func(wrap bool) [][]byte {
+		a, b := udpPair(t)
+		var receiver PacketConn = b
+		if wrap {
+			receiver = Wrap(b, Config{Seed: 123})
+		}
+		src := rng.New(77)
+		var sent [][]byte
+		for i := 0; i < 64; i++ {
+			pkt := make([]byte, 12+src.IntN(100))
+			for j := range pkt {
+				pkt[j] = byte(src.Uint64())
+			}
+			sent = append(sent, pkt)
+		}
+		var got [][]byte
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			buf := make([]byte, 64<<10)
+			receiver.SetReadDeadline(time.Now().Add(5 * time.Second))
+			for len(got) < len(sent) {
+				n, _, err := receiver.ReadFromUDP(buf)
+				if err != nil {
+					return
+				}
+				got = append(got, append([]byte(nil), buf[:n]...))
+			}
+		}()
+		baddr := b.LocalAddr().(*net.UDPAddr)
+		for _, pkt := range sent {
+			if _, err := a.WriteToUDP(pkt, baddr); err != nil {
+				t.Error(err)
+			}
+			time.Sleep(200 * time.Microsecond) // keep loopback delivery ordered
+		}
+		<-done
+		// Echo direction: write back through the (possibly wrapped) socket.
+		var echoed [][]byte
+		a.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 64<<10)
+		aaddr := a.LocalAddr().(*net.UDPAddr)
+		for _, pkt := range got {
+			if _, err := receiver.WriteToUDP(pkt, aaddr); err != nil {
+				t.Error(err)
+			}
+			n, _, err := a.ReadFromUDP(buf)
+			if err != nil {
+				t.Fatalf("echo read: %v", err)
+			}
+			echoed = append(echoed, append([]byte(nil), buf[:n]...))
+		}
+		return echoed
+	}
+	bare := run(false)
+	wrapped := run(true)
+	if len(bare) != len(wrapped) {
+		t.Fatalf("delivery count differs: bare %d, zero-rate wrapped %d", len(bare), len(wrapped))
+	}
+	for i := range bare {
+		if !bytes.Equal(bare[i], wrapped[i]) {
+			t.Fatalf("packet %d differs: bare %x vs wrapped %x", i, bare[i], wrapped[i])
+		}
+	}
+}
+
+// TestConnDupQueues: a duplicated inbound datagram surfaces as two
+// successive reads.
+func TestConnDupQueues(t *testing.T) {
+	a, b := udpPair(t)
+	w := Wrap(b, Config{Seed: 1, Inbound: Rates{Dup: 1}})
+	pkt := []byte{1, 2, 3, 4}
+	if _, err := a.WriteToUDP(pkt, b.LocalAddr().(*net.UDPAddr)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	w.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < 2; i++ {
+		n, _, err := w.ReadFromUDP(buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(buf[:n], pkt) {
+			t.Fatalf("read %d: got %x", i, buf[:n])
+		}
+	}
+}
