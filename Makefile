@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate cascadegate fleetbench fleetgate chaossoak chaosgate check bench
+.PHONY: build test race vet fuzz ckptfuzz faultgate recovergate obsgate benchgate tracegate stitchgate cascadegate fleetbench fleetgate chaossoak chaosgate check bench
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,16 @@ tracegate:
 	cmp .tracegate.a.json .tracegate.b.json
 	rm -f .tracegate.a.json .tracegate.b.json
 
+# stitchgate is tracegate's fleet-wide counterpart, under -race: a client
+# request hedged across two replicas through a real router must stitch into
+# ONE normalized Chrome-JSON document at the router (root + both hops, the
+# loser cancelled, each replica's serve.request parented under its hop),
+# byte-identical across fetches — and the router's KindStats/KindTrace
+# control plane must keep answering through packet chaos while the data
+# plane is saturated past the inflight cap.
+stitchgate:
+	$(GO) test -race -count=1 -run 'TestFleetStitchedTraceEndToEnd|TestRouterControlPlaneSurvivesChaosAndSaturation' ./cmd/metaai-serve
+
 # cascadegate is the stacked-cascade compatibility gate: a K=1 deployment
 # must stay provably bit-identical to the classic single-surface path
 # (solver and deployment level), single-surface checkpoints must keep
@@ -116,9 +126,9 @@ chaosgate:
 # concurrent evaluator, sweeps, and serve paths, the airproto and checkpoint
 # fuzz smokes, the abl-faults zero-rate identity gate, the crash-recovery
 # gate, the cascade K=1 compatibility gate, the fleet failover/replication
-# smoke, the bad-network chaos soak smoke, and the obs/bench/trace
+# smoke, the bad-network chaos soak smoke, and the obs/bench/trace/stitch
 # determinism gates.
-check: vet test race fuzz ckptfuzz faultgate recovergate cascadegate fleetgate chaosgate obsgate benchgate tracegate
+check: vet test race fuzz ckptfuzz faultgate recovergate cascadegate fleetgate chaosgate obsgate benchgate tracegate stitchgate
 
 # bench runs the Go micro-benchmarks, then the serve-path observability
 # benchmark, which snapshots its metrics into BENCH_serve.json. Emit-only:

@@ -56,6 +56,9 @@ go run ./cmd/metaai-bench -tracedump .tracegate.b.json
 cmp .tracegate.a.json .tracegate.b.json
 rm -f .tracegate.a.json .tracegate.b.json
 
+echo "== stitch gate (cross-hop trace stitched at the router + control plane under chaos, -race) =="
+go test -race -count=1 -run 'TestFleetStitchedTraceEndToEnd|TestRouterControlPlaneSurvivesChaosAndSaturation' ./cmd/metaai-serve
+
 echo "== servebench snapshot (emit-only, no thresholds) =="
 go run ./cmd/metaai-bench -servebench 2000 -obs-out BENCH_serve.json
 

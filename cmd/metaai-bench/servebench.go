@@ -23,6 +23,10 @@ type serveBenchOut struct {
 	snap                   *obs.Snapshot
 	single, batch, cascade time.Duration
 	loadgen                loadgenResult
+	// fleetObs is the replayed fleet episode's observability plane: the
+	// merged per-replica snapshot (source of fleet_p99_micros) and the
+	// fleet SLO burn rates, all deterministic under the episode seed.
+	fleetObs fleet.ReplayObs
 }
 
 // serveBenchRun deploys a small random-weight over-the-air system, enables
@@ -117,8 +121,11 @@ func serveBenchRun(n int, seed uint64) (serveBenchOut, error) {
 	// Fleet tier: one deterministic replayed episode drives the router's
 	// components (ring, detector, chunked replication) through their full
 	// failure repertoire, so the fleet.* counters land in the snapshot with
-	// reproducible values.
-	if _, err := fleet.Replay(fleet.ReplayConfig{Seed: seed ^ 0xf1ee7}); err != nil {
+	// reproducible values — and its observability plane (merged per-replica
+	// snapshots, SLO burn rates) feeds the fleet_p99_micros and burn_rate
+	// report fields.
+	_, fleetObs, err := fleet.ReplayWithObs(fleet.ReplayConfig{Seed: seed ^ 0xf1ee7})
+	if err != nil {
 		return serveBenchOut{}, err
 	}
 
@@ -128,7 +135,7 @@ func serveBenchRun(n int, seed uint64) (serveBenchOut, error) {
 	lg := runLoadgen(defaultLoadgen(n*40, seed^0x10ad))
 
 	snap := obs.Default().Snapshot()
-	return serveBenchOut{snap: &snap, single: elapsed, batch: elapsedB, cascade: elapsedC, loadgen: lg}, nil
+	return serveBenchOut{snap: &snap, single: elapsed, batch: elapsedB, cascade: elapsedC, loadgen: lg, fleetObs: fleetObs}, nil
 }
 
 // runServeBench executes serveBenchRun and writes the snapshot plus run
@@ -143,6 +150,17 @@ func runServeBench(n int, out string, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	// fleet_p99_micros comes from the MERGED per-replica latency histogram
+	// of the replayed episode; burn_rate is the worse of the fleet SLO's
+	// fast and slow windows. Both are deterministic under the episode seed.
+	fleetP99 := 0.0
+	if h, ok := r.fleetObs.Merged.Histograms["serve.request.seconds"]; ok {
+		fleetP99 = h.Quantile(0.99) * 1e6
+	}
+	burn := r.fleetObs.BurnFast
+	if r.fleetObs.BurnSlow > burn {
+		burn = r.fleetObs.BurnSlow
+	}
 	report := struct {
 		Bench             string        `json:"bench"`
 		Inferences        int           `json:"inferences"`
@@ -152,6 +170,8 @@ func runServeBench(n int, out string, seed uint64) error {
 		MicrosPerInf      float64       `json:"micros_per_inference"`
 		MicrosPerInfBatch float64       `json:"micros_per_inference_batch"`
 		MicrosPerInfCas   float64       `json:"micros_per_inference_cascade2"`
+		FleetP99Micros    float64       `json:"fleet_p99_micros"`
+		BurnRate          float64       `json:"burn_rate"`
 		Loadgen           loadgenResult `json:"loadgen"`
 		Metrics           *obs.Snapshot `json:"metrics"`
 	}{
@@ -163,6 +183,8 @@ func runServeBench(n int, out string, seed uint64) error {
 		MicrosPerInf:      float64(r.single.Microseconds()) / float64(n),
 		MicrosPerInfBatch: float64(r.batch.Microseconds()) / float64(n),
 		MicrosPerInfCas:   float64(r.cascade.Microseconds()) / float64(n),
+		FleetP99Micros:    fleetP99,
+		BurnRate:          burn,
 		Loadgen:           r.loadgen,
 		Metrics:           r.snap,
 	}

@@ -62,6 +62,28 @@ func TestServeBenchDeterministicFingerprint(t *testing.T) {
 	if a.loadgen != b.loadgen {
 		t.Fatalf("seeded loadgen episodes diverged:\nrun A: %+v\nrun B: %+v", a.loadgen, b.loadgen)
 	}
+	// The fleet observability plane is part of the pinned surface: the
+	// MERGED per-replica snapshot from the replayed episode must fingerprint
+	// identically across runs, carry the replicas' serving series, and the
+	// fleet counters must agree between the registry and the merge.
+	mfpA, mfpB := a.fleetObs.Merged.Fingerprint(), b.fleetObs.Merged.Fingerprint()
+	if len(mfpA) == 0 {
+		t.Fatal("empty merged fleet fingerprint: no replica snapshots were merged")
+	}
+	if !reflect.DeepEqual(mfpA, mfpB) {
+		t.Fatalf("merged fleet snapshots diverged:\nrun A: %v\nrun B: %v", mfpA, mfpB)
+	}
+	if mfpA["counter:serve.served"] == 0 || mfpA["histcount:serve.request.seconds"] == 0 {
+		t.Fatalf("merged fleet snapshot missing replica serving series: %v", mfpA)
+	}
+	if mfpA["counter:serve.served"] != fpA["counter:fleet.forwards"] {
+		t.Fatalf("merged replica serves (%d) disagree with fleet.forwards (%d)",
+			mfpA["counter:serve.served"], fpA["counter:fleet.forwards"])
+	}
+	if a.fleetObs.BurnFast != b.fleetObs.BurnFast || a.fleetObs.BurnSlow != b.fleetObs.BurnSlow {
+		t.Fatalf("fleet burn rates diverged: (%v,%v) vs (%v,%v)",
+			a.fleetObs.BurnFast, a.fleetObs.BurnSlow, b.fleetObs.BurnFast, b.fleetObs.BurnSlow)
+	}
 }
 
 // TestLoadgenFlashCrowdShape sanity-checks the canonical episode: the
@@ -107,6 +129,8 @@ func TestServeBenchWritesReport(t *testing.T) {
 		Inferences int     `json:"inferences"`
 		BatchSize  int     `json:"batch_size"`
 		CascadeUs  float64 `json:"micros_per_inference_cascade2"`
+		FleetP99Us float64 `json:"fleet_p99_micros"`
+		BurnRate   float64 `json:"burn_rate"`
 		Metrics    struct {
 			Counters   map[string]int64           `json:"counters"`
 			Histograms map[string]json.RawMessage `json:"histograms"`
@@ -123,6 +147,16 @@ func TestServeBenchWritesReport(t *testing.T) {
 	}
 	if report.BatchSize != serveBatchSize {
 		t.Fatalf("batch_size = %d, want %d", report.BatchSize, serveBatchSize)
+	}
+	// The replayed episode draws latencies in [150µs, 450µs); the quantile
+	// interpolates within histogram buckets, so the p99 can overshoot the
+	// draw band up to the enclosing bucket bound but never reach 1ms. The
+	// clean episode burns nothing.
+	if report.FleetP99Us < 150 || report.FleetP99Us >= 1000 {
+		t.Fatalf("fleet_p99_micros = %v, want in [150µs, 1ms) for the replay's draw band", report.FleetP99Us)
+	}
+	if report.BurnRate != 0 {
+		t.Fatalf("burn_rate = %v, want 0 for the clean replayed episode", report.BurnRate)
 	}
 	if report.Metrics.Counters["ota.inferences"] != 60 {
 		t.Fatalf("ota.inferences = %d, want 60 (20 single + 20 batched + 20 cascade)", report.Metrics.Counters["ota.inferences"])

@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -56,21 +58,14 @@ func main() {
 		chaosRate  = flag.Float64("chaos-rate", 0, "wrap the client-facing socket with the seeded netchaos.Mix packet-fault load at this severity in [0,1]")
 		chaosSeed  = flag.Uint64("chaos-seed", 1, "seed for -chaos-rate packet fates (same seed, same fates)")
 		metrics    = flag.String("metrics-addr", "", "serve fleet metrics and events on this HTTP address")
+		traceSamp  = flag.Float64("trace-sample", 0.01, "fraction of fleet.request traces to retain (1 keeps all; needs -metrics-addr)")
 	)
 	flag.Parse()
 
-	var sidecar *http.Server
 	if *metrics != "" {
 		obs.SetEnabled(true)
-		trace.Default().Enable(256, 0.01)
+		trace.Default().Enable(256, *traceSamp)
 		events.Default().Enable(512, trace.Default())
-		sidecar = &http.Server{Addr: *metrics, Handler: fleetMux()}
-		go func() {
-			log.Printf("fleet sidecar on http://%s (metrics, events)", *metrics)
-			if err := sidecar.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("fleet sidecar: %v", err)
-			}
-		}()
 	}
 
 	cfg := fleet.Config{
@@ -95,6 +90,17 @@ func main() {
 	router, err := fleet.NewRouter(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var sidecar *http.Server
+	if *metrics != "" {
+		sidecar = &http.Server{Addr: *metrics, Handler: fleetMux(router)}
+		go func() {
+			log.Printf("fleet sidecar on http://%s (metrics, fleet metrics, events)", *metrics)
+			if err := sidecar.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("fleet sidecar: %v", err)
+			}
+		}()
 	}
 
 	udpAddr, err := net.ResolveUDPAddr("udp", *addr)
@@ -206,9 +212,12 @@ func publishLoop(ctx context.Context, router *fleet.Router, dir string, every ti
 	}
 }
 
-// fleetMux is the router's observability sidecar: the obs snapshot (fleet.*
-// counters and gauges) in text and JSON plus the event journal.
-func fleetMux() *http.ServeMux {
+// fleetMux is the router's observability sidecar: the router's own obs
+// snapshot (fleet.* counters and gauges) in text and JSON, the MERGED
+// fleet-wide view (every replica's piggybacked snapshot, bucket-wise
+// merged, with per-replica health scores and the fleet SLO burn rates),
+// and the event journal.
+func fleetMux(router *fleet.Router) *http.ServeMux {
 	obs.PublishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -223,6 +232,72 @@ func fleetMux() *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/fleet/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		merged, per := router.FleetSnapshot()
+		if err := merged.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fast, slow := router.BurnRate()
+		fmt.Fprintf(w, "fleet.burn_rate.fast %g\n", fast)
+		fmt.Fprintf(w, "fleet.burn_rate.slow %g\n", slow)
+		health := router.HealthScores()
+		names := make([]string, 0, len(health))
+		for name := range health {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "fleet.replica.health{replica=%q} %g\n", name, health[name])
+		}
+		for _, name := range names {
+			if _, ok := per[name]; !ok {
+				fmt.Fprintf(w, "# replica %s has not piggybacked a snapshot yet\n", name)
+			}
+		}
+	})
+	mux.HandleFunc("/fleet/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		merged, per := router.FleetSnapshot()
+		fast, slow := router.BurnRate()
+		out := map[string]any{
+			"merged":      merged,
+			"per_replica": per,
+			"burn_fast":   fast,
+			"burn_slow":   slow,
+			"health":      router.HealthScores(),
+		}
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteList(w, trace.Default().List()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		idHex := strings.TrimPrefix(r.URL.Path, "/trace/")
+		id, err := trace.ParseID(idHex)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		tr, flags := trace.Default().Get(id)
+		if tr == nil {
+			http.Error(w, "trace not retained (sampled out, evicted, or never recorded)", http.StatusNotFound)
+			return
+		}
+		// The router's OWN segment only (fleet.request + hops); probe with
+		// -trace <id> against the router to get the stitched document with
+		// every replica's serve.request spliced in.
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteJSON(w, tr, flags, trace.ExportOptions{}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		if err := events.Default().WriteNDJSON(w); err != nil {
@@ -230,7 +305,7 @@ func fleetMux() *http.ServeMux {
 		}
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "metaai-fleet sidecar: /metrics /metrics.json /events")
+		fmt.Fprintln(w, "metaai-fleet sidecar: /metrics /metrics.json /fleet/metrics /fleet/metrics.json /traces /trace/<id> /events")
 	})
 	return mux
 }

@@ -45,6 +45,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -359,6 +360,24 @@ func runServer(addr string, opt serverOptions, sidecar *http.Server) error {
 		return err
 	}
 	srv := newAirServer(serveCfg)
+	if obs.Enabled() {
+		// Piggyback this replica's metrics snapshot on fleet heartbeat
+		// replies so the router can merge a fleet-wide view. Heartbeats are
+		// frequent and cheap; snapshot encoding is neither, so the blob is
+		// re-encoded at most twice a second and served from cache between.
+		var snapMu sync.Mutex
+		var snapAt time.Time
+		var snapBlob []byte
+		srv.fleetAgent.SetSnapshotSource(func() []byte {
+			snapMu.Lock()
+			defer snapMu.Unlock()
+			if now := time.Now(); snapBlob == nil || now.Sub(snapAt) > 500*time.Millisecond {
+				snapBlob = obs.EncodeSnapshot(obs.Default().Snapshot())
+				snapAt = now
+			}
+			return snapBlob
+		})
+	}
 
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {

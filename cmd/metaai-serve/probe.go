@@ -170,7 +170,7 @@ func probeStats(conn probeConn, symbols []complex128, n int, timeout, budget, de
 		idx := int(q * float64(len(lat)-1))
 		return lat[idx]
 	}
-	server, serverErr := serverStats(conn, uint32(n+2), timeout, budget, src)
+	server, fleetStats, serverErr := serverStats(conn, uint32(n+2), timeout, budget, src)
 	if jsonOut {
 		out := map[string]any{
 			"requests": n,
@@ -184,6 +184,9 @@ func probeStats(conn probeConn, symbols []complex128, n int, timeout, budget, de
 		}
 		if serverErr == nil {
 			out["server"] = server
+			if fleetStats != nil {
+				out["fleet"] = fleetStats
+			}
 		} else {
 			out["server_error"] = serverErr.Error()
 		}
@@ -201,23 +204,35 @@ func probeStats(conn probeConn, symbols []complex128, n int, timeout, budget, de
 			server["served"], server["heals"], server["swaps"],
 			server["rollbacks"], server["canary_rejects"], server["epoch_seq"],
 			server["shed"], server["expired"])
+		if fleetStats != nil {
+			fmt.Printf("fleet stats: live %v  forwards %v  failovers %v  hedged-wins %v  shed %v  expired %v  p99 %vµs  burn %v/%v  health %v\n",
+				fleetStats["live"], fleetStats["forwards"], fleetStats["failovers"],
+				fleetStats["hedged_wins"], fleetStats["shed"], fleetStats["expired"],
+				fleetStats["p99_micros"], fleetStats["burn_fast"], fleetStats["burn_slow"],
+				fleetStats["health"])
+		}
 	}
 	return nil
 }
 
 // serverStats asks the server for its serving counters over the wire (an
 // airproto KindStats exchange) — heal, rollback, and epoch visibility
-// without attaching the HTTP sidecar.
-func serverStats(conn probeConn, id uint32, timeout, budget time.Duration, src *rng.Source) (map[string]int64, error) {
+// without attaching the HTTP sidecar. The reply's Code carries the stats
+// vector version: a StatsVersionFleet reply (the fleet router answering for
+// the whole fleet) additionally yields the fleet map — router counters,
+// merged p99, SLO burn rates, and one health score per live replica. Older
+// servers and plain replicas yield fleet == nil; versions only ever append
+// slots, so the legacy indexes decode identically from every version.
+func serverStats(conn probeConn, id uint32, timeout, budget time.Duration, src *rng.Source) (map[string]int64, map[string]any, error) {
 	resp, err := exchange(conn, &airproto.Frame{Kind: airproto.KindStats, ID: id}, timeout, budget, probeBackoffBase, probeAttempts, src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.Kind != airproto.KindStats || len(resp.Data) < airproto.StatsVectorLen {
-		return nil, fmt.Errorf("malformed stats reply (kind %d, %d values)", resp.Kind, len(resp.Data))
+		return nil, nil, fmt.Errorf("malformed stats reply (kind %d, %d values)", resp.Kind, len(resp.Data))
 	}
 	at := func(i int) int64 { return int64(real(resp.Data[i])) }
-	return map[string]int64{
+	legacy := map[string]int64{
 		"served":         at(airproto.StatServed),
 		"heals":          at(airproto.StatHeals),
 		"swaps":          at(airproto.StatSwaps),
@@ -226,7 +241,28 @@ func serverStats(conn probeConn, id uint32, timeout, budget time.Duration, src *
 		"epoch_seq":      at(airproto.StatEpochSeq),
 		"shed":           at(airproto.StatShed),
 		"expired":        at(airproto.StatExpired),
-	}, nil
+	}
+	if resp.Code < airproto.StatsVersionFleet || len(resp.Data) < airproto.FleetStatsVectorLen {
+		return legacy, nil, nil
+	}
+	health := make([]float64, 0, len(resp.Data)-airproto.FleetStatsVectorLen)
+	for _, v := range resp.Data[airproto.FleetStatsVectorLen:] {
+		health = append(health, real(v))
+	}
+	fleetStats := map[string]any{
+		"live":        at(airproto.FleetStatLive),
+		"replicas":    at(airproto.FleetStatReplicas),
+		"forwards":    at(airproto.FleetStatForwards),
+		"failovers":   at(airproto.FleetStatFailovers),
+		"hedged_wins": at(airproto.FleetStatHedgedWins),
+		"shed":        at(airproto.FleetStatShed),
+		"expired":     at(airproto.FleetStatExpired),
+		"p99_micros":  real(resp.Data[airproto.FleetStatP99Micros]),
+		"burn_fast":   real(resp.Data[airproto.FleetStatBurnFast]),
+		"burn_slow":   real(resp.Data[airproto.FleetStatBurnSlow]),
+		"health":      health,
+	}
+	return legacy, fleetStats, nil
 }
 
 // exchange sends req and waits for THE MATCHING response: a reply whose ID

@@ -129,9 +129,12 @@ func TestProbeStatsReadsServerCounters(t *testing.T) {
 	}
 	srv.heal()
 
-	stats, err := serverStats(conn, 99, 5*time.Second, 0, rng.New(3))
+	stats, fleetStats, err := serverStats(conn, 99, 5*time.Second, 0, rng.New(3))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if fleetStats != nil {
+		t.Fatalf("a plain replica answered with fleet stats: %v", fleetStats)
 	}
 	want := map[string]int64{
 		"served": 1, "heals": 1, "swaps": 1,

@@ -109,8 +109,14 @@ type serverConfig struct {
 	logf func(format string, args ...interface{})
 	// preInfer, when non-nil, runs in each worker just before it processes
 	// a dequeued request — a test hook for pinning requests in flight while
-	// the read loop is torn down (the drain-path tests).
+	// the read loop is torn down (the drain-path tests) and for slowing one
+	// replica of an in-process fleet (the hedged-trace tests).
 	preInfer func()
+	// tracer is the tracer this server's serve.request / serve.heal spans
+	// start on and KindTrace fetches read from; nil means the process-wide
+	// trace.Default(). Injectable so an in-process test fleet can give each
+	// replica its own retention ring, as separate processes naturally have.
+	tracer *trace.Tracer
 }
 
 // airServer answers airproto frames over UDP with over-the-air inference,
@@ -182,12 +188,15 @@ func newAirServer(cfg serverConfig) *airServer {
 	if cfg.logf == nil {
 		cfg.logf = func(string, ...interface{}) {}
 	}
+	if cfg.tracer == nil {
+		cfg.tracer = trace.Default()
+	}
 	s := &airServer{cfg: cfg}
 	s.fleetAgent = fleet.NewAgent(s.healthVector, s.applyFleetEpoch)
 	s.cur.Store(&epoch{d: cfg.deployment, sessions: s.newSessions(cfg.deployment)})
 	// The initial deploy's checkpoint-write correlates to the build trace,
 	// which is still the most recently started trace at construction time.
-	s.journalAppend(cfg.deployment, cfg.initialReason, trace.Default().LastActive())
+	s.journalAppend(cfg.deployment, cfg.initialReason, cfg.tracer.LastActive())
 	return s
 }
 
@@ -290,7 +299,7 @@ func (s *airServer) heal() {
 	// stamped with hid explicitly — LastActive would name whichever
 	// concurrent request trace started last, not this episode.
 	hid := trace.Derive(0x4ea1, s.healSeq.Add(1))
-	hroot := trace.Default().Start("serve.heal", hid)
+	hroot := s.cfg.tracer.Start("serve.heal", hid)
 	defer hroot.Finish(0)
 	prev := s.cur.Load().d
 	var nd *ota.Deployment
@@ -391,7 +400,7 @@ func (s *airServer) statsFrame(id uint32) *airproto.Frame {
 	data[airproto.StatEpochSeq] = complex(float64(s.epochSeq.Load()), 0)
 	data[airproto.StatShed] = complex(float64(s.shed.Load()), 0)
 	data[airproto.StatExpired] = complex(float64(s.expired.Load()), 0)
-	return &airproto.Frame{Kind: airproto.KindStats, ID: id, Data: data}
+	return &airproto.Frame{Kind: airproto.KindStats, Code: airproto.StatsVersionReplica, ID: id, Data: data}
 }
 
 // healthVector supplies the gauges a fleet heartbeat reply carries: the
@@ -479,10 +488,20 @@ type request struct {
 // startRequestTrace opens the root span for one inbound data frame. The
 // trace ID derives from the client's request ID plus the server's arrival
 // ordinal — stable identifiers, so a fixed-seed run traces identically —
-// and the span carries the airproto request ID and the serving epoch.
-func (s *airServer) startRequestTrace(f *airproto.Frame) *trace.Span {
-	sp := trace.Default().Start("serve.request",
-		trace.Derive(0x5e12e, uint64(f.ID), s.reqSeq.Add(1)))
+// and the span carries the airproto request ID and the serving epoch. A
+// frame that arrived with router trace context (rid != 0) instead joins
+// the ROUTER'S trace: the replica's serve.request span parents under the
+// router's fleet.hop span, so one fetch yields the whole cross-hop story.
+// The arrival ordinal bumps either way — local trace IDs must not depend
+// on whether the previous request came through a router.
+func (s *airServer) startRequestTrace(f *airproto.Frame, rid, parent uint64) *trace.Span {
+	seq := s.reqSeq.Add(1)
+	var sp *trace.Span
+	if rid != 0 {
+		sp = s.cfg.tracer.StartRemote("serve.request", trace.ID(rid), trace.ID(parent))
+	} else {
+		sp = s.cfg.tracer.Start("serve.request", trace.Derive(0x5e12e, uint64(f.ID), seq))
+	}
 	sp.SetNum("request_id", float64(f.ID))
 	sp.SetNum("epoch_seq", float64(s.epochSeq.Load()))
 	return sp
@@ -492,11 +511,15 @@ func (s *airServer) startRequestTrace(f *airproto.Frame) *trace.Span {
 // JSON export packed into the vector payload (see airproto.PackBytes), or
 // a StatusNoTrace NACK when tracing is off or the ID is not retained.
 func (s *airServer) traceFrame(f *airproto.Frame) *airproto.Frame {
-	tr, flags := trace.Default().Get(trace.ID(f.TraceID()))
+	tr, flags := s.cfg.tracer.Get(trace.ID(f.TraceID()))
 	if tr == nil {
 		return airproto.Nack(f.ID, airproto.StatusNoTrace, 0)
 	}
-	body := trace.MarshalJSON(tr, flags, trace.ExportOptions{})
+	// The request's Code carries export flags: the normalize bit asks for
+	// deterministic timestamps, the form the stitch gate diffs byte-for-byte.
+	body := trace.MarshalJSON(tr, flags, trace.ExportOptions{
+		Normalize: f.Code&airproto.TraceFlagNormalize != 0,
+	})
 	data, n := airproto.PackBytes(body)
 	var code uint8
 	if n < len(body) {
@@ -599,6 +622,11 @@ func (s *airServer) serve(conn netchaos.PacketConn) error {
 		if frame.IsNack() {
 			continue // never answer a status frame with a status frame
 		}
+		// A router-forwarded data frame carries its distributed-trace context
+		// as trailing samples under KindDataTraced — which sorts ABOVE
+		// KindHeartbeat, so the strip (restoring KindData) must happen before
+		// the fleet-control dispatch or the frame would be swallowed there.
+		rid, parentSpan, _ := airproto.StripTraceContext(frame)
 		if frame.Kind >= airproto.KindHeartbeat {
 			// Fleet-control frames (router heartbeats, chunked epoch pushes,
 			// join replies) are answered inline: a heartbeat reply is a
@@ -647,7 +675,7 @@ func (s *airServer) serve(conn netchaos.PacketConn) error {
 			s.nack(conn, from, airproto.RetryAfterNack(frame.ID, ac.RetryAfter()))
 			continue
 		}
-		sp := s.startRequestTrace(frame)
+		sp := s.startRequestTrace(frame, rid, parentSpan)
 		u := s.cur.Load().d.InputLen()
 		if len(frame.Data) != u {
 			s.cfg.logf("frame %d from %s: %d symbols, deployed for U=%d", frame.ID, from, len(frame.Data), u)

@@ -65,12 +65,21 @@ const (
 	// KindEpochAck acknowledges a push chunk; the completing chunk's ack
 	// carries the apply verdict and canary agreement (see fleet.go).
 	KindEpochAck uint8 = 7
+	// KindDataTraced is a KindData frame carrying appended distributed-trace
+	// context (trace ID + parent span ID, see AttachTraceContext) — what a
+	// fleet router forwards when it is tracing the request, so the replica's
+	// serve.request span parents under the router's hop span. Replicas strip
+	// the context and process the rest as plain KindData; the reply is an
+	// ordinary KindData frame. Pre-fleet replicas reject the kind at
+	// Unmarshal, so a tracing router must only be pointed at replicas that
+	// speak it.
+	KindDataTraced uint8 = 8
 )
 
 // maxKind is the highest frame kind this build speaks; anything above it is
 // rejected at both Marshal and Unmarshal so unknown kinds never cross the
 // wire silently.
-const maxKind = KindEpochAck
+const maxKind = KindDataTraced
 
 // StatsVector indexes the counters a KindStats response carries in Data.
 const (

@@ -1,0 +1,103 @@
+package airproto
+
+import "encoding/binary"
+
+// Fleet observability additions to the wire protocol: distributed-trace
+// context on forwarded data frames, a normalize bit on trace fetches, and
+// a versioned stats vector that lets the router answer KindStats with
+// fleet-level counters without breaking old probes.
+
+// traceCtxSamples is the appended trace-context length on a KindDataTraced
+// frame: 16 bytes (trace ID + parent span ID, little endian) packed two
+// bytes per complex sample (see PackBytes).
+const traceCtxSamples = 8
+
+// AttachTraceContext rewrites a KindData frame into KindDataTraced by
+// appending the 64-bit trace ID and parent span ID as trailing samples. It
+// refuses (returning false, frame untouched) on non-data frames, a zero
+// trace ID, or a payload too large to carry the context.
+func AttachTraceContext(f *Frame, traceID, parentSpan uint64) bool {
+	if f.Kind != KindData || traceID == 0 || len(f.Data)+traceCtxSamples > MaxVector {
+		return false
+	}
+	var ctx [2 * traceCtxSamples]byte
+	binary.LittleEndian.PutUint64(ctx[:8], traceID)
+	binary.LittleEndian.PutUint64(ctx[8:], parentSpan)
+	samples, _ := PackBytes(ctx[:])
+	f.Data = append(f.Data, samples...)
+	f.Kind = KindDataTraced
+	return true
+}
+
+// StripTraceContext reverses AttachTraceContext: it removes the trailing
+// context samples, restores Kind to KindData, and returns the carried
+// trace ID and parent span ID. ok is false (frame untouched) when f is not
+// a well-formed KindDataTraced frame.
+func StripTraceContext(f *Frame) (traceID, parentSpan uint64, ok bool) {
+	if f.Kind != KindDataTraced || len(f.Data) < traceCtxSamples {
+		return 0, 0, false
+	}
+	tail := UnpackBytes(f.Data[len(f.Data)-traceCtxSamples:], 2*traceCtxSamples)
+	traceID = binary.LittleEndian.Uint64(tail[:8])
+	parentSpan = binary.LittleEndian.Uint64(tail[8:])
+	if traceID == 0 {
+		return 0, 0, false
+	}
+	f.Data = f.Data[:len(f.Data)-traceCtxSamples]
+	f.Kind = KindData
+	return traceID, parentSpan, true
+}
+
+// TraceFlagNormalize, set on a KindTrace REQUEST's Code field, asks the
+// responder to export with deterministic normalized timestamps
+// (trace.ExportOptions.Normalize) — the form CI gates diff byte-for-byte.
+// Responders ignore unknown bits, so the flag is forward-compatible.
+const TraceFlagNormalize uint8 = 1
+
+// Stats vector versions, carried on a KindStats REPLY's Code field. Probes
+// older than the version scheme see Code 0 from pre-fleet servers and a
+// Data vector of at least StatsVectorLen either way: versions only ever
+// APPEND slots, so the legacy StatsVector indexes stay valid forever and
+// an old probe reading a newer reply just ignores the tail.
+const (
+	// StatsVersionReplica: the reply carries exactly the StatsVector
+	// counters — what a replica answers.
+	StatsVersionReplica uint8 = 1
+	// StatsVersionFleet: the reply carries the StatsVector counters
+	// (fleet-wide sums), then the FleetStats slots, then one health-score
+	// sample per live replica (sorted by replica name) — what a router
+	// answers.
+	StatsVersionFleet uint8 = 2
+)
+
+// FleetStats slots, appended after the legacy StatsVector in a
+// StatsVersionFleet reply.
+const (
+	// FleetStatLive: live (routable) replica count.
+	FleetStatLive = StatsVectorLen + iota
+	// FleetStatReplicas: replicas with a reported health score — the number
+	// of per-replica samples that follow FleetStatsVectorLen.
+	FleetStatReplicas
+	// FleetStatForwards: data frames the router forwarded.
+	FleetStatForwards
+	// FleetStatFailovers: forwards re-sent to another replica after an
+	// explicit NACK or timeout.
+	FleetStatFailovers
+	// FleetStatHedgedWins: requests won by a hedge (attempt > 0).
+	FleetStatHedgedWins
+	// FleetStatShed: requests shed by router admission.
+	FleetStatShed
+	// FleetStatExpired: requests whose deadline budget ran out at the
+	// router.
+	FleetStatExpired
+	// FleetStatP99Micros: fleet-wide p99 of the merged serve.request
+	// latency histogram, in microseconds.
+	FleetStatP99Micros
+	// FleetStatBurnFast and FleetStatBurnSlow: the router's fast- and
+	// slow-window SLO error-budget burn rates.
+	FleetStatBurnFast
+	FleetStatBurnSlow
+	// FleetStatsVectorLen is the fleet reply's fixed prefix length;
+	// FleetStatReplicas health-score samples follow it.
+	FleetStatsVectorLen
+)

@@ -1,0 +1,105 @@
+package airproto
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	payload := []complex128{complex(1, 2), complex(3, 4), complex(5, 6)}
+	f := &Frame{Kind: KindData, ID: 77, Label: 3, Data: append([]complex128(nil), payload...)}
+	if !AttachTraceContext(f, 0xdeadbeefcafef00d, 0x0123456789abcdef) {
+		t.Fatal("attach refused a well-formed data frame")
+	}
+	if f.Kind != KindDataTraced || len(f.Data) != len(payload)+traceCtxSamples {
+		t.Fatalf("attach produced kind=%d len=%d", f.Kind, len(f.Data))
+	}
+	// The context must survive the float32 wire format bit-exactly.
+	wire, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, parent, ok := StripTraceContext(g)
+	if !ok {
+		t.Fatal("strip refused a traced frame")
+	}
+	if tid != 0xdeadbeefcafef00d || parent != 0x0123456789abcdef {
+		t.Fatalf("context mangled: trace=%x parent=%x", tid, parent)
+	}
+	if g.Kind != KindData || !reflect.DeepEqual(g.Data, payload) {
+		t.Fatalf("strip did not restore the original frame: kind=%d data=%v", g.Kind, g.Data)
+	}
+}
+
+func TestTraceContextRefusals(t *testing.T) {
+	if AttachTraceContext(&Frame{Kind: KindStats}, 1, 2) {
+		t.Fatal("attach accepted a non-data frame")
+	}
+	if AttachTraceContext(&Frame{Kind: KindData}, 0, 2) {
+		t.Fatal("attach accepted a zero trace ID")
+	}
+	full := &Frame{Kind: KindData, Data: make([]complex128, MaxVector-traceCtxSamples+1)}
+	if AttachTraceContext(full, 1, 2) {
+		t.Fatal("attach overflowed MaxVector")
+	}
+	if full.Kind != KindData || len(full.Data) != MaxVector-traceCtxSamples+1 {
+		t.Fatal("refused attach still mutated the frame")
+	}
+	if _, _, ok := StripTraceContext(&Frame{Kind: KindData, Data: make([]complex128, 16)}); ok {
+		t.Fatal("strip accepted a plain data frame")
+	}
+	short := &Frame{Kind: KindDataTraced, Data: make([]complex128, traceCtxSamples-1)}
+	if _, _, ok := StripTraceContext(short); ok {
+		t.Fatal("strip accepted an under-length traced frame")
+	}
+}
+
+// TestStatsForwardCompat pins the versioning contract: a reply from a
+// NEWER build — more appended slots than this build knows about — still
+// decodes cleanly, with every legacy StatsVector index intact. Appending
+// is the only evolution the scheme allows precisely so this holds.
+func TestStatsForwardCompat(t *testing.T) {
+	// A hypothetical v3 reply: legacy counters, fleet slots, health
+	// samples, plus three future slots this build has no names for.
+	future := make([]complex128, FleetStatsVectorLen+2+3)
+	legacy := []float64{101, 2, 3, 1, 1, 9, 4, 5}
+	if len(legacy) != StatsVectorLen {
+		t.Fatalf("test vector drifted: %d legacy slots", len(legacy))
+	}
+	for i, v := range legacy {
+		future[i] = complex(v, 0)
+	}
+	future[FleetStatLive] = complex(2, 0)
+	future[FleetStatReplicas] = complex(2, 0)
+	f := &Frame{Kind: KindStats, Code: StatsVersionFleet + 1, ID: 9, Data: future}
+	wire, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatalf("future stats reply failed to decode: %v", err)
+	}
+	// The legacy read every existing probe performs: bounds check against
+	// StatsVectorLen, then indexed reads.
+	if len(g.Data) < StatsVectorLen {
+		t.Fatalf("future reply shorter than the legacy vector: %d", len(g.Data))
+	}
+	for i, want := range legacy {
+		if got := real(g.Data[i]); got != want {
+			t.Fatalf("legacy slot %d misindexed: got %g want %g", i, got, want)
+		}
+	}
+	// A versioned reader sees an unknown version and falls back to the
+	// highest prefix it understands — the fleet prefix is still intact.
+	if g.Code <= StatsVersionFleet {
+		t.Fatalf("test frame should carry a future version, got %d", g.Code)
+	}
+	if real(g.Data[FleetStatLive]) != 2 || real(g.Data[FleetStatReplicas]) != 2 {
+		t.Fatal("fleet slots misindexed in future reply")
+	}
+}

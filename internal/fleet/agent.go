@@ -60,6 +60,13 @@ type Agent struct {
 	// both halves atomically.
 	fleetVer atomic.Uint64
 
+	// snapSource, when set, supplies an encoded obs.Snapshot blob
+	// (obs.EncodeSnapshot) to piggyback on heartbeat replies — the
+	// replica's contribution to the router's merged fleet snapshot. Nil
+	// (the default, and whenever observability is disabled) keeps replies
+	// byte-identical to the pre-obs-plane wire.
+	snapSource atomic.Pointer[func() []byte]
+
 	mu       sync.Mutex
 	reasm    *Reassembler
 	acks     map[uint32]cachedAck // final ack per completed transfer
@@ -89,6 +96,42 @@ func (a *Agent) FleetVersion() (seq uint64, nonce uint32) {
 	return v & 0xffffffff, uint32(v >> 32)
 }
 
+// SetSnapshotSource installs (or, with nil, removes) the callback that
+// supplies an encoded obs.Snapshot blob for heartbeat-reply piggybacking.
+// The serving binary wires a throttled obs.EncodeSnapshot of its default
+// registry here when the observability sidecar is armed. Safe to call
+// concurrently with HandleFrame.
+func (a *Agent) SetSnapshotSource(src func() []byte) {
+	if src == nil {
+		a.snapSource.Store(nil)
+		return
+	}
+	a.snapSource.Store(&src)
+}
+
+// attachSnapshot appends the snapshot blob (packed two bytes per sample,
+// like trace payloads) after the health vector and records its byte length
+// in Label. Routers older than the obs plane ignore both: they read only
+// the first HBVectorLen samples and never look at a heartbeat's Label. A
+// blob too big for the frame is skipped — liveness must never lose to
+// telemetry.
+func (a *Agent) attachSnapshot(reply *airproto.Frame) {
+	srcp := a.snapSource.Load()
+	if srcp == nil {
+		return
+	}
+	blob := (*srcp)()
+	if len(blob) == 0 {
+		return
+	}
+	samples, n := airproto.PackBytes(blob)
+	if n < len(blob) || len(reply.Data)+len(samples) > airproto.MaxVector {
+		return
+	}
+	reply.Data = append(reply.Data, samples...)
+	reply.Label = int32(n)
+}
+
 // HandleFrame processes one fleet-control frame and returns the reply to
 // send, or ok=false when the frame needs no answer (join replies, other
 // router-side frames that reached a replica, and push chunks corrupted in
@@ -99,7 +142,9 @@ func (a *Agent) HandleFrame(f *airproto.Frame) (*airproto.Frame, bool) {
 		if len(f.Data) > 0 {
 			return nil, false // a reply, not a ping; not ours to answer
 		}
-		return airproto.HeartbeatReply(f.ID, a.health()), true
+		reply := airproto.HeartbeatReply(f.ID, a.health())
+		a.attachSnapshot(reply)
+		return reply, true
 	case airproto.KindEpochPush:
 		if reply := a.handlePush(f); reply != nil {
 			return reply, true

@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/netchaos"
+	"repro/internal/obs/slo"
+)
+
+// TestReplayObsDeterministic pins the replay's observability plane: two
+// runs with the same config must agree on the merged-snapshot fingerprint,
+// the per-replica snapshots, the burn rates, and the health scores — the
+// property the obsgate extension asserts through the serve bench.
+func TestReplayObsDeterministic(t *testing.T) {
+	cfg := ReplayConfig{Seed: 42, Chaos: &netchaos.Config{
+		Inbound:  netchaos.Mix(0.1),
+		Outbound: netchaos.Mix(0.1),
+		Seed:     42,
+	}}
+	st1, ob1, err := ReplayWithObs(cfg)
+	if err != nil {
+		t.Fatalf("first replay: %v", err)
+	}
+	st2, ob2, err := ReplayWithObs(cfg)
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if st1 != st2 {
+		t.Fatalf("tallies diverged: %+v vs %+v", st1, st2)
+	}
+	f1, f2 := ob1.Merged.Fingerprint(), ob2.Merged.Fingerprint()
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatalf("merged fingerprints diverged:\n a=%v\n b=%v", f1, f2)
+	}
+	if ob1.BurnFast != ob2.BurnFast || ob1.BurnSlow != ob2.BurnSlow {
+		t.Fatalf("burn rates diverged: (%v,%v) vs (%v,%v)",
+			ob1.BurnFast, ob1.BurnSlow, ob2.BurnFast, ob2.BurnSlow)
+	}
+	if !reflect.DeepEqual(ob1.Health, ob2.Health) {
+		t.Fatalf("health scores diverged: %v vs %v", ob1.Health, ob2.Health)
+	}
+	if !reflect.DeepEqual(ob1.PerReplica, ob2.PerReplica) {
+		t.Fatal("per-replica snapshots diverged")
+	}
+}
+
+// TestReplayObsConsistentWithTallies checks the obs plane against the
+// episode's own ledger: every forwarded request appears exactly once as a
+// replica-side serve.served count and a serve.request.seconds observation,
+// across all replicas, and the merge preserves the totals.
+func TestReplayObsConsistentWithTallies(t *testing.T) {
+	st, ob, err := ReplayWithObs(ReplayConfig{Seed: 7})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(ob.PerReplica) != 3 {
+		t.Fatalf("want 3 per-replica snapshots, got %d", len(ob.PerReplica))
+	}
+	var served, histCount int64
+	for name, snap := range ob.PerReplica {
+		served += snap.Counters["serve.served"]
+		h, ok := snap.Histograms["serve.request.seconds"]
+		if !ok {
+			t.Fatalf("%s snapshot missing serve.request.seconds", name)
+		}
+		histCount += h.Count
+	}
+	if served != int64(st.Forwards) {
+		t.Fatalf("per-replica serve.served sums to %d, episode forwarded %d", served, st.Forwards)
+	}
+	if histCount != int64(st.Forwards) {
+		t.Fatalf("per-replica latency observations sum to %d, episode forwarded %d", histCount, st.Forwards)
+	}
+	if got := ob.Merged.Counters["serve.served"]; got != int64(st.Forwards) {
+		t.Fatalf("merged serve.served = %d, want %d", got, st.Forwards)
+	}
+	if got := ob.Merged.Histograms["serve.request.seconds"].Count; got != int64(st.Forwards) {
+		t.Fatalf("merged latency count = %d, want %d", got, st.Forwards)
+	}
+	// Every draw in the clean episode lands within the SLO target, so the
+	// fleet budget never burns and every replica scores perfect health.
+	if ob.BurnFast != 0 || ob.BurnSlow != 0 {
+		t.Fatalf("clean episode burned budget: fast=%v slow=%v", ob.BurnFast, ob.BurnSlow)
+	}
+	for name, h := range ob.Health {
+		if h != 1 {
+			t.Fatalf("clean episode: %s health = %v, want 1", name, h)
+		}
+	}
+}
+
+// TestDetectorSlowReplicaSuspectedBySLO drives the silently-slow failure
+// mode: a replica that answers every heartbeat instantly (so misses never
+// accumulate) and NACKs nothing (so the NACK window never fills) but
+// serves every request far over the SLO target. Burn-rate suspicion must
+// turn it Suspect; neither legacy mechanism ever would.
+func TestDetectorSlowReplicaSuspectedBySLO(t *testing.T) {
+	det := NewDetector(DetectorConfig{
+		SuspectMisses: 2,
+		NackWindow:    8,
+		SLOTarget:     time.Millisecond,
+		SLO:           slo.Config{FastWindow: 32, SlowWindow: 64},
+	}, nil)
+	now := time.Unix(1_726_000_000, 0)
+	det.Revive("slow")
+
+	suspected := false
+	for i := 0; i < 256; i++ {
+		// Heartbeats keep landing: the replica is alive, just drowning.
+		det.Observe("slow", true, now)
+		// Every request SUCCEEDS (no NACK-window evidence) but takes 5ms
+		// against a 1ms target.
+		if det.ReportLatency("slow", 5*time.Millisecond, true, now) == Suspect {
+			suspected = true
+			break
+		}
+		now = now.Add(time.Millisecond)
+	}
+	if !suspected {
+		t.Fatal("silently-slow replica never suspected by burn rate")
+	}
+	if score := det.HealthScore("slow"); score != 1 {
+		t.Fatalf("tracker should reset on suspicion, health = %v", score)
+	}
+
+	// Control: the same traffic within the target never trips suspicion.
+	det2 := NewDetector(DetectorConfig{
+		SLOTarget: time.Millisecond,
+		SLO:       slo.Config{FastWindow: 32, SlowWindow: 64},
+	}, nil)
+	det2.Revive("fast")
+	for i := 0; i < 256; i++ {
+		if det2.ReportLatency("fast", 100*time.Microsecond, true, now) != Alive {
+			t.Fatal("within-SLO replica suspected")
+		}
+	}
+	if score := det2.HealthScore("fast"); score != 1 {
+		t.Fatalf("within-SLO replica health = %v, want 1", score)
+	}
+}
+
+// TestDetectorSLODisabledByDefault: with no SLOTarget, ReportLatency is a
+// no-op and HealthScore reports 1 — the pre-obs-plane behavior.
+func TestDetectorSLODisabledByDefault(t *testing.T) {
+	det := NewDetector(DetectorConfig{}, nil)
+	now := time.Unix(1_726_000_000, 0)
+	for i := 0; i < 512; i++ {
+		if st := det.ReportLatency("r", time.Second, false, now); st != Alive {
+			t.Fatalf("SLO-disabled detector changed state to %v", st)
+		}
+	}
+	if score := det.HealthScore("r"); score != 1 {
+		t.Fatalf("SLO-disabled health = %v, want 1", score)
+	}
+}

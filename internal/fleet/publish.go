@@ -55,7 +55,7 @@ func (r *Router) Publish(sealed []byte) error {
 
 	tid := r.pubSeq.Add(1)
 	pid := trace.Derive(0xf1ee7, uint64(tid))
-	sp := trace.Default().Start("fleet.publish", pid)
+	sp := r.cfg.Tracer.Start("fleet.publish", pid)
 	defer sp.Finish(0)
 	sp.SetNum("fleet_seq", float64(tid))
 	sp.SetNum("epoch_seq", float64(ep.Seq))

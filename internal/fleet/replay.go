@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/airproto"
 	"repro/internal/netchaos"
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/rng"
 )
 
@@ -75,6 +77,32 @@ type ReplayStats struct {
 	FleetSeq      uint64 // converged sequence across all replicas at the end
 }
 
+// ReplayObs is the episode's observability plane: per-replica obs
+// snapshots (round-tripped through the heartbeat wire encoding, exactly as
+// a live router receives them), their bucket-wise merge, the fleet SLO
+// burn rates, and each replica's burn-rate health score. It lives beside
+// ReplayStats rather than inside it so ReplayStats stays comparable with
+// == (its determinism tests depend on that).
+type ReplayObs struct {
+	Merged     obs.Snapshot
+	PerReplica map[string]obs.Snapshot
+	BurnFast   float64
+	BurnSlow   float64
+	Health     map[string]float64
+}
+
+// replaySLOTarget classifies a replayed request as within-SLO. Every
+// successful draw (150–450µs) clears it, so arming the SLO plane never
+// changes which replicas the episode suspects — only real failures burn
+// budget, and those already trip the faster NACK window first.
+const replaySLOTarget = time.Millisecond
+
+// replaySLO is deliberately forgiving (50% objective): under the chaos
+// fault load individual healthy replicas lose the odd datagram, and the
+// burn-rate tracker must not suspect them for it — only a replica failing
+// outright (already NACK-window territory) could saturate this budget.
+var replaySLO = slo.Config{Objective: 0.5, FastWindow: 16, SlowWindow: 64}
+
 // replayReplica is one simulated fleet member: a real Agent whose apply
 // reads the epoch's agreement straight out of the sealed payload (the
 // replay's stand-in for measuring held-out prediction agreement).
@@ -114,8 +142,22 @@ func replayEpoch(src *rng.Source, size int, agreement float64) []byte {
 // that fails to converge) — any error is a bug in the fleet tier, not a
 // simulated failure.
 func Replay(cfg ReplayConfig) (ReplayStats, error) {
+	st, _, err := ReplayWithObs(cfg)
+	return st, err
+}
+
+// ReplayWithObs runs one episode and additionally returns its
+// observability plane — merged + per-replica snapshots, burn rates, and
+// health scores, all pure functions of (Seed, Chaos). The serve bench uses
+// it to pin the merged-fleet-snapshot fingerprint and report fleet p99 and
+// burn rate in BENCH_serve.json.
+func ReplayWithObs(cfg ReplayConfig) (ReplayStats, ReplayObs, error) {
 	cfg = cfg.withDefaults()
 	var st ReplayStats
+	ob := ReplayObs{
+		PerReplica: make(map[string]obs.Snapshot),
+		Health:     make(map[string]float64),
+	}
 	src := rng.New(cfg.Seed)
 	now := time.Unix(1_726_000_000, 0) // fake clock: fixed origin, stepped below
 
@@ -125,7 +167,10 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 		ProbeMax:      400 * time.Millisecond,
 		ProbeLimit:    3,
 		NackWindow:    8,
+		SLOTarget:     replaySLOTarget,
+		SLO:           replaySLO,
 	}, src.Split())
+	fleetSLO := slo.New(replaySLO)
 	ring := NewRing()
 
 	reps := make([]*replayReplica, cfg.Replicas)
@@ -143,8 +188,10 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 		reps[i] = r
 	}
 	byName := make(map[string]*replayReplica, len(reps))
+	regs := make(map[string]*obs.Registry, len(reps))
 	for _, r := range reps {
 		byName[r.name] = r
+		regs[r.name] = obs.NewRegistry()
 	}
 	setGauges := func() {
 		alive, suspect, _ := det.Counts()
@@ -177,8 +224,10 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 		var keyBuf [8]byte
 		for i := 0; i < n; i++ {
 			key := src.Uint64()
+			served := false
 			for _, name := range ring.Route(key, 2) {
 				lat := 150e-6 + 300e-6*src.Float64()
+				dur := time.Duration(lat * float64(time.Second))
 				lost := false
 				if routeLane != nil {
 					binary.LittleEndian.PutUint64(keyBuf[:], key)
@@ -186,20 +235,30 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 				}
 				if r := byName[name]; !r.alive || lost {
 					det.ReportForward(name, true, now)
+					det.ReportLatency(name, 0, false, now)
 					failoverCount.Inc()
 					st.Failovers++
 					continue
 				}
 				det.ReportForward(name, false, now)
+				det.ReportLatency(name, dur, true, now)
 				forwardCount.Inc()
 				forwardSeconds.Observe(lat)
 				st.Forwards++
+				// The replica-side view of the same request, recorded into the
+				// replica's own registry — the series a live replica would
+				// piggyback back to the router on its heartbeats.
+				reg := regs[name]
+				reg.Counter("serve.served").Inc()
+				reg.Histogram("serve.request.seconds", nil).Observe(lat)
+				served = true
 				if lat > 420e-6 { // the hedge fired and the hedge answered first
 					hedgedWinCount.Inc()
 					st.HedgedWins++
 				}
 				break
 			}
+			fleetSLO.Observe(served) // end-to-end: every draw is within target
 			now = now.Add(time.Millisecond)
 		}
 	}
@@ -324,7 +383,7 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 	route(cfg.Requests)
 	good := replayEpoch(src.Split(), 4*cfg.ChunkBytes+37, 1.0)
 	if err := publish(good); err != nil {
-		return st, err
+		return st, ob, err
 	}
 
 	// Kill one replica mid-episode. The load keeps flowing — its share fails
@@ -357,7 +416,7 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 	// fresh fleet sequence.
 	bad := replayEpoch(src.Split(), 3*cfg.ChunkBytes, 0.25)
 	if err := publish(bad); err != nil {
-		return st, err
+		return st, ob, err
 	}
 
 	// The corpse rejoins stale and anti-entropy catches it up to the fleet's
@@ -370,7 +429,7 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 		catchupCount.Inc()
 		st.Catchups++
 		if _, err := push(victim, pubSeq, current, airproto.PushCommit); err != nil {
-			return st, err
+			return st, ob, err
 		}
 	}
 	setGauges()
@@ -381,8 +440,25 @@ func Replay(cfg ReplayConfig) (ReplayStats, error) {
 	st.FleetSeq = uint64(pubSeq)
 	for _, r := range reps {
 		if got := r.agent.FleetSeq(); got != st.FleetSeq {
-			return st, fmt.Errorf("fleet replay: %s at seq %d, fleet at %d", r.name, got, st.FleetSeq)
+			return st, ob, fmt.Errorf("fleet replay: %s at seq %d, fleet at %d", r.name, got, st.FleetSeq)
 		}
 	}
-	return st, nil
+
+	// Assemble the observability plane the way a live router receives it:
+	// each replica's snapshot rides the heartbeat wire encoding (so the
+	// replay also exercises encode/decode), then merges bucket-wise.
+	snaps := make([]obs.Snapshot, 0, len(reps))
+	for _, r := range reps {
+		blob := obs.EncodeSnapshot(regs[r.name].Snapshot())
+		decoded, err := obs.DecodeSnapshot(blob)
+		if err != nil {
+			return st, ob, fmt.Errorf("fleet replay: %s snapshot wire round-trip: %v", r.name, err)
+		}
+		ob.PerReplica[r.name] = decoded
+		ob.Health[r.name] = det.HealthScore(r.name)
+		snaps = append(snaps, decoded)
+	}
+	ob.Merged = obs.MergeSnapshots(snaps...)
+	ob.BurnFast, ob.BurnSlow = fleetSLO.BurnRate()
+	return st, ob, nil
 }

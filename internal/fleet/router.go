@@ -24,6 +24,8 @@ import (
 	"repro/internal/netchaos"
 	"repro/internal/obs"
 	"repro/internal/obs/events"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/trace"
 	"repro/internal/rng"
 )
 
@@ -74,6 +76,12 @@ type Config struct {
 	// one anti-entropy round (forced by the fresh incarnation nonce)
 	// re-converges the replicas onto the journaled epoch.
 	StateDir string
+	// Tracer is the tracer the router's fleet.request / fleet.publish spans
+	// start on and the ring KindTrace fetches read from; nil means the
+	// process-wide trace.Default(). Injectable so several in-process routers
+	// and replicas (a test fleet) can each own a separate retention ring,
+	// the way separate processes naturally would.
+	Tracer *trace.Tracer
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...interface{})
 }
@@ -112,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...interface{}) {}
 	}
+	if c.Tracer == nil {
+		c.Tracer = trace.Default()
+	}
 	return c
 }
 
@@ -123,6 +134,9 @@ type member struct {
 	// epoch the replica reported via heartbeat or join.
 	fleetVer   atomic.Uint64
 	catchingUp atomic.Bool // an anti-entropy push is already in flight
+	// snap is the replica's latest obs.Snapshot, decoded from the blob its
+	// heartbeat replies piggyback (nil until the first one lands).
+	snap atomic.Pointer[obs.Snapshot]
 }
 
 // Router fronts the fleet: it routes client frames across the replicas by
@@ -151,6 +165,14 @@ type Router struct {
 	nextID atomic.Uint32
 	pendMu sync.Mutex
 	pend   map[uint32]chan *airproto.Frame
+
+	// fwdSeq numbers every forwarded request; with the client frame ID it
+	// derives the deterministic fleet.request trace ID. It bumps whether or
+	// not tracing is armed, so arming the tracer never shifts the sequence.
+	fwdSeq atomic.Uint64
+	// fleetSLO tracks the fleet-wide error-budget burn over end-to-end
+	// forward outcomes (nil while Detector.SLOTarget is unset).
+	fleetSLO *slo.Tracker
 
 	inflight  atomic.Int64
 	stop      chan struct{}
@@ -187,6 +209,9 @@ func NewRouter(cfg Config) (*Router, error) {
 		members: make(map[string]*member),
 		pend:    make(map[uint32]chan *airproto.Frame),
 		stop:    make(chan struct{}),
+	}
+	if cfg.Detector.SLOTarget > 0 {
+		r.fleetSLO = slo.New(cfg.Detector.SLO)
 	}
 	for _, rep := range cfg.Replicas {
 		addr, err := net.ResolveUDPAddr("udp", rep.Addr)
@@ -457,6 +482,16 @@ func (r *Router) heartbeat(m *member) {
 		if f.Kind == airproto.KindHeartbeat && len(f.Data) > 0 {
 			hv := f.HealthVector()
 			m.fleetVer.Store(uint64(hv[airproto.HBFleetNonce])<<32 | uint64(hv[airproto.HBFleetSeq]))
+			// The reply may piggyback the replica's obs snapshot after the
+			// health vector (Label = blob byte length). A blob mangled in
+			// flight fails its CRC and is simply skipped — the member's last
+			// good snapshot stands until a clean one lands.
+			if f.Label > 0 && len(f.Data) > airproto.HBVectorLen {
+				blob := airproto.UnpackBytes(f.Data[airproto.HBVectorLen:], int(f.Label))
+				if snap, err := obs.DecodeSnapshot(blob); err == nil {
+					m.snap.Store(&snap)
+				}
+			}
 		}
 		r.observeMember(m, true)
 		r.maybeCatchUp(m)
@@ -632,8 +667,10 @@ func (r *Router) liveCount() int {
 }
 
 // Serve answers client frames on conn until it is closed (the caller owns
-// shutdown, exactly like airServer.serve). Data, stats, and trace requests
-// are forwarded to replicas; joins update membership; everything else is
+// shutdown, exactly like airServer.serve). Data requests are forwarded to
+// replicas; stats and trace requests are answered by the router itself
+// (fleet-merged counters, stitched cross-replica traces) on the control
+// plane, outside admission; joins update membership; everything else is
 // dropped. conn is any netchaos.PacketConn — a bare *net.UDPConn in
 // production, or a chaos-wrapped one when the front link itself is under
 // fault injection.
@@ -652,7 +689,21 @@ func (r *Router) Serve(conn netchaos.PacketConn) error {
 		switch f.Kind {
 		case airproto.KindJoin:
 			r.handleJoin(conn, f, from)
-		case airproto.KindData, airproto.KindStats, airproto.KindTrace:
+		case airproto.KindStats, airproto.KindTrace:
+			// Control-plane traffic: the router answers these itself —
+			// never shed, never counted against the inflight cap. An
+			// operator reading a drowning fleet's vitals must not compete
+			// with the data plane for admission.
+			r.wg.Add(1)
+			go func(f *airproto.Frame, from *net.UDPAddr) {
+				defer r.wg.Done()
+				if f.Kind == airproto.KindStats {
+					r.answerStats(conn, f, from)
+				} else {
+					r.answerTrace(conn, f, from)
+				}
+			}(f, from)
+		case airproto.KindData:
 			live := r.liveCount()
 			if live == 0 || r.inflight.Load() >= int64(r.cfg.InflightPerReplica*live) {
 				// Router-level load shedding: fleet health sets the cap, so
@@ -707,11 +758,38 @@ type fwdResult struct {
 // capacity on work nobody will read.
 func (r *Router) forward(conn netchaos.PacketConn, f *airproto.Frame, from *net.UDPAddr) {
 	t := obs.StartTimer()
+	start := time.Now()
 	prefs := r.liveRoute(hashString(from.String()), r.cfg.MaxAttempts)
 	if len(prefs) == 0 {
 		shedCount.Inc()
 		r.writeTo(conn, from, airproto.Nack(f.ID, airproto.StatusDegraded, 0))
 		return
+	}
+	// The fleet root span. Its trace ID derives from the client frame ID
+	// and a per-router forward ordinal (fwdSeq bumps whether or not tracing
+	// is armed): no rng is touched, and a disabled tracer returns nil spans
+	// whose methods are all no-ops. Each attempt gets a fleet.hop child;
+	// the forwarded frame carries (trace ID, hop span ID) so the replica's
+	// serve.request span parents under its hop.
+	tid := trace.Derive(0xf1ee70b5, uint64(f.ID), r.fwdSeq.Add(1))
+	root := r.cfg.Tracer.Start("fleet.request", tid)
+	root.SetStr("client", from.String())
+	hops := make([]*trace.Span, 0, len(prefs))
+	hopOpen := make([]bool, 0, len(prefs))
+	starts := make([]time.Time, 0, len(prefs))
+	closeHop := func(attempt int, outcome string) {
+		if attempt < len(hops) && hopOpen[attempt] {
+			hops[attempt].SetStr("outcome", outcome)
+			hops[attempt].End()
+			hopOpen[attempt] = false
+		}
+	}
+	finishRoot := func(flags trace.Flags) {
+		for i := range hops {
+			closeHop(i, "cancelled")
+		}
+		root.SetNum("attempts", float64(len(hops)))
+		root.Finish(flags)
 	}
 	origID := f.ID
 	var expiry time.Time
@@ -728,12 +806,17 @@ func (r *Router) forward(conn netchaos.PacketConn, f *airproto.Frame, from *net.
 	// exhausted deadline budget is StatusExpired (with the lateness), an
 	// exhausted candidate list is StatusDegraded.
 	giveUp := func() {
+		r.fleetSLO.Observe(false)
 		if late := lateBy(expiry); late > 0 {
 			expiredCount.Inc()
+			root.SetStr("outcome", "expired")
+			finishRoot(trace.FlagError)
 			r.writeTo(conn, from, airproto.ExpiredNack(origID, late))
 			return
 		}
 		shedCount.Inc()
+		root.SetStr("outcome", "shed")
+		finishRoot(trace.FlagShed)
 		r.writeTo(conn, from, airproto.Nack(origID, airproto.StatusDegraded, 0))
 	}
 
@@ -757,6 +840,18 @@ func (r *Router) forward(conn netchaos.PacketConn, f *airproto.Frame, from *net.
 		fwd.ID = id
 		if remaining > 0 {
 			fwd.SetDeadline(remaining)
+		}
+		hop := root.Child("fleet.hop")
+		hop.SetStr("replica", m.name)
+		hop.SetNum("attempt", float64(attempt))
+		hops = append(hops, hop)
+		hopOpen = append(hopOpen, hop != nil)
+		starts = append(starts, time.Now())
+		if root != nil {
+			// Appending the context never aliases the original frame: the
+			// copy's Data shares f's full-capacity backing, so append
+			// reallocates. Refusals (oversize payload) just forward untraced.
+			airproto.AttachTraceContext(&fwd, uint64(tid), uint64(hop.ID()))
 		}
 		out, err := fwd.Marshal()
 		if err != nil {
@@ -803,6 +898,9 @@ func (r *Router) forward(conn netchaos.PacketConn, f *airproto.Frame, from *net.
 			failed := res.f == nil || (res.f.IsNack() &&
 				(res.f.Code == airproto.StatusDegraded || res.f.Code == airproto.StatusRetryAfter))
 			r.det.ReportForward(res.m.name, failed, now)
+			if res.attempt < len(starts) {
+				r.det.ReportLatency(res.m.name, now.Sub(starts[res.attempt]), !failed, now)
+			}
 			if !failed {
 				// Success — or a fatal NACK (wrong length, bad frame, no
 				// trace, expired-at-the-replica), which is the client's
@@ -814,8 +912,17 @@ func (r *Router) forward(conn netchaos.PacketConn, f *airproto.Frame, from *net.
 					hedgedWinCount.Inc()
 				}
 				t.ObserveInto(forwardSeconds)
+				closeHop(res.attempt, "won")
+				var flags trace.Flags
+				if res.f.IsNack() {
+					flags = trace.FlagNack
+				}
+				finishRoot(flags) // the losing hedged hops close as cancelled
+				elapsed := time.Since(start)
+				r.fleetSLO.Observe(!res.f.IsNack() && elapsed <= r.cfg.Detector.SLOTarget)
 				return
 			}
+			closeHop(res.attempt, "failed")
 			if res.f != nil {
 				// Explicit shed NACK: fail over immediately rather than
 				// waiting out the hedge timer.

@@ -1,0 +1,58 @@
+package obs
+
+import "sort"
+
+// MergeSnapshots folds N per-replica snapshots into one fleet-wide view:
+// counters and gauges sum name-wise, histograms merge bucket-wise (bucket
+// counts keyed by upper bound, so replicas with different bucket layouts —
+// or with no observations yet — still merge losslessly). The fold is
+// associative and commutative by construction: every output is a pure sum
+// over the multiset of inputs, so merge order can never change the result
+// and the merged Fingerprint is deterministic.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	type histAcc struct {
+		count   int64
+		sum     float64
+		buckets map[float64]int64
+	}
+	hists := map[string]*histAcc{}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			out.Gauges[name] += v
+		}
+		for name, h := range s.Histograms {
+			acc := hists[name]
+			if acc == nil {
+				acc = &histAcc{buckets: map[float64]int64{}}
+				hists[name] = acc
+			}
+			acc.count += h.Count
+			acc.sum += h.Sum
+			for _, b := range h.Buckets {
+				acc.buckets[b.UpperBound] += b.Count
+			}
+		}
+	}
+	for name, acc := range hists {
+		h := HistogramSnapshot{Count: acc.count, Sum: acc.sum}
+		bounds := make([]float64, 0, len(acc.buckets))
+		for bound := range acc.buckets {
+			bounds = append(bounds, bound)
+		}
+		sort.Float64s(bounds) // +Inf sorts last: the overflow bucket stays terminal
+		h.Buckets = make([]Bucket, 0, len(bounds))
+		for _, bound := range bounds {
+			h.Buckets = append(h.Buckets, Bucket{UpperBound: bound, Count: acc.buckets[bound]})
+		}
+		out.Histograms[name] = h
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func snapA() Snapshot {
+	return Snapshot{
+		Counters: map[string]int64{"serve.served": 10, "serve.shed": 1},
+		Gauges:   map[string]float64{"serve.queue_depth": 3},
+		Histograms: map[string]HistogramSnapshot{
+			"serve.request.seconds": {
+				Count: 4, Sum: 0.004,
+				Buckets: []Bucket{{1e-3, 3}, {1e-2, 1}, {math.Inf(1), 0}},
+			},
+		},
+	}
+}
+
+func snapB() Snapshot {
+	return Snapshot{
+		Counters: map[string]int64{"serve.served": 7, "serve.heals": 2},
+		Gauges:   map[string]float64{"serve.queue_depth": 5},
+		Histograms: map[string]HistogramSnapshot{
+			"serve.request.seconds": {
+				Count: 2, Sum: 0.02,
+				Buckets: []Bucket{{1e-3, 0}, {1e-2, 1}, {math.Inf(1), 1}},
+			},
+			"serve.infer.seconds": {
+				Count: 1, Sum: 0.001,
+				Buckets: []Bucket{{1e-3, 1}, {math.Inf(1), 0}},
+			},
+		},
+	}
+}
+
+func snapC() Snapshot {
+	return Snapshot{
+		Counters: map[string]int64{"serve.shed": 4},
+		Gauges:   map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{
+			// Different bucket layout: merge is keyed by bound, not index.
+			"serve.request.seconds": {
+				Count: 3, Sum: 0.3,
+				Buckets: []Bucket{{1e-4, 1}, {1e-2, 1}, {math.Inf(1), 1}},
+			},
+		},
+	}
+}
+
+func TestMergeSumsEverything(t *testing.T) {
+	m := MergeSnapshots(snapA(), snapB())
+	if m.Counters["serve.served"] != 17 || m.Counters["serve.shed"] != 1 || m.Counters["serve.heals"] != 2 {
+		t.Fatalf("counters merged wrong: %+v", m.Counters)
+	}
+	if m.Gauges["serve.queue_depth"] != 8 {
+		t.Fatalf("gauges merged wrong: %+v", m.Gauges)
+	}
+	h := m.Histograms["serve.request.seconds"]
+	if h.Count != 6 || math.Abs(h.Sum-0.024) > 1e-12 {
+		t.Fatalf("histogram totals merged wrong: %+v", h)
+	}
+	want := []Bucket{{1e-3, 3}, {1e-2, 2}, {math.Inf(1), 1}}
+	if !reflect.DeepEqual(h.Buckets, want) {
+		t.Fatalf("buckets merged wrong:\n got %+v\nwant %+v", h.Buckets, want)
+	}
+}
+
+// TestMergeAssociativeCommutative pins the algebra the fleet depends on:
+// replicas report in arbitrary order and the coordinator may merge
+// incrementally, yet every grouping and ordering lands the same snapshot.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	perms := [][]Snapshot{
+		{snapA(), snapB(), snapC()},
+		{snapC(), snapA(), snapB()},
+		{snapB(), snapC(), snapA()},
+	}
+	base := MergeSnapshots(perms[0]...)
+	for i, p := range perms[1:] {
+		if got := MergeSnapshots(p...); !reflect.DeepEqual(got, base) {
+			t.Fatalf("permutation %d merged differently:\n got %+v\nwant %+v", i+1, got, base)
+		}
+	}
+	// Associativity: merge(merge(A,B), C) == merge(A, merge(B,C)).
+	left := MergeSnapshots(MergeSnapshots(snapA(), snapB()), snapC())
+	right := MergeSnapshots(snapA(), MergeSnapshots(snapB(), snapC()))
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("merge is not associative:\n left %+v\nright %+v", left, right)
+	}
+	if !reflect.DeepEqual(left, base) {
+		t.Fatalf("grouped merge differs from flat merge")
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	empty := MergeSnapshots()
+	if len(empty.Counters) != 0 || len(empty.Gauges) != 0 || len(empty.Histograms) != 0 {
+		t.Fatalf("empty merge not empty: %+v", empty)
+	}
+	// Single replica: identity on content.
+	one := MergeSnapshots(snapA())
+	if !reflect.DeepEqual(one, MergeSnapshots(snapA(), Snapshot{})) {
+		t.Fatal("merging with a zero snapshot changed the result")
+	}
+	if one.Counters["serve.served"] != 10 || one.Histograms["serve.request.seconds"].Count != 4 {
+		t.Fatalf("single-replica merge mangled content: %+v", one)
+	}
+}
+
+func TestMergeFingerprintDeterministic(t *testing.T) {
+	a := MergeSnapshots(snapA(), snapB(), snapC()).Fingerprint()
+	b := MergeSnapshots(snapC(), snapB(), snapA()).Fingerprint()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("merged fingerprints diverge:\n a=%v\n b=%v", a, b)
+	}
+	if a["counter:serve.served"] != 17 || a["histcount:serve.request.seconds"] != 9 {
+		t.Fatalf("fingerprint content wrong: %v", a)
+	}
+}
+
+// TestMergeConcurrent merges under -race: concurrent merges of shared
+// snapshot values must not write into their inputs.
+func TestMergeConcurrent(t *testing.T) {
+	a, b, c := snapA(), snapB(), snapC()
+	want := MergeSnapshots(a, b, c)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := MergeSnapshots(a, b, c); !reflect.DeepEqual(got, want) {
+					t.Error("concurrent merge diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

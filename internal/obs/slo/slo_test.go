@@ -1,0 +1,128 @@
+package slo
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBurnRateZeroWhenAllGood(t *testing.T) {
+	tr := New(Config{})
+	for i := 0; i < 1000; i++ {
+		tr.Observe(true)
+	}
+	fast, slow := tr.BurnRate()
+	if fast != 0 || slow != 0 {
+		t.Fatalf("all-good stream burns fast=%g slow=%g, want 0,0", fast, slow)
+	}
+	if !tr.Healthy() {
+		t.Fatal("all-good stream reported unhealthy")
+	}
+	if s := tr.HealthScore(); s != 1 {
+		t.Fatalf("all-good health score %g, want 1", s)
+	}
+}
+
+func TestBurnRateAllBadSaturates(t *testing.T) {
+	tr := New(Config{Objective: 0.99, FastWindow: 8, SlowWindow: 16, MaxBurn: 2})
+	for i := 0; i < 16; i++ {
+		tr.Observe(false)
+	}
+	fast, slow := tr.BurnRate()
+	// bad fraction 1.0 over a 1% budget → burn rate 100 in both windows.
+	if math.Abs(fast-100) > 1e-9 || math.Abs(slow-100) > 1e-9 {
+		t.Fatalf("all-bad burn fast=%g slow=%g, want 100,100", fast, slow)
+	}
+	if tr.Healthy() {
+		t.Fatal("all-bad stream reported healthy")
+	}
+	if s := tr.HealthScore(); s >= 0.5 {
+		t.Fatalf("all-bad health score %g, want << 0.5", s)
+	}
+}
+
+// TestMultiWindowGuard pins the two-window property: a short bad blip
+// saturates the fast window but not the slow one, so health holds; a
+// sustained bad run trips both.
+func TestMultiWindowGuard(t *testing.T) {
+	tr := New(Config{Objective: 0.9, FastWindow: 4, SlowWindow: 64, MaxBurn: 2})
+	for i := 0; i < 64; i++ {
+		tr.Observe(true)
+	}
+	// Blip: 4 bad. Fast window burns at 10x, slow window at 4/64/0.1 = 0.625x.
+	for i := 0; i < 4; i++ {
+		tr.Observe(false)
+	}
+	if !tr.Healthy() {
+		t.Fatal("short blip tripped health despite a quiet slow window")
+	}
+	// Sustained: enough bad to push the slow window past MaxBurn too.
+	for i := 0; i < 32; i++ {
+		tr.Observe(false)
+	}
+	if tr.Healthy() {
+		t.Fatal("sustained bad run never tripped health")
+	}
+}
+
+func TestColdTrackerHealthy(t *testing.T) {
+	tr := New(Config{FastWindow: 8})
+	// Fewer observations than the fast window — even all-bad must not trip.
+	for i := 0; i < 7; i++ {
+		tr.Observe(false)
+	}
+	if !tr.Healthy() {
+		t.Fatal("cold tracker (fast window not full) reported unhealthy")
+	}
+}
+
+func TestResetForgets(t *testing.T) {
+	tr := New(Config{FastWindow: 4, SlowWindow: 8})
+	for i := 0; i < 8; i++ {
+		tr.Observe(false)
+	}
+	if tr.Healthy() {
+		t.Fatal("precondition: tracker should be unhealthy")
+	}
+	tr.Reset()
+	if !tr.Healthy() {
+		t.Fatal("reset tracker still unhealthy")
+	}
+	if fast, slow := tr.BurnRate(); fast != 0 || slow != 0 {
+		t.Fatalf("reset tracker burns fast=%g slow=%g", fast, slow)
+	}
+}
+
+func TestNilTrackerNoops(t *testing.T) {
+	var tr *Tracker
+	tr.Observe(true) // must not panic
+	if f, s := tr.BurnRate(); f != 0 || s != 0 {
+		t.Fatal("nil tracker burns")
+	}
+	if !tr.Healthy() {
+		t.Fatal("nil tracker unhealthy")
+	}
+	tr.Reset()
+}
+
+// TestDeterministicUnderConcurrency: concurrent observers of the same
+// multiset of outcomes always land the same totals (run under -race).
+func TestDeterministicUnderConcurrency(t *testing.T) {
+	tr := New(Config{Objective: 0.5, FastWindow: 1024, SlowWindow: 2048})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				tr.Observe(i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	fast, slow := tr.BurnRate()
+	// 512 observations, half bad, 50% budget → burn rate exactly 1.
+	if math.Abs(fast-1) > 1e-9 || math.Abs(slow-1) > 1e-9 {
+		t.Fatalf("burn fast=%g slow=%g, want 1,1", fast, slow)
+	}
+}

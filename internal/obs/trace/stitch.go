@@ -1,0 +1,61 @@
+package trace
+
+import "bytes"
+
+// eventsMarker locates the span array inside a WriteJSON document. The
+// exporter is hand-rolled with a fixed field order, so the marker is a
+// stable byte signature, not a heuristic.
+var eventsMarker = []byte(`"traceEvents":[`)
+
+// eventsBody extracts the raw span-event array body (without brackets)
+// from one WriteJSON document, preserving its exact bytes. ok is false
+// when doc is not a WriteJSON-shaped export.
+func eventsBody(doc []byte) (body []byte, ok bool) {
+	i := bytes.Index(doc, eventsMarker)
+	if i < 0 {
+		return nil, false
+	}
+	start := i + len(eventsMarker)
+	end := bytes.LastIndexByte(doc, ']')
+	if end < start {
+		return nil, false
+	}
+	return doc[start:end], true
+}
+
+// StitchJSON splices the span events of several exported trace documents —
+// the router's root segment plus each replica's remote segment of the SAME
+// trace ID — into one Chrome-JSON document. The root document's metadata
+// (trace ID, name, flags) is kept verbatim; hop documents contribute only
+// their events, in the order given. Because WriteJSON is byte-
+// deterministic and the splice is pure concatenation, stitching normalized
+// segments is itself byte-deterministic — the stitchgate pin.
+//
+// Documents that do not parse as exports (or carry no events) contribute
+// nothing; a nil or malformed root returns an empty document.
+func StitchJSON(root []byte, hops ...[]byte) []byte {
+	rootBody, ok := eventsBody(root)
+	if !ok {
+		return []byte(`{"traceEvents":[]}`)
+	}
+	head := root[:bytes.Index(root, eventsMarker)+len(eventsMarker)]
+
+	var b bytes.Buffer
+	b.Grow(len(root) + 64*len(hops))
+	b.Write(head)
+	b.Write(rootBody)
+	wrote := len(rootBody) > 0
+	for _, hop := range hops {
+		body, ok := eventsBody(hop)
+		if !ok || len(body) == 0 {
+			continue
+		}
+		if wrote {
+			b.WriteByte(',')
+		}
+		b.Write(body)
+		wrote = true
+	}
+	b.WriteString(`]}`)
+	return b.Bytes()
+}

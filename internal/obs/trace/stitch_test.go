@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildSegments fabricates a router root segment and two replica segments
+// of the same trace ID, the way the fleet wires them up: the router starts
+// the trace, each replica continues it via StartRemote under one of the
+// router's hop spans.
+func buildSegments(t *testing.T) (root, hopA, hopB []byte) {
+	t.Helper()
+	tracer := &Tracer{}
+	tracer.Enable(16, 1)
+	id := Derive(0xf1ee7, 42)
+
+	rootSp := tracer.Start("fleet.request", id)
+	h1 := rootSp.Child("fleet.hop")
+	h1.SetStr("replica", "r1")
+	h2 := rootSp.Child("fleet.hop")
+	h2.SetStr("replica", "r2")
+	h1.End()
+	h2.SetStr("outcome", "cancelled")
+	h2.End()
+	rootSp.Finish(0)
+
+	ra := tracer.StartRemote("serve.request", id, h1.ID())
+	ra.Child("serve.infer").End()
+	ra.Finish(0)
+
+	rb := tracer.StartRemote("serve.request", id, h2.ID())
+	rb.Finish(0)
+
+	// The ring keys by trace ID and all three segments share it, so export
+	// each segment directly from its Trace handle.
+	opt := ExportOptions{Normalize: true}
+	root = MarshalJSON(rootSp.tr, 0, opt)
+	hopA = MarshalJSON(ra.tr, 0, opt)
+	hopB = MarshalJSON(rb.tr, 0, opt)
+	return root, hopA, hopB
+}
+
+func TestStitchByteIdentical(t *testing.T) {
+	r1, a1, b1 := buildSegments(t)
+	r2, a2, b2 := buildSegments(t)
+	s1 := StitchJSON(r1, a1, b1)
+	s2 := StitchJSON(r2, a2, b2)
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("normalized stitch not byte-identical:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+func TestStitchStructure(t *testing.T) {
+	root, hopA, hopB := buildSegments(t)
+	out := StitchJSON(root, hopA, hopB)
+	// One document: metadata from the root, then root events, then each
+	// hop's events in order.
+	if !bytes.HasPrefix(out, []byte(`{"displayTimeUnit":"ms","metadata":{"trace_id":`)) {
+		t.Fatalf("stitched doc lost the root metadata: %s", out)
+	}
+	if n := bytes.Count(out, []byte(`"traceEvents":[`)); n != 1 {
+		t.Fatalf("stitched doc has %d traceEvents arrays, want 1: %s", n, out)
+	}
+	for _, name := range []string{`"fleet.request"`, `"fleet.hop"`, `"serve.request"`, `"serve.infer"`, `"cancelled"`} {
+		if !bytes.Contains(out, []byte(name)) {
+			t.Fatalf("stitched doc missing %s: %s", name, out)
+		}
+	}
+	if n := bytes.Count(out, []byte(`"serve.request"`)); n != 2 {
+		t.Fatalf("expected both replica segments, found %d serve.request spans", n)
+	}
+	// Remote segments must keep distinct span IDs (the salt property):
+	// every "span_id" value in the document is unique.
+	seen := map[string]bool{}
+	rest := out
+	for {
+		i := bytes.Index(rest, []byte(`"span_id":"`))
+		if i < 0 {
+			break
+		}
+		rest = rest[i+len(`"span_id":"`):]
+		id := string(rest[:16])
+		if seen[id] {
+			t.Fatalf("duplicate span_id %s in stitched doc", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 unique spans in stitched doc, got %d", len(seen))
+	}
+}
+
+func TestStitchDegenerateInputs(t *testing.T) {
+	if got := StitchJSON(nil); string(got) != `{"traceEvents":[]}` {
+		t.Fatalf("nil root: %s", got)
+	}
+	if got := StitchJSON([]byte("not json")); string(got) != `{"traceEvents":[]}` {
+		t.Fatalf("garbage root: %s", got)
+	}
+	root, _, _ := buildSegments(t)
+	// Garbage and empty hops contribute nothing; the root survives intact.
+	got := StitchJSON(root, []byte("garbage"), nil, []byte(`{"traceEvents":[]}`))
+	if !bytes.Equal(got, root) {
+		t.Fatalf("stitching no-op hops changed the root:\n%s\nvs\n%s", got, root)
+	}
+	// Empty root + real hop: the hop's events land in the empty document.
+	_, hopA, _ := buildSegments(t)
+	got = StitchJSON([]byte(`{"traceEvents":[]}`), hopA)
+	if !bytes.Contains(got, []byte(`"serve.request"`)) || bytes.Contains(got, []byte(`[,`)) {
+		t.Fatalf("empty-root stitch malformed: %s", got)
+	}
+}
+
+// TestRemoteSaltPreservesLocalIDs pins backward compatibility: a purely
+// local trace's span IDs are unchanged by the salt machinery (tracegate's
+// byte-identical exports depend on it).
+func TestRemoteSaltPreservesLocalIDs(t *testing.T) {
+	tracer := &Tracer{}
+	tracer.Enable(4, 1)
+	id := Derive(7)
+	sp := tracer.Start("local", id)
+	if got, want := sp.ID(), Derive(uint64(id), 0); got != want {
+		t.Fatalf("local root span ID changed: got %s want %s", got, want)
+	}
+	child := sp.Child("c")
+	if got, want := child.ID(), Derive(uint64(id), 1); got != want {
+		t.Fatalf("local child span ID changed: got %s want %s", got, want)
+	}
+	sp.Finish(0)
+
+	// Remote segments differ from local IDs and from each other.
+	r1 := tracer.StartRemote("remote", id, sp.ID())
+	r2 := tracer.StartRemote("remote", id, child.ID())
+	ids := map[ID]bool{sp.ID(): true, child.ID(): true}
+	for _, s := range []*Span{r1, r2} {
+		if s == nil {
+			t.Fatal("StartRemote returned nil while enabled")
+		}
+		if ids[s.ID()] {
+			t.Fatalf("remote span ID %s collides", s.ID())
+		}
+		ids[s.ID()] = true
+	}
+	if r1.tr.spans[0].parent != sp.ID() {
+		t.Fatalf("remote root not parented under the remote span")
+	}
+	// Disabled tracer and zero ID both return nil.
+	tracer.Disable()
+	if tracer.StartRemote("x", id, 1) != nil {
+		t.Fatal("StartRemote live while disabled")
+	}
+	tracer.Enable(4, 1)
+	if tracer.StartRemote("x", 0, 1) != nil {
+		t.Fatal("StartRemote live with zero trace ID")
+	}
+}

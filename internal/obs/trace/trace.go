@@ -225,6 +225,14 @@ type Trace struct {
 	t0        time.Time // monotonic anchor; span offsets are Since(t0)
 	eventMark uint64    // tracer event counter at start
 
+	// salt disambiguates span IDs when several PROCESSES contribute spans
+	// to the same trace ID (a router root plus remote replica segments, as
+	// StartRemote sets up): each process derives span IDs from (trace ID,
+	// salt, ordinal), so segments never collide when stitched. Zero for
+	// purely local traces, keeping their span IDs byte-identical to every
+	// pre-fleet export (the tracegate pin).
+	salt uint64
+
 	mu    sync.Mutex
 	spans []*Span
 }
@@ -232,9 +240,13 @@ type Trace struct {
 // newSpan appends a span with the next deterministic ID.
 func (tr *Trace) newSpan(name string, parent ID) *Span {
 	tr.mu.Lock()
+	id := Derive(uint64(tr.id), uint64(len(tr.spans)))
+	if tr.salt != 0 {
+		id = Derive(uint64(tr.id), tr.salt, uint64(len(tr.spans)))
+	}
 	sp := &Span{
 		tr:     tr,
-		id:     Derive(uint64(tr.id), uint64(len(tr.spans))),
+		id:     id,
 		parent: parent,
 		name:   name,
 		start:  int64(time.Since(tr.t0)),
@@ -374,6 +386,31 @@ func (t *Tracer) Start(name string, id ID) *Span {
 	}
 	t.lastActive.Store(uint64(id))
 	return tr.newSpan(name, 0)
+}
+
+// StartRemote opens a local segment of a trace that was STARTED elsewhere:
+// the trace keeps the remote trace ID (so a fleet-wide fetch finds every
+// segment under one ID), the root span parents under the remote parent
+// span, and span IDs are salted by that parent so this segment's IDs never
+// collide with the originator's or a sibling segment's. Returns nil while
+// the tracer is disabled or when id is zero (no remote context on the
+// wire).
+func (t *Tracer) StartRemote(name string, id, parent ID) *Span {
+	if !t.enabled.Load() || id == 0 {
+		return nil
+	}
+	now := time.Now()
+	tr := &Trace{
+		tracer:    t,
+		id:        id,
+		name:      name,
+		wall:      now,
+		t0:        now,
+		eventMark: t.eventSeq.Load(),
+		salt:      uint64(parent),
+	}
+	t.lastActive.Store(uint64(id))
+	return tr.newSpan(name, parent)
 }
 
 // finish applies the tail-sampling policy and offers the trace to the

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Wire format for shipping a Snapshot between fleet processes (replica →
+// router, piggybacked on heartbeat replies). The encoding is versioned,
+// length-prefixed, and CRC-tailed so a truncated or netchaos-mangled
+// datagram is rejected instead of mis-decoded:
+//
+//	[0]    version byte (snapshotWireVersion)
+//	u16    counter count, then per counter: u16 name len, name, u64 value
+//	u16    gauge count,   then per gauge:   u16 name len, name, f64 bits
+//	u16    histogram count, then per histogram:
+//	         u16 name len, name, i64 count, f64 sum bits, u16 bucket count,
+//	         per bucket: f64 bound bits (+Inf allowed), i64 count
+//	u32    IEEE CRC-32 of every preceding byte
+//
+// All integers are little-endian. Sections are emitted in sorted-name
+// order, so the same Snapshot always encodes to the same bytes — the
+// fleet-metrics fingerprint gate depends on that.
+const snapshotWireVersion = 1
+
+// EncodeSnapshot serializes s into the versioned wire form. The output is
+// deterministic: maps are walked in sorted-key order.
+func EncodeSnapshot(s Snapshot) []byte {
+	b := make([]byte, 0, 256)
+	b = append(b, snapshotWireVersion)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s.Counters)))
+	for _, name := range sortedKeys(s.Counters) {
+		b = appendWireString(b, name)
+		b = binary.LittleEndian.AppendUint64(b, uint64(s.Counters[name]))
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s.Gauges)))
+	for _, name := range sortedKeys(s.Gauges) {
+		b = appendWireString(b, name)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Gauges[name]))
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s.Histograms)))
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		b = appendWireString(b, name)
+		b = binary.LittleEndian.AppendUint64(b, uint64(h.Count))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(h.Sum))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(h.Buckets)))
+		for _, bk := range h.Buckets {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(bk.UpperBound))
+			b = binary.LittleEndian.AppendUint64(b, uint64(bk.Count))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func appendWireString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// snapshotReader is a bounds-checked cursor over an encoded snapshot; every
+// read reports exhaustion instead of panicking, so a hostile or truncated
+// blob can never crash the router.
+type snapshotReader struct {
+	b   []byte
+	pos int
+	bad bool
+}
+
+func (r *snapshotReader) u16() uint16 {
+	if r.bad || r.pos+2 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *snapshotReader) u64() uint64 {
+	if r.bad || r.pos+8 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *snapshotReader) str() string {
+	n := int(r.u16())
+	if r.bad || r.pos+n > len(r.b) {
+		r.bad = true
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// DecodeSnapshot reverses EncodeSnapshot. It rejects (with an error, never
+// a panic) blobs with a wrong version, a failed CRC, or truncated sections
+// — exactly the failure modes a lossy UDP fleet wire produces.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if len(b) < 1+2+2+2+4 {
+		return s, fmt.Errorf("obs: snapshot blob too short (%d bytes)", len(b))
+	}
+	if b[0] != snapshotWireVersion {
+		return s, fmt.Errorf("obs: snapshot wire version %d, want %d", b[0], snapshotWireVersion)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return s, fmt.Errorf("obs: snapshot CRC mismatch")
+	}
+	r := &snapshotReader{b: body, pos: 1}
+	nc := int(r.u16())
+	s.Counters = make(map[string]int64, nc)
+	for i := 0; i < nc && !r.bad; i++ {
+		name := r.str()
+		s.Counters[name] = int64(r.u64())
+	}
+	ng := int(r.u16())
+	s.Gauges = make(map[string]float64, ng)
+	for i := 0; i < ng && !r.bad; i++ {
+		name := r.str()
+		s.Gauges[name] = math.Float64frombits(r.u64())
+	}
+	nh := int(r.u16())
+	s.Histograms = make(map[string]HistogramSnapshot, nh)
+	for i := 0; i < nh && !r.bad; i++ {
+		name := r.str()
+		h := HistogramSnapshot{
+			Count: int64(r.u64()),
+			Sum:   math.Float64frombits(r.u64()),
+		}
+		nb := int(r.u16())
+		if r.bad || nb > (len(body)-r.pos)/16 {
+			r.bad = true
+			break
+		}
+		h.Buckets = make([]Bucket, 0, nb)
+		for j := 0; j < nb && !r.bad; j++ {
+			bound := math.Float64frombits(r.u64())
+			count := int64(r.u64())
+			h.Buckets = append(h.Buckets, Bucket{UpperBound: bound, Count: count})
+		}
+		s.Histograms[name] = h
+	}
+	if r.bad || r.pos != len(body) {
+		return Snapshot{}, fmt.Errorf("obs: snapshot blob truncated or over-long")
+	}
+	return s, nil
+}

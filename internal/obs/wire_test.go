@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	for _, s := range []Snapshot{snapA(), snapB(), snapC()} {
+		blob := EncodeSnapshot(s)
+		got, err := DecodeSnapshot(blob)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("round trip mangled snapshot:\n got %+v\nwant %+v", got, s)
+		}
+	}
+	// Empty sections survive too (a replica before its first observation).
+	empty := Snapshot{Counters: map[string]int64{}, Gauges: map[string]float64{}, Histograms: map[string]HistogramSnapshot{}}
+	got, err := DecodeSnapshot(EncodeSnapshot(empty))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if !reflect.DeepEqual(got, empty) {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
+func TestSnapshotWireDeterministic(t *testing.T) {
+	a := EncodeSnapshot(snapB())
+	b := EncodeSnapshot(snapB())
+	if !bytes.Equal(a, b) {
+		t.Fatal("same snapshot encoded to different bytes")
+	}
+}
+
+// TestSnapshotWireRejectsDamage: the CRC tail and bounds-checked reader
+// turn every corruption mode the netchaos wire produces into a clean
+// error, never a panic or a silently wrong snapshot.
+func TestSnapshotWireRejectsDamage(t *testing.T) {
+	blob := EncodeSnapshot(snapA())
+	if _, err := DecodeSnapshot(nil); err == nil {
+		t.Fatal("nil blob decoded")
+	}
+	if _, err := DecodeSnapshot(blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated blob decoded")
+	}
+	for i := 0; i < len(blob); i++ {
+		mangled := append([]byte(nil), blob...)
+		mangled[i] ^= 0x5a
+		if _, err := DecodeSnapshot(mangled); err == nil {
+			t.Fatalf("bit-flipped blob (byte %d) decoded without error", i)
+		}
+	}
+	// Trailing garbage past a valid CRC region must also be rejected.
+	if _, err := DecodeSnapshot(append(append([]byte(nil), blob...), 0xff)); err == nil {
+		t.Fatal("over-long blob decoded")
+	}
+}
